@@ -1,0 +1,93 @@
+"""E1/E2 — Figures 1 and 2: O(N+M) vs O(N·M) environments.
+
+The same program in object-oriented form (explicit closure classes)
+and functional form (implicit closures), analyzed by the same 1-CFA
+specification:
+
+* OO: the analysis computes a number of abstract environments (method
+  contexts + abstract objects) **linear** in N+M;
+* functional: the inner "baz" lambda is analyzed in exactly **N·M**
+  abstract environments.
+
+Run as benchmarks (times the two analyses at N = M = 8)::
+
+    pytest benchmarks/bench_fig1_fig2_envs.py --benchmark-only
+
+Run standalone for the sweep table::
+
+    python benchmarks/bench_fig1_fig2_envs.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_kcfa, analyze_mcfa
+from repro.fj import analyze_fj_kcfa, parse_fj
+from repro.generators.paradox import (
+    find_cxy_lambda, paradox_fj_source, paradox_functional_program,
+)
+from repro.metrics.timing import format_table
+
+SWEEP = ((2, 2), (4, 4), (4, 8), (8, 8), (8, 16), (16, 16))
+BENCH_N = BENCH_M = 8
+
+
+@pytest.mark.benchmark(group="fig1-fig2")
+def test_functional_1cfa(benchmark):
+    program = paradox_functional_program(BENCH_N, BENCH_M)
+    result = benchmark(lambda: analyze_kcfa(program, 1))
+    cxy = find_cxy_lambda(program)
+    assert result.environment_count(cxy) == BENCH_N * BENCH_M
+
+
+@pytest.mark.benchmark(group="fig1-fig2")
+def test_oo_1cfa(benchmark):
+    program = parse_fj(paradox_fj_source(BENCH_N, BENCH_M),
+                       entry_method="caller")
+    result = benchmark(lambda: analyze_fj_kcfa(program, 1))
+    assert result.total_environments() == 3 * (BENCH_N + BENCH_M) + 1
+
+
+@pytest.mark.benchmark(group="fig1-fig2")
+def test_functional_mcfa(benchmark):
+    program = paradox_functional_program(BENCH_N, BENCH_M)
+    result = benchmark(lambda: analyze_mcfa(program, 1))
+    cxy = find_cxy_lambda(program)
+    assert result.environment_count(cxy) <= 2
+
+
+def generate_table():
+    headers = ["N", "M", "N+M", "N*M", "OO k=1 envs",
+               "fun k=1 cxy-envs", "fun m=1 cxy-envs"]
+    rows = []
+    for n, m in SWEEP:
+        fun_program = paradox_functional_program(n, m)
+        cxy = find_cxy_lambda(fun_program)
+        fun_k1 = analyze_kcfa(fun_program, 1)
+        fun_m1 = analyze_mcfa(fun_program, 1)
+        oo_program = parse_fj(paradox_fj_source(n, m),
+                              entry_method="caller")
+        oo_k1 = analyze_fj_kcfa(oo_program, 1)
+        rows.append([
+            str(n), str(m), str(n + m), str(n * m),
+            str(oo_k1.total_environments()),
+            str(fun_k1.environment_count(cxy)),
+            str(fun_m1.environment_count(cxy)),
+        ])
+    return headers, rows
+
+
+def main():
+    print("Figure 1 vs Figure 2: environments computed by 1-CFA for "
+          "the same program,\nOO (explicit closures) vs functional "
+          "(implicit closures)\n")
+    headers, rows = generate_table()
+    print(format_table(headers, rows))
+    print("\nOO grows linearly in N+M; functional 1-CFA computes "
+          "exactly N*M environments\nfor the inner lambda; m-CFA "
+          "(flat environments) collapses it to O(1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""E5 at paper scale — the §6.2 table on scaled suite programs.
+
+The paper's benchmark files reached thousands of terms; this harness
+replays the precision/speed comparison on honestly scaled versions of
+our suite (every copy reachable and analyzed; see
+:mod:`repro.benchsuite.scaling`), pushing term counts into the same
+range and letting the k-CFA vs m-CFA cost gap widen the way the paper
+reports.
+
+Run as benchmarks::
+
+    pytest benchmarks/bench_scaled_suite.py --benchmark-only
+
+Standalone::
+
+    python benchmarks/bench_scaled_suite.py [copies]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.analysis import (
+    analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.benchsuite.scaling import scaled_program
+from repro.metrics.timing import format_cell, format_table, timed_cell
+
+SCALES = {"eta": 4, "map": 4, "regex": 3, "interp": 3}
+
+_PROGRAMS = {name: scaled_program(name, copies)
+             for name, copies in SCALES.items()}
+
+_ANALYSES = {
+    "k1": lambda program: analyze_kcfa(program, 1),
+    "m1": lambda program: analyze_mcfa(program, 1),
+    "poly1": lambda program: analyze_poly_kcfa(program, 1),
+    "k0": analyze_zerocfa,
+}
+
+
+@pytest.mark.parametrize("name", list(_PROGRAMS))
+@pytest.mark.parametrize("analysis", ["m1", "k0"])
+def test_scaled_cell(benchmark, name, analysis):
+    # only the fast analyses run under pytest-benchmark's repetition;
+    # the standalone table includes k=1 with a single timed run.
+    benchmark.group = f"scaled-{name}"
+    program = _PROGRAMS[name]
+    result = benchmark(lambda: _ANALYSES[analysis](program))
+    assert result.halt_values
+
+
+def generate_table(copies_override: int | None = None,
+                   timeout: float = 120.0):
+    headers = ["Prog", "copies", "Terms", "k=1", "m=1", "poly,k=1",
+               "k=0"]
+    rows = []
+    for name, default_copies in SCALES.items():
+        copies = copies_override or default_copies
+        program = scaled_program(name, copies)
+        row = [name, str(copies), str(program.term_count())]
+        for analysis_name in ("k1", "m1", "poly1", "k0"):
+            analyze = _ANALYSES[analysis_name]
+            cell = timed_cell(
+                lambda budget, fn=analyze, p=program: fn(p), timeout)
+            inlinings = "-"
+            if cell.payload is not None:
+                inlinings = str(cell.payload.supported_inlinings())
+            row.append(f"{format_cell(cell, epsilon=0.05)} "
+                       f"{inlinings}")
+        rows.append(row)
+    return headers, rows
+
+
+def main():
+    copies = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    print("Scaled §6.2 table (cell = time inlinings):\n")
+    headers, rows = generate_table(copies)
+    print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""E4 — the §6.1.1 worst-case table.
+
+Regenerates::
+
+    Terms   k=1     m=1     poly,k=1   k=0
+    ...     46 s    ϵ       2 s        ϵ
+    ...     ∞       3 s     5 s        2 s
+
+on Van Horn–Mairson terms.  Absolute numbers differ from the paper's
+2 GHz machine; the *shape* — k=1 exploding orders of magnitude before
+every flat-environment analysis — is the reproduction target.
+
+Run as a benchmark suite::
+
+    pytest benchmarks/bench_table1_worstcase.py --benchmark-only
+
+Run standalone to print the paper-style table (with timeout cells)::
+
+    python benchmarks/bench_table1_worstcase.py [timeout-seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.analysis import (
+    analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.generators.worstcase import worst_case_program
+from repro.metrics.timing import format_cell, format_table, timed_cell
+
+#: Depth used for the pytest-benchmark comparison: large enough that
+#: k=1 is visibly slower, small enough that it still finishes.
+BENCH_DEPTH = 9
+
+#: Depths for the standalone paper-style table (sizes roughly double
+#: the k-CFA work per row, like the paper's term-count column).
+TABLE_DEPTHS = (4, 6, 8, 10, 12, 14, 16)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return worst_case_program(BENCH_DEPTH)
+
+
+@pytest.mark.benchmark(group="table1-worstcase")
+def test_kcfa_k1(benchmark, program):
+    result = benchmark(lambda: analyze_kcfa(program, 1))
+    assert result.config_count > 0
+
+
+@pytest.mark.benchmark(group="table1-worstcase")
+def test_mcfa_m1(benchmark, program):
+    result = benchmark(lambda: analyze_mcfa(program, 1))
+    assert result.config_count > 0
+
+
+@pytest.mark.benchmark(group="table1-worstcase")
+def test_poly_k1(benchmark, program):
+    result = benchmark(lambda: analyze_poly_kcfa(program, 1))
+    assert result.config_count > 0
+
+
+@pytest.mark.benchmark(group="table1-worstcase")
+def test_zerocfa(benchmark, program):
+    result = benchmark(lambda: analyze_zerocfa(program))
+    assert result.config_count > 0
+
+
+def generate_table(depths=TABLE_DEPTHS, timeout: float = 10.0):
+    """Compute the full table; returns (headers, rows)."""
+    headers = ["Terms", "k = 1", "m = 1", "poly., k=1", "k = 0"]
+    analyses = [
+        lambda p: (lambda budget: analyze_kcfa(p, 1, budget)),
+        lambda p: (lambda budget: analyze_mcfa(p, 1, budget)),
+        lambda p: (lambda budget: analyze_poly_kcfa(p, 1, budget)),
+        lambda p: (lambda budget: analyze_zerocfa(p, budget)),
+    ]
+    rows = []
+    for depth in depths:
+        program = worst_case_program(depth)
+        row = [str(program.term_count())]
+        for make in analyses:
+            cell = timed_cell(make(program), timeout)
+            row.append(format_cell(cell))
+        rows.append(row)
+    return headers, rows
+
+
+def main():
+    timeout = float(sys.argv[1]) if len(sys.argv) > 1 else 10.0
+    print(f"Worst-case table (timeout {timeout:.0f}s per cell); "
+          "∞ = timed out, ϵ = under a second\n")
+    headers, rows = generate_table(timeout=timeout)
+    print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""E5 — the §6.2 precision/speed table.
+
+For every suite program and every analysis: run time plus the number
+of supported inlinings.  The qualitative reproduction targets:
+
+* m = 1 matches k = 1's inlining count on **every** program, at lower
+  cost;
+* naive polynomial k = 1 drops to the 0CFA count on the programs with
+  context-rotating intervening calls (eta, scm2java, scm2c);
+* 0CFA is always the cheapest and never more precise.
+
+Run as benchmarks::
+
+    pytest benchmarks/bench_table2_precision.py --benchmark-only
+
+Run standalone for the paper-style table::
+
+    python benchmarks/bench_table2_precision.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.benchsuite import SUITE
+from repro.metrics.precision import precision_row, standard_analyses
+from repro.metrics.timing import format_cell, format_table
+
+_ANALYSES = {
+    "k1": lambda program: analyze_kcfa(program, 1),
+    "m1": lambda program: analyze_mcfa(program, 1),
+    "poly1": lambda program: analyze_poly_kcfa(program, 1),
+    "k0": analyze_zerocfa,
+}
+
+_PROGRAMS = {bench.name: bench.compile() for bench in SUITE}
+
+
+@pytest.mark.parametrize("bench_name", list(_PROGRAMS))
+@pytest.mark.parametrize("analysis", list(_ANALYSES))
+def test_suite_cell(benchmark, bench_name, analysis):
+    program = _PROGRAMS[bench_name]
+    analyze = _ANALYSES[analysis]
+    benchmark.group = f"table2-{bench_name}"
+    result = benchmark(lambda: analyze(program))
+    assert result.halt_values
+
+
+def generate_table(timeout: float = 60.0):
+    headers = ["Prog", "Terms", "k=1", "m=1", "poly,k=1", "k=0"]
+    rows = []
+    for bench in SUITE:
+        program = _PROGRAMS[bench.name]
+        row = [bench.name, str(program.term_count())]
+        cells = precision_row(program, standard_analyses(), timeout)
+        for name in ("k=1", "m=1", "poly,k=1", "k=0"):
+            cell = cells[name]
+            inlinings = cell.inlinings
+            shown = "-" if inlinings is None else str(inlinings)
+            row.append(f"{format_cell(cell.cell)} {shown}")
+        rows.append(row)
+    return headers, rows
+
+
+def main():
+    print("Precision table: each cell is `time inlinings` "
+          "(ϵ = under a second, ∞ = timeout)\n")
+    headers, rows = generate_table()
+    print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

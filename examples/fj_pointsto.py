@@ -1,0 +1,56 @@
+"""Points-to analysis of a Featherweight Java program.
+
+Runs OO k-CFA on the dynamic-dispatch example and shows what OO
+analyses call the analysis products: points-to sets, on-the-fly call
+graph (invocation targets), and monomorphic call sites suitable for
+devirtualization.
+
+    python examples/fj_pointsto.py [k]
+"""
+
+import sys
+
+from repro import analyze_fj_kcfa, parse_fj, run_fj
+from repro.fj import analyze_fj_poly
+from repro.fj.examples import DISPATCH
+
+
+def main():
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    program = parse_fj(DISPATCH)
+
+    concrete = run_fj(program)
+    print("concrete run returns:", concrete.value)
+
+    result = analyze_fj_kcfa(program, k)
+    print(f"\nFJ k-CFA (k = {k}, invocation ticking):")
+    print(f"  {len(result.configs)} abstract configurations, "
+          f"{len(result.objects)} abstract objects")
+
+    print("\npoints-to sets (variables, joined over contexts):")
+    for var in ("x", "y", "a"):
+        objs = result.points_to(var)
+        if objs:
+            classes = sorted({obj.classname for obj in objs})
+            print(f"  {var}: {classes}")
+
+    print("\non-the-fly call graph (invocation site -> targets):")
+    for label in sorted(result.invoke_targets):
+        targets = sorted(result.invoke_targets[label])
+        stmt = program.stmt_by_label[label]
+        marker = "MONO" if len(targets) == 1 else "POLY"
+        print(f"  @{label} {str(stmt):34s} -> {targets}  [{marker}]")
+
+    mono = result.monomorphic_call_sites()
+    print(f"\n{len(mono)} devirtualizable (monomorphic) site(s): "
+          f"{mono}")
+
+    # The §4.4 collapse computes the same call graph, cheaper:
+    poly = analyze_fj_poly(program, k)
+    assert poly.invoke_targets == result.invoke_targets
+    print(f"\ncollapsed (BEnv ≅ Time) machine agrees; "
+          f"steps {poly.steps} vs {result.steps}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The context-sensitivity ladder on the §6 identity example.
+
+Walks k-CFA, m-CFA and naive polynomial k-CFA up from 0 to 3 on the
+perturbed identity program and prints what each analysis thinks the
+program can return — making the §6 degeneration (and its absence for
+m-CFA) visible at every level.
+
+    python examples/precision_ladder.py
+"""
+
+from repro import (
+    analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, compile_program,
+    run_shared,
+)
+
+SOURCE = """
+(define (do-something) 42)
+(define (identity x) (do-something) x)
+(identity 3)
+(identity 4)
+"""
+
+
+def show(values):
+    return "{" + ", ".join(sorted(repr(v) for v in values)) + "}"
+
+
+def main():
+    program = compile_program(SOURCE)
+    print("program:")
+    print(SOURCE)
+    print("concrete result:", run_shared(program).value)
+    print()
+    header = f"{'level':>6} | {'k-CFA':^12} | {'m-CFA':^12} | " \
+             f"{'poly k-CFA':^12}"
+    print(header)
+    print("-" * len(header))
+    for level in range(4):
+        k = analyze_kcfa(program, level)
+        m = analyze_mcfa(program, level)
+        poly = analyze_poly_kcfa(program, level)
+        print(f"{level:>6} | {show(k.halt_values):^12} | "
+              f"{show(m.halt_values):^12} | "
+              f"{show(poly.halt_values):^12}")
+    print()
+    print("k-CFA and m-CFA sharpen to {4} at level 1; the naive")
+    print("polynomial variant needs level 3 to see past the")
+    print("intervening (do-something) call and its return — with")
+    print("longer chains of intervening calls, no fixed k suffices "
+          "(§6).")
+
+
+if __name__ == "__main__":
+    main()

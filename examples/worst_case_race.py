@@ -1,0 +1,61 @@
+"""Race the analyses up the Van Horn–Mairson worst-case ladder.
+
+Grows the §2.2 doubling term until each analysis exceeds a per-cell
+time budget, reporting how far each one gets — a miniature of the
+§6.1.1 experiment ("the feasible range of context-sensitive analysis
+of functional programs has been increased by two-to-three orders of
+magnitude").
+
+    python examples/worst_case_race.py [seconds-per-cell]
+"""
+
+import sys
+
+from repro import (
+    AnalysisTimeout, Budget, analyze_kcfa, analyze_mcfa,
+    analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.generators.worstcase import worst_case_program
+
+ANALYSES = {
+    "k=1": lambda p, b: analyze_kcfa(p, 1, b),
+    "m=1": lambda p, b: analyze_mcfa(p, 1, b),
+    "poly k=1": lambda p, b: analyze_poly_kcfa(p, 1, b),
+    "k=0": lambda p, b: analyze_zerocfa(p, b),
+}
+
+
+def deepest_feasible(analyze, timeout, max_depth=60):
+    reached = 0
+    terms = 0
+    for depth in range(2, max_depth + 1):
+        program = worst_case_program(depth)
+        try:
+            analyze(program, Budget(max_seconds=timeout))
+        except AnalysisTimeout:
+            break
+        reached = depth
+        terms = program.term_count()
+    return reached, terms
+
+
+def main():
+    timeout = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    print(f"per-cell budget: {timeout:.1f}s "
+          "(scaled-down version of the paper's 1 hour)\n")
+    results = {}
+    for name, analyze in ANALYSES.items():
+        depth, terms = deepest_feasible(analyze, timeout)
+        results[name] = (depth, terms)
+        print(f"{name:>9}: deepest feasible chain = {depth} levels "
+              f"({terms} terms)")
+    k1_depth = results["k=1"][0]
+    m1_depth = results["m=1"][0]
+    print(f"\nm-CFA handles {m1_depth - k1_depth} more doubling "
+          "levels than k-CFA —")
+    print(f"each level doubles k-CFA's work, so that is a factor of "
+          f"~2^{m1_depth - k1_depth} in feasible worst-case size.")
+
+
+if __name__ == "__main__":
+    main()

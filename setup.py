@@ -1,0 +1,5 @@
+"""Compatibility shim so `python setup.py develop` works on old
+setuptools without the `wheel` package (offline environments)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — *Resolving and Exploiting the k-CFA Paradox* (PLDI 2010).
+
+A complete reproduction of Might, Smaragdakis and Van Horn's paper:
+Shivers's k-CFA as a small-step abstract interpreter of CPS, the same
+specification for A-Normal Featherweight Java (where it collapses to
+polynomial time), and the paper's contribution — the **m-CFA**
+hierarchy of polynomial-time context-sensitive flow analyses built on
+flat-environment closures.
+
+Quickstart::
+
+    from repro import compile_program, analyze_mcfa
+
+    program = compile_program('''
+        (define (compose f g) (lambda (x) (f (g x))))
+        ((compose (lambda (a) (+ a 1)) (lambda (b) (* b 2))) 20)
+    ''')
+    result = analyze_mcfa(program, m=1)
+    print(result.supported_inlinings(), result.halt_values)
+
+The subpackages:
+
+* :mod:`repro.scheme` — reader, desugarer, interpreter, CPS transform;
+* :mod:`repro.cps` — the labeled, partitioned CPS core language;
+* :mod:`repro.concrete` — concrete shared-env and flat-env machines;
+* :mod:`repro.analysis` — k-CFA, m-CFA, poly k-CFA, 0CFA + soundness;
+* :mod:`repro.fj` — Featherweight Java: parser, ANF, concrete, k-CFA;
+* :mod:`repro.generators` — worst-case, paradox and random programs;
+* :mod:`repro.metrics` — precision, complexity and timing harnesses;
+* :mod:`repro.benchsuite` — the §6.2 benchmark programs.
+"""
+
+from repro.scheme.cps_transform import compile_program, cps_convert
+from repro.scheme.interp import run_source
+from repro.cps import Program, parse_cps, pretty_cps
+from repro.concrete import run_flat, run_shared
+from repro.analysis import (
+    AnalysisResult, analyze_kcfa, analyze_kcfa_naive, analyze_mcfa,
+    analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.fj import (
+    FJProgram, analyze_fj_kcfa, analyze_fj_poly, parse_fj, run_fj,
+)
+from repro.util.budget import Budget
+from repro.errors import AnalysisTimeout, ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_program", "cps_convert", "run_source",
+    "Program", "parse_cps", "pretty_cps",
+    "run_flat", "run_shared",
+    "AnalysisResult", "analyze_kcfa", "analyze_kcfa_naive",
+    "analyze_mcfa", "analyze_poly_kcfa", "analyze_zerocfa",
+    "FJProgram", "analyze_fj_kcfa", "analyze_fj_poly", "parse_fj",
+    "run_fj",
+    "Budget", "AnalysisTimeout", "ReproError",
+    "__version__",
+]

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``analyze FILE`` — run an analysis on a Scheme source file and print
+  flow, inlining and environment reports.
+* ``run FILE`` — run a program on the concrete machines.
+* ``fj FILE`` — parse and analyze a Featherweight Java file.
+* ``tables`` — regenerate the paper's tables (delegates to the
+  benchmark harnesses).
+
+Examples::
+
+    python -m repro analyze examples/prog.scm --analysis mcfa -n 1
+    python -m repro analyze prog.scm --analysis kcfa -n 2 --simplify
+    python -m repro fj prog.java --entry-method caller -k 1
+    python -m repro tables --table worstcase --timeout 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    analyze_kcfa, analyze_kcfa_gc, analyze_kcfa_naive, analyze_mcfa,
+    analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.cps.simplify import simplify_program
+from repro.errors import ReproError
+from repro.reporting import (
+    environment_report, fj_report, flow_report, inlining_report,
+)
+from repro.scheme.cps_transform import compile_program
+from repro.util.budget import Budget
+
+ANALYSES = {
+    "kcfa": lambda program, n, budget: analyze_kcfa(program, n, budget),
+    "mcfa": lambda program, n, budget: analyze_mcfa(program, n, budget),
+    "poly": lambda program, n, budget:
+        analyze_poly_kcfa(program, n, budget),
+    "zero": lambda program, n, budget:
+        analyze_zerocfa(program, budget),
+    "kcfa-naive": lambda program, n, budget:
+        analyze_kcfa_naive(program, n, budget),
+    "kcfa-gc": lambda program, n, budget:
+        analyze_kcfa_gc(program, n, budget),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-CFA / m-CFA control-flow analyses "
+                    "(PLDI 2010 paradox paper reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="analyze a Scheme source file")
+    analyze.add_argument("file", help="Scheme source path ('-' stdin)")
+    analyze.add_argument("--analysis", choices=sorted(ANALYSES),
+                         default="mcfa")
+    analyze.add_argument("-n", "--context", type=int, default=1,
+                         help="the k or m (default 1)")
+    analyze.add_argument("--simplify", action="store_true",
+                         help="shrink-simplify the CPS term first")
+    analyze.add_argument("--timeout", type=float, default=None,
+                         help="wall-clock budget in seconds")
+    analyze.add_argument("--report",
+                         choices=["flow", "inlining", "envs", "all"],
+                         default="all")
+
+    run = commands.add_parser(
+        "run", help="run a Scheme program on the concrete machines")
+    run.add_argument("file")
+    run.add_argument("--machine", choices=["shared", "flat", "direct"],
+                     default="shared")
+
+    fj = commands.add_parser(
+        "fj", help="analyze a Featherweight Java file")
+    fj.add_argument("file")
+    fj.add_argument("-k", type=int, default=1)
+    fj.add_argument("--entry-class", default="Main")
+    fj.add_argument("--entry-method", default="main")
+    fj.add_argument("--tick", choices=["invocation", "statement"],
+                    default="invocation")
+    fj.add_argument("--gc", action="store_true",
+                    help="enable abstract garbage collection")
+    fj.add_argument("--typecheck", action="store_true",
+                    help="run the FJ type checker before analyzing")
+
+    tables = commands.add_parser(
+        "tables", help="regenerate the paper's tables")
+    tables.add_argument("--table",
+                        choices=["worstcase", "precision", "envs",
+                                 "identity", "fj-vs-fun", "ablation"],
+                        default="identity")
+    tables.add_argument("--timeout", type=float, default=10.0)
+    return parser
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_analyze(args) -> int:
+    program = compile_program(_read_source(args.file))
+    if args.simplify:
+        program = simplify_program(program)
+    budget = Budget(max_seconds=args.timeout)
+    result = ANALYSES[args.analysis](program, args.context, budget)
+    print(f"program: {program.stats()}")
+    if args.report in ("flow", "all"):
+        print()
+        print(flow_report(result))
+    if args.report in ("inlining", "all"):
+        print()
+        print(inlining_report(result))
+    if args.report in ("envs", "all"):
+        print()
+        print(environment_report(result))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    source = _read_source(args.file)
+    from repro.scheme.values import scheme_repr
+    if args.machine == "direct":
+        from repro.scheme.interp import run_source
+        print(scheme_repr(run_source(source)))
+        return 0
+    program = compile_program(source)
+    if args.machine == "shared":
+        from repro.concrete import run_shared
+        result = run_shared(program)
+    else:
+        from repro.concrete import run_flat
+        result = run_flat(program)
+    print(scheme_repr(result.value))
+    print(f"({result.steps} steps)", file=sys.stderr)
+    return 0
+
+
+def _cmd_fj(args) -> int:
+    from repro.fj import analyze_fj_kcfa, parse_fj
+    from repro.fj.gc import analyze_fj_kcfa_gc
+    program = parse_fj(_read_source(args.file),
+                       entry_class=args.entry_class,
+                       entry_method=args.entry_method)
+    if args.typecheck:
+        from repro.fj.typecheck import typecheck_program
+        report = typecheck_program(program)
+        print(report.summary())
+        for error in report.errors:
+            print(f"  error: {error}")
+        for warning in report.warnings:
+            print(f"  warning: {warning}")
+        if not report:
+            return 1
+    if args.gc:
+        result = analyze_fj_kcfa_gc(program, args.k,
+                                    tick_policy=args.tick)
+    else:
+        result = analyze_fj_kcfa(program, args.k,
+                                 tick_policy=args.tick)
+    print(fj_report(result))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    if args.table == "worstcase":
+        from benchmarks.bench_table1_worstcase import generate_table
+        from repro.metrics.timing import format_table
+        headers, rows = generate_table(timeout=args.timeout)
+        print(format_table(headers, rows))
+        return 0
+    module_for = {
+        "precision": "bench_table2_precision",
+        "envs": "bench_fig1_fig2_envs",
+        "identity": "bench_identity_example",
+        "fj-vs-fun": "bench_fj_vs_fun",
+        "ablation": "bench_ablation_store",
+    }
+    import importlib
+    import os
+    sys.path.insert(0, os.path.join(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))), "..",
+        "benchmarks"))
+    module = importlib.import_module(module_for[args.table])
+    module.main()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "analyze": _cmd_analyze,
+        "run": _cmd_run,
+        "fj": _cmd_fj,
+        "tables": _cmd_tables,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""The analyses: k-CFA, m-CFA, polynomial k-CFA and 0CFA.
+
+All four share the result API of
+:class:`~repro.analysis.results.AnalysisResult` and accept an optional
+:class:`~repro.util.budget.Budget` for step/time limits (worst-case
+table cells report ∞ via :class:`~repro.errors.AnalysisTimeout`).
+"""
+
+from repro.analysis.domains import (
+    AConst, APair, AbsStore, AbsVal, Addr, BASIC, BEnv, BasicValue,
+    EMPTY_BENV, FClo, FlatEnvAbs, FrozenStore, KClo, Time,
+    abstract_literal, first_k, maybe_falsy, maybe_truthy,
+)
+from repro.analysis.kcfa import (
+    KCFAMachine, KConfig, Recorder, analyze_kcfa, analyze_kcfa_naive,
+)
+from repro.analysis.flat_machine import (
+    FConfig, FlatMachine, analyze_flat, mcfa_allocator,
+    poly_kcfa_allocator,
+)
+from repro.analysis.mcfa import analyze_mcfa
+from repro.analysis.polykcfa import analyze_poly_kcfa
+from repro.analysis.zerocfa import analyze_zerocfa
+from repro.analysis.gc import analyze_kcfa_gc
+from repro.analysis.results import AnalysisResult
+
+__all__ = [
+    "AConst", "APair", "AbsStore", "AbsVal", "Addr", "BASIC", "BEnv",
+    "BasicValue", "EMPTY_BENV", "FClo", "FlatEnvAbs", "FrozenStore",
+    "KClo", "Time", "abstract_literal", "first_k", "maybe_falsy",
+    "maybe_truthy",
+    "KCFAMachine", "KConfig", "Recorder", "analyze_kcfa",
+    "analyze_kcfa_naive",
+    "FConfig", "FlatMachine", "analyze_flat", "mcfa_allocator",
+    "poly_kcfa_allocator",
+    "analyze_mcfa", "analyze_poly_kcfa", "analyze_zerocfa",
+    "analyze_kcfa_gc", "AnalysisResult",
+]

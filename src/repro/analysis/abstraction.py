@@ -1,0 +1,191 @@
+"""Abstraction maps α and machine-checked soundness (paper §3.5).
+
+The soundness theorem says the abstract semantics simulates the
+concrete one: if ς ⇒ ς′ and α(ς) ⊑ ς̂, some abstract successor covers
+α(ς′).  We check the global consequence directly:
+
+* run a concrete machine (with history-structured times/environments so
+  α is computable), recording every state;
+* abstract each state and assert it appears among the analysis's
+  reachable configurations;
+* abstract every concrete store binding and assert the abstract store
+  covers it;
+* assert the concrete result value is covered by the halt flow set.
+
+Property-based tests drive this over randomly generated programs for
+every analysis — the strongest correctness evidence the library has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.domains import (
+    AConst, APair, BASIC, BEnv, FClo, KClo, first_k,
+)
+from repro.analysis.kcfa import KConfig
+from repro.analysis.flat_machine import FConfig
+from repro.analysis.results import AnalysisResult
+from repro.concrete.flat_env import FlatEnvResult
+from repro.concrete.shared_env import SharedEnvResult
+from repro.concrete.values import FlatClosure, SharedClosure
+from repro.scheme.sexp import Symbol
+from repro.scheme.values import (
+    NilType, PairVal, ProcedureValue, VoidType,
+)
+
+
+@dataclass
+class SoundnessReport:
+    """Outcome of a soundness check; falsy iff violations were found."""
+
+    analysis: str
+    states_checked: int = 0
+    bindings_checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "SOUND" if self else f"{len(self.violations)} VIOLATIONS"
+        return (f"{self.analysis}: {status} "
+                f"({self.states_checked} states, "
+                f"{self.bindings_checked} bindings)")
+
+
+# -- value abstraction / coverage ----------------------------------------
+
+
+def _const_covers(value, abs_values) -> bool:
+    if BASIC in abs_values:
+        return True
+    if isinstance(value, Symbol):
+        return AConst(str(value)) in abs_values
+    if isinstance(value, (bool, int, str)):
+        return AConst(value) in abs_values
+    return False
+
+
+def _pair_is_basic(value: PairVal) -> bool:
+    """True when the pair transitively contains no procedures
+    (such pairs may be covered by BASIC — quoted structure)."""
+    stack = [value]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ProcedureValue):
+            return False
+        if isinstance(node, PairVal):
+            stack.extend((node.car, node.cdr))
+    return True
+
+
+def value_covered(value, abs_values, store, abstract_closure) -> bool:
+    """Is the concrete *value* covered by the abstract value set?
+
+    ``abstract_closure`` maps a concrete closure to its abstraction
+    (machine-specific); pairs recurse through the abstract store.
+    """
+    if isinstance(value, (NilType, VoidType)):
+        return BASIC in abs_values
+    if isinstance(value, PairVal):
+        if BASIC in abs_values and _pair_is_basic(value):
+            return True
+        for abs_value in abs_values:
+            if isinstance(abs_value, APair):
+                if (value_covered(value.car, store.get(abs_value.car),
+                                  store, abstract_closure)
+                        and value_covered(value.cdr,
+                                          store.get(abs_value.cdr),
+                                          store, abstract_closure)):
+                    return True
+        return False
+    if isinstance(value, ProcedureValue):
+        return abstract_closure(value) in abs_values
+    return _const_covers(value, abs_values)
+
+
+# -- k-CFA soundness ------------------------------------------------------
+
+
+def check_kcfa_soundness(result: AnalysisResult,
+                         concrete: SharedEnvResult) -> SoundnessReport:
+    """Check a k-CFA result against a history-mode shared-env run."""
+    k = result.parameter
+    report = SoundnessReport(analysis=f"k-CFA(k={k})")
+
+    def abs_time(time) -> tuple:
+        if not isinstance(time, tuple):
+            raise TypeError(
+                "soundness checking needs time_mode='history' "
+                "(run_shared(..., time_mode='history'))")
+        return first_k(k, time)
+
+    def abs_closure(closure: SharedClosure) -> KClo:
+        benv = BEnv((name, abs_time(birth))
+                    for name, birth in closure.benv)
+        return KClo(closure.lam, benv)
+
+    for entry in concrete.trace:
+        report.states_checked += 1
+        benv = BEnv((name, abs_time(addr[1]))
+                    for name, addr in entry.benv)
+        config = KConfig(entry.call, benv, abs_time(entry.time))
+        if config not in result.configs:
+            report.violations.append(
+                f"unreached config: call {entry.call.label} "
+                f"benv {benv!r} time {config.time}")
+    for (name, time), value in concrete.store.items():
+        report.bindings_checked += 1
+        abs_addr = (name, abs_time(time))
+        if not value_covered(value, result.store.get(abs_addr),
+                             result.store, abs_closure):
+            report.violations.append(
+                f"store gap at {abs_addr}: {value!r} not covered")
+    if not value_covered(concrete.value, result.halt_values,
+                         result.store, abs_closure):
+        report.violations.append(
+            f"halt value {concrete.value!r} not covered")
+    return report
+
+
+# -- flat-machine soundness (m-CFA and poly k-CFA) -----------------------
+
+
+def check_flat_soundness(result: AnalysisResult,
+                         concrete: FlatEnvResult) -> SoundnessReport:
+    """Check an m-CFA / poly-k-CFA result against a flat-env run.
+
+    The concrete run must use the matching environment policy:
+    ``stack`` for m-CFA, ``history`` for poly k-CFA.
+    """
+    bound = result.parameter
+    report = SoundnessReport(
+        analysis=f"{result.analysis}({bound})")
+
+    def abs_env(env) -> tuple:
+        _serial, frames = env
+        return first_k(bound, frames)
+
+    def abs_closure(closure: FlatClosure) -> FClo:
+        return FClo(closure.lam, abs_env(closure.env))
+
+    for entry in concrete.trace:
+        report.states_checked += 1
+        config = FConfig(entry.call, abs_env(entry.env))
+        if config not in result.configs:
+            report.violations.append(
+                f"unreached config: call {entry.call.label} "
+                f"env {config.env}")
+    for (name, env), value in concrete.store.items():
+        report.bindings_checked += 1
+        abs_addr = (name, abs_env(env))
+        if not value_covered(value, result.store.get(abs_addr),
+                             result.store, abs_closure):
+            report.violations.append(
+                f"store gap at {abs_addr}: {value!r} not covered")
+    if not value_covered(concrete.value, result.halt_values,
+                         result.store, abs_closure):
+        report.violations.append(
+            f"halt value {concrete.value!r} not covered")
+    return report

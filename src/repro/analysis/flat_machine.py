@@ -1,0 +1,262 @@
+"""Flat-environment abstract machine — the engine behind m-CFA (§5.2)
+and "naive polynomial k-CFA" (§6).
+
+A configuration is ``(call, ρ̂)`` where ρ̂ is a bounded tuple of call
+labels; an address is ``(variable, ρ̂)``.  Entering a lambda allocates
+a new abstract environment and **copies** the callee's free variables
+into it — the abstract image of flat-closure creation.  Because an
+environment is a single base context rather than a per-variable map,
+the state space is polynomial: this is the paper's §4.4 observation
+about objects, projected back onto closures.
+
+The machine is parameterized by the environment allocator
+``new(call-label, caller-env, callee-lam, callee-env)``:
+
+* **m-CFA** (§5.3): a *procedure* call pushes the call site and keeps
+  the top m frames; a *continuation* call **restores** the environment
+  the continuation closed over (the caller's frames — a return).
+* **naive polynomial k-CFA**: every call (procedure or continuation)
+  allocates the last k call sites.  Section 6 shows why this
+  degenerates: any intervening call rotates the context window, merging
+  bindings that m-CFA keeps apart.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cps.program import Program
+from repro.cps.syntax import (
+    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, Lit, PrimCall,
+    Ref, free_vars_of_lam,
+)
+from repro.analysis.domains import (
+    APair, AbsStore, AbsVal, Addr, BASIC, FClo, FlatEnvAbs,
+    abstract_literal, first_k, maybe_falsy, maybe_truthy,
+)
+from repro.analysis.kcfa import Recorder
+from repro.analysis.results import AnalysisResult
+from repro.scheme.primitives import lookup_primitive
+from repro.util.budget import Budget
+from repro.util.fixpoint import DependencyWorklist
+
+#: new(call_label, caller_env, callee_lam, callee_env) -> new_env
+EnvAllocator = Callable[[int, FlatEnvAbs, Lam, FlatEnvAbs], FlatEnvAbs]
+
+
+def mcfa_allocator(m: int) -> EnvAllocator:
+    """The §5.3 allocator: top-m-frames with continuation restore."""
+    def new(call_label: int, caller_env: FlatEnvAbs, lam: Lam,
+            callee_env: FlatEnvAbs) -> FlatEnvAbs:
+        if lam.is_user:
+            return first_k(m, (call_label, *caller_env))
+        return callee_env
+    return new
+
+
+def poly_kcfa_allocator(k: int) -> EnvAllocator:
+    """Last-k-call-sites for *every* call — the naive JW instantiation
+    the paper's §6 evaluates against."""
+    def new(call_label: int, caller_env: FlatEnvAbs, lam: Lam,
+            callee_env: FlatEnvAbs) -> FlatEnvAbs:
+        return first_k(k, (call_label, *caller_env))
+    return new
+
+
+@dataclass(frozen=True, slots=True)
+class FConfig:
+    """A flat abstract configuration ``(call, ρ̂)``."""
+
+    call: Call
+    env: FlatEnvAbs
+
+
+@dataclass(frozen=True, slots=True)
+class FTransition:
+    call: Call
+    env: FlatEnvAbs
+    joins: tuple[tuple[Addr, frozenset], ...]
+
+
+class FlatMachine:
+    """The flat-environment abstract transition relation."""
+
+    def __init__(self, program: Program, allocator: EnvAllocator):
+        self.program = program
+        self.new_env = allocator
+
+    def initial(self) -> FConfig:
+        return FConfig(self.program.root, ())
+
+    # -- Ê ---------------------------------------------------------------
+
+    def evaluate(self, exp: CExp, env: FlatEnvAbs, store,
+                 reads: set[Addr]) -> frozenset:
+        if isinstance(exp, Ref):
+            addr = (exp.name, env)
+            reads.add(addr)
+            return store.get(addr)
+        if isinstance(exp, Lit):
+            return frozenset({abstract_literal(exp.datum)})
+        if isinstance(exp, Lam):
+            return frozenset({FClo(exp, env)})
+        raise TypeError(f"not an atomic expression: {exp!r}")
+
+    # -- transitions --------------------------------------------------------
+
+    def transitions(self, config: FConfig, store, reads: set[Addr],
+                    recorder: Recorder) -> list[FTransition]:
+        call, env = config.call, config.env
+        if isinstance(call, AppCall):
+            return self._app_transitions(call, env, store, reads,
+                                         recorder)
+        if isinstance(call, IfCall):
+            test = self.evaluate(call.test, env, store, reads)
+            succs = []
+            if any(maybe_truthy(value) for value in test):
+                succs.append(FTransition(call.then, env, ()))
+            if any(maybe_falsy(value) for value in test):
+                succs.append(FTransition(call.orelse, env, ()))
+            return succs
+        if isinstance(call, PrimCall):
+            return self._prim_transitions(call, env, store, reads,
+                                          recorder)
+        if isinstance(call, FixCall):
+            joins = tuple(
+                ((name, env), frozenset({FClo(lam, env)}))
+                for name, lam in call.bindings)
+            return [FTransition(call.body, env, joins)]
+        if isinstance(call, HaltCall):
+            recorder.halt_values |= self.evaluate(call.arg, env, store,
+                                                  reads)
+            return []
+        raise TypeError(f"cannot step call {call!r}")
+
+    def _app_transitions(self, call: AppCall, env: FlatEnvAbs, store,
+                         reads: set[Addr],
+                         recorder: Recorder) -> list[FTransition]:
+        operators = self.evaluate(call.fn, env, store, reads)
+        if BASIC in operators:
+            recorder.unknown_operator.add(call.label)
+        arg_values = [self.evaluate(arg, env, store, reads)
+                      for arg in call.args]
+        succs = []
+        for operator in operators:
+            if not isinstance(operator, FClo):
+                continue
+            lam = operator.lam
+            if len(lam.params) != len(call.args):
+                continue
+            succs.append(self._enter(call.label, env, operator,
+                                     arg_values, store, reads, recorder))
+        return succs
+
+    def _enter(self, call_label: int, caller_env: FlatEnvAbs,
+               operator: FClo, arg_values: list[frozenset], store,
+               reads: set[Addr], recorder: Recorder) -> FTransition:
+        """Allocate ρ̂'', bind parameters, copy free variables (§5.2)."""
+        lam = operator.lam
+        new_env = self.new_env(call_label, caller_env, lam,
+                               operator.env)
+        joins: list[tuple[Addr, frozenset]] = [
+            ((param, new_env), values)
+            for param, values in zip(lam.params, arg_values)]
+        if new_env != operator.env:
+            for free in free_vars_of_lam(lam):
+                source = (free, operator.env)
+                reads.add(source)
+                copied = store.get(source)
+                if copied:
+                    joins.append(((free, new_env), copied))
+        recorder.record_apply(call_label, lam, new_env)
+        return FTransition(lam.body, new_env, tuple(joins))
+
+    def _prim_transitions(self, call: PrimCall, env: FlatEnvAbs, store,
+                          reads: set[Addr],
+                          recorder: Recorder) -> list[FTransition]:
+        prim = lookup_primitive(call.op)
+        arg_values = [self.evaluate(arg, env, store, reads)
+                      for arg in call.args]
+        if any(not values for values in arg_values):
+            return []
+        if prim.kind == "error":
+            return []
+        extra_joins: list[tuple[Addr, frozenset]] = []
+        if prim.kind == "basic":
+            result = frozenset({BASIC})
+        elif prim.kind == "cons":
+            car_addr = (f"car@{call.label}", env)
+            cdr_addr = (f"cdr@{call.label}", env)
+            extra_joins.append((car_addr, arg_values[0]))
+            extra_joins.append((cdr_addr, arg_values[1]))
+            result = frozenset({APair(car_addr, cdr_addr)})
+        elif prim.kind in ("car", "cdr"):
+            gathered: set[AbsVal] = set()
+            for value in arg_values[0]:
+                if isinstance(value, APair):
+                    addr = value.car if prim.kind == "car" else value.cdr
+                    reads.add(addr)
+                    gathered |= store.get(addr)
+                elif value is BASIC:
+                    gathered.add(BASIC)
+            if not gathered:
+                return []
+            result = frozenset(gathered)
+        else:
+            raise ValueError(f"unknown primitive kind {prim.kind!r}")
+        succs = []
+        for operator in self.evaluate(call.cont, env, store, reads):
+            if not isinstance(operator, FClo):
+                continue
+            if len(operator.lam.params) != 1:
+                continue
+            transition = self._enter(call.label, env, operator,
+                                     [result], store, reads, recorder)
+            succs.append(FTransition(
+                transition.call, transition.env,
+                transition.joins + tuple(extra_joins)))
+        if not succs and extra_joins:
+            # Keep the pair fields even if no continuation flowed yet.
+            succs.append(FTransition(call, env, tuple(extra_joins)))
+        return succs
+
+
+def analyze_flat(program: Program, allocator: EnvAllocator,
+                 analysis: str, parameter: int,
+                 budget: Budget | None = None) -> AnalysisResult:
+    """Run the flat machine to fixpoint with a single-threaded store."""
+    machine = FlatMachine(program, allocator)
+    budget = budget or Budget()
+    budget.start()
+    store = AbsStore()
+    recorder = Recorder()
+    worklist: DependencyWorklist[FConfig, Addr] = DependencyWorklist()
+    worklist.add(machine.initial())
+    steps = 0
+    started = _time.perf_counter()
+    while worklist:
+        budget.charge()
+        config = worklist.pop()
+        steps += 1
+        reads: set[Addr] = set()
+        succs = machine.transitions(config, store, reads, recorder)
+        worklist.record_reads(config, reads)
+        changed = []
+        for transition in succs:
+            for addr, values in transition.joins:
+                if store.join(addr, values):
+                    changed.append(addr)
+            worklist.add(FConfig(transition.call, transition.env))
+        if changed:
+            worklist.dirty(changed)
+    elapsed = _time.perf_counter() - started
+    return AnalysisResult(
+        program=program, analysis=analysis, parameter=parameter,
+        store=store, config_count=len(worklist.seen),
+        callees=recorder.frozen_callees(),
+        unknown_operator=frozenset(recorder.unknown_operator),
+        entries=recorder.frozen_entries(),
+        halt_values=frozenset(recorder.halt_values),
+        steps=steps, elapsed=elapsed, configs=worklist.seen)

@@ -1,0 +1,330 @@
+"""k-CFA: Shivers's analysis as a small-step abstract interpreter.
+
+This is the paper's §3.4–3.7 made executable:
+
+* abstract times are the last *k* call-site labels; ``tick`` prepends
+  the current call and truncates (§3.5.1);
+* abstract addresses are ``(variable, time)`` pairs; binding
+  environments map variables to times (footnote 3);
+* closures capture the binding environment **shared** — each free
+  variable keeps the context it was bound in.  This is precisely what
+  makes k-CFA exponential for functional programs: one lambda can be
+  closed by combinatorially many environments (§2.2).
+
+Two engines drive the same transition relation:
+
+* :func:`analyze_kcfa` — the single-threaded-store worklist (§3.7) with
+  read-dependency re-enqueueing; and
+* :func:`analyze_kcfa_naive` — the reachable-*states* engine (§3.6)
+  where every state carries an immutable store.  Deeply exponential
+  even for k = 0; exists to reproduce the paper's complexity
+  observations, so only run it on small terms.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.cps.program import Program
+from repro.cps.syntax import (
+    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, Lit, PrimCall,
+    Ref, free_vars_of_lam,
+)
+from repro.analysis.domains import (
+    APair, AbsStore, AbsVal, Addr, BASIC, BEnv, EMPTY_BENV, FrozenStore,
+    KClo, Time, abstract_literal, first_k, maybe_falsy, maybe_truthy,
+)
+from repro.analysis.results import AnalysisResult
+from repro.errors import AnalysisTimeout
+from repro.scheme.primitives import lookup_primitive
+from repro.util.budget import Budget
+from repro.util.fixpoint import DependencyWorklist, Worklist
+
+
+@dataclass(frozen=True, slots=True)
+class KConfig:
+    """A store-less abstract configuration ``(call, β̂, t̂)``."""
+
+    call: Call
+    benv: BEnv
+    time: Time
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One abstract transition: a successor plus its store joins."""
+
+    call: Call
+    benv: BEnv
+    time: Time
+    joins: tuple[tuple[Addr, frozenset], ...]
+
+
+@dataclass
+class Recorder:
+    """Monotone facts accumulated across engine runs."""
+
+    callees: dict[int, set[Lam]] = field(default_factory=dict)
+    unknown_operator: set[int] = field(default_factory=set)
+    entries: dict[int, set] = field(default_factory=dict)
+    halt_values: set = field(default_factory=set)
+
+    def record_apply(self, call_label: int, lam: Lam, entry_env) -> None:
+        self.callees.setdefault(call_label, set()).add(lam)
+        self.entries.setdefault(lam.label, set()).add(entry_env)
+
+    def frozen_callees(self) -> dict[int, frozenset[Lam]]:
+        return {label: frozenset(lams)
+                for label, lams in self.callees.items()}
+
+    def frozen_entries(self) -> dict[int, frozenset]:
+        return {label: frozenset(envs)
+                for label, envs in self.entries.items()}
+
+
+class KCFAMachine:
+    """The k-CFA abstract transition relation."""
+
+    def __init__(self, program: Program, k: int):
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.program = program
+        self.k = k
+
+    def initial(self) -> KConfig:
+        return KConfig(self.program.root, EMPTY_BENV, ())
+
+    def tick(self, call: Call, time: Time) -> Time:
+        return first_k(self.k, (call.label, *time))
+
+    # -- Ê ------------------------------------------------------------
+
+    def evaluate(self, exp: CExp, benv: BEnv, store,
+                 reads: set[Addr]) -> frozenset:
+        if isinstance(exp, Ref):
+            addr = (exp.name, benv[exp.name])
+            reads.add(addr)
+            return store.get(addr)
+        if isinstance(exp, Lit):
+            return frozenset({abstract_literal(exp.datum)})
+        if isinstance(exp, Lam):
+            return frozenset(
+                {KClo(exp, benv.restrict(free_vars_of_lam(exp)))})
+        raise TypeError(f"not an atomic expression: {exp!r}")
+
+    # -- the transition relation ----------------------------------------
+
+    def transitions(self, config: KConfig, store, reads: set[Addr],
+                    recorder: Recorder) -> list[Transition]:
+        call, benv, now = config.call, config.benv, config.time
+        if isinstance(call, AppCall):
+            return self._app_transitions(call, benv, now, store, reads,
+                                         recorder)
+        if isinstance(call, IfCall):
+            test = self.evaluate(call.test, benv, store, reads)
+            succs = []
+            if any(maybe_truthy(value) for value in test):
+                succs.append(Transition(call.then, benv, now, ()))
+            if any(maybe_falsy(value) for value in test):
+                succs.append(Transition(call.orelse, benv, now, ()))
+            return succs
+        if isinstance(call, PrimCall):
+            return self._prim_transitions(call, benv, now, store, reads,
+                                          recorder)
+        if isinstance(call, FixCall):
+            extended = benv.extend(
+                (name for name, _ in call.bindings), now)
+            joins = []
+            for name, lam in call.bindings:
+                closure = KClo(
+                    lam, extended.restrict(free_vars_of_lam(lam)))
+                joins.append(((name, now), frozenset({closure})))
+            return [Transition(call.body, extended, now, tuple(joins))]
+        if isinstance(call, HaltCall):
+            recorder.halt_values |= self.evaluate(call.arg, benv, store,
+                                                  reads)
+            return []
+        raise TypeError(f"cannot step call {call!r}")
+
+    def _app_transitions(self, call: AppCall, benv: BEnv, now: Time,
+                         store, reads: set[Addr],
+                         recorder: Recorder) -> list[Transition]:
+        operators = self.evaluate(call.fn, benv, store, reads)
+        if BASIC in operators:
+            recorder.unknown_operator.add(call.label)
+        arg_values = [self.evaluate(arg, benv, store, reads)
+                      for arg in call.args]
+        new_time = self.tick(call, now)
+        succs = []
+        for operator in operators:
+            if not isinstance(operator, KClo):
+                continue
+            lam = operator.lam
+            if len(lam.params) != len(call.args):
+                continue
+            succs.append(self._enter(call.label, lam, operator.benv,
+                                     arg_values, new_time, recorder))
+        return succs
+
+    def _enter(self, call_label: int, lam: Lam, closure_benv: BEnv,
+               arg_values: list[frozenset], new_time: Time,
+               recorder: Recorder) -> Transition:
+        """Bind parameters at the new time (the §3.4 rule)."""
+        body_benv = closure_benv.extend(lam.params, new_time)
+        joins = tuple(((param, new_time), values)
+                      for param, values in zip(lam.params, arg_values))
+        recorder.record_apply(call_label, lam, body_benv)
+        return Transition(lam.body, body_benv, new_time, joins)
+
+    def _prim_transitions(self, call: PrimCall, benv: BEnv, now: Time,
+                          store, reads: set[Addr],
+                          recorder: Recorder) -> list[Transition]:
+        prim = lookup_primitive(call.op)
+        arg_values = [self.evaluate(arg, benv, store, reads)
+                      for arg in call.args]
+        if any(not values for values in arg_values):
+            return []  # an argument is unreachable, so is the call
+        new_time = self.tick(call, now)
+        extra_joins: list[tuple[Addr, frozenset]] = []
+        if prim.kind == "error":
+            return []
+        if prim.kind == "basic":
+            result = frozenset({BASIC})
+        elif prim.kind == "cons":
+            car_addr = (f"car@{call.label}", new_time)
+            cdr_addr = (f"cdr@{call.label}", new_time)
+            extra_joins.append((car_addr, arg_values[0]))
+            extra_joins.append((cdr_addr, arg_values[1]))
+            result = frozenset({APair(car_addr, cdr_addr)})
+        elif prim.kind in ("car", "cdr"):
+            gathered: set[AbsVal] = set()
+            for value in arg_values[0]:
+                if isinstance(value, APair):
+                    addr = value.car if prim.kind == "car" else value.cdr
+                    reads.add(addr)
+                    gathered |= store.get(addr)
+                elif value is BASIC:
+                    # Quoted list structure abstracts to BASIC and can
+                    # only contain basic data, so projecting stays BASIC.
+                    gathered.add(BASIC)
+            if not gathered:
+                return []
+            result = frozenset(gathered)
+        else:
+            raise ValueError(f"unknown primitive kind {prim.kind!r}")
+        succs = []
+        for operator in self.evaluate(call.cont, benv, store, reads):
+            if not isinstance(operator, KClo):
+                continue
+            lam = operator.lam
+            if len(lam.params) != 1:
+                continue
+            transition = self._enter(call.label, lam, operator.benv,
+                                     [result], new_time, recorder)
+            succs.append(Transition(
+                transition.call, transition.benv, transition.time,
+                transition.joins + tuple(extra_joins)))
+        if not succs and extra_joins:
+            # Keep the pair fields even if no continuation flowed yet.
+            succs.append(Transition(call, benv, now, tuple(extra_joins)))
+        return succs
+
+
+def analyze_kcfa(program: Program, k: int = 1,
+                 budget: Budget | None = None) -> AnalysisResult:
+    """Run k-CFA with the single-threaded store (§3.7).
+
+    Raises :class:`~repro.errors.AnalysisTimeout` when the budget is
+    exceeded — callers reproducing the worst-case table catch it and
+    report ∞.
+    """
+    machine = KCFAMachine(program, k)
+    budget = budget or Budget()
+    budget.start()
+    store = AbsStore()
+    recorder = Recorder()
+    worklist: DependencyWorklist[KConfig, Addr] = DependencyWorklist()
+    worklist.add(machine.initial())
+    steps = 0
+    started = _time.perf_counter()
+    while worklist:
+        budget.charge()
+        config = worklist.pop()
+        steps += 1
+        reads: set[Addr] = set()
+        succs = machine.transitions(config, store, reads, recorder)
+        worklist.record_reads(config, reads)
+        changed = []
+        for transition in succs:
+            for addr, values in transition.joins:
+                if store.join(addr, values):
+                    changed.append(addr)
+            worklist.add(KConfig(transition.call, transition.benv,
+                                 transition.time))
+        if changed:
+            worklist.dirty(changed)
+    elapsed = _time.perf_counter() - started
+    return AnalysisResult(
+        program=program, analysis="k-CFA", parameter=k, store=store,
+        config_count=len(worklist.seen),
+        callees=recorder.frozen_callees(),
+        unknown_operator=frozenset(recorder.unknown_operator),
+        entries=recorder.frozen_entries(),
+        halt_values=frozenset(recorder.halt_values),
+        steps=steps, elapsed=elapsed, configs=worklist.seen)
+
+
+@dataclass(frozen=True, slots=True)
+class _NaiveState:
+    """A full §3.6 abstract state: configuration *plus* store."""
+
+    config: KConfig
+    store: FrozenStore
+
+
+def analyze_kcfa_naive(program: Program, k: int = 1,
+                       budget: Budget | None = None) -> AnalysisResult:
+    """Run k-CFA by naive reachable-states exploration (§3.6).
+
+    The system-space is P(Σ̂): states carry whole stores, so state
+    counts explode even for k = 0 — which is the paper's point.  Use
+    only on small programs, with a budget.
+    """
+    machine = KCFAMachine(program, k)
+    budget = budget or Budget()
+    budget.start()
+    recorder = Recorder()
+    worklist: Worklist[_NaiveState] = Worklist()
+    worklist.add(_NaiveState(machine.initial(), FrozenStore()))
+    steps = 0
+    started = _time.perf_counter()
+    while worklist:
+        budget.charge()
+        state = worklist.pop()
+        steps += 1
+        reads: set[Addr] = set()
+        succs = machine.transitions(state.config, state.store, reads,
+                                    recorder)
+        for transition in succs:
+            next_store = state.store.join_many(transition.joins)
+            next_config = KConfig(transition.call, transition.benv,
+                                  transition.time)
+            worklist.add(_NaiveState(next_config, next_store))
+    elapsed = _time.perf_counter() - started
+    states = worklist.seen
+    merged = AbsStore()
+    configs = set()
+    for state in states:
+        configs.add(state.config)
+        for addr, values in state.store.items():
+            merged.join(addr, values)
+    return AnalysisResult(
+        program=program, analysis="k-CFA-naive", parameter=k,
+        store=merged, config_count=len(configs),
+        callees=recorder.frozen_callees(),
+        unknown_operator=frozenset(recorder.unknown_operator),
+        entries=recorder.frozen_entries(),
+        halt_values=frozenset(recorder.halt_values),
+        steps=steps, elapsed=elapsed, state_count=len(states),
+        configs=frozenset(configs))

@@ -1,0 +1,16 @@
+"""The §6.2 benchmark programs (eta, map, sat, regex, interp,
+scm2java, scm2c), re-implemented in the Scheme subset."""
+
+from repro.benchsuite.programs import (
+    BY_NAME, BenchProgram, ETA, INTERP, MAP, REGEX, SAT, SCM2C,
+    SCM2JAVA, SUITE, suite_programs,
+)
+from repro.benchsuite.scaling import (
+    scaled_expected, scaled_program, scaled_source,
+)
+
+__all__ = [
+    "BY_NAME", "BenchProgram", "ETA", "INTERP", "MAP", "REGEX", "SAT",
+    "SCM2C", "SCM2JAVA", "SUITE", "suite_programs",
+    "scaled_expected", "scaled_program", "scaled_source",
+]

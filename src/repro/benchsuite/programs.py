@@ -1,0 +1,383 @@
+"""The §6.2 benchmark programs, re-implemented in the Scheme subset.
+
+The paper's suite: ``eta`` and ``map`` (functional idioms), ``sat`` (a
+back-tracking SAT solver), ``regex`` (a regular-expression matcher
+based on derivatives), ``scm2java`` (a Scheme compiler targeting Java),
+``interp`` (a meta-circular Scheme interpreter) and ``scm2c`` (a Scheme
+compiler targeting C).  Ours are smaller but structurally faithful —
+each exercises the same shape of higher-order control flow, and each is
+a *runnable* program (the tests execute every one on all three concrete
+evaluators and compare results).
+
+Every program is self-contained: list helpers are defined locally, as
+in typical CFA benchmark suites, so the analyzed term includes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cps.program import Program
+from repro.scheme.cps_transform import compile_program
+
+
+@dataclass(frozen=True, slots=True)
+class BenchProgram:
+    """One suite entry: source text plus its expected concrete result."""
+
+    name: str
+    source: str
+    expected: object  # int | bool | str
+    description: str = ""
+
+    def compile(self) -> Program:
+        return compile_program(self.source)
+
+
+ETA = BenchProgram(
+    name="eta",
+    description="eta-expansion and currying idioms",
+    expected=759,
+    source="""
+(define (compose f g) (lambda (x) (f (g x))))
+(define (curry2 f) (lambda (a) (lambda (b) (f a b))))
+(define (uncurry2 f) (lambda (a b) ((f a) b)))
+(define (flip f) (lambda (a b) (f b a)))
+(define (eta1 f) (lambda (x) (f x)))
+(define (eta2 f) (lambda (x y) (f x y)))
+(define (const k) (lambda (ignored) k))
+(define (twice f) (compose f f))
+(define (iterate n f x)
+  (if (= n 0) x (iterate (- n 1) f (f x))))
+(define add (eta2 (lambda (a b) (+ a b))))
+(define inc (eta1 ((curry2 add) 1)))
+(define double (eta1 (lambda (v) (* 2 v))))
+(define quad (twice double))
+(define (sum3 a b c) (+ a (+ b c)))
+(define (noise) 0)
+(define (pick f) (noise) f)   ; identity with an intervening call (§6)
+(let ((plus10 ((curry2 (flip add)) 10))
+      (p1 (pick (lambda (u) (+ u 1))))
+      (p2 (pick (lambda (w) (* w 2)))))
+  (+ (sum3 (iterate 3 inc 0)                 ; 3
+           (quad ((const 4) 99))             ; 16
+           ((compose plus10 (compose quad inc))
+            ((uncurry2 (curry2 add)) 88 89))) ; 178*4 -> 712+10 -> 722
+     (p1 5)                                   ; 6
+     (p2 6)))                                 ; 12
+""")
+
+
+MAP = BenchProgram(
+    name="map",
+    description="a small list library driven by higher-order functions",
+    expected=106,
+    source="""
+(define (foldr f z xs)
+  (if (null? xs) z (f (car xs) (foldr f z (cdr xs)))))
+(define (foldl f z xs)
+  (if (null? xs) z (foldl f (f z (car xs)) (cdr xs))))
+(define (map1 f xs)
+  (foldr (lambda (x acc) (cons (f x) acc)) '() xs))
+(define (filter1 p xs)
+  (foldr (lambda (x acc) (if (p x) (cons x acc) acc)) '() xs))
+(define (append1 xs ys) (foldr cons ys xs))
+(define (reverse1 xs) (foldl (lambda (acc x) (cons x acc)) '() xs))
+(define (range a b) (if (= a b) '() (cons a (range (+ a 1) b))))
+(define (sum xs) (foldl (lambda (acc x) (+ acc x)) 0 xs))
+(define (even1? n) (= (* 2 (quotient n 2)) n))
+(define (choose f) f)   ; identity with NO intervening call: only 0CFA
+                        ; merges the two picks below (§6)
+(let ((xs (range 1 9))
+      (tripler (choose (lambda (v) (* v 3))))
+      (plus7 (choose (lambda (v) (+ v 7)))))
+  (let ((squares (map1 (lambda (v) (* v v)) xs)))
+    (let ((evens (filter1 even1? xs)))
+      (+ (sum (filter1 even1? squares))       ; 4+16+36+64 = 120
+         (- (sum (reverse1 evens))            ; 2+4+6+8 = 20
+            (sum (map1 (lambda (v) (+ v 10))
+                       (append1 '(1 2) '(3 4)))))  ; 10+40 -> -88+120
+         (tripler 2)                          ; 6
+         (plus7 3)))))                        ; 10
+""")
+
+
+SAT = BenchProgram(
+    name="sat",
+    description="back-tracking DPLL-style SAT solver on CNF lists",
+    expected=11,
+    source="""
+(define (negate lit) (- 0 lit))
+(define (lit-var lit) (if (< lit 0) (- 0 lit) lit))
+(define (mem-int x xs)
+  (if (null? xs) #f (if (= (car xs) x) #t (mem-int x (cdr xs)))))
+(define (remove-int x xs)
+  (if (null? xs)
+      '()
+      (if (= (car xs) x)
+          (remove-int x (cdr xs))
+          (cons (car xs) (remove-int x (cdr xs))))))
+(define (satisfied? clause lit) (mem-int lit clause))
+(define (assign lit clauses)
+  (if (null? clauses)
+      '()
+      (if (satisfied? (car clauses) lit)
+          (assign lit (cdr clauses))
+          (cons (remove-int (negate lit) (car clauses))
+                (assign lit (cdr clauses))))))
+(define (has-empty? clauses)
+  (if (null? clauses)
+      #f
+      (if (null? (car clauses)) #t (has-empty? (cdr clauses)))))
+(define (choose clauses) (lit-var (car (car clauses))))
+(define (dpll clauses)
+  (cond ((null? clauses) #t)
+        ((has-empty? clauses) #f)
+        (else (let ((v (choose clauses)))
+                (or (dpll (assign v clauses))
+                    (dpll (assign (negate v) clauses)))))))
+(define (count-sat formulas)
+  (if (null? formulas)
+      0
+      (+ (if (dpll (car formulas)) 1 0)
+         (count-sat (cdr formulas)))))
+(let ((sat1 '((1 2) (-1 2) (1 -2)))
+      (unsat1 '((1 2) (-1 2) (1 -2) (-1 -2)))
+      (sat2 '((1) (2 3) (-2 3) (-3 1)))
+      (unsat2 '((1) (-1)))
+      (sat3 '((1 2 3) (-1 -2) (-2 -3) (-1 -3) (2))))
+  (+ (* 10 (count-sat (list sat1 sat2 sat3)))        ; 3 sat -> 30
+     (- (count-sat (list unsat1 unsat2 sat1)) 20)))  ; 1 - 20 -> 11
+""")
+
+
+REGEX = BenchProgram(
+    name="regex",
+    description="regular-expression matcher via Brzozowski derivatives",
+    expected=33,
+    source="""
+(define (re-tag r) (car r))
+(define (nullable? r)
+  (let ((t (re-tag r)))
+    (cond ((eq? t 'empty) #f)
+          ((eq? t 'eps) #t)
+          ((eq? t 'chr) #f)
+          ((eq? t 'seq) (and (nullable? (cadr r)) (nullable? (caddr r))))
+          ((eq? t 'alt) (or (nullable? (cadr r)) (nullable? (caddr r))))
+          ((eq? t 'star) #t)
+          (else (error 'bad-regex)))))
+(define (smart-seq r s)
+  (cond ((eq? (re-tag r) 'empty) (list 'empty))
+        ((eq? (re-tag s) 'empty) (list 'empty))
+        ((eq? (re-tag r) 'eps) s)
+        ((eq? (re-tag s) 'eps) r)
+        (else (list 'seq r s))))
+(define (smart-alt r s)
+  (cond ((eq? (re-tag r) 'empty) s)
+        ((eq? (re-tag s) 'empty) r)
+        (else (list 'alt r s))))
+(define (deriv c r)
+  (let ((t (re-tag r)))
+    (cond ((eq? t 'empty) (list 'empty))
+          ((eq? t 'eps) (list 'empty))
+          ((eq? t 'chr) (if (eq? c (cadr r)) (list 'eps) (list 'empty)))
+          ((eq? t 'seq)
+           (let ((left (smart-seq (deriv c (cadr r)) (caddr r))))
+             (if (nullable? (cadr r))
+                 (smart-alt left (deriv c (caddr r)))
+                 left)))
+          ((eq? t 'alt) (smart-alt (deriv c (cadr r)) (deriv c (caddr r))))
+          ((eq? t 'star) (smart-seq (deriv c (cadr r)) r))
+          (else (error 'bad-regex)))))
+(define (matches? r cs)
+  (if (null? cs) (nullable? r) (matches? (deriv (car cs) r) (cdr cs))))
+(define (chr c) (list 'chr c))
+(define (str->re cs)
+  (if (null? cs) (list 'eps) (list 'seq (chr (car cs)) (str->re (cdr cs)))))
+(define (count-matches r inputs)
+  (if (null? inputs)
+      0
+      (+ (if (matches? r (car inputs)) 1 0)
+         (count-matches r (cdr inputs)))))
+(let ((ab-star (list 'star (list 'alt (chr 'a) (chr 'b)))))
+  (let ((re1 (list 'seq ab-star (str->re '(c)))))     ; (a|b)*c
+    (let ((re2 (list 'alt (str->re '(x y))             ; xy | z*
+                     (list 'star (chr 'z)))))
+      (+ (* 10 (count-matches re1 '((c) (a b c) (b b a c) (a b) (c c))))
+         (count-matches re2 '((x y) () (z z z) (x z)))))))  ; 2*10 + ...
+""")
+
+
+INTERP = BenchProgram(
+    name="interp",
+    description="meta-circular interpreter for a mini-Scheme",
+    expected=147,
+    source="""
+(define (zip-extend env names vals)
+  (if (null? names)
+      env
+      (cons (cons (car names) (car vals))
+            (zip-extend env (cdr names) (cdr vals)))))
+(define (lookup x env)
+  (cond ((null? env) (error 'unbound-variable x))
+        ((eq? x (car (car env))) (cdr (car env)))
+        (else (lookup x (cdr env)))))
+(define (ev-list es env)
+  (if (null? es) '() (cons (ev (car es) env) (ev-list (cdr es) env))))
+(define (apply-prim name args)
+  (cond ((eq? name 'add) (+ (car args) (cadr args)))
+        ((eq? name 'sub) (- (car args) (cadr args)))
+        ((eq? name 'mul) (* (car args) (cadr args)))
+        ((eq? name 'eqn) (= (car args) (cadr args)))
+        ((eq? name 'lt) (< (car args) (cadr args)))
+        (else (error 'unknown-primitive name))))
+(define (ap f args)
+  (cond ((eq? (car f) 'closure)
+         (ev (caddr f) (zip-extend (cadddr f) (cadr f) args)))
+        ((eq? (car f) 'prim) (apply-prim (cadr f) args))
+        (else (error 'not-a-function))))
+(define (ev e env)
+  (cond ((number? e) e)
+        ((boolean? e) e)
+        ((symbol? e) (lookup e env))
+        ((eq? (car e) 'quote) (cadr e))
+        ((eq? (car e) 'lambda)
+         (list 'closure (cadr e) (caddr e) env))
+        ((eq? (car e) 'if)
+         (if (ev (cadr e) env) (ev (caddr e) env) (ev (cadddr e) env)))
+        (else (ap (ev (car e) env) (ev-list (cdr e) env)))))
+(define (base-env)
+  (list (cons '+ (list 'prim 'add))
+        (cons '- (list 'prim 'sub))
+        (cons '* (list 'prim 'mul))
+        (cons '= (list 'prim 'eqn))
+        (cons '< (list 'prim 'lt))))
+(define fact-src
+  '((lambda (f n) (f f n))
+    (lambda (self n) (if (= n 0) 1 (* n (self self (- n 1)))))
+    5))
+(define fib-src
+  '((lambda (f n) (f f n))
+    (lambda (self n)
+      (if (< n 2) n (+ (self self (- n 1)) (self self (- n 2)))))
+    8))
+(define twice-src
+  '(((lambda (f) (lambda (x) (f (f x)))) (lambda (y) (+ y 3))) 0))
+(+ (ev fact-src (base-env))     ; 120
+   (ev fib-src (base-env))      ; 21
+   (ev twice-src (base-env)))   ; 6
+""")
+
+
+SCM2JAVA = BenchProgram(
+    name="scm2java",
+    description="mini Scheme-to-Java compiler emitting source strings",
+    expected=('new Apply(new Lambda1("x", new Plus(new Var("x"), '
+              'new Lit(1))), new Lit(41)) // new Lit(7)new Var("y")'),
+    source="""
+(define (str-join3 a b c) (string-append a (string-append b c)))
+(define (str-join5 a b c d e)
+  (string-append a (string-append b (str-join3 c d e))))
+(define (emit-lit n) (str-join3 "new Lit(" (number->string n) ")"))
+(define (emit-var x)
+  (str-join3 "new Var(\\"" (symbol->string x) "\\")"))
+(define (emit-lambda param body)
+  (str-join5 "new Lambda1(\\"" (symbol->string param) "\\", " body ")"))
+(define (emit-apply fn arg)
+  (str-join5 "new Apply(" fn ", " arg ")"))
+(define (emit-plus a b) (str-join5 "new Plus(" a ", " b ")"))
+(define (emit-if c t e)
+  (str-join3 (str-join5 "new If(" c ", " t ", ") (str-join3 e ")" "")))
+(define (comp e)
+  (cond ((number? e) (emit-lit e))
+        ((symbol? e) (emit-var e))
+        ((eq? (car e) 'lambda) (emit-lambda (car (cadr e))
+                                            (comp (caddr e))))
+        ((eq? (car e) 'if) (emit-if (comp (cadr e))
+                                    (comp (caddr e))
+                                    (comp (cadddr e))))
+        ((eq? (car e) '+) (emit-plus (comp (cadr e)) (comp (caddr e))))
+        (else (emit-apply (comp (car e)) (comp (cadr e))))))
+(define (noise) 0)
+(define (pick-emitter e) (noise) e)   ; the §6 context-rotation pattern
+(let ((lit-emitter (pick-emitter emit-lit))
+      (var-emitter (pick-emitter emit-var)))
+  (string-append (comp '((lambda (x) (+ x 1)) 41))
+                 (str-join3 " // " (lit-emitter 7) (var-emitter 'y))))
+""")
+
+
+SCM2C = BenchProgram(
+    name="scm2c",
+    description=("mini Scheme-to-C compiler with closure lifting, "
+                 "counting emitted top-level functions"),
+    expected=12,
+    source="""
+(define (count-lambdas e)
+  (cond ((number? e) 0)
+        ((symbol? e) 0)
+        ((eq? (car e) 'lambda) (+ 1 (count-lambdas (caddr e))))
+        ((eq? (car e) 'if) (+ (count-lambdas (cadr e))
+                              (+ (count-lambdas (caddr e))
+                                 (count-lambdas (cadddr e)))))
+        ((eq? (car e) '+) (+ (count-lambdas (cadr e))
+                             (count-lambdas (caddr e))))
+        (else (+ (count-lambdas (car e)) (count-lambdas (cadr e))))))
+(define (free-in? x e)
+  (cond ((number? e) #f)
+        ((symbol? e) (eq? x e))
+        ((eq? (car e) 'lambda)
+         (if (eq? x (car (cadr e))) #f (free-in? x (caddr e))))
+        ((eq? (car e) 'if) (or (free-in? x (cadr e))
+                               (free-in? x (caddr e))
+                               (free-in? x (cadddr e))))
+        ((eq? (car e) '+) (or (free-in? x (cadr e))
+                              (free-in? x (caddr e))))
+        (else (or (free-in? x (car e)) (free-in? x (cadr e))))))
+(define (lift e fns)
+  (cond ((number? e) fns)
+        ((symbol? e) fns)
+        ((eq? (car e) 'lambda) (cons e (lift (caddr e) fns)))
+        ((eq? (car e) 'if)
+         (lift (cadr e) (lift (caddr e) (lift (cadddr e) fns))))
+        ((eq? (car e) '+) (lift (cadr e) (lift (caddr e) fns)))
+        (else (lift (car e) (lift (cadr e) fns)))))
+(define (emit-fn f index)
+  (string-append "closure_t* fn_"
+    (string-append (number->string index)
+      (string-append "(env_t* env, value_t "
+        (string-append (symbol->string (car (cadr f)))
+                       ") { ... }")))))
+(define (emit-all fns index)
+  (if (null? fns)
+      '()
+      (cons (emit-fn (car fns) index)
+            (emit-all (cdr fns) (+ index 1)))))
+(define (length1 xs) (if (null? xs) 0 (+ 1 (length1 (cdr xs)))))
+(define prog
+  '((lambda (f) (f ((lambda (y) (+ y 1)) 2)))
+    (lambda (x) (if (free x x) (+ x 1) ((lambda (z) z) x)))))
+(define (noise) 0)
+(define (pick-pass p) (noise) p)   ; the §6 context-rotation pattern
+(let ((lambda-counter (pick-pass count-lambdas))
+      (emit-counter (pick-pass length1)))
+  (let ((fns (lift prog '())))
+    (let ((emitted (emit-all fns 0)))
+      (+ (if (free-in? 'free prog)
+             (length1 emitted)       ; 4 lifted lambdas
+             (count-lambdas prog))
+         (lambda-counter prog)       ; 4
+         (emit-counter fns)))))      ; 4
+""")
+
+
+SUITE: tuple[BenchProgram, ...] = (
+    ETA, MAP, SAT, REGEX, INTERP, SCM2JAVA, SCM2C,
+)
+
+BY_NAME = {bench.name: bench for bench in SUITE}
+
+
+def suite_programs() -> dict[str, Program]:
+    """Compile the whole suite; name → CPS program."""
+    return {bench.name: bench.compile() for bench in SUITE}

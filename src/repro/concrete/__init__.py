@@ -1,0 +1,24 @@
+"""Concrete CPS machines: ground truth for the abstract analyses.
+
+* :mod:`repro.concrete.shared_env` — the §3.2 machine k-CFA abstracts.
+* :mod:`repro.concrete.flat_env` — the §5.1 machine m-CFA abstracts.
+
+Both machines compute the same values for every program (they differ
+only in environment representation), which is itself tested.
+"""
+
+from repro.concrete.values import (
+    FlatAddr, FlatClosure, FlatEnv, SharedAddr, SharedClosure,
+)
+from repro.concrete.shared_env import (
+    SharedEnvMachine, SharedEnvResult, TraceEntry, run_shared,
+)
+from repro.concrete.flat_env import (
+    FlatEnvMachine, FlatEnvResult, FlatTraceEntry, run_flat,
+)
+
+__all__ = [
+    "FlatAddr", "FlatClosure", "FlatEnv", "SharedAddr", "SharedClosure",
+    "SharedEnvMachine", "SharedEnvResult", "TraceEntry", "run_shared",
+    "FlatEnvMachine", "FlatEnvResult", "FlatTraceEntry", "run_flat",
+]

@@ -1,0 +1,164 @@
+"""Concrete flat-environment CPS machine (paper §5.1/§5.3).
+
+An environment is a *base address*; a variable's address is the pair
+``(variable, environment)``.  Entering a procedure allocates a fresh
+environment and **copies** the values of the callee's free variables
+into it — the flat-closure discipline from functional-language
+compilation that m-CFA abstracts.
+
+Following §5.3, environments are ``(serial, frames)`` where ``frames``
+is the call-site history the abstraction retains and ``serial`` is a
+machine-global counter guaranteeing concrete freshness.  The allocator
+distinguishes the two lambda kinds:
+
+* entering a **procedure** pushes the call site: frames' = call : frames
+* entering a **continuation** restores the frames of the environment
+  the continuation closed over (a "return").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError, FuelExhausted, \
+    UnboundVariableError
+from repro.cps.program import Program
+from repro.cps.syntax import (
+    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, Lit, PrimCall,
+    Ref, free_vars_of_lam,
+)
+from repro.concrete.values import FlatAddr, FlatClosure, FlatEnv
+from repro.scheme.primitives import lookup_primitive
+from repro.scheme.values import Value, datum_to_value, is_truthy
+
+DEFAULT_FUEL = 5_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class FlatTraceEntry:
+    """One recorded state of the flat machine."""
+
+    call: Call
+    env: FlatEnv
+
+
+@dataclass
+class FlatEnvResult:
+    """Outcome of a flat-environment run."""
+
+    value: Value
+    steps: int
+    store: dict[FlatAddr, Value]
+    trace: list[FlatTraceEntry] = field(default_factory=list)
+
+
+class FlatEnvMachine:
+    """Driver for the concrete flat-environment semantics."""
+
+    def __init__(self, program: Program, fuel: int = DEFAULT_FUEL,
+                 record_trace: bool = False, env_policy: str = "stack"):
+        if env_policy not in ("stack", "history"):
+            raise ValueError(f"unknown env_policy {env_policy!r}")
+        self.program = program
+        self.fuel = fuel
+        self.record_trace = record_trace
+        self.env_policy = env_policy
+        self.store: dict[FlatAddr, Value] = {}
+        self.trace: list[FlatTraceEntry] = []
+        self._serial = 0
+
+    # -- the environment allocator (§5.3) -------------------------------
+    #
+    # "stack" is the paper's allocator: procedures push a frame,
+    # continuations restore the closure's frames — the concrete
+    # semantics m-CFA abstracts (α = first_m of the frames).
+    # "history" pushes the call label for *every* call; it is the
+    # concrete counterpart whose first_k-abstraction is naive
+    # polynomial k-CFA, used by the soundness harness.
+
+    def new_env(self, call: Call, env: FlatEnv,
+                closure: FlatClosure) -> FlatEnv:
+        self._serial += 1
+        if self.env_policy == "history" or closure.lam.is_user:
+            return (self._serial, (call.label, *env[1]))
+        return (self._serial, closure.env[1])
+
+    # -- expression evaluator E ------------------------------------------
+
+    def evaluate(self, exp: CExp, env: FlatEnv) -> Value:
+        if isinstance(exp, Ref):
+            address = (exp.name, env)
+            if address not in self.store:
+                raise UnboundVariableError(exp.name, "flat-env machine")
+            return self.store[address]
+        if isinstance(exp, Lit):
+            return datum_to_value(exp.datum)
+        if isinstance(exp, Lam):
+            return FlatClosure(exp, env)
+        raise TypeError(f"not an atomic expression: {exp!r}")
+
+    # -- the transition relation -------------------------------------------
+
+    def run(self) -> FlatEnvResult:
+        call: Call = self.program.root
+        env: FlatEnv = (0, ())
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.fuel:
+                raise FuelExhausted(self.fuel, trace=self.trace)
+            if self.record_trace:
+                self.trace.append(FlatTraceEntry(call, env))
+            if isinstance(call, HaltCall):
+                value = self.evaluate(call.arg, env)
+                return FlatEnvResult(value, steps, self.store, self.trace)
+            call, env = self.step(call, env)
+
+    def step(self, call: Call, env: FlatEnv) -> tuple[Call, FlatEnv]:
+        if isinstance(call, AppCall):
+            closure = self.evaluate(call.fn, env)
+            args = [self.evaluate(arg, env) for arg in call.args]
+            return self.enter(call, closure, args, env)
+        if isinstance(call, IfCall):
+            test = self.evaluate(call.test, env)
+            return (call.then if is_truthy(test) else call.orelse), env
+        if isinstance(call, PrimCall):
+            prim = lookup_primitive(call.op)
+            args = tuple(self.evaluate(arg, env) for arg in call.args)
+            result = prim.apply(args)
+            cont = self.evaluate(call.cont, env)
+            return self.enter(call, cont, [result], env)
+        if isinstance(call, FixCall):
+            for name, lam in call.bindings:
+                self.store[(name, env)] = FlatClosure(lam, env)
+            return call.body, env
+        raise TypeError(f"cannot step call {call!r}")
+
+    def enter(self, call: Call, closure: Value, args: list[Value],
+              env: FlatEnv) -> tuple[Call, FlatEnv]:
+        """Apply a closure: allocate a flat environment, bind parameters
+        and copy the free variables (the §5.1 rule)."""
+        if not isinstance(closure, FlatClosure):
+            raise EvaluationError(
+                f"application of a non-procedure: {closure!r}")
+        lam = closure.lam
+        if len(args) != len(lam.params):
+            raise EvaluationError(
+                f"λ{lam.label} expects {len(lam.params)} argument(s), "
+                f"got {len(args)}")
+        new_env = self.new_env(call, env, closure)
+        for free in free_vars_of_lam(lam):
+            source = (free, closure.env)
+            if source not in self.store:
+                raise UnboundVariableError(free, "flat-env copy")
+            self.store[(free, new_env)] = self.store[source]
+        for name, value in zip(lam.params, args):
+            self.store[(name, new_env)] = value
+        return lam.body, new_env
+
+
+def run_flat(program: Program, fuel: int = DEFAULT_FUEL,
+             record_trace: bool = False,
+             env_policy: str = "stack") -> FlatEnvResult:
+    """Run *program* on the flat-environment machine."""
+    return FlatEnvMachine(program, fuel, record_trace, env_policy).run()

@@ -1,0 +1,176 @@
+"""Concrete shared-environment CPS machine (paper §3.2–3.3).
+
+States are ``(call, β, σ, t)``; environments are factored through the
+store: ``β`` maps variables to addresses ``(v, t)`` and the store maps
+addresses to values.  Time-stamps are natural numbers and ``tick``
+increments, which satisfies the freshness constraints (1)–(3) of §3.2,
+so the store is *write-once*: the machine keeps one growing store
+instead of copying it per state, which is observationally identical.
+
+The machine optionally records the trace of ``(call, β, t)`` triples;
+the soundness harness (:mod:`repro.analysis.abstraction`) abstracts
+each recorded state with α and checks containment in an analysis
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError, FuelExhausted, \
+    UnboundVariableError
+from repro.cps.program import Program
+from repro.cps.syntax import (
+    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, Lit, PrimCall,
+    Ref, free_vars_of_lam,
+)
+from repro.concrete.values import SharedAddr, SharedClosure
+from repro.scheme.primitives import lookup_primitive
+from repro.scheme.values import Value, datum_to_value, is_truthy
+
+BEnv = dict  # str -> SharedAddr; copied on extension
+
+DEFAULT_FUEL = 5_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One recorded machine state (store elided; it is write-once)."""
+
+    call: Call
+    benv: tuple[tuple[str, SharedAddr], ...]
+    time: object  # int ("integer" mode) or tuple of labels ("history")
+
+
+@dataclass
+class SharedEnvResult:
+    """Outcome of a shared-environment run."""
+
+    value: Value
+    steps: int
+    final_time: object
+    store: dict[SharedAddr, Value]
+    trace: list[TraceEntry] = field(default_factory=list)
+
+
+class SharedEnvMachine:
+    """Driver for the concrete shared-environment semantics."""
+
+    def __init__(self, program: Program, fuel: int = DEFAULT_FUEL,
+                 record_trace: bool = False,
+                 time_mode: str = "integer"):
+        if time_mode not in ("integer", "history"):
+            raise ValueError(f"unknown time_mode {time_mode!r}")
+        self.program = program
+        self.fuel = fuel
+        self.record_trace = record_trace
+        self.time_mode = time_mode
+        self.store: dict[SharedAddr, Value] = {}
+        self.trace: list[TraceEntry] = []
+
+    # -- external parameters (§3.2): tick and alloc --------------------
+    #
+    # "integer" times are the fast default (tick increments, §3.2's
+    # obvious solution).  "history" times are the paper's Time = Call*:
+    # tick prepends the call label, so the k-CFA abstraction map
+    # α(t) = first_k(t) is directly computable — the soundness harness
+    # uses this mode.
+
+    def initial_time(self):
+        return 0 if self.time_mode == "integer" else ()
+
+    def tick(self, call: Call, time):
+        if self.time_mode == "integer":
+            return time + 1
+        return (call.label, *time)
+
+    @staticmethod
+    def alloc(var: str, time) -> SharedAddr:
+        return (var, time)
+
+    # -- expression evaluator E ----------------------------------------
+
+    def evaluate(self, exp: CExp, benv: BEnv) -> Value:
+        if isinstance(exp, Ref):
+            if exp.name not in benv:
+                raise UnboundVariableError(exp.name, "shared-env machine")
+            return self.store[benv[exp.name]]
+        if isinstance(exp, Lit):
+            return datum_to_value(exp.datum)
+        if isinstance(exp, Lam):
+            captured = tuple(sorted(
+                (name, benv[name][1]) for name in free_vars_of_lam(exp)))
+            return SharedClosure(exp, captured)
+        raise TypeError(f"not an atomic expression: {exp!r}")
+
+    # -- the transition relation ----------------------------------------
+
+    def run(self) -> SharedEnvResult:
+        call: Call = self.program.root
+        benv: BEnv = {}
+        time = self.initial_time()
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.fuel:
+                raise FuelExhausted(self.fuel, trace=self.trace)
+            if self.record_trace:
+                self.trace.append(TraceEntry(
+                    call, tuple(sorted(benv.items())), time))
+            if isinstance(call, HaltCall):
+                value = self.evaluate(call.arg, benv)
+                return SharedEnvResult(value, steps, time, self.store,
+                                       self.trace)
+            call, benv, time = self.step(call, benv, time)
+
+    def step(self, call: Call, benv: BEnv,
+             time) -> tuple[Call, BEnv, object]:
+        if isinstance(call, AppCall):
+            closure = self.evaluate(call.fn, benv)
+            args = [self.evaluate(arg, benv) for arg in call.args]
+            return self.enter(call, closure, args, time)
+        if isinstance(call, IfCall):
+            test = self.evaluate(call.test, benv)
+            branch = call.then if is_truthy(test) else call.orelse
+            return branch, benv, time
+        if isinstance(call, PrimCall):
+            prim = lookup_primitive(call.op)
+            args = tuple(self.evaluate(arg, benv) for arg in call.args)
+            result = prim.apply(args)
+            cont = self.evaluate(call.cont, benv)
+            return self.enter(call, cont, [result], time)
+        if isinstance(call, FixCall):
+            extended = dict(benv)
+            for name, _ in call.bindings:
+                extended[name] = self.alloc(name, time)
+            for name, lam in call.bindings:
+                self.store[extended[name]] = self.evaluate(lam, extended)
+            return call.body, extended, time
+        raise TypeError(f"cannot step call {call!r}")
+
+    def enter(self, call: Call, closure: Value, args: list[Value],
+              time) -> tuple[Call, BEnv, object]:
+        """Apply a closure: tick, allocate, bind (the §3.2 rule)."""
+        if not isinstance(closure, SharedClosure):
+            raise EvaluationError(
+                f"application of a non-procedure: {closure!r}")
+        lam = closure.lam
+        if len(args) != len(lam.params):
+            raise EvaluationError(
+                f"λ{lam.label} expects {len(lam.params)} argument(s), "
+                f"got {len(args)}")
+        new_time = self.tick(call, time)
+        benv: BEnv = {name: (name, birth)
+                      for name, birth in closure.benv}
+        for name, value in zip(lam.params, args):
+            address = self.alloc(name, new_time)
+            benv[name] = address
+            self.store[address] = value
+        return lam.body, benv, new_time
+
+
+def run_shared(program: Program, fuel: int = DEFAULT_FUEL,
+               record_trace: bool = False,
+               time_mode: str = "integer") -> SharedEnvResult:
+    """Run *program* on the shared-environment machine."""
+    return SharedEnvMachine(program, fuel, record_trace, time_mode).run()

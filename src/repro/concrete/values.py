@@ -1,0 +1,55 @@
+"""Closure representations for the two concrete CPS machines.
+
+The shared-environment machine's closures pair a lambda with a *binding
+environment* (variable → address); the flat-environment machine's
+closures pair a lambda with a single *base environment address* (paper
+§5.1).  Both derive from :class:`~repro.scheme.values.ProcedureValue`
+so generic primitives apply."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cps.syntax import Lam
+from repro.scheme.values import ProcedureValue
+
+#: Shared-env machine: a concrete address is (variable, birth time).
+SharedAddr = tuple[str, int]
+
+#: Flat-env machine: an environment is (serial, call-label frames).
+#: The serial keeps concrete environments globally fresh; the frames
+#: are what the m-CFA abstraction map retains.
+FlatEnv = tuple[int, tuple[int, ...]]
+
+#: Flat-env machine: a concrete address is (variable, environment).
+FlatAddr = tuple[str, FlatEnv]
+
+
+@dataclass(frozen=True, slots=True)
+class SharedClosure(ProcedureValue):
+    """A shared-environment closure ``(lam, β)``.
+
+    ``benv`` is restricted to the lambda's free variables at creation —
+    the standard implementation move, sound because the body can only
+    reference free variables and parameters.
+    """
+
+    lam: Lam
+    benv: tuple[tuple[str, int], ...]  # sorted (var, time) pairs
+
+    def benv_dict(self) -> dict[str, int]:
+        return dict(self.benv)
+
+    def __repr__(self) -> str:
+        return f"#<clo:{self.lam.label}>"
+
+
+@dataclass(frozen=True, slots=True)
+class FlatClosure(ProcedureValue):
+    """A flat-environment closure ``(lam, ρ)`` — just a base address."""
+
+    lam: Lam
+    env: FlatEnv
+
+    def __repr__(self) -> str:
+        return f"#<flat-clo:{self.lam.label}@{self.env[0]}>"

@@ -1,0 +1,20 @@
+"""The labeled, partitioned CPS core language (paper §3.1 + ΔCFA)."""
+
+from repro.cps.syntax import (
+    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Label, Lam, LamKind,
+    Lit, PrimCall, Ref, call_children, call_exps, free_vars_of_call,
+    free_vars_of_exp, free_vars_of_lam, iter_calls, iter_lams, term_count,
+)
+from repro.cps.program import Program, label_maximum
+from repro.cps.parser import parse_cps, parse_cps_call
+from repro.cps.pretty import pretty_cps
+from repro.cps.simplify import simplify_program
+
+__all__ = [
+    "AppCall", "Call", "CExp", "FixCall", "HaltCall", "IfCall", "Label",
+    "Lam", "LamKind", "Lit", "PrimCall", "Ref",
+    "call_children", "call_exps", "free_vars_of_call", "free_vars_of_exp",
+    "free_vars_of_lam", "iter_calls", "iter_lams", "term_count",
+    "Program", "label_maximum", "parse_cps", "parse_cps_call",
+    "pretty_cps", "simplify_program",
+]

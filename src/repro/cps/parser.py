@@ -1,0 +1,136 @@
+"""Parse CPS terms written directly in surface syntax.
+
+Mostly used by tests and the worst-case generator, where controlling
+the exact CPS shape matters.  Syntax::
+
+    (lambda (v ...) call)      user lambda  (also: λ)
+    (cont (v ...) call)        continuation lambda  (also: κ)
+    (%if e then-call else-call)
+    (%cons a b k) (%car p k) ...   primitive calls (note the %)
+    (%fix ((f lam) ...) call)
+    (%halt e)
+    (f e ...)                  application
+    'datum / 123 / #t / "s"    literals
+
+Labels are assigned in reading order.  The parser does not alpha-rename;
+it validates through :class:`~repro.cps.program.Program`, which demands
+unique binders — write your terms accordingly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import CPSSyntaxError
+from repro.cps.program import Program
+from repro.cps.syntax import (
+    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, LamKind, Lit,
+    PrimCall, Ref,
+)
+from repro.scheme.primitives import lookup_primitive
+from repro.scheme.sexp import Symbol, parse_sexp
+
+_USER_HEADS = frozenset({"lambda", "λ"})
+_CONT_HEADS = frozenset({"cont", "κ", "kappa"})
+
+
+class _CPSParser:
+    def __init__(self):
+        self._labels = itertools.count()
+
+    def new_label(self) -> int:
+        return next(self._labels)
+
+    def parse_call(self, form) -> Call:
+        if not isinstance(form, (tuple, list)) or len(form) == 0:
+            raise CPSSyntaxError(f"expected a call, got {form!r}")
+        head = form[0]
+        if isinstance(head, Symbol) and str(head).startswith("%"):
+            return self._special_call(str(head)[1:], form)
+        fn = self.parse_exp(form[0])
+        args = tuple(self.parse_exp(arg) for arg in form[1:])
+        return AppCall(fn, args, self.new_label())
+
+    def _special_call(self, name: str, form) -> Call:
+        if name == "if":
+            if len(form) != 4:
+                raise CPSSyntaxError("%if expects (test then else)")
+            test = self.parse_exp(form[1])
+            label = self.new_label()
+            return IfCall(test, self.parse_call(form[2]),
+                          self.parse_call(form[3]), label)
+        if name == "halt":
+            if len(form) != 2:
+                raise CPSSyntaxError("%halt expects one argument")
+            return HaltCall(self.parse_exp(form[1]), self.new_label())
+        if name == "fix":
+            if len(form) != 3 or not isinstance(form[1], (tuple, list)):
+                raise CPSSyntaxError("%fix expects (bindings) call")
+            bindings = []
+            for binding in form[1]:
+                if (not isinstance(binding, (tuple, list))
+                        or len(binding) != 2
+                        or not isinstance(binding[0], Symbol)):
+                    raise CPSSyntaxError(
+                        f"malformed %fix binding {binding!r}")
+                lam = self.parse_exp(binding[1])
+                if not isinstance(lam, Lam) or not lam.is_user:
+                    raise CPSSyntaxError(
+                        f"%fix binding {binding[0]} must be a user "
+                        "lambda")
+                bindings.append((str(binding[0]), lam))
+            label = self.new_label()
+            return FixCall(tuple(bindings), self.parse_call(form[2]),
+                           label)
+        prim = lookup_primitive(name)
+        if prim is None:
+            raise CPSSyntaxError(f"unknown primitive %{name}")
+        if len(form) < 2:
+            raise CPSSyntaxError(f"%{name} needs a continuation argument")
+        args = tuple(self.parse_exp(arg) for arg in form[1:-1])
+        cont = self.parse_exp(form[-1])
+        return PrimCall(name, args, cont, self.new_label())
+
+    def parse_exp(self, form) -> CExp:
+        if isinstance(form, Symbol):
+            return Ref(str(form))
+        if isinstance(form, (bool, int)):
+            return Lit(form)
+        if isinstance(form, str):
+            return Lit(form)
+        if isinstance(form, (tuple, list)) and form:
+            head = form[0]
+            if isinstance(head, Symbol):
+                if str(head) in _USER_HEADS:
+                    return self._parse_lam(form, LamKind.USER)
+                if str(head) in _CONT_HEADS:
+                    return self._parse_lam(form, LamKind.CONT)
+                if str(head) == "quote":
+                    if len(form) != 2:
+                        raise CPSSyntaxError("quote expects one datum")
+                    return Lit(form[1])
+        raise CPSSyntaxError(f"not an atomic CPS expression: {form!r}")
+
+    def _parse_lam(self, form, kind: LamKind) -> Lam:
+        if len(form) != 3 or not isinstance(form[1], (tuple, list)):
+            raise CPSSyntaxError(f"malformed lambda {form!r}")
+        if not all(isinstance(p, Symbol) for p in form[1]):
+            raise CPSSyntaxError(f"lambda parameters must be symbols")
+        params = tuple(str(p) for p in form[1])
+        label = self.new_label()
+        body = self.parse_call(form[2])
+        return Lam(kind, params, body, label)
+
+
+def parse_cps(text: str) -> Program:
+    """Parse program text as one CPS call term."""
+    from repro.util.recursion import deep_recursion
+    form = parse_sexp(text)
+    with deep_recursion():
+        return Program(_CPSParser().parse_call(form))
+
+
+def parse_cps_call(text: str) -> Call:
+    """Parse a call without program validation (open terms allowed)."""
+    form = parse_sexp(text)
+    return _CPSParser().parse_call(form)

@@ -1,0 +1,96 @@
+"""Pretty-printer for CPS terms, optionally with labels.
+
+The output of :func:`pretty_cps` (without labels) re-reads through
+:func:`repro.cps.parser.parse_cps` to a structurally identical term,
+which round-trip tests exploit.
+"""
+
+from __future__ import annotations
+
+from repro.cps.syntax import (
+    AppCall, FixCall, HaltCall, IfCall, Lam, Lit, PrimCall, Ref,
+)
+from repro.scheme.sexp import write_sexp
+
+_INDENT = "  "
+
+
+def pretty_cps(node, show_labels: bool = False, width: int = 76) -> str:
+    """Render a CPS call or expression."""
+    from repro.util.recursion import deep_recursion
+    with deep_recursion():
+        return _render(node, 0, width, show_labels)
+
+
+def _tag(node, show_labels: bool) -> str:
+    return f"@{node.label}" if show_labels else ""
+
+
+def _render(node, depth: int, width: int, labels: bool) -> str:
+    flat = _flat(node, labels)
+    if len(flat) + depth * len(_INDENT) <= width:
+        return flat
+    pad = _INDENT * (depth + 1)
+    if isinstance(node, Lam):
+        head = "lambda" if node.is_user else "cont"
+        return (f"({head} ({' '.join(node.params)})\n"
+                f"{pad}{_render(node.body, depth + 1, width, labels)})"
+                f"{_tag(node, labels)}")
+    if isinstance(node, AppCall):
+        parts = [_render(e, depth + 1, width, labels)
+                 for e in (node.fn, *node.args)]
+        return "(" + ("\n" + pad).join(parts) + ")" + _tag(node, labels)
+    if isinstance(node, IfCall):
+        return (f"(%if {_render(node.test, depth + 1, width, labels)}\n"
+                f"{pad}{_render(node.then, depth + 1, width, labels)}\n"
+                f"{pad}{_render(node.orelse, depth + 1, width, labels)})"
+                f"{_tag(node, labels)}")
+    if isinstance(node, PrimCall):
+        parts = [f"%{node.op}"]
+        parts += [_render(e, depth + 1, width, labels)
+                  for e in (*node.args, node.cont)]
+        return "(" + ("\n" + pad).join(parts) + ")" + _tag(node, labels)
+    if isinstance(node, FixCall):
+        inner = _INDENT * (depth + 2)
+        bindings = ("\n" + inner).join(
+            f"({name} {_render(lam, depth + 2, width, labels)})"
+            for name, lam in node.bindings)
+        return (f"(%fix ({bindings})\n"
+                f"{pad}{_render(node.body, depth + 1, width, labels)})"
+                f"{_tag(node, labels)}")
+    return flat
+
+
+def _flat(node, labels: bool) -> str:
+    if isinstance(node, Ref):
+        return node.name
+    if isinstance(node, Lit):
+        if isinstance(node.datum, (bool, int)):
+            return write_sexp(node.datum)
+        if isinstance(node.datum, str) and not hasattr(node.datum, "pos"):
+            return write_sexp(node.datum)
+        return "'" + write_sexp(node.datum)
+    if isinstance(node, Lam):
+        head = "lambda" if node.is_user else "cont"
+        return (f"({head} ({' '.join(node.params)}) "
+                f"{_flat(node.body, labels)}){_tag(node, labels)}")
+    if isinstance(node, AppCall):
+        inner = " ".join(_flat(e, labels)
+                         for e in (node.fn, *node.args))
+        return f"({inner}){_tag(node, labels)}"
+    if isinstance(node, IfCall):
+        return (f"(%if {_flat(node.test, labels)} "
+                f"{_flat(node.then, labels)} "
+                f"{_flat(node.orelse, labels)}){_tag(node, labels)}")
+    if isinstance(node, PrimCall):
+        inner = " ".join(_flat(e, labels)
+                         for e in (*node.args, node.cont))
+        return f"(%{node.op} {inner}){_tag(node, labels)}"
+    if isinstance(node, FixCall):
+        bindings = " ".join(f"({name} {_flat(lam, labels)})"
+                            for name, lam in node.bindings)
+        return (f"(%fix ({bindings}) {_flat(node.body, labels)})"
+                f"{_tag(node, labels)}")
+    if isinstance(node, HaltCall):
+        return f"(%halt {_flat(node.arg, labels)}){_tag(node, labels)}"
+    raise TypeError(f"not a CPS node: {node!r}")

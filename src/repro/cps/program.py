@@ -1,0 +1,150 @@
+"""Program container: a validated CPS term plus derived tables.
+
+A :class:`Program` wraps the root call of a CPS term and
+pre-computes what the analyses need to look up constantly:
+
+* label → node maps for calls and lambdas,
+* the binder map (variable name → the construct that binds it),
+* free-variable sets,
+* size statistics (the "Terms" measure of the paper's §6.1.1 table).
+
+Construction validates the well-formedness invariants that the
+analyses silently rely on: globally unique labels, globally unique
+binder names (the front end alpha-renames), closedness, and the CPS
+discipline that every lambda body is a call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Iterable
+
+from repro.errors import CPSSyntaxError
+from repro.cps.syntax import (
+    AppCall, Call, FixCall, Label, Lam, Lit, PrimCall, Ref, call_exps,
+    free_vars_of_call, iter_calls, iter_lams, term_count,
+)
+from repro.scheme.primitives import lookup_primitive
+
+
+@dataclass
+class Program:
+    """A validated whole CPS program."""
+
+    root: Call
+    calls_by_label: dict[Label, Call] = dataclass_field(init=False)
+    lams_by_label: dict[Label, Lam] = dataclass_field(init=False)
+    binder_of: dict[str, object] = dataclass_field(init=False)
+
+    def __post_init__(self):
+        self.calls_by_label = {}
+        self.lams_by_label = {}
+        self.binder_of = {}
+        self._validate()
+
+    # -- validation ------------------------------------------------------
+
+    def _validate(self) -> None:
+        for call in iter_calls(self.root):
+            if call.label in self.calls_by_label or \
+                    call.label in self.lams_by_label:
+                raise CPSSyntaxError(
+                    f"duplicate label {call.label} on {call}")
+            self.calls_by_label[call.label] = call
+            self._validate_call(call)
+        for lam in iter_lams(self.root):
+            if lam.label in self.calls_by_label or \
+                    lam.label in self.lams_by_label:
+                raise CPSSyntaxError(
+                    f"duplicate label {lam.label} on {lam}")
+            self.lams_by_label[lam.label] = lam
+            for param in lam.params:
+                self._bind(param, lam)
+        for call in self.calls_by_label.values():
+            if isinstance(call, FixCall):
+                for name, lam in call.bindings:
+                    self._bind(name, call)
+                    if not isinstance(lam, Lam) or not lam.is_user:
+                        raise CPSSyntaxError(
+                            f"fix binding {name} must be a user lambda")
+        free = free_vars_of_call(self.root)
+        if free:
+            raise CPSSyntaxError(
+                f"program is not closed; free: {sorted(free)}")
+        for call in self.calls_by_label.values():
+            if isinstance(call, PrimCall):
+                prim = lookup_primitive(call.op)
+                if prim is None:
+                    raise CPSSyntaxError(
+                        f"unknown primitive %{call.op} at {call.label}")
+                try:
+                    prim.check_arity(len(call.args))
+                except Exception as exc:
+                    raise CPSSyntaxError(str(exc)) from None
+
+    def _validate_call(self, call: Call) -> None:
+        for exp in call_exps(call):
+            if not isinstance(exp, (Ref, Lit, Lam)):
+                raise CPSSyntaxError(
+                    f"non-atomic expression {exp!r} in call {call.label}")
+
+    def _bind(self, name: str, binder: object) -> None:
+        if name in self.binder_of:
+            raise CPSSyntaxError(
+                f"binder {name!r} is not unique; alpha-rename first")
+        self.binder_of[name] = binder
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def calls(self) -> Iterable[Call]:
+        return self.calls_by_label.values()
+
+    @property
+    def lams(self) -> Iterable[Lam]:
+        return self.lams_by_label.values()
+
+    @property
+    def user_lams(self) -> list[Lam]:
+        return [lam for lam in self.lams if lam.is_user]
+
+    @property
+    def cont_lams(self) -> list[Lam]:
+        return [lam for lam in self.lams if lam.is_cont]
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.binder_of)
+
+    def term_count(self) -> int:
+        """The "Terms" size measure used by the worst-case table."""
+        return term_count(self.root)
+
+    def app_call_labels(self) -> list[Label]:
+        """Labels of application call sites (candidate inline sites)."""
+        return [label for label, call in self.calls_by_label.items()
+                if isinstance(call, AppCall)]
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics, handy for benchmark tables."""
+        return {
+            "terms": self.term_count(),
+            "calls": len(self.calls_by_label),
+            "lambdas": len(self.lams_by_label),
+            "user_lambdas": len(self.user_lams),
+            "cont_lambdas": len(self.cont_lams),
+            "variables": len(self.binder_of),
+        }
+
+    def __str__(self) -> str:
+        return str(self.root)
+
+
+def label_maximum(root: Call) -> Label:
+    """The largest label in a term (for allocating fresh labels)."""
+    result = -1
+    for call in iter_calls(root):
+        result = max(result, call.label)
+    for lam in iter_lams(root):
+        result = max(result, lam.label)
+    return result

@@ -1,0 +1,254 @@
+"""The labeled CPS language that all functional analyses consume.
+
+The grammar follows the paper (Figure 3) with the ΔCFA partition the
+m-CFA section relies on — lambdas are split into *user* procedures and
+*continuations* — plus three pragmatic call forms that a real Scheme
+front end needs (conditionals, primitive operations and ``letrec``);
+DESIGN.md records why these extensions do not change the analyses::
+
+    exp  ::= Ref(v) | Lit(d) | Lam(kind, (v ...), call)^l
+    call ::= AppCall(exp, (exp ...))^l
+           | IfCall(exp, call, call)^l
+           | PrimCall(op, (exp ...), exp)^l
+           | FixCall(((v, Lam) ...), call)^l
+           | HaltCall(exp)^l
+
+Every ``Lam`` and every call carries a unique integer label.  ``Lam``
+and call nodes use **identity** hashing: each node occurs exactly once
+in a well-formed program, closures over the same lambda share the node,
+and identity comparison keeps abstract closures cheap to hash in the
+analysis hot loops.  ``Ref`` and ``Lit`` are structural.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+Label = int
+
+
+class LamKind(enum.Enum):
+    """The ΔCFA partition: ordinary procedures vs. continuations.
+
+    m-CFA's environment allocator branches on this (paper §5.3): a
+    *procedure* call pushes a frame of context, a *continuation* call
+    restores the environment the continuation closed over.
+    """
+
+    USER = "user"
+    CONT = "cont"
+
+    def __repr__(self) -> str:  # terse in analysis dumps
+        return self.value
+
+
+CExp = Union["Ref", "Lit", "Lam"]
+Call = Union["AppCall", "IfCall", "PrimCall", "FixCall", "HaltCall"]
+
+
+@dataclass(frozen=True, slots=True)
+class Ref:
+    """A variable reference (atomic)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Lit:
+    """A literal datum (atomic); abstracts to the basic top value."""
+
+    datum: object
+
+    def __str__(self) -> str:
+        from repro.scheme.sexp import write_sexp
+        if isinstance(self.datum, (bool, int)):
+            return write_sexp(self.datum)
+        return "'" + write_sexp(self.datum)
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class Lam:
+    """``(λ (v1 ... vn) call)^label`` — identity-hashed."""
+
+    kind: LamKind
+    params: tuple[str, ...]
+    body: Call
+    label: Label
+
+    def __str__(self) -> str:
+        head = "λ" if self.kind is LamKind.USER else "κ"
+        return f"({head} ({' '.join(self.params)}) {self.body})"
+
+    @property
+    def is_user(self) -> bool:
+        return self.kind is LamKind.USER
+
+    @property
+    def is_cont(self) -> bool:
+        return self.kind is LamKind.CONT
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class AppCall:
+    """``(f e1 ... en)^label`` — procedure or continuation application."""
+
+    fn: CExp
+    args: tuple[CExp, ...]
+    label: Label
+
+    def __str__(self) -> str:
+        parts = " ".join(str(e) for e in (self.fn, *self.args))
+        return f"({parts})"
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class IfCall:
+    """``(%if e then-call else-call)^label``.
+
+    The concrete machines test truthiness; the abstract machines branch
+    to both arms (every non-closure value abstracts to basic top).
+    """
+
+    test: CExp
+    then: Call
+    orelse: Call
+    label: Label
+
+    def __str__(self) -> str:
+        return f"(%if {self.test} {self.then} {self.orelse})"
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class PrimCall:
+    """``(%op e1 ... en k)^label`` — primitive, result passed to k."""
+
+    op: str
+    args: tuple[CExp, ...]
+    cont: CExp
+    label: Label
+
+    def __str__(self) -> str:
+        parts = " ".join(str(e) for e in (*self.args, self.cont))
+        return f"(%{self.op} {parts})"
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class FixCall:
+    """``(%fix ((f lam) ...) call)^label`` — mutual recursion."""
+
+    bindings: tuple[tuple[str, Lam], ...]
+    body: Call
+    label: Label
+
+    def __str__(self) -> str:
+        bound = " ".join(f"({name} {lam})" for name, lam in self.bindings)
+        return f"(%fix ({bound}) {self.body})"
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class HaltCall:
+    """``(%halt e)^label`` — deliver the program's final value."""
+
+    arg: CExp
+    label: Label
+
+    def __str__(self) -> str:
+        return f"(%halt {self.arg})"
+
+
+def call_children(call: Call) -> tuple[Call, ...]:
+    """Sub-calls syntactically nested in *call* (not through lambdas)."""
+    if isinstance(call, IfCall):
+        return (call.then, call.orelse)
+    if isinstance(call, FixCall):
+        return (call.body,)
+    return ()
+
+
+def call_exps(call: Call) -> tuple[CExp, ...]:
+    """The atomic expressions evaluated by *call*."""
+    if isinstance(call, AppCall):
+        return (call.fn, *call.args)
+    if isinstance(call, IfCall):
+        return (call.test,)
+    if isinstance(call, PrimCall):
+        return (*call.args, call.cont)
+    if isinstance(call, FixCall):
+        return tuple(lam for _, lam in call.bindings)
+    if isinstance(call, HaltCall):
+        return (call.arg,)
+    raise TypeError(f"not a call: {call!r}")
+
+
+def iter_calls(root: Call) -> Iterator[Call]:
+    """Every call node reachable from *root*, including through lambdas."""
+    stack: list[Call] = [root]
+    while stack:
+        call = stack.pop()
+        yield call
+        stack.extend(call_children(call))
+        for exp in call_exps(call):
+            if isinstance(exp, Lam):
+                stack.append(exp.body)
+
+
+def iter_lams(root: Call) -> Iterator[Lam]:
+    """Every lambda node reachable from *root*."""
+    for call in iter_calls(root):
+        for exp in call_exps(call):
+            if isinstance(exp, Lam):
+                yield exp
+
+
+def term_count(root: Call) -> int:
+    """Number of expressions + calls — the "Terms" column of §6.1.1."""
+    count = 0
+    for call in iter_calls(root):
+        count += 1 + len(call_exps(call))
+        if isinstance(call, FixCall):
+            count += len(call.bindings)  # the bound names
+    return count
+
+
+def free_vars_of_lam(lam: Lam) -> frozenset[str]:
+    """Free variables of a lambda (cached per node identity).
+
+    Used by the flat-environment machines, where the free variables of
+    the callee are *copied* into each freshly allocated environment.
+    """
+    cached = _FREE_VARS_CACHE.get(id(lam))
+    if cached is None:
+        cached = free_vars_of_call(lam.body) - frozenset(lam.params)
+        _FREE_VARS_CACHE[id(lam)] = cached
+        _FREE_VARS_KEEPALIVE.append(lam)
+    return cached
+
+
+_FREE_VARS_CACHE: dict[int, frozenset[str]] = {}
+_FREE_VARS_KEEPALIVE: list[Lam] = []  # pin nodes so ids stay valid
+
+
+def free_vars_of_exp(exp: CExp) -> frozenset[str]:
+    if isinstance(exp, Ref):
+        return frozenset({exp.name})
+    if isinstance(exp, Lit):
+        return frozenset()
+    if isinstance(exp, Lam):
+        return free_vars_of_lam(exp)
+    raise TypeError(f"not an atomic expression: {exp!r}")
+
+
+def free_vars_of_call(call: Call) -> frozenset[str]:
+    result: frozenset[str] = frozenset()
+    for exp in call_exps(call):
+        result |= free_vars_of_exp(exp)
+    for child in call_children(call):
+        result |= free_vars_of_call(child)
+    if isinstance(call, FixCall):
+        result -= frozenset(name for name, _ in call.bindings)
+    return result

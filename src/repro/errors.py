@@ -1,0 +1,83 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+client code can catch one type.  Subsystems raise the most specific
+subclass that applies; messages always name the offending construct and,
+where available, its source position or label.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemeSyntaxError(ReproError):
+    """Raised when S-expression reading or Scheme parsing fails."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DesugarError(ReproError):
+    """Raised when a surface form is malformed (wrong arity, bad binding)."""
+
+
+class CPSSyntaxError(ReproError):
+    """Raised when a term violates the CPS grammar or labeling discipline."""
+
+
+class UnboundVariableError(ReproError):
+    """Raised by evaluators and validators for references to unbound names."""
+
+    def __init__(self, name: str, where: str = ""):
+        self.name = name
+        suffix = f" in {where}" if where else ""
+        super().__init__(f"unbound variable {name!r}{suffix}")
+
+
+class EvaluationError(ReproError):
+    """Raised by the concrete machines for runtime type/arity errors."""
+
+
+class FuelExhausted(ReproError):
+    """Raised when a concrete machine exceeds its step budget.
+
+    Carries the machine state observed so far so callers (e.g. the
+    soundness harness) can still inspect the partial trace.
+    """
+
+    def __init__(self, steps: int, trace=None):
+        self.steps = steps
+        self.trace = trace
+        super().__init__(f"evaluation exceeded fuel budget of {steps} steps")
+
+
+class AnalysisTimeout(ReproError):
+    """Raised when an analysis exceeds its wall-clock or step budget."""
+
+    def __init__(self, message: str, elapsed: float | None = None):
+        self.elapsed = elapsed
+        super().__init__(message)
+
+
+class FJSyntaxError(ReproError):
+    """Raised when Featherweight Java parsing fails."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class FJTypeError(ReproError):
+    """Raised for ill-formed class tables (missing classes, bad overrides)."""

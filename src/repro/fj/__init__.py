@@ -1,0 +1,38 @@
+"""Featherweight Java: syntax, parser, concrete and abstract semantics.
+
+The OO side of the paradox (paper §4): the same k-CFA specification
+that is exponential for CPS is polynomial here, because object records
+close all their fields in one context.
+"""
+
+from repro.fj.syntax import (
+    Assign, Cast, ClassDef, FieldAccess, Invoke, Konstructor, Method,
+    New, OBJECT, Return, VarExp,
+)
+from repro.fj.class_table import FJProgram
+from repro.fj.parser import parse_fj
+from repro.fj.concrete import (
+    FJConcreteResult, FJKont, FJMachine, FJObjectVal, HALT, run_fj,
+)
+from repro.fj.kcfa import (
+    AKont, AObj, FJBEnv, FJConfig, FJKCFAMachine, FJResult, HALT_PTR,
+    analyze_fj_kcfa,
+)
+from repro.fj.poly import FJPolyMachine, PConfig, PKont, PObj, \
+    analyze_fj_poly
+from repro.fj.gc import analyze_fj_kcfa_gc
+from repro.fj.typecheck import TypeReport, typecheck_program
+from repro.fj.examples import ALL_EXAMPLES
+
+__all__ = [
+    "Assign", "Cast", "ClassDef", "FieldAccess", "Invoke",
+    "Konstructor", "Method", "New", "OBJECT", "Return", "VarExp",
+    "FJProgram", "parse_fj",
+    "FJConcreteResult", "FJKont", "FJMachine", "FJObjectVal", "HALT",
+    "run_fj",
+    "AKont", "AObj", "FJBEnv", "FJConfig", "FJKCFAMachine", "FJResult",
+    "HALT_PTR", "analyze_fj_kcfa",
+    "FJPolyMachine", "PConfig", "PKont", "PObj", "analyze_fj_poly",
+    "analyze_fj_kcfa_gc", "TypeReport", "typecheck_program",
+    "ALL_EXAMPLES",
+]

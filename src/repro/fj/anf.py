@@ -1,0 +1,165 @@
+"""Surface expression trees and A-normalization for Featherweight Java.
+
+The parser (:mod:`repro.fj.parser`) accepts nested expressions —
+``return f.foo(b.bar());`` — but the paper's semantics work on
+A-Normal Featherweight Java, where every argument is atomically
+evaluable.  :func:`normalize_method` introduces fresh ``Object``-typed
+temporaries and splits nested expressions into statement sequences,
+reproducing the paper's example::
+
+    return f.foo(b.bar());
+      ==>
+    B b1 = b.bar();  F f1 = f.foo(b1);  return f1;
+
+Labels are assigned program-wide by a shared counter, so they are
+unique across methods (the machines key continuations by label-derived
+times).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Union
+
+from repro.fj.syntax import (
+    Assign, Cast, Exp, FieldAccess, Invoke, Method, New,
+    Return, Stmt, VarExp,
+)
+
+# -- surface (possibly nested) expressions -------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SVar:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class SField:
+    target: "SExp"
+    fieldname: str
+
+
+@dataclass(frozen=True, slots=True)
+class SInvoke:
+    target: "SExp"
+    method: str
+    args: tuple["SExp", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SNew:
+    classname: str
+    args: tuple["SExp", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SCast:
+    classname: str
+    target: "SExp"
+
+
+SExp = Union[SVar, SField, SInvoke, SNew, SCast]
+
+
+@dataclass(frozen=True, slots=True)
+class SAssign:
+    var: str
+    exp: SExp
+
+
+@dataclass(frozen=True, slots=True)
+class SReturn:
+    exp: SExp
+
+
+SStmt = Union[SAssign, SReturn]
+
+
+@dataclass(frozen=True, slots=True)
+class SurfaceMethod:
+    ret_type: str
+    name: str
+    params: tuple[tuple[str, str], ...]
+    locals: tuple[tuple[str, str], ...]
+    body: tuple[SStmt, ...]
+
+
+class LabelCounter:
+    """Program-wide statement label allocator."""
+
+    def __init__(self):
+        self._labels = itertools.count()
+
+    def fresh(self) -> int:
+        return next(self._labels)
+
+
+class _Normalizer:
+    def __init__(self, labels: LabelCounter, taken: set[str]):
+        self.labels = labels
+        self.taken = set(taken)
+        self.temps: list[tuple[str, str]] = []
+        self.statements: list[Stmt] = []
+        self._counter = itertools.count(1)
+
+    def fresh_temp(self) -> str:
+        while True:
+            name = f"t${next(self._counter)}"
+            if name not in self.taken:
+                self.taken.add(name)
+                self.temps.append(("Object", name))
+                return name
+
+    def emit(self, var: str, exp: Exp) -> None:
+        self.statements.append(Assign(var, exp, self.labels.fresh()))
+
+    def atomize(self, exp: SExp) -> str:
+        """Reduce *exp* to a variable name, emitting statements."""
+        if isinstance(exp, SVar):
+            return exp.name
+        temp = self.fresh_temp()
+        self.emit(temp, self.flatten(exp))
+        return temp
+
+    def flatten(self, exp: SExp) -> Exp:
+        """One level of *exp* with atomic sub-parts."""
+        if isinstance(exp, SVar):
+            return VarExp(exp.name)
+        if isinstance(exp, SField):
+            return FieldAccess(self.atomize(exp.target), exp.fieldname)
+        if isinstance(exp, SInvoke):
+            target = self.atomize(exp.target)
+            args = tuple(self.atomize(arg) for arg in exp.args)
+            return Invoke(target, exp.method, args)
+        if isinstance(exp, SNew):
+            args = tuple(self.atomize(arg) for arg in exp.args)
+            return New(exp.classname, args)
+        if isinstance(exp, SCast):
+            return Cast(exp.classname, self.atomize(exp.target))
+        raise TypeError(f"not a surface expression: {exp!r}")
+
+
+def normalize_method(surface: SurfaceMethod, labels: LabelCounter,
+                     owner: str) -> Method:
+    """Lower one surface method to A-normal form."""
+    taken = {name for _, name in surface.params}
+    taken.update(name for _, name in surface.locals)
+    taken.add("this")
+    normalizer = _Normalizer(labels, taken)
+    for stmt in surface.body:
+        if isinstance(stmt, SAssign):
+            flat = normalizer.flatten(stmt.exp)
+            normalizer.emit(stmt.var, flat)
+        elif isinstance(stmt, SReturn):
+            name = normalizer.atomize(stmt.exp)
+            normalizer.statements.append(
+                Return(name, labels.fresh()))
+        else:
+            raise TypeError(f"not a surface statement: {stmt!r}")
+    return Method(
+        ret_type=surface.ret_type, name=surface.name,
+        params=surface.params,
+        locals=surface.locals + tuple(normalizer.temps),
+        body=tuple(normalizer.statements), owner=owner)

@@ -1,0 +1,269 @@
+"""The FJ class table: 𝒞 (constructor lookup) and ℳ (method lookup).
+
+:class:`FJProgram` bundles the class table with the designated entry
+point and precomputes what the machines need:
+
+* the inherited-fields-included field list per class (𝒞's first
+  component);
+* the *constructor wiring*: for every field of a class (own and
+  inherited), which constructor parameter position supplies its value
+  — computed once by composing ``super(...)`` argument passing, so the
+  machines run constructors without re-walking the hierarchy;
+* the method-lookup table with inheritance (ℳ);
+* the statement successor function ``succ`` and label → statement maps.
+
+Construction validates the table: no duplicate/undefined classes,
+acyclic inheritance, every field initialized exactly once from a
+constructor parameter, ``super(...)`` arity agreement, unique labels,
+and names in statements resolving to locals/params/fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.errors import FJTypeError
+from repro.fj.syntax import (
+    Cast, ClassDef, FieldAccess, Invoke, Konstructor, Label,
+    Method, New, OBJECT, Return, Stmt, VarExp,
+)
+
+_OBJECT_CLASS = ClassDef(
+    name=OBJECT, superclass="", fields=(),
+    konstructor=Konstructor(OBJECT, (), (), ()), methods=())
+
+
+@dataclass
+class FJProgram:
+    """A validated Featherweight Java program."""
+
+    classes: tuple[ClassDef, ...]
+    entry_class: str = "Main"
+    entry_method: str = "main"
+
+    by_name: dict[str, ClassDef] = dataclass_field(init=False)
+    succ_table: dict[Label, Stmt] = dataclass_field(init=False)
+    stmt_by_label: dict[Label, Stmt] = dataclass_field(init=False)
+    method_of_label: dict[Label, Method] = dataclass_field(init=False)
+    #: class → ((field, ctor-param-index), ...) including inherited fields
+    ctor_wiring: dict[str, tuple[tuple[str, int], ...]] = \
+        dataclass_field(init=False)
+
+    def __post_init__(self):
+        self.by_name = {OBJECT: _OBJECT_CLASS}
+        for cls in self.classes:
+            if cls.name in self.by_name:
+                raise FJTypeError(f"duplicate class {cls.name}")
+            self.by_name[cls.name] = cls
+        self._check_hierarchy()
+        self.ctor_wiring = {}
+        for cls in self.by_name.values():
+            self.ctor_wiring[cls.name] = self._wire_constructor(cls)
+        self.succ_table = {}
+        self.stmt_by_label = {}
+        self.method_of_label = {}
+        for cls in self.classes:
+            for method in cls.methods:
+                self._index_method(cls, method)
+        self._check_entry()
+
+    # -- validation --------------------------------------------------------
+
+    def _check_hierarchy(self) -> None:
+        for cls in self.classes:
+            seen = {cls.name}
+            cursor = cls.superclass
+            while cursor != OBJECT:
+                if cursor not in self.by_name:
+                    raise FJTypeError(
+                        f"class {cls.name}: undefined superclass "
+                        f"{cursor}")
+                if cursor in seen:
+                    raise FJTypeError(
+                        f"inheritance cycle through {cursor}")
+                seen.add(cursor)
+                cursor = self.by_name[cursor].superclass
+
+    def _wire_constructor(self, cls: ClassDef) -> tuple[tuple[str, int],
+                                                        ...]:
+        if cls.name == OBJECT:
+            return ()
+        ctor = cls.konstructor
+        params = ctor.param_names()
+        if len(set(params)) != len(params):
+            raise FJTypeError(
+                f"{cls.name}: duplicate constructor parameter")
+        index_of = {name: index for index, name in enumerate(params)}
+        super_cls = self.by_name[cls.superclass]
+        super_wiring = self.ctor_wiring.get(cls.superclass)
+        if super_wiring is None:
+            super_wiring = self._wire_constructor(super_cls)
+            self.ctor_wiring[cls.superclass] = super_wiring
+        super_arity = len(super_cls.konstructor.params)
+        if len(ctor.super_args) != super_arity:
+            raise FJTypeError(
+                f"{cls.name}: super(...) passes "
+                f"{len(ctor.super_args)} argument(s), "
+                f"{cls.superclass} expects {super_arity}")
+        wiring: list[tuple[str, int]] = []
+        for fieldname, super_index in super_wiring:
+            passed = ctor.super_args[super_index]
+            if passed not in index_of:
+                raise FJTypeError(
+                    f"{cls.name}: super argument {passed!r} is not a "
+                    "constructor parameter")
+            wiring.append((fieldname, index_of[passed]))
+        initialized = set()
+        own_fields = set(cls.field_names())
+        for fieldname, param in ctor.field_inits:
+            if fieldname not in own_fields:
+                raise FJTypeError(
+                    f"{cls.name}: constructor initializes unknown "
+                    f"field {fieldname}")
+            if fieldname in initialized:
+                raise FJTypeError(
+                    f"{cls.name}: field {fieldname} initialized twice")
+            if param not in index_of:
+                raise FJTypeError(
+                    f"{cls.name}: field {fieldname} initialized from "
+                    f"non-parameter {param!r}")
+            initialized.add(fieldname)
+            wiring.append((fieldname, index_of[param]))
+        missing = own_fields - initialized
+        if missing:
+            raise FJTypeError(
+                f"{cls.name}: field(s) {sorted(missing)} never "
+                "initialized")
+        return tuple(wiring)
+
+    def _index_method(self, cls: ClassDef, method: Method) -> None:
+        names = method.param_names() + method.local_names() + ("this",)
+        if len(set(names)) != len(names):
+            raise FJTypeError(
+                f"{cls.name}.{method.name}: duplicate parameter/local")
+        if not method.body:
+            raise FJTypeError(f"{cls.name}.{method.name}: empty body")
+        if not isinstance(method.body[-1], Return):
+            raise FJTypeError(
+                f"{cls.name}.{method.name}: body must end in return")
+        scope = set(names)
+        for stmt in method.body:
+            if stmt.label in self.stmt_by_label:
+                raise FJTypeError(
+                    f"duplicate statement label {stmt.label}")
+            self.stmt_by_label[stmt.label] = stmt
+            self.method_of_label[stmt.label] = method
+            self._check_stmt_names(cls, method, stmt, scope)
+        for current, following in zip(method.body, method.body[1:]):
+            self.succ_table[current.label] = following
+
+    def _check_stmt_names(self, cls: ClassDef, method: Method,
+                          stmt: Stmt, scope: set[str]) -> None:
+        def need(name: str) -> None:
+            if name not in scope:
+                raise FJTypeError(
+                    f"{cls.name}.{method.name}: unknown name {name!r} "
+                    f"in {stmt}")
+        if isinstance(stmt, Return):
+            need(stmt.var)
+            return
+        need(stmt.var)
+        exp = stmt.exp
+        if isinstance(exp, VarExp):
+            need(exp.name)
+        elif isinstance(exp, FieldAccess):
+            need(exp.target)
+        elif isinstance(exp, Invoke):
+            need(exp.target)
+            for arg in exp.args:
+                need(arg)
+        elif isinstance(exp, New):
+            if exp.classname not in self.by_name:
+                raise FJTypeError(
+                    f"{cls.name}.{method.name}: new of undefined class "
+                    f"{exp.classname}")
+            expected = len(self.by_name[exp.classname].konstructor.params)
+            if len(exp.args) != expected:
+                raise FJTypeError(
+                    f"{cls.name}.{method.name}: new {exp.classname} "
+                    f"expects {expected} argument(s), got "
+                    f"{len(exp.args)}")
+            for arg in exp.args:
+                need(arg)
+        elif isinstance(exp, Cast):
+            if exp.classname not in self.by_name:
+                raise FJTypeError(
+                    f"cast to undefined class {exp.classname}")
+            need(exp.target)
+
+    def _check_entry(self) -> None:
+        entry = self.by_name.get(self.entry_class)
+        if entry is None:
+            raise FJTypeError(f"no entry class {self.entry_class}")
+        if self.konstructor_arity(self.entry_class) != 0:
+            raise FJTypeError(
+                f"entry class {self.entry_class} needs a zero-argument "
+                "constructor")
+        if self.lookup_method(self.entry_class, self.entry_method) is None:
+            raise FJTypeError(
+                f"entry class {self.entry_class} has no method "
+                f"{self.entry_method}")
+        if self.lookup_method(self.entry_class, self.entry_method).params:
+            raise FJTypeError(
+                f"entry method {self.entry_method} must take no "
+                "arguments")
+
+    # -- 𝒞 and ℳ -----------------------------------------------------------
+
+    def all_fields(self, classname: str) -> tuple[str, ...]:
+        """Field names of *classname*, inherited first (𝒞's first
+        component)."""
+        return tuple(fieldname
+                     for fieldname, _ in self.ctor_wiring[classname])
+
+    def konstructor_arity(self, classname: str) -> int:
+        return len(self.by_name[classname].konstructor.params)
+
+    def lookup_method(self, classname: str,
+                      method: str) -> Method | None:
+        """ℳ: dynamic dispatch — walk up the hierarchy."""
+        cursor = classname
+        while cursor:
+            cls = self.by_name[cursor]
+            found = cls.method(method)
+            if found is not None:
+                return found
+            cursor = cls.superclass
+        return None
+
+    def is_subclass(self, classname: str, ancestor: str) -> bool:
+        cursor = classname
+        while cursor:
+            if cursor == ancestor:
+                return True
+            cursor = self.by_name[cursor].superclass
+        return ancestor == OBJECT and classname == OBJECT
+
+    def succ(self, label: Label) -> Stmt | None:
+        return self.succ_table.get(label)
+
+    # -- sizes --------------------------------------------------------------
+
+    def statement_count(self) -> int:
+        return len(self.stmt_by_label)
+
+    def method_count(self) -> int:
+        return sum(len(cls.methods) for cls in self.classes)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "classes": len(self.classes),
+            "methods": self.method_count(),
+            "statements": self.statement_count(),
+            "fields": sum(len(cls.fields) for cls in self.classes),
+        }
+
+    @property
+    def methods(self) -> list[Method]:
+        return [method for cls in self.classes
+                for method in cls.methods]

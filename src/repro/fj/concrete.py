@@ -1,0 +1,296 @@
+"""Concrete semantics for A-Normal Featherweight Java (paper Figure 6).
+
+States are ``(stmt, β, σ, p_κ, t)``: statements execute over a binding
+environment, a store holding both objects' field values and
+continuations, a continuation pointer, and a time-stamp.
+
+Times are label histories (the paper's ``Time = Lab*``) so the k-CFA
+abstraction map is directly computable; concrete addresses add a
+machine-global serial for freshness (``(name, (serial, t))``), since
+unlike the CPS machine the FJ store is written more than once per
+address (locals can be reassigned).
+
+Two ticking policies are supported (paper §4.3 vs §4.5):
+
+* ``"statement"`` — Shivers-faithful: every statement ticks;
+* ``"invocation"`` — OO-conventional: only method invocation ticks, and
+  ``return`` *restores* the caller's time (saved in the continuation).
+
+The policy changes which context allocations receive; the machines and
+analyses take it as a constructor argument so the §4.5 variations can
+be compared head-to-head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError, FuelExhausted
+from repro.fj.class_table import FJProgram
+from repro.fj.syntax import (
+    Assign, Cast, FieldAccess, Invoke, New, Return, Stmt,
+    VarExp,
+)
+
+#: A concrete time: the history of labels traversed (most recent first).
+ConcreteTime = tuple[int, ...]
+
+#: A concrete address: (name, (serial, time)).
+ConcreteAddr = tuple[str, tuple[int, ConcreteTime]]
+
+TICK_POLICIES = ("statement", "invocation")
+
+
+@dataclass(frozen=True, slots=True)
+class FJObjectVal:
+    """A concrete object: class name, allocation site, field record."""
+
+    classname: str
+    site: int
+    fields: tuple[tuple[str, ConcreteAddr], ...]
+
+    def field_addr(self, name: str) -> ConcreteAddr:
+        for fieldname, addr in self.fields:
+            if fieldname == name:
+                return addr
+        raise EvaluationError(
+            f"object of class {self.classname} has no field {name}")
+
+    def __repr__(self) -> str:
+        return f"#<{self.classname}@{self.site}>"
+
+
+@dataclass(frozen=True, slots=True)
+class FJKont:
+    """A concrete continuation (paper's Kont, plus the saved time that
+    the §4.5 "restore caller context" variant needs)."""
+
+    var: str
+    stmt: Stmt
+    benv: tuple[tuple[str, ConcreteAddr], ...]
+    saved_time: ConcreteTime
+    kont_ptr: object  # ConcreteAddr or HALT
+
+    def __repr__(self) -> str:
+        return f"#<kont {self.var}>"
+
+
+class _Halt:
+    def __repr__(self) -> str:
+        return "#halt"
+
+
+HALT = _Halt()
+
+
+@dataclass(frozen=True, slots=True)
+class FJTraceEntry:
+    stmt: Stmt
+    benv: tuple[tuple[str, ConcreteAddr], ...]
+    kont_ptr: object
+    time: ConcreteTime
+
+
+@dataclass
+class FJConcreteResult:
+    value: object
+    steps: int
+    store: dict[ConcreteAddr, object]
+    writes: list[tuple[ConcreteAddr, object]]
+    trace: list[FJTraceEntry] = field(default_factory=list)
+
+
+DEFAULT_FUEL = 1_000_000
+
+
+class FJMachine:
+    """Driver for the concrete Featherweight Java semantics."""
+
+    def __init__(self, program: FJProgram,
+                 tick_policy: str = "invocation",
+                 fuel: int = DEFAULT_FUEL, record_trace: bool = False):
+        if tick_policy not in TICK_POLICIES:
+            raise ValueError(f"unknown tick_policy {tick_policy!r}")
+        self.program = program
+        self.tick_policy = tick_policy
+        self.fuel = fuel
+        self.record_trace = record_trace
+        self.store: dict[ConcreteAddr, object] = {}
+        self.writes: list[tuple[ConcreteAddr, object]] = []
+        self.trace: list[FJTraceEntry] = []
+        self._serial = 0
+
+    # -- addresses and time ------------------------------------------------
+
+    def alloc(self, name: str, time: ConcreteTime) -> ConcreteAddr:
+        self._serial += 1
+        return (name, (self._serial, time))
+
+    def write(self, addr: ConcreteAddr, value: object) -> None:
+        self.store[addr] = value
+        self.writes.append((addr, value))
+
+    def simple_tick(self, label: int, time: ConcreteTime) -> ConcreteTime:
+        """Time after a non-invocation statement."""
+        if self.tick_policy == "statement":
+            return (label, *time)
+        return time
+
+    def invoke_tick(self, label: int, time: ConcreteTime) -> ConcreteTime:
+        """Both policies tick at a method invocation."""
+        return (label, *time)
+
+    # -- running --------------------------------------------------------------
+
+    def run(self) -> FJConcreteResult:
+        stmt, benv, kont_ptr, time = self.initial()
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.fuel:
+                raise FuelExhausted(self.fuel, trace=self.trace)
+            if self.record_trace:
+                self.trace.append(FJTraceEntry(
+                    stmt, tuple(sorted(benv.items())), kont_ptr, time))
+            outcome = self.step(stmt, benv, kont_ptr, time)
+            if not isinstance(outcome, tuple):
+                return FJConcreteResult(outcome, steps, self.store,
+                                        self.writes, self.trace)
+            stmt, benv, kont_ptr, time = outcome
+
+    def initial(self):
+        program = self.program
+        time: ConcreteTime = ()
+        entry_obj = FJObjectVal(program.entry_class, -1, ())
+        entry_addr = self.alloc("%entry", time)
+        self.write(entry_addr, entry_obj)
+        method = program.lookup_method(program.entry_class,
+                                       program.entry_method)
+        benv = {"this": entry_addr}
+        for local in method.local_names():
+            benv[local] = self.alloc(local, time)
+        return method.body[0], benv, HALT, time
+
+    # -- one transition (Figure 6) ----------------------------------------
+
+    def step(self, stmt: Stmt, benv: dict, kont_ptr, time: ConcreteTime):
+        if isinstance(stmt, Return):
+            return self._return(stmt, benv, kont_ptr, time)
+        exp = stmt.exp
+        if isinstance(exp, VarExp):
+            self.write(benv[stmt.var], self.store[benv[exp.name]])
+            return self._advance(stmt, benv, kont_ptr, time)
+        if isinstance(exp, FieldAccess):
+            target = self.store[benv[exp.target]]
+            if not isinstance(target, FJObjectVal):
+                raise EvaluationError(
+                    f"field access on non-object {target!r}")
+            value = self.store[target.field_addr(exp.fieldname)]
+            self.write(benv[stmt.var], value)
+            return self._advance(stmt, benv, kont_ptr, time)
+        if isinstance(exp, Invoke):
+            return self._invoke(stmt, exp, benv, kont_ptr, time)
+        if isinstance(exp, New):
+            return self._new(stmt, exp, benv, kont_ptr, time)
+        if isinstance(exp, Cast):
+            value = self.store[benv[exp.target]]
+            if not isinstance(value, FJObjectVal) or \
+                    not self.program.is_subclass(value.classname,
+                                                 exp.classname):
+                raise EvaluationError(
+                    f"bad cast of {value!r} to {exp.classname}")
+            self.write(benv[stmt.var], value)
+            return self._advance(stmt, benv, kont_ptr, time)
+        raise TypeError(f"cannot step statement {stmt!r}")
+
+    def _advance(self, stmt: Stmt, benv: dict, kont_ptr,
+                 time: ConcreteTime):
+        following = self.program.succ(stmt.label)
+        if following is None:
+            raise EvaluationError(
+                f"statement {stmt} falls off the end of its method")
+        return following, benv, kont_ptr, self.simple_tick(stmt.label,
+                                                           time)
+
+    def _return(self, stmt: Return, benv: dict, kont_ptr,
+                time: ConcreteTime):
+        value = self.store[benv[stmt.var]]
+        if kont_ptr is HALT:
+            return value  # machine result
+        kont = self.store[kont_ptr]
+        if not isinstance(kont, FJKont):
+            raise EvaluationError(f"corrupt continuation at {kont_ptr}")
+        caller_benv = dict(kont.benv)
+        self.write(caller_benv[kont.var], value)
+        if self.tick_policy == "invocation":
+            new_time = kont.saved_time
+        else:
+            new_time = (stmt.label, *time)
+        return kont.stmt, caller_benv, kont.kont_ptr, new_time
+
+    def _invoke(self, stmt: Assign, exp: Invoke, benv: dict, kont_ptr,
+                time: ConcreteTime):
+        receiver = self.store[benv[exp.target]]
+        if not isinstance(receiver, FJObjectVal):
+            raise EvaluationError(
+                f"method call on non-object {receiver!r}")
+        method = self.program.lookup_method(receiver.classname,
+                                            exp.method)
+        if method is None:
+            raise EvaluationError(
+                f"class {receiver.classname} has no method "
+                f"{exp.method}")
+        if len(method.params) != len(exp.args):
+            raise EvaluationError(
+                f"{method.qualified_name} expects "
+                f"{len(method.params)} argument(s), got "
+                f"{len(exp.args)}")
+        args = [self.store[benv[arg]] for arg in exp.args]
+        new_time = self.invoke_tick(stmt.label, time)
+        following = self.program.succ(stmt.label)
+        if following is None:
+            raise EvaluationError(
+                f"invocation {stmt} has no successor statement")
+        kont = FJKont(stmt.var, following,
+                      tuple(sorted(benv.items())), time, kont_ptr)
+        kont_addr = self.alloc(method.qualified_name, new_time)
+        self.write(kont_addr, kont)
+        new_benv = {"this": benv[exp.target]}
+        for name, value in zip(method.param_names(), args):
+            addr = self.alloc(name, new_time)
+            new_benv[name] = addr
+            self.write(addr, value)
+        for local in method.local_names():
+            new_benv[local] = self.alloc(local, new_time)
+        return method.body[0], new_benv, kont_addr, new_time
+
+    def _new(self, stmt: Assign, exp: New, benv: dict, kont_ptr,
+             time: ConcreteTime):
+        if self.tick_policy == "statement":
+            alloc_time = (stmt.label, *time)
+            next_time = alloc_time
+        else:
+            alloc_time = time
+            next_time = time
+        args = [self.store[benv[arg]] for arg in exp.args]
+        record = []
+        for fieldname, param_index in \
+                self.program.ctor_wiring[exp.classname]:
+            addr = self.alloc(fieldname, alloc_time)
+            self.write(addr, args[param_index])
+            record.append((fieldname, addr))
+        obj = FJObjectVal(exp.classname, stmt.label,
+                          tuple(sorted(record)))
+        self.write(benv[stmt.var], obj)
+        following = self.program.succ(stmt.label)
+        if following is None:
+            raise EvaluationError(
+                f"allocation {stmt} has no successor statement")
+        return following, benv, kont_ptr, next_time
+
+
+def run_fj(program: FJProgram, tick_policy: str = "invocation",
+           fuel: int = DEFAULT_FUEL,
+           record_trace: bool = False) -> FJConcreteResult:
+    """Run *program* from its entry point."""
+    return FJMachine(program, tick_policy, fuel, record_trace).run()

@@ -1,0 +1,158 @@
+"""Hand-written Featherweight Java example programs.
+
+Used by tests, examples and documentation.  Each entry is a source
+string suitable for :func:`repro.fj.parser.parse_fj`; entry points are
+``Main.main`` unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+#: Pairs à la the original FJ paper: construct, project, swap.
+PAIRS = """
+class Pair extends Object {
+  Object fst;
+  Object snd;
+  Pair(Object f, Object s) { super(); this.fst = f; this.snd = s; }
+  Object getFst() { return this.fst; }
+  Object getSnd() { return this.snd; }
+  Pair swap() {
+    return new Pair(this.snd, this.fst);
+  }
+}
+class A extends Object { A() { super(); } }
+class B extends Object { B() { super(); } }
+class Main extends Object {
+  Main() { super(); }
+  Object main() {
+    Pair p;
+    Pair q;
+    Object r;
+    p = new Pair(new A(), new B());
+    q = p.swap();
+    r = q.getFst();
+    return r;
+  }
+}
+"""
+
+#: Dynamic dispatch: the classic animals hierarchy.
+DISPATCH = """
+class Animal extends Object {
+  Animal() { super(); }
+  Object speak() { return new Silence(); }
+}
+class Dog extends Animal {
+  Dog() { super(); }
+  Object speak() { return new Bark(); }
+}
+class Cat extends Animal {
+  Cat() { super(); }
+  Object speak() { return new Meow(); }
+}
+class Silence extends Object { Silence() { super(); } }
+class Bark extends Object { Bark() { super(); } }
+class Meow extends Object { Meow() { super(); } }
+class Main extends Object {
+  Main() { super(); }
+  Object pet(Animal a) { return a.speak(); }
+  Object main() {
+    Object x;
+    Object y;
+    x = this.pet(new Dog());
+    y = this.pet(new Cat());
+    return y;
+  }
+}
+"""
+
+#: A linked list with map via subclass dispatch (no lambdas in FJ).
+LINKED_LIST = """
+class List extends Object {
+  List() { super(); }
+  List wrapAll(Wrapper w) { return this; }
+}
+class Nil extends List {
+  Nil() { super(); }
+  List wrapAll(Wrapper w) { return this; }
+}
+class Cons extends List {
+  Object head;
+  List tail;
+  Cons(Object h, List t) { super(); this.head = h; this.tail = t; }
+  List wrapAll(Wrapper w) {
+    return new Cons(w.wrap(this.head), this.tail.wrapAll(w));
+  }
+}
+class Wrapper extends Object {
+  Wrapper() { super(); }
+  Object wrap(Object x) { return new Box(x); }
+}
+class Box extends Object {
+  Object contents;
+  Box(Object c) { super(); this.contents = c; }
+}
+class Elem extends Object { Elem() { super(); } }
+class Main extends Object {
+  Main() { super(); }
+  Object main() {
+    List xs;
+    List ys;
+    xs = new Cons(new Elem(), new Cons(new Elem(), new Nil()));
+    ys = xs.wrapAll(new Wrapper());
+    return ys;
+  }
+}
+"""
+
+#: The paper's running A-normalization example (§4): the surface
+#: parser accepts the nested call and ANF splits it.
+ANF_EXAMPLE = """
+class B extends Object {
+  B() { super(); }
+  Object bar() { return new B(); }
+}
+class F extends Object {
+  F() { super(); }
+  Object foo(Object b1) { return b1; }
+}
+class Main extends Object {
+  Main() { super(); }
+  Object main() {
+    F f;
+    B b;
+    f = new F();
+    b = new B();
+    return f.foo(b.bar());
+  }
+}
+"""
+
+#: Receiver-polymorphic identity — the OO cousin of the §6 example.
+OO_IDENTITY = """
+class Id extends Object {
+  Id() { super(); }
+  Object identity(Object x) { return x; }
+}
+class A extends Object { A() { super(); } }
+class B extends Object { B() { super(); } }
+class Main extends Object {
+  Main() { super(); }
+  Object main() {
+    Id id;
+    Object a;
+    Object b;
+    id = new Id();
+    a = id.identity(new A());
+    b = id.identity(new B());
+    return b;
+  }
+}
+"""
+
+ALL_EXAMPLES = {
+    "pairs": PAIRS,
+    "dispatch": DISPATCH,
+    "linked_list": LINKED_LIST,
+    "anf_example": ANF_EXAMPLE,
+    "oo_identity": OO_IDENTITY,
+}

@@ -1,0 +1,293 @@
+"""Parser for the Featherweight Java surface syntax.
+
+The accepted language is the paper's FJ with Java-style notation::
+
+    class C extends D {
+      Object f;
+      C(Object f0) { super(); this.f = f0; }
+      Object m(Object v) {
+        Object tmp;
+        tmp = this.f;
+        return tmp.n(new E(v));
+      }
+    }
+
+Nested expressions are allowed everywhere a variable is — the parser
+builds surface trees and :mod:`repro.fj.anf` flattens them to A-normal
+form.  Locals are declared (``Type name;``) before the first statement
+of a body, as in the paper's grammar.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import FJSyntaxError
+from repro.fj.anf import (
+    LabelCounter, SAssign, SCast, SExp, SField, SInvoke, SNew, SReturn,
+    SStmt, SurfaceMethod, SVar, normalize_method,
+)
+from repro.fj.class_table import FJProgram
+from repro.fj.syntax import ClassDef, Konstructor, Method
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<ident>[A-Za-z_$][A-Za-z0-9_$]*)
+  | (?P<punct>[{}();,.=])
+""", re.VERBOSE)
+
+_KEYWORDS = frozenset({"class", "extends", "super", "this", "new",
+                       "return"})
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str   # "ident", "keyword", or the punctuation itself
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens = []
+    index, line, col = 0, 1, 1
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise FJSyntaxError(
+                f"unexpected character {source[index]!r}", line, col)
+        text = match.group(0)
+        if match.lastgroup == "ident":
+            kind = "keyword" if text in _KEYWORDS else "ident"
+            tokens.append(_Token(kind, text, line, col))
+        elif match.lastgroup == "punct":
+            tokens.append(_Token(text, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        index = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token | None:
+        position = self.index + offset
+        if position < len(self.tokens):
+            return self.tokens[position]
+        return None
+
+    def _error(self, message: str) -> FJSyntaxError:
+        token = self._peek()
+        if token is None:
+            return FJSyntaxError(f"{message} (at end of input)")
+        return FJSyntaxError(f"{message}, found {token.text!r}",
+                             token.line, token.column)
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise FJSyntaxError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, what: str = "") -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            raise self._error(f"expected {what or kind!r}")
+        return self._next()
+
+    def _expect_keyword(self, word: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != "keyword" or \
+                token.text != word:
+            raise self._error(f"expected keyword {word!r}")
+        return self._next()
+
+    def _at(self, kind: str, text: str | None = None,
+            offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return (token is not None and token.kind == kind
+                and (text is None or token.text == text))
+
+    # -- grammar ------------------------------------------------------------
+
+    def program(self) -> list[tuple]:
+        classes = []
+        while self._peek() is not None:
+            classes.append(self.class_def())
+        if not classes:
+            raise FJSyntaxError("empty program")
+        return classes
+
+    def class_def(self) -> tuple:
+        self._expect_keyword("class")
+        name = self._expect("ident", "class name").text
+        self._expect_keyword("extends")
+        superclass = self._expect("ident", "superclass name").text
+        self._expect("{")
+        fields = []
+        while self._at("ident") and self._at("ident", offset=1) \
+                and self._at(";", offset=2):
+            ftype = self._next().text
+            fname = self._next().text
+            self._next()  # ';'
+            fields.append((ftype, fname))
+        konstructor = self.konstructor(name)
+        methods = []
+        while not self._at("}"):
+            methods.append(self.method())
+        self._expect("}")
+        return (name, superclass, tuple(fields), konstructor,
+                tuple(methods))
+
+    def konstructor(self, classname: str) -> Konstructor:
+        name = self._expect("ident", "constructor name").text
+        if name != classname:
+            raise self._error(
+                f"constructor must be named {classname}")
+        params = self.param_list()
+        self._expect("{")
+        self._expect_keyword("super")
+        self._expect("(")
+        super_args = []
+        while not self._at(")"):
+            super_args.append(self._expect("ident", "argument").text)
+            if self._at(","):
+                self._next()
+        self._expect(")")
+        self._expect(";")
+        inits = []
+        while self._at("keyword", "this"):
+            self._next()
+            self._expect(".")
+            fieldname = self._expect("ident", "field name").text
+            self._expect("=")
+            param = self._expect("ident", "parameter name").text
+            self._expect(";")
+            inits.append((fieldname, param))
+        self._expect("}")
+        return Konstructor(classname, params, tuple(super_args),
+                           tuple(inits))
+
+    def param_list(self) -> tuple[tuple[str, str], ...]:
+        self._expect("(")
+        params = []
+        while not self._at(")"):
+            ptype = self._expect("ident", "parameter type").text
+            pname = self._expect("ident", "parameter name").text
+            params.append((ptype, pname))
+            if self._at(","):
+                self._next()
+        self._expect(")")
+        return tuple(params)
+
+    def method(self) -> SurfaceMethod:
+        ret_type = self._expect("ident", "return type").text
+        name = self._expect("ident", "method name").text
+        params = self.param_list()
+        self._expect("{")
+        locals_ = []
+        while self._at("ident") and self._at("ident", offset=1) \
+                and self._at(";", offset=2):
+            ltype = self._next().text
+            lname = self._next().text
+            self._next()  # ';'
+            locals_.append((ltype, lname))
+        body: list[SStmt] = []
+        while not self._at("}"):
+            body.append(self.statement())
+        self._expect("}")
+        if not body:
+            raise self._error(f"method {name} has an empty body")
+        return SurfaceMethod(ret_type, name, params, tuple(locals_),
+                             tuple(body))
+
+    def statement(self) -> SStmt:
+        if self._at("keyword", "return"):
+            self._next()
+            exp = self.expression()
+            self._expect(";")
+            return SReturn(exp)
+        var = self._expect("ident", "variable name").text
+        self._expect("=")
+        exp = self.expression()
+        self._expect(";")
+        return SAssign(var, exp)
+
+    def expression(self) -> SExp:
+        exp = self.primary()
+        while self._at("."):
+            self._next()
+            member = self._expect("ident", "member name").text
+            if self._at("("):
+                args = self.argument_list()
+                exp = SInvoke(exp, member, args)
+            else:
+                exp = SField(exp, member)
+        return exp
+
+    def primary(self) -> SExp:
+        if self._at("keyword", "new"):
+            self._next()
+            classname = self._expect("ident", "class name").text
+            args = self.argument_list()
+            return SNew(classname, args)
+        if self._at("keyword", "this"):
+            self._next()
+            return SVar("this")
+        if self._at("("):
+            # a cast: (C) expr
+            self._next()
+            classname = self._expect("ident", "class name").text
+            self._expect(")")
+            return SCast(classname, self.primary_postfix())
+        name = self._expect("ident", "variable").text
+        return SVar(name)
+
+    def primary_postfix(self) -> SExp:
+        """A primary with member chains — the operand of a cast."""
+        exp = self.primary()
+        while self._at("."):
+            self._next()
+            member = self._expect("ident", "member name").text
+            if self._at("("):
+                exp = SInvoke(exp, member, self.argument_list())
+            else:
+                exp = SField(exp, member)
+        return exp
+
+    def argument_list(self) -> tuple[SExp, ...]:
+        self._expect("(")
+        args = []
+        while not self._at(")"):
+            args.append(self.expression())
+            if self._at(","):
+                self._next()
+        self._expect(")")
+        return tuple(args)
+
+
+def parse_fj(source: str, entry_class: str = "Main",
+             entry_method: str = "main") -> FJProgram:
+    """Parse and A-normalize an FJ program."""
+    parser = _Parser(_tokenize(source))
+    raw_classes = parser.program()
+    labels = LabelCounter()
+    classes = []
+    for name, superclass, fields, konstructor, surface_methods in \
+            raw_classes:
+        methods = tuple(normalize_method(surface, labels, name)
+                        for surface in surface_methods)
+        classes.append(ClassDef(name, superclass, fields, konstructor,
+                                methods))
+    return FJProgram(tuple(classes), entry_class, entry_method)

@@ -1,0 +1,296 @@
+"""The §4.4 polynomial collapse of OO k-CFA.
+
+Inspecting the Figure 9 semantics shows that every address in the range
+of a binding environment shares one allocation time, so environments
+can be replaced by that time with no loss of precision: ``BEnv ≅ Time``.
+Objects become ``(class, allocation-time)`` — a base address — and the
+system space becomes polynomial in program size for fixed k.
+
+This module implements that collapsed machine directly.  Two deltas
+against the faithful map-based machine, both noted in DESIGN.md:
+
+* ``this`` is bound by *copy* into ``(this, t̂')`` rather than by
+  aliasing the receiver's address — required for the uniform-time
+  invariant, and reaching the same fixpoint (the copy is re-done when
+  the source grows, via dependency tracking);
+* field-less classes keep their allocation context (the map-based
+  encoding collapses their empty records), so the collapsed machine is
+  equal on classes with fields and finer on field-less ones.
+
+``analyze_fj_poly`` produces the same :class:`~repro.fj.kcfa.FJResult`
+API; the test suite checks agreement with the map-based machine on
+class+site projections of every flow set.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+from repro.analysis.domains import AbsStore, first_k
+from repro.fj.class_table import FJProgram
+from repro.fj.concrete import TICK_POLICIES
+from repro.fj.kcfa import HALT_PTR, FJResult, _FJRecorder
+from repro.fj.syntax import (
+    Assign, Cast, FieldAccess, Invoke, Method, New, Return, Stmt,
+    VarExp,
+)
+from repro.util.budget import Budget
+from repro.util.fixpoint import DependencyWorklist
+
+AbsTime = tuple[int, ...]
+AbsAddr = tuple[str, AbsTime]
+
+
+@dataclass(frozen=True, slots=True)
+class PObj:
+    """A collapsed abstract object: class + site + base time."""
+
+    classname: str
+    site: int
+    time: AbsTime
+
+    def __repr__(self) -> str:
+        return f"obj[{self.classname}@{self.site}]{list(self.time)}"
+
+
+@dataclass(frozen=True, slots=True)
+class PKont:
+    """A collapsed continuation: the caller is its entry time."""
+
+    var: str
+    stmt: Stmt
+    caller_entry: AbsTime
+    saved_time: AbsTime
+    kont_ptr: object
+
+
+@dataclass(frozen=True, slots=True)
+class PConfig:
+    """``(stmt, t̂_entry, p̂κ, t̂_now)`` — β̂ collapsed to its time."""
+
+    stmt: Stmt
+    entry: AbsTime
+    kont_ptr: object
+    time: AbsTime
+
+
+class FJPolyMachine:
+    """The collapsed (polynomial) abstract transition relation."""
+
+    def __init__(self, program: FJProgram, k: int,
+                 tick_policy: str = "invocation"):
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if tick_policy not in TICK_POLICIES:
+            raise ValueError(f"unknown tick_policy {tick_policy!r}")
+        self.program = program
+        self.k = k
+        self.tick_policy = tick_policy
+
+    def simple_tick(self, label: int, time: AbsTime) -> AbsTime:
+        if self.tick_policy == "statement":
+            return first_k(self.k, (label, *time))
+        return time
+
+    def invoke_tick(self, label: int, time: AbsTime) -> AbsTime:
+        return first_k(self.k, (label, *time))
+
+    def initial(self, store: AbsStore) -> PConfig:
+        program = self.program
+        entry_obj = PObj(program.entry_class, -1, ())
+        store.join(("this", ()), {entry_obj})
+        method = program.lookup_method(program.entry_class,
+                                       program.entry_method)
+        return PConfig(method.body[0], (), HALT_PTR, ())
+
+    # -- transitions ------------------------------------------------------
+
+    def transitions(self, config: PConfig, store: AbsStore,
+                    reads: set[AbsAddr], recorder: _FJRecorder
+                    ) -> list[tuple[PConfig, list]]:
+        stmt, entry = config.stmt, config.entry
+        kont_ptr, now = config.kont_ptr, config.time
+        if isinstance(stmt, Return):
+            return self._return(stmt, entry, kont_ptr, now, store,
+                                reads, recorder)
+        exp = stmt.exp
+        if isinstance(exp, VarExp):
+            source = (exp.name, entry)
+            reads.add(source)
+            values = store.get(source)
+            joins = [((stmt.var, entry), values)] if values else []
+            return self._advance(stmt, entry, kont_ptr, now, joins)
+        if isinstance(exp, FieldAccess):
+            source = (exp.target, entry)
+            reads.add(source)
+            joins = []
+            for value in store.get(source):
+                if isinstance(value, PObj) and exp.fieldname in \
+                        self.program.all_fields(value.classname):
+                    addr = (exp.fieldname, value.time)
+                    reads.add(addr)
+                    field_values = store.get(addr)
+                    if field_values:
+                        joins.append(((stmt.var, entry), field_values))
+            return self._advance(stmt, entry, kont_ptr, now, joins)
+        if isinstance(exp, Invoke):
+            return self._invoke(stmt, exp, entry, kont_ptr, now, store,
+                                reads, recorder)
+        if isinstance(exp, New):
+            return self._new(stmt, exp, entry, kont_ptr, now, store,
+                             reads, recorder)
+        if isinstance(exp, Cast):
+            source = (exp.target, entry)
+            reads.add(source)
+            values = store.get(source)
+            joins = [((stmt.var, entry), values)] if values else []
+            return self._advance(stmt, entry, kont_ptr, now, joins)
+        raise TypeError(f"cannot step statement {stmt!r}")
+
+    def _advance(self, stmt: Stmt, entry: AbsTime, kont_ptr,
+                 now: AbsTime, joins: list) -> list:
+        following = self.program.succ(stmt.label)
+        if following is None:
+            return []
+        succ = PConfig(following, entry, kont_ptr,
+                       self.simple_tick(stmt.label, now))
+        return [(succ, joins)]
+
+    def _return(self, stmt: Return, entry: AbsTime, kont_ptr,
+                now: AbsTime, store: AbsStore, reads: set,
+                recorder: _FJRecorder) -> list:
+        source = (stmt.var, entry)
+        reads.add(source)
+        values = store.get(source)
+        if kont_ptr is HALT_PTR:
+            recorder.halt_values |= values
+            return []
+        reads.add(kont_ptr)
+        succs = []
+        for kont in store.get(kont_ptr):
+            if not isinstance(kont, PKont):
+                continue
+            joins = []
+            if values:
+                joins.append(((kont.var, kont.caller_entry), values))
+            if self.tick_policy == "invocation":
+                new_time = kont.saved_time
+            else:
+                new_time = first_k(self.k, (stmt.label, *now))
+            succs.append((PConfig(kont.stmt, kont.caller_entry,
+                                  kont.kont_ptr, new_time), joins))
+        return succs
+
+    def _invoke(self, stmt: Assign, exp: Invoke, entry: AbsTime,
+                kont_ptr, now: AbsTime, store: AbsStore, reads: set,
+                recorder: _FJRecorder) -> list:
+        receiver_addr = (exp.target, entry)
+        reads.add(receiver_addr)
+        receivers = store.get(receiver_addr)
+        methods: dict[str, Method] = {}
+        for value in receivers:
+            if not isinstance(value, PObj):
+                continue
+            method = self.program.lookup_method(value.classname,
+                                                exp.method)
+            if method is not None and \
+                    len(method.params) == len(exp.args):
+                methods[method.qualified_name] = method
+        arg_values = []
+        for arg in exp.args:
+            addr = (arg, entry)
+            reads.add(addr)
+            arg_values.append(store.get(addr))
+        following = self.program.succ(stmt.label)
+        if following is None:
+            return []
+        succs = []
+        for qualified_name, method in sorted(methods.items()):
+            recorder.invoke_targets.setdefault(
+                stmt.label, set()).add(qualified_name)
+            new_time = self.invoke_tick(stmt.label, now)
+            recorder.method_contexts.setdefault(
+                qualified_name, set()).add(new_time)
+            kont = PKont(stmt.var, following, entry, now, kont_ptr)
+            joins: list = [((qualified_name, new_time),
+                            frozenset({kont}))]
+            # this is bound by copy, keeping every address at t̂'.
+            if receivers:
+                joins.append((("this", new_time), receivers))
+            for name, values in zip(method.param_names(), arg_values):
+                if values:
+                    joins.append(((name, new_time), values))
+            succs.append((PConfig(method.body[0], new_time,
+                                  (qualified_name, new_time), new_time),
+                          joins))
+        return succs
+
+    def _new(self, stmt: Assign, exp: New, entry: AbsTime, kont_ptr,
+             now: AbsTime, store: AbsStore, reads: set,
+             recorder: _FJRecorder) -> list:
+        if self.tick_policy == "statement":
+            alloc_time = first_k(self.k, (stmt.label, *now))
+            next_time = alloc_time
+        else:
+            alloc_time = now
+            next_time = now
+        arg_values = []
+        for arg in exp.args:
+            addr = (arg, entry)
+            reads.add(addr)
+            arg_values.append(store.get(addr))
+        joins = []
+        for fieldname, param_index in \
+                self.program.ctor_wiring[exp.classname]:
+            if arg_values[param_index]:
+                joins.append(((fieldname, alloc_time),
+                              arg_values[param_index]))
+        obj = PObj(exp.classname, stmt.label, alloc_time)
+        recorder.objects.add(obj)
+        joins.append(((stmt.var, entry), frozenset({obj})))
+        following = self.program.succ(stmt.label)
+        if following is None:
+            return []
+        return [(PConfig(following, entry, kont_ptr, next_time), joins)]
+
+
+def analyze_fj_poly(program: FJProgram, k: int = 1,
+                    tick_policy: str = "invocation",
+                    budget: Budget | None = None) -> FJResult:
+    """Run the collapsed polynomial OO k-CFA."""
+    machine = FJPolyMachine(program, k, tick_policy)
+    budget = budget or Budget()
+    budget.start()
+    store = AbsStore()
+    recorder = _FJRecorder()
+    worklist: DependencyWorklist[PConfig, AbsAddr] = DependencyWorklist()
+    worklist.add(machine.initial(store))
+    steps = 0
+    started = _time.perf_counter()
+    while worklist:
+        budget.charge()
+        config = worklist.pop()
+        steps += 1
+        reads: set[AbsAddr] = set()
+        succs = machine.transitions(config, store, reads, recorder)
+        worklist.record_reads(config, reads)
+        changed = []
+        for succ_config, joins in succs:
+            for addr, values in joins:
+                if store.join(addr, values):
+                    changed.append(addr)
+            worklist.add(succ_config)
+        if changed:
+            worklist.dirty(changed)
+    elapsed = _time.perf_counter() - started
+    return FJResult(
+        program=program, analysis="FJ-poly-k-CFA", parameter=k,
+        tick_policy=tick_policy, store=store, configs=worklist.seen,
+        method_contexts={name: frozenset(times) for name, times
+                         in recorder.method_contexts.items()},
+        objects=frozenset(recorder.objects),
+        invoke_targets={label: frozenset(targets) for label, targets
+                        in recorder.invoke_targets.items()},
+        halt_values=frozenset(recorder.halt_values),
+        steps=steps, elapsed=elapsed)

@@ -1,0 +1,159 @@
+"""Machine-checked soundness for the FJ analyses (paper §3.5, for §4).
+
+Strategy mirrors :mod:`repro.analysis.abstraction`: run the concrete FJ
+machine with trace and write-log recording, abstract every recorded
+state and every store write with α, and assert containment in the
+analysis result.  Because the FJ store is written more than once per
+address (locals are reassigned), the *write log* — not the final store
+— is what gets checked: every value ever stored at an address must be
+covered by the abstract store at the abstracted address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.domains import first_k
+from repro.fj.concrete import (
+    ConcreteAddr, FJConcreteResult, FJKont, FJObjectVal, HALT,
+)
+from repro.fj.kcfa import (
+    AKont, AObj, FJBEnv, FJConfig, FJResult, HALT_PTR,
+)
+from repro.fj.poly import PObj
+
+
+@dataclass
+class FJSoundnessReport:
+    analysis: str
+    states_checked: int = 0
+    writes_checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "SOUND" if self else f"{len(self.violations)} VIOLATIONS"
+        return (f"{self.analysis}: {status} "
+                f"({self.states_checked} states, "
+                f"{self.writes_checked} writes)")
+
+
+def _alpha_time(k: int, time: tuple) -> tuple:
+    return first_k(k, time)
+
+
+def _alpha_addr(k: int, addr: ConcreteAddr) -> tuple:
+    name, (_serial, time) = addr
+    return (name, _alpha_time(k, time))
+
+
+def check_fj_soundness(result: FJResult,
+                       concrete: FJConcreteResult) -> FJSoundnessReport:
+    """Check a map-based FJ k-CFA result against a concrete run.
+
+    The concrete run must use the same ``tick_policy`` as the analysis
+    and must have been recorded (``record_trace=True``).
+    """
+    k = result.parameter
+    report = FJSoundnessReport(analysis=f"FJ-k-CFA(k={k})")
+
+    def alpha_benv(items) -> FJBEnv:
+        return FJBEnv((name, _alpha_addr(k, addr))
+                      for name, addr in items)
+
+    def alpha_kont_ptr(ptr):
+        if ptr is HALT:
+            return HALT_PTR
+        return _alpha_addr(k, ptr)
+
+    def alpha_value(value):
+        if isinstance(value, FJObjectVal):
+            return AObj(value.classname, value.site,
+                        alpha_benv(value.fields))
+        if isinstance(value, FJKont):
+            return AKont(value.var, value.stmt, alpha_benv(value.benv),
+                         _alpha_time(k, value.saved_time),
+                         alpha_kont_ptr(value.kont_ptr))
+        raise TypeError(f"unexpected concrete value {value!r}")
+
+    for entry in concrete.trace:
+        report.states_checked += 1
+        config = FJConfig(entry.stmt, alpha_benv(entry.benv),
+                          alpha_kont_ptr(entry.kont_ptr),
+                          _alpha_time(k, entry.time))
+        if config not in result.configs:
+            report.violations.append(
+                f"unreached config at statement {entry.stmt.label} "
+                f"time {config.time}")
+    for addr, value in concrete.writes:
+        report.writes_checked += 1
+        abs_addr = _alpha_addr(k, addr)
+        if alpha_value(value) not in result.store.get(abs_addr):
+            report.violations.append(
+                f"store gap at {abs_addr}: {value!r} not covered")
+    if alpha_value(concrete.value) not in result.halt_values:
+        report.violations.append(
+            f"result {concrete.value!r} not covered by halt values")
+    return report
+
+
+def check_fj_poly_soundness(result: FJResult,
+                            concrete: FJConcreteResult
+                            ) -> FJSoundnessReport:
+    """Check the collapsed machine: store writes and the final value.
+
+    Configurations are skipped (the collapsed representation has no
+    per-state binding environments to compare); covering every store
+    write plus the result is the meaningful containment.
+    """
+    k = result.parameter
+    report = FJSoundnessReport(analysis=f"FJ-poly-k-CFA(k={k})")
+
+    def alpha_value(value):
+        if isinstance(value, FJObjectVal):
+            alloc_time = ()
+            if value.fields:
+                _name, (_serial, time) = value.fields[0][1]
+                alloc_time = _alpha_time(k, time)
+                return PObj(value.classname, value.site, alloc_time)
+            return None  # field-less: site check below
+        if isinstance(value, FJKont):
+            return None  # representation differs; skip
+        raise TypeError(f"unexpected concrete value {value!r}")
+
+    for addr, value in concrete.writes:
+        if isinstance(value, FJKont):
+            continue
+        report.writes_checked += 1
+        abs_addr = _alpha_addr(k, addr)
+        if abs_addr[0] == "%entry":
+            # The collapsed machine bootstraps the entry object at
+            # ("this", ()) instead of the synthetic %entry address.
+            abs_addr = ("this", abs_addr[1])
+        abstract = alpha_value(value)
+        candidates = result.store.get(abs_addr)
+        if abstract is not None:
+            if abstract in candidates:
+                continue
+            report.violations.append(
+                f"store gap at {abs_addr}: {value!r} not covered")
+        else:
+            # Field-less object: any PObj with the same class and site
+            # covers it (the collapsed machine keeps finer contexts).
+            if not any(isinstance(cand, PObj)
+                       and cand.classname == value.classname
+                       and cand.site == value.site
+                       for cand in candidates):
+                report.violations.append(
+                    f"store gap at {abs_addr}: {value!r} not covered")
+    covered = any(isinstance(cand, PObj)
+                  and cand.classname == concrete.value.classname
+                  and cand.site == concrete.value.site
+                  for cand in result.halt_values) \
+        if isinstance(concrete.value, FJObjectVal) else True
+    if not covered:
+        report.violations.append(
+            f"result {concrete.value!r} not covered by halt values")
+    return report

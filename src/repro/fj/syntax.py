@@ -1,0 +1,197 @@
+"""A-Normal Featherweight Java — abstract syntax (paper §4).
+
+The grammar follows the paper::
+
+    Class  ::= class C extends C' { C'' f; K M... }
+    K      ::= C (C f...) { super(f'...); this.f'' = f'''; ... }
+    M      ::= C m (C v...) { C v; ...  s... }
+    s      ::= v = e;^l  |  return v;^l
+    e      ::= v | v.f | v.m(v...) | new C(v...) | (C) v
+
+Arguments are atomic (A-normal form); the surface parser accepts nested
+expressions and :mod:`repro.fj.anf` flattens them.  Every statement
+carries a unique label; ``succ`` maps a label to the following
+statement in its method body (encoded here by keeping bodies as
+tuples and a program-level successor table).
+
+Like the CPS AST, statements and larger nodes are identity-hashed
+(each occurs once per program); expressions are structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+Label = int
+
+OBJECT = "Object"  # the built-in root class
+
+
+# -- expressions (atomic; right-hand sides of assignments) --------------
+
+
+@dataclass(frozen=True, slots=True)
+class VarExp:
+    """``v``"""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class FieldAccess:
+    """``v.f``"""
+
+    target: str
+    fieldname: str
+
+    def __str__(self) -> str:
+        return f"{self.target}.{self.fieldname}"
+
+
+@dataclass(frozen=True, slots=True)
+class Invoke:
+    """``v.m(v1, ..., vn)``"""
+
+    target: str
+    method: str
+    args: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.target}.{self.method}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class New:
+    """``new C(v1, ..., vn)``"""
+
+    classname: str
+    args: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"new {self.classname}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Cast:
+    """``(C) v``"""
+
+    classname: str
+    target: str
+
+    def __str__(self) -> str:
+        return f"({self.classname}) {self.target}"
+
+
+Exp = Union[VarExp, FieldAccess, Invoke, New, Cast]
+
+
+# -- statements -----------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class Assign:
+    """``v = e;^label``"""
+
+    var: str
+    exp: Exp
+    label: Label
+
+    def __str__(self) -> str:
+        return f"{self.var} = {self.exp};"
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class Return:
+    """``return v;^label``"""
+
+    var: str
+    label: Label
+
+    def __str__(self) -> str:
+        return f"return {self.var};"
+
+
+Stmt = Union[Assign, Return]
+
+
+# -- members ---------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class Konstructor:
+    """``C(C1 p1, ..., Cn pn) { super(p...); this.f = p; ... }``"""
+
+    classname: str
+    params: tuple[tuple[str, str], ...]       # (type, name)
+    super_args: tuple[str, ...]               # names of params passed up
+    field_inits: tuple[tuple[str, str], ...]  # (field, param name)
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(name for _, name in self.params)
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{t} {n}" for t, n in self.params)
+        inits = " ".join(f"this.{f} = {p};" for f, p in self.field_inits)
+        return (f"{self.classname}({params}) "
+                f"{{ super({', '.join(self.super_args)}); {inits} }}")
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class Method:
+    """``C m(C v...) { C v; ... s... }`` — typed locals, then statements."""
+
+    ret_type: str
+    name: str
+    params: tuple[tuple[str, str], ...]   # (type, name)
+    locals: tuple[tuple[str, str], ...]   # (type, name)
+    body: tuple[Stmt, ...]
+    owner: str = ""                       # set by ClassDef construction
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(name for _, name in self.params)
+
+    def local_names(self) -> tuple[str, ...]:
+        return tuple(name for _, name in self.locals)
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{t} {n}" for t, n in self.params)
+        return f"{self.ret_type} {self.name}({params}) {{...}}"
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}.{self.name}" if self.owner else self.name
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class ClassDef:
+    """``class C extends C' { fields; K; methods }``"""
+
+    name: str
+    superclass: str
+    fields: tuple[tuple[str, str], ...]   # (type, name), own fields only
+    konstructor: Konstructor
+    methods: tuple[Method, ...]
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for _, name in self.fields)
+
+    def method(self, name: str) -> Method | None:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
+
+    def __str__(self) -> str:
+        return f"class {self.name} extends {self.superclass} {{...}}"
+
+
+def iter_statements(method: Method) -> Iterator[Stmt]:
+    yield from method.body
+
+
+def method_labels(method: Method) -> list[Label]:
+    return [stmt.label for stmt in method.body]

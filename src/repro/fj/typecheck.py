@@ -1,0 +1,267 @@
+"""The Featherweight Java type system (Igarashi, Pierce, Wadler 2001).
+
+The paper's substrate is *typed* FJ; this module implements the typing
+rules, adapted to our A-normal statement form:
+
+* field and method type lookup through the hierarchy,
+* method override compatibility (same signature as the overridden
+  method — FJ's invariant overriding),
+* constructor typing (parameters must agree with the field chain),
+* statement/expression typing with subsumption,
+* cast classification: upcasts, downcasts, and *stupid* casts (between
+  unrelated classes, which FJ's type system famously flags but
+  permits so that subject reduction holds).
+
+``typecheck_program`` returns a :class:`TypeReport` listing every
+error and every stupid-cast warning.  The class table's structural
+validation (well-founded hierarchy, constructor wiring) already runs
+at parse time; this pass adds the *type* discipline on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fj.class_table import FJProgram
+from repro.fj.syntax import (
+    Assign, Cast, FieldAccess, Invoke, Method, New, OBJECT, Return,
+    VarExp,
+)
+
+
+@dataclass
+class TypeReport:
+    """Outcome of type checking; falsy iff errors were found."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    checked_methods: int = 0
+
+    def __bool__(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        status = "WELL-TYPED" if self else \
+            f"{len(self.errors)} TYPE ERROR(S)"
+        extra = f", {len(self.warnings)} warning(s)" if self.warnings \
+            else ""
+        return f"{status} ({self.checked_methods} methods{extra})"
+
+
+class TypeChecker:
+    """Checks one program against the FJ typing rules."""
+
+    def __init__(self, program: FJProgram):
+        self.program = program
+        self.report = TypeReport()
+
+    # -- auxiliary lookups ------------------------------------------------
+
+    def is_type(self, name: str) -> bool:
+        return name in self.program.by_name
+
+    def field_type(self, classname: str, fieldname: str) -> str | None:
+        """The declared type of a field, walking up the hierarchy."""
+        cursor = classname
+        while cursor:
+            cls = self.program.by_name[cursor]
+            for ftype, fname in cls.fields:
+                if fname == fieldname:
+                    return ftype
+            cursor = cls.superclass
+        return None
+
+    def method_signature(self, classname: str, method: str
+                         ) -> tuple[tuple[str, ...], str] | None:
+        """(parameter types, return type) via dynamic lookup."""
+        found = self.program.lookup_method(classname, method)
+        if found is None:
+            return None
+        return (tuple(ptype for ptype, _name in found.params),
+                found.ret_type)
+
+    def assignable(self, source: str, target: str) -> bool:
+        """Subsumption: a *source* value may flow where *target* is
+        expected."""
+        return self.program.is_subclass(source, target)
+
+    # -- the checking pass ----------------------------------------------------
+
+    def check(self) -> TypeReport:
+        for cls in self.program.classes:
+            self._check_constructor(cls)
+            for method in cls.methods:
+                self._check_override(cls, method)
+                self._check_method(cls.name, method)
+        return self.report
+
+    def _error(self, where: str, message: str) -> None:
+        self.report.errors.append(f"{where}: {message}")
+
+    def _warn(self, where: str, message: str) -> None:
+        self.report.warnings.append(f"{where}: {message}")
+
+    def _check_constructor(self, cls) -> None:
+        ctor = cls.konstructor
+        where = f"{cls.name} constructor"
+        for ptype, pname in ctor.params:
+            if not self.is_type(ptype):
+                self._error(where, f"unknown parameter type {ptype}")
+        param_types = dict(
+            (pname, ptype) for ptype, pname in ctor.params)
+        # every field must receive a subtype of its declared type
+        for fieldname, param_index in \
+                self.program.ctor_wiring[cls.name]:
+            declared = self.field_type(cls.name, fieldname)
+            _ptype, pname = ctor.params[param_index]
+            provided = param_types[pname]
+            if declared and not self.assignable(provided, declared):
+                self._error(
+                    where,
+                    f"field {fieldname}: expected {declared}, "
+                    f"constructor supplies {provided}")
+        for ftype, fname in cls.fields:
+            if not self.is_type(ftype):
+                self._error(where, f"unknown field type {ftype} "
+                                   f"for {fname}")
+
+    def _check_override(self, cls, method: Method) -> None:
+        """FJ overriding: identical parameter and return types."""
+        inherited = None
+        cursor = cls.superclass
+        while cursor:
+            inherited = self.program.by_name[cursor].method(method.name)
+            if inherited is not None:
+                break
+            cursor = self.program.by_name[cursor].superclass
+        if inherited is None:
+            return
+        where = f"{cls.name}.{method.name}"
+        own_sig = (tuple(t for t, _n in method.params),
+                   method.ret_type)
+        super_sig = (tuple(t for t, _n in inherited.params),
+                     inherited.ret_type)
+        if own_sig != super_sig:
+            self._error(
+                where,
+                f"invalid override: {own_sig} does not match the "
+                f"inherited signature {super_sig}")
+
+    def _check_method(self, classname: str, method: Method) -> None:
+        self.report.checked_methods += 1
+        where = f"{classname}.{method.name}"
+        env: dict[str, str] = {"this": classname}
+        for ptype, pname in method.params:
+            if not self.is_type(ptype):
+                self._error(where, f"unknown parameter type {ptype}")
+                ptype = OBJECT
+            env[pname] = ptype
+        for ltype, lname in method.locals:
+            if not self.is_type(ltype):
+                self._error(where, f"unknown local type {ltype}")
+                ltype = OBJECT
+            env[lname] = ltype
+        if not self.is_type(method.ret_type):
+            self._error(where, f"unknown return type "
+                               f"{method.ret_type}")
+        for stmt in method.body:
+            if isinstance(stmt, Return):
+                actual = env[stmt.var]
+                if self.is_type(method.ret_type) and \
+                        not self.assignable(actual, method.ret_type):
+                    self._error(
+                        where,
+                        f"return of {actual} where {method.ret_type} "
+                        "expected")
+                continue
+            exp_type = self._type_of(where, stmt, env)
+            if self._is_anf_temp(stmt.var):
+                # A-normalization temps are assigned exactly once;
+                # infer their type from that assignment instead of
+                # trusting the synthesized Object declaration.
+                if exp_type is not None:
+                    env[stmt.var] = exp_type
+                continue
+            target = env[stmt.var]
+            if exp_type is not None and \
+                    not self.assignable(exp_type, target):
+                self._error(
+                    where,
+                    f"assignment of {exp_type} to {stmt.var} "
+                    f"(declared {target}) at statement {stmt.label}")
+
+    @staticmethod
+    def _is_anf_temp(name: str) -> bool:
+        return name.startswith("t$")
+
+    def _type_of(self, where: str, stmt: Assign,
+                 env: dict[str, str]) -> str | None:
+        exp = stmt.exp
+        if isinstance(exp, VarExp):
+            return env[exp.name]
+        if isinstance(exp, FieldAccess):
+            target = env[exp.target]
+            ftype = self.field_type(target, exp.fieldname)
+            if ftype is None:
+                self._error(
+                    where,
+                    f"type {target} has no field {exp.fieldname} "
+                    f"(statement {stmt.label})")
+            return ftype
+        if isinstance(exp, Invoke):
+            target = env[exp.target]
+            signature = self.method_signature(target, exp.method)
+            if signature is None:
+                self._error(
+                    where,
+                    f"type {target} has no method {exp.method} "
+                    f"(statement {stmt.label})")
+                return None
+            param_types, ret_type = signature
+            if len(param_types) != len(exp.args):
+                self._error(
+                    where,
+                    f"{target}.{exp.method} expects "
+                    f"{len(param_types)} argument(s), got "
+                    f"{len(exp.args)}")
+                return ret_type
+            for expected, arg in zip(param_types, exp.args):
+                actual = env[arg]
+                if not self.assignable(actual, expected):
+                    self._error(
+                        where,
+                        f"argument {arg}: {actual} where {expected} "
+                        f"expected (statement {stmt.label})")
+            return ret_type
+        if isinstance(exp, New):
+            ctor = self.program.by_name[exp.classname].konstructor
+            for (expected, _pname), arg in zip(ctor.params, exp.args):
+                actual = env[arg]
+                if self.is_type(expected) and \
+                        not self.assignable(actual, expected):
+                    self._error(
+                        where,
+                        f"constructor argument {arg}: {actual} where "
+                        f"{expected} expected (statement "
+                        f"{stmt.label})")
+            return exp.classname
+        if isinstance(exp, Cast):
+            source = env[exp.target]
+            target = exp.classname
+            if self.assignable(source, target):
+                pass  # upcast: always fine
+            elif self.assignable(target, source):
+                pass  # downcast: checked at runtime
+            else:
+                # FJ's famous "stupid cast" — statically unrelated
+                self._warn(
+                    where,
+                    f"stupid cast from {source} to {target} "
+                    f"(statement {stmt.label})")
+            return target
+        raise TypeError(f"not an expression: {exp!r}")
+
+
+def typecheck_program(program: FJProgram) -> TypeReport:
+    """Type-check an FJ program; returns the report."""
+    return TypeChecker(program).check()

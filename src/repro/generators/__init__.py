@@ -1,0 +1,22 @@
+"""Program generators: worst-case terms, the paradox example, random
+well-typed programs."""
+
+from repro.generators.worstcase import (
+    worst_case_program, worst_case_series, worst_case_source,
+)
+from repro.generators.paradox import (
+    ParadoxCounts, find_cxy_lambda, functional_paradox_counts,
+    paradox_fj_source, paradox_functional_program,
+    paradox_functional_source,
+)
+from repro.generators.random_programs import (
+    program_strategy, random_core_expression, random_program,
+)
+
+__all__ = [
+    "worst_case_program", "worst_case_series", "worst_case_source",
+    "ParadoxCounts", "find_cxy_lambda", "functional_paradox_counts",
+    "paradox_fj_source", "paradox_functional_program",
+    "paradox_functional_source",
+    "program_strategy", "random_core_expression", "random_program",
+]

@@ -1,0 +1,170 @@
+"""The paradox example of Figures 1 and 2, parameterized by N and M.
+
+Figure 2 (functional form): ``caller`` invokes ``foo`` at N call sites
+with N distinct objects; ``foo`` closes over ``x`` in an (implicit)
+closure ``cx``, which it invokes at M call sites with M distinct
+objects; ``cx`` closes over both ``x`` and ``y`` in an inner closure
+``cxy`` whose body is "baz".  Under functional 1-CFA, ``x`` and ``y``
+keep the *separate* contexts they were captured in, so ``cxy``'s body
+is analyzed in O(N·M) abstract environments.
+
+Figure 1 (object-oriented form): the same program with explicit
+closure objects ``ClosureX`` / ``ClosureXY``.  Copying ``x`` and ``y``
+into constructor fields collapses their contexts to the allocation's
+single calling context, so the analysis computes O(N+M) environments.
+
+"Objects" are represented by distinct thunk lambdas on the functional
+side (each a distinct abstract closure) and by ``new Object()``
+allocation sites on the FJ side (each a distinct abstract object).
+
+The module exposes both source generators plus helpers that run the
+analyses and extract the environment counts the figures talk about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cps.program import Program
+from repro.cps.syntax import Lam
+from repro.scheme.cps_transform import compile_program
+
+
+def paradox_functional_source(n: int, m: int) -> str:
+    """The Figure 2 program with N caller sites and M inner sites."""
+    if n < 1 or m < 1:
+        raise ValueError("n and m must both be >= 1")
+    object_defs = "\n".join(
+        f"(define (ox{i}) {100 + i})" for i in range(1, n + 1))
+    object_defs += "\n" + "\n".join(
+        f"(define (oy{j}) {200 + j})" for j in range(1, m + 1))
+    foo_calls = "\n  ".join(f"(foo ox{i})" for i in range(1, n + 1))
+    cx_calls = "\n    ".join(f"(cx oy{j})" for j in range(1, m + 1))
+    return f"""
+{object_defs}
+(define (baz-body cxy) (cxy 0))
+(define (foo x)
+  (let ((cx (lambda (y)
+              (let ((cxy (lambda (ignored) (cons x y))))
+                (baz-body cxy)))))
+    {cx_calls}))
+(define (caller)
+  {foo_calls})
+(caller)
+"""
+
+
+def paradox_functional_program(n: int, m: int) -> Program:
+    return compile_program(paradox_functional_source(n, m))
+
+
+def find_cxy_lambda(program: Program) -> Lam:
+    """The inner "baz" lambda — the one closing over both x and y.
+
+    Identified structurally: the user lambda whose free variables are
+    exactly the alpha-renamed descendants of {x, y}.
+    """
+    from repro.cps.syntax import free_vars_of_lam
+    from repro.util.gensym import GensymFactory
+    candidates = []
+    for lam in program.user_lams:
+        stems = {GensymFactory.base_of(name)
+                 for name in free_vars_of_lam(lam)}
+        if stems == {"x", "y"}:
+            candidates.append(lam)
+    if len(candidates) != 1:
+        raise ValueError(
+            f"expected exactly one cxy lambda, found {len(candidates)}")
+    return candidates[0]
+
+
+@dataclass(frozen=True, slots=True)
+class ParadoxCounts:
+    """Environment counts for one (analysis, N, M) data point."""
+
+    n: int
+    m: int
+    analysis: str
+    cxy_environments: int    # how many abstract envs analyze "baz"
+    total_environments: int  # Σ over all lambdas / methods
+    elapsed: float
+
+    @property
+    def product(self) -> int:
+        return self.n * self.m
+
+    @property
+    def linear(self) -> int:
+        return self.n + self.m
+
+
+def functional_paradox_counts(n: int, m: int, analyze,
+                              name: str | None = None) -> ParadoxCounts:
+    """Run *analyze* (e.g. ``lambda p: analyze_kcfa(p, 1)``) on the
+    Figure 2 program and report the environment counts."""
+    program = paradox_functional_program(n, m)
+    result = analyze(program)
+    cxy = find_cxy_lambda(program)
+    return ParadoxCounts(
+        n=n, m=m,
+        analysis=name or result.analysis,
+        cxy_environments=result.environment_count(cxy),
+        total_environments=result.total_environments(),
+        elapsed=result.elapsed)
+
+
+# -- the Figure 1 (object-oriented) source -------------------------------
+
+
+def paradox_fj_source(n: int, m: int) -> str:
+    """The Figure 1 program in our Featherweight Java surface syntax."""
+    if n < 1 or m < 1:
+        raise ValueError("n and m must both be >= 1")
+    caller_locals = "".join(
+        f"    Object ox{i};\n    Object r{i};\n"
+        for i in range(1, n + 1))
+    caller_body = "".join(
+        f"    ox{i} = new Object();\n    r{i} = this.foo(ox{i});\n"
+        for i in range(1, n + 1))
+    foo_locals = "".join(
+        f"    Object oy{j};\n    Object s{j};\n"
+        for j in range(1, m + 1))
+    foo_body = "".join(
+        f"    oy{j} = new Object();\n    s{j} = cx.bar(oy{j});\n"
+        for j in range(1, m + 1))
+    return f"""
+class Main extends Object {{
+  Main() {{ super(); }}
+  Object caller() {{
+{caller_locals}{caller_body}    return r{n};
+  }}
+  Object foo(Object x) {{
+    ClosureX cx;
+{foo_locals}    cx = new ClosureX(x);
+{foo_body}    return s{m};
+  }}
+}}
+class ClosureX extends Object {{
+  Object x;
+  ClosureX(Object x0) {{ super(); this.x = x0; }}
+  Object bar(Object y) {{
+    ClosureXY cxy;
+    Object r;
+    cxy = new ClosureXY(this.x, y);
+    r = cxy.baz();
+    return r;
+  }}
+}}
+class ClosureXY extends Object {{
+  Object x;
+  Object y;
+  ClosureXY(Object x0, Object y0) {{ super(); this.x = x0; this.y = y0; }}
+  Object baz() {{
+    Object u;
+    Object v;
+    u = this.x;
+    v = this.y;
+    return u;
+  }}
+}}
+"""

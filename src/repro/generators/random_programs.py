@@ -1,0 +1,158 @@
+"""Random well-typed program generation for property-based testing.
+
+Programs are generated over a tiny kind system — ``int``, ``bool``,
+``fun`` (int → int) and ``pair`` (int × int) — so every generated
+program is closed, type-safe and (being recursion-free) terminating.
+That makes them ideal for differential and soundness properties:
+
+* the direct interpreter and both concrete CPS machines must agree;
+* every analysis must cover the concrete run (α-containment);
+* ``[k = 0]``, ``[m = 0]`` and poly ``[k = 0]`` must compute the same
+  flow sets.
+
+Two front doors: :func:`random_program` (seeded ``random`` — used by
+benchmarks) and :func:`program_strategy` (a hypothesis strategy — used
+by the property tests; hypothesis is imported lazily so the library
+itself does not depend on it).
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from repro.scheme.ast import (
+    App, CoreExp, If, Lam, Let, Letrec, PrimApp, Quote, Var,
+)
+
+KINDS = ("int", "bool", "fun", "pair")
+
+
+@dataclass
+class _Gen:
+    rng: _random.Random
+    max_depth: int
+    counter: int = 0
+
+    def fresh(self, base: str) -> str:
+        self.counter += 1
+        return f"{base}{self.counter}"
+
+    def scope_of(self, scope: tuple, kind: str) -> list[str]:
+        return [name for name, k in scope if k == kind]
+
+    # -- expression generators, by kind ---------------------------------
+
+    def exp(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        if depth <= 0:
+            return self.leaf(kind, scope)
+        choices = [self.leaf]
+        if kind == "int":
+            choices += [self._arith, self._if_exp, self._let_exp,
+                        self._call, self._car]
+        elif kind == "bool":
+            choices += [self._compare, self._if_exp, self._let_exp]
+        elif kind == "fun":
+            choices += [self._lambda, self._if_exp, self._let_exp,
+                        self._letrec_fun]
+        elif kind == "pair":
+            choices += [self._cons, self._let_exp]
+        picker = self.rng.choice(choices)
+        return picker(kind, scope, depth)
+
+    def leaf(self, kind: str, scope: tuple, depth: int = 0) -> CoreExp:
+        names = self.scope_of(scope, kind)
+        if names and self.rng.random() < 0.6:
+            return Var(self.rng.choice(names))
+        if kind == "int":
+            return Quote(self.rng.randint(-5, 5))
+        if kind == "bool":
+            return Quote(self.rng.random() < 0.5)
+        if kind == "fun":
+            return self._lambda(kind, scope, 1)
+        if kind == "pair":
+            return PrimApp("cons", (self.leaf("int", scope),
+                                    self.leaf("int", scope)))
+        raise ValueError(f"unknown kind {kind}")
+
+    def _arith(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        op = self.rng.choice(("+", "-", "*"))
+        return PrimApp(op, (self.exp("int", scope, depth - 1),
+                            self.exp("int", scope, depth - 1)))
+
+    def _compare(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        op = self.rng.choice(("=", "<", ">"))
+        return PrimApp(op, (self.exp("int", scope, depth - 1),
+                            self.exp("int", scope, depth - 1)))
+
+    def _if_exp(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        return If(self.exp("bool", scope, depth - 1),
+                  self.exp(kind, scope, depth - 1),
+                  self.exp(kind, scope, depth - 1))
+
+    def _let_exp(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        bound_kind = self.rng.choice(KINDS)
+        name = self.fresh(bound_kind[0])
+        value = self.exp(bound_kind, scope, depth - 1)
+        body = self.exp(kind, scope + ((name, bound_kind),), depth - 1)
+        return Let(name, value, body)
+
+    def _lambda(self, kind: str, scope: tuple, depth: int) -> Lam:
+        param = self.fresh("x")
+        body = self.exp("int", scope + ((param, "int"),),
+                        max(depth - 1, 0))
+        return Lam((param,), body)
+
+    def _letrec_fun(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        # Non-recursive letrec (the bound lambda does not call itself),
+        # so termination is preserved; still exercises FixCall paths.
+        name = self.fresh("f")
+        lam = self._lambda("fun", scope, depth - 1)
+        body = self.exp(kind, scope + ((name, "fun"),), depth - 1)
+        return Letrec(((name, lam),), body)
+
+    def _call(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        fn = self.exp("fun", scope, depth - 1)
+        arg = self.exp("int", scope, depth - 1)
+        return App(fn, (arg,))
+
+    def _car(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        op = self.rng.choice(("car", "cdr"))
+        return PrimApp(op, (self.exp("pair", scope, depth - 1),))
+
+    def _cons(self, kind: str, scope: tuple, depth: int) -> CoreExp:
+        return PrimApp("cons", (self.exp("int", scope, depth - 1),
+                                self.exp("int", scope, depth - 1)))
+
+
+def random_core_expression(seed: int, max_depth: int = 5) -> CoreExp:
+    """A closed, terminating core expression of kind int."""
+    generator = _Gen(_random.Random(seed), max_depth)
+    return generator.exp("int", (), max_depth)
+
+
+def random_program(seed: int, max_depth: int = 5):
+    """A compiled CPS :class:`~repro.cps.program.Program`."""
+    from repro.scheme.alpha import alpha_rename
+    from repro.scheme.cps_transform import cps_convert
+    from repro.util.gensym import GensymFactory
+    gensym = GensymFactory()
+    core = alpha_rename(random_core_expression(seed, max_depth), gensym)
+    return cps_convert(core, gensym)
+
+
+def program_strategy(max_depth: int = 5):
+    """A hypothesis strategy producing (seed, Program) pairs.
+
+    Drawing only the seed keeps shrinking effective: hypothesis shrinks
+    toward seed 0 and smaller depths.
+    """
+    import hypothesis.strategies as st
+
+    @st.composite
+    def programs(draw):
+        seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+        depth = draw(st.integers(min_value=1, max_value=max_depth))
+        return seed, random_program(seed, depth)
+
+    return programs()

@@ -1,0 +1,116 @@
+"""Van Horn–Mairson worst-case terms (paper §2.2 and §6.1.1).
+
+The construction::
+
+    ((λ (f1) (f1 0) (f1 1))
+     (λ (x1)
+       ((λ (f2) (f2 0) (f2 1))
+        (λ (x2)
+          ...
+          (λ (z) (z x1 ... xn)) ...))))
+
+binds each ``xi`` at two distinct call sites, so a k-CFA (k ≥ 1)
+abstract interpretation must consider 2^n environments closing the
+innermost lambda: its state space is driven to the top of the lattice.
+m-CFA and the other flat-environment analyses keep one base context per
+level and stay polynomial — this generator produces the programs behind
+the §6.1.1 worst-case timing table.
+
+The generator emits *surface Scheme* so the terms flow through the same
+front end as every other benchmark; ``worst_case_program`` returns the
+compiled CPS :class:`~repro.cps.program.Program`.
+"""
+
+from __future__ import annotations
+
+from repro.cps.program import Program
+from repro.scheme.cps_transform import compile_program
+
+
+def worst_case_source(depth: int) -> str:
+    """The Van Horn–Mairson term with *depth* doubling levels."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    xs = " ".join(f"x{i}" for i in range(1, depth + 1))
+    inner = f"(lambda (z) (z {xs}))"
+    for level in range(depth, 0, -1):
+        inner = (f"((lambda (f{level}) (f{level} 0) (f{level} 1))\n"
+                 f" (lambda (x{level})\n  {inner}))")
+    return inner
+
+
+def worst_case_program(depth: int) -> Program:
+    """The compiled CPS program for *depth* levels."""
+    return compile_program(worst_case_source(depth))
+
+
+def worst_case_fj_source(depth: int) -> str:
+    """The object-oriented translation of the worst-case chain (§2.2).
+
+    Each implicit closure level becomes an explicit closure class whose
+    constructor copies all captured variables simultaneously.  Under OO
+    k-CFA the copying collapses the per-variable contexts, so analysis
+    work grows *linearly* in depth — the same chain that is exponential
+    for functional k-CFA.  ``Main.run`` is the entry point.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    classes = []
+    for level in range(1, depth + 1):
+        captured = [f"x{i}" for i in range(1, level)]
+        fields = "".join(f"  Object x{i};\n" for i in range(1, level))
+        params = ", ".join(f"Object x{i}0" for i in range(1, level))
+        inits = " ".join(f"this.x{i} = x{i}0;"
+                         for i in range(1, level))
+        if level < depth:
+            next_args = ", ".join(
+                [f"this.x{i}" for i in range(1, level)] + [f"x{level}"])
+            body = (f"    Clos{level + 1} c;\n"
+                    f"    Object r1;\n    Object r2;\n"
+                    f"    c = new Clos{level + 1}({next_args});\n"
+                    f"    r1 = c.apply(new Object());\n"
+                    f"    r2 = c.apply(new Object());\n"
+                    f"    return r2;\n")
+        else:
+            final_args = ", ".join(
+                [f"this.x{i}" for i in range(1, level)] + [f"x{level}"])
+            body = (f"    Z z;\n"
+                    f"    z = new Z({final_args});\n"
+                    f"    return z;\n")
+        classes.append(
+            f"class Clos{level} extends Object {{\n{fields}"
+            f"  Clos{level}({params}) {{ super(); {inits} }}\n"
+            f"  Object apply(Object x{level}) {{\n{body}  }}\n}}")
+    z_fields = "".join(f"  Object x{i};\n" for i in range(1, depth + 1))
+    z_params = ", ".join(f"Object x{i}0" for i in range(1, depth + 1))
+    z_inits = " ".join(f"this.x{i} = x{i}0;"
+                       for i in range(1, depth + 1))
+    classes.append(
+        f"class Z extends Object {{\n{z_fields}"
+        f"  Z({z_params}) {{ super(); {z_inits} }}\n}}")
+    classes.append(
+        "class Main extends Object {\n"
+        "  Main() { super(); }\n"
+        "  Object run() {\n"
+        "    Clos1 c;\n    Object r1;\n    Object r2;\n"
+        "    c = new Clos1();\n"
+        "    r1 = c.apply(new Object());\n"
+        "    r2 = c.apply(new Object());\n"
+        "    return r2;\n  }\n}")
+    return "\n".join(classes)
+
+
+def worst_case_series(depths: tuple[int, ...] = (2, 3, 4, 5, 6, 7)
+                      ) -> list[tuple[int, int, Program]]:
+    """(depth, term-count, program) rows for the §6.1.1 table.
+
+    The paper's table uses terms 69, 123, 231, 447, 879, 1743 — sizes
+    that roughly double; increasing the depth by one adds a constant
+    number of terms but *doubles* the k-CFA environment count, which is
+    the quantity that matters.
+    """
+    rows = []
+    for depth in depths:
+        program = worst_case_program(depth)
+        rows.append((depth, program.term_count(), program))
+    return rows

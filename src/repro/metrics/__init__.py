@@ -1,0 +1,23 @@
+"""Metrics: precision, complexity accounting, timed table cells."""
+
+from repro.metrics.precision import (
+    FlowComparison, PrecisionCell, average_flow_size, flow_comparison,
+    precision_row, standard_analyses,
+)
+from repro.metrics.complexity import (
+    bits, fj_poly_lattice_bits, growth_table, kcfa_benv_count,
+    kcfa_lattice_height, kcfa_naive_state_space, kcfa_time_count,
+    mcfa_lattice_height,
+)
+from repro.metrics.timing import (
+    TimingCell, format_cell, format_table, timed_cell,
+)
+
+__all__ = [
+    "FlowComparison", "PrecisionCell", "average_flow_size",
+    "flow_comparison", "precision_row", "standard_analyses",
+    "bits", "fj_poly_lattice_bits", "growth_table", "kcfa_benv_count",
+    "kcfa_lattice_height", "kcfa_naive_state_space", "kcfa_time_count",
+    "mcfa_lattice_height",
+    "TimingCell", "format_cell", "format_table", "timed_cell",
+]

@@ -1,0 +1,132 @@
+"""Precision comparison across analyses (paper §6.2).
+
+The paper's practical metric is "number of inlinings supported": call
+sites whose operator resolves to exactly one lambda.  This module
+computes that plus finer-grained comparisons:
+
+* :func:`precision_row` — one §6.2 table row (time + inlinings per
+  analysis) for one program;
+* :func:`flow_comparison` — pointwise comparison of the lambda flow
+  sets of two results (is one everywhere at least as precise?);
+* :func:`average_flow_size` — mean operator flow-set cardinality, a
+  secondary precision signal.
+
+As §6.1 notes, CFAs are not totally ordered by precision: two analyses
+can each win at different points, which is why
+:class:`FlowComparison` reports both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.results import AnalysisResult
+from repro.cps.program import Program
+from repro.metrics.timing import TimingCell, timed_cell
+from repro.util.budget import Budget
+
+
+@dataclass(frozen=True, slots=True)
+class FlowComparison:
+    """Pointwise comparison of callee sets between two results."""
+
+    left_name: str
+    right_name: str
+    sites_compared: int
+    left_strictly_better: int    # sites where left ⊂ right
+    right_strictly_better: int   # sites where right ⊂ left
+    incomparable: int            # sites where neither contains the other
+
+    @property
+    def left_at_least_as_precise(self) -> bool:
+        return self.right_strictly_better == 0 and self.incomparable == 0
+
+    @property
+    def right_at_least_as_precise(self) -> bool:
+        return self.left_strictly_better == 0 and self.incomparable == 0
+
+    @property
+    def equal(self) -> bool:
+        return (self.left_strictly_better == 0
+                and self.right_strictly_better == 0
+                and self.incomparable == 0)
+
+
+def flow_comparison(left: AnalysisResult,
+                    right: AnalysisResult) -> FlowComparison:
+    """Compare callee sets per call site (reachable in either)."""
+    labels = set(left.callees) | set(right.callees)
+    left_better = right_better = incomparable = 0
+    for label in labels:
+        left_set = left.callees.get(label, frozenset())
+        right_set = right.callees.get(label, frozenset())
+        if left_set == right_set:
+            continue
+        if left_set < right_set:
+            left_better += 1
+        elif right_set < left_set:
+            right_better += 1
+        else:
+            incomparable += 1
+    return FlowComparison(
+        left_name=f"{left.analysis}({left.parameter})",
+        right_name=f"{right.analysis}({right.parameter})",
+        sites_compared=len(labels),
+        left_strictly_better=left_better,
+        right_strictly_better=right_better,
+        incomparable=incomparable)
+
+
+def average_flow_size(result: AnalysisResult) -> float:
+    """Mean callee-set size over reachable application sites."""
+    sizes = [len(callees) for callees in result.callees.values()]
+    if not sizes:
+        return 0.0
+    return sum(sizes) / len(sizes)
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionCell:
+    """One analysis on one program: time + inlinings (or ∞)."""
+
+    analysis: str
+    cell: TimingCell
+
+    @property
+    def inlinings(self) -> int | None:
+        if self.cell.timed_out or self.cell.payload is None:
+            return None
+        return self.cell.payload.supported_inlinings()
+
+
+def precision_row(program: Program,
+                  analyses: dict[str, Callable[[Program, Budget],
+                                               AnalysisResult]],
+                  timeout: float = 30.0) -> dict[str, PrecisionCell]:
+    """One §6.2 table row: run every analysis on *program*.
+
+    ``analyses`` maps display names to ``fn(program, budget)``
+    callables; each is run under its own wall-clock budget.
+    """
+    row = {}
+    for name, analyze in analyses.items():
+        cell = timed_cell(
+            lambda budget, fn=analyze: fn(program, budget), timeout)
+        row[name] = PrecisionCell(analysis=name, cell=cell)
+    return row
+
+
+def standard_analyses() -> dict[str, Callable]:
+    """The four §6.2 columns: k=1, m=1, naive poly k=1, k=0."""
+    from repro.analysis import (
+        analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, analyze_zerocfa,
+    )
+    return {
+        "k=1": lambda program, budget: analyze_kcfa(program, 1, budget),
+        "m=1": lambda program, budget: analyze_mcfa(program, 1, budget),
+        "poly,k=1": lambda program, budget:
+            analyze_poly_kcfa(program, 1, budget),
+        "k=0": lambda program, budget:
+            analyze_zerocfa(program, budget),
+    }

@@ -1,0 +1,77 @@
+"""Timed analysis cells for the benchmark tables.
+
+The paper's worst-case table (§6.1.1) reports wall-clock times with
+``ϵ`` for sub-second results and ``∞`` for runs past the timeout.
+:func:`timed_cell` reproduces one cell; :func:`format_cell` renders it
+the way the paper prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import AnalysisTimeout
+from repro.util.budget import Budget
+
+
+@dataclass(frozen=True, slots=True)
+class TimingCell:
+    """One table cell: elapsed seconds, or a timeout marker."""
+
+    seconds: float
+    timed_out: bool
+    steps: int = 0
+    payload: object = None   # the analysis result when it finished
+
+    @property
+    def infinite(self) -> bool:
+        return self.timed_out
+
+
+def timed_cell(analyze: Callable[[Budget], object],
+               timeout: float) -> TimingCell:
+    """Run ``analyze(budget)`` under a wall-clock budget.
+
+    ``analyze`` receives a started :class:`Budget` and must pass it to
+    the analysis; an :class:`AnalysisTimeout` becomes an ``∞`` cell.
+    """
+    budget = Budget(max_seconds=timeout)
+    budget.start()
+    try:
+        result = analyze(budget)
+    except AnalysisTimeout:
+        return TimingCell(seconds=budget.elapsed, timed_out=True,
+                          steps=budget.steps)
+    steps = getattr(result, "steps", budget.steps)
+    return TimingCell(seconds=budget.elapsed, timed_out=False,
+                      steps=steps, payload=result)
+
+
+def format_cell(cell: TimingCell, epsilon: float = 1.0) -> str:
+    """Render a cell the way the paper's table does."""
+    if cell.timed_out:
+        return "∞"
+    if cell.seconds < epsilon:
+        return "ϵ"
+    if cell.seconds < 60:
+        return f"{cell.seconds:.1f} s"
+    minutes = int(cell.seconds // 60)
+    seconds = cell.seconds - 60 * minutes
+    return f"{minutes} m {seconds:.0f} s"
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Monospace-align a small results table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Human-readable reports over analysis results.
+
+Renders the kind of tables the paper draws at the bottom of Figures 1
+and 2 — ``context: variable -> {abstract values}`` — plus summaries
+for whole runs.  Used by the CLI (:mod:`repro.__main__`) and handy in
+a REPL:
+
+    >>> from repro import compile_program, analyze_mcfa
+    >>> from repro.reporting import flow_report
+    >>> print(flow_report(analyze_mcfa(compile_program("..."), 1)))
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.domains import AConst, APair, BASIC, FClo, KClo
+from repro.analysis.results import AnalysisResult
+from repro.fj.kcfa import AKont, AObj, FJResult
+from repro.util.gensym import GensymFactory
+
+
+def render_value(value) -> str:
+    """Short, stable rendering of one abstract value."""
+    if value is BASIC:
+        return "⊤"
+    if isinstance(value, AConst):
+        return repr(value)
+    if isinstance(value, (KClo, FClo)):
+        return f"λ@{value.lam.label}"
+    if isinstance(value, APair):
+        return "pair"
+    if isinstance(value, AObj):
+        return f"{value.classname}@{value.site}"
+    if isinstance(value, AKont):
+        return f"kont@{value.stmt.label}"
+    return repr(value)
+
+
+def render_flow_set(values) -> str:
+    return "{" + ", ".join(sorted(render_value(v) for v in values)) \
+        + "}"
+
+
+def flow_report(result: AnalysisResult, max_rows: int = 60,
+                include_generated: bool = False) -> str:
+    """The Figure 1/2-style table: ``context: var -> values``.
+
+    Synthetic pair-field and converter-generated bindings are elided
+    unless *include_generated* — user-written names tell the story.
+    """
+    lines = [f"flow facts — {result.analysis}"
+             f"({result.parameter}), "
+             f"{len(result.store)} store entries"]
+    rows = []
+    for (name, context), values in sorted(
+            result.store.items(), key=lambda item: repr(item[0])):
+        if "@" in name:  # pair fields
+            continue
+        if not include_generated and GensymFactory.is_generated(name) \
+                and GensymFactory.base_of(name) in ("k", "rv", "j",
+                                                    "seq", "t", "p"):
+            continue
+        rows.append(f"  {list(context)}: {name} -> "
+                    f"{render_flow_set(values)}")
+    if len(rows) > max_rows:
+        hidden = len(rows) - max_rows
+        rows = rows[:max_rows] + [f"  ... ({hidden} more rows)"]
+    lines.extend(rows)
+    lines.append(f"result: {render_flow_set(result.halt_values)}")
+    return "\n".join(lines)
+
+
+def inlining_report(result: AnalysisResult) -> str:
+    """Call-site resolution: monomorphic vs polymorphic sites."""
+    lines = [f"call-site resolution — {result.analysis}"
+             f"({result.parameter})"]
+    inlinable = set(result.inlinable_call_sites())
+    for label in sorted(result.callees):
+        callees = result.callees[label]
+        call = result.program.calls_by_label.get(label)
+        kinds = {("user" if lam.is_user else "cont")
+                 for lam in callees}
+        if kinds == {"cont"}:
+            continue  # return points; not interesting here
+        marker = "INLINE" if label in inlinable else \
+            f"{len(callees)} callees"
+        text = str(call)
+        if len(text) > 48:
+            text = text[:45] + "..."
+        lines.append(f"  @{label:<4} {text:<48} [{marker}]")
+    lines.append(f"supported inlinings: "
+                 f"{result.supported_inlinings()}")
+    return "\n".join(lines)
+
+
+def environment_report(result: AnalysisResult) -> str:
+    """Per-lambda entry-environment counts (the Figure 1/2 metric)."""
+    lines = [f"environments per lambda — {result.analysis}"
+             f"({result.parameter})"]
+    for label, count in sorted(result.environment_counts().items()):
+        lam = result.program.lams_by_label.get(label)
+        kind = "user" if lam is not None and lam.is_user else "cont"
+        lines.append(f"  λ@{label:<4} ({kind}): {count}")
+    lines.append(f"total: {result.total_environments()}")
+    return "\n".join(lines)
+
+
+def fj_report(result: FJResult) -> str:
+    """Points-to-style report for an FJ analysis."""
+    lines = [f"{result.analysis}(k={result.parameter}, "
+             f"{result.tick_policy} ticking)"]
+    lines.append(f"  {len(result.configs)} configurations, "
+                 f"{len(result.objects)} abstract objects, "
+                 f"{result.total_environments()} environments")
+    by_class: dict[str, int] = defaultdict(int)
+    for obj in result.objects:
+        by_class[obj.classname] += 1
+    lines.append("  abstract objects per class:")
+    for classname, count in sorted(by_class.items()):
+        lines.append(f"    {classname}: {count}")
+    lines.append("  invocation targets:")
+    for label in sorted(result.invoke_targets):
+        targets = sorted(result.invoke_targets[label])
+        stmt = result.program.stmt_by_label[label]
+        mark = "MONO" if len(targets) == 1 else "poly"
+        lines.append(f"    @{label} {str(stmt):<40} -> "
+                     f"{targets} [{mark}]")
+    lines.append("  result: "
+                 + render_flow_set(result.halt_values))
+    return "\n".join(lines)
+
+
+def summary_table(results: list[AnalysisResult]) -> str:
+    """One row per analysis — compare precision/size side by side."""
+    from repro.metrics.timing import format_table
+    headers = ["analysis", "param", "configs", "store", "envs",
+               "inlinings", "steps"]
+    rows = []
+    for result in results:
+        rows.append([
+            result.analysis, str(result.parameter),
+            str(result.config_count), str(len(result.store)),
+            str(result.total_environments()),
+            str(result.supported_inlinings()), str(result.steps),
+        ])
+    return format_table(headers, rows)

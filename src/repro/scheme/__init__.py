@@ -1,0 +1,29 @@
+"""Scheme front end: reader, core AST, desugarer, interpreter, CPS.
+
+Typical pipeline::
+
+    text --parse_sexps--> data --desugar_program--> core AST
+         --alpha_rename--> unique binders --cps_convert--> CPS program
+"""
+
+from repro.scheme.sexp import (
+    Position, SexpList, Symbol, parse_sexp, parse_sexps, write_sexp,
+)
+from repro.scheme.ast import (
+    App, If, Lam, Let, Letrec, PrimApp, Quote, Var,
+)
+from repro.scheme.desugar import desugar_expression, desugar_program
+from repro.scheme.alpha import alpha_rename, check_unique_binders
+from repro.scheme.freevars import free_vars, is_closed
+from repro.scheme.pretty import pretty
+from repro.scheme.interp import DirectClosure, evaluate, run_source
+
+__all__ = [
+    "Position", "SexpList", "Symbol",
+    "parse_sexp", "parse_sexps", "write_sexp",
+    "App", "If", "Lam", "Let", "Letrec", "PrimApp", "Quote", "Var",
+    "desugar_expression", "desugar_program",
+    "alpha_rename", "check_unique_binders",
+    "free_vars", "is_closed", "pretty",
+    "DirectClosure", "evaluate", "run_source",
+]

@@ -1,0 +1,109 @@
+"""Alpha-renaming: give every binder in a program a unique name.
+
+The CPS converter and the analyses assume globally unique variable
+names — k-CFA addresses are ``(variable, time)`` pairs, so two distinct
+binders sharing a name would alias in the abstract store and silently
+merge their flow sets.  :func:`alpha_rename` establishes the invariant;
+:func:`check_unique_binders` verifies it (used by validators and tests).
+
+Renaming preserves the *original* name as a prefix (``x`` becomes
+``x%3``) so analysis output stays readable; :func:`pretty names
+<repro.util.gensym.GensymFactory.base_of>` recover the stem.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DesugarError
+from repro.scheme.ast import (
+    App, CoreExp, If, Lam, Let, Letrec, PrimApp, Quote, Var,
+)
+from repro.util.gensym import GensymFactory
+
+
+def alpha_rename(exp: CoreExp,
+                 gensym: GensymFactory | None = None) -> CoreExp:
+    """Return an alpha-equivalent copy of *exp* with unique binders.
+
+    Free variables are left untouched (they will be reported as unbound
+    later, with their user-written names).
+    """
+    from repro.util.recursion import deep_recursion
+    renamer = _Renamer(gensym or GensymFactory())
+    with deep_recursion():
+        return renamer.rename(exp, {})
+
+
+class _Renamer:
+    def __init__(self, gensym: GensymFactory):
+        self.gensym = gensym
+
+    def rename(self, exp: CoreExp, env: dict[str, str]) -> CoreExp:
+        if isinstance(exp, Var):
+            return Var(env.get(exp.name, exp.name), exp.pos)
+        if isinstance(exp, Quote):
+            return exp
+        if isinstance(exp, Lam):
+            fresh = {p: self.gensym.fresh(p) for p in exp.params}
+            inner = {**env, **fresh}
+            return Lam(tuple(fresh[p] for p in exp.params),
+                       self.rename(exp.body, inner), exp.pos)
+        if isinstance(exp, App):
+            return App(self.rename(exp.fn, env),
+                       tuple(self.rename(a, env) for a in exp.args),
+                       exp.pos)
+        if isinstance(exp, If):
+            return If(self.rename(exp.test, env),
+                      self.rename(exp.then, env),
+                      self.rename(exp.orelse, env), exp.pos)
+        if isinstance(exp, Let):
+            value = self.rename(exp.value, env)
+            fresh = self.gensym.fresh(exp.name)
+            inner = {**env, exp.name: fresh}
+            return Let(fresh, value, self.rename(exp.body, inner), exp.pos)
+        if isinstance(exp, Letrec):
+            fresh = {name: self.gensym.fresh(name)
+                     for name, _ in exp.bindings}
+            inner = {**env, **fresh}
+            bindings = tuple(
+                (fresh[name], self.rename(lam, inner))
+                for name, lam in exp.bindings)
+            return Letrec(bindings, self.rename(exp.body, inner), exp.pos)
+        if isinstance(exp, PrimApp):
+            return PrimApp(exp.op,
+                           tuple(self.rename(a, env) for a in exp.args),
+                           exp.pos)
+        raise TypeError(f"not a core expression: {exp!r}")
+
+
+def check_unique_binders(exp: CoreExp) -> None:
+    """Raise :class:`DesugarError` if any two binders share a name."""
+    seen: set[str] = set()
+
+    def visit_binder(name: str) -> None:
+        if name in seen:
+            raise DesugarError(f"duplicate binder name {name!r}; "
+                               "run alpha_rename first")
+        seen.add(name)
+
+    stack: list[CoreExp] = [exp]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Lam):
+            for param in node.params:
+                visit_binder(param)
+            stack.append(node.body)
+        elif isinstance(node, Let):
+            visit_binder(node.name)
+            stack.extend((node.value, node.body))
+        elif isinstance(node, Letrec):
+            for name, lam in node.bindings:
+                visit_binder(name)
+                stack.append(lam)
+            stack.append(node.body)
+        elif isinstance(node, App):
+            stack.append(node.fn)
+            stack.extend(node.args)
+        elif isinstance(node, If):
+            stack.extend((node.test, node.then, node.orelse))
+        elif isinstance(node, PrimApp):
+            stack.extend(node.args)

@@ -1,0 +1,190 @@
+"""Core direct-style AST for the Scheme subset.
+
+The desugarer (:mod:`repro.scheme.desugar`) lowers all surface forms to
+the seven core constructs here.  The core is deliberately small:
+
+* ``Var``     — variable reference
+* ``Lam``     — ``(lambda (v ...) body)`` with a *single* body expression
+* ``App``     — application
+* ``If``      — two-armed conditional
+* ``Let``     — a single, non-recursive binding (multi-binding ``let``,
+  ``let*`` and ``begin`` are desugared into chains of these)
+* ``Letrec``  — mutually recursive *lambda* bindings (the standard CFA
+  restriction: right-hand sides must be ``Lam``)
+* ``Quote``   — literal data (numbers and booleans self-quote)
+* ``PrimApp`` — fully-applied primitive operation
+
+Keeping ``Let`` distinct from ``App`` matters downstream: the CPS
+transform lowers ``Let`` to a *continuation* binding, so ``let`` does
+not consume a stack frame of m-CFA context or a call-site of k-CFA
+context — exactly how Shivers-lineage CFA implementations treat it.
+
+All nodes are frozen dataclasses; they are compared structurally and
+are safe to share.  ``pos`` carries the source position for messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.scheme.sexp import Position
+
+CoreExp = Union["Var", "Lam", "App", "If", "Let", "Letrec", "Quote",
+                "PrimApp"]
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A variable reference."""
+
+    name: str
+    pos: Position = field(default=Position(), compare=False)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Lam:
+    """``(lambda (params...) body)`` — body already a single expression."""
+
+    params: tuple[str, ...]
+    body: CoreExp
+    pos: Position = field(default=Position(), compare=False)
+
+    def __str__(self) -> str:
+        return f"(lambda ({' '.join(self.params)}) {self.body})"
+
+
+@dataclass(frozen=True, slots=True)
+class App:
+    """Application of a (non-primitive) operator expression."""
+
+    fn: CoreExp
+    args: tuple[CoreExp, ...]
+    pos: Position = field(default=Position(), compare=False)
+
+    def __str__(self) -> str:
+        parts = " ".join(str(a) for a in (self.fn, *self.args))
+        return f"({parts})"
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    """Two-armed conditional; one-armed ``if`` gets a void alternative."""
+
+    test: CoreExp
+    then: CoreExp
+    orelse: CoreExp
+    pos: Position = field(default=Position(), compare=False)
+
+    def __str__(self) -> str:
+        return f"(if {self.test} {self.then} {self.orelse})"
+
+
+@dataclass(frozen=True, slots=True)
+class Let:
+    """A single non-recursive binding: ``(let ((name value)) body)``."""
+
+    name: str
+    value: CoreExp
+    body: CoreExp
+    pos: Position = field(default=Position(), compare=False)
+
+    def __str__(self) -> str:
+        return f"(let (({self.name} {self.value})) {self.body})"
+
+
+@dataclass(frozen=True, slots=True)
+class Letrec:
+    """Mutually recursive bindings, each right-hand side a ``Lam``."""
+
+    bindings: tuple[tuple[str, Lam], ...]
+    body: CoreExp
+    pos: Position = field(default=Position(), compare=False)
+
+    def __str__(self) -> str:
+        bound = " ".join(f"({name} {lam})" for name, lam in self.bindings)
+        return f"(letrec ({bound}) {self.body})"
+
+
+@dataclass(frozen=True, slots=True)
+class Quote:
+    """Literal data: ints, booleans, strings, symbols, nested lists.
+
+    The datum is stored as the reader produced it (tuples for lists);
+    evaluators convert it to runtime values.
+    """
+
+    datum: object
+    pos: Position = field(default=Position(), compare=False)
+
+    def __str__(self) -> str:
+        from repro.scheme.sexp import write_sexp
+        if isinstance(self.datum, (int, bool, str)):
+            return write_sexp(self.datum)
+        return f"'{write_sexp(self.datum)}"
+
+
+@dataclass(frozen=True, slots=True)
+class PrimApp:
+    """A saturated primitive application, e.g. ``(car xs)``.
+
+    ``op`` is the primitive's name, resolved by the desugarer against
+    :mod:`repro.scheme.primitives` with proper shadowing rules.
+    """
+
+    op: str
+    args: tuple[CoreExp, ...]
+    pos: Position = field(default=Position(), compare=False)
+
+    def __str__(self) -> str:
+        parts = " ".join(str(a) for a in self.args)
+        return f"({self.op} {parts})" if parts else f"({self.op})"
+
+
+def children(exp: CoreExp) -> tuple[CoreExp, ...]:
+    """Immediate sub-expressions of *exp*, in evaluation order."""
+    if isinstance(exp, (Var, Quote)):
+        return ()
+    if isinstance(exp, Lam):
+        return (exp.body,)
+    if isinstance(exp, App):
+        return (exp.fn, *exp.args)
+    if isinstance(exp, If):
+        return (exp.test, exp.then, exp.orelse)
+    if isinstance(exp, Let):
+        return (exp.value, exp.body)
+    if isinstance(exp, Letrec):
+        return (*(lam for _, lam in exp.bindings), exp.body)
+    if isinstance(exp, PrimApp):
+        return exp.args
+    raise TypeError(f"not a core expression: {exp!r}")
+
+
+def walk(exp: CoreExp) -> Iterator[CoreExp]:
+    """Depth-first pre-order traversal of *exp* and its descendants."""
+    stack = [exp]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(children(node)))
+
+
+def count_nodes(exp: CoreExp) -> int:
+    """Total number of AST nodes — a crude direct-style size measure."""
+    return sum(1 for _ in walk(exp))
+
+
+def bound_names(exp: CoreExp) -> frozenset[str]:
+    """Every name bound anywhere inside *exp* (by Lam, Let or Letrec)."""
+    names: set[str] = set()
+    for node in walk(exp):
+        if isinstance(node, Lam):
+            names.update(node.params)
+        elif isinstance(node, Let):
+            names.add(node.name)
+        elif isinstance(node, Letrec):
+            names.update(name for name, _ in node.bindings)
+    return frozenset(names)

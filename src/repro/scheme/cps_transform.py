@@ -1,0 +1,198 @@
+"""CPS conversion: core direct-style AST → labeled, partitioned CPS.
+
+The converter is higher-order, one-pass (Danvy–Filinski style): static
+continuations are Python functions, so no administrative beta-redexes
+are produced for applications and primitive calls.  Design choices that
+matter to the analyses downstream:
+
+* **Partitioning** — lambdas written by the user become ``USER``
+  lambdas and receive an extra final continuation parameter; every
+  continuation the converter materializes is a ``CONT`` lambda.  m-CFA
+  dispatches its environment allocator on this partition (paper §5.3).
+
+* **let is not a call** — ``Let`` lowers to a *continuation* binding
+  ``((κ (x) body) value-context)``, so binding a ``let`` variable never
+  consumes k-CFA call-site context or an m-CFA stack frame.
+
+* **Join points** — a conditional with a non-trivial continuation binds
+  it to a fresh variable first, so the continuation's code is never
+  duplicated (and no lambda node appears twice, which would break the
+  label-uniqueness invariant).
+
+* **Fresh names** — the converter continues the numbering of whatever
+  :class:`~repro.util.gensym.GensymFactory` alpha-renaming used, so
+  generated ``k%7``-style names cannot collide with renamed user names.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Sequence
+
+from repro.errors import CPSSyntaxError
+from repro.scheme import ast
+from repro.scheme.alpha import alpha_rename, check_unique_binders
+from repro.scheme.desugar import desugar_program
+from repro.scheme.freevars import free_vars
+from repro.cps.program import Program
+from repro.cps.syntax import (
+    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, LamKind, Lit,
+    PrimCall, Ref,
+)
+from repro.util.gensym import GensymFactory
+
+MetaCont = Callable[[CExp], Call]
+
+
+def cps_convert(exp: ast.CoreExp,
+                gensym: GensymFactory | None = None) -> Program:
+    """Convert a closed, uniquely-bound core expression to CPS."""
+    from repro.util.recursion import deep_recursion
+    with deep_recursion():
+        check_unique_binders(exp)
+        missing = free_vars(exp)
+        if missing:
+            raise CPSSyntaxError(
+                "cannot CPS-convert an open program; free: "
+                f"{sorted(missing)}")
+        converter = _Converter(gensym or _gensym_above(exp))
+        root = converter.nontail(
+            exp, lambda atom: HaltCall(atom, converter.new_label()))
+        return Program(root)
+
+
+def compile_program(source) -> Program:
+    """Full pipeline: text/forms → desugar → alpha-rename → CPS."""
+    gensym = GensymFactory()
+    core = alpha_rename(desugar_program(source), gensym)
+    return cps_convert(core, gensym)
+
+
+def _gensym_above(exp: ast.CoreExp) -> GensymFactory:
+    """A factory whose counter starts above every generated name in
+    *exp*, so fresh names cannot collide with alpha-renamed ones."""
+    highest = -1
+    for node in ast.walk(exp):
+        names: tuple[str, ...] = ()
+        if isinstance(node, ast.Var):
+            names = (node.name,)
+        elif isinstance(node, ast.Lam):
+            names = node.params
+        elif isinstance(node, ast.Let):
+            names = (node.name,)
+        elif isinstance(node, ast.Letrec):
+            names = tuple(name for name, _ in node.bindings)
+        for name in names:
+            if GensymFactory.is_generated(name):
+                suffix = name.rsplit(GensymFactory.SEPARATOR, 1)[1]
+                if suffix.isdigit():
+                    highest = max(highest, int(suffix))
+    return GensymFactory(highest + 1)
+
+
+class _Converter:
+    def __init__(self, gensym: GensymFactory):
+        self.gensym = gensym
+        self._labels = itertools.count()
+
+    def new_label(self) -> int:
+        return next(self._labels)
+
+    # -- atomic expressions --------------------------------------------
+
+    def atom(self, exp: ast.CoreExp) -> CExp | None:
+        """The CPS image of an atomically-evaluable expression."""
+        if isinstance(exp, ast.Var):
+            return Ref(exp.name)
+        if isinstance(exp, ast.Quote):
+            return Lit(exp.datum)
+        if isinstance(exp, ast.Lam):
+            return self.user_lam(exp)
+        return None
+
+    def user_lam(self, lam: ast.Lam) -> Lam:
+        kvar = self.gensym.fresh("k")
+        body = self.tail(lam.body, Ref(kvar))
+        return Lam(LamKind.USER, (*lam.params, kvar), body,
+                   self.new_label())
+
+    def cont_lam(self, param: str, body: Call) -> Lam:
+        return Lam(LamKind.CONT, (param,), body, self.new_label())
+
+    # -- T_c: tail conversion against a syntactic continuation ---------
+
+    def tail(self, exp: ast.CoreExp, cont: CExp) -> Call:
+        atom = self.atom(exp)
+        if atom is not None:
+            return AppCall(cont, (atom,), self.new_label())
+        if isinstance(exp, ast.App):
+            return self.nontail(exp.fn, lambda fn_atom: self._args(
+                exp.args, lambda arg_atoms: AppCall(
+                    fn_atom, (*arg_atoms, cont), self.new_label())))
+        if isinstance(exp, ast.If):
+            return self._conditional(exp, cont)
+        if isinstance(exp, ast.Let):
+            body = self.tail(exp.body, cont)
+            return self.tail(exp.value, self.cont_lam(exp.name, body))
+        if isinstance(exp, ast.Letrec):
+            bindings = tuple((name, self.user_lam(lam))
+                             for name, lam in exp.bindings)
+            return FixCall(bindings, self.tail(exp.body, cont),
+                           self.new_label())
+        if isinstance(exp, ast.PrimApp):
+            return self._args(exp.args, lambda arg_atoms: PrimCall(
+                exp.op, arg_atoms, cont, self.new_label()))
+        raise TypeError(f"not a core expression: {exp!r}")
+
+    def _conditional(self, exp: ast.If, cont: CExp) -> Call:
+        if isinstance(cont, Ref):
+            return self.nontail(exp.test, lambda test_atom: IfCall(
+                test_atom,
+                self.tail(exp.then, cont),
+                self.tail(exp.orelse, cont),
+                self.new_label()))
+        # The continuation is a lambda: bind it to a join variable so
+        # its node is not duplicated across the two branches.
+        join = self.gensym.fresh("j")
+        branch = self.nontail(exp.test, lambda test_atom: IfCall(
+            test_atom,
+            self.tail(exp.then, Ref(join)),
+            self.tail(exp.orelse, Ref(join)),
+            self.new_label()))
+        binder = Lam(LamKind.CONT, (join,), branch, self.new_label())
+        return AppCall(binder, (cont,), self.new_label())
+
+    # -- T_k: non-tail conversion against a meta continuation ----------
+
+    def nontail(self, exp: ast.CoreExp, kappa: MetaCont) -> Call:
+        atom = self.atom(exp)
+        if atom is not None:
+            return kappa(atom)
+        if isinstance(exp, ast.Let):
+            body = self.nontail(exp.body, kappa)
+            return self.tail(exp.value, self.cont_lam(exp.name, body))
+        if isinstance(exp, ast.Letrec):
+            bindings = tuple((name, self.user_lam(lam))
+                             for name, lam in exp.bindings)
+            return FixCall(bindings, self.nontail(exp.body, kappa),
+                           self.new_label())
+        # Applications, conditionals and primitives need their result
+        # named: reify the meta continuation into a CONT lambda.
+        result = self.gensym.fresh("rv")
+        reified = self.cont_lam(result, kappa(Ref(result)))
+        return self.tail(exp, reified)
+
+    def _args(self, exps: Sequence[ast.CoreExp],
+              kappa: Callable[[tuple[CExp, ...]], Call]) -> Call:
+        """Convert argument expressions left to right."""
+        collected: list[CExp] = []
+
+        def step(index: int) -> Call:
+            if index == len(exps):
+                return kappa(tuple(collected))
+            def receive(atom: CExp) -> Call:
+                collected.append(atom)
+                return step(index + 1)
+            return self.nontail(exps[index], receive)
+
+        return step(0)

@@ -1,0 +1,448 @@
+"""Lower surface Scheme to the core AST.
+
+The entry points are :func:`desugar_program` (a sequence of top-level
+forms) and :func:`desugar_expression` (one expression).  Handled
+surface forms::
+
+    (define (f v ...) body ...)      (define x e)
+    (lambda (v ...) body ...)        (quote d)   'd    literals
+    (let ((v e) ...) body ...)       (let loop ((v e) ...) body ...)
+    (let* ...)  (letrec ...)         (begin e ...)
+    (if t c)  (if t c a)             (cond (t e ...) ... (else e ...))
+    (and e ...)  (or e ...)          (when t e ...)  (unless t e ...)
+    (list e ...)  (cadr x) etc.      primitive applications
+
+Scoping of primitives is honoured: a ``let``-bound ``car`` is an
+ordinary variable, and a primitive used as a value is eta-expanded to a
+lambda.  Sequencing (``begin``, multi-form bodies) lowers to chains of
+single-binding ``Let`` with ignored fresh names, and multi-binding
+``let`` lowers through fresh temporaries to preserve parallel-binding
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DesugarError
+from repro.scheme.ast import (
+    App, CoreExp, If, Lam, Let, Letrec, PrimApp, Quote, Var,
+)
+from repro.scheme.primitives import lookup_primitive
+from repro.scheme.sexp import Position, SexpList, Symbol, parse_sexps
+from repro.util.gensym import GensymFactory
+
+_SPECIAL_FORMS = frozenset({
+    "lambda", "let", "let*", "letrec", "if", "cond", "else", "begin",
+    "and", "or", "when", "unless", "quote", "define",
+})
+
+
+def _pos_of(form) -> Position:
+    return getattr(form, "pos", Position())
+
+
+def _is_cxr(name: str) -> bool:
+    """True for compositions like ``cadr``, ``caddr``, ``cddr``."""
+    return (len(name) >= 4 and name[0] == "c" and name[-1] == "r"
+            and 2 <= len(name) - 2 <= 4
+            and all(ch in "ad" for ch in name[1:-1]))
+
+
+class Desugarer:
+    """Stateful lowering pass; one instance per program."""
+
+    def __init__(self, gensym: GensymFactory | None = None):
+        self.gensym = gensym or GensymFactory()
+
+    # -- programs and bodies -------------------------------------------
+
+    def program(self, forms: Sequence) -> CoreExp:
+        """Desugar a top-level program (defines + expressions)."""
+        if not forms:
+            raise DesugarError("empty program")
+        return self._body(list(forms), scope=frozenset())
+
+    def _body(self, forms: list, scope: frozenset[str]) -> CoreExp:
+        """Desugar a body: internal defines followed by expressions.
+
+        All names defined anywhere in the body are in scope throughout
+        (letrec* semantics), so they are collected before lowering.
+        """
+        if not forms:
+            raise DesugarError("empty body")
+        defined = [self._defined_name(f) for f in forms
+                   if self._is_define(f)]
+        scope = scope | frozenset(defined)
+        return self._body_loop(forms, scope)
+
+    def _body_loop(self, forms: list, scope: frozenset[str]) -> CoreExp:
+        index = 0
+        # Group consecutive *function* defines into one Letrec so that
+        # mutual recursion works; value defines become Lets.
+        if self._is_define(forms[index]):
+            group: list[tuple[str, Lam]] = []
+            while (index < len(forms) and self._is_define(forms[index])
+                   and self._define_rhs_is_lambda(forms[index])):
+                name, lam_form = self._split_define(forms[index])
+                lam = self.expression(lam_form, scope)
+                if not isinstance(lam, Lam):
+                    raise DesugarError(
+                        f"define of {name}: expected a lambda")
+                group.append((name, lam))
+                index += 1
+            if group:
+                rest = self._rest_of_body(forms, index, scope)
+                return Letrec(tuple(group), rest, _pos_of(forms[0]))
+            # A value define: (define x e)
+            name, value_form = self._split_define(forms[index])
+            value = self.expression(value_form, scope)
+            rest = self._rest_of_body(forms, index + 1, scope)
+            return Let(name, value, rest, _pos_of(forms[index]))
+        expr = self.expression(forms[index], scope)
+        if index + 1 == len(forms):
+            return expr
+        rest = self._body_loop(forms[index + 1:], scope)
+        return Let(self.gensym.fresh("seq"), expr, rest, _pos_of(forms[0]))
+
+    def _rest_of_body(self, forms: list, index: int,
+                      scope: frozenset[str]) -> CoreExp:
+        if index == len(forms):
+            # A body that ends in a define evaluates to void.
+            return PrimApp("void", ())
+        return self._body_loop(forms[index:], scope)
+
+    @staticmethod
+    def _is_define(form) -> bool:
+        return (isinstance(form, (tuple, list)) and len(form) >= 1
+                and isinstance(form[0], Symbol) and form[0] == "define")
+
+    def _defined_name(self, form) -> str:
+        header = form[1] if len(form) > 1 else None
+        if isinstance(header, Symbol):
+            return str(header)
+        if (isinstance(header, (tuple, list)) and header
+                and isinstance(header[0], Symbol)):
+            return str(header[0])
+        raise DesugarError(f"malformed define: {form!r}")
+
+    def _define_rhs_is_lambda(self, form) -> bool:
+        header = form[1]
+        if isinstance(header, (tuple, list)):
+            return True  # (define (f ...) ...) is function sugar
+        rhs = form[2] if len(form) == 3 else None
+        return (isinstance(rhs, (tuple, list)) and len(rhs) >= 1
+                and isinstance(rhs[0], Symbol) and rhs[0] == "lambda")
+
+    def _split_define(self, form) -> tuple[str, object]:
+        """Return (name, expression-form) for either define flavour."""
+        if len(form) < 2:
+            raise DesugarError(f"malformed define: {form!r}")
+        header = form[1]
+        if isinstance(header, (tuple, list)):
+            if not header or not all(isinstance(p, Symbol) for p in header):
+                raise DesugarError(f"malformed define header: {form!r}")
+            name = str(header[0])
+            params = SexpList(header[1:], _pos_of(form))
+            lam_form = SexpList(
+                (Symbol("lambda"), params, *form[2:]), _pos_of(form))
+            return name, lam_form
+        if len(form) != 3:
+            raise DesugarError(
+                f"define of {header} expects exactly one expression")
+        return str(header), form[2]
+
+    # -- expressions ----------------------------------------------------
+
+    def expression(self, form, scope: frozenset[str]) -> CoreExp:
+        """Desugar one surface expression under *scope*."""
+        if isinstance(form, bool) or isinstance(form, int):
+            return Quote(form)
+        if isinstance(form, Symbol):
+            return self._symbol(form, scope)
+        if isinstance(form, str):
+            return Quote(form)
+        if not isinstance(form, (tuple, list)):
+            raise DesugarError(f"cannot desugar datum {form!r}")
+        if len(form) == 0:
+            raise DesugarError("empty application ()")
+        head = form[0]
+        if isinstance(head, Symbol) and str(head) not in scope:
+            handler = getattr(self, f"_form_{str(head).replace('*', 'star')}",
+                              None)
+            if str(head) in _SPECIAL_FORMS and handler is not None:
+                return handler(form, scope)
+            if str(head) == "list":
+                return self._expand_list(form, scope)
+            if _is_cxr(str(head)):
+                return self._expand_cxr(form, scope)
+            prim = lookup_primitive(str(head))
+            if prim is not None:
+                return self._prim_app(prim, form, scope)
+        return self._application(form, scope)
+
+    def _symbol(self, sym: Symbol, scope: frozenset[str]) -> CoreExp:
+        name = str(sym)
+        if name in scope:
+            return Var(name, sym.pos)
+        prim = lookup_primitive(name)
+        if prim is not None:
+            return self._eta_expand(prim, sym.pos)
+        if name in _SPECIAL_FORMS:
+            raise DesugarError(f"special form {name} used as a value")
+        # Unbound names surface as Vars; the CPS converter / evaluators
+        # report them with context.
+        return Var(name, sym.pos)
+
+    def _eta_expand(self, prim, pos: Position) -> Lam:
+        if prim.arity_max == prim.arity_min:
+            count = prim.arity_min
+        else:
+            count = max(prim.arity_min, 2)
+        params = tuple(self.gensym.fresh("p") for _ in range(count))
+        body = PrimApp(prim.name, tuple(Var(p, pos) for p in params), pos)
+        return Lam(params, body, pos)
+
+    def _prim_app(self, prim, form, scope: frozenset[str]) -> PrimApp:
+        args = tuple(self.expression(arg, scope) for arg in form[1:])
+        try:
+            prim.check_arity(len(args))
+        except Exception as exc:
+            raise DesugarError(str(exc)) from None
+        return PrimApp(prim.name, args, _pos_of(form))
+
+    def _expand_list(self, form, scope: frozenset[str]) -> CoreExp:
+        result: CoreExp = Quote(SexpList(()), _pos_of(form))
+        for arg in reversed(form[1:]):
+            result = PrimApp(
+                "cons", (self.expression(arg, scope), result),
+                _pos_of(form))
+        return result
+
+    def _expand_cxr(self, form, scope: frozenset[str]) -> CoreExp:
+        if len(form) != 2:
+            raise DesugarError(f"{form[0]} expects exactly one argument")
+        result = self.expression(form[1], scope)
+        for letter in reversed(form[0][1:-1]):
+            op = "car" if letter == "a" else "cdr"
+            result = PrimApp(op, (result,), _pos_of(form))
+        return result
+
+    def _application(self, form, scope: frozenset[str]) -> App:
+        fn = self.expression(form[0], scope)
+        args = tuple(self.expression(arg, scope) for arg in form[1:])
+        return App(fn, args, _pos_of(form))
+
+    # -- special forms ----------------------------------------------------
+
+    def _form_lambda(self, form, scope: frozenset[str]) -> Lam:
+        if len(form) < 3:
+            raise DesugarError("lambda needs parameters and a body")
+        params_form = form[1]
+        if not isinstance(params_form, (tuple, list)) or not all(
+                isinstance(p, Symbol) for p in params_form):
+            raise DesugarError(
+                "lambda parameters must be a list of symbols "
+                "(variadic parameters are not supported)")
+        params = tuple(str(p) for p in params_form)
+        if len(set(params)) != len(params):
+            raise DesugarError(f"duplicate lambda parameter in {params}")
+        body = self._body(list(form[2:]), scope | frozenset(params))
+        return Lam(params, body, _pos_of(form))
+
+    def _form_quote(self, form, scope: frozenset[str]) -> Quote:
+        if len(form) != 2:
+            raise DesugarError("quote expects exactly one datum")
+        return Quote(form[1], _pos_of(form))
+
+    def _form_if(self, form, scope: frozenset[str]) -> If:
+        if len(form) not in (3, 4):
+            raise DesugarError("if expects a test and one or two branches")
+        test = self.expression(form[1], scope)
+        then = self.expression(form[2], scope)
+        if len(form) == 4:
+            orelse = self.expression(form[3], scope)
+        else:
+            orelse = PrimApp("void", ())
+        return If(test, then, orelse, _pos_of(form))
+
+    def _form_begin(self, form, scope: frozenset[str]) -> CoreExp:
+        if len(form) == 1:
+            return PrimApp("void", ())
+        return self._body(list(form[1:]), scope)
+
+    def _parse_bindings(self, form) -> list[tuple[str, object]]:
+        if len(form) < 3 or not isinstance(form[1], (tuple, list)):
+            raise DesugarError(f"malformed {form[0]}: {form!r}")
+        bindings = []
+        for binding in form[1]:
+            if (not isinstance(binding, (tuple, list)) or len(binding) != 2
+                    or not isinstance(binding[0], Symbol)):
+                raise DesugarError(f"malformed binding {binding!r}")
+            bindings.append((str(binding[0]), binding[1]))
+        return bindings
+
+    def _form_let(self, form, scope: frozenset[str]) -> CoreExp:
+        if len(form) >= 3 and isinstance(form[1], Symbol):
+            return self._named_let(form, scope)
+        bindings = self._parse_bindings(form)
+        names = [name for name, _ in bindings]
+        if len(set(names)) != len(names):
+            raise DesugarError(f"duplicate let binding in {names}")
+        body = self._body(list(form[2:]), scope | frozenset(names))
+        # Parallel semantics: evaluate every right-hand side in the
+        # *outer* scope via fresh temporaries, then rebind the names.
+        values = [self.expression(v, scope) for _, v in bindings]
+        temps = [self.gensym.fresh(name) for name in names]
+        result = body
+        for name, temp in reversed(list(zip(names, temps))):
+            result = Let(name, Var(temp), result, _pos_of(form))
+        for temp, value in reversed(list(zip(temps, values))):
+            result = Let(temp, value, result, _pos_of(form))
+        return result
+
+    def _named_let(self, form, scope: frozenset[str]) -> CoreExp:
+        loop = str(form[1])
+        shifted = SexpList((form[0], *form[2:]), _pos_of(form))
+        bindings = self._parse_bindings(shifted)
+        names = [name for name, _ in bindings]
+        inner_scope = scope | frozenset(names) | {loop}
+        body = self._body(list(form[3:]), inner_scope)
+        lam = Lam(tuple(names), body, _pos_of(form))
+        args = tuple(self.expression(v, scope) for _, v in bindings)
+        return Letrec(
+            ((loop, lam),),
+            App(Var(loop, _pos_of(form)), args, _pos_of(form)),
+            _pos_of(form))
+
+    def _form_letstar(self, form, scope: frozenset[str]) -> CoreExp:
+        bindings = self._parse_bindings(form)
+        body_scope = scope | frozenset(name for name, _ in bindings)
+        body = self._body(list(form[2:]), body_scope)
+        result = body
+        inner = list(scope)
+        for index in range(len(bindings) - 1, -1, -1):
+            name, value_form = bindings[index]
+            visible = scope | frozenset(n for n, _ in bindings[:index])
+            value = self.expression(value_form, visible)
+            result = Let(name, value, result, _pos_of(form))
+        del inner
+        return result
+
+    def _form_letrec(self, form, scope: frozenset[str]) -> Letrec:
+        bindings = self._parse_bindings(form)
+        names = [name for name, _ in bindings]
+        if len(set(names)) != len(names):
+            raise DesugarError(f"duplicate letrec binding in {names}")
+        inner = scope | frozenset(names)
+        lowered = []
+        for name, value_form in bindings:
+            value = self.expression(value_form, inner)
+            if not isinstance(value, Lam):
+                raise DesugarError(
+                    f"letrec binding {name} must be a lambda "
+                    "(general letrec is outside the subset)")
+            lowered.append((name, value))
+        body = self._body(list(form[2:]), inner)
+        return Letrec(tuple(lowered), body, _pos_of(form))
+
+    def _form_cond(self, form, scope: frozenset[str]) -> CoreExp:
+        return self._cond_clauses(list(form[1:]), scope, _pos_of(form))
+
+    def _cond_clauses(self, clauses: list, scope: frozenset[str],
+                      pos: Position) -> CoreExp:
+        if not clauses:
+            return PrimApp("void", ())
+        clause = clauses[0]
+        if not isinstance(clause, (tuple, list)) or len(clause) == 0:
+            raise DesugarError(f"malformed cond clause {clause!r}")
+        head = clause[0]
+        if isinstance(head, Symbol) and head == "else":
+            if len(clauses) != 1:
+                raise DesugarError("cond: else clause must be last")
+            return self._body(list(clause[1:]), scope)
+        rest = self._cond_clauses(clauses[1:], scope, pos)
+        test = self.expression(head, scope)
+        if len(clause) == 1:
+            temp = self.gensym.fresh("t")
+            return Let(temp, test,
+                       If(Var(temp), Var(temp), rest, pos), pos)
+        if (len(clause) == 3 and isinstance(clause[1], Symbol)
+                and clause[1] == "=>"):
+            temp = self.gensym.fresh("t")
+            receiver = self.expression(clause[2], scope)
+            return Let(temp, test,
+                       If(Var(temp),
+                          App(receiver, (Var(temp),), pos), rest, pos),
+                       pos)
+        then = self._body(list(clause[1:]), scope)
+        return If(test, then, rest, pos)
+
+    def _form_and(self, form, scope: frozenset[str]) -> CoreExp:
+        exprs = list(form[1:])
+        if not exprs:
+            return Quote(True)
+        if len(exprs) == 1:
+            return self.expression(exprs[0], scope)
+        first = self.expression(exprs[0], scope)
+        rest = self._form_and(SexpList((form[0], *exprs[1:])), scope)
+        return If(first, rest, Quote(False), _pos_of(form))
+
+    def _form_or(self, form, scope: frozenset[str]) -> CoreExp:
+        exprs = list(form[1:])
+        if not exprs:
+            return Quote(False)
+        if len(exprs) == 1:
+            return self.expression(exprs[0], scope)
+        first = self.expression(exprs[0], scope)
+        rest = self._form_or(SexpList((form[0], *exprs[1:])), scope)
+        temp = self.gensym.fresh("t")
+        return Let(temp, first,
+                   If(Var(temp), Var(temp), rest, _pos_of(form)),
+                   _pos_of(form))
+
+    def _form_when(self, form, scope: frozenset[str]) -> CoreExp:
+        if len(form) < 3:
+            raise DesugarError("when needs a test and a body")
+        test = self.expression(form[1], scope)
+        body = self._body(list(form[2:]), scope)
+        return If(test, body, PrimApp("void", ()), _pos_of(form))
+
+    def _form_unless(self, form, scope: frozenset[str]) -> CoreExp:
+        if len(form) < 3:
+            raise DesugarError("unless needs a test and a body")
+        test = self.expression(form[1], scope)
+        body = self._body(list(form[2:]), scope)
+        return If(test, PrimApp("void", ()), body, _pos_of(form))
+
+    def _form_define(self, form, scope: frozenset[str]) -> CoreExp:
+        raise DesugarError(
+            "define is only allowed at the start of a body or top level")
+
+
+def desugar_program(source) -> CoreExp:
+    """Desugar a whole program.
+
+    *source* may be program text, a single form, or a sequence of
+    already-read forms.
+    """
+    from repro.util.recursion import deep_recursion
+    if isinstance(source, str):
+        forms = parse_sexps(source)
+    elif isinstance(source, SexpList) or not isinstance(source, (list,
+                                                                 tuple)):
+        forms = [source]
+    else:
+        forms = list(source)
+    with deep_recursion():
+        return Desugarer().program(forms)
+
+
+def desugar_expression(source) -> CoreExp:
+    """Desugar a single expression (no top-level defines)."""
+    if isinstance(source, str):
+        forms = parse_sexps(source)
+        if len(forms) != 1:
+            raise DesugarError("expected exactly one expression")
+        source = forms[0]
+    return Desugarer().expression(source, frozenset())

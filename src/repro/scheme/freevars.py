@@ -1,0 +1,67 @@
+"""Free-variable analysis for the core direct-style AST.
+
+m-CFA's concrete and abstract machines both copy the values of a
+lambda's free variables into a freshly allocated flat environment, so
+free-variable sets are load-bearing here, not just a lint: they are
+part of the transition relation (paper Section 5.1/5.2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.scheme.ast import (
+    App, CoreExp, If, Lam, Let, Letrec, PrimApp, Quote, Var,
+)
+
+
+def free_vars(exp: CoreExp) -> frozenset[str]:
+    """The free variables of *exp*.
+
+    Results are memoized per node identity — core ASTs are immutable,
+    and the CPS transform queries the same lambdas repeatedly.
+    """
+    return _free_vars_cached(id(exp), exp)
+
+
+@lru_cache(maxsize=None)
+def _free_vars_cached(key: int, exp: CoreExp) -> frozenset[str]:
+    del key  # only present to make the cache identity-based
+    return _free_vars(exp)
+
+
+def _free_vars(exp: CoreExp) -> frozenset[str]:
+    if isinstance(exp, Var):
+        return frozenset({exp.name})
+    if isinstance(exp, Quote):
+        return frozenset()
+    if isinstance(exp, Lam):
+        return free_vars(exp.body) - frozenset(exp.params)
+    if isinstance(exp, App):
+        result = free_vars(exp.fn)
+        for arg in exp.args:
+            result |= free_vars(arg)
+        return result
+    if isinstance(exp, If):
+        return (free_vars(exp.test) | free_vars(exp.then)
+                | free_vars(exp.orelse))
+    if isinstance(exp, Let):
+        return free_vars(exp.value) | (free_vars(exp.body)
+                                       - frozenset({exp.name}))
+    if isinstance(exp, Letrec):
+        bound = frozenset(name for name, _ in exp.bindings)
+        result = free_vars(exp.body)
+        for _, lam in exp.bindings:
+            result |= free_vars(lam)
+        return result - bound
+    if isinstance(exp, PrimApp):
+        result: frozenset[str] = frozenset()
+        for arg in exp.args:
+            result |= free_vars(arg)
+        return result
+    raise TypeError(f"not a core expression: {exp!r}")
+
+
+def is_closed(exp: CoreExp) -> bool:
+    """True when *exp* has no free variables (a whole program)."""
+    return not free_vars(exp)

@@ -1,0 +1,203 @@
+"""Direct-style reference interpreter (an iterative CEK machine).
+
+This interpreter is the *ground truth* for the front end: the CPS
+transform is differentially tested by checking that a program evaluates
+to the same value directly and after conversion (through the concrete
+CPS machines of :mod:`repro.concrete`).
+
+It is written as an explicit-continuation machine rather than a
+recursive ``eval`` so that deeply recursive Scheme programs (the SAT
+solver, the meta-circular interpreter) do not overflow the Python
+stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import EvaluationError, FuelExhausted, \
+    UnboundVariableError
+from repro.scheme.alpha import alpha_rename
+from repro.scheme.ast import (
+    App, CoreExp, If, Lam, Let, Letrec, PrimApp, Quote, Var,
+)
+from repro.scheme.desugar import desugar_program
+from repro.scheme.primitives import lookup_primitive
+from repro.scheme.values import (
+    ProcedureValue, Value, datum_to_value, is_truthy,
+)
+
+Env = dict  # name -> Value; treated as immutable except during letrec
+
+
+@dataclass(frozen=True, slots=True)
+class DirectClosure(ProcedureValue):
+    """A closure of the direct-style machine."""
+
+    lam: Lam
+    env: Env
+
+    def __repr__(self) -> str:
+        return f"#<procedure ({' '.join(self.lam.params)})>"
+
+
+# -- continuation frames (a linked stack) ------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _HaltK:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class _AppK:
+    """Collecting operator/operand values for an application."""
+
+    remaining: tuple[CoreExp, ...]
+    collected: tuple[Value, ...]
+    env: Env
+    next: object
+
+
+@dataclass(frozen=True, slots=True)
+class _PrimK:
+    op: str
+    remaining: tuple[CoreExp, ...]
+    collected: tuple[Value, ...]
+    env: Env
+    next: object
+
+
+@dataclass(frozen=True, slots=True)
+class _IfK:
+    then: CoreExp
+    orelse: CoreExp
+    env: Env
+    next: object
+
+
+@dataclass(frozen=True, slots=True)
+class _LetK:
+    name: str
+    body: CoreExp
+    env: Env
+    next: object
+
+
+DEFAULT_FUEL = 2_000_000
+
+
+def evaluate(exp: CoreExp, fuel: int = DEFAULT_FUEL) -> Value:
+    """Evaluate a closed core expression to a value."""
+    machine = _Machine(fuel)
+    return machine.run(exp)
+
+
+def run_source(source: str, fuel: int = DEFAULT_FUEL) -> Value:
+    """Parse, desugar, alpha-rename and evaluate program text."""
+    program = alpha_rename(desugar_program(source))
+    return evaluate(program, fuel)
+
+
+class _Machine:
+    def __init__(self, fuel: int):
+        self.fuel = fuel
+
+    def run(self, exp: CoreExp) -> Value:
+        control: Optional[CoreExp] = exp
+        env: Env = {}
+        value: Value = None
+        kont = _HaltK()
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.fuel:
+                raise FuelExhausted(self.fuel)
+            if control is not None:
+                control, env, value, kont = self._eval(control, env, kont)
+            else:
+                if isinstance(kont, _HaltK):
+                    return value
+                control, env, value, kont = self._apply(kont, value)
+
+    # -- the E step: evaluate one expression --------------------------
+
+    def _eval(self, exp: CoreExp, env: Env, kont):
+        if isinstance(exp, Var):
+            if exp.name not in env:
+                raise UnboundVariableError(exp.name, "direct interpreter")
+            return None, env, env[exp.name], kont
+        if isinstance(exp, Quote):
+            return None, env, datum_to_value(exp.datum), kont
+        if isinstance(exp, Lam):
+            return None, env, DirectClosure(exp, env), kont
+        if isinstance(exp, App):
+            frame = _AppK(tuple(exp.args), (), env, kont)
+            return exp.fn, env, None, frame
+        if isinstance(exp, PrimApp):
+            if not exp.args:
+                return self._apply_prim(exp.op, (), env, kont)
+            frame = _PrimK(exp.op, tuple(exp.args[1:]), (), env, kont)
+            return exp.args[0], env, None, frame
+        if isinstance(exp, If):
+            frame = _IfK(exp.then, exp.orelse, env, kont)
+            return exp.test, env, None, frame
+        if isinstance(exp, Let):
+            frame = _LetK(exp.name, exp.body, env, kont)
+            return exp.value, env, None, frame
+        if isinstance(exp, Letrec):
+            new_env = dict(env)
+            for name, lam in exp.bindings:
+                # Closures share new_env, so the mutual references
+                # below become visible to all of them.
+                new_env[name] = DirectClosure(lam, new_env)
+            return exp.body, new_env, None, kont
+        raise TypeError(f"not a core expression: {exp!r}")
+
+    # -- the K step: feed a value to the continuation -----------------
+
+    def _apply(self, kont, value: Value):
+        if isinstance(kont, _AppK):
+            collected = kont.collected + (value,)
+            if kont.remaining:
+                frame = _AppK(kont.remaining[1:], collected, kont.env,
+                              kont.next)
+                return kont.remaining[0], kont.env, None, frame
+            return self._call(collected[0], collected[1:], kont.next)
+        if isinstance(kont, _PrimK):
+            collected = kont.collected + (value,)
+            if kont.remaining:
+                frame = _PrimK(kont.op, kont.remaining[1:], collected,
+                               kont.env, kont.next)
+                return kont.remaining[0], kont.env, None, frame
+            return self._apply_prim(kont.op, collected, kont.env,
+                                    kont.next)
+        if isinstance(kont, _IfK):
+            branch = kont.then if is_truthy(value) else kont.orelse
+            return branch, kont.env, None, kont.next
+        if isinstance(kont, _LetK):
+            new_env = dict(kont.env)
+            new_env[kont.name] = value
+            return kont.body, new_env, None, kont.next
+        raise TypeError(f"not a continuation: {kont!r}")
+
+    def _call(self, fn: Value, args: tuple[Value, ...], kont):
+        if not isinstance(fn, DirectClosure):
+            raise EvaluationError(
+                f"application of a non-procedure: {fn!r}")
+        if len(args) != len(fn.lam.params):
+            raise EvaluationError(
+                f"procedure expects {len(fn.lam.params)} argument(s), "
+                f"got {len(args)}")
+        new_env = dict(fn.env)
+        new_env.update(zip(fn.lam.params, args))
+        return fn.lam.body, new_env, None, kont
+
+    def _apply_prim(self, op: str, args: tuple[Value, ...], env: Env,
+                    kont):
+        prim = lookup_primitive(op)
+        if prim is None:
+            raise EvaluationError(f"unknown primitive {op}")
+        result = prim.apply(args)
+        return None, env, result, kont

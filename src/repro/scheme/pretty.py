@@ -1,0 +1,86 @@
+"""Pretty-print core ASTs back to readable surface syntax.
+
+The output re-reads to an alpha-equivalent program (generated names
+keep their ``%N`` suffix, which the reader accepts), so round-trip
+tests can parse → desugar → pretty → parse → desugar and compare.
+"""
+
+from __future__ import annotations
+
+from repro.scheme.ast import (
+    App, CoreExp, If, Lam, Let, Letrec, PrimApp, Quote, Var,
+)
+from repro.scheme.sexp import write_sexp
+
+_INDENT = "  "
+
+
+def pretty(exp: CoreExp, width: int = 72) -> str:
+    """Render *exp*; short forms stay on one line."""
+    from repro.util.recursion import deep_recursion
+    with deep_recursion():
+        return _render(exp, 0, width)
+
+
+def _render(exp: CoreExp, depth: int, width: int) -> str:
+    flat = _flat(exp)
+    if len(flat) + depth * len(_INDENT) <= width:
+        return flat
+    pad = _INDENT * (depth + 1)
+    if isinstance(exp, Lam):
+        return (f"(lambda ({' '.join(exp.params)})\n"
+                f"{pad}{_render(exp.body, depth + 1, width)})")
+    if isinstance(exp, If):
+        return (f"(if {_render(exp.test, depth + 1, width)}\n"
+                f"{pad}{_render(exp.then, depth + 1, width)}\n"
+                f"{pad}{_render(exp.orelse, depth + 1, width)})")
+    if isinstance(exp, Let):
+        return (f"(let (({exp.name} "
+                f"{_render(exp.value, depth + 2, width)}))\n"
+                f"{pad}{_render(exp.body, depth + 1, width)})")
+    if isinstance(exp, Letrec):
+        inner_pad = _INDENT * (depth + 2)
+        bindings = ("\n" + inner_pad).join(
+            f"({name} {_render(lam, depth + 2, width)})"
+            for name, lam in exp.bindings)
+        return (f"(letrec ({bindings})\n"
+                f"{pad}{_render(exp.body, depth + 1, width)})")
+    if isinstance(exp, App):
+        parts = [_render(exp.fn, depth + 1, width)]
+        parts += [_render(arg, depth + 1, width) for arg in exp.args]
+        return "(" + ("\n" + pad).join(parts) + ")"
+    if isinstance(exp, PrimApp):
+        parts = [exp.op]
+        parts += [_render(arg, depth + 1, width) for arg in exp.args]
+        return "(" + ("\n" + pad).join(parts) + ")"
+    return flat
+
+
+def _flat(exp: CoreExp) -> str:
+    if isinstance(exp, Var):
+        return exp.name
+    if isinstance(exp, Quote):
+        if isinstance(exp.datum, (bool, int)):
+            return write_sexp(exp.datum)
+        if isinstance(exp.datum, str) and not hasattr(exp.datum, "pos"):
+            return write_sexp(exp.datum)
+        return "'" + write_sexp(exp.datum)
+    if isinstance(exp, Lam):
+        return f"(lambda ({' '.join(exp.params)}) {_flat(exp.body)})"
+    if isinstance(exp, App):
+        return "(" + " ".join(_flat(e) for e in (exp.fn, *exp.args)) + ")"
+    if isinstance(exp, If):
+        return (f"(if {_flat(exp.test)} {_flat(exp.then)} "
+                f"{_flat(exp.orelse)})")
+    if isinstance(exp, Let):
+        return f"(let (({exp.name} {_flat(exp.value)})) {_flat(exp.body)})"
+    if isinstance(exp, Letrec):
+        bindings = " ".join(f"({name} {_flat(lam)})"
+                            for name, lam in exp.bindings)
+        return f"(letrec ({bindings}) {_flat(exp.body)})"
+    if isinstance(exp, PrimApp):
+        if exp.args:
+            return "(" + " ".join((exp.op,
+                                   *(_flat(a) for a in exp.args))) + ")"
+        return f"({exp.op})"
+    raise TypeError(f"not a core expression: {exp!r}")

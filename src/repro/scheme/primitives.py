@@ -1,0 +1,229 @@
+"""The primitive operation table.
+
+Primitives are *not* first-class values in the core languages: the
+desugarer turns saturated applications of unshadowed primitive names
+into ``PrimApp`` nodes (and eta-expands primitives used as values).
+This keeps the abstract value domain small — exactly closures, pairs
+and one "basic" top element — which mirrors how Shivers-lineage CFA
+implementations treat Scheme primops.
+
+Each entry records:
+
+* ``arity_min`` / ``arity_max`` — ``arity_max`` of ``None`` means
+  variadic;
+* ``kind`` — how the *abstract* machines transfer it:
+  - ``"basic"``: result abstracts to the basic-value top;
+  - ``"cons"`` / ``"car"`` / ``"cdr"``: field-sensitive pair rules;
+  - ``"error"``: diverges (calls no continuation);
+* ``impl`` — the concrete implementation over runtime values.
+
+Predicates return real booleans concretely but abstract to basic-top,
+which is why ``if`` must branch both ways in the abstract semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import EvaluationError
+from repro.scheme.sexp import Symbol
+from repro.scheme.values import (
+    VOID, NilType, PairVal, ProcedureValue, Value, VoidType,
+    is_truthy, iter_scheme_list, scheme_repr, values_equal, values_eqv,
+)
+
+
+class SchemeUserError(EvaluationError):
+    """Raised when the analyzed program itself calls ``(error ...)``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Primitive:
+    """Specification of one primitive operation."""
+
+    name: str
+    arity_min: int
+    arity_max: int | None
+    kind: str  # "basic" | "cons" | "car" | "cdr" | "error"
+    impl: Callable[..., Value]
+
+    def check_arity(self, count: int) -> None:
+        if count < self.arity_min or (self.arity_max is not None
+                                      and count > self.arity_max):
+            if self.arity_max is None:
+                expected = f"at least {self.arity_min}"
+            elif self.arity_min == self.arity_max:
+                expected = str(self.arity_min)
+            else:
+                expected = f"{self.arity_min}..{self.arity_max}"
+            raise EvaluationError(
+                f"primitive {self.name} expects {expected} argument(s), "
+                f"got {count}")
+
+    def apply(self, args: tuple[Value, ...]) -> Value:
+        self.check_arity(len(args))
+        return self.impl(*args)
+
+
+def _need_int(value: Value, op: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise EvaluationError(f"{op}: expected an integer, "
+                              f"got {scheme_repr(value)}")
+    return value
+
+
+def _need_pair(value: Value, op: str) -> PairVal:
+    if not isinstance(value, PairVal):
+        raise EvaluationError(f"{op}: expected a pair, "
+                              f"got {scheme_repr(value)}")
+    return value
+
+
+def _add(*args: Value) -> int:
+    return sum(_need_int(a, "+") for a in args)
+
+
+def _sub(first: Value, *rest: Value) -> int:
+    head = _need_int(first, "-")
+    if not rest:
+        return -head
+    for arg in rest:
+        head -= _need_int(arg, "-")
+    return head
+
+
+def _mul(*args: Value) -> int:
+    result = 1
+    for arg in args:
+        result *= _need_int(arg, "*")
+    return result
+
+
+def _quotient(a: Value, b: Value) -> int:
+    divisor = _need_int(b, "quotient")
+    if divisor == 0:
+        raise EvaluationError("quotient: division by zero")
+    quotient = abs(_need_int(a, "quotient")) // abs(divisor)
+    return quotient if (a >= 0) == (divisor > 0) else -quotient
+
+
+def _remainder(a: Value, b: Value) -> int:
+    divisor = _need_int(b, "remainder")
+    if divisor == 0:
+        raise EvaluationError("remainder: division by zero")
+    return _need_int(a, "remainder") - divisor * _quotient(a, b)
+
+
+def _modulo(a: Value, b: Value) -> int:
+    divisor = _need_int(b, "modulo")
+    if divisor == 0:
+        raise EvaluationError("modulo: division by zero")
+    return _need_int(a, "modulo") % divisor
+
+
+def _comparison(op: str, test: Callable[[int, int], bool]):
+    def compare(*args: Value) -> bool:
+        numbers = [_need_int(a, op) for a in args]
+        return all(test(x, y) for x, y in zip(numbers, numbers[1:]))
+    return compare
+
+
+def _error(*args: Value) -> Value:
+    raise SchemeUserError(" ".join(scheme_repr(a) for a in args))
+
+
+def _length(value: Value) -> int:
+    return sum(1 for _ in iter_scheme_list(value))
+
+
+def _display(*args: Value) -> VoidType:
+    return VOID
+
+
+def _symbol_to_string(value: Value) -> str:
+    if not isinstance(value, Symbol):
+        raise EvaluationError(f"symbol->string: expected a symbol, "
+                              f"got {scheme_repr(value)}")
+    return str(value)
+
+
+def _string_append(*args: Value) -> str:
+    for arg in args:
+        if not isinstance(arg, str) or isinstance(arg, Symbol):
+            raise EvaluationError(f"string-append: expected a string, "
+                                  f"got {scheme_repr(arg)}")
+    return "".join(args)
+
+
+def _number_to_string(value: Value) -> str:
+    return str(_need_int(value, "number->string"))
+
+
+_TABLE: dict[str, Primitive] = {}
+
+
+def _define(name: str, arity_min: int, arity_max: int | None,
+            kind: str, impl: Callable[..., Value]) -> None:
+    _TABLE[name] = Primitive(name, arity_min, arity_max, kind, impl)
+
+
+_define("+", 0, None, "basic", _add)
+_define("-", 1, None, "basic", _sub)
+_define("*", 0, None, "basic", _mul)
+_define("quotient", 2, 2, "basic", _quotient)
+_define("remainder", 2, 2, "basic", _remainder)
+_define("modulo", 2, 2, "basic", _modulo)
+_define("=", 2, None, "basic", _comparison("=", lambda x, y: x == y))
+_define("<", 2, None, "basic", _comparison("<", lambda x, y: x < y))
+_define(">", 2, None, "basic", _comparison(">", lambda x, y: x > y))
+_define("<=", 2, None, "basic", _comparison("<=", lambda x, y: x <= y))
+_define(">=", 2, None, "basic", _comparison(">=", lambda x, y: x >= y))
+_define("zero?", 1, 1, "basic",
+        lambda v: _need_int(v, "zero?") == 0)
+_define("not", 1, 1, "basic", lambda v: not is_truthy(v))
+_define("eq?", 2, 2, "basic", values_eqv)
+_define("eqv?", 2, 2, "basic", values_eqv)
+_define("null?", 1, 1, "basic", lambda v: isinstance(v, NilType))
+_define("pair?", 1, 1, "basic", lambda v: isinstance(v, PairVal))
+_define("number?", 1, 1, "basic",
+        lambda v: isinstance(v, int) and not isinstance(v, bool))
+_define("boolean?", 1, 1, "basic", lambda v: isinstance(v, bool))
+_define("symbol?", 1, 1, "basic", lambda v: isinstance(v, Symbol))
+_define("string?", 1, 1, "basic",
+        lambda v: isinstance(v, str) and not isinstance(v, Symbol))
+_define("procedure?", 1, 1, "basic",
+        lambda v: isinstance(v, ProcedureValue))
+_define("cons", 2, 2, "cons", PairVal)
+_define("car", 1, 1, "car", lambda v: _need_pair(v, "car").car)
+_define("cdr", 1, 1, "cdr", lambda v: _need_pair(v, "cdr").cdr)
+_define("length", 1, 1, "basic", _length)
+_define("void", 0, 0, "basic", lambda: VOID)
+_define("display", 0, None, "basic", _display)
+_define("newline", 0, 0, "basic", _display)
+_define("error", 0, None, "error", _error)
+_define("symbol->string", 1, 1, "basic", _symbol_to_string)
+_define("number->string", 1, 1, "basic", _number_to_string)
+_define("string-append", 0, None, "basic", _string_append)
+_define("string=?", 2, 2, "basic",
+        lambda a, b: _string_append(a) == _string_append(b))
+_define("equal?", 2, 2, "basic", values_equal)
+
+
+def lookup_primitive(name: str) -> Primitive | None:
+    """The primitive named *name*, or None if it is not a primitive."""
+    return _TABLE.get(name)
+
+
+def is_primitive_name(name: str) -> bool:
+    return name in _TABLE
+
+
+def primitive_names() -> frozenset[str]:
+    return frozenset(_TABLE)
+
+
+#: Primitives whose abstract result may include closures (pair fields
+#: can hold anything that was consed into them); everything else
+#: abstracts to the basic top value.
+FLOW_RELEVANT_KINDS = frozenset({"cons", "car", "cdr"})

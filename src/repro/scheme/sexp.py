@@ -1,0 +1,321 @@
+"""S-expression reader and writer.
+
+The reader turns program text into a tree of Python values:
+
+* lists          -> ``SexpList`` (a tuple subclass carrying a position)
+* symbols        -> :class:`Symbol`
+* exact integers -> ``int``
+* booleans       -> ``bool`` (``#t`` / ``#f``)
+* strings        -> ``str``
+
+It supports line comments (``;``), block comments (``#| ... |#``),
+datum comments (``#;datum``), the quote family of reader macros
+(``'x`` -> ``(quote x)``, `````x`` -> ``(quasiquote x)``, ``,x`` ->
+``(unquote x)``) and square brackets as alternative parentheses.
+Every list and symbol remembers its source line/column, which the
+Scheme parser threads through to AST nodes for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import SchemeSyntaxError
+
+_DELIMITERS = set("()[]\"';`,")
+_CLOSER_FOR = {"(": ")", "[": "]"}
+
+
+@dataclass(frozen=True, slots=True)
+class Position:
+    """A 1-based source position."""
+
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class Symbol(str):
+    """A Scheme symbol; compares equal to the equivalent ``str``.
+
+    Subclassing ``str`` keeps symbols hashable and cheap while still
+    letting ``isinstance(x, Symbol)`` distinguish ``foo`` from ``"foo"``.
+    """
+
+    def __new__(cls, name: str, pos: Position = Position()):
+        self = super().__new__(cls, name)
+        self.pos = pos
+        return self
+
+    def __repr__(self) -> str:
+        return f"Symbol({str.__repr__(self)})"
+
+
+class SexpList(tuple):
+    """A read list; a tuple that remembers where it started."""
+
+    def __new__(cls, items: Sequence = (), pos: Position = Position()):
+        self = super().__new__(cls, items)
+        self.pos = pos
+        return self
+
+    def __repr__(self) -> str:
+        return f"SexpList({tuple.__repr__(self)})"
+
+
+Sexp = object  # documentation alias: Symbol | int | bool | str | SexpList
+
+
+class _Reader:
+    """Single-pass recursive-descent reader with position tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.index = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character-level helpers ------------------------------------
+
+    def _peek(self) -> str:
+        if self.index >= len(self.text):
+            return ""
+        return self.text[self.index]
+
+    def _next(self) -> str:
+        ch = self.text[self.index]
+        self.index += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _position(self) -> Position:
+        return Position(self.line, self.column)
+
+    def _error(self, message: str) -> SchemeSyntaxError:
+        return SchemeSyntaxError(message, self.line, self.column)
+
+    # -- whitespace and comments -------------------------------------
+
+    def _skip_atmosphere(self) -> None:
+        while self.index < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._next()
+            elif ch == ";":
+                while self.index < len(self.text) and self._peek() != "\n":
+                    self._next()
+            elif self.text.startswith("#|", self.index):
+                self._skip_block_comment()
+            elif self.text.startswith("#;", self.index):
+                self._next()
+                self._next()
+                self.read()  # discard the following datum
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._position()
+        self._next()  # '#'
+        self._next()  # '|'
+        depth = 1
+        while depth > 0:
+            if self.index >= len(self.text):
+                raise SchemeSyntaxError(
+                    "unterminated block comment", start.line, start.column)
+            if self.text.startswith("#|", self.index):
+                self._next()
+                self._next()
+                depth += 1
+            elif self.text.startswith("|#", self.index):
+                self._next()
+                self._next()
+                depth -= 1
+            else:
+                self._next()
+
+    # -- datum reading ------------------------------------------------
+
+    def at_eof(self) -> bool:
+        self._skip_atmosphere()
+        return self.index >= len(self.text)
+
+    def read(self):
+        """Read one datum; raises at EOF."""
+        self._skip_atmosphere()
+        if self.index >= len(self.text):
+            raise self._error("unexpected end of input")
+        ch = self._peek()
+        if ch in "([":
+            return self._read_list()
+        if ch in ")]":
+            raise self._error(f"unexpected {ch!r}")
+        if ch == '"':
+            return self._read_string()
+        if ch == "'":
+            return self._read_prefixed("quote")
+        if ch == "`":
+            return self._read_prefixed("quasiquote")
+        if ch == ",":
+            pos = self._position()
+            self._next()
+            if self._peek() == "@":
+                self._next()
+                return SexpList(
+                    (Symbol("unquote-splicing", pos), self.read()), pos)
+            return SexpList((Symbol("unquote", pos), self.read()), pos)
+        if ch == "#":
+            return self._read_hash()
+        return self._read_atom()
+
+    def _read_prefixed(self, head: str):
+        pos = self._position()
+        self._next()
+        return SexpList((Symbol(head, pos), self.read()), pos)
+
+    def _read_list(self) -> SexpList:
+        pos = self._position()
+        opener = self._next()
+        closer = _CLOSER_FOR[opener]
+        items = []
+        while True:
+            self._skip_atmosphere()
+            if self.index >= len(self.text):
+                raise SchemeSyntaxError(
+                    f"unterminated list opened here", pos.line, pos.column)
+            ch = self._peek()
+            if ch in ")]":
+                if ch != closer:
+                    raise self._error(
+                        f"mismatched delimiter: expected {closer!r}, "
+                        f"found {ch!r}")
+                self._next()
+                return SexpList(items, pos)
+            items.append(self.read())
+
+    def _read_string(self) -> str:
+        start = self._position()
+        self._next()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.index >= len(self.text):
+                raise SchemeSyntaxError(
+                    "unterminated string literal", start.line, start.column)
+            ch = self._next()
+            if ch == '"':
+                return "".join(chars)
+            if ch == "\\":
+                if self.index >= len(self.text):
+                    raise SchemeSyntaxError(
+                        "unterminated string escape",
+                        start.line, start.column)
+                escape = self._next()
+                chars.append({
+                    "n": "\n", "t": "\t", "r": "\r",
+                    '"': '"', "\\": "\\",
+                }.get(escape, escape))
+            else:
+                chars.append(ch)
+
+    def _read_hash(self):
+        pos = self._position()
+        self._next()  # '#'
+        ch = self._peek()
+        if ch in "tf":
+            token = self._read_token_text()
+            if token in ("t", "true"):
+                return True
+            if token in ("f", "false"):
+                return False
+            raise SchemeSyntaxError(
+                f"unknown boolean literal #{token}", pos.line, pos.column)
+        raise SchemeSyntaxError(
+            f"unsupported reader syntax #{ch!r}", pos.line, pos.column)
+
+    def _read_token_text(self) -> str:
+        chars: list[str] = []
+        while self.index < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n" or ch in _DELIMITERS:
+                break
+            chars.append(self._next())
+        return "".join(chars)
+
+    def _read_atom(self):
+        pos = self._position()
+        token = self._read_token_text()
+        if not token:
+            raise self._error("empty token")
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        # Negative/positive floats and rationals are out of scope: the
+        # analyses abstract all numbers to one basic value anyway, so the
+        # front end keeps only exact integers.
+        return Symbol(token, pos)
+
+
+def parse_sexps(text: str) -> list:
+    """Read every datum in *text*, in order."""
+    from repro.util.recursion import deep_recursion
+    reader = _Reader(text)
+    data = []
+    with deep_recursion():
+        while not reader.at_eof():
+            data.append(reader.read())
+    return data
+
+
+def parse_sexp(text: str):
+    """Read exactly one datum; raise if there are zero or several."""
+    data = parse_sexps(text)
+    if len(data) != 1:
+        raise SchemeSyntaxError(
+            f"expected exactly one datum, found {len(data)}")
+    return data[0]
+
+
+def write_sexp(datum) -> str:
+    """Render a datum back to (re-readable) surface syntax."""
+    if datum is True:
+        return "#t"
+    if datum is False:
+        return "#f"
+    if isinstance(datum, (Symbol,)):
+        return str(datum)
+    if isinstance(datum, int):
+        return str(datum)
+    if isinstance(datum, str):
+        escaped = datum.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(datum, (tuple, list)):
+        return "(" + " ".join(write_sexp(item) for item in datum) + ")"
+    raise TypeError(f"cannot write datum of type {type(datum).__name__}")
+
+
+def sexp_equal(left, right) -> bool:
+    """Structural equality ignoring positions and list container types."""
+    if isinstance(left, (tuple, list)) and isinstance(right, (tuple, list)):
+        return (len(left) == len(right)
+                and all(sexp_equal(a, b) for a, b in zip(left, right)))
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right
+    return type(left) in (int, str, Symbol) and left == right \
+        and isinstance(left, Symbol) == isinstance(right, Symbol)
+
+
+def iter_symbols(datum) -> Iterator[Symbol]:
+    """Yield every symbol in *datum*, depth-first."""
+    if isinstance(datum, Symbol):
+        yield datum
+    elif isinstance(datum, (tuple, list)):
+        for item in datum:
+            yield from iter_symbols(item)

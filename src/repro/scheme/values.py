@@ -1,0 +1,152 @@
+"""Runtime values shared by every concrete evaluator.
+
+Three evaluators consume these: the direct-style reference interpreter
+(:mod:`repro.scheme.interp`) and the two concrete CPS machines
+(:mod:`repro.concrete`).  Each machine brings its own closure
+representation, but all closures derive from :class:`ProcedureValue` so
+generic primitives (``procedure?``, ``equal?``) work across machines.
+
+Pairs are immutable (the subset has no ``set-car!``), so a pair can hold
+its components directly rather than store addresses; this matches the
+paper's concrete domains, where only *variable bindings* live in the
+store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import EvaluationError
+from repro.scheme.sexp import Symbol
+
+
+class _Singleton:
+    """Helper for unique, identity-compared sentinel values."""
+
+    _name = "singleton"
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __reduce__(self):
+        return (type(self), ())
+
+
+class NilType(_Singleton):
+    """The empty list ``'()``."""
+
+    _name = "nil"
+
+
+class VoidType(_Singleton):
+    """The unspecified value returned by ``void``, one-armed ``if``..."""
+
+    _name = "#<void>"
+
+
+NIL = NilType()
+VOID = VoidType()
+
+
+class ProcedureValue:
+    """Marker base class for machine-specific closure values."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class PairVal:
+    """An immutable cons cell."""
+
+    car: object
+    cdr: object
+
+    def __repr__(self) -> str:
+        return scheme_repr(self)
+
+
+# A runtime value is one of:
+#   int | bool | str | Symbol | NilType | VoidType | PairVal | ProcedureValue
+Value = object
+
+
+def scheme_list(*items: Value) -> Value:
+    """Build a proper list value from Python arguments."""
+    result: Value = NIL
+    for item in reversed(items):
+        result = PairVal(item, result)
+    return result
+
+
+def iter_scheme_list(value: Value) -> Iterator[Value]:
+    """Iterate a proper list; raises on improper lists."""
+    while isinstance(value, PairVal):
+        yield value.car
+        value = value.cdr
+    if not isinstance(value, NilType):
+        raise EvaluationError(f"improper list ends in {scheme_repr(value)}")
+
+
+def datum_to_value(datum: object) -> Value:
+    """Convert a reader datum (from a ``quote``) to a runtime value."""
+    if isinstance(datum, (tuple, list)):
+        return scheme_list(*(datum_to_value(item) for item in datum))
+    if isinstance(datum, (bool, int, str, Symbol)):
+        return datum
+    raise EvaluationError(f"cannot quote datum {datum!r}")
+
+
+def is_truthy(value: Value) -> bool:
+    """Scheme truthiness: everything except ``#f`` is true."""
+    return value is not False
+
+
+def values_equal(left: Value, right: Value) -> bool:
+    """Structural equality (``equal?``)."""
+    if isinstance(left, PairVal) and isinstance(right, PairVal):
+        return (values_equal(left.car, right.car)
+                and values_equal(left.cdr, right.cdr))
+    return values_eqv(left, right)
+
+
+def values_eqv(left: Value, right: Value) -> bool:
+    """Identity-ish equality (``eqv?`` / ``eq?`` — we conflate them).
+
+    Booleans must not compare equal to integers, so the check is
+    type-sensitive the way Scheme programmers expect.
+    """
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right
+    if isinstance(left, Symbol) and isinstance(right, Symbol):
+        return str(left) == str(right)
+    if isinstance(left, (int, str)) and isinstance(right, (int, str)):
+        return type(left) is type(right) and left == right
+    return left is right
+
+
+def scheme_repr(value: Value) -> str:
+    """Render a value the way ``write`` would."""
+    if value is True:
+        return "#t"
+    if value is False:
+        return "#f"
+    if isinstance(value, (NilType, VoidType)):
+        return repr(value)
+    if isinstance(value, Symbol):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return '"' + value.replace('"', '\\"') + '"'
+    if isinstance(value, PairVal):
+        parts = []
+        while isinstance(value, PairVal):
+            parts.append(scheme_repr(value.car))
+            value = value.cdr
+        if isinstance(value, NilType):
+            return "(" + " ".join(parts) + ")"
+        return "(" + " ".join(parts) + " . " + scheme_repr(value) + ")"
+    if isinstance(value, ProcedureValue):
+        return "#<procedure>"
+    return repr(value)

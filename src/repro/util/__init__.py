@@ -1,0 +1,7 @@
+"""Shared infrastructure: gensym, fixpoint engines, budgets."""
+
+from repro.util.gensym import GensymFactory
+from repro.util.fixpoint import Worklist, DependencyWorklist
+from repro.util.budget import Budget
+
+__all__ = ["GensymFactory", "Worklist", "DependencyWorklist", "Budget"]

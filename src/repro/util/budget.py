@@ -1,0 +1,69 @@
+"""Step/time budgets shared by concrete machines and analyses.
+
+The worst-case table of the paper (Section 6.1.1) reports ``∞`` for
+analyses that ran past one hour.  Our harness reproduces that with a
+:class:`Budget`: analyses call :meth:`Budget.charge` once per transfer-
+function application and an :class:`~repro.errors.AnalysisTimeout` is
+raised when either the step or the wall-clock limit is exceeded.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import AnalysisTimeout
+
+
+class Budget:
+    """A combined step-count and wall-clock budget.
+
+    ``Budget()`` is unlimited.  ``Budget(max_steps=10_000)`` bounds
+    transfer-function applications; ``Budget(max_seconds=5.0)`` bounds
+    wall-clock time (checked every ``check_every`` charges to keep the
+    overhead of ``time.monotonic`` negligible).
+    """
+
+    def __init__(self, max_steps: int | None = None,
+                 max_seconds: float | None = None,
+                 check_every: int = 256):
+        self.max_steps = max_steps
+        self.max_seconds = max_seconds
+        self.check_every = max(1, check_every)
+        self.steps = 0
+        self._started_at: float | None = None
+
+    def start(self) -> "Budget":
+        """Reset the counters; returns self for chaining."""
+        self.steps = 0
+        self._started_at = time.monotonic()
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def charge(self, amount: int = 1) -> None:
+        """Account for *amount* units of work; raise on exhaustion."""
+        if self._started_at is None:
+            self.start()
+        self.steps += amount
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise AnalysisTimeout(
+                f"analysis exceeded step budget of {self.max_steps}",
+                elapsed=self.elapsed)
+        if (self.max_seconds is not None
+                and self.steps % self.check_every == 0
+                and self.elapsed > self.max_seconds):
+            raise AnalysisTimeout(
+                f"analysis exceeded time budget of {self.max_seconds}s",
+                elapsed=self.elapsed)
+
+    def exhausted(self) -> bool:
+        """Non-raising check, for cooperative loops."""
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            return True
+        if self.max_seconds is not None and self.elapsed > self.max_seconds:
+            return True
+        return False

@@ -1,0 +1,152 @@
+"""Worklist engines for fixpoint computations.
+
+Two flavours are provided:
+
+* :class:`Worklist` — a plain deduplicating FIFO/LIFO worklist; used by
+  the naive reachable-states analyses (paper Section 3.6) where the
+  system-space is a set of states.
+
+* :class:`DependencyWorklist` — a worklist of *configurations* paired
+  with read-dependency tracking over store addresses; used by the
+  single-threaded-store analyses (paper Section 3.7).  When the global
+  store grows at an address, only the configurations that previously
+  *read* that address are re-enqueued.  This is the efficient
+  realization of Shivers's "one store to represent all stores"
+  optimization and is what makes the m-CFA rows of the worst-case table
+  finish in reasonable time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+A = TypeVar("A", bound=Hashable)
+
+
+class Worklist(Generic[T]):
+    """A deduplicating worklist.
+
+    Items are admitted at most once per *epoch*; :meth:`reset_seen`
+    starts a new epoch.  Iteration order is FIFO by default, which gives
+    breadth-first exploration of the transition relation (useful for
+    deterministic traces in tests); pass ``lifo=True`` for depth-first.
+    """
+
+    def __init__(self, items: Iterable[T] = (), lifo: bool = False):
+        self._queue: deque[T] = deque()
+        self._seen: set[T] = set()
+        self._lifo = lifo
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> bool:
+        """Enqueue *item* unless it was already admitted this epoch.
+
+        Returns True if the item was actually enqueued.
+        """
+        if item in self._seen:
+            return False
+        self._seen.add(item)
+        self._queue.append(item)
+        return True
+
+    def add_all(self, items: Iterable[T]) -> int:
+        """Enqueue every new item; return how many were admitted."""
+        return sum(1 for item in items if self.add(item))
+
+    def pop(self) -> T:
+        if self._lifo:
+            return self._queue.pop()
+        return self._queue.popleft()
+
+    def force(self, item: T) -> None:
+        """Re-enqueue *item* even if it was seen before (store grew)."""
+        if item not in self._pending():
+            self._queue.append(item)
+
+    def _pending(self) -> set[T]:
+        return set(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def seen(self) -> frozenset[T]:
+        """Every item admitted this epoch (the reachable set)."""
+        return frozenset(self._seen)
+
+    def reset_seen(self) -> None:
+        self._seen.clear()
+
+
+class DependencyWorklist(Generic[T, A]):
+    """Worklist with read-dependency tracking over addresses.
+
+    The driver registers, for each processed configuration, the set of
+    addresses it read (:meth:`record_reads`).  When the global store is
+    later joined at some address (:meth:`dirty`), every configuration
+    that read it is re-enqueued.  Configurations are deduplicated while
+    pending, so a configuration is processed at most once per store
+    change that affects it.
+    """
+
+    def __init__(self):
+        self._queue: deque[T] = deque()
+        self._pending: set[T] = set()
+        self._seen: set[T] = set()
+        self._readers: dict[A, set[T]] = {}
+
+    def add(self, item: T) -> bool:
+        """Enqueue a newly-discovered configuration (dedup vs. seen)."""
+        if item in self._seen:
+            return False
+        self._seen.add(item)
+        return self._enqueue(item)
+
+    def _enqueue(self, item: T) -> bool:
+        if item in self._pending:
+            return False
+        self._pending.add(item)
+        self._queue.append(item)
+        return True
+
+    def pop(self) -> T:
+        item = self._queue.popleft()
+        self._pending.discard(item)
+        return item
+
+    def record_reads(self, item: T, addresses: Iterable[A]) -> None:
+        """Remember that *item* read each address in *addresses*."""
+        for addr in addresses:
+            self._readers.setdefault(addr, set()).add(item)
+
+    def dirty(self, addresses: Iterable[A]) -> int:
+        """The store grew at *addresses*: re-enqueue every reader.
+
+        Returns the number of configurations re-enqueued.
+        """
+        requeued = 0
+        for addr in addresses:
+            for reader in self._readers.get(addr, ()):
+                if self._enqueue(reader):
+                    requeued += 1
+        return requeued
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def seen(self) -> frozenset[T]:
+        """Every configuration ever admitted (the reachable set)."""
+        return frozenset(self._seen)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(tuple(self._queue))

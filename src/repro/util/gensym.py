@@ -1,0 +1,46 @@
+"""Fresh-name generation.
+
+Alpha-renaming, CPS conversion and A-normalization all need fresh
+variable names that cannot collide with user-written names.  A
+:class:`GensymFactory` produces names of the form ``base%N`` — the ``%``
+character is accepted by our readers but cannot appear in user source,
+which guarantees freshness without a global registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class GensymFactory:
+    """Produce fresh names, one numbering sequence per factory.
+
+    >>> g = GensymFactory()
+    >>> g.fresh("k")
+    'k%0'
+    >>> g.fresh("k")
+    'k%1'
+    >>> g.fresh("tmp")
+    'tmp%2'
+    """
+
+    SEPARATOR = "%"
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+
+    def fresh(self, base: str = "g") -> str:
+        """Return a name guaranteed distinct from user names and from
+        every name previously returned by this factory."""
+        base = base.split(self.SEPARATOR, 1)[0] or "g"
+        return f"{base}{self.SEPARATOR}{next(self._counter)}"
+
+    @classmethod
+    def is_generated(cls, name: str) -> bool:
+        """True if *name* was produced by some :class:`GensymFactory`."""
+        return cls.SEPARATOR in name
+
+    @classmethod
+    def base_of(cls, name: str) -> str:
+        """The human-readable stem of a possibly-generated name."""
+        return name.split(cls.SEPARATOR, 1)[0]

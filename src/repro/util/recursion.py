@@ -1,0 +1,34 @@
+"""Recursion headroom for the tree-walking passes.
+
+The front-end passes (desugarer, alpha-renamer, free-variable
+analysis, CPS converter, pretty printers, simplifier) recurse over the
+AST, using a handful of Python frames per node.  Realistic CFA inputs
+nest thousands of terms deep — a 400-deep ``begin`` chain already
+overflows CPython's default 1000-frame limit.
+
+All entry points wrap themselves in :func:`deep_recursion`, which
+raises the interpreter limit for the dynamic extent of the pass and
+restores it afterwards.  The machines and analyses are iterative and
+need no headroom.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+
+#: Enough for programs a few thousand nodes deep (several frames per
+#: node), while staying well inside typical C-stack allowances.
+DEFAULT_LIMIT = 20_000
+
+
+@contextlib.contextmanager
+def deep_recursion(limit: int = DEFAULT_LIMIT):
+    """Temporarily raise the recursion limit (never lowers it)."""
+    previous = sys.getrecursionlimit()
+    if limit > previous:
+        sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)

@@ -1,0 +1,147 @@
+"""Tests for abstract garbage collection (ΓCFA) — the paper's §8
+future-work item, on both sides of the bridge."""
+
+import pytest
+
+from repro.analysis import (
+    AConst, analyze_kcfa, analyze_kcfa_naive,
+)
+from repro.analysis.abstraction import check_kcfa_soundness
+from repro.analysis.gc import (
+    analyze_kcfa_gc, collect, config_roots, reachable_addresses,
+)
+from repro.concrete import run_shared
+from repro.fj import analyze_fj_kcfa, parse_fj, run_fj
+from repro.fj.examples import ALL_EXAMPLES, OO_IDENTITY
+from repro.fj.gc import analyze_fj_kcfa_gc
+from repro.scheme.cps_transform import compile_program
+
+
+class TestFunctionalGC:
+    REBIND = "(define (id x) x) (id 1) (id 2)"
+
+    def test_gc_precision_win_at_k0(self):
+        """The ΓCFA headline: collecting the dead binding of x between
+        the two calls lets 0CFA+GC report the exact result."""
+        program = compile_program(self.REBIND)
+        plain = analyze_kcfa(program, 0)
+        collected = analyze_kcfa_gc(program, 0)
+        assert plain.halt_values == {AConst(1), AConst(2)}
+        assert collected.halt_values == {AConst(2)}
+
+    def test_gc_never_less_precise_on_halt(self):
+        sources = [
+            self.REBIND,
+            "(define (f x) (+ x 1)) (f (f 1))",
+            "(let ((p (cons 1 2))) (car p))",
+            "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))"
+            "(fact 3)",
+        ]
+        for source in sources:
+            program = compile_program(source)
+            plain = analyze_kcfa_naive(program, 1)
+            collected = analyze_kcfa_gc(program, 1)
+            assert collected.halt_values <= plain.halt_values, source
+
+    def test_gc_result_coverage(self):
+        """GC may drop *dead* concrete bindings — that is its job —
+        but the program result must always stay covered."""
+        for source in (self.REBIND,
+                       "(define (f g) (g 1)) (f (lambda (x) x))",
+                       "(car (cons (lambda (v) v) 0))"):
+            program = compile_program(source)
+            concrete = run_shared(program, record_trace=True,
+                                  time_mode="history")
+            result = analyze_kcfa_gc(program, 1)
+            report = check_kcfa_soundness(result, concrete)
+            halt_gaps = [v for v in report.violations
+                         if v.startswith("halt")]
+            assert not halt_gaps, halt_gaps
+
+    def test_gc_random_result_coverage(self):
+        """Property: on random programs, 0CFA+GC's halt set covers the
+        concrete result (via the α coverage checker)."""
+        from repro.generators.random_programs import random_program
+        for seed in range(25):
+            program = random_program(seed, 4)
+            concrete = run_shared(program, record_trace=True,
+                                  time_mode="history")
+            result = analyze_kcfa_gc(program, 0)
+            report = check_kcfa_soundness(result, concrete)
+            halt_gaps = [v for v in report.violations
+                         if v.startswith("halt")]
+            assert not halt_gaps, (seed, halt_gaps)
+
+    def test_gc_can_reduce_state_count(self):
+        program = compile_program("""
+            (define (iter n f) (if (= n 0) (f 0) (iter (- n 1) f)))
+            (iter 3 (lambda (x) x))
+        """)
+        naive = analyze_kcfa_naive(program, 1)
+        collected = analyze_kcfa_gc(program, 1)
+        assert collected.state_count <= naive.state_count
+
+    def test_reachability_through_pairs(self):
+        program = compile_program(
+            "(let ((p (cons (lambda (v) v) 0))) ((car p) 1))")
+        result = analyze_kcfa_gc(program, 1)
+        assert AConst(1) in result.halt_values
+
+    def test_reachability_helpers(self):
+        from repro.analysis.domains import FrozenStore
+        from repro.analysis.kcfa import KCFAMachine
+        program = compile_program("(let ((a 1)) a)")
+        machine = KCFAMachine(program, 1)
+        config = machine.initial()
+        roots = config_roots(config)
+        assert roots == set()  # initial config has no free variables
+        live = reachable_addresses(roots, FrozenStore())
+        assert live == set()
+        assert len(collect(config, FrozenStore())) == 0
+
+
+class TestFJGC:
+    def test_oo_identity_precision_win(self):
+        """§8's hypothesis, confirmed: 0CFA+GC proves the OO identity
+        program returns exactly a B."""
+        program = parse_fj(OO_IDENTITY)
+        plain = analyze_fj_kcfa(program, 0)
+        collected = analyze_fj_kcfa_gc(program, 0)
+        plain_classes = {o.classname for o in plain.halt_values}
+        gc_classes = {o.classname for o in collected.halt_values}
+        assert plain_classes == {"A", "B"}
+        assert gc_classes == {"B"}
+
+    @pytest.mark.parametrize("name", list(ALL_EXAMPLES))
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_gc_covers_concrete_result(self, name, k):
+        program = parse_fj(ALL_EXAMPLES[name])
+        concrete = run_fj(program)
+        result = analyze_fj_kcfa_gc(program, k)
+        classes = {o.classname for o in result.halt_values}
+        assert concrete.value.classname in classes
+
+    @pytest.mark.parametrize("name", list(ALL_EXAMPLES))
+    def test_gc_halt_subset_of_plain(self, name):
+        program = parse_fj(ALL_EXAMPLES[name])
+        plain = analyze_fj_kcfa(program, 1)
+        collected = analyze_fj_kcfa_gc(program, 1)
+        plain_classes = {o.classname for o in plain.halt_values}
+        gc_classes = {o.classname for o in collected.halt_values}
+        assert gc_classes <= plain_classes
+
+    def test_gc_call_graph_subset(self):
+        program = parse_fj(ALL_EXAMPLES["dispatch"])
+        plain = analyze_fj_kcfa(program, 1)
+        collected = analyze_fj_kcfa_gc(program, 1)
+        for label, targets in collected.invoke_targets.items():
+            assert targets <= plain.invoke_targets.get(label,
+                                                       frozenset())
+
+    def test_kont_chain_kept_alive(self):
+        # deep call chains: continuations must survive collection
+        program = parse_fj(ALL_EXAMPLES["linked_list"])
+        result = analyze_fj_kcfa_gc(program, 1)
+        concrete = run_fj(program)
+        classes = {o.classname for o in result.halt_values}
+        assert concrete.value.classname in classes

@@ -1,0 +1,122 @@
+"""Tests for alpha-renaming and free-variable analysis."""
+
+import pytest
+
+from repro.errors import DesugarError
+from repro.scheme.alpha import alpha_rename, check_unique_binders
+from repro.scheme.ast import App, Lam, Let, Letrec, Quote, Var, walk
+from repro.scheme.desugar import desugar_expression, desugar_program
+from repro.scheme.freevars import free_vars, is_closed
+from repro.scheme.interp import evaluate
+from repro.util.gensym import GensymFactory
+
+
+def _binders(exp):
+    names = []
+    for node in walk(exp):
+        if isinstance(node, Lam):
+            names.extend(node.params)
+        elif isinstance(node, Let):
+            names.append(node.name)
+        elif isinstance(node, Letrec):
+            names.extend(name for name, _ in node.bindings)
+    return names
+
+
+class TestFreeVars:
+    def test_var_is_free(self):
+        assert free_vars(Var("x")) == {"x"}
+
+    def test_quote_closed(self):
+        assert free_vars(Quote(42)) == frozenset()
+
+    def test_lambda_binds(self):
+        exp = desugar_expression("(lambda (x) (cons x y))")
+        assert free_vars(exp) == {"y"}
+
+    def test_let_value_scope(self):
+        exp = desugar_expression("(let ((x y)) x)")
+        assert free_vars(exp) == {"y"}
+
+    def test_letrec_binds_in_rhs(self):
+        exp = desugar_expression(
+            "(letrec ((f (lambda (n) (f (g n))))) f)")
+        assert free_vars(exp) == {"g"}
+
+    def test_app_unions(self):
+        exp = desugar_expression("(f x y)")
+        assert free_vars(exp) == {"f", "x", "y"}
+
+    def test_if_unions(self):
+        exp = desugar_expression("(if a b c)")
+        assert free_vars(exp) == {"a", "b", "c"}
+
+    def test_is_closed(self):
+        assert is_closed(desugar_expression("(lambda (x) x)"))
+        assert not is_closed(desugar_expression("(lambda (x) y)"))
+
+
+class TestAlphaRename:
+    def test_binders_become_unique(self):
+        exp = desugar_expression(
+            "(lambda (x) ((lambda (x) x) x))")
+        renamed = alpha_rename(exp)
+        binders = _binders(renamed)
+        assert len(binders) == len(set(binders))
+        check_unique_binders(renamed)
+
+    def test_preserves_meaning(self):
+        source = "(let ((x 2)) (let ((x (* x x))) (+ x 1)))"
+        exp = desugar_expression(source)
+        assert evaluate(alpha_rename(exp)) == evaluate(exp) == 5
+
+    def test_stems_preserved(self):
+        exp = desugar_expression("(lambda (counter) counter)")
+        renamed = alpha_rename(exp)
+        assert GensymFactory.base_of(renamed.params[0]) == "counter"
+
+    def test_free_variables_untouched(self):
+        exp = desugar_expression("(lambda (x) (free-one x))")
+        renamed = alpha_rename(exp)
+        assert "free-one" in free_vars(renamed)
+
+    def test_letrec_mutual_references_renamed_consistently(self):
+        exp = desugar_program("""
+            (define (even? n) (if (= n 0) #t (odd? (- n 1))))
+            (define (odd? n) (if (= n 0) #f (even? (- n 1))))
+            (even? 4)
+        """)
+        renamed = alpha_rename(exp)
+        assert is_closed(renamed)
+        assert evaluate(renamed) is True
+
+    def test_check_unique_binders_rejects_duplicates(self):
+        exp = desugar_expression("(lambda (x) (lambda (x) x))")
+        with pytest.raises(DesugarError):
+            check_unique_binders(exp)
+
+    def test_quote_untouched(self):
+        exp = desugar_expression("'(a b c)")
+        assert alpha_rename(exp) is exp
+
+
+class TestGensym:
+    def test_fresh_names_distinct(self):
+        factory = GensymFactory()
+        names = {factory.fresh("k") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_is_generated(self):
+        factory = GensymFactory()
+        assert GensymFactory.is_generated(factory.fresh("x"))
+        assert not GensymFactory.is_generated("x")
+
+    def test_base_of_roundtrip(self):
+        factory = GensymFactory()
+        assert GensymFactory.base_of(factory.fresh("loop")) == "loop"
+
+    def test_regenerated_names_stay_clean(self):
+        factory = GensymFactory()
+        once = factory.fresh("x")
+        again = factory.fresh(once)
+        assert GensymFactory.base_of(again) == "x"

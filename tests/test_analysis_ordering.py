@@ -1,0 +1,148 @@
+"""Tests for §6.1's observations about comparing CFAs.
+
+"CFAs are not totally ordered by either speed or precision for all
+programs... given the output of two CFAs, it might not always be
+possible to say one is more precise than another."  These tests pin
+the comparisons that *do* hold and document one that does not.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.metrics.precision import flow_comparison
+from repro.scheme.cps_transform import compile_program
+
+
+class TestOrderingsThatHold:
+    """Refinement relations the theory predicts, checked per-site."""
+
+    SOURCES = [
+        "(define (id x) x) (cons (id 1) (id 2))",
+        """
+        (define (noise) 0)
+        (define (pick f) (noise) f)
+        (cons ((pick (lambda (a) a)) 1) ((pick (lambda (b) b)) 2))
+        """,
+        """
+        (define (apply1 f x) (f x))
+        (cons (apply1 (lambda (u) u) 1)
+              (apply1 (lambda (w) w) 2))
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_k1_refines_k0(self, source):
+        program = compile_program(source)
+        comparison = flow_comparison(analyze_kcfa(program, 1),
+                                     analyze_zerocfa(program))
+        assert comparison.left_at_least_as_precise
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_m1_refines_m0(self, source):
+        program = compile_program(source)
+        comparison = flow_comparison(analyze_mcfa(program, 1),
+                                     analyze_mcfa(program, 0))
+        assert comparison.left_at_least_as_precise
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_poly1_refines_poly0(self, source):
+        program = compile_program(source)
+        comparison = flow_comparison(analyze_poly_kcfa(program, 1),
+                                     analyze_poly_kcfa(program, 0))
+        assert comparison.left_at_least_as_precise
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_m1_refines_poly1(self, source):
+        """On these programs the top-m-frames abstraction dominates
+        the last-k-calls one (the §6 argument)."""
+        program = compile_program(source)
+        comparison = flow_comparison(analyze_mcfa(program, 1),
+                                     analyze_poly_kcfa(program, 1))
+        assert comparison.left_at_least_as_precise
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_m1_matches_k1_here(self, source):
+        program = compile_program(source)
+        comparison = flow_comparison(analyze_kcfa(program, 1),
+                                     analyze_mcfa(program, 1))
+        assert comparison.equal
+
+
+class TestMetricsAcrossLevels:
+    def test_inlinings_weakly_monotone_in_m(self):
+        source = """
+        (define (noise) 0)
+        (define (wrap f) (noise) (lambda (v) (f v)))
+        (cons ((wrap (lambda (a) a)) 1) ((wrap (lambda (b) b)) 2))
+        """
+        program = compile_program(source)
+        counts = [analyze_mcfa(program, m).supported_inlinings()
+                  for m in range(4)]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_steps_grow_with_context_depth_on_polyvariant_code(self):
+        source = """
+        (define (compose f g) (lambda (x) (f (g x))))
+        (define (id v) v)
+        ((compose id (compose id id)) 1)
+        """
+        program = compile_program(source)
+        s1 = analyze_kcfa(program, 1).steps
+        s3 = analyze_kcfa(program, 3).steps
+        assert s3 >= s1
+
+    def test_zerocfa_is_cheapest_on_suite_overall(self, suite_compiled):
+        """§6.1's point in action: not even *speed* totally orders
+        analyses per-program (0CFA's merging can trigger extra
+        dependency re-runs), but in aggregate 0CFA is cheapest."""
+        zero_total = 0
+        k1_total = 0
+        per_program_wins = 0
+        for name, program in suite_compiled.items():
+            zero = analyze_zerocfa(program).steps
+            k1 = analyze_kcfa(program, 1).steps
+            zero_total += zero
+            k1_total += k1
+            if zero <= k1:
+                per_program_wins += 1
+        assert zero_total < k1_total
+        assert per_program_wins >= 5  # wins on most, not always all
+
+
+class TestHigherK:
+    def test_k2_sees_through_one_wrapper(self):
+        """One intervening wrapper defeats k=1 but not k=2."""
+        source = """
+        (define (indirect f x) (f x))
+        (define (id v) v)
+        (cons (indirect id 1) (indirect id 2))
+        """
+        program = compile_program(source)
+        from repro.analysis import AConst
+        k1 = analyze_kcfa(program, 1)
+        k2 = analyze_kcfa(program, 2)
+        # k=1 merges v's bindings (both calls to id come from the
+        # same site inside indirect); k=2 keeps them apart.
+        v_flows_k1 = sorted(
+            len(k1.store.get(addr)) for addr in k1.store.addresses()
+            if addr[0].startswith("v"))
+        v_flows_k2 = sorted(
+            len(k2.store.get(addr)) for addr in k2.store.addresses()
+            if addr[0].startswith("v"))
+        assert max(v_flows_k1) == 2
+        assert max(v_flows_k2) == 1
+
+    def test_m2_sees_through_one_wrapper(self):
+        source = """
+        (define (indirect f x) (f x))
+        (define (id v) v)
+        (cons (indirect id 1) (indirect id 2))
+        """
+        program = compile_program(source)
+        m2 = analyze_mcfa(program, 2)
+        v_flows = sorted(
+            len(m2.store.get(addr)) for addr in m2.store.addresses()
+            if addr[0].startswith("v"))
+        assert max(v_flows) == 1

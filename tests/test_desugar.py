@@ -1,0 +1,307 @@
+"""Tests for lowering surface Scheme to the core AST."""
+
+import pytest
+
+from repro.errors import DesugarError
+from repro.scheme.ast import (
+    App, If, Lam, Let, Letrec, PrimApp, Quote, Var,
+)
+from repro.scheme.desugar import desugar_expression, desugar_program
+
+
+def test_number_literal():
+    assert desugar_expression("42") == Quote(42)
+
+
+def test_boolean_literal():
+    assert desugar_expression("#f") == Quote(False)
+
+
+def test_string_literal():
+    assert desugar_expression('"hi"') == Quote("hi")
+
+
+def test_variable_free_reference():
+    exp = desugar_expression("unbound-name")
+    assert isinstance(exp, Var)
+    assert exp.name == "unbound-name"
+
+
+class TestLambda:
+    def test_simple(self):
+        exp = desugar_expression("(lambda (x) x)")
+        assert isinstance(exp, Lam)
+        assert exp.params == ("x",)
+        assert exp.body == Var("x")
+
+    def test_multi_body_sequences(self):
+        exp = desugar_expression("(lambda (x) (+ x 1) x)")
+        assert isinstance(exp, Lam)
+        assert isinstance(exp.body, Let)  # sequencing via let
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(lambda (x x) x)")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(lambda (x))")
+
+    def test_non_symbol_params_rejected(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(lambda (1) 1)")
+
+
+class TestIf:
+    def test_two_armed(self):
+        exp = desugar_expression("(if #t 1 2)")
+        assert exp == If(Quote(True), Quote(1), Quote(2))
+
+    def test_one_armed_gets_void(self):
+        exp = desugar_expression("(if #t 1)")
+        assert isinstance(exp, If)
+        assert exp.orelse == PrimApp("void", ())
+
+    def test_bad_arity(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(if #t)")
+
+
+class TestLet:
+    def test_single_binding(self):
+        exp = desugar_expression("(let ((x 1)) x)")
+        # one temp + one rebinding
+        assert isinstance(exp, Let)
+
+    def test_parallel_semantics(self):
+        # y must see the OUTER x, not the one bound in the same let.
+        from repro.scheme.interp import run_source
+        assert run_source(
+            "(let ((x 1)) (let ((x 2) (y x)) (+ x (* 10 y))))") == 12
+
+    def test_let_star_sequential(self):
+        from repro.scheme.interp import run_source
+        assert run_source(
+            "(let ((x 1)) (let* ((x 2) (y x)) (+ x (* 10 y))))") == 22
+
+    def test_named_let_loops(self):
+        from repro.scheme.interp import run_source
+        source = """
+        (let loop ((i 0) (acc 0))
+          (if (= i 5) acc (loop (+ i 1) (+ acc i))))
+        """
+        assert run_source(source) == 10
+
+    def test_duplicate_bindings_rejected(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(let ((x 1) (x 2)) x)")
+
+    def test_malformed_binding_rejected(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(let ((x)) x)")
+
+
+class TestLetrec:
+    def test_simple(self):
+        exp = desugar_expression(
+            "(letrec ((f (lambda (n) (f n)))) f)")
+        assert isinstance(exp, Letrec)
+        assert exp.bindings[0][0] == "f"
+
+    def test_mutual(self):
+        exp = desugar_expression("""
+            (letrec ((even (lambda (n) (if (= n 0) #t (odd (- n 1)))))
+                     (odd (lambda (n) (if (= n 0) #f (even (- n 1))))))
+              (even 4))
+        """)
+        assert isinstance(exp, Letrec)
+        assert len(exp.bindings) == 2
+
+    def test_non_lambda_rhs_rejected(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(letrec ((x 1)) x)")
+
+
+class TestCond:
+    def test_basic(self):
+        from repro.scheme.interp import run_source
+        source = """
+        (define (classify n)
+          (cond ((< n 0) 'neg) ((= n 0) 'zero) (else 'pos)))
+        (cons (classify -1) (cons (classify 0) (classify 3)))
+        """
+        from repro.scheme.values import PairVal
+        result = run_source(source)
+        assert isinstance(result, PairVal)
+        assert str(result.car) == "neg"
+
+    def test_empty_cond_is_void(self):
+        exp = desugar_expression("(cond)")
+        assert exp == PrimApp("void", ())
+
+    def test_test_only_clause(self):
+        from repro.scheme.interp import run_source
+        assert run_source("(cond (#f) (42))") == 42
+
+    def test_arrow_clause(self):
+        from repro.scheme.interp import run_source
+        assert run_source(
+            "(cond ((+ 1 2) => (lambda (v) (* v 10))) (else 0))") == 30
+
+    def test_else_must_be_last(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(cond (else 1) (#t 2))")
+
+
+class TestAndOr:
+    def test_and_empty(self):
+        assert desugar_expression("(and)") == Quote(True)
+
+    def test_or_empty(self):
+        assert desugar_expression("(or)") == Quote(False)
+
+    def test_and_shortcircuit(self):
+        from repro.scheme.interp import run_source
+        assert run_source("(and 1 2 3)") == 3
+        assert run_source("(and #f (error 'boom))") is False
+
+    def test_or_returns_first_truthy(self):
+        from repro.scheme.interp import run_source
+        assert run_source("(or #f 7 (error 'boom))") == 7
+
+
+class TestWhenUnless:
+    def test_when_true(self):
+        from repro.scheme.interp import run_source
+        assert run_source("(when (= 1 1) 1 2 3)") == 3
+
+    def test_unless_false(self):
+        from repro.scheme.interp import run_source
+        assert run_source("(unless (= 1 2) 9)") == 9
+
+
+class TestBegin:
+    def test_begin_sequences(self):
+        from repro.scheme.interp import run_source
+        assert run_source("(begin 1 2 3)") == 3
+
+    def test_empty_begin_is_void(self):
+        exp = desugar_expression("(begin)")
+        assert exp == PrimApp("void", ())
+
+
+class TestDefines:
+    def test_function_define_sugar(self):
+        exp = desugar_program("(define (f x) x) (f 1)")
+        assert isinstance(exp, Letrec)
+
+    def test_value_define(self):
+        exp = desugar_program("(define x 10) x")
+        assert isinstance(exp, Let)
+        assert exp.name == "x"
+
+    def test_mutual_recursion_grouping(self):
+        from repro.scheme.interp import run_source
+        source = """
+        (define (even? n) (if (= n 0) #t (odd? (- n 1))))
+        (define (odd? n) (if (= n 0) #f (even? (- n 1))))
+        (odd? 9)
+        """
+        assert run_source(source) is True
+
+    def test_later_define_visible_earlier(self):
+        # letrec* semantics: a defined name shadows primitives in the
+        # whole body, even before its textual definition.
+        from repro.scheme.interp import run_source
+        source = """
+        (define (use) (car 1 2))
+        (define (car a b) (+ a b))
+        (use)
+        """
+        assert run_source(source) == 3
+
+    def test_trailing_define_yields_void(self):
+        from repro.scheme.values import VoidType
+        from repro.scheme.interp import run_source
+        assert isinstance(run_source("(define (f) 1)"), VoidType)
+
+    def test_internal_define(self):
+        from repro.scheme.interp import run_source
+        source = """
+        (define (outer x)
+          (define (inner y) (* y y))
+          (inner (+ x 1)))
+        (outer 3)
+        """
+        assert run_source(source) == 16
+
+    def test_define_in_expression_position_rejected(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(+ 1 (define x 2))")
+
+
+class TestPrimitives:
+    def test_known_primitive_becomes_primapp(self):
+        exp = desugar_expression("(+ 1 2)")
+        assert exp == PrimApp("+", (Quote(1), Quote(2)))
+
+    def test_shadowed_primitive_is_var(self):
+        exp = desugar_expression("(lambda (car) (car 1))")
+        assert isinstance(exp.body, App)
+        assert exp.body.fn == Var("car")
+
+    def test_primitive_as_value_eta_expands(self):
+        exp = desugar_expression("car")
+        assert isinstance(exp, Lam)
+        assert exp.body.op == "car"
+
+    def test_variadic_primitive_eta_expands_binary(self):
+        exp = desugar_expression("+")
+        assert isinstance(exp, Lam)
+        assert len(exp.params) == 2
+
+    def test_arity_checked_at_desugar_time(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(cons 1)")
+
+    def test_list_expands_to_cons_chain(self):
+        exp = desugar_expression("(list 1 2)")
+        assert isinstance(exp, PrimApp)
+        assert exp.op == "cons"
+        assert isinstance(exp.args[1], PrimApp)
+        assert exp.args[1].op == "cons"
+
+    def test_empty_list_expansion(self):
+        exp = desugar_expression("(list)")
+        assert isinstance(exp, Quote)
+
+    def test_cxr_expansion(self):
+        exp = desugar_expression("(cadr xs)")
+        assert exp.op == "car"
+        assert exp.args[0].op == "cdr"
+
+    def test_cadddr_expansion(self):
+        from repro.scheme.interp import run_source
+        assert run_source("(cadddr (list 1 2 3 4 5))") == 4
+
+    def test_shadowed_list_is_application(self):
+        exp = desugar_expression("(lambda (list) (list 1))")
+        assert isinstance(exp.body, App)
+
+
+class TestErrors:
+    def test_empty_application(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("()")
+
+    def test_empty_program(self):
+        with pytest.raises(DesugarError):
+            desugar_program("")
+
+    def test_special_form_as_value(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(cons lambda 1)")
+
+    def test_quote_arity(self):
+        with pytest.raises(DesugarError):
+            desugar_expression("(quote)")

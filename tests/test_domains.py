@@ -1,0 +1,166 @@
+"""Tests for the abstract domains: BEnv, stores, values, first_k."""
+
+import pytest
+
+from repro.analysis.domains import (
+    AConst, APair, AbsStore, BASIC, BEnv, BasicValue, EMPTY_BENV,
+    FClo, FrozenStore, KClo, abstract_literal, first_k, maybe_falsy,
+    maybe_truthy,
+)
+
+
+class TestFirstK:
+    def test_truncates(self):
+        assert first_k(2, (1, 2, 3)) == (1, 2)
+
+    def test_shorter_kept(self):
+        assert first_k(5, (1, 2)) == (1, 2)
+
+    def test_zero(self):
+        assert first_k(0, (1, 2)) == ()
+
+
+class TestBasicValue:
+    def test_singleton(self):
+        assert BasicValue() is BASIC
+
+    def test_repr(self):
+        assert "basic" in repr(BASIC)
+
+
+class TestAConst:
+    def test_equality(self):
+        assert AConst(3) == AConst(3)
+        assert AConst(3) != AConst(4)
+
+    def test_bool_distinct_from_int(self):
+        # dataclass equality uses ==, so guard against True == 1:
+        # both abstractions exist but a flow query must not confuse
+        # truthiness.
+        assert maybe_falsy(AConst(False))
+        assert not maybe_falsy(AConst(0))  # 0 is truthy in Scheme
+
+    def test_abstract_literal_atomic(self):
+        assert abstract_literal(5) == AConst(5)
+        assert abstract_literal(True) == AConst(True)
+        assert abstract_literal("s") == AConst("s")
+
+    def test_abstract_literal_structure_is_basic(self):
+        assert abstract_literal((1, 2)) is BASIC
+
+    def test_truthiness(self):
+        assert maybe_truthy(AConst(0))
+        assert maybe_truthy(BASIC) and maybe_falsy(BASIC)
+        assert not maybe_truthy(AConst(False))
+        assert not maybe_falsy(AConst(42))
+
+
+class TestBEnv:
+    def test_lookup(self):
+        benv = BEnv([("x", (1,)), ("y", (2,))])
+        assert benv["x"] == (1,)
+        assert benv.get("z") is None
+        assert "y" in benv
+
+    def test_equality_order_independent(self):
+        assert BEnv([("a", ()), ("b", (1,))]) == \
+            BEnv([("b", (1,)), ("a", ())])
+
+    def test_hashable(self):
+        assert hash(BEnv([("x", (1,))])) == hash(BEnv([("x", (1,))]))
+
+    def test_extend(self):
+        benv = EMPTY_BENV.extend(["x", "y"], (3,))
+        assert benv["x"] == (3,) and benv["y"] == (3,)
+
+    def test_extend_overrides(self):
+        benv = BEnv([("x", (1,))]).extend(["x"], (2,))
+        assert benv["x"] == (2,)
+
+    def test_restrict(self):
+        benv = BEnv([("x", (1,)), ("y", (2,))])
+        restricted = benv.restrict(frozenset({"x"}))
+        assert "y" not in restricted
+        assert restricted["x"] == (1,)
+
+    def test_len_and_iter(self):
+        benv = BEnv([("a", ()), ("b", ())])
+        assert len(benv) == 2
+        assert sorted(benv) == ["a", "b"]
+
+
+class TestAbsStore:
+    def test_empty_lookup(self):
+        store = AbsStore()
+        assert store.get(("x", ())) == frozenset()
+
+    def test_join_reports_growth(self):
+        store = AbsStore()
+        assert store.join(("x", ()), {BASIC}) is True
+        assert store.join(("x", ()), {BASIC}) is False
+        assert store.join(("x", ()), {AConst(1)}) is True
+
+    def test_join_empty_is_noop(self):
+        store = AbsStore()
+        assert store.join(("x", ()), frozenset()) is False
+        assert len(store) == 0
+
+    def test_monotone(self):
+        store = AbsStore()
+        store.join(("x", ()), {AConst(1)})
+        store.join(("x", ()), {AConst(2)})
+        assert store.get(("x", ())) == {AConst(1), AConst(2)}
+
+    def test_total_values(self):
+        store = AbsStore()
+        store.join(("x", ()), {AConst(1), AConst(2)})
+        store.join(("y", ()), {BASIC})
+        assert store.total_values() == 3
+
+
+class TestFrozenStore:
+    def test_join_returns_new(self):
+        store = FrozenStore()
+        grown = store.join(("x", ()), {BASIC})
+        assert store is not grown
+        assert grown.get(("x", ())) == {BASIC}
+        assert store.get(("x", ())) == frozenset()
+
+    def test_join_same_returns_self(self):
+        store = FrozenStore().join(("x", ()), {BASIC})
+        assert store.join(("x", ()), {BASIC}) is store
+
+    def test_hash_equality(self):
+        one = FrozenStore().join(("x", ()), {BASIC})
+        two = FrozenStore().join(("x", ()), {BASIC})
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_widen(self):
+        one = FrozenStore().join(("x", ()), {AConst(1)})
+        two = FrozenStore().join(("x", ()), {AConst(2)})
+        merged = one.widen(two)
+        assert merged.get(("x", ())) == {AConst(1), AConst(2)}
+
+    def test_join_many(self):
+        store = FrozenStore().join_many([
+            (("x", ()), {AConst(1)}),
+            (("y", ()), {AConst(2)}),
+        ])
+        assert len(store) == 2
+
+
+class TestValueTypes:
+    def test_kclo_hashable_by_identity_lam(self):
+        from repro.cps.syntax import Lam, LamKind, HaltCall, Ref
+        lam = Lam(LamKind.USER, ("x",), HaltCall(Ref("x"), 0), 1)
+        assert KClo(lam, EMPTY_BENV) == KClo(lam, EMPTY_BENV)
+
+    def test_fclo_distinct_envs(self):
+        from repro.cps.syntax import Lam, LamKind, HaltCall, Ref
+        lam = Lam(LamKind.USER, ("x",), HaltCall(Ref("x"), 0), 1)
+        assert FClo(lam, (1,)) != FClo(lam, (2,))
+
+    def test_apair_fields(self):
+        pair = APair(("car@1", ()), ("cdr@1", ()))
+        assert pair.car[0] == "car@1"

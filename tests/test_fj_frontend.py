@@ -1,0 +1,315 @@
+"""Tests for the FJ parser, A-normalizer and class table."""
+
+import pytest
+
+from repro.errors import FJSyntaxError, FJTypeError
+from repro.fj import parse_fj
+from repro.fj.examples import ANF_EXAMPLE, PAIRS
+from repro.fj.syntax import (
+    Assign, Cast, FieldAccess, Invoke, New, Return, VarExp,
+)
+
+
+class TestParser:
+    def test_minimal_program(self):
+        program = parse_fj("""
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """)
+        assert "Main" in program.by_name
+        assert program.statement_count() == 1
+
+    def test_fields_parsed(self):
+        program = parse_fj(PAIRS)
+        pair = program.by_name["Pair"]
+        assert pair.field_names() == ("fst", "snd")
+
+    def test_constructor_wiring(self):
+        program = parse_fj(PAIRS)
+        assert program.ctor_wiring["Pair"] == (("fst", 0), ("snd", 1))
+
+    def test_methods_get_owner(self):
+        program = parse_fj(PAIRS)
+        method = program.lookup_method("Pair", "swap")
+        assert method.qualified_name == "Pair.swap"
+
+    def test_comments_allowed(self):
+        program = parse_fj("""
+        // leading comment
+        class Main extends Object {
+          Main() { super(); }   // ctor
+          Object main() { return this; }
+        }
+        """)
+        assert program.statement_count() == 1
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(FJSyntaxError):
+            parse_fj("class Main @ {}")
+
+    def test_missing_extends_rejected(self):
+        with pytest.raises(FJSyntaxError):
+            parse_fj("class Main { Main() { super(); } }")
+
+    def test_wrong_ctor_name_rejected(self):
+        with pytest.raises(FJSyntaxError):
+            parse_fj("""
+            class Main extends Object {
+              NotMain() { super(); }
+              Object main() { return this; }
+            }
+            """)
+
+    def test_empty_method_rejected(self):
+        with pytest.raises(FJSyntaxError):
+            parse_fj("""
+            class Main extends Object {
+              Main() { super(); }
+              Object main() { }
+            }
+            """)
+
+
+class TestANF:
+    def test_paper_example_flattens(self):
+        """return f.foo(b.bar()); becomes three statements (§4)."""
+        program = parse_fj(ANF_EXAMPLE)
+        main = program.lookup_method("Main", "main")
+        body = main.body
+        assert isinstance(body[-1], Return)
+        invokes = [stmt for stmt in body
+                   if isinstance(stmt, Assign)
+                   and isinstance(stmt.exp, Invoke)]
+        assert len(invokes) == 2  # bar then foo, in evaluation order
+        assert invokes[0].exp.method == "bar"
+        assert invokes[1].exp.method == "foo"
+
+    def test_temps_added_to_locals(self):
+        program = parse_fj(ANF_EXAMPLE)
+        main = program.lookup_method("Main", "main")
+        temp_names = [name for _type, name in main.locals
+                      if name.startswith("t$")]
+        assert temp_names
+
+    def test_nested_new(self):
+        program = parse_fj("""
+        class Box extends Object {
+          Object contents;
+          Box(Object c) { super(); this.contents = c; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Box b;
+            b = new Box(new Box(this));
+            return b;
+          }
+        }
+        """)
+        main = program.lookup_method("Main", "main")
+        news = [stmt for stmt in main.body
+                if isinstance(stmt, Assign)
+                and isinstance(stmt.exp, New)]
+        assert len(news) == 2
+        assert all(all(not arg.startswith("new")
+                       for arg in stmt.exp.args) for stmt in news)
+
+    def test_chained_field_access(self):
+        program = parse_fj("""
+        class Wrap extends Object {
+          Object inner;
+          Wrap(Object i) { super(); this.inner = i; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Wrap w;
+            w = new Wrap(new Wrap(this));
+            return w.inner.inner;
+          }
+        }
+        """, entry_method="main")
+        main = program.lookup_method("Main", "main")
+        accesses = [stmt for stmt in main.body
+                    if isinstance(stmt, Assign)
+                    and isinstance(stmt.exp, FieldAccess)]
+        assert len(accesses) >= 1
+
+    def test_cast_statement(self):
+        program = parse_fj("""
+        class A extends Object { A() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Object x;
+            A y;
+            x = new A();
+            y = (A) x;
+            return y;
+          }
+        }
+        """)
+        main = program.lookup_method("Main", "main")
+        casts = [stmt for stmt in main.body
+                 if isinstance(stmt, Assign)
+                 and isinstance(stmt.exp, Cast)]
+        assert len(casts) == 1
+
+    def test_labels_unique_across_methods(self):
+        program = parse_fj(PAIRS)
+        labels = list(program.stmt_by_label)
+        assert len(labels) == len(set(labels))
+
+    def test_succ_chains_bodies(self):
+        program = parse_fj(PAIRS)
+        main = program.lookup_method("Main", "main")
+        for current, following in zip(main.body, main.body[1:]):
+            assert program.succ(current.label) is following
+        assert program.succ(main.body[-1].label) is None
+
+
+class TestClassTableValidation:
+    def test_duplicate_class_rejected(self):
+        source = """
+        class A extends Object { A() { super(); } }
+        class A extends Object { A() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """
+        with pytest.raises(FJTypeError):
+            parse_fj(source)
+
+    def test_undefined_superclass_rejected(self):
+        source = """
+        class A extends Ghost { A() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """
+        with pytest.raises(FJTypeError):
+            parse_fj(source)
+
+    def test_inheritance_cycle_rejected(self):
+        source = """
+        class A extends B { A() { super(); } }
+        class B extends A { B() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """
+        with pytest.raises(FJTypeError):
+            parse_fj(source)
+
+    def test_uninitialized_field_rejected(self):
+        source = """
+        class A extends Object {
+          Object f;
+          A() { super(); }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """
+        with pytest.raises(FJTypeError):
+            parse_fj(source)
+
+    def test_super_arity_checked(self):
+        source = """
+        class A extends Object {
+          Object f;
+          A(Object x) { super(); this.f = x; }
+        }
+        class B extends A {
+          B() { super(); }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """
+        with pytest.raises(FJTypeError):
+            parse_fj(source)
+
+    def test_inherited_fields_in_order(self):
+        source = """
+        class A extends Object {
+          Object f;
+          A(Object x) { super(); this.f = x; }
+        }
+        class B extends A {
+          Object g;
+          B(Object x, Object y) { super(x); this.g = y; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """
+        program = parse_fj(source)
+        assert program.all_fields("B") == ("f", "g")
+        assert program.ctor_wiring["B"] == (("f", 0), ("g", 1))
+
+    def test_unknown_name_in_body_rejected(self):
+        source = """
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return ghost; }
+        }
+        """
+        with pytest.raises(FJTypeError):
+            parse_fj(source)
+
+    def test_entry_method_required(self):
+        source = """
+        class Main extends Object {
+          Main() { super(); }
+          Object other() { return this; }
+        }
+        """
+        with pytest.raises(FJTypeError):
+            parse_fj(source)
+
+    def test_method_lookup_walks_hierarchy(self):
+        program = parse_fj("""
+        class A extends Object {
+          A() { super(); }
+          Object m() { return this; }
+        }
+        class B extends A { B() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """)
+        assert program.lookup_method("B", "m") is \
+            program.lookup_method("A", "m")
+
+    def test_override_shadows(self):
+        program = parse_fj("""
+        class A extends Object {
+          A() { super(); }
+          Object m() { return this; }
+        }
+        class B extends A {
+          B() { super(); }
+          Object m() { return this; }
+        }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() { return this; }
+        }
+        """)
+        assert program.lookup_method("B", "m").owner == "B"
+
+    def test_is_subclass(self):
+        program = parse_fj(PAIRS)
+        assert program.is_subclass("Pair", "Object")
+        assert not program.is_subclass("Object", "Pair")
+        assert program.is_subclass("Pair", "Pair")

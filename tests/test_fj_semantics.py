@@ -1,0 +1,261 @@
+"""Tests for the FJ concrete machine and both abstract machines."""
+
+import pytest
+
+from repro.errors import EvaluationError, FuelExhausted
+from repro.fj import (
+    analyze_fj_kcfa, analyze_fj_poly, parse_fj, run_fj,
+)
+from repro.fj.concrete import FJObjectVal
+from repro.fj.examples import (
+    ALL_EXAMPLES, ANF_EXAMPLE, DISPATCH, LINKED_LIST, OO_IDENTITY,
+    PAIRS,
+)
+from repro.fj.kcfa import AObj
+from repro.fj.poly import PObj
+from repro.fj.soundness import (
+    check_fj_poly_soundness, check_fj_soundness,
+)
+
+
+class TestConcreteMachine:
+    def test_pairs_swap(self):
+        result = run_fj(parse_fj(PAIRS))
+        assert isinstance(result.value, FJObjectVal)
+        assert result.value.classname == "B"
+
+    def test_dispatch(self):
+        result = run_fj(parse_fj(DISPATCH))
+        assert result.value.classname == "Meow"
+
+    def test_recursion_over_list(self):
+        result = run_fj(parse_fj(LINKED_LIST))
+        assert result.value.classname == "Cons"
+
+    def test_anf_example(self):
+        result = run_fj(parse_fj(ANF_EXAMPLE))
+        assert result.value.classname == "B"
+
+    def test_both_tick_policies_same_value(self):
+        for source in ALL_EXAMPLES.values():
+            program = parse_fj(source)
+            invocation = run_fj(program, tick_policy="invocation")
+            statement = run_fj(program, tick_policy="statement")
+            assert invocation.value.classname == \
+                statement.value.classname
+
+    def test_field_values_stored(self):
+        source = """
+        class Box extends Object {
+          Object v;
+          Box(Object x) { super(); this.v = x; }
+          Object get() { return this.v; }
+        }
+        class A extends Object { A() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Box b;
+            b = new Box(new A());
+            return b.get();
+          }
+        }
+        """
+        result = run_fj(parse_fj(source))
+        assert result.value.classname == "A"
+
+    def test_bad_cast_raises(self):
+        source = """
+        class A extends Object { A() { super(); } }
+        class B extends Object { B() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Object x;
+            B y;
+            x = new A();
+            y = (B) x;
+            return y;
+          }
+        }
+        """
+        with pytest.raises(EvaluationError):
+            run_fj(parse_fj(source))
+
+    def test_good_cast_passes(self):
+        source = """
+        class A extends Object { A() { super(); } }
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Object x;
+            A y;
+            x = new A();
+            y = (A) x;
+            return y;
+          }
+        }
+        """
+        assert run_fj(parse_fj(source)).value.classname == "A"
+
+    def test_missing_method_raises(self):
+        source = """
+        class Main extends Object {
+          Main() { super(); }
+          Object main() {
+            Object x;
+            x = this.nope();
+            return x;
+          }
+        }
+        """
+        program = parse_fj(source)
+        # 'nope' resolves nowhere at runtime
+        with pytest.raises(EvaluationError):
+            run_fj(program)
+
+    def test_fuel(self):
+        source = """
+        class Main extends Object {
+          Main() { super(); }
+          Object spin() { return this.spin(); }
+          Object main() { return this.spin(); }
+        }
+        """
+        with pytest.raises(FuelExhausted):
+            run_fj(parse_fj(source), fuel=300)
+
+    def test_write_log_recorded(self):
+        result = run_fj(parse_fj(PAIRS))
+        assert result.writes
+        assert all(len(entry) == 2 for entry in result.writes)
+
+
+class TestAbstractKCFA:
+    def test_dispatch_targets_resolved(self):
+        program = parse_fj(DISPATCH)
+        result = analyze_fj_kcfa(program, 1)
+        # pet's a.speak() site sees both Dog.speak and Cat.speak
+        speak_sites = [targets for targets
+                       in result.invoke_targets.values()
+                       if any("speak" in t for t in targets)]
+        assert any(len(t) == 2 for t in speak_sites)
+
+    def test_halt_covers_concrete(self):
+        for source in ALL_EXAMPLES.values():
+            program = parse_fj(source)
+            concrete = run_fj(program)
+            result = analyze_fj_kcfa(program, 1)
+            classes = {obj.classname for obj in result.halt_values
+                       if isinstance(obj, AObj)}
+            assert concrete.value.classname in classes
+
+    def test_points_to_query(self):
+        program = parse_fj(PAIRS)
+        result = analyze_fj_kcfa(program, 1)
+        objs = result.points_to("p")
+        assert {obj.classname for obj in objs} == {"Pair"}
+
+    def test_method_contexts_k1_vs_k0(self):
+        program = parse_fj(OO_IDENTITY)
+        k0 = analyze_fj_kcfa(program, 0)
+        k1 = analyze_fj_kcfa(program, 1)
+        assert k1.method_context_count("Id.identity") == 2
+        assert k0.method_context_count("Id.identity") == 1
+
+    def test_k1_separates_identity_receivers(self):
+        program = parse_fj(OO_IDENTITY)
+        result = analyze_fj_kcfa(program, 1)
+        # under k=1 the two identity calls keep their arguments apart:
+        # each x binding holds exactly one abstract object.
+        x_addrs = [(name, time) for (name, time)
+                   in result.store.addresses() if name == "x"]
+        assert len(x_addrs) == 2
+        assert all(len(result.store.get(a)) == 1 for a in x_addrs)
+
+    def test_k0_merges_identity_receivers(self):
+        program = parse_fj(OO_IDENTITY)
+        result = analyze_fj_kcfa(program, 0)
+        x_addrs = [(name, time) for (name, time)
+                   in result.store.addresses() if name == "x"]
+        assert len(x_addrs) == 1
+        assert len(result.store.get(x_addrs[0])) == 2
+
+    def test_monomorphic_call_sites(self):
+        program = parse_fj(PAIRS)
+        result = analyze_fj_kcfa(program, 1)
+        assert result.monomorphic_call_sites()
+
+    def test_statement_policy_runs(self):
+        program = parse_fj(PAIRS)
+        result = analyze_fj_kcfa(program, 1, tick_policy="statement")
+        assert result.halt_values
+
+    def test_summary(self):
+        result = analyze_fj_kcfa(parse_fj(PAIRS), 1)
+        summary = result.summary()
+        assert summary["analysis"] == "FJ-k-CFA"
+        assert summary["objects"] >= 3
+
+
+class TestPolyCollapse:
+    """§4.4: the collapsed machine agrees with the map-based one."""
+
+    @pytest.mark.parametrize("name", list(ALL_EXAMPLES))
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_same_invoke_targets(self, name, k):
+        program = parse_fj(ALL_EXAMPLES[name])
+        full = analyze_fj_kcfa(program, k)
+        poly = analyze_fj_poly(program, k)
+        assert full.invoke_targets == poly.invoke_targets
+
+    @pytest.mark.parametrize("name", list(ALL_EXAMPLES))
+    def test_same_method_contexts(self, name):
+        program = parse_fj(ALL_EXAMPLES[name])
+        full = analyze_fj_kcfa(program, 1)
+        poly = analyze_fj_poly(program, 1)
+        assert full.method_contexts == poly.method_contexts
+
+    @pytest.mark.parametrize("name", list(ALL_EXAMPLES))
+    def test_same_objects_by_class_and_site(self, name):
+        # the collapsed machine may keep finer contexts for field-less
+        # classes; class+site projections must coincide.
+        program = parse_fj(ALL_EXAMPLES[name])
+        full = analyze_fj_kcfa(program, 1)
+        poly = analyze_fj_poly(program, 1)
+        assert {(o.classname, o.site) for o in full.objects} == \
+            {(o.classname, o.site) for o in poly.objects}
+
+    def test_poly_no_less_precise_with_fields(self):
+        # on a program where every allocated class has fields, the
+        # collapse loses nothing: identical object counts.
+        program = parse_fj(PAIRS)
+        full = analyze_fj_kcfa(program, 1)
+        poly = analyze_fj_poly(program, 1)
+        full_pairs = {o for o in full.objects
+                      if o.classname == "Pair"}
+        poly_pairs = {o for o in poly.objects
+                      if o.classname == "Pair"}
+        assert len(full_pairs) == len(poly_pairs)
+
+
+class TestFJSoundness:
+    @pytest.mark.parametrize("name", list(ALL_EXAMPLES))
+    @pytest.mark.parametrize("policy", ["invocation", "statement"])
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_kcfa_sound(self, name, policy, k):
+        program = parse_fj(ALL_EXAMPLES[name])
+        concrete = run_fj(program, tick_policy=policy,
+                          record_trace=True)
+        result = analyze_fj_kcfa(program, k, tick_policy=policy)
+        report = check_fj_soundness(result, concrete)
+        assert report, report.violations[:5]
+
+    @pytest.mark.parametrize("name", list(ALL_EXAMPLES))
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_poly_sound(self, name, k):
+        program = parse_fj(ALL_EXAMPLES[name])
+        concrete = run_fj(program, record_trace=True)
+        result = analyze_fj_poly(program, k)
+        report = check_fj_poly_soundness(result, concrete)
+        assert report, report.violations[:5]

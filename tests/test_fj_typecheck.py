@@ -1,0 +1,218 @@
+"""Tests for the Featherweight Java type checker."""
+
+import pytest
+
+from repro.fj import parse_fj
+from repro.fj.examples import ALL_EXAMPLES
+from repro.fj.typecheck import typecheck_program
+
+WELL_TYPED_WRAPPER = """
+class A extends Object {{ A() {{ super(); }} }}
+class B extends A {{ B() {{ super(); }} }}
+{body}
+class Main extends Object {{
+  Main() {{ super(); }}
+  Object main() {{ return this; }}
+}}
+"""
+
+
+def check(body: str):
+    return typecheck_program(parse_fj(
+        WELL_TYPED_WRAPPER.format(body=body)))
+
+
+class TestWellTyped:
+    @pytest.mark.parametrize("name", list(ALL_EXAMPLES))
+    def test_examples_are_well_typed(self, name):
+        report = typecheck_program(parse_fj(ALL_EXAMPLES[name]))
+        assert report, report.errors
+
+    def test_paradox_program_well_typed(self):
+        from repro.generators.paradox import paradox_fj_source
+        program = parse_fj(paradox_fj_source(3, 3),
+                           entry_method="caller")
+        report = typecheck_program(program)
+        assert report, report.errors
+
+    def test_worst_case_fj_well_typed(self):
+        from repro.generators.worstcase import worst_case_fj_source
+        program = parse_fj(worst_case_fj_source(4), entry_method="run")
+        report = typecheck_program(program)
+        assert report, report.errors
+
+    def test_subtype_argument_accepted(self):
+        report = check("""
+        class User extends Object {
+          User() { super(); }
+          A give() { return new B(); }
+          Object take(A a) { return a; }
+          Object go() {
+            Object r;
+            r = this.take(new B());
+            return r;
+          }
+        }
+        """)
+        assert report, report.errors
+
+    def test_summary_format(self):
+        report = typecheck_program(parse_fj(ALL_EXAMPLES["pairs"]))
+        assert "WELL-TYPED" in report.summary()
+
+
+class TestTypeErrors:
+    def test_return_type_mismatch(self):
+        report = check("""
+        class Bad extends Object {
+          Bad() { super(); }
+          B wrong() { return new A(); }
+        }
+        """)
+        assert not report
+        assert any("return of A where B" in e for e in report.errors)
+
+    def test_argument_type_mismatch(self):
+        report = check("""
+        class Bad extends Object {
+          Bad() { super(); }
+          Object wants(B b) { return b; }
+          Object go() {
+            Object r;
+            r = this.wants(new A());
+            return r;
+          }
+        }
+        """)
+        assert not report
+        assert any("where B expected" in e for e in report.errors)
+
+    def test_unknown_method(self):
+        report = check("""
+        class Bad extends Object {
+          Bad() { super(); }
+          Object go() {
+            Object r;
+            r = this.missing();
+            return r;
+          }
+        }
+        """)
+        assert not report
+        assert any("no method missing" in e for e in report.errors)
+
+    def test_unknown_field(self):
+        report = check("""
+        class Bad extends Object {
+          Bad() { super(); }
+          Object go(A a) { return a.ghost; }
+        }
+        """)
+        assert not report
+        assert any("no field ghost" in e for e in report.errors)
+
+    def test_assignment_type_mismatch(self):
+        report = check("""
+        class Bad extends Object {
+          Bad() { super(); }
+          Object go() {
+            B b;
+            b = new A();
+            return b;
+          }
+        }
+        """)
+        assert not report
+
+    def test_invalid_override(self):
+        report = check("""
+        class Base extends Object {
+          Base() { super(); }
+          A m(A x) { return x; }
+        }
+        class Derived extends Base {
+          Derived() { super(); }
+          B m(A x) { return new B(); }
+        }
+        """)
+        assert not report
+        assert any("invalid override" in e for e in report.errors)
+
+    def test_matching_override_accepted(self):
+        report = check("""
+        class Base extends Object {
+          Base() { super(); }
+          A m(A x) { return x; }
+        }
+        class Derived extends Base {
+          Derived() { super(); }
+          A m(A y) { return y; }
+        }
+        """)
+        assert report, report.errors
+
+    def test_constructor_field_type_mismatch(self):
+        report = check("""
+        class Holder extends Object {
+          B item;
+          Holder(A x) { super(); this.item = x; }
+        }
+        """)
+        assert not report
+        assert any("field item" in e for e in report.errors)
+
+    def test_unknown_types_reported(self):
+        report = check("""
+        class Bad extends Object {
+          Bad() { super(); }
+          Ghost go(Phantom p) { return p; }
+        }
+        """)
+        assert not report
+        assert any("unknown parameter type Phantom" in e
+                   for e in report.errors)
+        assert any("unknown return type Ghost" in e
+                   for e in report.errors)
+
+
+class TestCasts:
+    def test_upcast_silent(self):
+        report = check("""
+        class C extends Object {
+          C() { super(); }
+          Object go() {
+            A up;
+            up = (A) new B();
+            return up;
+          }
+        }
+        """)
+        assert report and not report.warnings
+
+    def test_downcast_silent(self):
+        report = check("""
+        class C extends Object {
+          C() { super(); }
+          Object go(A a) {
+            B down;
+            down = (B) a;
+            return down;
+          }
+        }
+        """)
+        assert report and not report.warnings
+
+    def test_stupid_cast_warns(self):
+        report = check("""
+        class Unrelated extends Object { Unrelated() { super(); } }
+        class C extends Object {
+          C() { super(); }
+          Object go(A a) {
+            Unrelated u;
+            u = (Unrelated) a;
+            return u;
+          }
+        }
+        """)
+        assert report  # stupid casts are warnings, not errors (IPW01)
+        assert any("stupid cast" in w for w in report.warnings)

@@ -1,0 +1,107 @@
+"""Tests for the program generators."""
+
+import pytest
+
+from repro.concrete import run_flat, run_shared
+from repro.fj import parse_fj, run_fj
+from repro.generators.paradox import (
+    ParadoxCounts, find_cxy_lambda, functional_paradox_counts,
+    paradox_fj_source, paradox_functional_program,
+    paradox_functional_source,
+)
+from repro.generators.worstcase import (
+    worst_case_fj_source, worst_case_program, worst_case_series,
+    worst_case_source,
+)
+from repro.analysis import analyze_kcfa, analyze_mcfa
+
+
+class TestWorstCase:
+    def test_source_structure(self):
+        source = worst_case_source(3)
+        assert source.count("lambda") == 7  # 2 per level + inner z
+        assert "(z x1 x2 x3)" in source
+
+    def test_program_compiles_and_runs(self):
+        program = worst_case_program(4)
+        shared = run_shared(program)
+        flat = run_flat(program)
+        # the program's value is the inner closure
+        assert type(shared.value).__name__ == "SharedClosure"
+        assert type(flat.value).__name__ == "FlatClosure"
+
+    def test_terms_grow_linearly(self):
+        rows = worst_case_series((2, 3, 4))
+        terms = [t for _d, t, _p in rows]
+        assert terms[2] - terms[1] == terms[1] - terms[0]
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_source(0)
+
+    def test_fj_translation_runs(self):
+        program = parse_fj(worst_case_fj_source(3), entry_method="run")
+        assert run_fj(program).value.classname == "Z"
+
+    def test_fj_translation_depth_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_fj_source(0)
+
+
+class TestParadox:
+    def test_functional_source_runs(self):
+        program = paradox_functional_program(2, 3)
+        result = run_shared(program)
+        assert result.value is not None
+
+    def test_find_cxy_lambda(self):
+        program = paradox_functional_program(3, 2)
+        lam = find_cxy_lambda(program)
+        assert lam.is_user
+
+    def test_counts_dataclass(self):
+        counts = functional_paradox_counts(
+            2, 3, lambda p: analyze_kcfa(p, 1))
+        assert isinstance(counts, ParadoxCounts)
+        assert counts.product == 6
+        assert counts.linear == 5
+        assert counts.cxy_environments == 6
+
+    def test_mcfa_counts_small(self):
+        counts = functional_paradox_counts(
+            4, 4, lambda p: analyze_mcfa(p, 1))
+        assert counts.cxy_environments <= 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            paradox_functional_source(0, 1)
+        with pytest.raises(ValueError):
+            paradox_fj_source(1, 0)
+
+    def test_fj_source_parses_and_runs(self):
+        program = parse_fj(paradox_fj_source(2, 2),
+                           entry_method="caller")
+        assert run_fj(program).value.classname == "Object"
+
+
+class TestRandomPrograms:
+    def test_deterministic_by_seed(self):
+        from repro.generators.random_programs import (
+            random_core_expression,
+        )
+        one = random_core_expression(123, 4)
+        two = random_core_expression(123, 4)
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        from repro.generators.random_programs import (
+            random_core_expression,
+        )
+        exps = {str(random_core_expression(seed, 4))
+                for seed in range(20)}
+        assert len(exps) > 10
+
+    def test_strategy_importable(self):
+        from repro.generators.random_programs import program_strategy
+        strategy = program_strategy(3)
+        assert strategy is not None

@@ -1,0 +1,211 @@
+"""Tests for k-CFA — both engines."""
+
+import pytest
+
+from repro.analysis import (
+    AConst, BASIC, KClo, analyze_kcfa, analyze_kcfa_naive,
+)
+from repro.errors import AnalysisTimeout
+from repro.scheme.cps_transform import compile_program
+from repro.util.budget import Budget
+
+
+def lambdas_flowing_to(result, stem):
+    """Lambdas in the flow set of any variable whose stem matches."""
+    from repro.util.gensym import GensymFactory
+    lams = set()
+    for (name, _ctx), values in result.store.items():
+        if GensymFactory.base_of(name) == stem:
+            lams |= {v.lam for v in values if isinstance(v, KClo)}
+    return lams
+
+
+class TestBasicFlow:
+    def test_halt_value_constant(self):
+        result = analyze_kcfa(compile_program("42"), 1)
+        assert result.halt_values == {AConst(42)}
+
+    def test_identity_application(self):
+        result = analyze_kcfa(compile_program("((lambda (x) x) 9)"), 1)
+        assert AConst(9) in result.halt_values
+
+    def test_closure_flows_to_variable(self):
+        program = compile_program(
+            "(let ((f (lambda (x) x))) (f 1))")
+        result = analyze_kcfa(program, 1)
+        assert len(lambdas_flowing_to(result, "f")) == 1
+
+    def test_prim_result_is_basic(self):
+        result = analyze_kcfa(compile_program("(+ 1 2)"), 1)
+        assert result.halt_values == {BASIC}
+
+    def test_unreachable_branch_not_analyzed(self):
+        # Literal test: only the then branch should run.
+        result = analyze_kcfa(compile_program("(if #t 1 2)"), 1)
+        assert result.halt_values == {AConst(1)}
+
+    def test_unknown_test_branches_both(self):
+        result = analyze_kcfa(compile_program("(if (= 1 1) 1 2)"), 1)
+        assert result.halt_values == {AConst(1), AConst(2)}
+
+
+class TestContextSensitivity:
+    POLY_SOURCE = """
+    (define (id x) x)
+    (cons (id (lambda (a) a)) (id (lambda (b) b)))
+    """
+
+    def test_k1_separates_contexts(self):
+        result = analyze_kcfa(compile_program(self.POLY_SOURCE), 1)
+        # under k=1 each call of id binds x in its own context:
+        # per-address flow sets stay singletons.
+        x_addrs = [(name, ctx) for (name, ctx) in
+                   result.store.addresses()
+                   if name.startswith("x")]
+        assert len(x_addrs) == 2
+        for addr in x_addrs:
+            assert len(result.store.get(addr)) == 1
+
+    def test_k0_merges_contexts(self):
+        result = analyze_kcfa(compile_program(self.POLY_SOURCE), 0)
+        x_addrs = [(name, ctx) for (name, ctx) in
+                   result.store.addresses()
+                   if name.startswith("x")]
+        assert len(x_addrs) == 1
+        assert len(result.store.get(x_addrs[0])) == 2
+
+    def test_k2_refines_k1(self):
+        source = """
+        (define (wrap f) (lambda (v) (f v)))
+        (define (id x) x)
+        (cons ((wrap id) 1) ((wrap id) 2))
+        """
+        program = compile_program(source)
+        k1 = analyze_kcfa(program, 1)
+        k2 = analyze_kcfa(program, 2)
+        assert k2.config_count >= k1.config_count
+
+    def test_supported_inlinings_monotone_in_k(self):
+        program = compile_program("""
+            (define (noise) 0)
+            (define (pick f) (noise) f)
+            (cons ((pick (lambda (a) a)) 1)
+                  ((pick (lambda (b) b)) 2))
+        """)
+        k0 = analyze_kcfa(program, 0).supported_inlinings()
+        k1 = analyze_kcfa(program, 1).supported_inlinings()
+        assert k1 > k0
+
+
+class TestPairsFieldSensitivity:
+    def test_closure_through_cons(self):
+        source = """
+        (let ((p (cons (lambda (a) a) 1)))
+          ((car p) 5))
+        """
+        result = analyze_kcfa(compile_program(source), 1)
+        assert AConst(5) in result.halt_values
+        assert BASIC not in result.halt_values
+
+    def test_quoted_structure_is_basic(self):
+        result = analyze_kcfa(compile_program("(car '(1 2))"), 1)
+        assert result.halt_values == {BASIC}
+
+    def test_distinct_cons_sites_distinct_pairs(self):
+        source = """
+        (let ((p (cons (lambda (a) a) 1))
+              (q (cons (lambda (b) b) 2)))
+          (cons ((car p) 1) ((car q) 2)))
+        """
+        result = analyze_kcfa(compile_program(source), 1)
+        # each (car _) site sees exactly one lambda
+        inlinable = result.inlinable_call_sites()
+        assert len(inlinable) >= 2
+
+
+class TestRecursion:
+    def test_factorial_terminates(self):
+        program = compile_program(
+            "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))"
+            "(fact 5)")
+        result = analyze_kcfa(program, 1)
+        assert BASIC in result.halt_values
+
+    def test_mutual_recursion(self):
+        program = compile_program("""
+            (define (even? n) (if (= n 0) #t (odd? (- n 1))))
+            (define (odd? n) (if (= n 0) #f (even? (- n 1))))
+            (even? 8)
+        """)
+        result = analyze_kcfa(program, 1)
+        assert result.halt_values  # terminates with some flow
+
+    def test_nonterminating_program_analyzes_fine(self):
+        # The abstract interpretation of a diverging program reaches a
+        # fixpoint even though the concrete run would not.
+        program = compile_program("(define (loop) (loop)) (loop)")
+        result = analyze_kcfa(program, 1)
+        assert result.halt_values == frozenset()
+
+
+class TestBudget:
+    def test_timeout_raised(self):
+        from repro.generators.worstcase import worst_case_program
+        program = worst_case_program(12)
+        with pytest.raises(AnalysisTimeout):
+            analyze_kcfa(program, 1, Budget(max_steps=200))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            analyze_kcfa(compile_program("1"), -1)
+
+
+class TestNaiveEngine:
+    def test_matches_single_threaded_flow(self):
+        source = "(let ((f (lambda (x) x))) (cons (f 1) (f 2)))"
+        program = compile_program(source)
+        fast = analyze_kcfa(program, 1)
+        naive = analyze_kcfa_naive(program, 1)
+        assert naive.halt_values == fast.halt_values
+        assert {lam.label for lams in naive.callees.values()
+                for lam in lams} == \
+            {lam.label for lams in fast.callees.values()
+             for lam in lams}
+
+    def test_state_count_exceeds_config_count(self):
+        # Per-state stores split configurations: the naive system
+        # space is at least as large.
+        program = compile_program(
+            "(define (f x) x) (cons (f 1) (f 2))")
+        naive = analyze_kcfa_naive(program, 0)
+        assert naive.state_count >= naive.config_count
+
+    def test_naive_is_more_expensive(self):
+        program = compile_program(
+            "(define (f x) x) (cons (f 1) (cons (f 2) (f 3)))")
+        fast = analyze_kcfa(program, 0)
+        naive = analyze_kcfa_naive(program, 0)
+        assert naive.steps >= fast.steps
+
+
+class TestResultQueries:
+    def test_flow_of_by_stem(self):
+        program = compile_program(
+            "(let ((g (lambda (x) x))) (g 3))")
+        result = analyze_kcfa(program, 1)
+        g_name = next(name for name in program.variables
+                      if name.startswith("g"))
+        assert len(result.lambdas_of(g_name)) == 1
+
+    def test_call_graph_builds(self):
+        program = compile_program(
+            "(define (f x) x) (define (g y) (f y)) (g 1)")
+        result = analyze_kcfa(program, 1)
+        graph = result.call_graph()
+        assert graph.number_of_edges() >= 2
+
+    def test_summary_keys(self):
+        result = analyze_kcfa(compile_program("1"), 1)
+        summary = result.summary()
+        assert summary["analysis"] == "k-CFA"
+        assert summary["timed_out"] is False

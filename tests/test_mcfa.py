@@ -1,0 +1,197 @@
+"""Tests for m-CFA (paper §5) — including footnote 5's semantics:
+m-CFA contexts are the top m stack frames, not the last m calls."""
+
+import pytest
+
+from repro.analysis import (
+    AConst, BASIC, analyze_kcfa, analyze_mcfa, analyze_poly_kcfa,
+    analyze_zerocfa,
+)
+from repro.scheme.cps_transform import compile_program
+
+
+class TestBasicFlow:
+    def test_constant(self):
+        result = analyze_mcfa(compile_program("42"), 1)
+        assert result.halt_values == {AConst(42)}
+
+    def test_application(self):
+        result = analyze_mcfa(
+            compile_program("((lambda (x) x) 5)"), 1)
+        assert AConst(5) in result.halt_values
+
+    def test_prim(self):
+        result = analyze_mcfa(compile_program("(* 2 3)"), 1)
+        assert result.halt_values == {BASIC}
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            analyze_mcfa(compile_program("1"), -2)
+
+
+class TestContextSensitivity:
+    def test_m1_separates_direct_calls(self):
+        source = "(define (id x) x) (cons (id 1) (id 2))"
+        program = compile_program(source)
+        result = analyze_mcfa(program, 1)
+        values = {v for v in result.halt_values}
+        # the pair flows precisely: halt gets the pair, and each call
+        # context keeps its constant
+        x_addrs = [(name, env) for (name, env) in
+                   result.store.addresses() if name.startswith("x")]
+        assert len(x_addrs) == 2
+
+    def test_m0_merges(self):
+        source = "(define (id x) x) (cons (id 1) (id 2))"
+        result = analyze_mcfa(compile_program(source), 0)
+        x_addrs = [(name, env) for (name, env) in
+                   result.store.addresses() if name.startswith("x")]
+        assert len(x_addrs) == 1
+
+
+class TestInterveningCall:
+    """The paper's §6 example: an innocuous call must not destroy
+    m-CFA's context-sensitivity (it does destroy poly k-CFA's)."""
+
+    SOURCE = """
+    (define (do-something) 42)
+    (define (identity x) (do-something) x)
+    (cons (identity 3) (identity 4))
+    """
+
+    def test_m1_keeps_bindings_distinct(self):
+        result = analyze_mcfa(compile_program(self.SOURCE), 1)
+        # both AConst(3) and AConst(4) flow, but into separate
+        # addresses — find the binding of x per context.
+        x_addrs = [(name, env) for (name, env) in
+                   result.store.addresses() if name.startswith("x")]
+        flows = [result.store.get(addr) for addr in x_addrs]
+        assert all(len(flow) == 1 for flow in flows)
+
+    def test_poly_k1_merges(self):
+        result = analyze_poly_kcfa(compile_program(self.SOURCE), 1)
+        x_addrs = [(name, env) for (name, env) in
+                   result.store.addresses() if name.startswith("x")]
+        merged = [flow for flow in
+                  (result.store.get(a) for a in x_addrs)
+                  if len(flow) == 2]
+        assert merged  # some x binding holds both constants
+
+    def test_k1_agrees_with_m1(self):
+        program = compile_program(self.SOURCE)
+        k1 = analyze_kcfa(program, 1)
+        m1 = analyze_mcfa(program, 1)
+        assert k1.supported_inlinings() == m1.supported_inlinings()
+
+
+class TestReturnFlowPrecision:
+    """The final-value version of the same §6 example."""
+
+    PLAIN = """
+    (define (identity x) x)
+    (identity 3)
+    (identity 4)
+    """
+    PERTURBED = """
+    (define (do-something) 42)
+    (define (identity x) (do-something) x)
+    (identity 3)
+    (identity 4)
+    """
+
+    def test_plain_all_context_sensitive_agree(self):
+        program = compile_program(self.PLAIN)
+        for analyze in (lambda p: analyze_kcfa(p, 1),
+                        lambda p: analyze_mcfa(p, 1),
+                        lambda p: analyze_poly_kcfa(p, 1)):
+            assert analyze(program).halt_values == {AConst(4)}
+
+    def test_perturbed_poly_degenerates(self):
+        program = compile_program(self.PERTURBED)
+        assert analyze_kcfa(program, 1).halt_values == {AConst(4)}
+        assert analyze_mcfa(program, 1).halt_values == {AConst(4)}
+        assert analyze_poly_kcfa(program, 1).halt_values == \
+            {AConst(3), AConst(4)}
+        assert analyze_zerocfa(program).halt_values == \
+            {AConst(3), AConst(4)}
+
+
+class TestFootnote5:
+    """k=1 context after return-from-b is the call to b; m=1 context
+    is the call to a (the frame still on the stack)."""
+
+    SOURCE = """
+    (define (b) 7)
+    (define (a x) (b) x)
+    (cons (a 1) (a 2))
+    """
+
+    def test_m1_context_is_caller_frame(self):
+        result = analyze_mcfa(compile_program(self.SOURCE), 1)
+        # x stays split per call-to-a: two singleton addresses.
+        x_addrs = [(name, env) for (name, env) in
+                   result.store.addresses() if name.startswith("x")]
+        assert len(x_addrs) == 2
+        assert all(len(result.store.get(a)) == 1 for a in x_addrs)
+
+    def test_entry_environments_are_call_frames(self):
+        program = compile_program(self.SOURCE)
+        result = analyze_mcfa(program, 1)
+        # the lambda for a is entered under two different top frames
+        a_lam = next(lam for lam in program.user_lams
+                     if len(lam.params) == 2
+                     and result.environment_count(lam) == 2)
+        assert result.environment_count(a_lam) == 2
+
+
+class TestHierarchyAgreement:
+    def test_m0_equals_k0(self, small_programs):
+        """[m=0]CFA and [k=0]CFA are the same analysis (§5.3)."""
+        for name, (_source, program) in small_programs.items():
+            m0 = analyze_mcfa(program, 0)
+            k0 = analyze_kcfa(program, 0)
+            assert m0.halt_values == k0.halt_values, name
+            assert m0.supported_inlinings() == \
+                k0.supported_inlinings(), name
+            m0_callees = {label: frozenset(l.label for l in lams)
+                          for label, lams in m0.callees.items()}
+            k0_callees = {label: frozenset(l.label for l in lams)
+                          for label, lams in k0.callees.items()}
+            assert m0_callees == k0_callees, name
+
+    def test_poly_k0_equals_zerocfa(self, small_programs):
+        for name, (_source, program) in small_programs.items():
+            p0 = analyze_poly_kcfa(program, 0)
+            z = analyze_zerocfa(program)
+            assert p0.halt_values == z.halt_values, name
+
+    def test_m1_at_least_as_precise_as_m0_on_inlinings(
+            self, small_programs):
+        for name, (_source, program) in small_programs.items():
+            m1 = analyze_mcfa(program, 1)
+            m0 = analyze_mcfa(program, 0)
+            assert m1.supported_inlinings() >= \
+                m0.supported_inlinings(), name
+
+
+class TestPolynomialScaling:
+    def test_worst_case_stays_tame(self):
+        """m-CFA's steps grow polynomially on Van Horn–Mairson terms
+        where k-CFA's grow exponentially."""
+        from repro.generators.worstcase import worst_case_program
+        steps = []
+        for depth in (4, 5, 6, 7, 8):
+            program = worst_case_program(depth)
+            steps.append(analyze_mcfa(program, 1).steps)
+        # growth ratio stays small (linear-ish), far from doubling
+        ratios = [b / a for a, b in zip(steps, steps[1:])]
+        assert max(ratios) < 1.8
+
+    def test_kcfa_doubles_on_worst_case(self):
+        from repro.generators.worstcase import worst_case_program
+        steps = []
+        for depth in (4, 5, 6, 7, 8):
+            program = worst_case_program(depth)
+            steps.append(analyze_kcfa(program, 1).steps)
+        ratios = [b / a for a, b in zip(steps, steps[1:])]
+        assert min(ratios) > 1.5  # roughly doubles per level

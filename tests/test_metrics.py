@@ -1,0 +1,176 @@
+"""Tests for the metrics package: precision, complexity, timing."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.errors import AnalysisTimeout
+from repro.metrics.complexity import (
+    bits, fj_poly_lattice_bits, growth_table, kcfa_benv_count,
+    kcfa_lattice_height, kcfa_naive_state_space, kcfa_time_count,
+    mcfa_lattice_height,
+)
+from repro.metrics.precision import (
+    average_flow_size, flow_comparison, precision_row,
+    standard_analyses,
+)
+from repro.metrics.timing import (
+    TimingCell, format_cell, format_table, timed_cell,
+)
+from repro.scheme.cps_transform import compile_program
+from repro.util.budget import Budget
+
+
+class TestFlowComparison:
+    SOURCE = """
+    (define (noise) 0)
+    (define (pick f) (noise) f)
+    (cons ((pick (lambda (a) a)) 1) ((pick (lambda (b) b)) 2))
+    """
+
+    def test_k1_strictly_better_than_k0(self):
+        program = compile_program(self.SOURCE)
+        k1 = analyze_kcfa(program, 1)
+        k0 = analyze_zerocfa(program)
+        comparison = flow_comparison(k1, k0)
+        assert comparison.left_at_least_as_precise
+        assert comparison.left_strictly_better > 0
+
+    def test_equal_results_compare_equal(self):
+        program = compile_program("(+ 1 2)")
+        one = analyze_mcfa(program, 1)
+        two = analyze_mcfa(program, 1)
+        assert flow_comparison(one, two).equal
+
+    def test_m1_vs_poly1_on_intervening_call(self):
+        program = compile_program(self.SOURCE)
+        m1 = analyze_mcfa(program, 1)
+        poly = analyze_poly_kcfa(program, 1)
+        comparison = flow_comparison(m1, poly)
+        assert comparison.left_at_least_as_precise
+        assert not comparison.right_at_least_as_precise
+
+    def test_average_flow_size(self):
+        program = compile_program(self.SOURCE)
+        k1 = analyze_kcfa(program, 1)
+        k0 = analyze_zerocfa(program)
+        assert average_flow_size(k0) >= average_flow_size(k1) > 0
+
+
+class TestComplexityFormulas:
+    def test_time_count(self):
+        program = compile_program("((lambda (x) x) 1)")
+        calls = program.stats()["calls"]
+        assert kcfa_time_count(program, 2) == calls ** 2
+        assert kcfa_time_count(program, 0) == 1
+
+    def test_benv_count_dominates(self):
+        program = compile_program("((lambda (x y) x) 1 2)")
+        assert kcfa_benv_count(program, 1) > \
+            kcfa_time_count(program, 1)
+
+    def test_heights_ordered(self):
+        program = compile_program(
+            "((lambda (a b c) (+ a b c)) 1 2 3)")
+        assert mcfa_lattice_height(program, 1) < \
+            kcfa_lattice_height(program, 1) < \
+            kcfa_naive_state_space(program, 1)
+
+    def test_bits_of_small_numbers(self):
+        assert bits(1) == 1
+        assert bits(0) == 1
+        assert bits(255) == 8
+
+    def test_growth_table_rows(self):
+        from repro.generators.worstcase import worst_case_program
+        programs = [worst_case_program(d) for d in (2, 3)]
+        rows = growth_table(programs, 1)
+        assert len(rows) == 2
+        assert rows[1]["kcfa_height_bits"] > rows[0]["kcfa_height_bits"]
+
+    def test_fj_poly_bits_polynomial(self):
+        from repro.fj import parse_fj
+        from repro.generators.worstcase import worst_case_fj_source
+        small = parse_fj(worst_case_fj_source(2), entry_method="run")
+        large = parse_fj(worst_case_fj_source(8), entry_method="run")
+        # polynomial: bits grow logarithmically-ish, far from 4x
+        assert bits(fj_poly_lattice_bits(large, 1)) < \
+            4 * bits(fj_poly_lattice_bits(small, 1))
+
+
+class TestTiming:
+    def test_timed_cell_success(self):
+        program = compile_program("(+ 1 2)")
+        cell = timed_cell(
+            lambda budget: analyze_mcfa(program, 1, budget), 10.0)
+        assert not cell.timed_out
+        assert cell.payload.halt_values
+
+    def test_timed_cell_timeout(self):
+        from repro.generators.worstcase import worst_case_program
+        program = worst_case_program(16)
+
+        def analyze(budget):
+            budget.max_steps = 100  # fail fast for the test
+            return analyze_kcfa(program, 1, budget)
+
+        cell = timed_cell(analyze, 60.0)
+        assert cell.timed_out
+
+    def test_format_cell(self):
+        assert format_cell(TimingCell(0.2, False)) == "ϵ"
+        assert format_cell(TimingCell(4.26, False)) == "4.3 s"
+        assert format_cell(TimingCell(75.0, False)) == "1 m 15 s"
+        assert format_cell(TimingCell(10.0, True)) == "∞"
+
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bb"], [["x", "y"], ["zz", "w"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+class TestPrecisionRow:
+    def test_row_runs_all_four(self):
+        program = compile_program("(define (f x) x) (f 1)")
+        row = precision_row(program, standard_analyses(), timeout=20)
+        assert set(row) == {"k=1", "m=1", "poly,k=1", "k=0"}
+        for cell in row.values():
+            assert cell.inlinings is not None
+
+    def test_inlinings_none_on_timeout(self):
+        from repro.generators.worstcase import worst_case_program
+        program = worst_case_program(16)
+        analyses = {
+            "k=1": lambda p, budget: analyze_kcfa(
+                p, 1, Budget(max_steps=100)),
+        }
+        row = precision_row(program, analyses, timeout=60)
+        assert row["k=1"].inlinings is None
+
+
+class TestBudget:
+    def test_unlimited_budget_never_raises(self):
+        budget = Budget().start()
+        for _ in range(10_000):
+            budget.charge()
+
+    def test_step_budget(self):
+        budget = Budget(max_steps=10).start()
+        with pytest.raises(AnalysisTimeout):
+            for _ in range(100):
+                budget.charge()
+
+    def test_time_budget(self):
+        import time
+        budget = Budget(max_seconds=0.01, check_every=1).start()
+        time.sleep(0.05)
+        with pytest.raises(AnalysisTimeout):
+            for _ in range(10):
+                budget.charge()
+
+    def test_exhausted_nonraising(self):
+        budget = Budget(max_steps=1).start()
+        budget.charge()
+        assert budget.exhausted()

@@ -1,0 +1,294 @@
+"""The paper's claims as executable assertions.
+
+Each test class corresponds to an experiment in DESIGN.md's index
+(E1–E8).  These are the integration tests that make the reproduction a
+reproduction.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, analyze_zerocfa,
+    AConst,
+)
+from repro.errors import AnalysisTimeout
+from repro.fj import analyze_fj_kcfa, parse_fj, run_fj
+from repro.generators.paradox import (
+    find_cxy_lambda, paradox_fj_source, paradox_functional_program,
+)
+from repro.generators.worstcase import worst_case_program
+from repro.metrics.complexity import (
+    bits, kcfa_lattice_height, mcfa_lattice_height,
+)
+from repro.scheme.cps_transform import compile_program
+from repro.util.budget import Budget
+
+
+class TestE1_Figure1_OOEnvironments:
+    """OO 1-CFA computes O(N+M) environments for the paradox program."""
+
+    @pytest.mark.parametrize("n,m", [(2, 2), (4, 4), (8, 8), (4, 8)])
+    def test_linear_environment_count(self, n, m):
+        program = parse_fj(paradox_fj_source(n, m),
+                           entry_method="caller")
+        result = analyze_fj_kcfa(program, 1)
+        envs = result.total_environments()
+        # measured form: 3(N+M) + 1 — linear, nowhere near N*M growth
+        assert envs == 3 * (n + m) + 1
+
+    def test_program_actually_runs(self):
+        program = parse_fj(paradox_fj_source(3, 3),
+                           entry_method="caller")
+        result = run_fj(program)
+        assert result.value.classname == "Object"
+
+    def test_closure_xy_objects_linear_in_m(self):
+        program = parse_fj(paradox_fj_source(5, 3),
+                           entry_method="caller")
+        result = analyze_fj_kcfa(program, 1)
+        # one abstract ClosureXY per bar-invocation context: M of them
+        assert len(result.objects_of_class("ClosureXY")) == 3
+
+    def test_closure_xy_x_field_merges_all_n(self):
+        """Figure 1's table: bar::ClosureXY.x -> [ox1, ..., oxN]."""
+        n, m = 4, 2
+        program = parse_fj(paradox_fj_source(n, m),
+                           entry_method="caller")
+        result = analyze_fj_kcfa(program, 1)
+        for obj in result.objects_of_class("ClosureXY"):
+            x_values = result.store.get(obj.benv["x"])
+            assert len(x_values) == n
+            y_values = result.store.get(obj.benv["y"])
+            assert len(y_values) == 1  # y stays per-context
+
+
+class TestE2_Figure2_FunctionalEnvironments:
+    """Functional 1-CFA computes O(N·M) environments (Figure 2)."""
+
+    @pytest.mark.parametrize("n,m", [(2, 2), (3, 4), (4, 4), (8, 4)])
+    def test_product_environment_count(self, n, m):
+        program = paradox_functional_program(n, m)
+        result = analyze_kcfa(program, 1)
+        cxy = find_cxy_lambda(program)
+        assert result.environment_count(cxy) == n * m
+
+    def test_mcfa_stays_small(self):
+        program = paradox_functional_program(6, 6)
+        result = analyze_mcfa(program, 1)
+        cxy = find_cxy_lambda(program)
+        assert result.environment_count(cxy) <= 2
+
+    def test_oo_vs_functional_separation_grows(self):
+        """The heart of the paradox: same program, same k, OO linear
+        vs functional multiplicative."""
+        for n, m in [(4, 4), (6, 6)]:
+            fun = analyze_kcfa(paradox_functional_program(n, m), 1)
+            cxy = find_cxy_lambda(fun.program)
+            oo = analyze_fj_kcfa(
+                parse_fj(paradox_fj_source(n, m),
+                         entry_method="caller"), 1)
+            assert fun.environment_count(cxy) == n * m
+            assert oo.total_environments() < n * m + 10
+
+
+class TestE3_LatticeHeights:
+    """§3.7 vs §5.4: exponential vs polynomial lattice sizes."""
+
+    @staticmethod
+    def _wide_program(params: int):
+        names = " ".join(f"a{i}" for i in range(params))
+        args = " ".join(["1"] * params)
+        return compile_program(f"((lambda ({names}) (+ {names})) {args})")
+
+    def test_kcfa_height_exponential_in_vars(self):
+        # bit-counts grow ~linearly in |Var|, i.e. the height itself
+        # grows exponentially (the |BEnv| = |Time|^|Var| factor).
+        small = bits(kcfa_lattice_height(self._wide_program(2), 1))
+        large = bits(kcfa_lattice_height(self._wide_program(16), 1))
+        assert large > 2.5 * small
+
+    def test_mcfa_height_polynomial(self):
+        # m-CFA bit-counts barely move: the height is polynomial.
+        small = bits(mcfa_lattice_height(self._wide_program(2), 1))
+        large = bits(mcfa_lattice_height(self._wide_program(16), 1))
+        assert large <= small + 4
+
+    def test_zero_cfa_heights_modest(self):
+        program = compile_program("((lambda (x) x) 1)")
+        assert kcfa_lattice_height(program, 0) < 10 ** 9
+
+
+class TestE4_WorstCaseTable:
+    """§6.1.1: k=1 blows up on Van Horn–Mairson terms; m=1, poly and
+    k=0 stay polynomial."""
+
+    def test_kcfa_steps_double_per_level(self):
+        steps = [analyze_kcfa(worst_case_program(d), 1).steps
+                 for d in (4, 6, 8)]
+        assert steps[1] / steps[0] > 3  # ~2 levels => ~4x
+        assert steps[2] / steps[1] > 3
+
+    def test_flat_analyses_grow_slowly(self):
+        for analyze in (lambda p: analyze_mcfa(p, 1),
+                        lambda p: analyze_poly_kcfa(p, 1),
+                        analyze_zerocfa):
+            steps = [analyze(worst_case_program(d)).steps
+                     for d in (4, 6, 8)]
+            assert steps[2] / steps[0] < 4  # polynomial growth
+
+    def test_kcfa_times_out_where_mcfa_finishes(self):
+        program = worst_case_program(14)
+        budget_steps = 30_000
+        with pytest.raises(AnalysisTimeout):
+            analyze_kcfa(program, 1, Budget(max_steps=budget_steps))
+        result = analyze_mcfa(program, 1,
+                              Budget(max_steps=budget_steps))
+        assert not result.timed_out
+
+    def test_exponential_closure_blowup_observable(self):
+        """2^n abstract environments close the inner lambda (§2.2)."""
+        depth = 6
+        program = worst_case_program(depth)
+        result = analyze_kcfa(program, 1)
+        inner = next(lam for lam in program.user_lams
+                     if any(p.startswith("z") for p in lam.params))
+        # every combination of the xi contexts materializes somewhere
+        # in the store: 2^depth distinct abstract closures of (λ (z) …)
+        closures = set()
+        for _addr, values in result.store.items():
+            closures |= {value for value in values
+                         if getattr(value, "lam", None) is inner}
+        assert len(closures) == 2 ** depth
+        # the halt flow pins the outermost binding (sequencing keeps
+        # only the second branch) and varies the other depth-1 levels
+        at_halt = {value for value in result.halt_values
+                   if getattr(value, "lam", None) is inner}
+        assert len(at_halt) == 2 ** (depth - 1)
+
+
+class TestE6_IdentityExample:
+    """§6's identity/do-something example, end to end."""
+
+    PLAIN = """
+    (define (identity x) x)
+    (identity 3)
+    (identity 4)
+    """
+    PERTURBED = """
+    (define (do-something) 42)
+    (define (identity x) (do-something) x)
+    (identity 3)
+    (identity 4)
+    """
+
+    def test_without_intervening_call_all_agree_on_4(self):
+        program = compile_program(self.PLAIN)
+        for analyze in (lambda p: analyze_kcfa(p, 1),
+                        lambda p: analyze_mcfa(p, 1),
+                        lambda p: analyze_poly_kcfa(p, 1)):
+            assert analyze(program).halt_values == {AConst(4)}
+
+    def test_with_intervening_call_poly_degenerates(self):
+        program = compile_program(self.PERTURBED)
+        assert analyze_kcfa(program, 1).halt_values == {AConst(4)}
+        assert analyze_mcfa(program, 1).halt_values == {AConst(4)}
+        poly = analyze_poly_kcfa(program, 1).halt_values
+        zero = analyze_zerocfa(program).halt_values
+        assert poly == zero == {AConst(3), AConst(4)}
+
+
+class TestE7_FJPolynomialVsFunctionalExponential:
+    """§4.4: the same k-CFA specification, applied to the same
+    closure-chain program, is polynomial in its OO form (explicit
+    closure classes copy all captured variables at once) and
+    exponential in its functional form."""
+
+    def test_fj_worst_case_scales_polynomially(self):
+        from repro.generators.worstcase import worst_case_fj_source
+        steps = []
+        for depth in (3, 6, 12):
+            program = parse_fj(worst_case_fj_source(depth),
+                               entry_method="run")
+            steps.append(analyze_fj_kcfa(program, 1).steps)
+        # doubling the depth roughly doubles the work — linear-ish
+        assert steps[1] / steps[0] < 6
+        assert steps[2] / steps[1] < 6
+
+    def test_functional_worst_case_scales_exponentially(self):
+        steps = [analyze_kcfa(worst_case_program(depth), 1).steps
+                 for depth in (3, 6, 9)]
+        assert steps[1] / steps[0] > 5
+        assert steps[2] / steps[1] > 5
+
+    def test_fj_worst_case_runs_concretely(self):
+        from repro.generators.worstcase import worst_case_fj_source
+        program = parse_fj(worst_case_fj_source(4), entry_method="run")
+        assert run_fj(program).value.classname == "Z"
+
+    def test_fj_worst_case_objects_linear(self):
+        """Explicit closing collapses contexts: 2 abstract closure
+        objects per level, not 2^level."""
+        from repro.generators.worstcase import worst_case_fj_source
+        depth = 8
+        program = parse_fj(worst_case_fj_source(depth),
+                           entry_method="run")
+        result = analyze_fj_kcfa(program, 1)
+        for level in range(2, depth + 1):
+            objs = result.objects_of_class(f"Clos{level}")
+            assert len(objs) <= 2
+
+
+class TestE8_HierarchyIdentities:
+    def test_m0_equals_k0_on_suite(self, suite_compiled):
+        for name, program in suite_compiled.items():
+            m0 = analyze_mcfa(program, 0)
+            k0 = analyze_kcfa(program, 0)
+            assert m0.halt_values == k0.halt_values, name
+            assert m0.supported_inlinings() == \
+                k0.supported_inlinings(), name
+
+    def test_m1_matches_k1_inlinings_on_suite(self, suite_compiled):
+        """§6.2's headline: m-CFA is as precise as k-CFA in practice."""
+        for name, program in suite_compiled.items():
+            k1 = analyze_kcfa(program, 1)
+            m1 = analyze_mcfa(program, 1)
+            assert m1.supported_inlinings() == \
+                k1.supported_inlinings(), name
+
+    def test_m1_cheaper_than_k1_on_suite(self, suite_compiled):
+        """...at a fraction of the cost (worklist steps as the
+        machine-independent cost measure)."""
+        slower = 0
+        for program in suite_compiled.values():
+            k1 = analyze_kcfa(program, 1)
+            m1 = analyze_mcfa(program, 1)
+            if m1.steps <= k1.steps:
+                slower += 1
+        assert slower >= 5  # m-CFA cheaper on almost every program
+
+    def test_poly_never_beats_m1_on_suite(self, suite_compiled):
+        """poly k=1 is never more precise than m=1 (§6.2)."""
+        for name, program in suite_compiled.items():
+            m1 = analyze_mcfa(program, 1)
+            poly = analyze_poly_kcfa(program, 1)
+            assert poly.supported_inlinings() <= \
+                m1.supported_inlinings(), name
+
+    def test_expected_inlining_table_shape(self, suite_compiled):
+        """The qualitative §6.2 pattern: eta, scm2java and scm2c show
+        poly-1 = 0CFA < m-1 = k-1; map shows only 0CFA losing."""
+        def inl(analyze, program):
+            return analyze(program).supported_inlinings()
+
+        for name in ("eta", "scm2java", "scm2c"):
+            program = suite_compiled[name]
+            k1 = inl(lambda p: analyze_kcfa(p, 1), program)
+            poly = inl(lambda p: analyze_poly_kcfa(p, 1), program)
+            zero = inl(analyze_zerocfa, program)
+            assert k1 > poly == zero, name
+
+        program = suite_compiled["map"]
+        k1 = inl(lambda p: analyze_kcfa(p, 1), program)
+        poly = inl(lambda p: analyze_poly_kcfa(p, 1), program)
+        zero = inl(analyze_zerocfa, program)
+        assert k1 == poly > zero

@@ -1,0 +1,102 @@
+"""Round-trip properties for the pretty printers.
+
+Pretty output must re-read to an equivalent program — checked
+structurally for hand-written programs and behaviourally (same
+concrete result) for random ones.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro.benchsuite import SUITE
+from repro.concrete import run_shared
+from repro.cps.parser import parse_cps
+from repro.cps.pretty import pretty_cps
+from repro.generators.random_programs import random_program
+from repro.scheme.desugar import desugar_program
+from repro.scheme.pretty import pretty
+from repro.scheme.values import scheme_repr
+
+SETTINGS = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSchemePretty:
+    # stable forms: desugaring is structurally idempotent for these
+    STABLE_SOURCES = [
+        "42",
+        "(lambda (x) x)",
+        "(if #t 1 2)",
+        "(letrec ((f (lambda (n) (f n)))) f)",
+        "(+ 1 (car (cons 2 '())))",
+        "'(a (b) 3)",
+    ]
+    # let introduces a fresh temp layer per desugar pass, so only the
+    # behavioural round-trip can hold for it
+    EVAL_SOURCES = STABLE_SOURCES[:1] + [
+        "(let ((x 1)) (+ x 1))",
+        "(let ((x 1) (y 2)) (cons x y))",
+        "(begin 1 2 3)",
+    ]
+
+    @pytest.mark.parametrize("source", STABLE_SOURCES)
+    def test_roundtrip_structural(self, source):
+        import re
+
+        def canonical(exp) -> str:
+            from repro.scheme.alpha import alpha_rename
+            from repro.util.gensym import GensymFactory
+            text = pretty(alpha_rename(exp, GensymFactory()))
+            return re.sub(r"%\d+", "%N", text)
+
+        exp = desugar_program(source)
+        again = desugar_program(pretty(exp))
+        assert canonical(again) == canonical(exp)
+
+    @pytest.mark.parametrize("source", EVAL_SOURCES)
+    def test_roundtrip_behavioural(self, source):
+        from repro.scheme.interp import run_source
+        exp = desugar_program(source)
+        assert scheme_repr(run_source(pretty(exp))) == \
+            scheme_repr(run_source(source))
+
+    def test_wide_forms_wrap(self):
+        source = ("(lambda (abcdefgh ijklmnop qrstuvwx) "
+                  "(+ abcdefgh ijklmnop qrstuvwx "
+                  "abcdefgh ijklmnop qrstuvwx))")
+        text = pretty(desugar_program(source), width=40)
+        assert "\n" in text
+        again = desugar_program(text)
+        assert pretty(again, width=40) == text
+
+
+class TestCPSPretty:
+    @pytest.mark.parametrize("bench", [b.name for b in SUITE])
+    def test_suite_roundtrip(self, bench, suite_compiled):
+        program = suite_compiled[bench]
+        reparsed = parse_cps(pretty_cps(program.root))
+        assert reparsed.stats() == program.stats()
+
+    @pytest.mark.parametrize("bench", ["eta", "sat"])
+    def test_suite_roundtrip_behavioural(self, bench, suite_compiled):
+        from repro.benchsuite import BY_NAME
+        program = suite_compiled[bench]
+        reparsed = parse_cps(pretty_cps(program.root))
+        assert run_shared(reparsed).value == BY_NAME[bench].expected
+
+    @given(seed=st.integers(0, 2 ** 32 - 1), depth=st.integers(1, 4))
+    @SETTINGS
+    def test_random_roundtrip_behavioural(self, seed, depth):
+        program = random_program(seed, depth)
+        reparsed = parse_cps(pretty_cps(program.root))
+        assert scheme_repr(run_shared(reparsed).value) == \
+            scheme_repr(run_shared(program).value)
+
+    @given(seed=st.integers(0, 2 ** 32 - 1), depth=st.integers(1, 4))
+    @SETTINGS
+    def test_random_roundtrip_structural(self, seed, depth):
+        program = random_program(seed, depth)
+        reparsed = parse_cps(pretty_cps(program.root))
+        assert reparsed.stats() == program.stats()

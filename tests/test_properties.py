@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) over randomly generated,
+well-typed, terminating programs.
+
+These are the strongest correctness checks in the repository:
+
+* differential testing — three evaluators, one answer;
+* α-containment soundness for every analysis at several k/m;
+* the [m=0] ≡ [k=0] theorem (§5.3) as an executable property;
+* structural invariants of the front end.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro.analysis import (
+    analyze_kcfa, analyze_mcfa, analyze_poly_kcfa, analyze_zerocfa,
+)
+from repro.analysis.abstraction import (
+    check_flat_soundness, check_kcfa_soundness,
+)
+from repro.concrete import run_flat, run_shared
+from repro.generators.random_programs import (
+    random_core_expression, random_program,
+)
+from repro.scheme.alpha import alpha_rename, check_unique_binders
+from repro.scheme.freevars import free_vars
+from repro.scheme.interp import evaluate
+from repro.scheme.values import values_equal
+
+SETTINGS = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.filter_too_much])
+
+seeds = st.integers(min_value=0, max_value=2 ** 32 - 1)
+depths = st.integers(min_value=1, max_value=5)
+
+
+class TestGeneratorInvariants:
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_generated_programs_closed(self, seed, depth):
+        exp = random_core_expression(seed, depth)
+        assert not free_vars(exp)
+
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_alpha_renaming_gives_unique_binders(self, seed, depth):
+        exp = alpha_rename(random_core_expression(seed, depth))
+        check_unique_binders(exp)
+
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_generated_programs_terminate(self, seed, depth):
+        value = evaluate(
+            alpha_rename(random_core_expression(seed, depth)),
+            fuel=200_000)
+        assert value is not None
+
+
+class TestDifferential:
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_three_evaluators_agree(self, seed, depth):
+        exp = alpha_rename(random_core_expression(seed, depth))
+        direct = evaluate(exp)
+        program = random_program(seed, depth)
+        shared = run_shared(program).value
+        flat = run_flat(program).value
+        assert values_equal(direct, shared)
+        assert values_equal(shared, flat)
+
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_flat_policies_agree_on_value(self, seed, depth):
+        program = random_program(seed, depth)
+        stack = run_flat(program, env_policy="stack").value
+        history = run_flat(program, env_policy="history").value
+        assert values_equal(stack, history)
+
+
+class TestSoundnessProperties:
+    @given(seed=seeds, depth=depths, k=st.integers(0, 2))
+    @SETTINGS
+    def test_kcfa_alpha_containment(self, seed, depth, k):
+        program = random_program(seed, depth)
+        concrete = run_shared(program, record_trace=True,
+                              time_mode="history")
+        report = check_kcfa_soundness(analyze_kcfa(program, k),
+                                      concrete)
+        assert report, report.violations[:3]
+
+    @given(seed=seeds, depth=depths, m=st.integers(0, 2))
+    @SETTINGS
+    def test_mcfa_alpha_containment(self, seed, depth, m):
+        program = random_program(seed, depth)
+        concrete = run_flat(program, record_trace=True,
+                            env_policy="stack")
+        report = check_flat_soundness(analyze_mcfa(program, m),
+                                      concrete)
+        assert report, report.violations[:3]
+
+    @given(seed=seeds, depth=depths, k=st.integers(0, 2))
+    @SETTINGS
+    def test_poly_kcfa_alpha_containment(self, seed, depth, k):
+        program = random_program(seed, depth)
+        concrete = run_flat(program, record_trace=True,
+                            env_policy="history")
+        report = check_flat_soundness(analyze_poly_kcfa(program, k),
+                                      concrete)
+        assert report, report.violations[:3]
+
+
+class TestHierarchyProperties:
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_m0_equals_k0(self, seed, depth):
+        """§5.3: [m = 0]CFA and [k = 0]CFA are the same analysis."""
+        program = random_program(seed, depth)
+        m0 = analyze_mcfa(program, 0)
+        k0 = analyze_kcfa(program, 0)
+        assert m0.halt_values == k0.halt_values
+        m0_callees = {label: frozenset(lam.label for lam in lams)
+                      for label, lams in m0.callees.items()}
+        k0_callees = {label: frozenset(lam.label for lam in lams)
+                      for label, lams in k0.callees.items()}
+        assert m0_callees == k0_callees
+
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_all_zero_variants_agree(self, seed, depth):
+        program = random_program(seed, depth)
+        zero = analyze_zerocfa(program)
+        poly0 = analyze_poly_kcfa(program, 0)
+        assert zero.halt_values == poly0.halt_values
+
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_analyses_deterministic(self, seed, depth):
+        program = random_program(seed, depth)
+        first = analyze_mcfa(program, 1)
+        second = analyze_mcfa(program, 1)
+        assert first.halt_values == second.halt_values
+        assert first.config_count == second.config_count
+        assert first.steps == second.steps
+
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_halt_values_nonempty_for_terminating(self, seed, depth):
+        # a terminating concrete run implies a nonempty abstract halt
+        # flow (the abstract must cover the concrete result)
+        program = random_program(seed, depth)
+        for result in (analyze_kcfa(program, 1),
+                       analyze_mcfa(program, 1)):
+            assert result.halt_values
+
+
+class TestStoreProperties:
+    @given(seed=seeds, depth=depths)
+    @SETTINGS
+    def test_flow_sets_monotone_in_k(self, seed, depth):
+        """Lower k merges more: every k=1 callee set is contained in
+        the k=0 callee set at the same site."""
+        program = random_program(seed, depth)
+        k0 = analyze_kcfa(program, 0)
+        k1 = analyze_kcfa(program, 1)
+        for label, callees in k1.callees.items():
+            merged = k0.callees.get(label, frozenset())
+            assert {lam.label for lam in callees} <= \
+                {lam.label for lam in merged}

@@ -1,0 +1,53 @@
+"""Tests for the suite-scaling generator."""
+
+import pytest
+
+from repro.analysis import analyze_mcfa
+from repro.benchsuite import BY_NAME
+from repro.benchsuite.scaling import (
+    scaled_expected, scaled_program, scaled_source,
+)
+from repro.concrete import run_shared
+
+
+class TestScaledPrograms:
+    @pytest.mark.parametrize("name", ["eta", "map", "sat"])
+    @pytest.mark.parametrize("copies", [1, 2, 4])
+    def test_scaled_programs_run_correctly(self, name, copies):
+        program = scaled_program(name, copies)
+        assert run_shared(program).value == scaled_expected(copies)
+
+    def test_terms_scale_linearly(self):
+        one = scaled_program("eta", 1).term_count()
+        four = scaled_program("eta", 4).term_count()
+        assert 3.2 * one < four < 4.5 * one
+
+    def test_inlinings_scale_linearly(self):
+        one = analyze_mcfa(scaled_program("map", 1),
+                           1).supported_inlinings()
+        three = analyze_mcfa(scaled_program("map", 3),
+                             1).supported_inlinings()
+        assert three == 3 * one
+
+    def test_copies_are_independent(self):
+        # each copy's definitions are renamed apart: no flow bleeding
+        program = scaled_program("eta", 2)
+        result = analyze_mcfa(program, 1)
+        # the analysis of one copy must not pollute the other: every
+        # inlinable site stays inlinable (would break if copies shared
+        # operators)
+        assert result.supported_inlinings() == 2 * analyze_mcfa(
+            scaled_program("eta", 1), 1).supported_inlinings()
+
+    def test_quoted_data_not_renamed(self):
+        # sat's quoted CNF literals must survive renaming untouched
+        program = scaled_program("sat", 2)
+        assert run_shared(program).value == 2
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            scaled_source(BY_NAME["eta"], 0)
+
+    def test_scaled_source_is_reparsable(self):
+        source = scaled_source(BY_NAME["map"], 2)
+        assert "c0_map1" in source and "c1_map1" in source

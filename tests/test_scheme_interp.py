@@ -1,0 +1,167 @@
+"""Tests for the direct-style reference interpreter."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError, FuelExhausted, UnboundVariableError,
+)
+from repro.scheme.interp import run_source
+from repro.scheme.primitives import SchemeUserError
+from repro.scheme.values import (
+    NilType, PairVal, VoidType, scheme_repr,
+)
+
+
+class TestBasics:
+    def test_number(self):
+        assert run_source("42") == 42
+
+    def test_application(self):
+        assert run_source("((lambda (x y) (+ x y)) 3 4)") == 7
+
+    def test_closure_capture(self):
+        assert run_source(
+            "(((lambda (x) (lambda (y) (- x y))) 10) 4)") == 6
+
+    def test_if_truthiness(self):
+        assert run_source("(if 0 'yes 'no)") == "yes"  # 0 is truthy
+        assert run_source("(if #f 'yes 'no)") == "no"
+
+    def test_deep_recursion_no_stack_overflow(self):
+        source = """
+        (define (count n acc) (if (= n 0) acc (count (- n 1) (+ acc 1))))
+        (count 50000 0)
+        """
+        assert run_source(source) == 50000
+
+    def test_non_tail_recursion(self):
+        assert run_source(
+            "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1)))))"
+            "(sum 1000)") == 500500
+
+
+class TestValues:
+    def test_quoted_list(self):
+        result = run_source("'(1 2 3)")
+        assert isinstance(result, PairVal)
+        assert scheme_repr(result) == "(1 2 3)"
+
+    def test_cons_car_cdr(self):
+        assert run_source("(car (cons 1 2))") == 1
+        assert run_source("(cdr (cons 1 2))") == 2
+
+    def test_null(self):
+        assert isinstance(run_source("'()"), NilType)
+        assert run_source("(null? '())") is True
+        assert run_source("(null? '(1))") is False
+
+    def test_void(self):
+        assert isinstance(run_source("(void)"), VoidType)
+
+    def test_symbols_and_eq(self):
+        assert run_source("(eq? 'a 'a)") is True
+        assert run_source("(eq? 'a 'b)") is False
+
+    def test_equal_structural(self):
+        assert run_source("(equal? '(1 (2)) (list 1 (list 2)))") is True
+
+    def test_procedure_predicate(self):
+        assert run_source("(procedure? (lambda (x) x))") is True
+        assert run_source("(procedure? 3)") is False
+
+    def test_booleans_not_numbers(self):
+        assert run_source("(eq? #t 1)") is False
+        assert run_source("(number? #t)") is False
+
+
+class TestArithmetic:
+    def test_variadic_plus(self):
+        assert run_source("(+)") == 0
+        assert run_source("(+ 1 2 3 4)") == 10
+
+    def test_unary_minus(self):
+        assert run_source("(- 5)") == -5
+
+    def test_quotient_truncates_toward_zero(self):
+        assert run_source("(quotient 7 2)") == 3
+        assert run_source("(quotient -7 2)") == -3
+
+    def test_remainder_sign(self):
+        assert run_source("(remainder -7 2)") == -1
+
+    def test_modulo_sign(self):
+        assert run_source("(modulo -7 2)") == 1
+
+    def test_chained_comparison(self):
+        assert run_source("(< 1 2 3)") is True
+        assert run_source("(< 1 3 2)") is False
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            run_source("(quotient 1 0)")
+
+    def test_type_error(self):
+        with pytest.raises(EvaluationError):
+            run_source("(+ 1 'a)")
+
+
+class TestStrings:
+    def test_string_append(self):
+        assert run_source('(string-append "a" "b" "c")') == "abc"
+
+    def test_symbol_to_string(self):
+        assert run_source("(symbol->string 'hello)") == "hello"
+
+    def test_number_to_string(self):
+        assert run_source("(number->string -3)") == "-3"
+
+    def test_string_equal(self):
+        assert run_source('(string=? "x" "x")') is True
+
+
+class TestErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(UnboundVariableError):
+            run_source("nope")
+
+    def test_apply_non_procedure(self):
+        with pytest.raises(EvaluationError):
+            run_source("(1 2)")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(EvaluationError):
+            run_source("((lambda (x) x) 1 2)")
+
+    def test_user_error(self):
+        with pytest.raises(SchemeUserError):
+            run_source("(error 'boom 42)")
+
+    def test_fuel_exhaustion(self):
+        source = "(define (loop) (loop)) (loop)"
+        with pytest.raises(FuelExhausted):
+            run_source(source, fuel=1000)
+
+    def test_car_of_non_pair(self):
+        with pytest.raises(EvaluationError):
+            run_source("(car 5)")
+
+
+class TestLexicalScope:
+    def test_closure_over_let(self):
+        source = """
+        (define (make) (let ((n 10)) (lambda (d) (+ n d))))
+        ((make) 5)
+        """
+        assert run_source(source) == 15
+
+    def test_shadowing(self):
+        assert run_source(
+            "((lambda (x) ((lambda (x) x) 2)) 1)") == 2
+
+    def test_letrec_closures_share_env(self):
+        source = """
+        (letrec ((ping (lambda (n) (if (= n 0) 'ping (pong (- n 1)))))
+                 (pong (lambda (n) (if (= n 0) 'pong (ping (- n 1))))))
+          (ping 5))
+        """
+        assert str(run_source(source)) == "pong"

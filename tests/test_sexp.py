@@ -1,0 +1,189 @@
+"""Tests for the S-expression reader and writer."""
+
+import pytest
+
+from repro.errors import SchemeSyntaxError
+from repro.scheme.sexp import (
+    Position, SexpList, Symbol, iter_symbols, parse_sexp, parse_sexps,
+    sexp_equal, write_sexp,
+)
+
+
+class TestAtoms:
+    def test_integer(self):
+        assert parse_sexp("42") == 42
+
+    def test_negative_integer(self):
+        assert parse_sexp("-17") == -17
+
+    def test_explicit_positive(self):
+        assert parse_sexp("+3") == 3
+
+    def test_symbol(self):
+        datum = parse_sexp("foo")
+        assert isinstance(datum, Symbol)
+        assert datum == "foo"
+
+    def test_symbol_with_punctuation(self):
+        assert parse_sexp("list->vector!?") == "list->vector!?"
+
+    def test_true(self):
+        assert parse_sexp("#t") is True
+
+    def test_false(self):
+        assert parse_sexp("#f") is False
+
+    def test_string(self):
+        assert parse_sexp('"hello world"') == "hello world"
+
+    def test_string_escapes(self):
+        assert parse_sexp(r'"a\nb\tc\"d\\e"') == 'a\nb\tc"d\\e'
+
+    def test_string_is_not_symbol(self):
+        assert not isinstance(parse_sexp('"sym"'), Symbol)
+
+    def test_arithmetic_symbols(self):
+        assert isinstance(parse_sexp("+"), Symbol)
+        assert isinstance(parse_sexp("-"), Symbol)
+
+    def test_number_like_symbol(self):
+        assert isinstance(parse_sexp("1+"), Symbol)
+
+
+class TestLists:
+    def test_empty_list(self):
+        datum = parse_sexp("()")
+        assert isinstance(datum, SexpList)
+        assert len(datum) == 0
+
+    def test_flat_list(self):
+        assert parse_sexp("(1 2 3)") == (1, 2, 3)
+
+    def test_nested_list(self):
+        assert parse_sexp("(a (b (c)) d)") == \
+            ("a", ("b", ("c",)), "d")
+
+    def test_square_brackets(self):
+        assert parse_sexp("[1 2]") == (1, 2)
+
+    def test_mixed_brackets(self):
+        assert parse_sexp("(let ([x 1]) x)") == \
+            ("let", (("x", 1),), "x")
+
+    def test_mismatched_brackets_rejected(self):
+        with pytest.raises(SchemeSyntaxError):
+            parse_sexp("(1 2]")
+
+    def test_unterminated_list(self):
+        with pytest.raises(SchemeSyntaxError):
+            parse_sexp("(1 2")
+
+    def test_stray_closer(self):
+        with pytest.raises(SchemeSyntaxError):
+            parse_sexp(")")
+
+
+class TestQuoteSugar:
+    def test_quote(self):
+        assert parse_sexp("'x") == ("quote", "x")
+
+    def test_quoted_list(self):
+        assert parse_sexp("'(1 2)") == ("quote", (1, 2))
+
+    def test_quasiquote(self):
+        assert parse_sexp("`x") == ("quasiquote", "x")
+
+    def test_unquote(self):
+        assert parse_sexp(",x") == ("unquote", "x")
+
+    def test_unquote_splicing(self):
+        assert parse_sexp(",@xs") == ("unquote-splicing", "xs")
+
+    def test_nested_quotes(self):
+        assert parse_sexp("''a") == ("quote", ("quote", "a"))
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert parse_sexps("1 ; comment\n2") == [1, 2]
+
+    def test_comment_at_eof(self):
+        assert parse_sexps("42 ; trailing") == [42]
+
+    def test_block_comment(self):
+        assert parse_sexps("1 #| block |# 2") == [1, 2]
+
+    def test_nested_block_comment(self):
+        assert parse_sexps("1 #| a #| b |# c |# 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SchemeSyntaxError):
+            parse_sexps("1 #| nope")
+
+    def test_datum_comment(self):
+        assert parse_sexps("1 #;(skipped datum) 2") == [1, 2]
+
+
+class TestPositions:
+    def test_symbol_position(self):
+        datum = parse_sexp("\n  foo")
+        assert datum.pos == Position(2, 3)
+
+    def test_list_position(self):
+        datum = parse_sexp("\n\n(a)")
+        assert datum.pos.line == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(SchemeSyntaxError) as exc_info:
+            parse_sexp('"unterminated')
+        assert exc_info.value.line == 1
+
+
+class TestMultipleData:
+    def test_parse_sexps(self):
+        assert parse_sexps("1 2 3") == [1, 2, 3]
+
+    def test_parse_sexp_rejects_multiple(self):
+        with pytest.raises(SchemeSyntaxError):
+            parse_sexp("1 2")
+
+    def test_parse_sexp_rejects_empty(self):
+        with pytest.raises(SchemeSyntaxError):
+            parse_sexp("   ; nothing\n")
+
+
+class TestWriter:
+    @pytest.mark.parametrize("text", [
+        "42", "#t", "#f", "foo", "(1 2 3)", "(a (b c) ())",
+        '"str"', "(quote x)",
+    ])
+    def test_roundtrip(self, text):
+        datum = parse_sexp(text)
+        again = parse_sexp(write_sexp(datum))
+        assert sexp_equal(datum, again)
+
+    def test_write_string_escapes(self):
+        assert write_sexp('a"b') == '"a\\"b"'
+
+    def test_write_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            write_sexp(3.14)
+
+
+class TestSexpEqual:
+    def test_symbol_vs_string_distinct(self):
+        assert not sexp_equal(Symbol("a"), "a")
+        assert not sexp_equal("a", Symbol("a"))
+
+    def test_bool_vs_int_distinct(self):
+        assert not sexp_equal(True, 1)
+        assert not sexp_equal(0, False)
+
+    def test_lists_compare_structurally(self):
+        assert sexp_equal(parse_sexp("(1 (2) 3)"), parse_sexp("(1 (2) 3)"))
+
+
+class TestIterSymbols:
+    def test_finds_all_symbols(self):
+        datum = parse_sexp("(a 1 (b #t) c)")
+        assert [str(s) for s in iter_symbols(datum)] == ["a", "b", "c"]

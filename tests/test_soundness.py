@@ -1,0 +1,132 @@
+"""Machine-checked soundness (paper §3.5) for every functional
+analysis, on hand-picked and suite programs."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_kcfa, analyze_kcfa_naive, analyze_mcfa, analyze_poly_kcfa,
+)
+from repro.analysis.abstraction import (
+    check_flat_soundness, check_kcfa_soundness,
+)
+from repro.concrete import run_flat, run_shared
+from repro.scheme.cps_transform import compile_program
+
+SOURCES = {
+    "const": "42",
+    "apply": "((lambda (x y) (+ x y)) 1 2)",
+    "closures": """
+        (define (make-adder n) (lambda (x) (+ x n)))
+        (cons ((make-adder 1) 10) ((make-adder 2) 20))
+    """,
+    "fact": ("(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))"
+             "(fact 4)"),
+    "lists": """
+        (define (map2 f xs)
+          (if (null? xs) '() (cons (f (car xs)) (map2 f (cdr xs)))))
+        (map2 (lambda (v) (cons v v)) (list 1 2))
+    """,
+    "hof": """
+        (define (compose f g) (lambda (x) (f (g x))))
+        ((compose (lambda (a) (cons a 1)) (lambda (b) (cons 2 b))) 's)
+    """,
+    "branching": """
+        (define (pick b) (if b (lambda (x) (+ x 1)) (lambda (y) (* y 2))))
+        (cons ((pick #t) 3) ((pick (= 1 2)) 4))
+    """,
+    "intervening": """
+        (define (noise) 0)
+        (define (identity x) (noise) x)
+        (cons (identity 3) (identity 4))
+    """,
+}
+
+
+@pytest.mark.parametrize("name", SOURCES)
+@pytest.mark.parametrize("k", [0, 1, 2])
+class TestKCFASoundness:
+    def test_single_threaded(self, name, k):
+        program = compile_program(SOURCES[name])
+        concrete = run_shared(program, record_trace=True,
+                              time_mode="history")
+        result = analyze_kcfa(program, k)
+        report = check_kcfa_soundness(result, concrete)
+        assert report, report.violations[:5]
+
+
+@pytest.mark.parametrize("name", SOURCES)
+@pytest.mark.parametrize("m", [0, 1, 2])
+class TestMCFASoundness:
+    def test_flat_stack(self, name, m):
+        program = compile_program(SOURCES[name])
+        concrete = run_flat(program, record_trace=True,
+                            env_policy="stack")
+        result = analyze_mcfa(program, m)
+        report = check_flat_soundness(result, concrete)
+        assert report, report.violations[:5]
+
+
+@pytest.mark.parametrize("name", SOURCES)
+@pytest.mark.parametrize("k", [0, 1, 2])
+class TestPolyKCFASoundness:
+    def test_flat_history(self, name, k):
+        program = compile_program(SOURCES[name])
+        concrete = run_flat(program, record_trace=True,
+                            env_policy="history")
+        result = analyze_poly_kcfa(program, k)
+        report = check_flat_soundness(result, concrete)
+        assert report, report.violations[:5]
+
+
+class TestNaiveSoundness:
+    @pytest.mark.parametrize("name", ["const", "apply", "closures"])
+    def test_naive_engine_covers_concrete(self, name):
+        program = compile_program(SOURCES[name])
+        concrete = run_shared(program, record_trace=True,
+                              time_mode="history")
+        result = analyze_kcfa_naive(program, 1)
+        report = check_kcfa_soundness(result, concrete)
+        assert report, report.violations[:5]
+
+
+class TestSuiteSoundness:
+    """Soundness on the real §6.2 programs (m-CFA, the paper's
+    contribution, checked on every suite program)."""
+
+    @pytest.mark.parametrize("bench_name", [
+        "eta", "map", "sat", "regex", "interp", "scm2java", "scm2c",
+    ])
+    def test_mcfa_sound_on_suite(self, bench_name, suite_compiled):
+        program = suite_compiled[bench_name]
+        concrete = run_flat(program, record_trace=True,
+                            env_policy="stack")
+        result = analyze_mcfa(program, 1)
+        report = check_flat_soundness(result, concrete)
+        assert report, report.violations[:5]
+
+    @pytest.mark.parametrize("bench_name", ["eta", "map", "scm2java"])
+    def test_kcfa_sound_on_smaller_suite(self, bench_name,
+                                         suite_compiled):
+        program = suite_compiled[bench_name]
+        concrete = run_shared(program, record_trace=True,
+                              time_mode="history")
+        result = analyze_kcfa(program, 1)
+        report = check_kcfa_soundness(result, concrete)
+        assert report, report.violations[:5]
+
+
+class TestReportAPI:
+    def test_report_truthiness(self):
+        program = compile_program("1")
+        concrete = run_shared(program, record_trace=True,
+                              time_mode="history")
+        report = check_kcfa_soundness(analyze_kcfa(program, 1),
+                                      concrete)
+        assert bool(report) is True
+        assert "SOUND" in report.summary()
+
+    def test_history_mode_required(self):
+        program = compile_program("((lambda (x) x) 1)")
+        concrete = run_shared(program, record_trace=True)  # integer
+        with pytest.raises(TypeError):
+            check_kcfa_soundness(analyze_kcfa(program, 1), concrete)

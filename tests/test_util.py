@@ -1,0 +1,113 @@
+"""Tests for the worklist engines and other shared infrastructure."""
+
+import pytest
+
+from repro.util.fixpoint import DependencyWorklist, Worklist
+
+
+class TestWorklist:
+    def test_fifo_order(self):
+        worklist = Worklist([1, 2, 3])
+        assert [worklist.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_lifo_order(self):
+        worklist = Worklist([1, 2, 3], lifo=True)
+        assert [worklist.pop() for _ in range(3)] == [3, 2, 1]
+
+    def test_dedup(self):
+        worklist = Worklist()
+        assert worklist.add(1) is True
+        assert worklist.add(1) is False
+        assert len(worklist) == 1
+
+    def test_add_all_counts(self):
+        worklist = Worklist([1])
+        assert worklist.add_all([1, 2, 3]) == 2
+
+    def test_seen_accumulates(self):
+        worklist = Worklist([1, 2])
+        worklist.pop()
+        assert worklist.seen == {1, 2}
+
+    def test_reset_seen(self):
+        worklist = Worklist([1])
+        worklist.pop()
+        worklist.reset_seen()
+        assert worklist.add(1) is True
+
+    def test_bool(self):
+        worklist = Worklist()
+        assert not worklist
+        worklist.add("x")
+        assert worklist
+
+
+class TestDependencyWorklist:
+    def test_basic_flow(self):
+        worklist = DependencyWorklist()
+        worklist.add("config-a")
+        item = worklist.pop()
+        worklist.record_reads(item, ["addr1", "addr2"])
+        assert not worklist
+        assert worklist.dirty(["addr1"]) == 1
+        assert worklist.pop() == "config-a"
+
+    def test_dirty_unknown_address_noop(self):
+        worklist = DependencyWorklist()
+        assert worklist.dirty(["nowhere"]) == 0
+
+    def test_no_duplicate_pending(self):
+        worklist = DependencyWorklist()
+        worklist.add("c")
+        worklist.pop()
+        worklist.record_reads("c", ["a"])
+        worklist.dirty(["a"])
+        worklist.dirty(["a"])  # still pending: not enqueued twice
+        assert len(worklist) == 1
+
+    def test_seen_is_monotone(self):
+        worklist = DependencyWorklist()
+        worklist.add("x")
+        worklist.add("y")
+        assert worklist.seen == {"x", "y"}
+        worklist.pop()
+        assert worklist.seen == {"x", "y"}
+
+    def test_readd_of_seen_config_rejected(self):
+        worklist = DependencyWorklist()
+        worklist.add("x")
+        worklist.pop()
+        assert worklist.add("x") is False
+
+    def test_multiple_readers(self):
+        worklist = DependencyWorklist()
+        for config in ("a", "b"):
+            worklist.add(config)
+            worklist.pop()
+            worklist.record_reads(config, ["shared"])
+        assert worklist.dirty(["shared"]) == 2
+
+
+class TestGensymCollisionFreedom:
+    def test_cps_names_do_not_collide_with_alpha(self):
+        """The pipeline shares one factory: a user variable named k
+        must never alias a generated continuation variable."""
+        from repro.scheme.cps_transform import compile_program
+        program = compile_program(
+            "((lambda (k rv j) (+ k rv j)) 1 2 3)")
+        # Program construction validates unique binders; reaching here
+        # is the assertion.  The renamed user k and the generated
+        # continuation k are distinct names:
+        k_named = [name for name in program.variables
+                   if name.startswith("k")]
+        assert len(k_named) == len(set(k_named)) >= 2
+
+    def test_gensym_above_scans_existing_names(self):
+        from repro.scheme.cps_transform import cps_convert
+        from repro.scheme.desugar import desugar_expression
+        from repro.scheme.alpha import alpha_rename
+        exp = alpha_rename(desugar_expression(
+            "((lambda (x) x) ((lambda (y) y) 1))"))
+        program = cps_convert(exp)  # no factory passed: must rescan
+        names = program.variables
+        assert len(names) == len(set(names))

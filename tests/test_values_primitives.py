@@ -1,0 +1,148 @@
+"""Unit tests for runtime values and the primitive table."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.scheme.primitives import (
+    FLOW_RELEVANT_KINDS, Primitive, SchemeUserError, is_primitive_name,
+    lookup_primitive, primitive_names,
+)
+from repro.scheme.sexp import Symbol
+from repro.scheme.values import (
+    NIL, VOID, NilType, PairVal, ProcedureValue, VoidType,
+    datum_to_value, is_truthy, iter_scheme_list, scheme_list,
+    scheme_repr, values_equal, values_eqv,
+)
+
+
+class TestValueConstruction:
+    def test_nil_singleton(self):
+        assert NilType() is not NIL  # distinct instances exist...
+        assert isinstance(NIL, NilType)  # ...but type checks suffice
+
+    def test_scheme_list_builds_pairs(self):
+        value = scheme_list(1, 2, 3)
+        assert isinstance(value, PairVal)
+        assert list(iter_scheme_list(value)) == [1, 2, 3]
+
+    def test_empty_scheme_list(self):
+        assert isinstance(scheme_list(), NilType)
+
+    def test_improper_list_iteration_raises(self):
+        with pytest.raises(EvaluationError):
+            list(iter_scheme_list(PairVal(1, 2)))
+
+    def test_datum_to_value_nested(self):
+        value = datum_to_value((1, (2, 3), Symbol("s")))
+        assert scheme_repr(value) == "(1 (2 3) s)"
+
+    def test_datum_to_value_rejects_junk(self):
+        with pytest.raises(EvaluationError):
+            datum_to_value(object())
+
+
+class TestTruthinessAndEquality:
+    def test_only_false_is_falsy(self):
+        assert not is_truthy(False)
+        for value in (0, "", NIL, VOID, True, PairVal(1, 2)):
+            assert is_truthy(value)
+
+    def test_eqv_type_sensitivity(self):
+        assert not values_eqv(True, 1)
+        assert not values_eqv(0, False)
+        assert values_eqv(3, 3)
+        assert not values_eqv(3, "3")
+
+    def test_eqv_symbols(self):
+        assert values_eqv(Symbol("a"), Symbol("a"))
+        assert not values_eqv(Symbol("a"), Symbol("b"))
+
+    def test_equal_recursive(self):
+        left = scheme_list(1, scheme_list(2), 3)
+        right = scheme_list(1, scheme_list(2), 3)
+        assert values_equal(left, right)
+        assert not values_eqv(left, right)  # different objects
+
+    def test_scheme_repr_forms(self):
+        assert scheme_repr(True) == "#t"
+        assert scheme_repr(PairVal(1, 2)) == "(1 . 2)"
+        assert scheme_repr(scheme_list(1, 2)) == "(1 2)"
+        assert scheme_repr("s") == '"s"'
+        assert scheme_repr(Symbol("s")) == "s"
+
+
+class TestPrimitiveTable:
+    def test_lookup_known(self):
+        prim = lookup_primitive("cons")
+        assert isinstance(prim, Primitive)
+        assert prim.kind == "cons"
+
+    def test_lookup_unknown(self):
+        assert lookup_primitive("frobnicate") is None
+        assert not is_primitive_name("frobnicate")
+
+    def test_primitive_names_frozen(self):
+        names = primitive_names()
+        assert "car" in names and "+" in names
+
+    def test_every_kind_valid(self):
+        valid = {"basic", "cons", "car", "cdr", "error"}
+        for name in primitive_names():
+            assert lookup_primitive(name).kind in valid, name
+
+    def test_flow_relevant_kinds(self):
+        assert FLOW_RELEVANT_KINDS == {"cons", "car", "cdr"}
+
+    def test_arity_check_messages(self):
+        prim = lookup_primitive("cons")
+        with pytest.raises(EvaluationError, match="cons expects 2"):
+            prim.apply((1,))
+
+    def test_variadic_arity(self):
+        prim = lookup_primitive("+")
+        assert prim.apply(()) == 0
+        assert prim.apply((1, 2, 3, 4, 5)) == 15
+
+    def test_minimum_arity_enforced(self):
+        prim = lookup_primitive("-")
+        with pytest.raises(EvaluationError):
+            prim.apply(())
+
+    def test_error_primitive_raises_user_error(self):
+        prim = lookup_primitive("error")
+        with pytest.raises(SchemeUserError):
+            prim.apply((Symbol("boom"),))
+
+    def test_display_returns_void(self):
+        prim = lookup_primitive("display")
+        assert isinstance(prim.apply((1, 2)), VoidType)
+
+    def test_procedure_predicate_on_marker(self):
+        class FakeProc(ProcedureValue):
+            pass
+        prim = lookup_primitive("procedure?")
+        assert prim.apply((FakeProc(),)) is True
+        assert prim.apply((42,)) is False
+
+    def test_string_primitives(self):
+        assert lookup_primitive("symbol->string").apply(
+            (Symbol("abc"),)) == "abc"
+        with pytest.raises(EvaluationError):
+            lookup_primitive("symbol->string").apply(("str",))
+        assert lookup_primitive("string-append").apply(
+            ("a", "b")) == "ab"
+        with pytest.raises(EvaluationError):
+            lookup_primitive("string-append").apply((Symbol("s"),))
+
+    def test_length(self):
+        prim = lookup_primitive("length")
+        assert prim.apply((scheme_list(1, 2, 3),)) == 3
+        with pytest.raises(EvaluationError):
+            prim.apply((PairVal(1, 2),))
+
+    def test_zero_predicate(self):
+        prim = lookup_primitive("zero?")
+        assert prim.apply((0,)) is True
+        assert prim.apply((3,)) is False
+        with pytest.raises(EvaluationError):
+            prim.apply((False,))
