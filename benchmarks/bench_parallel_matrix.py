@@ -1,0 +1,55 @@
+"""Serial vs. parallel batch runner on the scaled §6.2 matrix.
+
+Runs the same benchmark matrix twice through
+:mod:`repro.benchsuite.runner` — once in-process (serial) and once
+fanned across all cores — and reports the wall-clock speedup.  On a
+multi-core machine the parallel run should approach
+``min(jobs, tasks)``× for matrices whose cells are comparably sized;
+this harness is how that perf claim is checked from this PR forward.
+
+Standalone::
+
+    python benchmarks/bench_parallel_matrix.py [copies] [jobs]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.benchsuite.runner import build_matrix, run_batch
+from repro.metrics.timing import format_table
+
+PROGRAMS = ("eta", "map", "regex", "interp")
+ANALYSES = ("kcfa", "mcfa", "poly", "zero")
+CONTEXTS = (0, 1)
+
+
+def generate_table(copies: int = 2, jobs: int | None = None):
+    jobs = jobs or os.cpu_count() or 1
+    tasks = build_matrix(PROGRAMS, ANALYSES, CONTEXTS, copies=copies,
+                         timeout=120.0)
+    serial = run_batch(tasks, serial=True)
+    parallel = run_batch(tasks, jobs=jobs)
+    headers = ["mode", "jobs", "tasks", "ok", "wall s", "speedup"]
+    rows = []
+    for label, report in (("serial", serial), ("parallel", parallel)):
+        speedup = serial.elapsed / report.elapsed \
+            if report.elapsed else float("inf")
+        rows.append([label, str(report.jobs), str(len(report.rows)),
+                     str(len(report.ok_rows)),
+                     f"{report.elapsed:.2f}", f"{speedup:.2f}x"])
+    return headers, rows
+
+
+def main():
+    copies = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else None
+    print(f"Parallel batch runner on the scaled suite "
+          f"(copies={copies}):\n")
+    headers, rows = generate_table(copies, jobs)
+    print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

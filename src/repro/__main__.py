@@ -8,6 +8,8 @@ Commands:
 * ``fj FILE`` — parse and analyze a Featherweight Java file.
 * ``tables`` — regenerate the paper's tables (delegates to the
   benchmark harnesses).
+* ``bench`` — run the benchmark matrix in parallel and write a
+  ``BENCH_*.json`` report.
 
 Examples::
 
@@ -15,6 +17,8 @@ Examples::
     python -m repro analyze prog.scm --analysis kcfa -n 2 --simplify
     python -m repro fj prog.java --entry-method caller -k 1
     python -m repro tables --table worstcase --timeout 5
+    python -m repro bench --quick
+    python -m repro bench --copies 4 --contexts 0,1,2 --jobs 8
 """
 
 from __future__ import annotations
@@ -96,6 +100,31 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "identity", "fj-vs-fun", "ablation"],
                         default="identity")
     tables.add_argument("--timeout", type=float, default=10.0)
+
+    bench = commands.add_parser(
+        "bench", help="run the benchmark matrix in parallel")
+    bench.add_argument("--programs", default=None,
+                       help="comma-separated program names "
+                            "(default: whole suite + FJ examples)")
+    bench.add_argument("--analyses", default=None,
+                       help="comma-separated analyses "
+                            "(default: kcfa,mcfa,poly,zero,"
+                            "fj-kcfa,fj-poly)")
+    bench.add_argument("--contexts", default="0,1",
+                       help="comma-separated k/m values (default 0,1)")
+    bench.add_argument("--copies", type=int, default=1,
+                       help="scale factor for Scheme programs")
+    bench.add_argument("--timeout", type=float, default=30.0,
+                       help="per-task wall-clock budget in seconds")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    bench.add_argument("--serial", action="store_true",
+                       help="run in-process (the parallel baseline)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small smoke matrix (CI)")
+    bench.add_argument("--output", default=None,
+                       help="report path ('-' to skip writing; "
+                            "default BENCH_<timestamp>.json)")
     return parser
 
 
@@ -170,6 +199,61 @@ def _cmd_fj(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.benchsuite.runner import (
+        DEFAULT_ANALYSES, build_matrix, default_programs,
+        default_report_path, run_batch,
+    )
+    from repro.reporting import bench_report_table
+    if args.quick:
+        overridden = [flag for flag, value in
+                      [("--programs", args.programs),
+                       ("--analyses", args.analyses),
+                       ("--contexts", args.contexts != "0,1"),
+                       ("--copies", args.copies != 1)] if value]
+        if overridden:
+            print(f"warning: --quick uses a fixed smoke matrix; "
+                  f"ignoring {', '.join(overridden)}",
+                  file=sys.stderr)
+        programs = ["eta", "map", "pairs"]
+        analyses = ["mcfa", "zero", "fj-poly"]
+        contexts = [0, 1]
+        copies = 1
+        timeout = min(args.timeout, 10.0)
+    else:
+        programs = (args.programs.split(",") if args.programs
+                    else default_programs())
+        analyses = (args.analyses.split(",") if args.analyses
+                    else list(DEFAULT_ANALYSES))
+        try:
+            contexts = [int(value)
+                        for value in args.contexts.split(",")]
+        except ValueError:
+            print(f"error: --contexts must be comma-separated "
+                  f"integers, got {args.contexts!r}", file=sys.stderr)
+            return 1
+        copies = args.copies
+        timeout = args.timeout
+    tasks = build_matrix(programs, analyses, contexts, copies=copies,
+                         timeout=timeout)
+    if not tasks:
+        print("error: empty benchmark matrix", file=sys.stderr)
+        return 1
+    print(f"bench: {len(tasks)} tasks "
+          f"({len(programs)} programs x {len(analyses)} analyses "
+          f"x {len(contexts)} contexts)", file=sys.stderr)
+    report = run_batch(
+        tasks, jobs=args.jobs, serial=args.serial,
+        progress=lambda line: print(line, file=sys.stderr, flush=True))
+    print(bench_report_table(report))
+    output = args.output
+    if output != "-":
+        path = report.write(output or default_report_path())
+        print(f"report written to {path}", file=sys.stderr)
+    return 0 if all(row["status"] != "error"
+                    for row in report.rows) else 1
+
+
 def _cmd_tables(args) -> int:
     if args.table == "worstcase":
         from benchmarks.bench_table1_worstcase import generate_table
@@ -201,6 +285,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "fj": _cmd_fj,
         "tables": _cmd_tables,
+        "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)

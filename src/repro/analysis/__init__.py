@@ -11,8 +11,13 @@ from repro.analysis.domains import (
     EMPTY_BENV, FClo, FlatEnvAbs, FrozenStore, KClo, Time,
     abstract_literal, first_k, maybe_falsy, maybe_truthy,
 )
+from repro.analysis.engine import (
+    EngineOptions, EngineRun, Machine, NaiveState, run_naive,
+    run_single_store,
+)
 from repro.analysis.kcfa import (
     KCFAMachine, KConfig, Recorder, analyze_kcfa, analyze_kcfa_naive,
+    result_from_run,
 )
 from repro.analysis.flat_machine import (
     FConfig, FlatMachine, analyze_flat, mcfa_allocator,
@@ -29,8 +34,10 @@ __all__ = [
     "BasicValue", "EMPTY_BENV", "FClo", "FlatEnvAbs", "FrozenStore",
     "KClo", "Time", "abstract_literal", "first_k", "maybe_falsy",
     "maybe_truthy",
+    "EngineOptions", "EngineRun", "Machine", "NaiveState",
+    "run_naive", "run_single_store",
     "KCFAMachine", "KConfig", "Recorder", "analyze_kcfa",
-    "analyze_kcfa_naive",
+    "analyze_kcfa_naive", "result_from_run",
     "FConfig", "FlatMachine", "analyze_flat", "mcfa_allocator",
     "poly_kcfa_allocator",
     "analyze_mcfa", "analyze_poly_kcfa", "analyze_zerocfa",

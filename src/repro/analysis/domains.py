@@ -213,16 +213,30 @@ class AbsStore:
 
     ``join`` returns True when the store actually grew at the address,
     which the engines use to re-enqueue reader configurations.
+
+    The store keeps *per-address version counters* for the shared
+    delta-propagating engine: every growing join bumps the address's
+    version and the store-wide :attr:`clock`, so a driver can compare a
+    configuration's read-set snapshot against the current versions and
+    tell exactly which addresses changed — without rescanning value
+    sets.
     """
 
-    __slots__ = ("_map", "join_count")
+    __slots__ = ("_map", "_versions", "join_count", "clock")
 
     def __init__(self):
         self._map: dict[Addr, frozenset] = {}
+        self._versions: dict[Addr, int] = {}
         self.join_count = 0
+        #: Total number of growing joins — a store-wide logical clock.
+        self.clock = 0
 
     def get(self, addr: Addr) -> frozenset:
         return self._map.get(addr, EMPTY)
+
+    def version(self, addr: Addr) -> int:
+        """How many times the store has grown at *addr* (0 = never)."""
+        return self._versions.get(addr, 0)
 
     def join(self, addr: Addr, values: Iterable[AbsVal]) -> bool:
         values = frozenset(values)
@@ -232,12 +246,18 @@ class AbsStore:
         current = self._map.get(addr)
         if current is None:
             self._map[addr] = values
+            self._grew(addr)
             return True
         merged = current | values
         if len(merged) == len(current):
             return False
         self._map[addr] = merged
+        self._grew(addr)
         return True
+
+    def _grew(self, addr: Addr) -> None:
+        self._versions[addr] = self._versions.get(addr, 0) + 1
+        self.clock += 1
 
     def addresses(self) -> Iterable[Addr]:
         return self._map.keys()

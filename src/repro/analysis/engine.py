@@ -1,0 +1,220 @@
+"""The shared fixpoint engine behind every analyzer in the repo.
+
+The paper's complexity argument lives in *how the fixpoint is driven*,
+not in any one transition relation: the single-threaded store worklist
+(§3.7) is what turns the EXPTIME-hard functional analysis into the
+PTIME m-CFA family, while the naive reachable-*states* engine (§3.6)
+is what the exponential lower bound actually talks about.  Before this
+module existed each analyzer (k-CFA, m-CFA, poly k-CFA, 0CFA, ΓCFA and
+the Featherweight Java machines) hand-rolled its own copy of those two
+loops.  Now there is exactly one of each:
+
+* :func:`run_single_store` — the delta-propagating §3.7 driver.  One
+  global monotone :class:`~repro.analysis.domains.AbsStore` with
+  per-address version counters; a
+  :class:`~repro.util.fixpoint.DependencyWorklist` that re-enqueues a
+  configuration only when an address it *read* grows, handing back the
+  exact set of changed addresses (the delta) rather than forcing a
+  full re-scan.
+
+* :func:`run_naive` — the §3.6 driver.  Every abstract state carries
+  its own immutable :class:`~repro.analysis.domains.FrozenStore`; an
+  optional GC policy (abstract garbage collection, ΓCFA) restricts
+  each successor store to its reachable addresses before dedup.
+
+A *machine* is anything satisfying the :class:`Machine` protocol: it
+boots an initial configuration against a store and exposes one
+``step`` transfer function returning ``(successor, joins)`` pairs.
+Engine-level improvements — worklist order, budgets, delta statistics,
+future parallel or incremental drivers — land here once and every
+analysis benefits at once.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import (
+    Callable, Generic, Hashable, Protocol, TypeVar, runtime_checkable,
+)
+
+from repro.analysis.domains import AbsStore, FrozenStore
+from repro.util.budget import Budget
+from repro.util.fixpoint import DependencyWorklist, Worklist
+
+C = TypeVar("C", bound=Hashable)  # configuration type
+
+
+@runtime_checkable
+class Machine(Protocol):
+    """What the engine needs from an abstract transition relation.
+
+    Implementations in this repo: :class:`~repro.analysis.kcfa.
+    KCFAMachine`, :class:`~repro.analysis.flat_machine.FlatMachine`,
+    :class:`~repro.fj.kcfa.FJKCFAMachine` and
+    :class:`~repro.fj.poly.FJPolyMachine`.
+    """
+
+    def boot(self, store: AbsStore):
+        """Seed *store* if needed; return the initial configuration."""
+        ...
+
+    def step(self, config, store, reads: set, recorder
+             ) -> "list[tuple[object, tuple]]":
+        """Apply the transfer function to one configuration.
+
+        Must add every address it reads to *reads* and record monotone
+        facts on *recorder*; returns ``(successor-config, joins)``
+        pairs without mutating the store — the engine owns all joins.
+        """
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class EngineOptions:
+    """Knobs shared by every driver.
+
+    * ``budget`` — step/wall-clock limits
+      (:class:`~repro.util.budget.Budget`); ``None`` means unlimited.
+    * ``lifo`` — depth-first exploration for the naive driver (the
+      single-store driver is inherently order-insensitive: any order
+      reaches the same least fixpoint).
+    * ``collect`` — the GC policy for the naive driver: a callable
+      ``(config, frozen_store) -> frozen_store`` applied to every
+      successor state before dedup (abstract garbage collection);
+      ``None`` disables collection.
+    """
+
+    budget: Budget | None = None
+    lifo: bool = False
+    collect: Callable[[object, FrozenStore], FrozenStore] | None = None
+
+
+@dataclass
+class EngineRun(Generic[C]):
+    """What a driver hands back to the analyzer wrapper.
+
+    The wrapper turns this into its public result type
+    (:class:`~repro.analysis.results.AnalysisResult` or
+    :class:`~repro.fj.kcfa.FJResult`); the engine itself is agnostic
+    about what was analyzed.
+    """
+
+    store: AbsStore                  # global store (naive: merged)
+    configs: frozenset               # reachable configurations
+    steps: int                       # transfer-function applications
+    elapsed: float                   # driver wall-clock seconds
+    state_count: int = 0             # naive driver only: |states|
+    requeues: int = 0                # dirty-triggered re-enqueues
+    delta_addresses: int = 0         # Σ |delta| over re-visited configs
+    recorder: object = None
+    states: frozenset = field(default_factory=frozenset)
+
+
+def run_single_store(machine: Machine, recorder,
+                     options: EngineOptions | None = None) -> EngineRun:
+    """Drive *machine* to fixpoint over one global store (§3.7).
+
+    The delta-propagating loop:
+
+    1. pop a configuration together with the exact set of addresses
+       whose growth re-enqueued it (``None`` on a first visit) — no
+       re-scan of the queue or the store is ever needed to work out
+       *why* a configuration is being re-visited;
+    2. apply the transfer function, record its read set, join its
+       store writes (each growing join bumps the address's version
+       counter), and dirty exactly the addresses that grew.
+
+    Raises :class:`~repro.errors.AnalysisTimeout` when the budget is
+    exceeded, like every analyzer built on it.
+    """
+    options = options or EngineOptions()
+    budget = options.budget or Budget()
+    budget.start()
+    store = AbsStore()
+    worklist: DependencyWorklist = DependencyWorklist()
+    worklist.add(machine.boot(store))
+    steps = 0
+    delta_addresses = 0
+    started = _time.perf_counter()
+    while worklist:
+        budget.charge()
+        config, delta = worklist.pop_delta()
+        if delta is not None:
+            delta_addresses += len(delta)
+        steps += 1
+        reads: set = set()
+        succs = machine.step(config, store, reads, recorder)
+        worklist.record_reads(config, reads)
+        changed = []
+        for succ, joins in succs:
+            for addr, values in joins:
+                if store.join(addr, values):
+                    changed.append(addr)
+            worklist.add(succ)
+        if changed:
+            worklist.dirty(changed)
+    elapsed = _time.perf_counter() - started
+    return EngineRun(
+        store=store, configs=worklist.seen, steps=steps,
+        elapsed=elapsed, requeues=worklist.requeue_count,
+        delta_addresses=delta_addresses, recorder=recorder)
+
+
+@dataclass(frozen=True, slots=True)
+class NaiveState(Generic[C]):
+    """A full §3.6 abstract state: configuration *plus* store."""
+
+    config: C
+    store: FrozenStore
+
+
+def run_naive(machine: Machine, recorder,
+              options: EngineOptions | None = None) -> EngineRun:
+    """Drive *machine* over the reachable-states space (§3.6).
+
+    Deliberately the expensive engine — states carry whole stores, so
+    the system space is P(Σ̂) and can explode even for k = 0, which is
+    the paper's point.  Use on small terms, with a budget.
+
+    With ``options.collect`` set this is ΓCFA: every successor store is
+    restricted to the addresses reachable from its configuration before
+    the state is deduplicated, trading the single-threaded store for
+    per-state stores and buying precision.
+    """
+    options = options or EngineOptions()
+    budget = options.budget or Budget()
+    budget.start()
+    collect = options.collect
+    seed = AbsStore()
+    initial = machine.boot(seed)
+    frozen_seed = FrozenStore(seed.items())
+    if collect is not None:
+        frozen_seed = collect(initial, frozen_seed)
+    worklist: Worklist[NaiveState] = Worklist(lifo=options.lifo)
+    worklist.add(NaiveState(initial, frozen_seed))
+    steps = 0
+    started = _time.perf_counter()
+    while worklist:
+        budget.charge()
+        state = worklist.pop()
+        steps += 1
+        reads: set = set()
+        succs = machine.step(state.config, state.store, reads, recorder)
+        for succ, joins in succs:
+            next_store = state.store.join_many(joins)
+            if collect is not None:
+                next_store = collect(succ, next_store)
+            worklist.add(NaiveState(succ, next_store))
+    elapsed = _time.perf_counter() - started
+    states = worklist.seen
+    merged = AbsStore()
+    configs = set()
+    for state in states:
+        configs.add(state.config)
+        for addr, values in state.store.items():
+            merged.join(addr, values)
+    return EngineRun(
+        store=merged, configs=frozenset(configs), steps=steps,
+        elapsed=elapsed, state_count=len(states), recorder=recorder,
+        states=states)

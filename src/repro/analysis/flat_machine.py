@@ -23,7 +23,6 @@ The machine is parameterized by the environment allocator
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -36,11 +35,11 @@ from repro.analysis.domains import (
     APair, AbsStore, AbsVal, Addr, BASIC, FClo, FlatEnvAbs,
     abstract_literal, first_k, maybe_falsy, maybe_truthy,
 )
-from repro.analysis.kcfa import Recorder
+from repro.analysis.engine import EngineOptions, run_single_store
+from repro.analysis.kcfa import Recorder, result_from_run
 from repro.analysis.results import AnalysisResult
 from repro.scheme.primitives import lookup_primitive
 from repro.util.budget import Budget
-from repro.util.fixpoint import DependencyWorklist
 
 #: new(call_label, caller_env, callee_lam, callee_env) -> new_env
 EnvAllocator = Callable[[int, FlatEnvAbs, Lam, FlatEnvAbs], FlatEnvAbs]
@@ -89,6 +88,19 @@ class FlatMachine:
 
     def initial(self) -> FConfig:
         return FConfig(self.program.root, ())
+
+    # -- the engine's Machine protocol ---------------------------------
+
+    def boot(self, store: AbsStore) -> FConfig:
+        """Initial configuration (nothing to seed in the store)."""
+        return self.initial()
+
+    def step(self, config: FConfig, store, reads: set[Addr],
+             recorder: Recorder) -> list[tuple[FConfig, tuple]]:
+        """One transfer-function application, in engine form."""
+        return [(FConfig(succ.call, succ.env), succ.joins)
+                for succ in self.transitions(config, store, reads,
+                                             recorder)]
 
     # -- Ê ---------------------------------------------------------------
 
@@ -227,36 +239,6 @@ def analyze_flat(program: Program, allocator: EnvAllocator,
                  analysis: str, parameter: int,
                  budget: Budget | None = None) -> AnalysisResult:
     """Run the flat machine to fixpoint with a single-threaded store."""
-    machine = FlatMachine(program, allocator)
-    budget = budget or Budget()
-    budget.start()
-    store = AbsStore()
-    recorder = Recorder()
-    worklist: DependencyWorklist[FConfig, Addr] = DependencyWorklist()
-    worklist.add(machine.initial())
-    steps = 0
-    started = _time.perf_counter()
-    while worklist:
-        budget.charge()
-        config = worklist.pop()
-        steps += 1
-        reads: set[Addr] = set()
-        succs = machine.transitions(config, store, reads, recorder)
-        worklist.record_reads(config, reads)
-        changed = []
-        for transition in succs:
-            for addr, values in transition.joins:
-                if store.join(addr, values):
-                    changed.append(addr)
-            worklist.add(FConfig(transition.call, transition.env))
-        if changed:
-            worklist.dirty(changed)
-    elapsed = _time.perf_counter() - started
-    return AnalysisResult(
-        program=program, analysis=analysis, parameter=parameter,
-        store=store, config_count=len(worklist.seen),
-        callees=recorder.frozen_callees(),
-        unknown_operator=frozenset(recorder.unknown_operator),
-        entries=recorder.frozen_entries(),
-        halt_values=frozenset(recorder.halt_values),
-        steps=steps, elapsed=elapsed, configs=worklist.seen)
+    run = run_single_store(FlatMachine(program, allocator), Recorder(),
+                           EngineOptions(budget=budget))
+    return result_from_run(run, program, analysis, parameter)

@@ -17,28 +17,29 @@ Reachability:
   through its environment;
 * an abstract pair reaches its field addresses.
 
-``analyze_kcfa_gc`` is the §3.6 naive engine with collection at every
-state; it reports the same :class:`~repro.analysis.results.
-AnalysisResult` API.  ``collect`` and ``reachable_addresses`` are
-exposed for tests and for the flat-environment variant.
+``analyze_kcfa_gc`` is the shared §3.6 naive driver
+(:func:`~repro.analysis.engine.run_naive`) with ``collect`` installed
+as the engine's GC policy; it reports the same
+:class:`~repro.analysis.results.AnalysisResult` API.  ``collect`` and
+``reachable_addresses`` are exposed for tests and for the
+flat-environment variant.
 """
 
 from __future__ import annotations
 
-import time as _time
 from typing import Iterable
 
 from repro.analysis.domains import (
     APair, Addr, FClo, FrozenStore, KClo,
 )
+from repro.analysis.engine import EngineOptions, run_naive
 from repro.analysis.kcfa import (
-    KCFAMachine, KConfig, Recorder, _NaiveState,
+    KCFAMachine, KConfig, Recorder, result_from_run,
 )
 from repro.analysis.results import AnalysisResult
 from repro.cps.program import Program
 from repro.cps.syntax import free_vars_of_call, free_vars_of_lam
 from repro.util.budget import Budget
-from repro.util.fixpoint import Worklist
 
 
 def config_roots(config: KConfig) -> set[Addr]:
@@ -93,47 +94,10 @@ def analyze_kcfa_gc(program: Program, k: int = 1,
                     budget: Budget | None = None) -> AnalysisResult:
     """k-CFA with abstract garbage collection at every transition.
 
-    Runs the naive reachable-states engine (per-state stores are what
-    make collection possible), collecting before each state expands.
+    Runs the shared naive reachable-states driver (per-state stores
+    are what make collection possible) with :func:`collect` as the
+    engine's GC policy, so every state is collected before it expands.
     """
-    machine = KCFAMachine(program, k)
-    budget = budget or Budget()
-    budget.start()
-    recorder = Recorder()
-    worklist: Worklist[_NaiveState] = Worklist()
-    initial = machine.initial()
-    worklist.add(_NaiveState(initial, FrozenStore()))
-    steps = 0
-    started = _time.perf_counter()
-    while worklist:
-        budget.charge()
-        state = worklist.pop()
-        steps += 1
-        reads: set[Addr] = set()
-        succs = machine.transitions(state.config, state.store, reads,
-                                    recorder)
-        for transition in succs:
-            next_store = state.store.join_many(transition.joins)
-            next_config = KConfig(transition.call, transition.benv,
-                                  transition.time)
-            worklist.add(_NaiveState(
-                next_config, collect(next_config, next_store)))
-        del reads
-    elapsed = _time.perf_counter() - started
-    states = worklist.seen
-    from repro.analysis.domains import AbsStore
-    merged = AbsStore()
-    configs = set()
-    for state in states:
-        configs.add(state.config)
-        for addr, values in state.store.items():
-            merged.join(addr, values)
-    return AnalysisResult(
-        program=program, analysis="k-CFA+GC", parameter=k,
-        store=merged, config_count=len(configs),
-        callees=recorder.frozen_callees(),
-        unknown_operator=frozenset(recorder.unknown_operator),
-        entries=recorder.frozen_entries(),
-        halt_values=frozenset(recorder.halt_values),
-        steps=steps, elapsed=elapsed, state_count=len(states),
-        configs=frozenset(configs))
+    run = run_naive(KCFAMachine(program, k), Recorder(),
+                    EngineOptions(budget=budget, collect=collect))
+    return result_from_run(run, program, "k-CFA+GC", k)

@@ -11,19 +11,21 @@ This is the paper's §3.4–3.7 made executable:
   makes k-CFA exponential for functional programs: one lambda can be
   closed by combinatorially many environments (§2.2).
 
-Two engines drive the same transition relation:
+Both of the paper's engines drive the same transition relation through
+the shared drivers in :mod:`repro.analysis.engine`:
 
-* :func:`analyze_kcfa` — the single-threaded-store worklist (§3.7) with
+* :func:`analyze_kcfa` — the single-threaded-store worklist (§3.7,
+  :func:`~repro.analysis.engine.run_single_store`) with
   read-dependency re-enqueueing; and
-* :func:`analyze_kcfa_naive` — the reachable-*states* engine (§3.6)
-  where every state carries an immutable store.  Deeply exponential
-  even for k = 0; exists to reproduce the paper's complexity
-  observations, so only run it on small terms.
+* :func:`analyze_kcfa_naive` — the reachable-*states* engine (§3.6,
+  :func:`~repro.analysis.engine.run_naive`) where every state carries
+  an immutable store.  Deeply exponential even for k = 0; exists to
+  reproduce the paper's complexity observations, so only run it on
+  small terms.
 """
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 
 from repro.cps.program import Program
@@ -32,14 +34,15 @@ from repro.cps.syntax import (
     Ref, free_vars_of_lam,
 )
 from repro.analysis.domains import (
-    APair, AbsStore, AbsVal, Addr, BASIC, BEnv, EMPTY_BENV, FrozenStore,
+    APair, AbsStore, AbsVal, Addr, BASIC, BEnv, EMPTY_BENV,
     KClo, Time, abstract_literal, first_k, maybe_falsy, maybe_truthy,
 )
+from repro.analysis.engine import (
+    EngineOptions, EngineRun, run_naive, run_single_store,
+)
 from repro.analysis.results import AnalysisResult
-from repro.errors import AnalysisTimeout
 from repro.scheme.primitives import lookup_primitive
 from repro.util.budget import Budget
-from repro.util.fixpoint import DependencyWorklist, Worklist
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,6 +97,19 @@ class KCFAMachine:
 
     def initial(self) -> KConfig:
         return KConfig(self.program.root, EMPTY_BENV, ())
+
+    # -- the engine's Machine protocol ---------------------------------
+
+    def boot(self, store: AbsStore) -> KConfig:
+        """Initial configuration (k-CFA seeds nothing in the store)."""
+        return self.initial()
+
+    def step(self, config: KConfig, store, reads: set[Addr],
+             recorder: Recorder) -> list[tuple[KConfig, tuple]]:
+        """One transfer-function application, in engine form."""
+        return [(KConfig(succ.call, succ.benv, succ.time), succ.joins)
+                for succ in self.transitions(config, store, reads,
+                                             recorder)]
 
     def tick(self, call: Call, time: Time) -> Time:
         return first_k(self.k, (call.label, *time))
@@ -231,6 +247,21 @@ class KCFAMachine:
         return succs
 
 
+def result_from_run(run: EngineRun, program: Program, analysis: str,
+                    parameter: int) -> AnalysisResult:
+    """Package an engine run + :class:`Recorder` as a public result."""
+    recorder: Recorder = run.recorder
+    return AnalysisResult(
+        program=program, analysis=analysis, parameter=parameter,
+        store=run.store, config_count=len(run.configs),
+        callees=recorder.frozen_callees(),
+        unknown_operator=frozenset(recorder.unknown_operator),
+        entries=recorder.frozen_entries(),
+        halt_values=frozenset(recorder.halt_values),
+        steps=run.steps, elapsed=run.elapsed,
+        state_count=run.state_count, configs=run.configs)
+
+
 def analyze_kcfa(program: Program, k: int = 1,
                  budget: Budget | None = None) -> AnalysisResult:
     """Run k-CFA with the single-threaded store (§3.7).
@@ -239,48 +270,9 @@ def analyze_kcfa(program: Program, k: int = 1,
     exceeded — callers reproducing the worst-case table catch it and
     report ∞.
     """
-    machine = KCFAMachine(program, k)
-    budget = budget or Budget()
-    budget.start()
-    store = AbsStore()
-    recorder = Recorder()
-    worklist: DependencyWorklist[KConfig, Addr] = DependencyWorklist()
-    worklist.add(machine.initial())
-    steps = 0
-    started = _time.perf_counter()
-    while worklist:
-        budget.charge()
-        config = worklist.pop()
-        steps += 1
-        reads: set[Addr] = set()
-        succs = machine.transitions(config, store, reads, recorder)
-        worklist.record_reads(config, reads)
-        changed = []
-        for transition in succs:
-            for addr, values in transition.joins:
-                if store.join(addr, values):
-                    changed.append(addr)
-            worklist.add(KConfig(transition.call, transition.benv,
-                                 transition.time))
-        if changed:
-            worklist.dirty(changed)
-    elapsed = _time.perf_counter() - started
-    return AnalysisResult(
-        program=program, analysis="k-CFA", parameter=k, store=store,
-        config_count=len(worklist.seen),
-        callees=recorder.frozen_callees(),
-        unknown_operator=frozenset(recorder.unknown_operator),
-        entries=recorder.frozen_entries(),
-        halt_values=frozenset(recorder.halt_values),
-        steps=steps, elapsed=elapsed, configs=worklist.seen)
-
-
-@dataclass(frozen=True, slots=True)
-class _NaiveState:
-    """A full §3.6 abstract state: configuration *plus* store."""
-
-    config: KConfig
-    store: FrozenStore
+    run = run_single_store(KCFAMachine(program, k), Recorder(),
+                           EngineOptions(budget=budget))
+    return result_from_run(run, program, "k-CFA", k)
 
 
 def analyze_kcfa_naive(program: Program, k: int = 1,
@@ -291,40 +283,6 @@ def analyze_kcfa_naive(program: Program, k: int = 1,
     counts explode even for k = 0 — which is the paper's point.  Use
     only on small programs, with a budget.
     """
-    machine = KCFAMachine(program, k)
-    budget = budget or Budget()
-    budget.start()
-    recorder = Recorder()
-    worklist: Worklist[_NaiveState] = Worklist()
-    worklist.add(_NaiveState(machine.initial(), FrozenStore()))
-    steps = 0
-    started = _time.perf_counter()
-    while worklist:
-        budget.charge()
-        state = worklist.pop()
-        steps += 1
-        reads: set[Addr] = set()
-        succs = machine.transitions(state.config, state.store, reads,
-                                    recorder)
-        for transition in succs:
-            next_store = state.store.join_many(transition.joins)
-            next_config = KConfig(transition.call, transition.benv,
-                                  transition.time)
-            worklist.add(_NaiveState(next_config, next_store))
-    elapsed = _time.perf_counter() - started
-    states = worklist.seen
-    merged = AbsStore()
-    configs = set()
-    for state in states:
-        configs.add(state.config)
-        for addr, values in state.store.items():
-            merged.join(addr, values)
-    return AnalysisResult(
-        program=program, analysis="k-CFA-naive", parameter=k,
-        store=merged, config_count=len(configs),
-        callees=recorder.frozen_callees(),
-        unknown_operator=frozenset(recorder.unknown_operator),
-        entries=recorder.frozen_entries(),
-        halt_values=frozenset(recorder.halt_values),
-        steps=steps, elapsed=elapsed, state_count=len(states),
-        configs=frozenset(configs))
+    run = run_naive(KCFAMachine(program, k), Recorder(),
+                    EngineOptions(budget=budget))
+    return result_from_run(run, program, "k-CFA-naive", k)

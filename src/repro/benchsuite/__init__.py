@@ -1,9 +1,15 @@
 """The §6.2 benchmark programs (eta, map, sat, regex, interp,
-scm2java, scm2c), re-implemented in the Scheme subset."""
+scm2java, scm2c), re-implemented in the Scheme subset, plus the
+parallel batch runner behind ``python -m repro bench``."""
 
 from repro.benchsuite.programs import (
     BY_NAME, BenchProgram, ETA, INTERP, MAP, REGEX, SAT, SCM2C,
     SCM2JAVA, SUITE, suite_programs,
+)
+from repro.benchsuite.runner import (
+    ALL_ANALYSES, BenchReport, BenchTask, DEFAULT_ANALYSES,
+    FJ_ANALYSES, SCHEME_ANALYSES, build_matrix, default_programs,
+    default_report_path, run_batch, run_task,
 )
 from repro.benchsuite.scaling import (
     scaled_expected, scaled_program, scaled_source,
@@ -12,5 +18,8 @@ from repro.benchsuite.scaling import (
 __all__ = [
     "BY_NAME", "BenchProgram", "ETA", "INTERP", "MAP", "REGEX", "SAT",
     "SCM2C", "SCM2JAVA", "SUITE", "suite_programs",
+    "ALL_ANALYSES", "BenchReport", "BenchTask", "DEFAULT_ANALYSES",
+    "FJ_ANALYSES", "SCHEME_ANALYSES", "build_matrix",
+    "default_programs", "default_report_path", "run_batch", "run_task",
     "scaled_expected", "scaled_program", "scaled_source",
 ]

@@ -1,0 +1,307 @@
+"""Parallel batch benchmark runner: the whole matrix, every core.
+
+The harnesses under ``benchmarks/`` reproduce individual tables by
+running analyses strictly serially.  This module is the
+high-throughput path the ROADMAP asks for: it expands a benchmark
+matrix — *program × analysis × context depth* (k or m), optionally at
+a scale factor — into independent :class:`BenchTask` units and fans
+them across a :class:`concurrent.futures.ProcessPoolExecutor`.  Each
+task compiles its own program inside the worker process (so parsing
+and CPS conversion parallelize too) and runs under a per-task
+wall-clock :class:`~repro.util.budget.Budget`, so one exponential cell
+cannot stall the batch: it times out cooperatively and is reported as
+``timeout`` while the other workers keep draining the queue.
+
+Results stream back as tasks finish and are written as a
+machine-readable ``BENCH_*.json`` report (see :class:`BenchReport`),
+giving the repo a perf trajectory that later PRs can diff against.
+
+Entry points::
+
+    python -m repro bench --quick            # smoke matrix
+    python -m repro bench --copies 4 --jobs 8
+    python benchmarks/bench_parallel_matrix.py   # serial-vs-parallel
+
+The Scheme suite programs come from :mod:`repro.benchsuite.programs`
+(scaled honestly via :mod:`repro.benchsuite.scaling`); the
+Featherweight Java programs from :mod:`repro.fj.examples`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import AnalysisTimeout, ReproError
+from repro.util.budget import Budget
+
+#: Analyses over Scheme/CPS programs: name → (program, n, budget) → result.
+SCHEME_ANALYSES = ("kcfa", "mcfa", "poly", "zero", "kcfa-gc",
+                   "kcfa-naive")
+
+#: Analyses over Featherweight Java programs.
+FJ_ANALYSES = ("fj-kcfa", "fj-poly", "fj-kcfa-gc")
+
+ALL_ANALYSES = SCHEME_ANALYSES + FJ_ANALYSES
+
+#: The analyses a default ``bench`` run exercises (the §6.2 matrix).
+DEFAULT_ANALYSES = ("kcfa", "mcfa", "poly", "zero", "fj-kcfa",
+                    "fj-poly")
+
+
+@dataclass(frozen=True, slots=True)
+class BenchTask:
+    """One cell of the benchmark matrix.
+
+    ``program`` is a Scheme suite name (``eta``, ``map``, ...) or an
+    FJ example name (``pairs``, ``dispatch``, ...); ``copies`` scales
+    Scheme programs via :func:`repro.benchsuite.scaling.scaled_source`
+    and is ignored for FJ programs.
+    """
+
+    program: str
+    analysis: str
+    parameter: int
+    copies: int = 1
+    timeout: float = 30.0
+
+    @property
+    def task_id(self) -> str:
+        scale = f"x{self.copies}" if self.copies > 1 else ""
+        return f"{self.program}{scale}:{self.analysis}({self.parameter})"
+
+
+def _run_scheme_task(task: BenchTask, budget: Budget) -> dict:
+    from repro.analysis import (
+        analyze_kcfa, analyze_kcfa_gc, analyze_kcfa_naive, analyze_mcfa,
+        analyze_poly_kcfa, analyze_zerocfa,
+    )
+    from repro.benchsuite.programs import BY_NAME
+    from repro.benchsuite.scaling import scaled_program
+
+    if task.copies > 1:
+        program = scaled_program(task.program, task.copies)
+    else:
+        program = BY_NAME[task.program].compile()
+    analyses = {
+        "kcfa": analyze_kcfa,
+        "mcfa": analyze_mcfa,
+        "poly": analyze_poly_kcfa,
+        "zero": lambda p, n, b: analyze_zerocfa(p, b),
+        "kcfa-gc": analyze_kcfa_gc,
+        "kcfa-naive": analyze_kcfa_naive,
+    }
+    result = analyses[task.analysis](program, task.parameter, budget)
+    return result.summary()
+
+
+def _run_fj_task(task: BenchTask, budget: Budget) -> dict:
+    from repro.fj import analyze_fj_kcfa, parse_fj
+    from repro.fj.examples import ALL_EXAMPLES
+    from repro.fj.gc import analyze_fj_kcfa_gc
+    from repro.fj.poly import analyze_fj_poly
+
+    program = parse_fj(ALL_EXAMPLES[task.program])
+    analyses = {
+        "fj-kcfa": analyze_fj_kcfa,
+        "fj-poly": analyze_fj_poly,
+        "fj-kcfa-gc": analyze_fj_kcfa_gc,
+    }
+    result = analyses[task.analysis](program, task.parameter,
+                                     budget=budget)
+    return result.summary()
+
+
+def run_task(task: BenchTask) -> dict:
+    """Execute one matrix cell; always returns a row, never raises.
+
+    This is the worker-process entry point: it compiles the program
+    locally (parallelizing front-end work too) and runs the analysis
+    under the task's wall-clock budget.  The row's ``status`` is
+    ``ok``, ``timeout`` or ``error``.
+    """
+    row = {
+        "task": task.task_id,
+        "program": task.program,
+        "analysis": task.analysis,
+        "parameter": task.parameter,
+        "copies": task.copies,
+        "timeout": task.timeout,
+        "pid": os.getpid(),
+    }
+    budget = Budget(max_seconds=task.timeout)
+    started = time.perf_counter()
+    try:
+        if task.analysis in FJ_ANALYSES:
+            summary = _run_fj_task(task, budget)
+        else:
+            summary = _run_scheme_task(task, budget)
+        # The task's identity keys (analysis, parameter, ...) stay
+        # authoritative so BENCH_*.json rows group consistently
+        # across statuses; the summary's display name would differ
+        # (e.g. "mcfa" vs "m-CFA").
+        row.update({key: value for key, value in summary.items()
+                    if key not in row})
+        row["status"] = "ok"
+    except AnalysisTimeout:
+        row["status"] = "timeout"
+    except Exception as error:  # keep the batch alive
+        row["status"] = "error"
+        row["error"] = f"{type(error).__name__}: {error}"
+    row["wall_seconds"] = round(time.perf_counter() - started, 6)
+    return row
+
+
+def build_matrix(programs: Iterable[str], analyses: Iterable[str],
+                 contexts: Iterable[int], copies: int = 1,
+                 timeout: float = 30.0) -> list[BenchTask]:
+    """Expand program × analysis × context into tasks.
+
+    Scheme analyses pair with Scheme programs and FJ analyses with FJ
+    programs; mismatched combinations are skipped rather than
+    rejected, so one flag set can drive a heterogeneous matrix.
+    """
+    from repro.benchsuite.programs import BY_NAME
+    from repro.fj.examples import ALL_EXAMPLES
+
+    contexts = sorted(set(contexts))
+    # Dedup while preserving order: duplicate cells would share a
+    # task_id and make the report's row order nondeterministic.
+    programs = list(dict.fromkeys(programs))
+    analyses = list(dict.fromkeys(analyses))
+    unknown = [name for name in analyses if name not in ALL_ANALYSES]
+    if unknown:
+        raise ReproError(
+            f"unknown analyses {unknown!r}; choose from "
+            f"{', '.join(ALL_ANALYSES)}")
+    tasks = []
+    for program in programs:
+        if program in BY_NAME:
+            compatible = SCHEME_ANALYSES
+        elif program in ALL_EXAMPLES:
+            compatible = FJ_ANALYSES
+        else:
+            raise ReproError(f"unknown benchmark program {program!r}")
+        for analysis in analyses:
+            if analysis not in compatible:
+                continue
+            for parameter in contexts:
+                # 0CFA has no context knob; emit it once.
+                if analysis == "zero" and parameter != min(contexts):
+                    continue
+                tasks.append(BenchTask(
+                    program=program, analysis=analysis,
+                    parameter=parameter,
+                    copies=copies if program in BY_NAME else 1,
+                    timeout=timeout))
+    return tasks
+
+
+def default_programs(include_fj: bool = True) -> list[str]:
+    """Every Scheme suite program, plus the FJ examples."""
+    from repro.benchsuite.programs import BY_NAME
+    from repro.fj.examples import ALL_EXAMPLES
+
+    names = list(BY_NAME)
+    if include_fj:
+        names += list(ALL_EXAMPLES)
+    return names
+
+
+@dataclass
+class BenchReport:
+    """A finished batch: environment, matrix shape, per-task rows."""
+
+    rows: list[dict]
+    jobs: int
+    serial: bool
+    elapsed: float
+    started_at: str
+    python: str = field(default_factory=platform.python_version)
+    platform: str = field(default_factory=platform.platform)
+    cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+
+    @property
+    def ok_rows(self) -> list[dict]:
+        return [row for row in self.rows if row["status"] == "ok"]
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for row in self.rows:
+            counts[row["status"]] = counts.get(row["status"], 0) + 1
+        return counts
+
+    def total_analysis_seconds(self) -> float:
+        """Σ per-task wall time — what a serial run would have cost."""
+        return sum(row["wall_seconds"] for row in self.rows)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+def default_report_path(directory: str = ".") -> str:
+    stamp = time.strftime("%Y%m%d_%H%M%S")
+    return os.path.join(directory, f"BENCH_{stamp}.json")
+
+
+def run_batch(tasks: list[BenchTask], jobs: int | None = None,
+              serial: bool = False,
+              progress: Callable[[str], None] | None = None
+              ) -> BenchReport:
+    """Run a batch of tasks, streaming progress as they finish.
+
+    With ``serial=True`` (or a single job) everything runs in-process
+    — the baseline the parallel path is measured against.  Otherwise
+    tasks fan out across worker processes; results are collected with
+    :func:`concurrent.futures.as_completed`, so a slow cell never
+    blocks reporting of the cells that beat it.
+    """
+    jobs = max(1, jobs or os.cpu_count() or 1)
+    emit = progress or (lambda message: None)
+    started_at = time.strftime("%Y-%m-%dT%H:%M:%S")
+    started = time.perf_counter()
+    rows: list[dict] = []
+    total = len(tasks)
+    if serial or jobs == 1 or total <= 1:
+        serial = True
+        for index, task in enumerate(tasks, start=1):
+            row = run_task(task)
+            rows.append(row)
+            emit(_progress_line(index, total, row))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(run_task, task): task
+                       for task in tasks}
+            for index, future in enumerate(as_completed(futures),
+                                           start=1):
+                row = future.result()
+                rows.append(row)
+                emit(_progress_line(index, total, row))
+    elapsed = time.perf_counter() - started
+    # Deterministic report order regardless of completion order.
+    order = {task.task_id: index for index, task in enumerate(tasks)}
+    rows.sort(key=lambda row: order.get(row["task"], len(order)))
+    return BenchReport(rows=rows, jobs=1 if serial else jobs,
+                       serial=serial, elapsed=elapsed,
+                       started_at=started_at)
+
+
+def _progress_line(index: int, total: int, row: dict) -> str:
+    mark = {"ok": "✓", "timeout": "∞", "error": "!"}[row["status"]]
+    extra = ""
+    if row["status"] == "ok":
+        extra = f" {row['wall_seconds']:.2f}s steps={row.get('steps')}"
+    elif row["status"] == "error":
+        extra = f" {row.get('error', '')}"
+    return f"[{index}/{total}] {mark} {row['task']}{extra}"

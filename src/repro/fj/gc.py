@@ -6,8 +6,9 @@ hypothesis, implemented.
      object-oriented programs.  We hypothesize that its benefits for
      speed and precision will carry over."
 
-This module adapts ΓCFA to the Figure 9 semantics: a naive engine with
-per-state stores, collecting every store down to the addresses
+This module adapts ΓCFA to the Figure 9 semantics: the shared naive
+driver (:func:`~repro.analysis.engine.run_naive`) with per-state
+stores, collecting every store down to the addresses
 reachable from the configuration's roots before it expands.  Roots are
 the binding environment's range plus the continuation pointer;
 abstract objects reach their field addresses; abstract continuations
@@ -20,18 +21,16 @@ uncollected directly (``benchmarks/bench_abstract_gc.py``).
 
 from __future__ import annotations
 
-import time as _time
-from dataclasses import dataclass
 from typing import Iterable
 
-from repro.analysis.domains import AbsStore, FrozenStore
+from repro.analysis.domains import FrozenStore
+from repro.analysis.engine import EngineOptions, run_naive
 from repro.fj.class_table import FJProgram
 from repro.fj.kcfa import (
     AKont, AObj, FJConfig, FJKCFAMachine, FJResult, HALT_PTR,
-    _FJRecorder,
+    _FJRecorder, fj_result_from_run,
 )
 from repro.util.budget import Budget
-from repro.util.fixpoint import Worklist
 
 AbsAddr = tuple
 
@@ -78,54 +77,12 @@ def collect(config: FJConfig, store: FrozenStore) -> FrozenStore:
                        if addr in live)
 
 
-@dataclass(frozen=True, slots=True)
-class _GCState:
-    config: FJConfig
-    store: FrozenStore
-
-
 def analyze_fj_kcfa_gc(program: FJProgram, k: int = 1,
                        tick_policy: str = "invocation",
                        budget: Budget | None = None) -> FJResult:
     """OO k-CFA with abstract garbage collection at every transition."""
-    machine = FJKCFAMachine(program, k, tick_policy)
-    budget = budget or Budget()
-    budget.start()
-    recorder = _FJRecorder()
-    seed_store = AbsStore()
-    initial = machine.initial(seed_store)
-    frozen_seed = FrozenStore(seed_store.items())
-    worklist: Worklist[_GCState] = Worklist()
-    worklist.add(_GCState(initial, collect(initial, frozen_seed)))
-    steps = 0
-    started = _time.perf_counter()
-    while worklist:
-        budget.charge()
-        state = worklist.pop()
-        steps += 1
-        reads: set = set()
-        succs = machine.transitions(state.config, state.store, reads,
-                                    recorder)
-        for succ_config, joins in succs:
-            next_store = state.store.join_many(joins)
-            worklist.add(_GCState(
-                succ_config, collect(succ_config, next_store)))
-    elapsed = _time.perf_counter() - started
-    states = worklist.seen
-    merged = AbsStore()
-    configs = set()
-    for state in states:
-        configs.add(state.config)
-        for addr, values in state.store.items():
-            merged.join(addr, values)
-    return FJResult(
-        program=program, analysis="FJ-k-CFA+GC", parameter=k,
-        tick_policy=tick_policy, store=merged,
-        configs=frozenset(configs),
-        method_contexts={name: frozenset(times) for name, times
-                         in recorder.method_contexts.items()},
-        objects=frozenset(recorder.objects),
-        invoke_targets={label: frozenset(targets) for label, targets
-                        in recorder.invoke_targets.items()},
-        halt_values=frozenset(recorder.halt_values),
-        steps=steps, elapsed=elapsed)
+    run = run_naive(FJKCFAMachine(program, k, tick_policy),
+                    _FJRecorder(),
+                    EngineOptions(budget=budget, collect=collect))
+    return fj_result_from_run(run, program, "FJ-k-CFA+GC", k,
+                              tick_policy)

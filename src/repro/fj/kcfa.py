@@ -19,11 +19,12 @@ Figure 1 points-to table would not be expressible.
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Iterable, Iterator
 
 from repro.analysis.domains import AbsStore, first_k
+from repro.analysis.engine import EngineOptions, EngineRun, \
+    run_single_store
 from repro.fj.class_table import FJProgram
 from repro.fj.concrete import TICK_POLICIES
 from repro.fj.syntax import (
@@ -31,7 +32,6 @@ from repro.fj.syntax import (
     VarExp,
 )
 from repro.util.budget import Budget
-from repro.util.fixpoint import DependencyWorklist
 
 AbsTime = tuple[int, ...]
 AbsAddr = tuple[str, AbsTime]
@@ -242,6 +242,17 @@ class FJKCFAMachine:
                        for local in method.local_names()]
         return FJConfig(method.body[0], FJBEnv(benv_items), HALT_PTR, ())
 
+    # -- the engine's Machine protocol ---------------------------------
+
+    def boot(self, store: AbsStore) -> FJConfig:
+        """Seed the entry object and return the initial configuration."""
+        return self.initial(store)
+
+    def step(self, config: FJConfig, store, reads: set[AbsAddr],
+             recorder: "_FJRecorder") -> list[tuple[FJConfig, list]]:
+        """One transfer-function application, in engine form."""
+        return self.transitions(config, store, reads, recorder)
+
     # -- transitions (Figure 9) ----------------------------------------------
 
     def transitions(self, config: FJConfig, store: AbsStore,
@@ -392,42 +403,27 @@ class FJKCFAMachine:
         return [(succ, joins)]
 
 
-def analyze_fj_kcfa(program: FJProgram, k: int = 1,
-                    tick_policy: str = "invocation",
-                    budget: Budget | None = None) -> FJResult:
-    """Run OO k-CFA with the single-threaded store."""
-    machine = FJKCFAMachine(program, k, tick_policy)
-    budget = budget or Budget()
-    budget.start()
-    store = AbsStore()
-    recorder = _FJRecorder()
-    worklist: DependencyWorklist[FJConfig, AbsAddr] = DependencyWorklist()
-    worklist.add(machine.initial(store))
-    steps = 0
-    started = _time.perf_counter()
-    while worklist:
-        budget.charge()
-        config = worklist.pop()
-        steps += 1
-        reads: set[AbsAddr] = set()
-        succs = machine.transitions(config, store, reads, recorder)
-        worklist.record_reads(config, reads)
-        changed = []
-        for succ_config, joins in succs:
-            for addr, values in joins:
-                if store.join(addr, values):
-                    changed.append(addr)
-            worklist.add(succ_config)
-        if changed:
-            worklist.dirty(changed)
-    elapsed = _time.perf_counter() - started
+def fj_result_from_run(run: EngineRun, program: FJProgram,
+                       analysis: str, parameter: int,
+                       tick_policy: str) -> FJResult:
+    """Package an engine run + :class:`_FJRecorder` as an FJResult."""
+    recorder: _FJRecorder = run.recorder
     return FJResult(
-        program=program, analysis="FJ-k-CFA", parameter=k,
-        tick_policy=tick_policy, store=store, configs=worklist.seen,
+        program=program, analysis=analysis, parameter=parameter,
+        tick_policy=tick_policy, store=run.store, configs=run.configs,
         method_contexts={name: frozenset(times) for name, times
                          in recorder.method_contexts.items()},
         objects=frozenset(recorder.objects),
         invoke_targets={label: frozenset(targets) for label, targets
                         in recorder.invoke_targets.items()},
         halt_values=frozenset(recorder.halt_values),
-        steps=steps, elapsed=elapsed)
+        steps=run.steps, elapsed=run.elapsed)
+
+
+def analyze_fj_kcfa(program: FJProgram, k: int = 1,
+                    tick_policy: str = "invocation",
+                    budget: Budget | None = None) -> FJResult:
+    """Run OO k-CFA with the single-threaded store."""
+    run = run_single_store(FJKCFAMachine(program, k, tick_policy),
+                           _FJRecorder(), EngineOptions(budget=budget))
+    return fj_result_from_run(run, program, "FJ-k-CFA", k, tick_policy)

@@ -24,19 +24,20 @@ class+site projections of every flow set.
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass
 
 from repro.analysis.domains import AbsStore, first_k
+from repro.analysis.engine import EngineOptions, run_single_store
 from repro.fj.class_table import FJProgram
 from repro.fj.concrete import TICK_POLICIES
-from repro.fj.kcfa import HALT_PTR, FJResult, _FJRecorder
+from repro.fj.kcfa import (
+    HALT_PTR, FJResult, _FJRecorder, fj_result_from_run,
+)
 from repro.fj.syntax import (
     Assign, Cast, FieldAccess, Invoke, Method, New, Return, Stmt,
     VarExp,
 )
 from repro.util.budget import Budget
-from repro.util.fixpoint import DependencyWorklist
 
 AbsTime = tuple[int, ...]
 AbsAddr = tuple[str, AbsTime]
@@ -103,6 +104,17 @@ class FJPolyMachine:
         method = program.lookup_method(program.entry_class,
                                        program.entry_method)
         return PConfig(method.body[0], (), HALT_PTR, ())
+
+    # -- the engine's Machine protocol ---------------------------------
+
+    def boot(self, store: AbsStore) -> PConfig:
+        """Seed the entry object and return the initial configuration."""
+        return self.initial(store)
+
+    def step(self, config: PConfig, store, reads: set[AbsAddr],
+             recorder: _FJRecorder) -> list[tuple[PConfig, list]]:
+        """One transfer-function application, in engine form."""
+        return self.transitions(config, store, reads, recorder)
 
     # -- transitions ------------------------------------------------------
 
@@ -259,38 +271,7 @@ def analyze_fj_poly(program: FJProgram, k: int = 1,
                     tick_policy: str = "invocation",
                     budget: Budget | None = None) -> FJResult:
     """Run the collapsed polynomial OO k-CFA."""
-    machine = FJPolyMachine(program, k, tick_policy)
-    budget = budget or Budget()
-    budget.start()
-    store = AbsStore()
-    recorder = _FJRecorder()
-    worklist: DependencyWorklist[PConfig, AbsAddr] = DependencyWorklist()
-    worklist.add(machine.initial(store))
-    steps = 0
-    started = _time.perf_counter()
-    while worklist:
-        budget.charge()
-        config = worklist.pop()
-        steps += 1
-        reads: set[AbsAddr] = set()
-        succs = machine.transitions(config, store, reads, recorder)
-        worklist.record_reads(config, reads)
-        changed = []
-        for succ_config, joins in succs:
-            for addr, values in joins:
-                if store.join(addr, values):
-                    changed.append(addr)
-            worklist.add(succ_config)
-        if changed:
-            worklist.dirty(changed)
-    elapsed = _time.perf_counter() - started
-    return FJResult(
-        program=program, analysis="FJ-poly-k-CFA", parameter=k,
-        tick_policy=tick_policy, store=store, configs=worklist.seen,
-        method_contexts={name: frozenset(times) for name, times
-                         in recorder.method_contexts.items()},
-        objects=frozenset(recorder.objects),
-        invoke_targets={label: frozenset(targets) for label, targets
-                        in recorder.invoke_targets.items()},
-        halt_values=frozenset(recorder.halt_values),
-        steps=steps, elapsed=elapsed)
+    run = run_single_store(FJPolyMachine(program, k, tick_policy),
+                           _FJRecorder(), EngineOptions(budget=budget))
+    return fj_result_from_run(run, program, "FJ-poly-k-CFA", k,
+                              tick_policy)

@@ -131,6 +131,37 @@ def fj_report(result: FJResult) -> str:
     return "\n".join(lines)
 
 
+def bench_report_table(report) -> str:
+    """Render a :class:`~repro.benchsuite.runner.BenchReport`.
+
+    One row per matrix cell plus a footer comparing batch wall-clock
+    against the serial cost (the sum of per-task times) — the speedup
+    the parallel runner buys on a multi-core machine.
+    """
+    from repro.metrics.timing import format_table
+    headers = ["task", "status", "time", "terms", "configs", "steps",
+               "inlinings"]
+    rows = []
+    for row in report.rows:
+        rows.append([
+            row["task"], row["status"],
+            f"{row['wall_seconds']:.2f}s",
+            str(row.get("terms", row.get("statements", "-"))),
+            str(row.get("configs", "-")),
+            str(row.get("steps", "-")),
+            str(row.get("inlinings", "-")),
+        ])
+    lines = [format_table(headers, rows)]
+    counts = ", ".join(f"{count} {status}" for status, count
+                       in sorted(report.counts().items()))
+    mode = "serial" if report.serial else f"{report.jobs} workers"
+    lines.append("")
+    lines.append(f"{len(report.rows)} tasks ({counts}) in "
+                 f"{report.elapsed:.2f}s wall ({mode}); "
+                 f"serial cost {report.total_analysis_seconds():.2f}s")
+    return "\n".join(lines)
+
+
 def summary_table(results: list[AnalysisResult]) -> str:
     """One row per analysis — compare precision/size side by side."""
     from repro.metrics.timing import format_table

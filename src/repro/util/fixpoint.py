@@ -37,6 +37,7 @@ class Worklist(Generic[T]):
     def __init__(self, items: Iterable[T] = (), lifo: bool = False):
         self._queue: deque[T] = deque()
         self._seen: set[T] = set()
+        self._pending: set[T] = set()
         self._lifo = lifo
         for item in items:
             self.add(item)
@@ -49,6 +50,7 @@ class Worklist(Generic[T]):
         if item in self._seen:
             return False
         self._seen.add(item)
+        self._pending.add(item)
         self._queue.append(item)
         return True
 
@@ -57,17 +59,19 @@ class Worklist(Generic[T]):
         return sum(1 for item in items if self.add(item))
 
     def pop(self) -> T:
-        if self._lifo:
-            return self._queue.pop()
-        return self._queue.popleft()
+        item = self._queue.pop() if self._lifo else self._queue.popleft()
+        self._pending.discard(item)
+        return item
 
     def force(self, item: T) -> None:
-        """Re-enqueue *item* even if it was seen before (store grew)."""
-        if item not in self._pending():
-            self._queue.append(item)
+        """Re-enqueue *item* even if it was seen before (store grew).
 
-    def _pending(self) -> set[T]:
-        return set(self._queue)
+        The pending set is maintained persistently, so this is O(1)
+        rather than an O(n) rebuild of the queue contents per call.
+        """
+        if item not in self._pending:
+            self._pending.add(item)
+            self._queue.append(item)
 
     def __bool__(self) -> bool:
         return bool(self._queue)
@@ -93,6 +97,12 @@ class DependencyWorklist(Generic[T, A]):
     that read it is re-enqueued.  Configurations are deduplicated while
     pending, so a configuration is processed at most once per store
     change that affects it.
+
+    Re-enqueues are *delta-propagating*: the worklist remembers which
+    addresses caused each pending re-enqueue, and :meth:`pop_delta`
+    hands the accumulated change-set back to the driver alongside the
+    configuration.  A first visit (or a plain :meth:`add`) carries no
+    delta — the driver must treat the whole read-set as new.
     """
 
     def __init__(self):
@@ -100,6 +110,8 @@ class DependencyWorklist(Generic[T, A]):
         self._pending: set[T] = set()
         self._seen: set[T] = set()
         self._readers: dict[A, set[T]] = {}
+        self._delta: dict[T, set[A]] = {}
+        self.requeue_count = 0
 
     def add(self, item: T) -> bool:
         """Enqueue a newly-discovered configuration (dedup vs. seen)."""
@@ -116,25 +128,46 @@ class DependencyWorklist(Generic[T, A]):
         return True
 
     def pop(self) -> T:
+        item, _delta = self.pop_delta()
+        return item
+
+    def pop_delta(self) -> tuple[T, frozenset[A] | None]:
+        """Pop a configuration with the addresses that re-enqueued it.
+
+        Returns ``(item, None)`` on the item's first visit, and
+        ``(item, changed)`` when the item is a dirtied reader —
+        ``changed`` being exactly the addresses whose store growth
+        caused the re-enqueue since the item last ran.
+        """
         item = self._queue.popleft()
         self._pending.discard(item)
-        return item
+        delta = self._delta.pop(item, None)
+        return item, frozenset(delta) if delta is not None else None
 
     def record_reads(self, item: T, addresses: Iterable[A]) -> None:
         """Remember that *item* read each address in *addresses*."""
         for addr in addresses:
             self._readers.setdefault(addr, set()).add(item)
 
+    def readers_of(self, address: A) -> frozenset[T]:
+        """The configurations known to have read *address*."""
+        return frozenset(self._readers.get(address, ()))
+
     def dirty(self, addresses: Iterable[A]) -> int:
         """The store grew at *addresses*: re-enqueue every reader.
 
-        Returns the number of configurations re-enqueued.
+        Each reader is enqueued at most once no matter how many of its
+        addresses changed; the changed addresses accumulate into the
+        reader's pending delta (see :meth:`pop_delta`).  Returns the
+        number of configurations newly re-enqueued.
         """
         requeued = 0
         for addr in addresses:
             for reader in self._readers.get(addr, ()):
                 if self._enqueue(reader):
                     requeued += 1
+                self._delta.setdefault(reader, set()).add(addr)
+        self.requeue_count += requeued
         return requeued
 
     def __bool__(self) -> bool:

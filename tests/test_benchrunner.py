@@ -1,0 +1,111 @@
+"""Tests for the parallel batch benchmark runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchsuite.runner import (
+    BenchTask, build_matrix, default_programs, run_batch, run_task,
+)
+from repro.errors import ReproError
+
+
+class TestMatrix:
+    def test_pairs_analyses_with_compatible_programs(self):
+        tasks = build_matrix(["eta", "pairs"],
+                             ["mcfa", "fj-poly"], [0, 1])
+        cells = {(task.program, task.analysis, task.parameter)
+                 for task in tasks}
+        assert cells == {
+            ("eta", "mcfa", 0), ("eta", "mcfa", 1),
+            ("pairs", "fj-poly", 0), ("pairs", "fj-poly", 1),
+        }
+
+    def test_zero_emitted_once_despite_many_contexts(self):
+        tasks = build_matrix(["eta"], ["zero"], [0, 1, 2])
+        assert len(tasks) == 1
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ReproError):
+            build_matrix(["nope"], ["mcfa"], [0])
+
+    def test_unknown_analysis_rejected_not_dropped(self):
+        with pytest.raises(ReproError, match="mfca"):
+            build_matrix(["eta"], ["kcfa", "mfca"], [0])
+
+    def test_copies_apply_to_scheme_programs_only(self):
+        tasks = build_matrix(["eta", "pairs"], ["mcfa", "fj-poly"],
+                             [1], copies=3)
+        by_program = {task.program: task for task in tasks}
+        assert by_program["eta"].copies == 3
+        assert by_program["pairs"].copies == 1
+
+    def test_default_programs_cover_both_languages(self):
+        names = default_programs()
+        assert "eta" in names and "pairs" in names
+
+
+class TestRunTask:
+    def test_ok_row_carries_summary(self):
+        row = run_task(BenchTask("eta", "mcfa", 1))
+        assert row["status"] == "ok"
+        assert row["steps"] > 0
+        assert row["task"] == "eta:mcfa(1)"
+
+    def test_timeout_is_a_status_not_an_error(self):
+        row = run_task(BenchTask("interp", "kcfa-naive", 1,
+                                 timeout=0.2))
+        assert row["status"] == "timeout"
+        assert row["wall_seconds"] >= 0.2
+
+    def test_fj_task_runs(self):
+        row = run_task(BenchTask("pairs", "fj-kcfa", 1))
+        assert row["status"] == "ok"
+        assert row["configs"] > 0
+
+    def test_broken_task_reports_error(self):
+        row = run_task(BenchTask("eta", "kcfa", -1))
+        assert row["status"] == "error"
+        assert "k must be non-negative" in row["error"]
+
+
+class TestRunBatch:
+    def test_serial_batch_preserves_task_order(self):
+        tasks = build_matrix(["eta", "map"], ["mcfa", "zero"], [0])
+        report = run_batch(tasks, serial=True)
+        assert [row["task"] for row in report.rows] == \
+            [task.task_id for task in tasks]
+        assert report.counts() == {"ok": len(tasks)}
+
+    def test_parallel_batch_same_rows_as_serial(self):
+        tasks = build_matrix(["eta"], ["mcfa", "zero"], [0, 1])
+        serial = run_batch(tasks, serial=True)
+        parallel = run_batch(tasks, jobs=2)
+        # The fixpoint (configs, store sizes, inlinings) is
+        # deterministic; drop per-process measurements (pid, timings)
+        # and `steps`, whose worklist order shifts with each worker's
+        # hash seed.
+        volatile = ("pid", "wall_seconds", "elapsed", "steps")
+        strip = lambda row: {key: value for key, value in row.items()
+                             if key not in volatile}
+        assert [strip(row) for row in serial.rows] == \
+            [strip(row) for row in parallel.rows]
+
+    def test_report_round_trips_through_json(self, tmp_path):
+        tasks = [BenchTask("eta", "zero", 0)]
+        report = run_batch(tasks, serial=True)
+        path = report.write(str(tmp_path / "BENCH_test.json"))
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["rows"][0]["task"] == "eta:zero(0)"
+        assert data["cpu_count"] >= 1
+        assert data["rows"][0]["status"] == "ok"
+
+    def test_progress_streams_once_per_task(self):
+        tasks = build_matrix(["eta"], ["mcfa"], [0, 1])
+        lines = []
+        run_batch(tasks, serial=True, progress=lines.append)
+        assert len(lines) == len(tasks)
+        assert lines[0].startswith("[1/2] ")

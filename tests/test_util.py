@@ -41,6 +41,31 @@ class TestWorklist:
         worklist.add("x")
         assert worklist
 
+    def test_force_requeues_a_seen_item(self):
+        worklist = Worklist([1])
+        worklist.pop()
+        assert worklist.add(1) is False  # dedup vs. seen...
+        worklist.force(1)                # ...but force overrides it
+        assert worklist.pop() == 1
+
+    def test_force_deduplicates_while_pending(self):
+        worklist = Worklist([1, 2])
+        worklist.force(1)
+        worklist.force(1)
+        assert len(worklist) == 2
+        worklist.pop()  # 1 leaves the queue...
+        worklist.force(1)  # ...so it may be forced back in
+        assert len(worklist) == 2
+
+    def test_force_uses_persistent_pending_set(self):
+        """The pending set survives pops — no O(n) rebuild per call."""
+        worklist = Worklist(range(100))
+        worklist.pop()
+        worklist.force(0)
+        worklist.force(50)  # still queued: ignored
+        assert len(worklist) == 100
+        assert worklist._pending == set(range(100))
+
 
 class TestDependencyWorklist:
     def test_basic_flow(self):
