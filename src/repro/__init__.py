@@ -27,7 +27,8 @@ The subpackages:
 * :mod:`repro.fj` — Featherweight Java: parser, ANF, concrete, k-CFA;
 * :mod:`repro.generators` — worst-case, paradox and random programs;
 * :mod:`repro.metrics` — precision, complexity and timing harnesses;
-* :mod:`repro.benchsuite` — the §6.2 benchmark programs.
+* :mod:`repro.benchsuite` — the §6.2 benchmark programs;
+* :mod:`repro.cache` — the persistent content-keyed result cache.
 """
 
 from repro.scheme.cps_transform import compile_program, cps_convert
@@ -41,10 +42,11 @@ from repro.analysis import (
 from repro.fj import (
     FJProgram, analyze_fj_kcfa, analyze_fj_poly, parse_fj, run_fj,
 )
+from repro.cache import ResultCache, cache_key
 from repro.util.budget import Budget
 from repro.errors import AnalysisTimeout, ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "compile_program", "cps_convert", "run_source",
@@ -54,6 +56,7 @@ __all__ = [
     "analyze_mcfa", "analyze_poly_kcfa", "analyze_zerocfa",
     "FJProgram", "analyze_fj_kcfa", "analyze_fj_poly", "parse_fj",
     "run_fj",
+    "ResultCache", "cache_key",
     "Budget", "AnalysisTimeout", "ReproError",
     "__version__",
 ]

@@ -73,6 +73,11 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--report",
                          choices=["flow", "inlining", "envs", "all"],
                          default="all")
+    analyze.add_argument("--cache", action="store_true",
+                         help="reuse/persist results in the default "
+                              "cache dir (~/.cache/repro)")
+    analyze.add_argument("--cache-dir", default=None,
+                         help="cache directory (implies --cache)")
 
     run = commands.add_parser(
         "run", help="run a Scheme program on the concrete machines")
@@ -122,6 +127,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run in-process (the parallel baseline)")
     bench.add_argument("--quick", action="store_true",
                        help="small smoke matrix (CI)")
+    bench.add_argument("--values", default="interned",
+                       help="comma-separated value-domain modes: "
+                            "interned, plain (default interned); "
+                            "'plain,interned' benches before/after")
+    bench.add_argument("--cache", action="store_true",
+                       help="reuse/persist ok rows in the default "
+                            "cache dir (~/.cache/repro)")
+    bench.add_argument("--cache-dir", default=None,
+                       help="cache directory (implies --cache)")
     bench.add_argument("--output", default=None,
                        help="report path ('-' to skip writing; "
                             "default BENCH_<timestamp>.json)")
@@ -136,21 +150,37 @@ def _read_source(path: str) -> str:
 
 
 def _cmd_analyze(args) -> int:
-    program = compile_program(_read_source(args.file))
+    from repro.cache import cache_key, open_cache
+    source = _read_source(args.file)
+    cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
+    key = None
+    if cache is not None:
+        key = cache_key(source, args.analysis, args.context,
+                        {"command": "analyze",
+                         "simplify": args.simplify,
+                         "report": args.report})
+        payload = cache.get(key)
+        if payload is not None:
+            sys.stdout.write(payload["stdout"])
+            print("(cached result)", file=sys.stderr)
+            return 0
+    program = compile_program(source)
     if args.simplify:
         program = simplify_program(program)
     budget = Budget(max_seconds=args.timeout)
     result = ANALYSES[args.analysis](program, args.context, budget)
-    print(f"program: {program.stats()}")
+    lines = [f"program: {program.stats()}"]
     if args.report in ("flow", "all"):
-        print()
-        print(flow_report(result))
+        lines += ["", flow_report(result)]
     if args.report in ("inlining", "all"):
-        print()
-        print(inlining_report(result))
+        lines += ["", inlining_report(result)]
     if args.report in ("envs", "all"):
-        print()
-        print(environment_report(result))
+        lines += ["", environment_report(result)]
+    text = "\n".join(lines) + "\n"
+    sys.stdout.write(text)
+    if cache is not None:
+        cache.put(key, {"stdout": text,
+                        "summary": result.summary()})
     return 0
 
 
@@ -204,6 +234,7 @@ def _cmd_bench(args) -> int:
         DEFAULT_ANALYSES, build_matrix, default_programs,
         default_report_path, run_batch,
     )
+    from repro.cache import open_cache
     from repro.reporting import bench_report_table
     if args.quick:
         overridden = [flag for flag, value in
@@ -234,17 +265,26 @@ def _cmd_bench(args) -> int:
             return 1
         copies = args.copies
         timeout = args.timeout
+    values = args.values.split(",")
     tasks = build_matrix(programs, analyses, contexts, copies=copies,
-                         timeout=timeout)
+                         timeout=timeout, values=values)
     if not tasks:
         print("error: empty benchmark matrix", file=sys.stderr)
         return 1
+    cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
+    values_axis = f" x {len(values)} value modes" \
+        if len(values) > 1 else ""
     print(f"bench: {len(tasks)} tasks "
           f"({len(programs)} programs x {len(analyses)} analyses "
-          f"x {len(contexts)} contexts)", file=sys.stderr)
+          f"x {len(contexts)} contexts{values_axis})", file=sys.stderr)
     report = run_batch(
-        tasks, jobs=args.jobs, serial=args.serial,
+        tasks, jobs=args.jobs, serial=args.serial, cache=cache,
         progress=lambda line: print(line, file=sys.stderr, flush=True))
+    if cache is not None:
+        print(f"cache: {cache.stats.hits} hits, "
+              f"{cache.stats.misses} misses, "
+              f"{cache.stats.writes} writes "
+              f"({cache.directory})", file=sys.stderr)
     print(bench_report_table(report))
     output = args.output
     if output != "-":

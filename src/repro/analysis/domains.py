@@ -63,7 +63,7 @@ class BasicValue:
 BASIC = BasicValue()
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class AConst:
     """An exactly-known atomic constant (a program literal).
 
@@ -72,9 +72,23 @@ class AConst:
     ``(id 3)`` from ``(id 4)`` — the observable in the paper's §6
     identity example.  Primitive *results* still abstract to
     :data:`BASIC`; quoted list structure also stays :data:`BASIC`.
+
+    Equality is *datum-type-sensitive*: ``AConst(True) != AConst(1)``
+    and ``AConst(False) != AConst(0)``, even though Python's ``bool``
+    compares equal to ``int``.  Booleans and numbers are distinct
+    Scheme data with different truthiness, and the hash-consing table
+    must never hand ``#f`` the bit of ``0`` (whose truthiness differs).
     """
 
     datum: object
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AConst) and \
+            type(other.datum) is type(self.datum) and \
+            other.datum == self.datum
+
+    def __hash__(self) -> int:
+        return hash((type(self.datum).__name__, self.datum))
 
     def __repr__(self) -> str:
         if self.datum is True:
@@ -214,6 +228,16 @@ class AbsStore:
     ``join`` returns True when the store actually grew at the address,
     which the engines use to re-enqueue reader configurations.
 
+    Flow sets are stored as *masks* of a per-store value table
+    (:mod:`repro.analysis.interning`): each distinct abstract value is
+    interned to one bit of a Python int on first sight, so joining is
+    ``old | new`` and growth detection a single int comparison.  The
+    mask-level API (:meth:`get_mask`, :meth:`join_mask`,
+    :meth:`mask_items`) is the hot path the engines and machines use;
+    :meth:`get`/:meth:`items` decode back to frozensets of values so
+    every external consumer — results, reports, soundness checks —
+    sees exactly the pre-interning representation.
+
     The store keeps *per-address version counters* for the shared
     delta-propagating engine: every growing join bumps the address's
     version and the store-wide :attr:`clock`, so a driver can compare a
@@ -222,34 +246,53 @@ class AbsStore:
     sets.
     """
 
-    __slots__ = ("_map", "_versions", "join_count", "clock")
+    __slots__ = ("table", "_empty", "_map", "_versions", "join_count",
+                 "clock")
 
-    def __init__(self):
-        self._map: dict[Addr, frozenset] = {}
+    def __init__(self, table=None):
+        if table is None:
+            from repro.analysis.interning import ValueTable
+            table = ValueTable()
+        #: The value table interning this store's flow sets.
+        self.table = table
+        self._empty = table.empty
+        self._map: dict[Addr, object] = {}  # addr -> mask
         self._versions: dict[Addr, int] = {}
         self.join_count = 0
         #: Total number of growing joins — a store-wide logical clock.
         self.clock = 0
 
     def get(self, addr: Addr) -> frozenset:
-        return self._map.get(addr, EMPTY)
+        """The decoded flow set at *addr* (empty set if unbound)."""
+        return self.table.decode(self._map.get(addr, self._empty))
+
+    def get_mask(self, addr: Addr):
+        """The raw mask at *addr* — the machines' read primitive."""
+        return self._map.get(addr, self._empty)
 
     def version(self, addr: Addr) -> int:
         """How many times the store has grown at *addr* (0 = never)."""
         return self._versions.get(addr, 0)
 
     def join(self, addr: Addr, values: Iterable[AbsVal]) -> bool:
-        values = frozenset(values)
-        if not values:
+        """Join a collection of abstract values (interning them)."""
+        return self.join_mask(addr, self.table.encode(values))
+
+    def join_mask(self, addr: Addr, mask) -> bool:
+        """Join a pre-encoded mask; True when the store grew."""
+        if not mask:
             return False
         self.join_count += 1
         current = self._map.get(addr)
         if current is None:
-            self._map[addr] = values
+            self._map[addr] = mask
             self._grew(addr)
             return True
-        merged = current | values
-        if len(merged) == len(current):
+        merged = current | mask
+        if type(merged) is int:
+            if merged == current:
+                return False
+        elif len(merged) == len(current):  # frozenset (PlainTable)
             return False
         self._map[addr] = merged
         self._grew(addr)
@@ -263,6 +306,10 @@ class AbsStore:
         return self._map.keys()
 
     def items(self) -> Iterable[tuple[Addr, frozenset]]:
+        decode = self.table.decode
+        return [(addr, decode(mask)) for addr, mask in self._map.items()]
+
+    def mask_items(self) -> Iterable[tuple[Addr, object]]:
         return self._map.items()
 
     def __len__(self) -> int:
@@ -270,10 +317,11 @@ class AbsStore:
 
     def total_values(self) -> int:
         """Σ |store(a)| — the lattice-position measure for ablations."""
-        return sum(len(values) for values in self._map.values())
+        mask_len = self.table.mask_len
+        return sum(mask_len(mask) for mask in self._map.values())
 
     def as_dict(self) -> dict[Addr, frozenset]:
-        return dict(self._map)
+        return dict(self.items())
 
 
 class FrozenStore:

@@ -83,11 +83,17 @@ class EngineOptions:
       ``(config, frozen_store) -> frozen_store`` applied to every
       successor state before dedup (abstract garbage collection);
       ``None`` disables collection.
+    * ``table_factory`` — constructs the per-run value table
+      (:mod:`repro.analysis.interning`).  ``None`` means the interned
+      bitset representation (:class:`~repro.analysis.interning.
+      ValueTable`); pass :class:`~repro.analysis.interning.PlainTable`
+      to run the same machine in the pre-interning object domain.
     """
 
     budget: Budget | None = None
     lifo: bool = False
     collect: Callable[[object, FrozenStore], FrozenStore] | None = None
+    table_factory: Callable[[], object] | None = None
 
 
 @dataclass
@@ -131,9 +137,11 @@ def run_single_store(machine: Machine, recorder,
     options = options or EngineOptions()
     budget = options.budget or Budget()
     budget.start()
-    store = AbsStore()
+    factory = options.table_factory
+    store = AbsStore(factory() if factory is not None else None)
     worklist: DependencyWorklist = DependencyWorklist()
     worklist.add(machine.boot(store))
+    join_mask = store.join_mask
     steps = 0
     delta_addresses = 0
     started = _time.perf_counter()
@@ -148,8 +156,8 @@ def run_single_store(machine: Machine, recorder,
         worklist.record_reads(config, reads)
         changed = []
         for succ, joins in succs:
-            for addr, values in joins:
-                if store.join(addr, values):
+            for addr, mask in joins:
+                if join_mask(addr, mask):
                     changed.append(addr)
             worklist.add(succ)
         if changed:
@@ -169,6 +177,31 @@ class NaiveState(Generic[C]):
     store: FrozenStore
 
 
+class _FrozenMaskView:
+    """Adapts an immutable :class:`FrozenStore` to the machines' mask
+    reads.
+
+    The machines are mask-native (they read flow sets through
+    ``get_mask``); the naive engine's states deliberately keep the
+    expensive object representation the §3.6 complexity bound talks
+    about.  This view encodes on read — memoized by the table, since
+    naive states alias the same frozensets heavily — so one machine
+    implementation serves both drivers.
+    """
+
+    __slots__ = ("table", "frozen")
+
+    def __init__(self, table):
+        self.table = table
+        self.frozen: FrozenStore | None = None
+
+    def get(self, addr) -> frozenset:
+        return self.frozen.get(addr)
+
+    def get_mask(self, addr):
+        return self.table.encode(self.frozen.get(addr))
+
+
 def run_naive(machine: Machine, recorder,
               options: EngineOptions | None = None) -> EngineRun:
     """Drive *machine* over the reachable-states space (§3.6).
@@ -186,11 +219,15 @@ def run_naive(machine: Machine, recorder,
     budget = options.budget or Budget()
     budget.start()
     collect = options.collect
-    seed = AbsStore()
+    factory = options.table_factory
+    seed = AbsStore(factory() if factory is not None else None)
+    table = seed.table
+    decode = table.decode
     initial = machine.boot(seed)
     frozen_seed = FrozenStore(seed.items())
     if collect is not None:
         frozen_seed = collect(initial, frozen_seed)
+    view = _FrozenMaskView(table)
     worklist: Worklist[NaiveState] = Worklist(lifo=options.lifo)
     worklist.add(NaiveState(initial, frozen_seed))
     steps = 0
@@ -200,9 +237,11 @@ def run_naive(machine: Machine, recorder,
         state = worklist.pop()
         steps += 1
         reads: set = set()
-        succs = machine.step(state.config, state.store, reads, recorder)
+        view.frozen = state.store
+        succs = machine.step(state.config, view, reads, recorder)
         for succ, joins in succs:
-            next_store = state.store.join_many(joins)
+            next_store = state.store.join_many(
+                (addr, decode(mask)) for addr, mask in joins)
             if collect is not None:
                 next_store = collect(succ, next_store)
             worklist.add(NaiveState(succ, next_store))

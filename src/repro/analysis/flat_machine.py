@@ -32,10 +32,11 @@ from repro.cps.syntax import (
     Ref, free_vars_of_lam,
 )
 from repro.analysis.domains import (
-    APair, AbsStore, AbsVal, Addr, BASIC, FClo, FlatEnvAbs,
-    abstract_literal, first_k, maybe_falsy, maybe_truthy,
+    APair, AbsStore, Addr, BASIC, FClo, FlatEnvAbs,
+    abstract_literal, first_k,
 )
 from repro.analysis.engine import EngineOptions, run_single_store
+from repro.analysis.interning import PlainTable
 from repro.analysis.kcfa import Recorder, result_from_run
 from repro.analysis.results import AnalysisResult
 from repro.scheme.primitives import lookup_primitive
@@ -76,11 +77,16 @@ class FConfig:
 class FTransition:
     call: Call
     env: FlatEnvAbs
-    joins: tuple[tuple[Addr, frozenset], ...]
+    joins: tuple[tuple[Addr, object], ...]  # values are table masks
 
 
 class FlatMachine:
-    """The flat-environment abstract transition relation."""
+    """The flat-environment abstract transition relation.
+
+    Mask-native like :class:`~repro.analysis.kcfa.KCFAMachine`: flow
+    sets are value-table masks and closures are hash-consed per
+    ``(lambda, environment)``.
+    """
 
     def __init__(self, program: Program, allocator: EnvAllocator):
         self.program = program
@@ -92,7 +98,12 @@ class FlatMachine:
     # -- the engine's Machine protocol ---------------------------------
 
     def boot(self, store: AbsStore) -> FConfig:
-        """Initial configuration (nothing to seed in the store)."""
+        """Adopt the store's value table; nothing to seed."""
+        table = store.table
+        self.table = table
+        self._basic = table.bit_for(BASIC)
+        self._lit_bits: dict[object, object] = {}
+        self._clo_bits: dict[tuple, object] = {}
         return self.initial()
 
     def step(self, config: FConfig, store, reads: set[Addr],
@@ -105,15 +116,25 @@ class FlatMachine:
     # -- Ê ---------------------------------------------------------------
 
     def evaluate(self, exp: CExp, env: FlatEnvAbs, store,
-                 reads: set[Addr]) -> frozenset:
+                 reads: set[Addr]):
+        """The mask of values *exp* may evaluate to."""
         if isinstance(exp, Ref):
             addr = (exp.name, env)
             reads.add(addr)
-            return store.get(addr)
-        if isinstance(exp, Lit):
-            return frozenset({abstract_literal(exp.datum)})
+            return store.get_mask(addr)
         if isinstance(exp, Lam):
-            return frozenset({FClo(exp, env)})
+            key = (exp.label, env)
+            bit = self._clo_bits.get(key)
+            if bit is None:
+                bit = self.table.bit_for(FClo(exp, env))
+                self._clo_bits[key] = bit
+            return bit
+        if isinstance(exp, Lit):
+            bit = self._lit_bits.get(id(exp))
+            if bit is None:
+                bit = self.table.bit_for(abstract_literal(exp.datum))
+                self._lit_bits[id(exp)] = bit
+            return bit
         raise TypeError(f"not an atomic expression: {exp!r}")
 
     # -- transitions --------------------------------------------------------
@@ -127,9 +148,9 @@ class FlatMachine:
         if isinstance(call, IfCall):
             test = self.evaluate(call.test, env, store, reads)
             succs = []
-            if any(maybe_truthy(value) for value in test):
+            if self.table.any_truthy(test):
                 succs.append(FTransition(call.then, env, ()))
-            if any(maybe_falsy(value) for value in test):
+            if self.table.any_falsy(test):
                 succs.append(FTransition(call.orelse, env, ()))
             return succs
         if isinstance(call, PrimCall):
@@ -137,12 +158,12 @@ class FlatMachine:
                                           recorder)
         if isinstance(call, FixCall):
             joins = tuple(
-                ((name, env), frozenset({FClo(lam, env)}))
+                ((name, env), self.table.bit_for(FClo(lam, env)))
                 for name, lam in call.bindings)
             return [FTransition(call.body, env, joins)]
         if isinstance(call, HaltCall):
-            recorder.halt_values |= self.evaluate(call.arg, env, store,
-                                                  reads)
+            recorder.halt_values |= self.table.decode(
+                self.evaluate(call.arg, env, store, reads))
             return []
         raise TypeError(f"cannot step call {call!r}")
 
@@ -150,12 +171,12 @@ class FlatMachine:
                          reads: set[Addr],
                          recorder: Recorder) -> list[FTransition]:
         operators = self.evaluate(call.fn, env, store, reads)
-        if BASIC in operators:
+        if operators & self._basic:
             recorder.unknown_operator.add(call.label)
         arg_values = [self.evaluate(arg, env, store, reads)
                       for arg in call.args]
         succs = []
-        for operator in operators:
+        for operator in self.table.decode_iter(operators):
             if not isinstance(operator, FClo):
                 continue
             lam = operator.lam
@@ -166,20 +187,20 @@ class FlatMachine:
         return succs
 
     def _enter(self, call_label: int, caller_env: FlatEnvAbs,
-               operator: FClo, arg_values: list[frozenset], store,
+               operator: FClo, arg_values: list, store,
                reads: set[Addr], recorder: Recorder) -> FTransition:
         """Allocate ρ̂'', bind parameters, copy free variables (§5.2)."""
         lam = operator.lam
         new_env = self.new_env(call_label, caller_env, lam,
                                operator.env)
-        joins: list[tuple[Addr, frozenset]] = [
-            ((param, new_env), values)
-            for param, values in zip(lam.params, arg_values)]
+        joins: list[tuple[Addr, object]] = [
+            ((param, new_env), mask)
+            for param, mask in zip(lam.params, arg_values)]
         if new_env != operator.env:
             for free in free_vars_of_lam(lam):
                 source = (free, operator.env)
                 reads.add(source)
-                copied = store.get(source)
+                copied = store.get_mask(source)
                 if copied:
                     joins.append(((free, new_env), copied))
         recorder.record_apply(call_label, lam, new_env)
@@ -191,35 +212,36 @@ class FlatMachine:
         prim = lookup_primitive(call.op)
         arg_values = [self.evaluate(arg, env, store, reads)
                       for arg in call.args]
-        if any(not values for values in arg_values):
+        if any(not mask for mask in arg_values):
             return []
         if prim.kind == "error":
             return []
-        extra_joins: list[tuple[Addr, frozenset]] = []
+        extra_joins: list[tuple[Addr, object]] = []
         if prim.kind == "basic":
-            result = frozenset({BASIC})
+            result = self._basic
         elif prim.kind == "cons":
             car_addr = (f"car@{call.label}", env)
             cdr_addr = (f"cdr@{call.label}", env)
             extra_joins.append((car_addr, arg_values[0]))
             extra_joins.append((cdr_addr, arg_values[1]))
-            result = frozenset({APair(car_addr, cdr_addr)})
+            result = self.table.bit_for(APair(car_addr, cdr_addr))
         elif prim.kind in ("car", "cdr"):
-            gathered: set[AbsVal] = set()
-            for value in arg_values[0]:
+            gathered = self.table.empty
+            for value in self.table.decode_iter(arg_values[0]):
                 if isinstance(value, APair):
                     addr = value.car if prim.kind == "car" else value.cdr
                     reads.add(addr)
-                    gathered |= store.get(addr)
+                    gathered |= store.get_mask(addr)
                 elif value is BASIC:
-                    gathered.add(BASIC)
+                    gathered |= self._basic
             if not gathered:
                 return []
-            result = frozenset(gathered)
+            result = gathered
         else:
             raise ValueError(f"unknown primitive kind {prim.kind!r}")
         succs = []
-        for operator in self.evaluate(call.cont, env, store, reads):
+        conts = self.evaluate(call.cont, env, store, reads)
+        for operator in self.table.decode_iter(conts):
             if not isinstance(operator, FClo):
                 continue
             if len(operator.lam.params) != 1:
@@ -237,8 +259,11 @@ class FlatMachine:
 
 def analyze_flat(program: Program, allocator: EnvAllocator,
                  analysis: str, parameter: int,
-                 budget: Budget | None = None) -> AnalysisResult:
+                 budget: Budget | None = None,
+                 plain: bool = False) -> AnalysisResult:
     """Run the flat machine to fixpoint with a single-threaded store."""
-    run = run_single_store(FlatMachine(program, allocator), Recorder(),
-                           EngineOptions(budget=budget))
+    run = run_single_store(
+        FlatMachine(program, allocator), Recorder(),
+        EngineOptions(budget=budget,
+                      table_factory=PlainTable if plain else None))
     return result_from_run(run, program, analysis, parameter)

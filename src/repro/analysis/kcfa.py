@@ -34,12 +34,13 @@ from repro.cps.syntax import (
     Ref, free_vars_of_lam,
 )
 from repro.analysis.domains import (
-    APair, AbsStore, AbsVal, Addr, BASIC, BEnv, EMPTY_BENV,
-    KClo, Time, abstract_literal, first_k, maybe_falsy, maybe_truthy,
+    APair, AbsStore, Addr, BASIC, BEnv, EMPTY_BENV,
+    KClo, Time, abstract_literal, first_k,
 )
 from repro.analysis.engine import (
     EngineOptions, EngineRun, run_naive, run_single_store,
 )
+from repro.analysis.interning import PlainTable
 from repro.analysis.results import AnalysisResult
 from repro.scheme.primitives import lookup_primitive
 from repro.util.budget import Budget
@@ -56,12 +57,16 @@ class KConfig:
 
 @dataclass(frozen=True, slots=True)
 class Transition:
-    """One abstract transition: a successor plus its store joins."""
+    """One abstract transition: a successor plus its store joins.
+
+    Join values are value-table *masks*
+    (:mod:`repro.analysis.interning`), not decoded frozensets.
+    """
 
     call: Call
     benv: BEnv
     time: Time
-    joins: tuple[tuple[Addr, frozenset], ...]
+    joins: tuple[tuple[Addr, object], ...]
 
 
 @dataclass
@@ -87,7 +92,17 @@ class Recorder:
 
 
 class KCFAMachine:
-    """The k-CFA abstract transition relation."""
+    """The k-CFA abstract transition relation.
+
+    The machine is *mask-native*: flow sets are the value-table masks
+    of :mod:`repro.analysis.interning` (ints by default, frozensets
+    under :class:`~repro.analysis.interning.PlainTable`), read through
+    the store's ``get_mask`` and handed back to the engine as
+    ``(addr, mask)`` joins.  Closures are hash-consed per
+    ``(lambda, environment)`` and environment extension is memoized
+    per ``(environment, lambda, time)`` — the two allocations the
+    worst-case terms hammer.
+    """
 
     def __init__(self, program: Program, k: int):
         if k < 0:
@@ -101,7 +116,14 @@ class KCFAMachine:
     # -- the engine's Machine protocol ---------------------------------
 
     def boot(self, store: AbsStore) -> KConfig:
-        """Initial configuration (k-CFA seeds nothing in the store)."""
+        """Adopt the store's value table; k-CFA seeds no addresses."""
+        table = store.table
+        self.table = table
+        self._basic = table.bit_for(BASIC)
+        self._lit_bits: dict[object, object] = {}
+        self._clo_bits: dict[tuple, object] = {}
+        self._extend_memo: dict[tuple, BEnv] = {}
+        self._fix_memo: dict[tuple, tuple] = {}
         return self.initial()
 
     def step(self, config: KConfig, store, reads: set[Addr],
@@ -117,16 +139,26 @@ class KCFAMachine:
     # -- Ê ------------------------------------------------------------
 
     def evaluate(self, exp: CExp, benv: BEnv, store,
-                 reads: set[Addr]) -> frozenset:
+                 reads: set[Addr]):
+        """The mask of values *exp* may evaluate to."""
         if isinstance(exp, Ref):
             addr = (exp.name, benv[exp.name])
             reads.add(addr)
-            return store.get(addr)
-        if isinstance(exp, Lit):
-            return frozenset({abstract_literal(exp.datum)})
+            return store.get_mask(addr)
         if isinstance(exp, Lam):
-            return frozenset(
-                {KClo(exp, benv.restrict(free_vars_of_lam(exp)))})
+            key = (exp.label, benv)
+            bit = self._clo_bits.get(key)
+            if bit is None:
+                bit = self.table.bit_for(
+                    KClo(exp, benv.restrict(free_vars_of_lam(exp))))
+                self._clo_bits[key] = bit
+            return bit
+        if isinstance(exp, Lit):
+            bit = self._lit_bits.get(id(exp))
+            if bit is None:
+                bit = self.table.bit_for(abstract_literal(exp.datum))
+                self._lit_bits[id(exp)] = bit
+            return bit
         raise TypeError(f"not an atomic expression: {exp!r}")
 
     # -- the transition relation ----------------------------------------
@@ -140,26 +172,33 @@ class KCFAMachine:
         if isinstance(call, IfCall):
             test = self.evaluate(call.test, benv, store, reads)
             succs = []
-            if any(maybe_truthy(value) for value in test):
+            if self.table.any_truthy(test):
                 succs.append(Transition(call.then, benv, now, ()))
-            if any(maybe_falsy(value) for value in test):
+            if self.table.any_falsy(test):
                 succs.append(Transition(call.orelse, benv, now, ()))
             return succs
         if isinstance(call, PrimCall):
             return self._prim_transitions(call, benv, now, store, reads,
                                           recorder)
         if isinstance(call, FixCall):
-            extended = benv.extend(
-                (name for name, _ in call.bindings), now)
-            joins = []
-            for name, lam in call.bindings:
-                closure = KClo(
-                    lam, extended.restrict(free_vars_of_lam(lam)))
-                joins.append(((name, now), frozenset({closure})))
-            return [Transition(call.body, extended, now, tuple(joins))]
+            key = (benv, call.label, now)
+            memo = self._fix_memo.get(key)
+            if memo is None:
+                extended = benv.extend(
+                    (name for name, _ in call.bindings), now)
+                joins = []
+                for name, lam in call.bindings:
+                    closure = KClo(
+                        lam, extended.restrict(free_vars_of_lam(lam)))
+                    joins.append(((name, now),
+                                  self.table.bit_for(closure)))
+                memo = (extended, tuple(joins))
+                self._fix_memo[key] = memo
+            extended, joins = memo
+            return [Transition(call.body, extended, now, joins)]
         if isinstance(call, HaltCall):
-            recorder.halt_values |= self.evaluate(call.arg, benv, store,
-                                                  reads)
+            recorder.halt_values |= self.table.decode(
+                self.evaluate(call.arg, benv, store, reads))
             return []
         raise TypeError(f"cannot step call {call!r}")
 
@@ -167,13 +206,13 @@ class KCFAMachine:
                          store, reads: set[Addr],
                          recorder: Recorder) -> list[Transition]:
         operators = self.evaluate(call.fn, benv, store, reads)
-        if BASIC in operators:
+        if operators & self._basic:
             recorder.unknown_operator.add(call.label)
         arg_values = [self.evaluate(arg, benv, store, reads)
                       for arg in call.args]
         new_time = self.tick(call, now)
         succs = []
-        for operator in operators:
+        for operator in self.table.decode_iter(operators):
             if not isinstance(operator, KClo):
                 continue
             lam = operator.lam
@@ -184,12 +223,16 @@ class KCFAMachine:
         return succs
 
     def _enter(self, call_label: int, lam: Lam, closure_benv: BEnv,
-               arg_values: list[frozenset], new_time: Time,
+               arg_values: list, new_time: Time,
                recorder: Recorder) -> Transition:
         """Bind parameters at the new time (the §3.4 rule)."""
-        body_benv = closure_benv.extend(lam.params, new_time)
-        joins = tuple(((param, new_time), values)
-                      for param, values in zip(lam.params, arg_values))
+        key = (closure_benv, lam.label, new_time)
+        body_benv = self._extend_memo.get(key)
+        if body_benv is None:
+            body_benv = closure_benv.extend(lam.params, new_time)
+            self._extend_memo[key] = body_benv
+        joins = tuple(((param, new_time), mask)
+                      for param, mask in zip(lam.params, arg_values))
         recorder.record_apply(call_label, lam, body_benv)
         return Transition(lam.body, body_benv, new_time, joins)
 
@@ -199,38 +242,39 @@ class KCFAMachine:
         prim = lookup_primitive(call.op)
         arg_values = [self.evaluate(arg, benv, store, reads)
                       for arg in call.args]
-        if any(not values for values in arg_values):
+        if any(not mask for mask in arg_values):
             return []  # an argument is unreachable, so is the call
         new_time = self.tick(call, now)
-        extra_joins: list[tuple[Addr, frozenset]] = []
+        extra_joins: list[tuple[Addr, object]] = []
         if prim.kind == "error":
             return []
         if prim.kind == "basic":
-            result = frozenset({BASIC})
+            result = self._basic
         elif prim.kind == "cons":
             car_addr = (f"car@{call.label}", new_time)
             cdr_addr = (f"cdr@{call.label}", new_time)
             extra_joins.append((car_addr, arg_values[0]))
             extra_joins.append((cdr_addr, arg_values[1]))
-            result = frozenset({APair(car_addr, cdr_addr)})
+            result = self.table.bit_for(APair(car_addr, cdr_addr))
         elif prim.kind in ("car", "cdr"):
-            gathered: set[AbsVal] = set()
-            for value in arg_values[0]:
+            gathered = self.table.empty
+            for value in self.table.decode_iter(arg_values[0]):
                 if isinstance(value, APair):
                     addr = value.car if prim.kind == "car" else value.cdr
                     reads.add(addr)
-                    gathered |= store.get(addr)
+                    gathered |= store.get_mask(addr)
                 elif value is BASIC:
                     # Quoted list structure abstracts to BASIC and can
                     # only contain basic data, so projecting stays BASIC.
-                    gathered.add(BASIC)
+                    gathered |= self._basic
             if not gathered:
                 return []
-            result = frozenset(gathered)
+            result = gathered
         else:
             raise ValueError(f"unknown primitive kind {prim.kind!r}")
         succs = []
-        for operator in self.evaluate(call.cont, benv, store, reads):
+        conts = self.evaluate(call.cont, benv, store, reads)
+        for operator in self.table.decode_iter(conts):
             if not isinstance(operator, KClo):
                 continue
             lam = operator.lam
@@ -263,26 +307,33 @@ def result_from_run(run: EngineRun, program: Program, analysis: str,
 
 
 def analyze_kcfa(program: Program, k: int = 1,
-                 budget: Budget | None = None) -> AnalysisResult:
+                 budget: Budget | None = None,
+                 plain: bool = False) -> AnalysisResult:
     """Run k-CFA with the single-threaded store (§3.7).
 
     Raises :class:`~repro.errors.AnalysisTimeout` when the budget is
     exceeded — callers reproducing the worst-case table catch it and
-    report ∞.
+    report ∞.  ``plain=True`` runs the pre-interning object domain
+    (for equivalence tests and before/after benchmarking).
     """
-    run = run_single_store(KCFAMachine(program, k), Recorder(),
-                           EngineOptions(budget=budget))
+    run = run_single_store(
+        KCFAMachine(program, k), Recorder(),
+        EngineOptions(budget=budget,
+                      table_factory=PlainTable if plain else None))
     return result_from_run(run, program, "k-CFA", k)
 
 
 def analyze_kcfa_naive(program: Program, k: int = 1,
-                       budget: Budget | None = None) -> AnalysisResult:
+                       budget: Budget | None = None,
+                       plain: bool = False) -> AnalysisResult:
     """Run k-CFA by naive reachable-states exploration (§3.6).
 
     The system-space is P(Σ̂): states carry whole stores, so state
     counts explode even for k = 0 — which is the paper's point.  Use
     only on small programs, with a budget.
     """
-    run = run_naive(KCFAMachine(program, k), Recorder(),
-                    EngineOptions(budget=budget))
+    run = run_naive(
+        KCFAMachine(program, k), Recorder(),
+        EngineOptions(budget=budget,
+                      table_factory=PlainTable if plain else None))
     return result_from_run(run, program, "k-CFA-naive", k)

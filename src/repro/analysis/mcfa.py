@@ -20,7 +20,8 @@ from repro.util.budget import Budget
 
 
 def analyze_mcfa(program: Program, m: int = 1,
-                 budget: Budget | None = None) -> AnalysisResult:
+                 budget: Budget | None = None,
+                 plain: bool = False) -> AnalysisResult:
     """Run m-CFA to fixpoint.
 
     Complexity is polynomial in program size for any fixed m
@@ -29,4 +30,5 @@ def analyze_mcfa(program: Program, m: int = 1,
     """
     if m < 0:
         raise ValueError(f"m must be non-negative, got {m}")
-    return analyze_flat(program, mcfa_allocator(m), "m-CFA", m, budget)
+    return analyze_flat(program, mcfa_allocator(m), "m-CFA", m, budget,
+                        plain=plain)

@@ -20,7 +20,9 @@ from repro.util.budget import Budget
 
 
 def analyze_zerocfa(program: Program,
-                    budget: Budget | None = None) -> AnalysisResult:
+                    budget: Budget | None = None,
+                    plain: bool = False) -> AnalysisResult:
     """Run 0CFA (m-CFA with m = 0) to fixpoint."""
-    result = analyze_flat(program, mcfa_allocator(0), "0CFA", 0, budget)
+    result = analyze_flat(program, mcfa_allocator(0), "0CFA", 0, budget,
+                          plain=plain)
     return result

@@ -54,14 +54,38 @@ DEFAULT_ANALYSES = ("kcfa", "mcfa", "poly", "zero", "fj-kcfa",
                     "fj-poly")
 
 
+#: Value-domain representations a task can run under (see
+#: :mod:`repro.analysis.interning`): ``interned`` is the bitset
+#: production path, ``plain`` the pre-interning object domain — the
+#: before/after axis of the performance documentation.
+VALUE_MODES = ("interned", "plain")
+
+#: Worst-case ladder program names: ``worst<depth>`` (e.g. worst8)
+#: generates the Van Horn–Mairson doubling term of that depth via
+#: :func:`repro.generators.worstcase.worst_case_source`.
+WORST_PREFIX = "worst"
+
+
+def is_worst_case_name(name: str) -> bool:
+    digits = name[len(WORST_PREFIX):]
+    return name.startswith(WORST_PREFIX) and digits.isdigit() \
+        and int(digits) >= 1  # worst0 is not a valid ladder term
+
+
+def worst_case_depth(name: str) -> int:
+    return int(name[len(WORST_PREFIX):])
+
+
 @dataclass(frozen=True, slots=True)
 class BenchTask:
     """One cell of the benchmark matrix.
 
-    ``program`` is a Scheme suite name (``eta``, ``map``, ...) or an
-    FJ example name (``pairs``, ``dispatch``, ...); ``copies`` scales
-    Scheme programs via :func:`repro.benchsuite.scaling.scaled_source`
-    and is ignored for FJ programs.
+    ``program`` is a Scheme suite name (``eta``, ``map``, ...), a
+    worst-case ladder name (``worst8``) or an FJ example name
+    (``pairs``, ``dispatch``, ...); ``copies`` scales Scheme suite
+    programs via :func:`repro.benchsuite.scaling.scaled_source` and is
+    ignored for generated and FJ programs.  ``values`` selects the
+    value-domain representation (see :data:`VALUE_MODES`).
     """
 
     program: str
@@ -69,11 +93,36 @@ class BenchTask:
     parameter: int
     copies: int = 1
     timeout: float = 30.0
+    values: str = "interned"
 
     @property
     def task_id(self) -> str:
         scale = f"x{self.copies}" if self.copies > 1 else ""
-        return f"{self.program}{scale}:{self.analysis}({self.parameter})"
+        mode = f"[{self.values}]" if self.values != "interned" else ""
+        return (f"{self.program}{scale}:{self.analysis}"
+                f"({self.parameter}){mode}")
+
+
+def task_source(task: BenchTask) -> str:
+    """The exact program text a task analyzes — the cache-key input.
+
+    Resolving the source is cheap (no compilation), so the batch
+    driver can consult the persistent cache before dispatching the
+    task to a worker.
+    """
+    from repro.benchsuite.programs import BY_NAME
+    from repro.benchsuite.scaling import scaled_source
+    from repro.fj.examples import ALL_EXAMPLES
+    from repro.generators.worstcase import worst_case_source
+
+    if is_worst_case_name(task.program):
+        return worst_case_source(worst_case_depth(task.program))
+    if task.program in BY_NAME:
+        bench = BY_NAME[task.program]
+        if task.copies > 1:
+            return scaled_source(bench, task.copies)
+        return bench.source
+    return ALL_EXAMPLES[task.program]
 
 
 def _run_scheme_task(task: BenchTask, budget: Budget) -> dict:
@@ -83,8 +132,11 @@ def _run_scheme_task(task: BenchTask, budget: Budget) -> dict:
     )
     from repro.benchsuite.programs import BY_NAME
     from repro.benchsuite.scaling import scaled_program
+    from repro.generators.worstcase import worst_case_program
 
-    if task.copies > 1:
+    if is_worst_case_name(task.program):
+        program = worst_case_program(worst_case_depth(task.program))
+    elif task.copies > 1:
         program = scaled_program(task.program, task.copies)
     else:
         program = BY_NAME[task.program].compile()
@@ -92,11 +144,13 @@ def _run_scheme_task(task: BenchTask, budget: Budget) -> dict:
         "kcfa": analyze_kcfa,
         "mcfa": analyze_mcfa,
         "poly": analyze_poly_kcfa,
-        "zero": lambda p, n, b: analyze_zerocfa(p, b),
+        "zero": lambda p, n, b, plain: analyze_zerocfa(p, b,
+                                                       plain=plain),
         "kcfa-gc": analyze_kcfa_gc,
         "kcfa-naive": analyze_kcfa_naive,
     }
-    result = analyses[task.analysis](program, task.parameter, budget)
+    result = analyses[task.analysis](program, task.parameter, budget,
+                                     plain=task.values == "plain")
     return result.summary()
 
 
@@ -113,7 +167,8 @@ def _run_fj_task(task: BenchTask, budget: Budget) -> dict:
         "fj-kcfa-gc": analyze_fj_kcfa_gc,
     }
     result = analyses[task.analysis](program, task.parameter,
-                                     budget=budget)
+                                     budget=budget,
+                                     plain=task.values == "plain")
     return result.summary()
 
 
@@ -132,6 +187,7 @@ def run_task(task: BenchTask) -> dict:
         "parameter": task.parameter,
         "copies": task.copies,
         "timeout": task.timeout,
+        "values": task.values,
         "pid": os.getpid(),
     }
     budget = Budget(max_seconds=task.timeout)
@@ -159,12 +215,15 @@ def run_task(task: BenchTask) -> dict:
 
 def build_matrix(programs: Iterable[str], analyses: Iterable[str],
                  contexts: Iterable[int], copies: int = 1,
-                 timeout: float = 30.0) -> list[BenchTask]:
-    """Expand program × analysis × context into tasks.
+                 timeout: float = 30.0,
+                 values: Iterable[str] = ("interned",)
+                 ) -> list[BenchTask]:
+    """Expand program × analysis × context × value-mode into tasks.
 
-    Scheme analyses pair with Scheme programs and FJ analyses with FJ
-    programs; mismatched combinations are skipped rather than
-    rejected, so one flag set can drive a heterogeneous matrix.
+    Scheme analyses pair with Scheme programs (suite names or
+    ``worst<depth>`` ladder terms) and FJ analyses with FJ programs;
+    mismatched combinations are skipped rather than rejected, so one
+    flag set can drive a heterogeneous matrix.
     """
     from repro.benchsuite.programs import BY_NAME
     from repro.fj.examples import ALL_EXAMPLES
@@ -174,14 +233,21 @@ def build_matrix(programs: Iterable[str], analyses: Iterable[str],
     # task_id and make the report's row order nondeterministic.
     programs = list(dict.fromkeys(programs))
     analyses = list(dict.fromkeys(analyses))
+    value_modes = list(dict.fromkeys(values))
     unknown = [name for name in analyses if name not in ALL_ANALYSES]
     if unknown:
         raise ReproError(
             f"unknown analyses {unknown!r}; choose from "
             f"{', '.join(ALL_ANALYSES)}")
+    unknown_modes = [mode for mode in value_modes
+                     if mode not in VALUE_MODES]
+    if unknown_modes:
+        raise ReproError(
+            f"unknown value modes {unknown_modes!r}; choose from "
+            f"{', '.join(VALUE_MODES)}")
     tasks = []
     for program in programs:
-        if program in BY_NAME:
+        if program in BY_NAME or is_worst_case_name(program):
             compatible = SCHEME_ANALYSES
         elif program in ALL_EXAMPLES:
             compatible = FJ_ANALYSES
@@ -194,11 +260,12 @@ def build_matrix(programs: Iterable[str], analyses: Iterable[str],
                 # 0CFA has no context knob; emit it once.
                 if analysis == "zero" and parameter != min(contexts):
                     continue
-                tasks.append(BenchTask(
-                    program=program, analysis=analysis,
-                    parameter=parameter,
-                    copies=copies if program in BY_NAME else 1,
-                    timeout=timeout))
+                for mode in value_modes:
+                    tasks.append(BenchTask(
+                        program=program, analysis=analysis,
+                        parameter=parameter,
+                        copies=copies if program in BY_NAME else 1,
+                        timeout=timeout, values=mode))
     return tasks
 
 
@@ -255,10 +322,25 @@ def default_report_path(directory: str = ".") -> str:
     return os.path.join(directory, f"BENCH_{stamp}.json")
 
 
+def _task_cache_key(task: BenchTask) -> str:
+    """The persistent-cache key of one matrix cell.
+
+    Keyed by the exact program text (content hash), the analysis, the
+    context depth and the result-relevant options; the timeout is
+    excluded on purpose (a completed result does not depend on it, and
+    timed-out rows are never cached).  ``values`` *is* included so the
+    plain/interned timing rows stay distinct.
+    """
+    from repro.cache import cache_key
+    return cache_key(task_source(task), task.analysis, task.parameter,
+                     {"bench": True, "copies": task.copies,
+                      "values": task.values})
+
+
 def run_batch(tasks: list[BenchTask], jobs: int | None = None,
               serial: bool = False,
-              progress: Callable[[str], None] | None = None
-              ) -> BenchReport:
+              progress: Callable[[str], None] | None = None,
+              cache=None) -> BenchReport:
     """Run a batch of tasks, streaming progress as they finish.
 
     With ``serial=True`` (or a single job) everything runs in-process
@@ -266,28 +348,61 @@ def run_batch(tasks: list[BenchTask], jobs: int | None = None,
     tasks fan out across worker processes; results are collected with
     :func:`concurrent.futures.as_completed`, so a slow cell never
     blocks reporting of the cells that beat it.
+
+    With a :class:`~repro.cache.ResultCache`, each cell is first
+    looked up by content key (:func:`_task_cache_key`); hits skip the
+    fixpoint entirely and are reported with ``"cached": True`` (their
+    ``wall_seconds`` is the original run's).  Fresh ``ok`` rows are
+    written back.  All cache I/O happens in the parent process.
     """
     jobs = max(1, jobs or os.cpu_count() or 1)
     emit = progress or (lambda message: None)
     started_at = time.strftime("%Y-%m-%dT%H:%M:%S")
     started = time.perf_counter()
     rows: list[dict] = []
+    pending: list[BenchTask] = []
+    keys: dict[BenchTask, str] = {}
     total = len(tasks)
-    if serial or jobs == 1 or total <= 1:
-        serial = True
-        for index, task in enumerate(tasks, start=1):
-            row = run_task(task)
+    index = 0
+    if cache is not None:
+        for task in tasks:
+            keys[task] = _task_cache_key(task)
+            row = cache.get(keys[task])
+            if row is None or row.get("status") != "ok":
+                pending.append(task)
+                continue
+            row = dict(row)
+            row["cached"] = True
+            index += 1
             rows.append(row)
             emit(_progress_line(index, total, row))
     else:
+        pending = list(tasks)
+
+    def finish(row: dict, task: BenchTask) -> None:
+        nonlocal index
+        index += 1
+        rows.append(row)
+        if cache is not None and row["status"] == "ok":
+            payload = {key: value for key, value in row.items()
+                       if key != "pid"}
+            cache.put(keys[task], payload)
+        emit(_progress_line(index, total, row))
+
+    # The recorded mode reflects what was *requested* for the batch;
+    # a warm cache may leave too little pending work to bother
+    # spinning up the pool, but that must not relabel a parallel run
+    # as serial in the report.
+    serial = serial or jobs == 1 or total <= 1
+    if serial or len(pending) <= 1:
+        for task in pending:
+            finish(run_task(task), task)
+    else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {pool.submit(run_task, task): task
-                       for task in tasks}
-            for index, future in enumerate(as_completed(futures),
-                                           start=1):
-                row = future.result()
-                rows.append(row)
-                emit(_progress_line(index, total, row))
+                       for task in pending}
+            for future in as_completed(futures):
+                finish(future.result(), futures[future])
     elapsed = time.perf_counter() - started
     # Deterministic report order regardless of completion order.
     order = {task.task_id: index for index, task in enumerate(tasks)}
@@ -300,7 +415,9 @@ def run_batch(tasks: list[BenchTask], jobs: int | None = None,
 def _progress_line(index: int, total: int, row: dict) -> str:
     mark = {"ok": "✓", "timeout": "∞", "error": "!"}[row["status"]]
     extra = ""
-    if row["status"] == "ok":
+    if row.get("cached"):
+        extra = " cached"
+    elif row["status"] == "ok":
         extra = f" {row['wall_seconds']:.2f}s steps={row.get('steps')}"
     elif row["status"] == "error":
         extra = f" {row.get('error', '')}"

@@ -1,0 +1,181 @@
+"""Persistent result cache: analysis answers keyed by program content.
+
+The serving pattern the ROADMAP aims at — the same queries arriving
+again and again — never needs to re-run a fixpoint: an analysis is a
+pure function of (program text, analysis name, context depth,
+options).  This module memoizes that function on disk.
+
+Key scheme
+----------
+
+A cache key is the SHA-256 of a canonical JSON document::
+
+    {"schema": CACHE_SCHEMA_VERSION,
+     "source_sha256": <hash of the exact program text>,
+     "analysis": "kcfa", "parameter": 1,
+     "options": {...sorted, analysis-relevant options only...}}
+
+so any change to the program text, the analysis, the context depth or
+a result-relevant option produces a different key.  Wall-clock
+budgets are deliberately *not* part of the key: a completed result
+does not depend on how long it was allowed to take (and timed-out
+runs are never cached).
+
+Invalidation rule
+-----------------
+
+``CACHE_SCHEMA_VERSION`` must be bumped whenever the meaning or shape
+of cached payloads changes — a new analysis semantics, a changed
+report format, different summary fields.  Old entries then miss (they
+were written under a different schema) and are simply left behind;
+``prune`` removes them.  Corrupt or truncated files are treated as
+misses, never as errors.
+
+Entries live one-per-file under the cache directory (default
+``~/.cache/repro`` honoring ``XDG_CACHE_HOME``, or ``--cache-dir``),
+written atomically via rename so concurrent readers never observe a
+partial entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+#: Bump when the cached payload format or analysis semantics change.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro`` (``~/.cache/repro`` by default)."""
+    root = os.environ.get("XDG_CACHE_HOME")
+    base = Path(root) if root else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_key(source: str, analysis: str, parameter: int,
+              options: Mapping | None = None) -> str:
+    """The content-addressed key of one analysis question."""
+    document = json.dumps({
+        "schema": CACHE_SCHEMA_VERSION,
+        "source_sha256": hashlib.sha256(
+            source.encode("utf-8")).hexdigest(),
+        "analysis": analysis,
+        "parameter": parameter,
+        "options": dict(sorted((options or {}).items())),
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one process's cache use."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    rejected: int = 0  # corrupt or schema-mismatched entries
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "rejected": self.rejected}
+
+
+@dataclass
+class ResultCache:
+    """A directory of JSON analysis results, one file per key."""
+
+    directory: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self.directory = Path(self.directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for *key*, or None.
+
+        Corrupt files, foreign JSON and entries written under a
+        different ``CACHE_SCHEMA_VERSION`` are all counted as misses
+        (and as ``rejected``) — the cache never raises on bad data.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self.stats.misses += 1
+            self.stats.rejected += 1
+            return None
+        if not isinstance(entry, dict) \
+                or entry.get("schema") != CACHE_SCHEMA_VERSION \
+                or entry.get("key") != key \
+                or "payload" not in entry:
+            self.stats.misses += 1
+            self.stats.rejected += 1
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Store *payload* under *key* (atomic rename)."""
+        path = self.path_for(key)
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": key,
+                 "payload": payload}
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=self.directory,
+            prefix=".tmp-", suffix=".json", delete=False)
+        try:
+            with handle:
+                json.dump(entry, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def prune(self) -> int:
+        """Delete entries that no longer parse under the current
+        schema; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                keep = isinstance(entry, dict) and \
+                    entry.get("schema") == CACHE_SCHEMA_VERSION
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                keep = False
+            if not keep:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def open_cache(cache_dir: str | None, enabled: bool) -> \
+        "ResultCache | None":
+    """CLI helper: a cache when *enabled*, at *cache_dir* or the
+    default location."""
+    if not enabled:
+        return None
+    return ResultCache(Path(cache_dir) if cache_dir
+                       else default_cache_dir())

@@ -79,10 +79,13 @@ def collect(config: FJConfig, store: FrozenStore) -> FrozenStore:
 
 def analyze_fj_kcfa_gc(program: FJProgram, k: int = 1,
                        tick_policy: str = "invocation",
-                       budget: Budget | None = None) -> FJResult:
+                       budget: Budget | None = None,
+                       plain: bool = False) -> FJResult:
     """OO k-CFA with abstract garbage collection at every transition."""
-    run = run_naive(FJKCFAMachine(program, k, tick_policy),
-                    _FJRecorder(),
-                    EngineOptions(budget=budget, collect=collect))
+    from repro.analysis.interning import PlainTable
+    run = run_naive(
+        FJKCFAMachine(program, k, tick_policy), _FJRecorder(),
+        EngineOptions(budget=budget, collect=collect,
+                      table_factory=PlainTable if plain else None))
     return fj_result_from_run(run, program, "FJ-k-CFA+GC", k,
                               tick_policy)

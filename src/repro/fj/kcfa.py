@@ -245,7 +245,8 @@ class FJKCFAMachine:
     # -- the engine's Machine protocol ---------------------------------
 
     def boot(self, store: AbsStore) -> FJConfig:
-        """Seed the entry object and return the initial configuration."""
+        """Adopt the store's value table and seed the entry object."""
+        self.table = store.table
         return self.initial(store)
 
     def step(self, config: FJConfig, store, reads: set[AbsAddr],
@@ -266,18 +267,19 @@ class FJKCFAMachine:
         exp = stmt.exp
         if isinstance(exp, VarExp):
             reads.add(benv[exp.name])
-            values = store.get(benv[exp.name])
+            values = store.get_mask(benv[exp.name])
             joins = [(benv[stmt.var], values)] if values else []
             return self._advance(stmt, benv, kont_ptr, now, joins)
         if isinstance(exp, FieldAccess):
             reads.add(benv[exp.target])
             joins = []
-            for value in store.get(benv[exp.target]):
+            receivers = store.get_mask(benv[exp.target])
+            for value in self.table.decode_iter(receivers):
                 if isinstance(value, AObj) and \
                         exp.fieldname in value.benv:
                     addr = value.benv[exp.fieldname]
                     reads.add(addr)
-                    field_values = store.get(addr)
+                    field_values = store.get_mask(addr)
                     if field_values:
                         joins.append((benv[stmt.var], field_values))
             return self._advance(stmt, benv, kont_ptr, now, joins)
@@ -289,7 +291,7 @@ class FJKCFAMachine:
                              reads, recorder)
         if isinstance(exp, Cast):
             reads.add(benv[exp.target])
-            values = store.get(benv[exp.target])
+            values = store.get_mask(benv[exp.target])
             joins = [(benv[stmt.var], values)] if values else []
             return self._advance(stmt, benv, kont_ptr, now, joins)
         raise TypeError(f"cannot step statement {stmt!r}")
@@ -307,13 +309,13 @@ class FJKCFAMachine:
                 now: AbsTime, store: AbsStore, reads: set,
                 recorder: _FJRecorder) -> list:
         reads.add(benv[stmt.var])
-        values = store.get(benv[stmt.var])
+        values = store.get_mask(benv[stmt.var])
         if kont_ptr is HALT_PTR:
-            recorder.halt_values |= values
+            recorder.halt_values |= self.table.decode(values)
             return []
         reads.add(kont_ptr)
         succs = []
-        for kont in store.get(kont_ptr):
+        for kont in self.table.decode_iter(store.get_mask(kont_ptr)):
             if not isinstance(kont, AKont):
                 continue
             joins = []
@@ -332,9 +334,9 @@ class FJKCFAMachine:
                 recorder: _FJRecorder) -> list:
         receiver_addr = benv[exp.target]
         reads.add(receiver_addr)
-        receivers = store.get(receiver_addr)
+        receivers = store.get_mask(receiver_addr)
         methods: dict[str, Method] = {}
-        for value in receivers:
+        for value in self.table.decode_iter(receivers):
             if not isinstance(value, AObj):
                 continue
             method = self.program.lookup_method(value.classname,
@@ -345,7 +347,7 @@ class FJKCFAMachine:
         arg_values = []
         for arg in exp.args:
             reads.add(benv[arg])
-            arg_values.append(store.get(benv[arg]))
+            arg_values.append(store.get_mask(benv[arg]))
         following = self.program.succ(stmt.label)
         if following is None:
             return []
@@ -358,7 +360,7 @@ class FJKCFAMachine:
                 qualified_name, set()).add(new_time)
             kont = AKont(stmt.var, following, benv, now, kont_ptr)
             kont_addr = (qualified_name, new_time)
-            joins: list = [(kont_addr, frozenset({kont}))]
+            joins: list = [(kont_addr, self.table.bit_for(kont))]
             # β' = [this ↦ β(v0)] — this aliases the receiver address.
             benv_items = [("this", receiver_addr)]
             for name, values in zip(method.param_names(), arg_values):
@@ -384,7 +386,7 @@ class FJKCFAMachine:
         arg_values = []
         for arg in exp.args:
             reads.add(benv[arg])
-            arg_values.append(store.get(benv[arg]))
+            arg_values.append(store.get_mask(benv[arg]))
         joins = []
         record = []
         for fieldname, param_index in \
@@ -395,7 +397,7 @@ class FJKCFAMachine:
                 joins.append((addr, arg_values[param_index]))
         obj = AObj(exp.classname, stmt.label, FJBEnv(record))
         recorder.objects.add(obj)
-        joins.append((benv[stmt.var], frozenset({obj})))
+        joins.append((benv[stmt.var], self.table.bit_for(obj)))
         following = self.program.succ(stmt.label)
         if following is None:
             return []
@@ -422,8 +424,12 @@ def fj_result_from_run(run: EngineRun, program: FJProgram,
 
 def analyze_fj_kcfa(program: FJProgram, k: int = 1,
                     tick_policy: str = "invocation",
-                    budget: Budget | None = None) -> FJResult:
+                    budget: Budget | None = None,
+                    plain: bool = False) -> FJResult:
     """Run OO k-CFA with the single-threaded store."""
-    run = run_single_store(FJKCFAMachine(program, k, tick_policy),
-                           _FJRecorder(), EngineOptions(budget=budget))
+    from repro.analysis.interning import PlainTable
+    run = run_single_store(
+        FJKCFAMachine(program, k, tick_policy), _FJRecorder(),
+        EngineOptions(budget=budget,
+                      table_factory=PlainTable if plain else None))
     return fj_result_from_run(run, program, "FJ-k-CFA", k, tick_policy)

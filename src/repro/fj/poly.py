@@ -108,7 +108,8 @@ class FJPolyMachine:
     # -- the engine's Machine protocol ---------------------------------
 
     def boot(self, store: AbsStore) -> PConfig:
-        """Seed the entry object and return the initial configuration."""
+        """Adopt the store's value table and seed the entry object."""
+        self.table = store.table
         return self.initial(store)
 
     def step(self, config: PConfig, store, reads: set[AbsAddr],
@@ -130,19 +131,19 @@ class FJPolyMachine:
         if isinstance(exp, VarExp):
             source = (exp.name, entry)
             reads.add(source)
-            values = store.get(source)
+            values = store.get_mask(source)
             joins = [((stmt.var, entry), values)] if values else []
             return self._advance(stmt, entry, kont_ptr, now, joins)
         if isinstance(exp, FieldAccess):
             source = (exp.target, entry)
             reads.add(source)
             joins = []
-            for value in store.get(source):
+            for value in self.table.decode_iter(store.get_mask(source)):
                 if isinstance(value, PObj) and exp.fieldname in \
                         self.program.all_fields(value.classname):
                     addr = (exp.fieldname, value.time)
                     reads.add(addr)
-                    field_values = store.get(addr)
+                    field_values = store.get_mask(addr)
                     if field_values:
                         joins.append(((stmt.var, entry), field_values))
             return self._advance(stmt, entry, kont_ptr, now, joins)
@@ -155,7 +156,7 @@ class FJPolyMachine:
         if isinstance(exp, Cast):
             source = (exp.target, entry)
             reads.add(source)
-            values = store.get(source)
+            values = store.get_mask(source)
             joins = [((stmt.var, entry), values)] if values else []
             return self._advance(stmt, entry, kont_ptr, now, joins)
         raise TypeError(f"cannot step statement {stmt!r}")
@@ -174,13 +175,13 @@ class FJPolyMachine:
                 recorder: _FJRecorder) -> list:
         source = (stmt.var, entry)
         reads.add(source)
-        values = store.get(source)
+        values = store.get_mask(source)
         if kont_ptr is HALT_PTR:
-            recorder.halt_values |= values
+            recorder.halt_values |= self.table.decode(values)
             return []
         reads.add(kont_ptr)
         succs = []
-        for kont in store.get(kont_ptr):
+        for kont in self.table.decode_iter(store.get_mask(kont_ptr)):
             if not isinstance(kont, PKont):
                 continue
             joins = []
@@ -199,9 +200,9 @@ class FJPolyMachine:
                 recorder: _FJRecorder) -> list:
         receiver_addr = (exp.target, entry)
         reads.add(receiver_addr)
-        receivers = store.get(receiver_addr)
+        receivers = store.get_mask(receiver_addr)
         methods: dict[str, Method] = {}
-        for value in receivers:
+        for value in self.table.decode_iter(receivers):
             if not isinstance(value, PObj):
                 continue
             method = self.program.lookup_method(value.classname,
@@ -213,7 +214,7 @@ class FJPolyMachine:
         for arg in exp.args:
             addr = (arg, entry)
             reads.add(addr)
-            arg_values.append(store.get(addr))
+            arg_values.append(store.get_mask(addr))
         following = self.program.succ(stmt.label)
         if following is None:
             return []
@@ -226,7 +227,7 @@ class FJPolyMachine:
                 qualified_name, set()).add(new_time)
             kont = PKont(stmt.var, following, entry, now, kont_ptr)
             joins: list = [((qualified_name, new_time),
-                            frozenset({kont}))]
+                            self.table.bit_for(kont))]
             # this is bound by copy, keeping every address at t̂'.
             if receivers:
                 joins.append((("this", new_time), receivers))
@@ -251,7 +252,7 @@ class FJPolyMachine:
         for arg in exp.args:
             addr = (arg, entry)
             reads.add(addr)
-            arg_values.append(store.get(addr))
+            arg_values.append(store.get_mask(addr))
         joins = []
         for fieldname, param_index in \
                 self.program.ctor_wiring[exp.classname]:
@@ -260,7 +261,7 @@ class FJPolyMachine:
                               arg_values[param_index]))
         obj = PObj(exp.classname, stmt.label, alloc_time)
         recorder.objects.add(obj)
-        joins.append(((stmt.var, entry), frozenset({obj})))
+        joins.append(((stmt.var, entry), self.table.bit_for(obj)))
         following = self.program.succ(stmt.label)
         if following is None:
             return []
@@ -269,9 +270,13 @@ class FJPolyMachine:
 
 def analyze_fj_poly(program: FJProgram, k: int = 1,
                     tick_policy: str = "invocation",
-                    budget: Budget | None = None) -> FJResult:
+                    budget: Budget | None = None,
+                    plain: bool = False) -> FJResult:
     """Run the collapsed polynomial OO k-CFA."""
-    run = run_single_store(FJPolyMachine(program, k, tick_policy),
-                           _FJRecorder(), EngineOptions(budget=budget))
+    from repro.analysis.interning import PlainTable
+    run = run_single_store(
+        FJPolyMachine(program, k, tick_policy), _FJRecorder(),
+        EngineOptions(budget=budget,
+                      table_factory=PlainTable if plain else None))
     return fj_result_from_run(run, program, "FJ-poly-k-CFA", k,
                               tick_policy)

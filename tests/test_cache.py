@@ -1,0 +1,213 @@
+"""The persistent result cache: hits, misses, bad entries, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import (
+    CACHE_SCHEMA_VERSION, CacheStats, ResultCache, cache_key,
+    default_cache_dir, open_cache,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("(f 1)", "kcfa", 1) == \
+            cache_key("(f 1)", "kcfa", 1)
+
+    def test_source_sensitivity(self):
+        assert cache_key("(f 1)", "kcfa", 1) != \
+            cache_key("(f 2)", "kcfa", 1)
+
+    def test_analysis_and_parameter_sensitivity(self):
+        base = cache_key("(f 1)", "kcfa", 1)
+        assert cache_key("(f 1)", "mcfa", 1) != base
+        assert cache_key("(f 1)", "kcfa", 2) != base
+
+    def test_option_sensitivity_and_order_insensitivity(self):
+        with_opts = cache_key("(f 1)", "kcfa", 1, {"a": 1, "b": 2})
+        assert with_opts != cache_key("(f 1)", "kcfa", 1)
+        assert with_opts == cache_key("(f 1)", "kcfa", 1,
+                                      {"b": 2, "a": 1})
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, cache):
+        key = cache_key("src", "kcfa", 1)
+        assert cache.get(key) is None
+        cache.put(key, {"answer": 42})
+        assert cache.get(key) == {"answer": 42}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+
+    def test_distinct_keys_do_not_collide(self, cache):
+        cache.put(cache_key("a", "kcfa", 1), {"v": "a"})
+        cache.put(cache_key("b", "kcfa", 1), {"v": "b"})
+        assert cache.get(cache_key("a", "kcfa", 1)) == {"v": "a"}
+        assert len(cache) == 2
+
+    def test_put_overwrites(self, cache):
+        key = cache_key("src", "kcfa", 1)
+        cache.put(key, {"v": 1})
+        cache.put(key, {"v": 2})
+        assert cache.get(key) == {"v": 2}
+        assert len(cache) == 1
+
+
+class TestBadEntries:
+    def test_corrupt_file_is_a_miss(self, cache):
+        key = cache_key("src", "kcfa", 1)
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.stats.rejected == 1
+
+    def test_truncated_file_is_a_miss(self, cache):
+        key = cache_key("src", "kcfa", 1)
+        cache.put(key, {"v": 1})
+        text = cache.path_for(key).read_text(encoding="utf-8")
+        cache.path_for(key).write_text(text[:len(text) // 2],
+                                       encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_version_mismatch_is_a_miss(self, cache):
+        key = cache_key("src", "kcfa", 1)
+        cache.path_for(key).write_text(json.dumps({
+            "schema": CACHE_SCHEMA_VERSION + 1, "key": key,
+            "payload": {"v": 1}}), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.stats.rejected == 1
+
+    def test_foreign_json_is_a_miss(self, cache):
+        key = cache_key("src", "kcfa", 1)
+        cache.path_for(key).write_text('["not", "an", "entry"]',
+                                       encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_wrong_key_in_entry_is_a_miss(self, cache):
+        key = cache_key("src", "kcfa", 1)
+        other = cache_key("other", "kcfa", 1)
+        cache.path_for(key).write_text(json.dumps({
+            "schema": CACHE_SCHEMA_VERSION, "key": other,
+            "payload": {"v": 1}}), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_prune_removes_stale_entries(self, cache):
+        good = cache_key("src", "kcfa", 1)
+        cache.put(good, {"v": 1})
+        (cache.directory / "stale.json").write_text(json.dumps({
+            "schema": CACHE_SCHEMA_VERSION - 1, "key": "x",
+            "payload": {}}), encoding="utf-8")
+        (cache.directory / "junk.json").write_text("junk",
+                                                   encoding="utf-8")
+        assert cache.prune() == 2
+        assert cache.get(good) == {"v": 1}
+
+
+class TestOpenCache:
+    def test_disabled_returns_none(self):
+        assert open_cache(None, False) is None
+
+    def test_enabled_with_dir(self, tmp_path):
+        cache = open_cache(str(tmp_path / "c"), True)
+        assert cache is not None
+        assert cache.directory == tmp_path / "c"
+
+    def test_default_dir_shape(self):
+        assert default_cache_dir().name == "repro"
+
+    def test_stats_dict(self):
+        stats = CacheStats(hits=1, misses=2, writes=3, rejected=4)
+        assert stats.as_dict() == {"hits": 1, "misses": 2,
+                                   "writes": 3, "rejected": 4}
+
+
+class TestAnalyzeCLI:
+    SOURCE = "(define (id x) x)\n(+ (id 3) (id 4))\n"
+
+    def run_analyze(self, tmp_path, capsys, *extra):
+        from repro.__main__ import main
+        src = tmp_path / "p.scm"
+        src.write_text(self.SOURCE, encoding="utf-8")
+        code = main(["analyze", str(src), "--analysis", "mcfa",
+                     "-n", "1", *extra])
+        captured = capsys.readouterr()
+        return code, captured.out
+
+    def test_cached_output_is_byte_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        code, cold = self.run_analyze(tmp_path, capsys,
+                                      "--cache-dir", cache_dir)
+        assert code == 0
+        code, warm = self.run_analyze(tmp_path, capsys,
+                                      "--cache-dir", cache_dir)
+        assert code == 0
+        assert warm == cold
+        code, uncached = self.run_analyze(tmp_path, capsys)
+        assert uncached == cold
+
+    def test_cache_dir_is_populated(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self.run_analyze(tmp_path, capsys, "--cache-dir",
+                         str(cache_dir))
+        assert list(cache_dir.glob("*.json"))
+
+
+class TestBenchCLI:
+    def test_quick_honors_cache_dir(self, tmp_path, capsys):
+        from repro.__main__ import main
+        cache_dir = tmp_path / "bench-cache"
+        args = ["bench", "--quick", "--serial",
+                "--cache-dir", str(cache_dir), "--output", "-"]
+        assert main(args) == 0
+        capsys.readouterr()
+        entries = len(list(cache_dir.glob("*.json")))
+        assert entries > 0
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert f"cache: {entries} hits, 0 misses" in err
+
+    def test_batch_rows_marked_cached_on_hit(self, tmp_path):
+        from repro.benchsuite.runner import BenchTask, run_batch
+        from repro.cache import ResultCache
+        cache = ResultCache(tmp_path / "c")
+        tasks = [BenchTask(program="eta", analysis="zero",
+                           parameter=0, timeout=10.0)]
+        cold = run_batch(tasks, serial=True, cache=cache)
+        assert not cold.rows[0].get("cached")
+        warm = run_batch(tasks, serial=True, cache=cache)
+        assert warm.rows[0]["cached"] is True
+        assert warm.rows[0]["configs"] == cold.rows[0]["configs"]
+
+    def test_timeouts_are_not_cached(self, tmp_path):
+        from repro.benchsuite.runner import BenchTask, run_batch
+        from repro.cache import ResultCache
+        cache = ResultCache(tmp_path / "c")
+        tasks = [BenchTask(program="worst9", analysis="kcfa",
+                           parameter=1, timeout=0.0001)]
+        report = run_batch(tasks, serial=True, cache=cache)
+        assert report.rows[0]["status"] == "timeout"
+        assert cache.stats.writes == 0
+
+    def test_plain_and_interned_cells_have_distinct_keys(self):
+        from repro.benchsuite.runner import BenchTask, _task_cache_key
+        interned = BenchTask(program="eta", analysis="kcfa",
+                             parameter=1)
+        plain = BenchTask(program="eta", analysis="kcfa",
+                          parameter=1, values="plain")
+        assert _task_cache_key(interned) != _task_cache_key(plain)
+
+    def test_worst_case_programs_resolve(self):
+        from repro.benchsuite.runner import (
+            BenchTask, build_matrix, task_source,
+        )
+        tasks = build_matrix(["worst4"], ["kcfa", "fj-kcfa"], [1])
+        assert [task.analysis for task in tasks] == ["kcfa"]
+        assert "x4" in task_source(tasks[0])

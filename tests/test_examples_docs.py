@@ -1,0 +1,74 @@
+"""docs/examples.md must not drift from the example scripts.
+
+Three directions:
+
+* completeness — every ``examples/*.py`` script has a ``## <name>``
+  section in docs/examples.md;
+* honesty — every section heading names a script that exists;
+* liveness — every script runs to completion with exit status 0
+  (slow scripts get scaled-down arguments).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+DOCS = REPO / "docs" / "examples.md"
+
+#: Scripts whose default settings are deliberately slow get fast
+#: arguments here; everything else runs bare.
+FAST_ARGS: dict[str, list[str]] = {
+    "worst_case_race.py": ["0.05"],
+}
+
+
+def example_scripts() -> list[str]:
+    return sorted(path.name for path in EXAMPLES.glob("*.py"))
+
+
+def documented_sections() -> list[str]:
+    text = DOCS.read_text(encoding="utf-8")
+    return re.findall(r"^## (\S+\.py)$", text, flags=re.MULTILINE)
+
+
+def test_docs_file_exists():
+    assert DOCS.is_file(), "docs/examples.md is missing"
+
+
+def test_every_example_is_documented():
+    missing = set(example_scripts()) - set(documented_sections())
+    assert not missing, \
+        f"examples missing from docs/examples.md: {sorted(missing)}"
+
+
+def test_every_documented_example_exists():
+    stale = set(documented_sections()) - set(example_scripts())
+    assert not stale, \
+        f"docs/examples.md lists unknown examples: {sorted(stale)}"
+
+
+def test_no_duplicate_sections():
+    sections = documented_sections()
+    assert len(sections) == len(set(sections))
+
+
+@pytest.mark.parametrize("script", example_scripts())
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script),
+         *FAST_ARGS.get(script, [])],
+        env=env, capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, \
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script} printed nothing"
