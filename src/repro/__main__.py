@@ -10,6 +10,10 @@ Commands:
   benchmark harnesses).
 * ``bench`` — run the benchmark matrix in parallel and write a
   ``BENCH_*.json`` report.
+* ``serve`` — run the persistent analysis server (NDJSON over a
+  TCP or Unix socket, shared worker pool, result cache).
+* ``submit`` — send one job to a running server and render the same
+  reports as ``analyze``.
 
 Examples::
 
@@ -19,6 +23,8 @@ Examples::
     python -m repro tables --table worstcase --timeout 5
     python -m repro bench --quick
     python -m repro bench --copies 4 --contexts 0,1,2 --jobs 8
+    python -m repro serve --port 7557 --cache &
+    python -m repro submit prog.scm --analysis kcfa -n 1 --port 7557
 """
 
 from __future__ import annotations
@@ -26,30 +32,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import (
-    analyze_kcfa, analyze_kcfa_gc, analyze_kcfa_naive, analyze_mcfa,
-    analyze_poly_kcfa, analyze_zerocfa,
-)
-from repro.cps.simplify import simplify_program
 from repro.errors import ReproError
-from repro.reporting import (
-    environment_report, fj_report, flow_report, inlining_report,
+from repro.service.jobs import (
+    REPORT_CHOICES, SCHEME_ANALYSES as ANALYSES, VALUE_MODES,
 )
-from repro.scheme.cps_transform import compile_program
-from repro.util.budget import Budget
-
-ANALYSES = {
-    "kcfa": lambda program, n, budget: analyze_kcfa(program, n, budget),
-    "mcfa": lambda program, n, budget: analyze_mcfa(program, n, budget),
-    "poly": lambda program, n, budget:
-        analyze_poly_kcfa(program, n, budget),
-    "zero": lambda program, n, budget:
-        analyze_zerocfa(program, budget),
-    "kcfa-naive": lambda program, n, budget:
-        analyze_kcfa_naive(program, n, budget),
-    "kcfa-gc": lambda program, n, budget:
-        analyze_kcfa_gc(program, n, budget),
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,8 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--timeout", type=float, default=None,
                          help="wall-clock budget in seconds")
     analyze.add_argument("--report",
-                         choices=["flow", "inlining", "envs", "all"],
+                         choices=list(REPORT_CHOICES),
                          default="all")
+    analyze.add_argument("--values", choices=list(VALUE_MODES),
+                         default="interned",
+                         help="value-domain representation "
+                              "(default interned)")
     analyze.add_argument("--cache", action="store_true",
                          help="reuse/persist results in the default "
                               "cache dir (~/.cache/repro)")
@@ -139,6 +129,69 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default=None,
                        help="report path ('-' to skip writing; "
                             "default BENCH_<timestamp>.json)")
+
+    serve = commands.add_parser(
+        "serve", help="run the persistent analysis server")
+    serve.add_argument("--socket", default=None,
+                       help="listen on this Unix socket path "
+                            "instead of TCP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7557,
+                       help="TCP port; 0 binds a free port "
+                            "(default 7557)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    serve.add_argument("--job-timeout", type=float, default=60.0,
+                       help="default per-job wall-clock budget in "
+                            "seconds for requests that set none "
+                            "(default 60)")
+    serve.add_argument("--cache", action="store_true",
+                       help="reuse/persist results in the default "
+                            "cache dir (~/.cache/repro)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="cache directory (implies --cache)")
+    serve.add_argument("--ready-file", default=None,
+                       help="write the bound endpoint (host:port or "
+                            "socket path) here once listening")
+
+    submit = commands.add_parser(
+        "submit", help="submit a job to a running analysis server")
+    submit.add_argument("file", nargs="?", default=None,
+                        help="Scheme source path ('-' stdin); "
+                             "optional with --server-stats or "
+                             "--shutdown")
+    submit.add_argument("--analysis", choices=sorted(ANALYSES),
+                        default="mcfa")
+    submit.add_argument("-n", "--context", type=int, default=1,
+                        help="the k or m (default 1)")
+    submit.add_argument("--simplify", action="store_true",
+                        help="shrink-simplify the CPS term first")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock budget in seconds "
+                             "(default: the server's --job-timeout)")
+    submit.add_argument("--report",
+                        choices=list(REPORT_CHOICES), default="all")
+    submit.add_argument("--values", choices=list(VALUE_MODES),
+                        default="interned",
+                        help="value-domain representation "
+                             "(default interned)")
+    submit.add_argument("--socket", default=None,
+                        help="connect to this Unix socket path "
+                             "instead of TCP")
+    submit.add_argument("--host", default="127.0.0.1",
+                        help="server TCP address (default 127.0.0.1)")
+    submit.add_argument("--port", type=int, default=7557,
+                        help="server TCP port (default 7557)")
+    submit.add_argument("--server-stats", action="store_true",
+                        help="print the server's scheduler/cache "
+                             "statistics and exit")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the server to shut down cleanly "
+                             "and exit")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress streamed progress events on "
+                             "stderr")
     return parser
 
 
@@ -150,37 +203,30 @@ def _read_source(path: str) -> str:
 
 
 def _cmd_analyze(args) -> int:
-    from repro.cache import cache_key, open_cache
-    source = _read_source(args.file)
+    from repro.cache import open_cache
+    from repro.service.jobs import (
+        JobSpec, cache_payload, job_cache_key, run_job,
+    )
+    spec = JobSpec(source=_read_source(args.file),
+                   analysis=args.analysis, context=args.context,
+                   simplify=args.simplify, report=args.report,
+                   values=args.values,
+                   timeout=args.timeout).validate()
     cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
-    key = None
+    key = job_cache_key(spec) if cache is not None else None
     if cache is not None:
-        key = cache_key(source, args.analysis, args.context,
-                        {"command": "analyze",
-                         "simplify": args.simplify,
-                         "report": args.report})
         payload = cache.get(key)
         if payload is not None:
             sys.stdout.write(payload["stdout"])
             print("(cached result)", file=sys.stderr)
             return 0
-    program = compile_program(source)
-    if args.simplify:
-        program = simplify_program(program)
-    budget = Budget(max_seconds=args.timeout)
-    result = ANALYSES[args.analysis](program, args.context, budget)
-    lines = [f"program: {program.stats()}"]
-    if args.report in ("flow", "all"):
-        lines += ["", flow_report(result)]
-    if args.report in ("inlining", "all"):
-        lines += ["", inlining_report(result)]
-    if args.report in ("envs", "all"):
-        lines += ["", environment_report(result)]
-    text = "\n".join(lines) + "\n"
-    sys.stdout.write(text)
+    row = run_job(spec)
+    if row["status"] != "ok":
+        print(f"error: {row['error']}", file=sys.stderr)
+        return 1
+    sys.stdout.write(row["stdout"])
     if cache is not None:
-        cache.put(key, {"stdout": text,
-                        "summary": result.summary()})
+        cache.put(key, cache_payload(row))
     return 0
 
 
@@ -191,6 +237,7 @@ def _cmd_run(args) -> int:
         from repro.scheme.interp import run_source
         print(scheme_repr(run_source(source)))
         return 0
+    from repro.scheme.cps_transform import compile_program
     program = compile_program(source)
     if args.machine == "shared":
         from repro.concrete import run_shared
@@ -206,6 +253,7 @@ def _cmd_run(args) -> int:
 def _cmd_fj(args) -> int:
     from repro.fj import analyze_fj_kcfa, parse_fj
     from repro.fj.gc import analyze_fj_kcfa_gc
+    from repro.reporting import fj_report
     program = parse_fj(_read_source(args.file),
                        entry_class=args.entry_class,
                        entry_method=args.entry_method)
@@ -294,6 +342,76 @@ def _cmd_bench(args) -> int:
                     for row in report.rows) else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.cache import open_cache
+    from repro.service.server import AnalysisServer
+    cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
+    server = AnalysisServer(
+        host=args.host, port=args.port, socket_path=args.socket,
+        workers=args.workers, cache=cache,
+        default_timeout=args.job_timeout).start()
+    print(f"serving on {server.endpoint} "
+          f"({server.workers} workers"
+          + (f", cache {cache.directory}" if cache is not None
+             else ", cache disabled") + ")",
+          file=sys.stderr, flush=True)
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(server.endpoint + "\n")
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.reporting import job_event_line, service_stats_report
+    from repro.service.client import ServiceClient
+    try:
+        client = ServiceClient(host=args.host, port=args.port,
+                               socket_path=args.socket)
+    except OSError as error:
+        target = args.socket or f"{args.host}:{args.port}"
+        print(f"error: cannot reach server at {target}: {error} "
+              f"(is `python -m repro serve` running?)",
+              file=sys.stderr)
+        return 1
+    with client:
+        if args.server_stats:
+            print(service_stats_report(client.stats()))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("server shutting down", file=sys.stderr)
+            return 0
+        if not args.file:
+            print("error: submit needs a file (or --server-stats / "
+                  "--shutdown)", file=sys.stderr)
+            return 2
+        on_event = None if args.quiet else (
+            lambda event: print(job_event_line(event),
+                                file=sys.stderr, flush=True))
+        final = client.submit(
+            source=_read_source(args.file), analysis=args.analysis,
+            context=args.context, simplify=args.simplify,
+            report=args.report, values=args.values,
+            timeout=args.timeout, on_event=on_event)
+    if final.get("status") == "ok":
+        sys.stdout.write(final["stdout"])
+        if final.get("cached"):
+            print("(cached result)", file=sys.stderr)
+        elif final.get("coalesced"):
+            print("(coalesced with an identical in-flight job)",
+                  file=sys.stderr)
+        return 0
+    print(f"error: {final.get('error', final)}", file=sys.stderr)
+    return 1
+
+
 def _cmd_tables(args) -> int:
     if args.table == "worstcase":
         from benchmarks.bench_table1_worstcase import generate_table
@@ -326,6 +444,8 @@ def main(argv=None) -> int:
         "fj": _cmd_fj,
         "tables": _cmd_tables,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }[args.command]
     try:
         return handler(args)

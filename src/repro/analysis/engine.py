@@ -136,7 +136,7 @@ def run_single_store(machine: Machine, recorder,
     """
     options = options or EngineOptions()
     budget = options.budget or Budget()
-    budget.start()
+    budget.ensure_started()
     factory = options.table_factory
     store = AbsStore(factory() if factory is not None else None)
     worklist: DependencyWorklist = DependencyWorklist()
@@ -217,7 +217,7 @@ def run_naive(machine: Machine, recorder,
     """
     options = options or EngineOptions()
     budget = options.budget or Budget()
-    budget.start()
+    budget.ensure_started()
     collect = options.collect
     factory = options.table_factory
     seed = AbsStore(factory() if factory is not None else None)

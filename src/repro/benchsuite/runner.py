@@ -38,27 +38,20 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable
 
 from repro.errors import AnalysisTimeout, ReproError
+# The analysis names, value modes and per-analysis dispatch are owned
+# by the shared job core so that ``bench`` workers and the analysis
+# service run literally the same code path.
+from repro.service.jobs import (
+    FJ_ANALYSES, SCHEME_ANALYSES, VALUE_MODES, run_fj_analysis,
+    run_scheme_analysis,
+)
 from repro.util.budget import Budget
-
-#: Analyses over Scheme/CPS programs: name → (program, n, budget) → result.
-SCHEME_ANALYSES = ("kcfa", "mcfa", "poly", "zero", "kcfa-gc",
-                   "kcfa-naive")
-
-#: Analyses over Featherweight Java programs.
-FJ_ANALYSES = ("fj-kcfa", "fj-poly", "fj-kcfa-gc")
 
 ALL_ANALYSES = SCHEME_ANALYSES + FJ_ANALYSES
 
 #: The analyses a default ``bench`` run exercises (the §6.2 matrix).
 DEFAULT_ANALYSES = ("kcfa", "mcfa", "poly", "zero", "fj-kcfa",
                     "fj-poly")
-
-
-#: Value-domain representations a task can run under (see
-#: :mod:`repro.analysis.interning`): ``interned`` is the bitset
-#: production path, ``plain`` the pre-interning object domain — the
-#: before/after axis of the performance documentation.
-VALUE_MODES = ("interned", "plain")
 
 #: Worst-case ladder program names: ``worst<depth>`` (e.g. worst8)
 #: generates the Van Horn–Mairson doubling term of that depth via
@@ -126,10 +119,6 @@ def task_source(task: BenchTask) -> str:
 
 
 def _run_scheme_task(task: BenchTask, budget: Budget) -> dict:
-    from repro.analysis import (
-        analyze_kcfa, analyze_kcfa_gc, analyze_kcfa_naive, analyze_mcfa,
-        analyze_poly_kcfa, analyze_zerocfa,
-    )
     from repro.benchsuite.programs import BY_NAME
     from repro.benchsuite.scaling import scaled_program
     from repro.generators.worstcase import worst_case_program
@@ -140,35 +129,19 @@ def _run_scheme_task(task: BenchTask, budget: Budget) -> dict:
         program = scaled_program(task.program, task.copies)
     else:
         program = BY_NAME[task.program].compile()
-    analyses = {
-        "kcfa": analyze_kcfa,
-        "mcfa": analyze_mcfa,
-        "poly": analyze_poly_kcfa,
-        "zero": lambda p, n, b, plain: analyze_zerocfa(p, b,
-                                                       plain=plain),
-        "kcfa-gc": analyze_kcfa_gc,
-        "kcfa-naive": analyze_kcfa_naive,
-    }
-    result = analyses[task.analysis](program, task.parameter, budget,
-                                     plain=task.values == "plain")
+    result = run_scheme_analysis(program, task.analysis,
+                                 task.parameter, budget,
+                                 plain=task.values == "plain")
     return result.summary()
 
 
 def _run_fj_task(task: BenchTask, budget: Budget) -> dict:
-    from repro.fj import analyze_fj_kcfa, parse_fj
+    from repro.fj import parse_fj
     from repro.fj.examples import ALL_EXAMPLES
-    from repro.fj.gc import analyze_fj_kcfa_gc
-    from repro.fj.poly import analyze_fj_poly
 
     program = parse_fj(ALL_EXAMPLES[task.program])
-    analyses = {
-        "fj-kcfa": analyze_fj_kcfa,
-        "fj-poly": analyze_fj_poly,
-        "fj-kcfa-gc": analyze_fj_kcfa_gc,
-    }
-    result = analyses[task.analysis](program, task.parameter,
-                                     budget=budget,
-                                     plain=task.values == "plain")
+    result = run_fj_analysis(program, task.analysis, task.parameter,
+                             budget, plain=task.values == "plain")
     return result.summary()
 
 

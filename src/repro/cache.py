@@ -35,6 +35,12 @@ Entries live one-per-file under the cache directory (default
 ``~/.cache/repro`` honoring ``XDG_CACHE_HOME``, or ``--cache-dir``),
 written atomically via rename so concurrent readers never observe a
 partial entry.
+
+:class:`InflightTable` is the in-memory companion for concurrent
+serving: it deduplicates identical requests that are *currently being
+computed*, so a burst of the same question costs one analysis — the
+disk cache then serves everything that arrives after the answer
+lands.
 """
 
 from __future__ import annotations
@@ -43,12 +49,15 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
 #: Bump when the cached payload format or analysis semantics change.
-CACHE_SCHEMA_VERSION = 1
+#: v2: ``analyze``-shaped keys grew the ``values`` (plain/interned
+#: domain) option, and payloads may carry ``wall_seconds``.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -88,7 +97,13 @@ class CacheStats:
 
 @dataclass
 class ResultCache:
-    """A directory of JSON analysis results, one file per key."""
+    """A directory of JSON analysis results, one file per key.
+
+    Safe to share across threads (the analysis server's connection
+    threads and pool callbacks all use one instance): entry files are
+    written atomically via rename, and the stats counters are guarded
+    by a lock so concurrent increments are never lost.
+    """
 
     directory: Path
     stats: CacheStats = field(default_factory=CacheStats)
@@ -96,36 +111,45 @@ class ResultCache:
     def __post_init__(self):
         self.directory = Path(self.directory).expanduser()
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._stats_lock = threading.Lock()
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
+    def get(self, key: str, count_miss: bool = True) -> dict | None:
         """The cached payload for *key*, or None.
 
         Corrupt files, foreign JSON and entries written under a
         different ``CACHE_SCHEMA_VERSION`` are all counted as misses
         (and as ``rejected``) — the cache never raises on bad data.
+        ``count_miss=False`` keeps a miss out of the stats: for
+        re-probes of a key already counted once (the server's leader
+        re-check), so hit rates computed from the counters stay
+        honest.  Hits always count.
         """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += count_miss
             return None
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
-            self.stats.misses += 1
-            self.stats.rejected += 1
+            with self._stats_lock:
+                self.stats.misses += count_miss
+                self.stats.rejected += 1
             return None
         if not isinstance(entry, dict) \
                 or entry.get("schema") != CACHE_SCHEMA_VERSION \
                 or entry.get("key") != key \
                 or "payload" not in entry:
-            self.stats.misses += 1
-            self.stats.rejected += 1
+            with self._stats_lock:
+                self.stats.misses += count_miss
+                self.stats.rejected += 1
             return None
-        self.stats.hits += 1
+        with self._stats_lock:
+            self.stats.hits += 1
         return entry["payload"]
 
     def put(self, key: str, payload: dict) -> Path:
@@ -147,7 +171,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
+        with self._stats_lock:
+            self.stats.writes += 1
         return path
 
     def prune(self) -> int:
@@ -169,6 +194,63 @@ class ResultCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
+
+
+@dataclass
+class InflightStats:
+    """Leader/follower accounting for one :class:`InflightTable`."""
+
+    leaders: int = 0
+    followers: int = 0
+
+    def as_dict(self) -> dict:
+        return {"leaders": self.leaders, "followers": self.followers}
+
+
+class InflightTable:
+    """Thread-safe registry of in-flight computations, by key.
+
+    The read-through companion to :class:`ResultCache`: when the same
+    question arrives twice before the first answer lands, the second
+    caller should wait for the first run, not start another.  The
+    first subscriber under a key becomes the *leader* (and should
+    start the computation); later subscribers coalesce onto the same
+    entry.  Whoever finishes calls :meth:`complete` to pop every
+    subscriber and fan the one result out.
+
+    The table stores opaque subscriber tokens — callbacks, queues,
+    (connection, job-id) pairs — and never calls them itself, so it
+    works for any completion style.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[object, list] = {}
+        self.stats = InflightStats()
+
+    def join(self, key, subscriber) -> bool:
+        """Register *subscriber* under *key*; True iff it is the
+        leader (first in, responsible for running the computation)."""
+        with self._lock:
+            waiters = self._entries.get(key)
+            if waiters is None:
+                self._entries[key] = [subscriber]
+                self.stats.leaders += 1
+                return True
+            waiters.append(subscriber)
+            self.stats.followers += 1
+            return False
+
+    def complete(self, key) -> list:
+        """Pop and return every subscriber of *key* (leader first,
+        then followers in arrival order); [] if the key is unknown."""
+        with self._lock:
+            return self._entries.pop(key, [])
+
+    def pending(self) -> int:
+        """How many keys are currently in flight."""
+        with self._lock:
+            return len(self._entries)
 
 
 def open_cache(cache_dir: str | None, enabled: bool) -> \

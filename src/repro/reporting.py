@@ -162,6 +162,64 @@ def bench_report_table(report) -> str:
     return "\n".join(lines)
 
 
+def job_event_line(event: dict) -> str:
+    """One progress line per streamed service event (the ``submit``
+    CLI prints these to stderr as a job advances)."""
+    kind = event.get("event", "?")
+    job = event.get("job", "?")
+    if kind == "queued":
+        key = (event.get("key") or "")[:12]
+        return f"[{job}] queued (key {key})"
+    if kind == "running":
+        suffix = " (coalesced with an identical in-flight job)" \
+            if event.get("coalesced") else ""
+        return f"[{job}] running{suffix}"
+    if kind == "done":
+        extra = " cached" if event.get("cached") else (
+            " coalesced" if event.get("coalesced") else "")
+        wall = event.get("wall_seconds")
+        timing = f" in {wall:.2f}s" if isinstance(wall, (int, float)) \
+            else ""
+        return f"[{job}] {event.get('status')}{extra}{timing}"
+    if kind == "error":
+        return f"[{job}] error: {event.get('error')}"
+    return f"[{job}] {kind}"
+
+
+def service_stats_report(stats: dict) -> str:
+    """Render one :meth:`AnalysisServer.stats_snapshot` dict.
+
+    Used by ``python -m repro submit --server-stats`` and the CI
+    smoke job; every submission shows up as exactly one of a cache
+    hit, a coalesced follower or an executed analysis.
+    """
+    jobs = stats.get("jobs", {})
+    lines = [f"analysis service — {stats.get('endpoint', '?')} "
+             f"(protocol v{stats.get('protocol', '?')}, "
+             f"{stats.get('workers', '?')} workers, "
+             f"up {stats.get('uptime_seconds', 0.0):.0f}s)"]
+    lines.append(
+        f"  jobs: {jobs.get('submitted', 0)} submitted, "
+        f"{jobs.get('completed', 0)} completed "
+        f"({jobs.get('ok', 0)} ok, {jobs.get('timeout', 0)} timeout, "
+        f"{jobs.get('error', 0)} error), "
+        f"{jobs.get('coalesced', 0)} coalesced, "
+        f"{jobs.get('rejected', 0)} rejected, "
+        f"{stats.get('inflight', 0)} in flight")
+    lines.append(f"  executed on the worker pool: "
+                 f"{jobs.get('executed', 0)} analyses")
+    cache = stats.get("cache")
+    if cache:
+        lines.append(
+            f"  cache: {cache.get('hits', 0)} hits, "
+            f"{cache.get('misses', 0)} misses, "
+            f"{cache.get('writes', 0)} writes, "
+            f"{cache.get('rejected', 0)} rejected")
+    else:
+        lines.append("  cache: disabled")
+    return "\n".join(lines)
+
+
 def summary_table(results: list[AnalysisResult]) -> str:
     """One row per analysis — compare precision/size side by side."""
     from repro.metrics.timing import format_table

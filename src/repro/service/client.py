@@ -1,0 +1,156 @@
+"""A thin client for the analysis service.
+
+Speaks the NDJSON protocol of :mod:`repro.service.protocol` over one
+blocking socket connection.  Used by ``python -m repro submit`` and
+directly from tests::
+
+    from repro.service.client import ServiceClient
+    with ServiceClient(port=server.port) as client:
+        final = client.submit(source="((lambda (x) x) 1)",
+                              analysis="kcfa", context=1)
+        assert final["status"] == "ok"
+        print(final["stdout"])
+
+A client is single-flight: :meth:`submit` blocks until the job's
+terminal event arrives (streaming intermediate events to an optional
+callback).  Concurrency comes from opening more clients — the stress
+suite drives eight at once — not from pipelining on one connection.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from repro.service.protocol import (
+    ProtocolError, decode_message, encode_message, read_frame,
+)
+
+#: Default TCP port of ``python -m repro serve``.
+DEFAULT_PORT = 7557
+
+#: Events that end a submitted job.
+TERMINAL_EVENTS = ("done", "error")
+
+
+class ServiceClient:
+    """One connection to a running :class:`AnalysisServer`."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT,
+                 socket_path: str | None = None,
+                 connect_timeout: float = 10.0):
+        if socket_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(connect_timeout)
+            sock.connect(socket_path)
+        else:
+            sock = socket.create_connection(
+                (host, int(port)), timeout=connect_timeout)
+        sock.settimeout(None)  # jobs block for their full budget
+        self._sock = sock
+        self._stream = sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    @classmethod
+    def connect(cls, endpoint: str,
+                connect_timeout: float = 10.0) -> "ServiceClient":
+        """From an endpoint string: ``host:port`` or a socket path
+        (the format ``serve --ready-file`` writes)."""
+        if "/" in endpoint or ":" not in endpoint:
+            return cls(socket_path=endpoint,
+                       connect_timeout=connect_timeout)
+        host, port = endpoint.rsplit(":", 1)
+        return cls(host=host, port=int(port),
+                   connect_timeout=connect_timeout)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        self._sock.sendall(encode_message(message))
+
+    def _next_event(self) -> dict:
+        raw = read_frame(self._stream)
+        if raw is None:
+            raise ConnectionError("server closed the connection")
+        return decode_message(raw)
+
+    def _roundtrip(self, message: dict, expect: str) -> dict:
+        self._send(message)
+        while True:
+            event = self._next_event()
+            if event.get("event") != expect and "job" in event:
+                # A late frame from an earlier submission (e.g. a
+                # follower's `running` trailing its `done`) — skip.
+                continue
+            if event.get("event") != expect:
+                raise ProtocolError(
+                    f"expected a {expect!r} event, got {event!r}")
+            return event
+
+    # -- operations ------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness probe; returns the ``pong`` event."""
+        return self._roundtrip({"op": "ping"}, "pong")
+
+    def stats(self) -> dict:
+        """The server's counters (one ``stats`` snapshot dict)."""
+        return self._roundtrip({"op": "stats"}, "stats")["stats"]
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop; returns its ``bye`` event."""
+        return self._roundtrip({"op": "shutdown"}, "bye")
+
+    def submit(self, source: str | None = None,
+               path: str | None = None, analysis: str = "mcfa",
+               context: int = 1, simplify: bool = False,
+               report: str = "all", values: str = "interned",
+               timeout: float | None = None,
+               on_event=None) -> dict:
+        """Submit one job and block until its terminal event.
+
+        Intermediate events (``queued``, ``running``) stream to
+        *on_event* as they arrive.  Returns the ``done`` event —
+        check its ``status`` — or an ``error`` event for requests the
+        server rejected outright.
+        """
+        job_id = f"c{next(self._ids)}"
+        message = {"op": "submit", "id": job_id,
+                   "analysis": analysis, "context": context,
+                   "simplify": simplify, "report": report,
+                   "values": values}
+        if source is not None:
+            message["source"] = source
+        if path is not None:
+            message["path"] = path
+        if timeout is not None:
+            message["timeout"] = timeout
+        self._send(message)
+        while True:
+            event = self._next_event()
+            if event.get("job") not in (job_id, None):
+                continue  # a stray frame for another submission
+            if on_event is not None \
+                    and event.get("event") not in TERMINAL_EVENTS:
+                on_event(event)
+            if event.get("event") in TERMINAL_EVENTS:
+                return event
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

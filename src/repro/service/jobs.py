@@ -1,0 +1,241 @@
+"""The job core: one analysis request, from source text to report.
+
+Every front end that answers an analysis question — the ``analyze``
+subcommand, the ``bench`` worker processes and the ``serve`` worker
+pool — runs through this module, so they cannot drift apart: the same
+dispatch table picks the analysis, the same renderer produces the
+report text, and the same key function addresses the persistent cache.
+The differential test suite (``tests/test_service_differential.py``)
+holds the server to byte-identical output against ``analyze``; sharing
+this code path is what makes that a stable property rather than a
+coincidence.
+
+A request is a :class:`JobSpec` (program text, analysis, context
+depth, budget, values domain, report selection).  :func:`run_job`
+executes one spec and always returns a row dict with ``status`` in
+``ok | timeout | error`` — it never raises, which makes it safe as a
+:class:`concurrent.futures.ProcessPoolExecutor` task.
+
+Cache-key audit
+---------------
+
+:func:`job_cache_key` must cover **every result-affecting option** of
+a job: the exact source text, the analysis name, the context depth,
+``simplify`` (changes the analyzed term), ``report`` (changes the
+rendered text) and ``values`` (the plain/interned domain produces
+byte-identical reports *today*, but that equivalence is a theorem
+about the current code, not the key scheme's business — flipping the
+domain must never return a stale entry).  The wall-clock ``timeout``
+is deliberately excluded: a completed result does not depend on how
+long it was allowed to take, and timed-out runs are never cached.
+The cache schema version rides inside
+:func:`repro.cache.cache_key` itself.  A regression test
+(``tests/test_cache.py``) locks each of these facts down.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import AnalysisTimeout, ReproError
+from repro.util.budget import Budget
+
+#: Analyses over Scheme/CPS programs (the six the paper compares).
+SCHEME_ANALYSES = ("kcfa", "mcfa", "poly", "zero", "kcfa-gc",
+                   "kcfa-naive")
+
+#: Analyses over Featherweight Java programs.
+FJ_ANALYSES = ("fj-kcfa", "fj-poly", "fj-kcfa-gc")
+
+#: Value-domain representations (see :mod:`repro.analysis.interning`):
+#: ``interned`` is the bitset production path, ``plain`` the
+#: pre-interning object domain.
+VALUE_MODES = ("interned", "plain")
+
+#: Report selections understood by :func:`render_reports`.
+REPORT_CHOICES = ("flow", "inlining", "envs", "all")
+
+
+def run_scheme_analysis(program, analysis: str, parameter: int,
+                        budget: Budget | None = None,
+                        plain: bool = False):
+    """Dispatch one Scheme analysis by name; returns its result.
+
+    The single analysis-selection point shared by ``analyze``,
+    ``bench`` and ``serve`` — add a new analysis here and every front
+    end grows it at once.
+    """
+    from repro.analysis import (
+        analyze_kcfa, analyze_kcfa_gc, analyze_kcfa_naive, analyze_mcfa,
+        analyze_poly_kcfa, analyze_zerocfa,
+    )
+    dispatch = {
+        "kcfa": analyze_kcfa,
+        "mcfa": analyze_mcfa,
+        "poly": analyze_poly_kcfa,
+        "zero": lambda p, n, b, plain: analyze_zerocfa(p, b,
+                                                       plain=plain),
+        "kcfa-gc": analyze_kcfa_gc,
+        "kcfa-naive": analyze_kcfa_naive,
+    }
+    try:
+        analyze = dispatch[analysis]
+    except KeyError:
+        raise ReproError(
+            f"unknown analysis {analysis!r}; choose from "
+            f"{', '.join(SCHEME_ANALYSES)}") from None
+    return analyze(program, parameter, budget, plain=plain)
+
+
+def run_fj_analysis(program, analysis: str, parameter: int,
+                    budget: Budget | None = None,
+                    plain: bool = False):
+    """Dispatch one Featherweight Java analysis by name."""
+    from repro.fj import analyze_fj_kcfa
+    from repro.fj.gc import analyze_fj_kcfa_gc
+    from repro.fj.poly import analyze_fj_poly
+    dispatch = {
+        "fj-kcfa": analyze_fj_kcfa,
+        "fj-poly": analyze_fj_poly,
+        "fj-kcfa-gc": analyze_fj_kcfa_gc,
+    }
+    try:
+        analyze = dispatch[analysis]
+    except KeyError:
+        raise ReproError(
+            f"unknown analysis {analysis!r}; choose from "
+            f"{', '.join(FJ_ANALYSES)}") from None
+    return analyze(program, parameter, budget=budget, plain=plain)
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One analysis question, as a value.
+
+    ``timeout`` is the per-job wall-clock budget in seconds (``None``
+    means unlimited from the CLI; the server substitutes its default
+    budget so no request can hold a worker forever).
+    """
+
+    source: str
+    analysis: str = "mcfa"
+    context: int = 1
+    simplify: bool = False
+    report: str = "all"
+    values: str = "interned"
+    timeout: float | None = None
+
+    def validate(self) -> "JobSpec":
+        """Raise :class:`~repro.errors.ReproError` on a bad field."""
+        if not isinstance(self.source, str) or not self.source.strip():
+            raise ReproError("job source must be non-empty program "
+                             "text")
+        if self.analysis not in SCHEME_ANALYSES:
+            raise ReproError(
+                f"unknown analysis {self.analysis!r}; choose from "
+                f"{', '.join(SCHEME_ANALYSES)}")
+        if isinstance(self.context, bool) \
+                or not isinstance(self.context, int) \
+                or self.context < 0:
+            raise ReproError(
+                f"context depth must be a non-negative integer, got "
+                f"{self.context!r}")
+        if self.report not in REPORT_CHOICES:
+            raise ReproError(
+                f"unknown report {self.report!r}; choose from "
+                f"{', '.join(REPORT_CHOICES)}")
+        if self.values not in VALUE_MODES:
+            raise ReproError(
+                f"unknown values domain {self.values!r}; choose from "
+                f"{', '.join(VALUE_MODES)}")
+        if self.timeout is not None:
+            if isinstance(self.timeout, bool) \
+                    or not isinstance(self.timeout, (int, float)) \
+                    or self.timeout <= 0:
+                raise ReproError(
+                    f"timeout must be a positive number of seconds, "
+                    f"got {self.timeout!r}")
+        return self
+
+
+def job_cache_key(spec: JobSpec) -> str:
+    """The persistent-cache key of one job (see the module docstring
+    for the audit of what must be included)."""
+    from repro.cache import cache_key
+    return cache_key(spec.source, spec.analysis, spec.context,
+                     {"command": "analyze",
+                      "simplify": spec.simplify,
+                      "report": spec.report,
+                      "values": spec.values})
+
+
+def cache_payload(row: dict) -> dict:
+    """The slice of a finished row worth persisting."""
+    return {key: row[key]
+            for key in ("stdout", "summary", "wall_seconds")
+            if key in row}
+
+
+def render_reports(program, result, report: str = "all") -> str:
+    """The ``analyze`` output text for one result — the exact bytes
+    the differential suite compares across front ends."""
+    from repro.reporting import (
+        environment_report, flow_report, inlining_report,
+    )
+    lines = [f"program: {program.stats()}"]
+    if report in ("flow", "all"):
+        lines += ["", flow_report(result)]
+    if report in ("inlining", "all"):
+        lines += ["", inlining_report(result)]
+    if report in ("envs", "all"):
+        lines += ["", environment_report(result)]
+    return "\n".join(lines) + "\n"
+
+
+def run_job(spec: JobSpec) -> dict:
+    """Execute one job; always returns a row, never raises.
+
+    This is the worker-pool entry point: it compiles the program in
+    the worker process (so front-end work parallelizes too) and runs
+    the analysis under the spec's cooperative wall-clock budget.  The
+    row's ``status`` is ``ok`` (with ``stdout`` and ``summary``),
+    ``timeout`` or ``error`` (with ``error``).
+    """
+    from repro.cps.simplify import simplify_program
+    from repro.scheme.cps_transform import compile_program
+    row = {"analysis": spec.analysis, "context": spec.context,
+           "values": spec.values, "pid": os.getpid()}
+    started = time.perf_counter()
+    try:
+        # The budget clock starts before the front end so compile and
+        # simplify time count against the job's allowance; the check
+        # is cooperative (between phases and per analysis step), so a
+        # pathological source can overrun the budget by one compile —
+        # bounded in the service by the protocol's frame size cap.
+        budget = Budget(max_seconds=spec.timeout).start()
+        program = compile_program(spec.source)
+        if spec.simplify:
+            program = simplify_program(program)
+        if budget.exhausted():
+            raise AnalysisTimeout(
+                f"analysis exceeded time budget of "
+                f"{spec.timeout}s", elapsed=budget.elapsed)
+        result = run_scheme_analysis(
+            program, spec.analysis, spec.context, budget,
+            plain=spec.values == "plain")
+        row["stdout"] = render_reports(program, result, spec.report)
+        row["summary"] = result.summary()
+        row["status"] = "ok"
+    except AnalysisTimeout as error:
+        row["status"] = "timeout"
+        row["error"] = str(error)
+    except ReproError as error:
+        row["status"] = "error"
+        row["error"] = str(error)
+    except Exception as error:  # keep the pool alive
+        row["status"] = "error"
+        row["error"] = f"{type(error).__name__}: {error}"
+    row["wall_seconds"] = round(time.perf_counter() - started, 6)
+    return row

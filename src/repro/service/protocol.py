@@ -1,0 +1,168 @@
+"""The streaming NDJSON wire protocol of the analysis service.
+
+One JSON object per ``\\n``-terminated line, UTF-8, in both
+directions.  Requests carry an ``op``:
+
+``submit``
+    ``{"op": "submit", "id": "7", "source": "(f 1)" | "path": ...,
+    "analysis": "kcfa", "context": 1, "simplify": false,
+    "report": "all", "values": "interned", "timeout": 30.0}``
+    — exactly one of ``source`` (program text) or ``path`` (a file
+    readable *by the server*).  Everything but the program is
+    optional and defaults as in :class:`~repro.service.jobs.JobSpec`.
+``stats``
+    ``{"op": "stats"}`` — one ``stats`` event with the scheduler's
+    counters (see :meth:`AnalysisServer.stats_snapshot`).
+``ping`` / ``shutdown``
+    Liveness probe / graceful stop.
+
+The server streams events back, each tagged with the request's
+``id`` as ``job``.  A submitted job progresses
+``queued`` → ``running`` → ``done``, where the ``done`` event carries
+``status`` (``ok | timeout | error``), the rendered ``stdout`` and
+``summary`` on success, and the ``cached`` / ``coalesced`` flags
+(cache hits skip ``running`` entirely; coalesced followers attach to
+the leader's run).  ``done`` is terminal: in the rare race where a
+follower attaches just as the leader finishes, its ``running`` frame
+can trail the ``done``, so clients must stop at ``done`` and ignore
+any late job-tagged frames.  Malformed requests produce an ``error``
+event and never tear down the connection.
+
+JSON strings escape newlines, so framing can never be broken by
+report text; :data:`MAX_LINE_BYTES` bounds memory against a
+misbehaving peer.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+from repro.service.jobs import JobSpec
+
+#: Bump when the wire format changes shape incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one NDJSON line (requests embed whole programs).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Operations a request may carry.
+OPS = ("submit", "stats", "ping", "shutdown")
+
+#: Every field a ``submit`` request may carry; unknown fields are
+#: rejected so a typo ("contxt") fails loudly instead of silently
+#: analyzing under defaults.
+SUBMIT_FIELDS = frozenset(
+    ("op", "id", "source", "path", "analysis", "context", "simplify",
+     "report", "values", "timeout"))
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed frames or invalid request fields."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One NDJSON frame: compact JSON plus the terminating newline."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: str | bytes) -> dict:
+    """Parse one frame; raise :class:`ProtocolError` on anything that
+    is not a JSON object."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"frame exceeds {MAX_LINE_BYTES} bytes")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"frame is not UTF-8: {error}") \
+                from None
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got "
+            f"{type(message).__name__}")
+    return message
+
+
+def read_messages(stream):
+    """Yield decoded frames from a binary line-iterable (socket file,
+    test fixture, ...); blank lines are ignored."""
+    for raw in stream:
+        if not raw.strip():
+            continue
+        yield decode_message(raw)
+
+
+def read_frame(stream) -> bytes | None:
+    """One raw frame from a binary file-like, or None at EOF.
+
+    Reads with a hard :data:`MAX_LINE_BYTES` limit so a peer
+    streaming an endless unterminated line cannot balloon memory —
+    ``readline`` returns at the cap, which an honest frame never
+    hits, and the oversized read raises :class:`ProtocolError`
+    (the connection cannot be resynced mid-line, so callers should
+    drop it)."""
+    while True:
+        raw = stream.readline(MAX_LINE_BYTES + 1)
+        if not raw:
+            return None
+        if len(raw) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"frame exceeds {MAX_LINE_BYTES} bytes")
+        if raw.strip():
+            return raw
+
+
+def submit_spec(message: dict) -> JobSpec:
+    """Validate a ``submit`` request into a
+    :class:`~repro.service.jobs.JobSpec`.
+
+    ``path`` is read here, server-side; unreadable paths and every
+    bad field raise :class:`ProtocolError` with a message naming the
+    offender.
+    """
+    unknown = sorted(set(message) - SUBMIT_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown submit field(s) {', '.join(unknown)}; allowed: "
+            f"{', '.join(sorted(SUBMIT_FIELDS))}")
+    source = message.get("source")
+    path = message.get("path")
+    if (source is None) == (path is None):
+        raise ProtocolError(
+            "submit needs exactly one of 'source' (program text) or "
+            "'path' (a file readable by the server)")
+    if path is not None:
+        if not isinstance(path, str):
+            raise ProtocolError(f"path must be a string, got "
+                                f"{type(path).__name__}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as error:
+            raise ProtocolError(f"cannot read path {path!r}: "
+                                f"{error}") from None
+    simplify = message.get("simplify", False)
+    if not isinstance(simplify, bool):
+        raise ProtocolError(
+            f"simplify must be a JSON boolean, got {simplify!r}")
+    spec = JobSpec(
+        source=source,
+        analysis=message.get("analysis", "mcfa"),
+        context=message.get("context", 1),
+        simplify=simplify,
+        report=message.get("report", "all"),
+        values=message.get("values", "interned"),
+        timeout=message.get("timeout"))
+    try:
+        return spec.validate()
+    except ProtocolError:
+        raise
+    except ReproError as error:
+        raise ProtocolError(str(error)) from None

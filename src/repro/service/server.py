@@ -1,0 +1,395 @@
+"""The concurrent job scheduler behind ``python -m repro serve``.
+
+One always-resident process owns a listening socket (TCP loopback or
+Unix domain), a shared :class:`concurrent.futures.ProcessPoolExecutor`
+worker pool, an :class:`~repro.cache.InflightTable` and (optionally) a
+persistent :class:`~repro.cache.ResultCache`.  Each client connection
+gets a reader thread speaking the NDJSON protocol of
+:mod:`repro.service.protocol`; submitted jobs flow through three
+tiers, cheapest first:
+
+1. **disk cache** — a previously completed identical job is answered
+   immediately (``done`` with ``cached: true``, no ``running`` event);
+2. **in-flight coalescing** — an identical job currently running
+   absorbs the submission as a follower; when the leader's analysis
+   lands, every subscriber receives the same ``done`` event
+   (followers with ``coalesced: true``);
+3. **the worker pool** — otherwise the job is dispatched to a worker
+   process, which compiles and analyzes under the job's cooperative
+   wall-clock :class:`~repro.util.budget.Budget`, so one exponential
+   request times out cleanly instead of wedging a worker forever.
+
+Identical means *same cache key and same budget*: the cache key
+deliberately excludes the timeout (a completed answer does not depend
+on it), but two in-flight submissions only coalesce when their budgets
+agree, so a 1-second probe can never be handed a 60-second run's
+timeout verdict or vice versa.
+
+Completion ordering matters for the no-duplicate-work guarantee: a
+finished job is written to the disk cache *before* its in-flight entry
+is retired, and a submission that becomes a flight's *leader*
+re-checks the cache before dispatching to the pool.  Together the two
+close the race: a submission that missed the first cache probe while
+an identical job was finishing either joins the still-open flight or
+finds the freshly written entry on the re-check — there is no window
+in which it re-runs the analysis.
+
+The pool uses the ``forkserver`` start method where available (fork
+from a single-threaded helper — forking a threaded server directly is
+deprecated), falling back to ``spawn``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+from repro.cache import CACHE_SCHEMA_VERSION, InflightTable
+from repro.service.jobs import (
+    JobSpec, cache_payload, job_cache_key, run_job,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION, ProtocolError, decode_message, encode_message,
+    read_frame, submit_spec,
+)
+
+
+def _pool_context():
+    """A start method safe for a threaded parent (see module doc)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else "spawn")
+
+
+class AnalysisServer:
+    """A persistent analysis server; see the module docstring.
+
+    Construct, :meth:`start`, then read :attr:`endpoint` (useful with
+    ``port=0``, which binds a free port).  :meth:`stop` is idempotent
+    and also runs on ``shutdown`` requests from clients.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 socket_path: str | None = None,
+                 workers: int | None = None, cache=None,
+                 default_timeout: float | None = 60.0):
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        self.cache = cache
+        self.default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._inflight = InflightTable()
+        self._jobs = {"submitted": 0, "executed": 0, "completed": 0,
+                      "ok": 0, "timeout": 0, "error": 0,
+                      "coalesced": 0, "rejected": 0}
+        self._job_ids = itertools.count(1)
+        self._listener: socket.socket | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._connections: set[socket.socket] = set()
+        self._stopped = threading.Event()
+        self._started_at: float | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "AnalysisServer":
+        """Bind the socket, create the pool, accept in a thread."""
+        if self.socket_path:
+            listener = socket.socket(socket.AF_UNIX,
+                                     socket.SOCK_STREAM)
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+            listener.bind(self.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET,
+                                     socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET,
+                                socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            self.port = listener.getsockname()[1]
+        listener.listen(128)
+        self._listener = listener
+        self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                         mp_context=_pool_context())
+        self._started_at = time.monotonic()
+        threading.Thread(target=self._accept_loop,
+                         name="repro-serve-accept",
+                         daemon=True).start()
+        return self
+
+    @property
+    def endpoint(self) -> str:
+        """``host:port`` or the Unix socket path."""
+        if self.socket_path:
+            return self.socket_path
+        return f"{self.host}:{self.port}"
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server stops; True iff it has."""
+        return self._stopped.wait(timeout)
+
+    def stop(self) -> None:
+        """Stop accepting, drop connections, retire the pool."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.socket_path and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    # -- stats -----------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """The scheduler's counters, as one JSON-able dict.
+
+        ``jobs.submitted`` counts every submission; each ends up as
+        exactly one of a cache hit (``cache.hits``), a coalesced
+        follower (``jobs.coalesced``) or an executed analysis
+        (``jobs.executed``) — the stress suite asserts that identity.
+        """
+        with self._lock:
+            jobs = dict(self._jobs)
+        uptime = 0.0 if self._started_at is None \
+            else time.monotonic() - self._started_at
+        return {
+            "endpoint": self.endpoint,
+            "protocol": PROTOCOL_VERSION,
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "workers": self.workers,
+            "uptime_seconds": round(uptime, 3),
+            "jobs": jobs,
+            "inflight": self._inflight.pending(),
+            "cache": (self.cache.stats.as_dict()
+                      if self.cache is not None else None),
+        }
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._jobs[counter] += amount
+
+    # -- connection handling ---------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break
+            threading.Thread(target=self._serve_connection,
+                             args=(conn,), daemon=True).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._connections.add(conn)
+        send_lock = threading.Lock()
+
+        def send(message: dict) -> None:
+            data = encode_message(message)
+            with send_lock:
+                conn.sendall(data)
+
+        try:
+            stream = conn.makefile("rb")
+            while not self._stopped.is_set():
+                try:
+                    raw = read_frame(stream)
+                except ProtocolError as error:
+                    # An oversized frame cannot be resynced mid-line;
+                    # report and drop the connection.
+                    self._count("rejected")
+                    send({"event": "error", "error": str(error)})
+                    break
+                if raw is None:
+                    break
+                try:
+                    self._dispatch(raw, send)
+                except ProtocolError as error:
+                    self._count("rejected")
+                    send({"event": "error", "error": str(error)})
+                except _Shutdown:
+                    break
+        except (OSError, ValueError):
+            pass  # client went away mid-frame; nothing to clean up
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, raw: bytes, send) -> None:
+        message = decode_message(raw)
+        op = message.get("op", "submit")
+        if op == "submit":
+            self._handle_submit(message, send)
+        elif op == "ping":
+            send({"event": "pong", "protocol": PROTOCOL_VERSION})
+        elif op == "stats":
+            send({"event": "stats", "stats": self.stats_snapshot()})
+        elif op == "shutdown":
+            send({"event": "bye"})
+            threading.Thread(target=self.stop, daemon=True).start()
+            raise _Shutdown()
+        else:
+            raise ProtocolError(
+                f"unknown op {op!r}; choose from submit, stats, "
+                f"ping, shutdown")
+
+    # -- the scheduler ---------------------------------------------------
+
+    def _handle_submit(self, message: dict, send) -> None:
+        job_id = str(message["id"]) if "id" in message \
+            else f"job-{next(self._job_ids)}"
+        try:
+            spec = submit_spec(message)
+        except ProtocolError as error:
+            self._count("rejected")
+            send({"event": "error", "job": job_id,
+                  "error": str(error)})
+            return
+        if spec.timeout is None and self.default_timeout is not None:
+            spec = replace(spec, timeout=self.default_timeout)
+        key = job_cache_key(spec)
+        self._count("submitted")
+        send({"event": "queued", "job": job_id, "key": key})
+        payload = self._cache_get(key)
+        if payload is not None:
+            with self._lock:
+                self._jobs["completed"] += 1
+                self._jobs["ok"] += 1
+            send(self._cached_done_event(job_id, key, payload))
+            return
+        flight = (key, spec.timeout)
+        if not self._inflight.join(flight, (send, job_id)):
+            self._count("coalesced")
+            send({"event": "running", "job": job_id,
+                  "coalesced": True})
+            return
+        # Leader.  Re-check the cache: an identical job may have
+        # finished between the probe above and the join — the
+        # write-before-retire order in _finish guarantees its entry
+        # is visible by now (see the module docstring).  The probe
+        # above already counted this submission's miss; don't count
+        # the re-probe too.
+        payload = self._cache_get(key, count_miss=False)
+        if payload is not None:
+            self._settle(flight, key,
+                         {"status": "ok",
+                          "stdout": payload.get("stdout"),
+                          "summary": payload.get("summary"),
+                          "wall_seconds": payload.get("wall_seconds")},
+                         cached=True)
+            return
+        # `running` goes out before the dispatch so the leader can
+        # never observe `done` first, however fast the job is.  A
+        # failed send (client already gone) must not abandon the
+        # flight here — followers and the cache still want the run.
+        try:
+            send({"event": "running", "job": job_id,
+                  "coalesced": False})
+        except OSError:
+            pass
+        self._count("executed")
+        try:
+            future = self._pool.submit(run_job, spec)
+        except Exception as error:
+            # Broken pool or racing stop(): the flight must still be
+            # retired, or every identical job would hang forever.
+            self._settle(flight, key,
+                         {"status": "error",
+                          "error": f"{type(error).__name__}: {error}",
+                          "wall_seconds": 0.0})
+            return
+        future.add_done_callback(
+            lambda fut, flight=flight, key=key:
+            self._finish(flight, key, fut))
+
+    def _cache_get(self, key: str, count_miss: bool = True):
+        if self.cache is None:
+            return None
+        return self.cache.get(key, count_miss=count_miss)
+
+    @staticmethod
+    def _cached_done_event(job_id: str, key: str,
+                           payload: dict) -> dict:
+        return {"event": "done", "job": job_id, "key": key,
+                "status": "ok", "stdout": payload.get("stdout"),
+                "summary": payload.get("summary"),
+                "wall_seconds": payload.get("wall_seconds"),
+                "cached": True, "coalesced": False}
+
+    def _finish(self, flight, key: str, future) -> None:
+        """Pool callback: persist, retire the flight, fan out.
+
+        Cache write strictly precedes the in-flight pop — see the
+        module docstring for why that order closes the re-run race.
+        """
+        try:
+            row = future.result()
+        except Exception as error:  # cancelled or broken pool
+            row = {"status": "error",
+                   "error": f"{type(error).__name__}: {error}",
+                   "wall_seconds": 0.0}
+        if self.cache is not None and row["status"] == "ok":
+            try:
+                self.cache.put(key, cache_payload(row))
+            except OSError:
+                pass  # a full disk must not take the service down
+        self._settle(flight, key, row)
+
+    def _settle(self, flight, key: str, row: dict,
+                cached: bool = False) -> None:
+        """Retire a flight and fan *row* out to every subscriber."""
+        subscribers = self._inflight.complete(flight)
+        with self._lock:
+            self._jobs["completed"] += len(subscribers)
+            self._jobs[row["status"]] += len(subscribers)
+        event = {"event": "done", "key": key,
+                 "status": row["status"],
+                 "wall_seconds": row.get("wall_seconds"),
+                 "cached": cached}
+        if row["status"] == "ok":
+            event["stdout"] = row.get("stdout")
+            event["summary"] = row.get("summary")
+        else:
+            event["error"] = row.get("error", "")
+        for index, (send, job_id) in enumerate(subscribers):
+            message = dict(event)
+            message["job"] = job_id
+            message["coalesced"] = index > 0
+            try:
+                send(message)
+            except OSError:
+                pass  # that client disconnected while waiting
+
+
+class _Shutdown(Exception):
+    """Internal: unwind a connection loop after a shutdown request."""

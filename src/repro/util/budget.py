@@ -38,6 +38,18 @@ class Budget:
         self._started_at = time.monotonic()
         return self
 
+    def ensure_started(self) -> "Budget":
+        """Start the clock only if it is not already running.
+
+        Engines call this instead of :meth:`start` so a caller that
+        started the budget earlier — to charge compilation or queue
+        time against the same allowance — keeps its clock; a fresh
+        budget still starts here.
+        """
+        if self._started_at is None:
+            self.start()
+        return self
+
     @property
     def elapsed(self) -> float:
         if self._started_at is None:

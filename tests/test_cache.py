@@ -129,6 +129,131 @@ class TestOpenCache:
                                    "writes": 3, "rejected": 4}
 
 
+class TestJobKeyAudit:
+    """The cache key must cover every result-affecting option."""
+
+    def test_every_result_affecting_option_changes_the_key(self):
+        from dataclasses import replace
+        from repro.service.jobs import JobSpec, job_cache_key
+        base = JobSpec(source="(f 1)")
+        for field_name, other in [("source", "(f 2)"),
+                                  ("analysis", "kcfa"),
+                                  ("context", 2),
+                                  ("simplify", True),
+                                  ("report", "flow"),
+                                  ("values", "plain")]:
+            changed = replace(base, **{field_name: other})
+            assert job_cache_key(changed) != job_cache_key(base), \
+                f"{field_name} is not part of the cache key"
+
+    def test_timeout_is_deliberately_excluded(self):
+        from dataclasses import replace
+        from repro.service.jobs import JobSpec, job_cache_key
+        base = JobSpec(source="(f 1)")
+        assert job_cache_key(replace(base, timeout=5.0)) \
+            == job_cache_key(base)
+
+    def test_schema_version_is_part_of_the_key(self, monkeypatch):
+        before = cache_key("(f 1)", "kcfa", 1)
+        monkeypatch.setattr("repro.cache.CACHE_SCHEMA_VERSION",
+                            CACHE_SCHEMA_VERSION + 1)
+        assert cache_key("(f 1)", "kcfa", 1) != before
+
+    def test_analyze_cli_and_service_share_keys(self):
+        """`analyze --cache` entries must be reusable by the server
+        (and vice versa): both derive the key from job_cache_key."""
+        from repro.service.jobs import JobSpec, job_cache_key
+        spec = JobSpec(source="(f 1)", analysis="kcfa", context=1)
+        assert job_cache_key(spec) == cache_key(
+            "(f 1)", "kcfa", 1,
+            {"command": "analyze", "simplify": False,
+             "report": "all", "values": "interned"})
+
+
+class TestValuesDomainRegression:
+    """Flipping --values must never return a stale cached result."""
+
+    SOURCE = "(define (id x) x)\n(+ (id 3) (id 4))\n"
+
+    def run_analyze(self, tmp_path, capsys, values, cache_dir):
+        from repro.__main__ import main
+        src = tmp_path / "p.scm"
+        src.write_text(self.SOURCE, encoding="utf-8")
+        code = main(["analyze", str(src), "--analysis", "kcfa",
+                     "-n", "1", "--values", values,
+                     "--cache-dir", str(cache_dir)])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_flipping_values_is_never_a_stale_hit(self, tmp_path,
+                                                  capsys):
+        cache_dir = tmp_path / "cache"
+        code, interned_out, err = self.run_analyze(
+            tmp_path, capsys, "interned", cache_dir)
+        assert code == 0 and "(cached result)" not in err
+        code, plain_out, err = self.run_analyze(
+            tmp_path, capsys, "plain", cache_dir)
+        assert code == 0
+        assert "(cached result)" not in err, \
+            "plain run was served the interned run's cache entry"
+        assert len(list(cache_dir.glob("*.json"))) == 2
+        # The domains agree on the bytes (the interning theorem) —
+        # which is exactly why key separation needs its own test.
+        assert plain_out == interned_out
+        code, _out, err = self.run_analyze(
+            tmp_path, capsys, "plain", cache_dir)
+        assert code == 0 and "(cached result)" in err
+
+
+class TestInflightTable:
+    def test_first_join_is_the_leader(self):
+        from repro.cache import InflightTable
+        table = InflightTable()
+        assert table.join("k", "a") is True
+        assert table.join("k", "b") is False
+        assert table.join("other", "c") is True
+        assert table.pending() == 2
+        assert table.stats.leaders == 2
+        assert table.stats.followers == 1
+
+    def test_complete_pops_everyone_in_order(self):
+        from repro.cache import InflightTable
+        table = InflightTable()
+        table.join("k", "a")
+        table.join("k", "b")
+        assert table.complete("k") == ["a", "b"]
+        assert table.pending() == 0
+        assert table.complete("k") == []
+
+    def test_completed_key_restarts_fresh(self):
+        from repro.cache import InflightTable
+        table = InflightTable()
+        table.join("k", "a")
+        table.complete("k")
+        assert table.join("k", "b") is True
+
+    def test_concurrent_joins_elect_exactly_one_leader(self):
+        import threading
+        from repro.cache import InflightTable
+        table = InflightTable()
+        outcomes = []
+        barrier = threading.Barrier(16)
+
+        def contender(i):
+            barrier.wait(timeout=30)
+            outcomes.append(table.join("k", i))
+
+        threads = [threading.Thread(target=contender, args=(i,))
+                   for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert sum(outcomes) == 1
+        assert sorted(table.complete("k")) == list(range(16))
+        assert table.stats.followers == 15
+
+
 class TestAnalyzeCLI:
     SOURCE = "(define (id x) x)\n(+ (id 3) (id 4))\n"
 

@@ -8,7 +8,8 @@ from repro.fj import analyze_fj_kcfa, parse_fj
 from repro.fj.examples import DISPATCH, PAIRS
 from repro.reporting import (
     environment_report, fj_report, flow_report, inlining_report,
-    render_flow_set, render_value, summary_table,
+    job_event_line, render_flow_set, render_value,
+    service_stats_report, summary_table,
 )
 from repro.scheme.cps_transform import compile_program
 
@@ -82,6 +83,43 @@ class TestReports:
         capped = flow_report(result, max_rows=1,
                              include_generated=True)
         assert "more rows" in capped
+
+
+class TestServiceReporting:
+    def test_job_event_lines(self):
+        assert job_event_line({"event": "queued", "job": "c1",
+                               "key": "ab" * 32}) \
+            == "[c1] queued (key abababababab)"
+        assert job_event_line({"event": "running", "job": "c1"}) \
+            == "[c1] running"
+        assert "coalesced" in job_event_line(
+            {"event": "running", "job": "c1", "coalesced": True})
+        done = job_event_line({"event": "done", "job": "c1",
+                               "status": "ok", "cached": True,
+                               "wall_seconds": 0.25})
+        assert done == "[c1] ok cached in 0.25s"
+        assert job_event_line({"event": "error", "job": "c1",
+                               "error": "boom"}) \
+            == "[c1] error: boom"
+
+    def test_service_stats_report(self):
+        stats = {"endpoint": "127.0.0.1:7557", "protocol": 1,
+                 "workers": 4, "uptime_seconds": 12.3,
+                 "jobs": {"submitted": 10, "completed": 9, "ok": 7,
+                          "timeout": 1, "error": 1, "coalesced": 2,
+                          "rejected": 0, "executed": 5},
+                 "inflight": 1,
+                 "cache": {"hits": 3, "misses": 7, "writes": 5,
+                           "rejected": 0}}
+        report = service_stats_report(stats)
+        assert "127.0.0.1:7557" in report
+        assert "10 submitted" in report
+        assert "2 coalesced" in report
+        assert "3 hits" in report
+
+    def test_service_stats_report_without_cache(self):
+        report = service_stats_report({"jobs": {}, "cache": None})
+        assert "cache: disabled" in report
 
 
 class TestCLI:

@@ -1,0 +1,143 @@
+"""Differential suite: the service must be byte-identical to analyze.
+
+For random programs plus the bench suite, the server's rendered
+report — produced in a worker process, streamed back over the NDJSON
+protocol — must equal the output of in-process
+``python -m repro analyze`` *exactly*, for every Scheme analysis ×
+values-domain combination, across context depths, report selections
+and the simplify flag.  Any drift between the serving path and the
+one-shot path is a correctness bug, not a formatting nit: the cache
+stores these bytes and replays them to future clients.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+from repro.benchsuite.programs import BY_NAME
+from repro.generators.random_programs import random_core_expression
+from repro.scheme.pretty import pretty
+from repro.service.client import ServiceClient
+from repro.service.jobs import SCHEME_ANALYSES, VALUE_MODES
+from repro.service.server import AnalysisServer
+
+
+def _random_source(seed: int, depth: int) -> str:
+    """Random closed terminating program, as re-parseable text."""
+    return pretty(random_core_expression(seed, depth))
+
+
+#: Small programs crossed with the *full* analysis × domain matrix.
+SMALL = {
+    "eta": BY_NAME["eta"].source,
+    "map": BY_NAME["map"].source,
+    "rand1": _random_source(1, 3),
+    "rand7": _random_source(7, 4),
+    "rand42": _random_source(42, 3),
+}
+
+#: The naive §3.6 driver state-explodes on this pairing — which is
+#: the paper's point, not a service bug; skip it in the matrix.
+EXPLODES = {("map", "kcfa-naive")}
+
+#: Larger suite programs, checked on the polynomial analyses.
+LARGE = ("sat", "regex", "interp", "scm2java", "scm2c")
+
+
+@pytest.fixture(scope="module")
+def client():
+    server = AnalysisServer(port=0, workers=2).start()
+    with ServiceClient(port=server.port) as connection:
+        yield connection
+    server.stop()
+
+
+def analyze_output(tmp_path, capsys, source: str, *flags: str) -> str:
+    """The exact bytes ``python -m repro analyze`` prints."""
+    path = tmp_path / "prog.scm"
+    path.write_text(source, encoding="utf-8")
+    capsys.readouterr()
+    assert main(["analyze", str(path), *flags]) == 0
+    return capsys.readouterr().out
+
+
+class TestFullMatrix:
+    @pytest.mark.parametrize("values", VALUE_MODES)
+    @pytest.mark.parametrize("analysis", SCHEME_ANALYSES)
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_byte_identical(self, name, analysis, values, client,
+                            tmp_path, capsys):
+        if (name, analysis) in EXPLODES:
+            pytest.skip("naive driver explodes here by design")
+        source = SMALL[name]
+        expected = analyze_output(
+            tmp_path, capsys, source, "--analysis", analysis,
+            "-n", "1", "--values", values, "--timeout", "120")
+        final = client.submit(source=source, analysis=analysis,
+                              context=1, values=values, timeout=120.0)
+        assert final["status"] == "ok", final.get("error")
+        assert final["stdout"] == expected
+
+
+class TestSuitePrograms:
+    @pytest.mark.parametrize("analysis", ("mcfa", "zero"))
+    @pytest.mark.parametrize("name", LARGE)
+    def test_byte_identical(self, name, analysis, client, tmp_path,
+                            capsys):
+        source = BY_NAME[name].source
+        expected = analyze_output(
+            tmp_path, capsys, source, "--analysis", analysis,
+            "-n", "1", "--timeout", "120")
+        final = client.submit(source=source, analysis=analysis,
+                              context=1, timeout=120.0)
+        assert final["status"] == "ok", final.get("error")
+        assert final["stdout"] == expected
+
+
+class TestOptionAxes:
+    @pytest.mark.parametrize("context", (0, 1, 2))
+    def test_context_sweep(self, context, client, tmp_path, capsys):
+        source = SMALL["eta"]
+        expected = analyze_output(
+            tmp_path, capsys, source, "--analysis", "mcfa",
+            "-n", str(context), "--timeout", "120")
+        final = client.submit(source=source, analysis="mcfa",
+                              context=context, timeout=120.0)
+        assert final["status"] == "ok", final.get("error")
+        assert final["stdout"] == expected
+
+    @pytest.mark.parametrize("report", ("flow", "inlining", "envs"))
+    def test_report_selection(self, report, client, tmp_path, capsys):
+        source = SMALL["rand7"]
+        expected = analyze_output(
+            tmp_path, capsys, source, "--analysis", "kcfa", "-n", "1",
+            "--report", report, "--timeout", "120")
+        final = client.submit(source=source, analysis="kcfa",
+                              context=1, report=report, timeout=120.0)
+        assert final["status"] == "ok", final.get("error")
+        assert final["stdout"] == expected
+
+    def test_simplify_flag(self, client, tmp_path, capsys):
+        source = SMALL["map"]
+        expected = analyze_output(
+            tmp_path, capsys, source, "--analysis", "mcfa", "-n", "1",
+            "--simplify", "--timeout", "120")
+        final = client.submit(source=source, analysis="mcfa",
+                              context=1, simplify=True, timeout=120.0)
+        assert final["status"] == "ok", final.get("error")
+        assert final["stdout"] == expected
+
+
+class TestRandomPool:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_programs_mcfa(self, seed, client, tmp_path,
+                                  capsys):
+        source = _random_source(seed, 4)
+        expected = analyze_output(
+            tmp_path, capsys, source, "--analysis", "mcfa", "-n", "1",
+            "--timeout", "120")
+        final = client.submit(source=source, analysis="mcfa",
+                              context=1, timeout=120.0)
+        assert final["status"] == "ok", final.get("error")
+        assert final["stdout"] == expected

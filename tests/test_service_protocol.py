@@ -1,0 +1,349 @@
+"""Unit coverage for the service wire protocol and job core.
+
+The differential and stress suites exercise the happy paths end to
+end; this file pins down the edges: frame decoding errors, submit
+validation (every bad field), the shared analysis dispatch (including
+the FJ side the socket service does not expose), ``run_job`` status
+rows, and the server's behavior on garbage input.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fj import analyze_fj_kcfa, parse_fj
+from repro.fj.examples import PAIRS
+from repro.service.jobs import (
+    JobSpec, job_cache_key, run_fj_analysis, run_job,
+    run_scheme_analysis,
+)
+from repro.service.protocol import (
+    MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError, decode_message,
+    encode_message, read_frame, read_messages, submit_spec,
+)
+
+SOURCE = "(define (id x) x)\n(+ (id 3) (id 4))\n"
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"op": "submit", "source": "(λ ⊤ \"two\nlines\")"}
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1  # newlines stay escaped
+        assert decode_message(line) == message
+
+    def test_bad_json_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            decode_message(b"{nope")
+
+    def test_non_object_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_message(b"[1, 2]")
+
+    def test_non_utf8_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_message(b"\xff\xfe{}")
+
+    def test_oversized_frame_is_a_protocol_error(self):
+        frame = b"x" * (MAX_LINE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_message(frame)
+
+    def test_read_messages_skips_blank_lines(self):
+        stream = [b"\n", encode_message({"op": "ping"}), b"  \n",
+                  encode_message({"op": "stats"})]
+        ops = [m["op"] for m in read_messages(stream)]
+        assert ops == ["ping", "stats"]
+
+    def test_read_frame_skips_blanks_and_stops_at_eof(self):
+        import io
+        stream = io.BytesIO(b"\n  \n" + encode_message({"op": "ping"}))
+        assert decode_message(read_frame(stream)) == {"op": "ping"}
+        assert read_frame(stream) is None
+
+    def test_read_frame_bounds_unterminated_lines(self):
+        """An endless line must error at the cap, not balloon memory
+        waiting for a newline that never comes."""
+        import io
+        stream = io.BytesIO(b"x" * (MAX_LINE_BYTES + 100))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_frame(stream)
+
+
+class TestSubmitSpec:
+    def test_minimal_submit(self):
+        spec = submit_spec({"op": "submit", "source": SOURCE})
+        assert spec.analysis == "mcfa"
+        assert spec.context == 1
+        assert spec.timeout is None
+
+    def test_path_is_read_server_side(self, tmp_path):
+        path = tmp_path / "p.scm"
+        path.write_text(SOURCE, encoding="utf-8")
+        spec = submit_spec({"op": "submit", "path": str(path),
+                            "analysis": "kcfa"})
+        assert spec.source == SOURCE
+        assert spec.analysis == "kcfa"
+
+    def test_unreadable_path(self, tmp_path):
+        with pytest.raises(ProtocolError, match="cannot read path"):
+            submit_spec({"op": "submit",
+                         "path": str(tmp_path / "missing.scm")})
+
+    def test_non_string_path(self):
+        with pytest.raises(ProtocolError, match="path must be"):
+            submit_spec({"op": "submit", "path": 7})
+
+    @pytest.mark.parametrize("message", [
+        {"op": "submit"},                                # neither
+        {"op": "submit", "source": "x", "path": "y"},    # both
+    ])
+    def test_exactly_one_of_source_and_path(self, message):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            submit_spec(message)
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ProtocolError, match="contxt"):
+            submit_spec({"op": "submit", "source": "x", "contxt": 2})
+
+    @pytest.mark.parametrize("field_name,value,needle", [
+        ("analysis", "tajima", "unknown analysis"),
+        ("context", -1, "non-negative"),
+        ("context", True, "non-negative"),
+        ("context", "two", "non-negative"),
+        ("report", "everything", "unknown report"),
+        ("values", "boxed", "unknown values domain"),
+        ("timeout", 0, "positive"),
+        ("timeout", -3.5, "positive"),
+        ("timeout", "fast", "positive"),
+    ])
+    def test_bad_fields(self, field_name, value, needle):
+        message = {"op": "submit", "source": SOURCE,
+                   field_name: value}
+        with pytest.raises(ProtocolError, match=needle):
+            submit_spec(message)
+
+    def test_empty_source_is_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            submit_spec({"op": "submit", "source": "   "})
+
+    def test_simplify_must_be_a_real_boolean(self):
+        """bool("false") is True — coercion would silently simplify;
+        the field must be validated, not coerced."""
+        with pytest.raises(ProtocolError, match="simplify"):
+            submit_spec({"op": "submit", "source": SOURCE,
+                         "simplify": "false"})
+
+
+class TestDispatch:
+    def test_unknown_scheme_analysis(self):
+        from repro.scheme.cps_transform import compile_program
+        program = compile_program(SOURCE)
+        with pytest.raises(ReproError, match="unknown analysis"):
+            run_scheme_analysis(program, "super-cfa", 1)
+
+    def test_unknown_fj_analysis(self):
+        program = parse_fj(PAIRS)
+        with pytest.raises(ReproError, match="unknown analysis"):
+            run_fj_analysis(program, "fj-super", 1)
+
+    @pytest.mark.parametrize("analysis", ["fj-kcfa", "fj-poly",
+                                          "fj-kcfa-gc"])
+    def test_fj_dispatch_runs(self, analysis):
+        program = parse_fj(PAIRS)
+        result = run_fj_analysis(program, analysis, 1)
+        assert result.configs
+
+    def test_fj_dispatch_matches_direct_call(self):
+        program = parse_fj(PAIRS)
+        via_jobs = run_fj_analysis(program, "fj-kcfa", 1).summary()
+        direct = analyze_fj_kcfa(program, 1).summary()
+        via_jobs.pop("elapsed")
+        direct.pop("elapsed")
+        assert via_jobs == direct
+
+
+class TestRunJob:
+    def test_ok_row(self):
+        row = run_job(JobSpec(source=SOURCE, analysis="kcfa",
+                              context=1, timeout=60.0))
+        assert row["status"] == "ok"
+        assert row["stdout"].startswith("program:")
+        assert row["summary"]["analysis"] == "k-CFA"
+        assert row["wall_seconds"] >= 0
+
+    def test_parse_error_row(self):
+        row = run_job(JobSpec(source="(lambda (x)"))
+        assert row["status"] == "error"
+        assert row["error"]
+        assert "stdout" not in row
+
+    def test_timeout_row(self):
+        from repro.generators.worstcase import worst_case_source
+        row = run_job(JobSpec(source=worst_case_source(14),
+                              analysis="kcfa", context=2,
+                              timeout=0.2))
+        assert row["status"] == "timeout"
+        assert "budget" in row["error"]
+
+    def test_validate_returns_self(self):
+        spec = JobSpec(source=SOURCE)
+        assert spec.validate() is spec
+
+    def test_prestarted_budget_clock_survives_the_engine(self):
+        """run_job starts the budget before the front end; the engine
+        must not reset that clock, or a job could run ~2x its
+        timeout (compile up to the limit, then a fresh fixpoint
+        allowance)."""
+        from repro.errors import AnalysisTimeout
+        from repro.scheme.cps_transform import compile_program
+        from repro.util.budget import Budget
+        program = compile_program(SOURCE)
+        budget = Budget(max_seconds=1.0, check_every=1).start()
+        budget._started_at -= 2.0  # the front end "burned" 2s
+        with pytest.raises(AnalysisTimeout):
+            run_scheme_analysis(program, "kcfa", 1, budget)
+
+    def test_key_is_stable_across_processes(self):
+        # SHA-256 of canonical JSON: no PYTHONHASHSEED dependence.
+        spec = JobSpec(source=SOURCE, analysis="kcfa")
+        assert job_cache_key(spec) == job_cache_key(
+            JobSpec(source=SOURCE, analysis="kcfa"))
+
+
+@pytest.fixture(scope="module")
+def raw_server():
+    from repro.service.server import AnalysisServer
+    server = AnalysisServer(port=0, workers=1).start()
+    yield server
+    server.stop()
+
+
+def _raw_roundtrip(server, payload: bytes, replies: int = 1) -> list:
+    """Send raw bytes, read NDJSON replies off the same socket."""
+    with socket.create_connection(("127.0.0.1", server.port),
+                                  timeout=30) as conn:
+        conn.sendall(payload)
+        stream = conn.makefile("rb")
+        return [json.loads(stream.readline())
+                for _ in range(replies)]
+
+
+class TestServerProtocolEdges:
+    def test_garbage_line_yields_error_event(self, raw_server):
+        (event,) = _raw_roundtrip(raw_server, b"this is not json\n")
+        assert event["event"] == "error"
+        assert "JSON" in event["error"]
+
+    def test_unknown_op_yields_error_event(self, raw_server):
+        (event,) = _raw_roundtrip(
+            raw_server, encode_message({"op": "dance"}))
+        assert event["event"] == "error"
+        assert "unknown op" in event["error"]
+
+    def test_bad_submit_keeps_the_connection_alive(self, raw_server):
+        payload = encode_message({"op": "submit", "id": "bad-1",
+                                  "source": SOURCE,
+                                  "analysis": "tajima"}) \
+            + encode_message({"op": "ping"})
+        events = _raw_roundtrip(raw_server, payload, replies=2)
+        assert events[0]["event"] == "error"
+        assert events[0]["job"] == "bad-1"
+        assert events[1]["event"] == "pong"
+        assert events[1]["protocol"] == PROTOCOL_VERSION
+
+    def test_rejections_are_counted(self, raw_server):
+        from repro.service.client import ServiceClient
+        with ServiceClient(port=raw_server.port) as client:
+            assert client.stats()["jobs"]["rejected"] >= 2
+
+    def test_submit_by_path(self, raw_server, tmp_path):
+        path = tmp_path / "p.scm"
+        path.write_text(SOURCE, encoding="utf-8")
+        payload = encode_message({"op": "submit", "id": "p1",
+                                  "path": str(path),
+                                  "analysis": "zero", "context": 0,
+                                  "timeout": 60.0})
+        events = _raw_roundtrip(raw_server, payload, replies=3)
+        assert [e["event"] for e in events] \
+            == ["queued", "running", "done"]
+        assert events[2]["status"] == "ok"
+        assert "0CFA" in events[2]["stdout"]
+
+    def test_client_detects_closed_connection(self, raw_server):
+        from repro.service.client import ServiceClient
+        client = ServiceClient(port=raw_server.port)
+        client.close()
+        with pytest.raises(OSError):
+            client.ping()
+
+
+class TestLeaderDisconnect:
+    def test_leader_send_failure_does_not_leak_the_flight(self):
+        """A leader whose client vanished before the `running` event
+        must still dispatch — a leaked flight would hang every
+        future identical submission forever."""
+        import time
+        from repro.service.client import ServiceClient
+        from repro.service.server import AnalysisServer
+
+        server = AnalysisServer(port=0, workers=1).start()
+        try:
+            def dead_send(message):
+                if message.get("event") in ("running", "done"):
+                    raise OSError("client went away")
+
+            server._handle_submit(
+                {"op": "submit", "id": "ghost", "source": SOURCE,
+                 "analysis": "mcfa", "context": 1, "timeout": 30.0},
+                dead_send)
+            deadline = time.monotonic() + 30
+            while server._inflight.pending() \
+                    and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server._inflight.pending() == 0, \
+                "the dead leader's flight was never retired"
+            # And an identical job from a live client completes.
+            with ServiceClient(port=server.port) as client:
+                final = client.submit(source=SOURCE, analysis="mcfa",
+                                      context=1, timeout=30.0)
+            assert final["status"] == "ok"
+        finally:
+            server.stop()
+
+
+class TestBrokenPool:
+    def test_submit_failure_retires_the_flight(self):
+        """If dispatching to the pool raises (broken pool, racing
+        stop()), the job must report an error and the in-flight entry
+        must be retired — otherwise every identical submission after
+        it would hang forever."""
+        from repro.service.client import ServiceClient
+        from repro.service.server import AnalysisServer
+
+        class ExplodingPool:
+            def submit(self, fn, *args, **kwargs):
+                raise RuntimeError("pool is broken")
+
+            def shutdown(self, **kwargs):
+                pass
+
+        server = AnalysisServer(port=0, workers=1).start()
+        try:
+            server._pool.shutdown(wait=False)
+            server._pool = ExplodingPool()
+            with ServiceClient(port=server.port) as client:
+                for _ in range(2):  # a leaked flight would hang here
+                    final = client.submit(source=SOURCE,
+                                          analysis="mcfa", context=1,
+                                          timeout=30.0)
+                    assert final["status"] == "error"
+                    assert "pool is broken" in final["error"]
+                assert client.stats()["inflight"] == 0
+        finally:
+            server.stop()

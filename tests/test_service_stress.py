@@ -1,0 +1,159 @@
+"""Concurrency stress: ≥8 clients, coalescing, timeout isolation.
+
+Eight concurrent clients each submit a *unique* fast job (catching
+cross-talk: every client must get exactly its own program's report
+back) and then — barrier-synchronized so the submissions genuinely
+overlap — one *identical* heavy job, which must coalesce onto a
+single analysis run.  A ninth client concurrently submits the
+guaranteed-timeout ``worst14`` k-CFA(2) cell (EXPTIME wall) under a
+1-second budget: it must report ``timeout`` without stalling anyone
+else.  The server's stats then have to balance exactly: every
+submission is one of an executed analysis, a coalesced follower or a
+cache hit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.generators.worstcase import worst_case_source
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec, run_job
+from repro.service.server import AnalysisServer
+
+CLIENTS = 8
+
+#: ~0.5–1.5 s of k-CFA(1) work: long enough that barrier-synced
+#: duplicate submissions overlap the leader's run and coalesce.
+DUP_SOURCE = worst_case_source(12)
+
+#: The Van Horn–Mairson doubling term at depth 14 under k = 2 cannot
+#: finish within any sane budget — the guaranteed-timeout job.
+TIMEOUT_SOURCE = worst_case_source(14)
+
+
+def _fast_source(i: int) -> str:
+    """A unique tiny program per client, tagged by a constant so a
+    cross-talked report is unmistakable."""
+    return f"(define (tag x) (+ x {1000 + i}))\n(tag {i})\n"
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("service-cache"))
+    server = AnalysisServer(port=0, workers=2, cache=cache).start()
+    yield server
+    server.stop()
+
+
+class TestStressMix:
+    def test_stress_mix(self, server):
+        expected = {
+            i: run_job(JobSpec(source=_fast_source(i),
+                               analysis="mcfa", context=1,
+                               timeout=60.0))["stdout"]
+            for i in range(CLIENTS)}
+        results: dict[int, tuple] = {}
+        failures: list[tuple] = []
+        timeout_result: dict[str, dict] = {}
+        barrier = threading.Barrier(CLIENTS)
+
+        def timeout_client():
+            try:
+                with ServiceClient(port=server.port) as client:
+                    timeout_result["event"] = client.submit(
+                        source=TIMEOUT_SOURCE, analysis="kcfa",
+                        context=2, timeout=1.0)
+            except Exception as error:  # surfaced via `failures`
+                failures.append(("timeout-client", error))
+
+        def worker(i: int):
+            try:
+                with ServiceClient(port=server.port) as client:
+                    fast = client.submit(source=_fast_source(i),
+                                         analysis="mcfa", context=1,
+                                         timeout=60.0)
+                    barrier.wait(timeout=120)
+                    dup = client.submit(source=DUP_SOURCE,
+                                        analysis="kcfa", context=1,
+                                        timeout=300.0)
+                    results[i] = (fast, dup)
+            except Exception as error:
+                failures.append((i, error))
+
+        threads = [threading.Thread(target=timeout_client)]
+        threads += [threading.Thread(target=worker, args=(i,))
+                    for i in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        assert not failures, failures
+        assert all(not thread.is_alive() for thread in threads)
+
+        # The guaranteed-timeout job reported timeout, in isolation.
+        event = timeout_result["event"]
+        assert event["status"] == "timeout"
+        assert "budget" in event["error"]
+
+        # No cross-talk: each client got its own program's bytes.
+        for i in range(CLIENTS):
+            fast, _ = results[i]
+            assert fast["status"] == "ok", fast.get("error")
+            assert fast["stdout"] == expected[i], \
+                f"client {i} received another client's report"
+
+        # Duplicates: identical bytes for everyone, analysis shared.
+        dups = [results[i][1] for i in range(CLIENTS)]
+        assert all(dup["status"] == "ok" for dup in dups)
+        assert len({dup["stdout"] for dup in dups}) == 1
+        assert any(dup["coalesced"] or dup["cached"]
+                   for dup in dups), \
+            "no duplicate submission coalesced or hit the cache"
+
+        with ServiceClient(port=server.port) as client:
+            stats = client.stats()
+        jobs = stats["jobs"]
+        assert jobs["submitted"] == 2 * CLIENTS + 1
+        assert jobs["completed"] == jobs["submitted"]
+        # Every submission is exactly one of: executed analysis,
+        # coalesced follower, cache hit.
+        assert jobs["executed"] + jobs["coalesced"] \
+            + stats["cache"]["hits"] == jobs["submitted"]
+        assert jobs["coalesced"] >= 1, \
+            "coalescing never observed in server stats"
+        # 8 unique fast jobs + the timeout job + the dup leader (+1
+        # slack for a submission racing the finish line).
+        assert jobs["executed"] <= CLIENTS + 3
+        assert jobs["timeout"] == 1
+        assert jobs["error"] == 0
+
+    def test_warm_resubmission_is_served_from_cache(self, server):
+        """Identical job again, after everything settled: a disk-cache
+        hit, no engine re-run (executed counter unchanged)."""
+        with ServiceClient(port=server.port) as client:
+            executed_before = client.stats()["jobs"]["executed"]
+            hits_before = client.stats()["cache"]["hits"]
+            final = client.submit(source=DUP_SOURCE, analysis="kcfa",
+                                  context=1, timeout=300.0)
+            stats = client.stats()
+        assert final["status"] == "ok"
+        assert final["cached"] is True
+        assert stats["jobs"]["executed"] == executed_before
+        assert stats["cache"]["hits"] == hits_before + 1
+
+    def test_timeouts_are_never_cached(self, server):
+        """Resubmitting the timeout cell re-runs it (status timeout
+        again) rather than replaying a cached verdict."""
+        with ServiceClient(port=server.port) as client:
+            executed_before = client.stats()["jobs"]["executed"]
+            final = client.submit(source=TIMEOUT_SOURCE,
+                                  analysis="kcfa", context=2,
+                                  timeout=1.0)
+            stats = client.stats()
+        assert final["status"] == "timeout"
+        assert final["cached"] is False
+        assert stats["jobs"]["executed"] == executed_before + 1
