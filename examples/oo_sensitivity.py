@@ -1,0 +1,82 @@
+"""The OO sensitivity ladder: one kernel, many context policies.
+
+The kernel refactor turned "which analysis" into a data point — every
+entry in `repro.analysis.registry` is the same abstract machine with a
+different context policy.  This script walks the OO rungs on the
+receiver-polymorphic identity example (the OO cousin of the paper's §6
+`identity`/`do-something` example):
+
+* `fj-kcfa` / `fj-poly` — call-site sensitivity: the two
+  `id.identity(...)` call sites get distinct contexts, so `a` and `b`
+  stay separate;
+* `fj-obj` (pure object sensitivity, obj^n) — contexts come from the
+  *receiver's allocation site*: both calls dispatch on the same `id`
+  object, so at depth 1 the bindings merge, exactly as 0CFA merges
+  the functional identity example;
+* `fj-hybrid` — receiver allocation site *and* call sites in one
+  bounded window: the ladder rung that keeps both kinds of precision;
+* `fj-mcfa` — m-CFA transplanted to FJ: top-m stack frames with
+  `this` re-bound by field copying (§5.2's move with fields as the
+  free variables).
+
+    python examples/oo_sensitivity.py [depth]
+"""
+
+import sys
+
+from repro import parse_fj, run_fj
+from repro.analysis.registry import registry
+from repro.fj.examples import OO_IDENTITY
+
+
+def classes(result, var):
+    names = sorted({obj.classname for obj in result.points_to(var)})
+    return "{" + ", ".join(names) + "}"
+
+
+def main():
+    depth = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    program = parse_fj(OO_IDENTITY)
+    print("concrete result:", run_fj(program).value)
+
+    print(f"\nthe ladder "
+          f"(a = id.identity(new A()); b = id.identity(new B())):")
+    print(f"  {'analysis':16} {'a points to':14} {'b points to':14} "
+          f"envs")
+    rungs = [(spec, n)
+             for spec in registry().specs("fj")
+             if spec.engine == "single-store"  # keep the demo fast
+             for n in ((depth, depth + 1)
+                       if spec.name == "fj-obj" else (depth,))]
+    for spec, n in rungs:
+        result = spec.run(program, n)
+        label = f"{spec.name}({n})"
+        print(f"  {label:16} {classes(result, 'a'):14} "
+              f"{classes(result, 'b'):14} "
+              f"{result.total_environments()}")
+
+    print("\nwhy pure object sensitivity merges at *every* depth:")
+    print("both calls dispatch on the same receiver object, and")
+    print("fj-obj draws its context from the receiver's allocation")
+    print("chain alone — the OO mirror of 0CFA on the paper's")
+    print("functional identity example, and no amount of depth")
+    print("helps when the chain is the same.  fj-hybrid's window")
+    print("concatenates the receiver chain with the last n call")
+    print("sites, so it keeps the distinction at every depth — the")
+    print("rung of the ladder this program needs.")
+
+    # Cross-validation the registry makes cheap: FJ m-CFA's stack
+    # frames coincide with the §4.4 collapse under invocation
+    # ticking on this example.
+    flows = {spec.name: spec.run(program, depth).halt_values
+             for spec in registry().specs("fj")
+             if spec.name in ("fj-poly", "fj-mcfa")}
+    reprs = {name: sorted(map(repr, values))
+             for name, values in flows.items()}
+    assert len(set(map(tuple, reprs.values()))) == 1, reprs
+    print("\ncross-check: fj-poly and fj-mcfa agree on the halt "
+          "flow set here")
+
+
+if __name__ == "__main__":
+    main()

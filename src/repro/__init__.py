@@ -31,32 +31,43 @@ The subpackages:
 * :mod:`repro.cache` — the persistent content-keyed result cache.
 """
 
-from repro.scheme.cps_transform import compile_program, cps_convert
-from repro.scheme.interp import run_source
-from repro.cps import Program, parse_cps, pretty_cps
-from repro.concrete import run_flat, run_shared
-from repro.analysis import (
-    AnalysisResult, analyze_kcfa, analyze_kcfa_naive, analyze_mcfa,
-    analyze_poly_kcfa, analyze_zerocfa,
-)
-from repro.fj import (
-    FJProgram, analyze_fj_kcfa, analyze_fj_poly, parse_fj, run_fj,
-)
-from repro.cache import ResultCache, cache_key
-from repro.util.budget import Budget
-from repro.errors import AnalysisTimeout, ReproError
+# The convenience API is loaded lazily (PEP 562): importing any
+# `repro.*` submodule executes this file first, and CLI startup,
+# bench/service worker spawns and registry consultations must not pay
+# for the whole analyzer stack.  `from repro import analyze_mcfa`
+# still works — the attribute is resolved (and cached) on first use.
 
 __version__ = "1.1.0"
 
-__all__ = [
-    "compile_program", "cps_convert", "run_source",
-    "Program", "parse_cps", "pretty_cps",
-    "run_flat", "run_shared",
-    "AnalysisResult", "analyze_kcfa", "analyze_kcfa_naive",
-    "analyze_mcfa", "analyze_poly_kcfa", "analyze_zerocfa",
-    "FJProgram", "analyze_fj_kcfa", "analyze_fj_poly", "parse_fj",
-    "run_fj",
-    "ResultCache", "cache_key",
-    "Budget", "AnalysisTimeout", "ReproError",
-    "__version__",
-]
+_LAZY = {
+    "compile_program": "repro.scheme.cps_transform",
+    "cps_convert": "repro.scheme.cps_transform",
+    "run_source": "repro.scheme.interp",
+    "Program": "repro.cps",
+    "parse_cps": "repro.cps",
+    "pretty_cps": "repro.cps",
+    "run_flat": "repro.concrete",
+    "run_shared": "repro.concrete",
+    "AnalysisResult": "repro.analysis",
+    "analyze_kcfa": "repro.analysis",
+    "analyze_kcfa_naive": "repro.analysis",
+    "analyze_mcfa": "repro.analysis",
+    "analyze_poly_kcfa": "repro.analysis",
+    "analyze_zerocfa": "repro.analysis",
+    "FJProgram": "repro.fj",
+    "analyze_fj_kcfa": "repro.fj",
+    "analyze_fj_poly": "repro.fj",
+    "parse_fj": "repro.fj",
+    "run_fj": "repro.fj",
+    "ResultCache": "repro.cache",
+    "cache_key": "repro.cache",
+    "Budget": "repro.util.budget",
+    "AnalysisTimeout": "repro.errors",
+    "ReproError": "repro.errors",
+}
+
+__all__ = [*_LAZY, "__version__"]
+
+from repro.util.lazymod import lazy_attrs  # noqa: E402
+
+__getattr__, __dir__ = lazy_attrs(__name__, globals(), _LAZY)

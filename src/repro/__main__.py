@@ -2,8 +2,12 @@
 
 Commands:
 
-* ``analyze FILE`` — run an analysis on a Scheme source file and print
-  flow, inlining and environment reports.
+* ``analyze FILE`` — run any registered analysis on a source file
+  (Scheme or Featherweight Java, per the analysis's language) and
+  print its reports.
+* ``analyses`` — list every registered analysis with its policy
+  parameters (context abstraction, environment representation,
+  language), straight from the analysis registry.
 * ``run FILE`` — run a program on the concrete machines.
 * ``fj FILE`` — parse and analyze a Featherweight Java file.
 * ``tables`` — regenerate the paper's tables (delegates to the
@@ -19,6 +23,8 @@ Examples::
 
     python -m repro analyze examples/prog.scm --analysis mcfa -n 1
     python -m repro analyze prog.scm --analysis kcfa -n 2 --simplify
+    python -m repro analyze prog.java --analysis fj-mcfa -n 1
+    python -m repro analyses --language fj
     python -m repro fj prog.java --entry-method caller -k 1
     python -m repro tables --table worstcase --timeout 5
     python -m repro bench --quick
@@ -32,10 +38,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
-from repro.service.jobs import (
-    REPORT_CHOICES, SCHEME_ANALYSES as ANALYSES, VALUE_MODES,
-)
+from repro.analysis.registry import registry
+from repro.errors import ReproError, UsageError
+from repro.service.jobs import REPORT_CHOICES, VALUE_MODES
+
+#: Every registered analysis name (Scheme and FJ), sourced from the
+#: registry.  Unknown names are rejected by ``JobSpec.validate`` (a
+#: :class:`~repro.errors.UsageError`, exit 2), not by argparse;
+#: this tuple exists for the docs-drift and consistency tests.
+ANALYSES = registry().names()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,10 +57,11 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser(
-        "analyze", help="analyze a Scheme source file")
-    analyze.add_argument("file", help="Scheme source path ('-' stdin)")
-    analyze.add_argument("--analysis", choices=sorted(ANALYSES),
-                         default="mcfa")
+        "analyze", help="analyze a source file (Scheme or FJ)")
+    analyze.add_argument("file", help="source path ('-' stdin)")
+    analyze.add_argument("--analysis", default="mcfa", metavar="NAME",
+                         help="a registered analysis name "
+                              "(see `repro analyses`; default mcfa)")
     analyze.add_argument("-n", "--context", type=int, default=1,
                          help="the k or m (default 1)")
     analyze.add_argument("--simplify", action="store_true",
@@ -68,6 +80,17 @@ def _build_parser() -> argparse.ArgumentParser:
                               "cache dir (~/.cache/repro)")
     analyze.add_argument("--cache-dir", default=None,
                          help="cache directory (implies --cache)")
+
+    analyses_cmd = commands.add_parser(
+        "analyses",
+        help="list every registered analysis and its policy")
+    analyses_cmd.add_argument("--language",
+                              choices=["all", "scheme", "fj"],
+                              default="all",
+                              help="restrict to one language")
+    analyses_cmd.add_argument("--names", action="store_true",
+                              help="print bare names only "
+                                   "(for scripting)")
 
     run = commands.add_parser(
         "run", help="run a Scheme program on the concrete machines")
@@ -102,9 +125,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated program names "
                             "(default: whole suite + FJ examples)")
     bench.add_argument("--analyses", default=None,
-                       help="comma-separated analyses "
-                            "(default: kcfa,mcfa,poly,zero,"
-                            "fj-kcfa,fj-poly)")
+                       help="comma-separated analyses, or 'all' for "
+                            "every registered analysis (default: "
+                            "kcfa,mcfa,poly,zero,fj-kcfa,fj-poly,"
+                            "fj-mcfa,fj-hybrid)")
     bench.add_argument("--contexts", default="0,1",
                        help="comma-separated k/m values (default 0,1)")
     bench.add_argument("--copies", type=int, default=1,
@@ -158,11 +182,12 @@ def _build_parser() -> argparse.ArgumentParser:
     submit = commands.add_parser(
         "submit", help="submit a job to a running analysis server")
     submit.add_argument("file", nargs="?", default=None,
-                        help="Scheme source path ('-' stdin); "
+                        help="source path ('-' stdin); "
                              "optional with --server-stats or "
                              "--shutdown")
-    submit.add_argument("--analysis", choices=sorted(ANALYSES),
-                        default="mcfa")
+    submit.add_argument("--analysis", default="mcfa", metavar="NAME",
+                        help="a registered analysis name "
+                             "(see `repro analyses`; default mcfa)")
     submit.add_argument("-n", "--context", type=int, default=1,
                         help="the k or m (default 1)")
     submit.add_argument("--simplify", action="store_true",
@@ -202,11 +227,21 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
+def _validate_analysis_args(args) -> None:
+    """Fail fast on option errors, before any source is read — a
+    typo must not block on stdin or be masked by a file error."""
+    from repro.service.jobs import validate_job_options
+    validate_job_options(args.analysis, args.context,
+                         simplify=args.simplify, report=args.report,
+                         values=args.values)
+
+
 def _cmd_analyze(args) -> int:
     from repro.cache import open_cache
     from repro.service.jobs import (
         JobSpec, cache_payload, job_cache_key, run_job,
     )
+    _validate_analysis_args(args)
     spec = JobSpec(source=_read_source(args.file),
                    analysis=args.analysis, context=args.context,
                    simplify=args.simplify, report=args.report,
@@ -227,6 +262,30 @@ def _cmd_analyze(args) -> int:
     sys.stdout.write(row["stdout"])
     if cache is not None:
         cache.put(key, cache_payload(row))
+    return 0
+
+
+def _cmd_analyses(args) -> int:
+    from repro.metrics.timing import format_table
+    language = None if args.language == "all" else args.language
+    specs = registry().specs(language)
+    if args.names:
+        for spec in specs:
+            print(spec.name)
+        return 0
+    headers = ["name", "display", "lang", "env-rep", "engine",
+               "context policy", "complexity"]
+    rows = [[spec.name, spec.display, spec.language, spec.env_rep,
+             spec.engine, spec.context, spec.complexity]
+            for spec in specs]
+    print(format_table(headers, rows))
+    if language is None:
+        print(f"{len(specs)} analyses registered "
+              f"(source: repro.analysis.registry)")
+    else:
+        print(f"{len(specs)} {language} analyses "
+              f"(of {len(registry())} registered; "
+              f"source: repro.analysis.registry)")
     return 0
 
 
@@ -254,6 +313,8 @@ def _cmd_fj(args) -> int:
     from repro.fj import analyze_fj_kcfa, parse_fj
     from repro.fj.gc import analyze_fj_kcfa_gc
     from repro.reporting import fj_report
+    if args.k < 0:
+        raise UsageError(f"-k must be non-negative, got {args.k}")
     program = parse_fj(_read_source(args.file),
                        entry_class=args.entry_class,
                        entry_method=args.entry_method)
@@ -304,13 +365,26 @@ def _cmd_bench(args) -> int:
                     else default_programs())
         analyses = (args.analyses.split(",") if args.analyses
                     else list(DEFAULT_ANALYSES))
+        if "all" in analyses:
+            # Expand 'all' wherever it appears in the list, from the
+            # live registry (not an import-time snapshot) so
+            # runtime-registered analyses are included; build_matrix
+            # dedups while preserving order.
+            analyses = [name
+                        for item in analyses
+                        for name in (registry().names()
+                                     if item == "all" else (item,))]
         try:
             contexts = [int(value)
                         for value in args.contexts.split(",")]
         except ValueError:
-            print(f"error: --contexts must be comma-separated "
-                  f"integers, got {args.contexts!r}", file=sys.stderr)
-            return 1
+            raise UsageError(
+                f"--contexts must be comma-separated integers, got "
+                f"{args.contexts!r}") from None
+        if any(context < 0 for context in contexts):
+            raise UsageError(
+                f"--contexts values must be non-negative, got "
+                f"{args.contexts!r}")
         copies = args.copies
         timeout = args.timeout
     values = args.values.split(",")
@@ -371,6 +445,10 @@ def _cmd_serve(args) -> int:
 def _cmd_submit(args) -> int:
     from repro.reporting import job_event_line, service_stats_report
     from repro.service.client import ServiceClient
+    if not (args.server_stats or args.shutdown):
+        # Same usage-error contract as analyze (exit 2), checked
+        # client-side so a typo needs neither a server nor stdin.
+        _validate_analysis_args(args)
     try:
         client = ServiceClient(host=args.host, port=args.port,
                                socket_path=args.socket)
@@ -440,6 +518,7 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "analyze": _cmd_analyze,
+        "analyses": _cmd_analyses,
         "run": _cmd_run,
         "fj": _cmd_fj,
         "tables": _cmd_tables,
@@ -449,6 +528,11 @@ def main(argv=None) -> int:
     }[args.command]
     try:
         return handler(args)
+    except UsageError as error:
+        # Bad options (unknown analysis, invalid --context): one-line
+        # message, argparse-style exit status.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,45 +1,47 @@
-"""The analyses: k-CFA, m-CFA, polynomial k-CFA and 0CFA.
+"""The analyses: one AAM kernel, many context policies.
 
-All four share the result API of
+Every analysis here is the shared transfer function of
+:mod:`repro.analysis.kernel` instantiated with a context policy
+(:mod:`repro.analysis.policies`) and registered in
+:mod:`repro.analysis.registry`.  All share the result API of
 :class:`~repro.analysis.results.AnalysisResult` and accept an optional
 :class:`~repro.util.budget.Budget` for step/time limits (worst-case
 table cells report ∞ via :class:`~repro.errors.AnalysisTimeout`).
+
+Attributes resolve lazily (PEP 562): consulting the registry — which
+every front end does at startup — must not pay for the analyzer
+modules, whose import is deferred into the registered factories.
 """
 
-from repro.analysis.domains import (
-    AConst, APair, AbsStore, AbsVal, Addr, BASIC, BEnv, BasicValue,
-    EMPTY_BENV, FClo, FlatEnvAbs, FrozenStore, KClo, Time,
-    abstract_literal, first_k, maybe_falsy, maybe_truthy,
-)
-from repro.analysis.engine import (
-    EngineOptions, EngineRun, Machine, NaiveState, run_naive,
-    run_single_store,
-)
-from repro.analysis.kcfa import (
-    KCFAMachine, KConfig, Recorder, analyze_kcfa, analyze_kcfa_naive,
-    result_from_run,
-)
-from repro.analysis.flat_machine import (
-    FConfig, FlatMachine, analyze_flat, mcfa_allocator,
-    poly_kcfa_allocator,
-)
-from repro.analysis.mcfa import analyze_mcfa
-from repro.analysis.polykcfa import analyze_poly_kcfa
-from repro.analysis.zerocfa import analyze_zerocfa
-from repro.analysis.gc import analyze_kcfa_gc
-from repro.analysis.results import AnalysisResult
+_LAZY = {
+    **{name: "repro.analysis.domains" for name in (
+        "AConst", "APair", "AbsStore", "AbsVal", "Addr", "BASIC",
+        "BEnv", "BasicValue", "EMPTY_BENV", "FClo", "FlatEnvAbs",
+        "FrozenStore", "KClo", "Time", "abstract_literal", "first_k",
+        "maybe_falsy", "maybe_truthy")},
+    **{name: "repro.analysis.engine" for name in (
+        "EngineOptions", "EngineRun", "Machine", "NaiveState",
+        "run_naive", "run_single_store")},
+    **{name: "repro.analysis.kernel" for name in (
+        "FlatEnv", "Kernel", "SharedEnv")},
+    **{name: "repro.analysis.registry" for name in (
+        "AnalysisRegistry", "AnalysisSpec", "registry",
+        "run_analysis")},
+    **{name: "repro.analysis.kcfa" for name in (
+        "KCFAMachine", "KConfig", "Recorder", "analyze_kcfa",
+        "analyze_kcfa_naive", "result_from_run")},
+    **{name: "repro.analysis.flat_machine" for name in (
+        "FConfig", "FlatMachine", "analyze_flat", "mcfa_allocator",
+        "poly_kcfa_allocator")},
+    "analyze_mcfa": "repro.analysis.mcfa",
+    "analyze_poly_kcfa": "repro.analysis.polykcfa",
+    "analyze_zerocfa": "repro.analysis.zerocfa",
+    "analyze_kcfa_gc": "repro.analysis.gc",
+    "AnalysisResult": "repro.analysis.results",
+}
 
-__all__ = [
-    "AConst", "APair", "AbsStore", "AbsVal", "Addr", "BASIC", "BEnv",
-    "BasicValue", "EMPTY_BENV", "FClo", "FlatEnvAbs", "FrozenStore",
-    "KClo", "Time", "abstract_literal", "first_k", "maybe_falsy",
-    "maybe_truthy",
-    "EngineOptions", "EngineRun", "Machine", "NaiveState",
-    "run_naive", "run_single_store",
-    "KCFAMachine", "KConfig", "Recorder", "analyze_kcfa",
-    "analyze_kcfa_naive", "result_from_run",
-    "FConfig", "FlatMachine", "analyze_flat", "mcfa_allocator",
-    "poly_kcfa_allocator",
-    "analyze_mcfa", "analyze_poly_kcfa", "analyze_zerocfa",
-    "analyze_kcfa_gc", "AnalysisResult",
-]
+__all__ = list(_LAZY)
+
+from repro.util.lazymod import lazy_attrs  # noqa: E402
+
+__getattr__, __dir__ = lazy_attrs(__name__, globals(), _LAZY)

@@ -7,7 +7,9 @@ PTIME m-CFA family, while the naive reachable-*states* engine (§3.6)
 is what the exponential lower bound actually talks about.  Before this
 module existed each analyzer (k-CFA, m-CFA, poly k-CFA, 0CFA, ΓCFA and
 the Featherweight Java machines) hand-rolled its own copy of those two
-loops.  Now there is exactly one of each:
+loops; the machines themselves later collapsed the same way into the
+policy-parameterized :mod:`repro.analysis.kernel`.  There is exactly
+one of each driver:
 
 * :func:`run_single_store` — the delta-propagating §3.7 driver.  One
   global monotone :class:`~repro.analysis.domains.AbsStore` with
@@ -49,10 +51,10 @@ C = TypeVar("C", bound=Hashable)  # configuration type
 class Machine(Protocol):
     """What the engine needs from an abstract transition relation.
 
-    Implementations in this repo: :class:`~repro.analysis.kcfa.
-    KCFAMachine`, :class:`~repro.analysis.flat_machine.FlatMachine`,
-    :class:`~repro.fj.kcfa.FJKCFAMachine` and
-    :class:`~repro.fj.poly.FJPolyMachine`.
+    Implementations in this repo: the policy-parameterized
+    :class:`~repro.analysis.kernel.Kernel` (behind every CPS
+    analysis), :class:`~repro.fj.kcfa.FJKCFAMachine` and
+    :class:`~repro.fj.poly.FJFlatMachine`.
     """
 
     def boot(self, store: AbsStore):

@@ -1,5 +1,5 @@
-"""Flat-environment abstract machine — the engine behind m-CFA (§5.2)
-and "naive polynomial k-CFA" (§6).
+"""Flat-environment analyses — m-CFA (§5.2) and "naive polynomial
+k-CFA" (§6) as allocator policies of the AAM kernel.
 
 A configuration is ``(call, ρ̂)`` where ρ̂ is a bounded tuple of call
 labels; an address is ``(variable, ρ̂)``.  Entering a lambda allocates
@@ -9,252 +9,53 @@ environment is a single base context rather than a per-variable map,
 the state space is polynomial: this is the paper's §4.4 observation
 about objects, projected back onto closures.
 
-The machine is parameterized by the environment allocator
-``new(call-label, caller-env, callee-lam, callee-env)``:
+All of that now lives in :class:`~repro.analysis.kernel.FlatEnv`
+driven by the shared :class:`~repro.analysis.kernel.Kernel` transfer
+function; this module keeps the machine's public face.  The
+environment allocator ``alloc(call-label, caller-env, callee-lam,
+callee-env)`` is the whole analysis:
 
-* **m-CFA** (§5.3): a *procedure* call pushes the call site and keeps
-  the top m frames; a *continuation* call **restores** the environment
-  the continuation closed over (the caller's frames — a return).
-* **naive polynomial k-CFA**: every call (procedure or continuation)
+* :func:`~repro.analysis.policies.mcfa_allocator` (§5.3): a
+  *procedure* call pushes the call site and keeps the top m frames; a
+  *continuation* call **restores** the environment the continuation
+  closed over (a return).
+* :func:`~repro.analysis.policies.poly_kcfa_allocator`: every call
   allocates the last k call sites.  Section 6 shows why this
-  degenerates: any intervening call rotates the context window, merging
-  bindings that m-CFA keeps apart.
+  degenerates: any intervening call rotates the context window,
+  merging bindings that m-CFA keeps apart.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 from repro.cps.program import Program
-from repro.cps.syntax import (
-    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, Lit, PrimCall,
-    Ref, free_vars_of_lam,
-)
-from repro.analysis.domains import (
-    APair, AbsStore, Addr, BASIC, FClo, FlatEnvAbs,
-    abstract_literal, first_k,
-)
+from repro.cps.syntax import Lam
+from repro.analysis.domains import FlatEnvAbs
 from repro.analysis.engine import EngineOptions, run_single_store
 from repro.analysis.interning import PlainTable
-from repro.analysis.kcfa import Recorder, result_from_run
+from repro.analysis.kernel import (
+    FConfig, FlatEnv, Kernel, Recorder, result_from_run,
+)
+from repro.analysis.policies import mcfa_allocator, poly_kcfa_allocator
 from repro.analysis.results import AnalysisResult
-from repro.scheme.primitives import lookup_primitive
 from repro.util.budget import Budget
 
-#: new(call_label, caller_env, callee_lam, callee_env) -> new_env
+__all__ = [
+    "EnvAllocator", "FConfig", "FlatMachine", "analyze_flat",
+    "mcfa_allocator", "poly_kcfa_allocator",
+]
+
+#: alloc(call_label, caller_env, callee_lam, callee_env) -> new_env
 EnvAllocator = Callable[[int, FlatEnvAbs, Lam, FlatEnvAbs], FlatEnvAbs]
 
 
-def mcfa_allocator(m: int) -> EnvAllocator:
-    """The §5.3 allocator: top-m-frames with continuation restore."""
-    def new(call_label: int, caller_env: FlatEnvAbs, lam: Lam,
-            callee_env: FlatEnvAbs) -> FlatEnvAbs:
-        if lam.is_user:
-            return first_k(m, (call_label, *caller_env))
-        return callee_env
-    return new
-
-
-def poly_kcfa_allocator(k: int) -> EnvAllocator:
-    """Last-k-call-sites for *every* call — the naive JW instantiation
-    the paper's §6 evaluates against."""
-    def new(call_label: int, caller_env: FlatEnvAbs, lam: Lam,
-            callee_env: FlatEnvAbs) -> FlatEnvAbs:
-        return first_k(k, (call_label, *caller_env))
-    return new
-
-
-@dataclass(frozen=True, slots=True)
-class FConfig:
-    """A flat abstract configuration ``(call, ρ̂)``."""
-
-    call: Call
-    env: FlatEnvAbs
-
-
-@dataclass(frozen=True, slots=True)
-class FTransition:
-    call: Call
-    env: FlatEnvAbs
-    joins: tuple[tuple[Addr, object], ...]  # values are table masks
-
-
-class FlatMachine:
-    """The flat-environment abstract transition relation.
-
-    Mask-native like :class:`~repro.analysis.kcfa.KCFAMachine`: flow
-    sets are value-table masks and closures are hash-consed per
-    ``(lambda, environment)``.
-    """
+class FlatMachine(Kernel):
+    """The flat-environment abstract transition relation: the kernel
+    with flat environments and a pluggable allocator policy."""
 
     def __init__(self, program: Program, allocator: EnvAllocator):
-        self.program = program
-        self.new_env = allocator
-
-    def initial(self) -> FConfig:
-        return FConfig(self.program.root, ())
-
-    # -- the engine's Machine protocol ---------------------------------
-
-    def boot(self, store: AbsStore) -> FConfig:
-        """Adopt the store's value table; nothing to seed."""
-        table = store.table
-        self.table = table
-        self._basic = table.bit_for(BASIC)
-        self._lit_bits: dict[object, object] = {}
-        self._clo_bits: dict[tuple, object] = {}
-        return self.initial()
-
-    def step(self, config: FConfig, store, reads: set[Addr],
-             recorder: Recorder) -> list[tuple[FConfig, tuple]]:
-        """One transfer-function application, in engine form."""
-        return [(FConfig(succ.call, succ.env), succ.joins)
-                for succ in self.transitions(config, store, reads,
-                                             recorder)]
-
-    # -- Ê ---------------------------------------------------------------
-
-    def evaluate(self, exp: CExp, env: FlatEnvAbs, store,
-                 reads: set[Addr]):
-        """The mask of values *exp* may evaluate to."""
-        if isinstance(exp, Ref):
-            addr = (exp.name, env)
-            reads.add(addr)
-            return store.get_mask(addr)
-        if isinstance(exp, Lam):
-            key = (exp.label, env)
-            bit = self._clo_bits.get(key)
-            if bit is None:
-                bit = self.table.bit_for(FClo(exp, env))
-                self._clo_bits[key] = bit
-            return bit
-        if isinstance(exp, Lit):
-            bit = self._lit_bits.get(id(exp))
-            if bit is None:
-                bit = self.table.bit_for(abstract_literal(exp.datum))
-                self._lit_bits[id(exp)] = bit
-            return bit
-        raise TypeError(f"not an atomic expression: {exp!r}")
-
-    # -- transitions --------------------------------------------------------
-
-    def transitions(self, config: FConfig, store, reads: set[Addr],
-                    recorder: Recorder) -> list[FTransition]:
-        call, env = config.call, config.env
-        if isinstance(call, AppCall):
-            return self._app_transitions(call, env, store, reads,
-                                         recorder)
-        if isinstance(call, IfCall):
-            test = self.evaluate(call.test, env, store, reads)
-            succs = []
-            if self.table.any_truthy(test):
-                succs.append(FTransition(call.then, env, ()))
-            if self.table.any_falsy(test):
-                succs.append(FTransition(call.orelse, env, ()))
-            return succs
-        if isinstance(call, PrimCall):
-            return self._prim_transitions(call, env, store, reads,
-                                          recorder)
-        if isinstance(call, FixCall):
-            joins = tuple(
-                ((name, env), self.table.bit_for(FClo(lam, env)))
-                for name, lam in call.bindings)
-            return [FTransition(call.body, env, joins)]
-        if isinstance(call, HaltCall):
-            recorder.halt_values |= self.table.decode(
-                self.evaluate(call.arg, env, store, reads))
-            return []
-        raise TypeError(f"cannot step call {call!r}")
-
-    def _app_transitions(self, call: AppCall, env: FlatEnvAbs, store,
-                         reads: set[Addr],
-                         recorder: Recorder) -> list[FTransition]:
-        operators = self.evaluate(call.fn, env, store, reads)
-        if operators & self._basic:
-            recorder.unknown_operator.add(call.label)
-        arg_values = [self.evaluate(arg, env, store, reads)
-                      for arg in call.args]
-        succs = []
-        for operator in self.table.decode_iter(operators):
-            if not isinstance(operator, FClo):
-                continue
-            lam = operator.lam
-            if len(lam.params) != len(call.args):
-                continue
-            succs.append(self._enter(call.label, env, operator,
-                                     arg_values, store, reads, recorder))
-        return succs
-
-    def _enter(self, call_label: int, caller_env: FlatEnvAbs,
-               operator: FClo, arg_values: list, store,
-               reads: set[Addr], recorder: Recorder) -> FTransition:
-        """Allocate ρ̂'', bind parameters, copy free variables (§5.2)."""
-        lam = operator.lam
-        new_env = self.new_env(call_label, caller_env, lam,
-                               operator.env)
-        joins: list[tuple[Addr, object]] = [
-            ((param, new_env), mask)
-            for param, mask in zip(lam.params, arg_values)]
-        if new_env != operator.env:
-            for free in free_vars_of_lam(lam):
-                source = (free, operator.env)
-                reads.add(source)
-                copied = store.get_mask(source)
-                if copied:
-                    joins.append(((free, new_env), copied))
-        recorder.record_apply(call_label, lam, new_env)
-        return FTransition(lam.body, new_env, tuple(joins))
-
-    def _prim_transitions(self, call: PrimCall, env: FlatEnvAbs, store,
-                          reads: set[Addr],
-                          recorder: Recorder) -> list[FTransition]:
-        prim = lookup_primitive(call.op)
-        arg_values = [self.evaluate(arg, env, store, reads)
-                      for arg in call.args]
-        if any(not mask for mask in arg_values):
-            return []
-        if prim.kind == "error":
-            return []
-        extra_joins: list[tuple[Addr, object]] = []
-        if prim.kind == "basic":
-            result = self._basic
-        elif prim.kind == "cons":
-            car_addr = (f"car@{call.label}", env)
-            cdr_addr = (f"cdr@{call.label}", env)
-            extra_joins.append((car_addr, arg_values[0]))
-            extra_joins.append((cdr_addr, arg_values[1]))
-            result = self.table.bit_for(APair(car_addr, cdr_addr))
-        elif prim.kind in ("car", "cdr"):
-            gathered = self.table.empty
-            for value in self.table.decode_iter(arg_values[0]):
-                if isinstance(value, APair):
-                    addr = value.car if prim.kind == "car" else value.cdr
-                    reads.add(addr)
-                    gathered |= store.get_mask(addr)
-                elif value is BASIC:
-                    gathered |= self._basic
-            if not gathered:
-                return []
-            result = gathered
-        else:
-            raise ValueError(f"unknown primitive kind {prim.kind!r}")
-        succs = []
-        conts = self.evaluate(call.cont, env, store, reads)
-        for operator in self.table.decode_iter(conts):
-            if not isinstance(operator, FClo):
-                continue
-            if len(operator.lam.params) != 1:
-                continue
-            transition = self._enter(call.label, env, operator,
-                                     [result], store, reads, recorder)
-            succs.append(FTransition(
-                transition.call, transition.env,
-                transition.joins + tuple(extra_joins)))
-        if not succs and extra_joins:
-            # Keep the pair fields even if no continuation flowed yet.
-            succs.append(FTransition(call, env, tuple(extra_joins)))
-        return succs
+        super().__init__(program, FlatEnv(allocator))
 
 
 def analyze_flat(program: Program, allocator: EnvAllocator,

@@ -1,18 +1,21 @@
-"""k-CFA: Shivers's analysis as a small-step abstract interpreter.
+"""k-CFA: Shivers's analysis as a policy of the AAM kernel.
 
 This is the paper's §3.4–3.7 made executable:
 
 * abstract times are the last *k* call-site labels; ``tick`` prepends
-  the current call and truncates (§3.5.1);
+  the current call and truncates (§3.5.1) — the
+  :func:`~repro.analysis.policies.call_site_tick` policy;
 * abstract addresses are ``(variable, time)`` pairs; binding
   environments map variables to times (footnote 3);
 * closures capture the binding environment **shared** — each free
-  variable keeps the context it was bound in.  This is precisely what
-  makes k-CFA exponential for functional programs: one lambda can be
-  closed by combinatorially many environments (§2.2).
+  variable keeps the context it was bound in
+  (:class:`~repro.analysis.kernel.SharedEnv`).  This is precisely
+  what makes k-CFA exponential for functional programs: one lambda
+  can be closed by combinatorially many environments (§2.2).
 
-Both of the paper's engines drive the same transition relation through
-the shared drivers in :mod:`repro.analysis.engine`:
+The transfer function itself lives in
+:class:`~repro.analysis.kernel.Kernel` — shared verbatim with the
+flat-environment analyses.  Both of the paper's engines drive it:
 
 * :func:`analyze_kcfa` — the single-threaded-store worklist (§3.7,
   :func:`~repro.analysis.engine.run_single_store`) with
@@ -26,284 +29,32 @@ the shared drivers in :mod:`repro.analysis.engine`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.cps.program import Program
-from repro.cps.syntax import (
-    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, Lit, PrimCall,
-    Ref, free_vars_of_lam,
-)
-from repro.analysis.domains import (
-    APair, AbsStore, Addr, BASIC, BEnv, EMPTY_BENV,
-    KClo, Time, abstract_literal, first_k,
-)
-from repro.analysis.engine import (
-    EngineOptions, EngineRun, run_naive, run_single_store,
-)
+from repro.analysis.engine import EngineOptions, run_naive, \
+    run_single_store
 from repro.analysis.interning import PlainTable
+from repro.analysis.kernel import (
+    KConfig, Kernel, Recorder, SharedEnv, result_from_run,
+)
+from repro.analysis.policies import call_site_tick
 from repro.analysis.results import AnalysisResult
-from repro.scheme.primitives import lookup_primitive
 from repro.util.budget import Budget
 
-
-@dataclass(frozen=True, slots=True)
-class KConfig:
-    """A store-less abstract configuration ``(call, β̂, t̂)``."""
-
-    call: Call
-    benv: BEnv
-    time: Time
+__all__ = [
+    "KCFAMachine", "KConfig", "Recorder", "analyze_kcfa",
+    "analyze_kcfa_naive", "result_from_run",
+]
 
 
-@dataclass(frozen=True, slots=True)
-class Transition:
-    """One abstract transition: a successor plus its store joins.
-
-    Join values are value-table *masks*
-    (:mod:`repro.analysis.interning`), not decoded frozensets.
-    """
-
-    call: Call
-    benv: BEnv
-    time: Time
-    joins: tuple[tuple[Addr, object], ...]
-
-
-@dataclass
-class Recorder:
-    """Monotone facts accumulated across engine runs."""
-
-    callees: dict[int, set[Lam]] = field(default_factory=dict)
-    unknown_operator: set[int] = field(default_factory=set)
-    entries: dict[int, set] = field(default_factory=dict)
-    halt_values: set = field(default_factory=set)
-
-    def record_apply(self, call_label: int, lam: Lam, entry_env) -> None:
-        self.callees.setdefault(call_label, set()).add(lam)
-        self.entries.setdefault(lam.label, set()).add(entry_env)
-
-    def frozen_callees(self) -> dict[int, frozenset[Lam]]:
-        return {label: frozenset(lams)
-                for label, lams in self.callees.items()}
-
-    def frozen_entries(self) -> dict[int, frozenset]:
-        return {label: frozenset(envs)
-                for label, envs in self.entries.items()}
-
-
-class KCFAMachine:
-    """The k-CFA abstract transition relation.
-
-    The machine is *mask-native*: flow sets are the value-table masks
-    of :mod:`repro.analysis.interning` (ints by default, frozensets
-    under :class:`~repro.analysis.interning.PlainTable`), read through
-    the store's ``get_mask`` and handed back to the engine as
-    ``(addr, mask)`` joins.  Closures are hash-consed per
-    ``(lambda, environment)`` and environment extension is memoized
-    per ``(environment, lambda, time)`` — the two allocations the
-    worst-case terms hammer.
-    """
+class KCFAMachine(Kernel):
+    """The k-CFA abstract transition relation: the kernel with shared
+    environments and the last-k-call-sites tick."""
 
     def __init__(self, program: Program, k: int):
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        self.program = program
+        super().__init__(program, SharedEnv(call_site_tick(k)))
         self.k = k
-
-    def initial(self) -> KConfig:
-        return KConfig(self.program.root, EMPTY_BENV, ())
-
-    # -- the engine's Machine protocol ---------------------------------
-
-    def boot(self, store: AbsStore) -> KConfig:
-        """Adopt the store's value table; k-CFA seeds no addresses."""
-        table = store.table
-        self.table = table
-        self._basic = table.bit_for(BASIC)
-        self._lit_bits: dict[object, object] = {}
-        self._clo_bits: dict[tuple, object] = {}
-        self._extend_memo: dict[tuple, BEnv] = {}
-        self._fix_memo: dict[tuple, tuple] = {}
-        return self.initial()
-
-    def step(self, config: KConfig, store, reads: set[Addr],
-             recorder: Recorder) -> list[tuple[KConfig, tuple]]:
-        """One transfer-function application, in engine form."""
-        return [(KConfig(succ.call, succ.benv, succ.time), succ.joins)
-                for succ in self.transitions(config, store, reads,
-                                             recorder)]
-
-    def tick(self, call: Call, time: Time) -> Time:
-        return first_k(self.k, (call.label, *time))
-
-    # -- Ê ------------------------------------------------------------
-
-    def evaluate(self, exp: CExp, benv: BEnv, store,
-                 reads: set[Addr]):
-        """The mask of values *exp* may evaluate to."""
-        if isinstance(exp, Ref):
-            addr = (exp.name, benv[exp.name])
-            reads.add(addr)
-            return store.get_mask(addr)
-        if isinstance(exp, Lam):
-            key = (exp.label, benv)
-            bit = self._clo_bits.get(key)
-            if bit is None:
-                bit = self.table.bit_for(
-                    KClo(exp, benv.restrict(free_vars_of_lam(exp))))
-                self._clo_bits[key] = bit
-            return bit
-        if isinstance(exp, Lit):
-            bit = self._lit_bits.get(id(exp))
-            if bit is None:
-                bit = self.table.bit_for(abstract_literal(exp.datum))
-                self._lit_bits[id(exp)] = bit
-            return bit
-        raise TypeError(f"not an atomic expression: {exp!r}")
-
-    # -- the transition relation ----------------------------------------
-
-    def transitions(self, config: KConfig, store, reads: set[Addr],
-                    recorder: Recorder) -> list[Transition]:
-        call, benv, now = config.call, config.benv, config.time
-        if isinstance(call, AppCall):
-            return self._app_transitions(call, benv, now, store, reads,
-                                         recorder)
-        if isinstance(call, IfCall):
-            test = self.evaluate(call.test, benv, store, reads)
-            succs = []
-            if self.table.any_truthy(test):
-                succs.append(Transition(call.then, benv, now, ()))
-            if self.table.any_falsy(test):
-                succs.append(Transition(call.orelse, benv, now, ()))
-            return succs
-        if isinstance(call, PrimCall):
-            return self._prim_transitions(call, benv, now, store, reads,
-                                          recorder)
-        if isinstance(call, FixCall):
-            key = (benv, call.label, now)
-            memo = self._fix_memo.get(key)
-            if memo is None:
-                extended = benv.extend(
-                    (name for name, _ in call.bindings), now)
-                joins = []
-                for name, lam in call.bindings:
-                    closure = KClo(
-                        lam, extended.restrict(free_vars_of_lam(lam)))
-                    joins.append(((name, now),
-                                  self.table.bit_for(closure)))
-                memo = (extended, tuple(joins))
-                self._fix_memo[key] = memo
-            extended, joins = memo
-            return [Transition(call.body, extended, now, joins)]
-        if isinstance(call, HaltCall):
-            recorder.halt_values |= self.table.decode(
-                self.evaluate(call.arg, benv, store, reads))
-            return []
-        raise TypeError(f"cannot step call {call!r}")
-
-    def _app_transitions(self, call: AppCall, benv: BEnv, now: Time,
-                         store, reads: set[Addr],
-                         recorder: Recorder) -> list[Transition]:
-        operators = self.evaluate(call.fn, benv, store, reads)
-        if operators & self._basic:
-            recorder.unknown_operator.add(call.label)
-        arg_values = [self.evaluate(arg, benv, store, reads)
-                      for arg in call.args]
-        new_time = self.tick(call, now)
-        succs = []
-        for operator in self.table.decode_iter(operators):
-            if not isinstance(operator, KClo):
-                continue
-            lam = operator.lam
-            if len(lam.params) != len(call.args):
-                continue
-            succs.append(self._enter(call.label, lam, operator.benv,
-                                     arg_values, new_time, recorder))
-        return succs
-
-    def _enter(self, call_label: int, lam: Lam, closure_benv: BEnv,
-               arg_values: list, new_time: Time,
-               recorder: Recorder) -> Transition:
-        """Bind parameters at the new time (the §3.4 rule)."""
-        key = (closure_benv, lam.label, new_time)
-        body_benv = self._extend_memo.get(key)
-        if body_benv is None:
-            body_benv = closure_benv.extend(lam.params, new_time)
-            self._extend_memo[key] = body_benv
-        joins = tuple(((param, new_time), mask)
-                      for param, mask in zip(lam.params, arg_values))
-        recorder.record_apply(call_label, lam, body_benv)
-        return Transition(lam.body, body_benv, new_time, joins)
-
-    def _prim_transitions(self, call: PrimCall, benv: BEnv, now: Time,
-                          store, reads: set[Addr],
-                          recorder: Recorder) -> list[Transition]:
-        prim = lookup_primitive(call.op)
-        arg_values = [self.evaluate(arg, benv, store, reads)
-                      for arg in call.args]
-        if any(not mask for mask in arg_values):
-            return []  # an argument is unreachable, so is the call
-        new_time = self.tick(call, now)
-        extra_joins: list[tuple[Addr, object]] = []
-        if prim.kind == "error":
-            return []
-        if prim.kind == "basic":
-            result = self._basic
-        elif prim.kind == "cons":
-            car_addr = (f"car@{call.label}", new_time)
-            cdr_addr = (f"cdr@{call.label}", new_time)
-            extra_joins.append((car_addr, arg_values[0]))
-            extra_joins.append((cdr_addr, arg_values[1]))
-            result = self.table.bit_for(APair(car_addr, cdr_addr))
-        elif prim.kind in ("car", "cdr"):
-            gathered = self.table.empty
-            for value in self.table.decode_iter(arg_values[0]):
-                if isinstance(value, APair):
-                    addr = value.car if prim.kind == "car" else value.cdr
-                    reads.add(addr)
-                    gathered |= store.get_mask(addr)
-                elif value is BASIC:
-                    # Quoted list structure abstracts to BASIC and can
-                    # only contain basic data, so projecting stays BASIC.
-                    gathered |= self._basic
-            if not gathered:
-                return []
-            result = gathered
-        else:
-            raise ValueError(f"unknown primitive kind {prim.kind!r}")
-        succs = []
-        conts = self.evaluate(call.cont, benv, store, reads)
-        for operator in self.table.decode_iter(conts):
-            if not isinstance(operator, KClo):
-                continue
-            lam = operator.lam
-            if len(lam.params) != 1:
-                continue
-            transition = self._enter(call.label, lam, operator.benv,
-                                     [result], new_time, recorder)
-            succs.append(Transition(
-                transition.call, transition.benv, transition.time,
-                transition.joins + tuple(extra_joins)))
-        if not succs and extra_joins:
-            # Keep the pair fields even if no continuation flowed yet.
-            succs.append(Transition(call, benv, now, tuple(extra_joins)))
-        return succs
-
-
-def result_from_run(run: EngineRun, program: Program, analysis: str,
-                    parameter: int) -> AnalysisResult:
-    """Package an engine run + :class:`Recorder` as a public result."""
-    recorder: Recorder = run.recorder
-    return AnalysisResult(
-        program=program, analysis=analysis, parameter=parameter,
-        store=run.store, config_count=len(run.configs),
-        callees=recorder.frozen_callees(),
-        unknown_operator=frozenset(recorder.unknown_operator),
-        entries=recorder.frozen_entries(),
-        halt_values=frozenset(recorder.halt_values),
-        steps=run.steps, elapsed=run.elapsed,
-        state_count=run.state_count, configs=run.configs)
 
 
 def analyze_kcfa(program: Program, k: int = 1,

@@ -1,0 +1,406 @@
+"""The AAM kernel: one CPS transfer function behind every analysis.
+
+The paper's central observation is that 0CFA, k-CFA, m-CFA and
+"naive polynomial k-CFA" are *one* abstract machine that varies only
+along the context axis — how times are ticked, how addresses are
+allocated, and whether environments are shared per-variable maps
+(§3.4) or flat base contexts with free-variable copying (§5.2).  This
+module makes that observation executable: :class:`Kernel` implements
+the eval/apply transfer function exactly once, and everything
+analysis-specific lives in an *environment representation* —
+:class:`SharedEnv` or :class:`FlatEnv` — carrying a context policy
+(:mod:`repro.analysis.policies`).
+
+Before this module, ``kcfa.py`` and ``flat_machine.py`` each hand-
+rolled the whole transition relation; every engine or interning change
+had to be ported machine-by-machine.  Now a new analysis is a policy
+value handed to an env rep — a data point, not a module — and the
+golden differential suite (``tests/test_golden_reports.py``) pins the
+kernel to byte-identical reports against the pre-kernel seed.
+
+The Featherweight Java machines (:mod:`repro.fj.kcfa`,
+:mod:`repro.fj.poly`) keep their own syntax-directed step rules — FJ
+is not CPS — but draw their tick/alloc behaviour from the same policy
+objects and run on the same store/engine machinery.
+
+Configurations keep their historical shapes (:class:`KConfig` for
+shared environments, :class:`FConfig` for flat ones) so abstraction
+maps, GC root computation and soundness checks are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cps.program import Program
+from repro.cps.syntax import (
+    AppCall, Call, CExp, FixCall, HaltCall, IfCall, Lam, Lit, PrimCall,
+    Ref, free_vars_of_lam,
+)
+from repro.analysis.domains import (
+    APair, AbsStore, Addr, BASIC, BEnv, EMPTY_BENV, FClo, FlatEnvAbs,
+    KClo, Time, abstract_literal,
+)
+from repro.analysis.results import AnalysisResult
+from repro.scheme.primitives import lookup_primitive
+
+
+@dataclass(frozen=True, slots=True)
+class KConfig:
+    """A store-less shared-env configuration ``(call, β̂, t̂)``."""
+
+    call: Call
+    benv: BEnv
+    time: Time
+
+
+@dataclass(frozen=True, slots=True)
+class FConfig:
+    """A flat abstract configuration ``(call, ρ̂)``."""
+
+    call: Call
+    env: FlatEnvAbs
+
+
+@dataclass
+class Recorder:
+    """Monotone facts accumulated across engine runs."""
+
+    callees: dict[int, set[Lam]] = field(default_factory=dict)
+    unknown_operator: set[int] = field(default_factory=set)
+    entries: dict[int, set] = field(default_factory=dict)
+    halt_values: set = field(default_factory=set)
+
+    def record_apply(self, call_label: int, lam: Lam, entry_env) -> None:
+        self.callees.setdefault(call_label, set()).add(lam)
+        self.entries.setdefault(lam.label, set()).add(entry_env)
+
+    def frozen_callees(self) -> dict[int, frozenset[Lam]]:
+        return {label: frozenset(lams)
+                for label, lams in self.callees.items()}
+
+    def frozen_entries(self) -> dict[int, frozenset]:
+        return {label: frozenset(envs)
+                for label, envs in self.entries.items()}
+
+
+class SharedEnv:
+    """Shared-store binding environments (the k-CFA family, §3.4).
+
+    Closures capture the binding environment *shared*: each free
+    variable keeps the context it was bound in, which is precisely
+    what makes k-CFA exponential for functional programs (§2.2).  The
+    context policy is a ``tick(call_label, time) -> time`` callable;
+    addresses are ``(variable, time)`` pairs (footnote 3).
+    """
+
+    kind = "shared"
+    clo_type = KClo
+
+    __slots__ = ("tick", "table", "_clo_bits", "_extend_memo",
+                 "_fix_memo")
+
+    def __init__(self, tick):
+        self.tick = tick
+
+    def boot(self, table) -> None:
+        self.table = table
+        self._clo_bits: dict[tuple, object] = {}
+        self._extend_memo: dict[tuple, BEnv] = {}
+        self._fix_memo: dict[tuple, tuple] = {}
+
+    def initial_config(self, program: Program) -> KConfig:
+        return KConfig(program.root, EMPTY_BENV, ())
+
+    def ref_addr(self, config: KConfig, name: str) -> Addr:
+        return (name, config.benv[name])
+
+    def close_bit(self, config: KConfig, lam: Lam):
+        key = (lam.label, config.benv)
+        bit = self._clo_bits.get(key)
+        if bit is None:
+            bit = self.table.bit_for(
+                KClo(lam, config.benv.restrict(free_vars_of_lam(lam))))
+            self._clo_bits[key] = bit
+        return bit
+
+    def call_ctx(self, config: KConfig, call_label: int) -> Time:
+        """The ticked time for this call — also the pair-field
+        allocation context (§3.5.1)."""
+        return self.tick(call_label, config.time)
+
+    def with_call(self, config: KConfig, call: Call) -> KConfig:
+        return KConfig(call, config.benv, config.time)
+
+    def enter(self, call_label: int, lam: Lam, operator: KClo,
+              arg_masks: list, config: KConfig, ctx: Time, store,
+              reads: set, recorder: Recorder):
+        """Bind parameters at the new time (the §3.4 apply rule)."""
+        key = (operator.benv, lam.label, ctx)
+        body_benv = self._extend_memo.get(key)
+        if body_benv is None:
+            body_benv = operator.benv.extend(lam.params, ctx)
+            self._extend_memo[key] = body_benv
+        joins = tuple(((param, ctx), mask)
+                      for param, mask in zip(lam.params, arg_masks))
+        recorder.record_apply(call_label, lam, body_benv)
+        return KConfig(lam.body, body_benv, ctx), joins
+
+    def fix(self, config: KConfig, call: FixCall):
+        """letrec: bind every name at the *current* time."""
+        now = config.time
+        key = (config.benv, call.label, now)
+        memo = self._fix_memo.get(key)
+        if memo is None:
+            extended = config.benv.extend(
+                (name for name, _ in call.bindings), now)
+            joins = []
+            for name, lam in call.bindings:
+                closure = KClo(
+                    lam, extended.restrict(free_vars_of_lam(lam)))
+                joins.append(((name, now), self.table.bit_for(closure)))
+            memo = (extended, tuple(joins))
+            self._fix_memo[key] = memo
+        extended, joins = memo
+        return KConfig(call.body, extended, now), joins
+
+
+class FlatEnv:
+    """Flat environments with free-variable copying (§5.2).
+
+    A configuration's environment is a single bounded tuple of call
+    labels; entering a lambda allocates a fresh environment via the
+    context policy ``alloc(call_label, caller_env, lam, callee_env)``
+    and *copies* the callee's free variables into it — the abstract
+    image of flat-closure creation, which is what makes the state
+    space polynomial (§4.4 projected back onto closures).
+    """
+
+    kind = "flat"
+    clo_type = FClo
+
+    __slots__ = ("alloc", "table", "_clo_bits")
+
+    def __init__(self, alloc):
+        self.alloc = alloc
+
+    def boot(self, table) -> None:
+        self.table = table
+        self._clo_bits: dict[tuple, object] = {}
+
+    def initial_config(self, program: Program) -> FConfig:
+        return FConfig(program.root, ())
+
+    def ref_addr(self, config: FConfig, name: str) -> Addr:
+        return (name, config.env)
+
+    def close_bit(self, config: FConfig, lam: Lam):
+        key = (lam.label, config.env)
+        bit = self._clo_bits.get(key)
+        if bit is None:
+            bit = self.table.bit_for(FClo(lam, config.env))
+            self._clo_bits[key] = bit
+        return bit
+
+    def call_ctx(self, config: FConfig, call_label: int) -> FlatEnvAbs:
+        """Pair fields allocate in the *current* environment — the
+        callee environment is per-operator (see :meth:`enter`)."""
+        return config.env
+
+    def with_call(self, config: FConfig, call: Call) -> FConfig:
+        return FConfig(call, config.env)
+
+    def enter(self, call_label: int, lam: Lam, operator: FClo,
+              arg_masks: list, config: FConfig, ctx, store,
+              reads: set, recorder: Recorder):
+        """Allocate ρ̂'', bind parameters, copy free variables (§5.2)."""
+        new_env = self.alloc(call_label, config.env, lam, operator.env)
+        joins: list[tuple[Addr, object]] = [
+            ((param, new_env), mask)
+            for param, mask in zip(lam.params, arg_masks)]
+        if new_env != operator.env:
+            for free in free_vars_of_lam(lam):
+                source = (free, operator.env)
+                reads.add(source)
+                copied = store.get_mask(source)
+                if copied:
+                    joins.append(((free, new_env), copied))
+        recorder.record_apply(call_label, lam, new_env)
+        return FConfig(lam.body, new_env), joins
+
+    def fix(self, config: FConfig, call: FixCall):
+        """letrec: flat closures simply capture the current env."""
+        env = config.env
+        joins = tuple(
+            ((name, env), self.table.bit_for(FClo(lam, env)))
+            for name, lam in call.bindings)
+        return FConfig(call.body, env), joins
+
+
+class Kernel:
+    """The single eval/apply transfer function, in engine form.
+
+    Mask-native like its two hand-written predecessors: flow sets are
+    the value-table masks of :mod:`repro.analysis.interning`, closures
+    are hash-consed per ``(lambda, environment)``, and every store
+    read is recorded in the engine's dependency set.  All per-analysis
+    behaviour is delegated to the environment representation ``rep``.
+    """
+
+    def __init__(self, program: Program, rep):
+        self.program = program
+        self.rep = rep
+
+    def initial(self):
+        """The initial configuration (store-independent)."""
+        return self.rep.initial_config(self.program)
+
+    # -- the engine's Machine protocol ---------------------------------
+
+    def boot(self, store: AbsStore):
+        """Adopt the store's value table; CPS analyses seed nothing."""
+        table = store.table
+        self.table = table
+        self._basic = table.bit_for(BASIC)
+        self._lit_bits: dict[int, object] = {}
+        self.rep.boot(table)
+        return self.rep.initial_config(self.program)
+
+    def step(self, config, store, reads: set[Addr],
+             recorder: Recorder) -> list[tuple[object, tuple]]:
+        """One transfer-function application: ``(successor, joins)``
+        pairs, joins as value-table masks."""
+        rep = self.rep
+        call = config.call
+        if isinstance(call, AppCall):
+            return self._app(call, config, store, reads, recorder)
+        if isinstance(call, IfCall):
+            test = self.evaluate(call.test, config, store, reads)
+            succs = []
+            if self.table.any_truthy(test):
+                succs.append((rep.with_call(config, call.then), ()))
+            if self.table.any_falsy(test):
+                succs.append((rep.with_call(config, call.orelse), ()))
+            return succs
+        if isinstance(call, PrimCall):
+            return self._prim(call, config, store, reads, recorder)
+        if isinstance(call, FixCall):
+            return [rep.fix(config, call)]
+        if isinstance(call, HaltCall):
+            recorder.halt_values |= self.table.decode(
+                self.evaluate(call.arg, config, store, reads))
+            return []
+        raise TypeError(f"cannot step call {call!r}")
+
+    # -- Ê ------------------------------------------------------------
+
+    def evaluate(self, exp: CExp, config, store, reads: set[Addr]):
+        """The mask of values *exp* may evaluate to."""
+        if isinstance(exp, Ref):
+            addr = self.rep.ref_addr(config, exp.name)
+            reads.add(addr)
+            return store.get_mask(addr)
+        if isinstance(exp, Lam):
+            return self.rep.close_bit(config, exp)
+        if isinstance(exp, Lit):
+            bit = self._lit_bits.get(id(exp))
+            if bit is None:
+                bit = self.table.bit_for(abstract_literal(exp.datum))
+                self._lit_bits[id(exp)] = bit
+            return bit
+        raise TypeError(f"not an atomic expression: {exp!r}")
+
+    # -- apply ---------------------------------------------------------
+
+    def _app(self, call: AppCall, config, store, reads: set[Addr],
+             recorder: Recorder) -> list:
+        rep = self.rep
+        operators = self.evaluate(call.fn, config, store, reads)
+        if operators & self._basic:
+            recorder.unknown_operator.add(call.label)
+        arg_masks = [self.evaluate(arg, config, store, reads)
+                     for arg in call.args]
+        ctx = rep.call_ctx(config, call.label)
+        clo_type = rep.clo_type
+        succs = []
+        for operator in self.table.decode_iter(operators):
+            if not isinstance(operator, clo_type):
+                continue
+            lam = operator.lam
+            if len(lam.params) != len(call.args):
+                continue
+            succs.append(rep.enter(call.label, lam, operator,
+                                   arg_masks, config, ctx, store,
+                                   reads, recorder))
+        return succs
+
+    # -- primitives ----------------------------------------------------
+
+    def _prim(self, call: PrimCall, config, store, reads: set[Addr],
+              recorder: Recorder) -> list:
+        rep = self.rep
+        prim = lookup_primitive(call.op)
+        arg_masks = [self.evaluate(arg, config, store, reads)
+                     for arg in call.args]
+        if any(not mask for mask in arg_masks):
+            return []  # an argument is unreachable, so is the call
+        if prim.kind == "error":
+            return []
+        ctx = rep.call_ctx(config, call.label)
+        extra_joins: list[tuple[Addr, object]] = []
+        if prim.kind == "basic":
+            result = self._basic
+        elif prim.kind == "cons":
+            car_addr = (f"car@{call.label}", ctx)
+            cdr_addr = (f"cdr@{call.label}", ctx)
+            extra_joins.append((car_addr, arg_masks[0]))
+            extra_joins.append((cdr_addr, arg_masks[1]))
+            result = self.table.bit_for(APair(car_addr, cdr_addr))
+        elif prim.kind in ("car", "cdr"):
+            gathered = self.table.empty
+            for value in self.table.decode_iter(arg_masks[0]):
+                if isinstance(value, APair):
+                    addr = value.car if prim.kind == "car" else value.cdr
+                    reads.add(addr)
+                    gathered |= store.get_mask(addr)
+                elif value is BASIC:
+                    # Quoted list structure abstracts to BASIC and can
+                    # only contain basic data, so projecting stays BASIC.
+                    gathered |= self._basic
+            if not gathered:
+                return []
+            result = gathered
+        else:
+            raise ValueError(f"unknown primitive kind {prim.kind!r}")
+        succs = []
+        conts = self.evaluate(call.cont, config, store, reads)
+        clo_type = rep.clo_type
+        for operator in self.table.decode_iter(conts):
+            if not isinstance(operator, clo_type):
+                continue
+            if len(operator.lam.params) != 1:
+                continue
+            succ, joins = rep.enter(call.label, operator.lam, operator,
+                                    [result], config, ctx, store,
+                                    reads, recorder)
+            succs.append((succ, tuple(joins) + tuple(extra_joins)))
+        if not succs and extra_joins:
+            # Keep the pair fields even if no continuation flowed yet.
+            succs.append((rep.with_call(config, call),
+                          tuple(extra_joins)))
+        return succs
+
+
+def result_from_run(run, program: Program, analysis: str,
+                    parameter: int) -> AnalysisResult:
+    """Package an engine run + :class:`Recorder` as a public result."""
+    recorder: Recorder = run.recorder
+    return AnalysisResult(
+        program=program, analysis=analysis, parameter=parameter,
+        store=run.store, config_count=len(run.configs),
+        callees=recorder.frozen_callees(),
+        unknown_operator=frozenset(recorder.unknown_operator),
+        entries=recorder.frozen_entries(),
+        halt_values=frozenset(recorder.halt_values),
+        steps=run.steps, elapsed=run.elapsed,
+        state_count=run.state_count, configs=run.configs)

@@ -1,0 +1,206 @@
+"""Context policies: the tick/alloc axis of the AAM kernel, as data.
+
+Van Horn & Mairson's EXPTIME result and the m-CFA construction pin
+the whole functional-vs-OO complexity gap on three choices — how times
+tick, how addresses allocate, and how environments are represented.
+This module is that axis made into values:
+
+* **Scheme/CPS policies** are small callables handed to the kernel's
+  environment representations (:class:`~repro.analysis.kernel.
+  SharedEnv` takes a ``tick``, :class:`~repro.analysis.kernel.FlatEnv`
+  an ``alloc``).
+* **Featherweight Java policies** are :class:`FJContextPolicy` values
+  consumed by the FJ machines (:mod:`repro.fj.kcfa`,
+  :mod:`repro.fj.poly`), which keep their own syntax-directed step
+  rules but draw every context decision from the policy.
+
+Every analysis in the repository is one of these values registered in
+:mod:`repro.analysis.registry`; adding an analysis means declaring a
+policy here, not writing a machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.domains import first_k
+from repro.cps.syntax import Lam
+
+# -- Scheme/CPS context policies -----------------------------------------
+
+
+def call_site_tick(k: int):
+    """k-CFA's tick (§3.5.1): keep the last *k* call-site labels."""
+    def tick(call_label: int, time: tuple) -> tuple:
+        return first_k(k, (call_label, *time))
+    return tick
+
+
+def mcfa_allocator(m: int):
+    """The §5.3 allocator: top-m-frames with continuation restore.
+
+    A *procedure* call pushes the call site and keeps the top m
+    frames; a *continuation* call **restores** the environment the
+    continuation closed over (the caller's frames — a return).
+    """
+    def alloc(call_label: int, caller_env: tuple, lam: Lam,
+              callee_env: tuple) -> tuple:
+        if lam.is_user:
+            return first_k(m, (call_label, *caller_env))
+        return callee_env
+    return alloc
+
+
+def poly_kcfa_allocator(k: int):
+    """Last-k-call-sites for *every* call — the naive JW instantiation
+    the paper's §6 evaluates against.  Any intervening call rotates
+    the context window, merging bindings m-CFA keeps apart."""
+    def alloc(call_label: int, caller_env: tuple, lam: Lam,
+              callee_env: tuple) -> tuple:
+        return first_k(k, (call_label, *caller_env))
+    return alloc
+
+
+# -- Featherweight Java context policies ---------------------------------
+
+#: Context elements of receiver-sensitive FJ policies are tagged so an
+#: allocation site can never collide with a call-site label.
+CALL_ELEM = "C"
+OBJ_ELEM = "O"
+
+
+class FJContextPolicy:
+    """What an FJ machine asks its context policy.
+
+    * ``step(label, now)`` — time after a non-invocation statement
+      (also the allocation time of a ``new`` at that statement);
+    * ``invoke(label, now, entry, receiver)`` — the callee's entry
+      time.  ``entry`` is the caller's method-entry context (flat
+      machine only; ``None`` on the map-based machine) and
+      ``receiver`` the receiver object when the policy is
+      receiver-sensitive (``None`` otherwise);
+    * ``ret(label, now, saved)`` — the caller's time after a return,
+      given the continuation's saved time;
+    * ``receiver_sensitive`` — whether ``invoke`` needs the receiver
+      (forces the flat machine's per-receiver invoke path);
+    * ``this_mode`` — how ``this`` is bound on entry: ``"join-all"``
+      (the whole receiver flow set, the historical Figure 9
+      behaviour), ``"alias"`` (only the dispatching receiver) or
+      ``"rebind"`` (copy the receiver's fields into the entry
+      context — flat-closure copying for objects);
+    * ``display`` — the ticking label reports print.
+    """
+
+    receiver_sensitive = False
+    this_mode = "join-all"
+    display = "invocation"
+
+    def initial(self) -> tuple:
+        return ()
+
+
+@dataclass(frozen=True)
+class FJCallSite(FJContextPolicy):
+    """The paper's §4.3/§4.5 policies: last-k labels, ticked either at
+    every statement or only at invocations (with return-restore)."""
+
+    k: int
+    tick: str = "invocation"  # or "statement"
+
+    @property
+    def display(self) -> str:
+        return self.tick
+
+    def step(self, label: int, now: tuple) -> tuple:
+        if self.tick == "statement":
+            return first_k(self.k, (label, *now))
+        return now
+
+    def invoke(self, label: int, now: tuple, entry, receiver) -> tuple:
+        return first_k(self.k, (label, *now))
+
+    def ret(self, label: int, now: tuple, saved: tuple) -> tuple:
+        if self.tick == "invocation":
+            return saved
+        return first_k(self.k, (label, *now))
+
+
+@dataclass(frozen=True)
+class FJStack(FJContextPolicy):
+    """m-CFA for Featherweight Java: top-m stack frames with flat
+    method environments.
+
+    Entering a method pushes the call site onto the *caller's entry*
+    frames; returning restores them; and ``this`` is re-bound by
+    **copying the receiver's fields into the entry context** — the
+    §5.2 free-variable-copying move with an object's fields playing
+    the free variables.  Every address a method body touches then
+    shares one base context, the §4.4 invariant that makes the state
+    space polynomial.  Sound because FJ fields are write-once
+    (constructor-only); the copy re-runs when its source grows, via
+    the engine's dependency tracking.
+    """
+
+    m: int
+
+    receiver_sensitive = True
+    this_mode = "rebind"
+    display = "stack"
+
+    def step(self, label: int, now: tuple) -> tuple:
+        return now
+
+    def invoke(self, label: int, now: tuple, entry: tuple,
+               receiver) -> tuple:
+        return first_k(self.m, (label, *entry))
+
+    def ret(self, label: int, now: tuple, saved: tuple) -> tuple:
+        return saved
+
+
+@dataclass(frozen=True)
+class FJHybrid(FJContextPolicy):
+    """The hybrid call-site/object-sensitivity ladder.
+
+    A callee context is the concatenation of the two axes, each drawn
+    from its own history so neither can crowd out the other:
+
+    * the receiver's **allocation chain** — its own site plus the
+      ``O`` elements of its allocation context — truncated to
+      ``obj_depth`` (object sensitivity);
+    * the **call-site stack** — this call's label plus the ``C``
+      elements of the caller's entry context — truncated to
+      ``call_depth``.
+
+    ``call_depth = 0`` is pure object sensitivity (Milanova-style
+    obj^n: shallow allocation chains simply yield short contexts —
+    there is no call-site padding, which is exactly why obj^n cannot
+    separate two calls on the same receiver at any depth);
+    ``obj_depth = 0`` is pure entry-stack call-site windows; anything
+    between is a rung of the ladder.
+    """
+
+    call_depth: int
+    obj_depth: int = 1
+
+    receiver_sensitive = True
+    this_mode = "alias"
+
+    @property
+    def display(self) -> str:
+        return f"hybrid[obj={self.obj_depth},call={self.call_depth}]"
+
+    def step(self, label: int, now: tuple) -> tuple:
+        return now
+
+    def invoke(self, label: int, now: tuple, entry: tuple,
+               receiver) -> tuple:
+        chain = ((OBJ_ELEM, receiver.site),) + tuple(
+            elem for elem in receiver.time if elem[0] == OBJ_ELEM)
+        calls = ((CALL_ELEM, label),) + tuple(
+            elem for elem in entry if elem[0] == CALL_ELEM)
+        return (first_k(self.obj_depth, chain)
+                + first_k(self.call_depth, calls))
+
+    def ret(self, label: int, now: tuple, saved: tuple) -> tuple:
+        return saved

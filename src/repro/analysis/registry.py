@@ -1,0 +1,266 @@
+"""The analysis registry: one source of truth for every front end.
+
+Each analysis in the repository — Scheme/CPS or Featherweight Java —
+is an :class:`AnalysisSpec`: a name, the policy axis that defines it
+(context abstraction, address allocation, environment representation),
+the engine that drives it, its complexity class per the paper, and a
+factory that runs it.  The ``analyze``/``submit`` job core
+(:mod:`repro.service.jobs`), the bench matrix
+(:mod:`repro.benchsuite.runner`), the CLI (including the ``analyses``
+subcommand) and the docs-drift tests all dispatch off this table, so
+registering a spec here is the *only* step needed to expose a new
+analysis everywhere at once — there are no per-front-end dispatch
+tables left to edit.
+
+The registry is populated lazily on first use (importing the analyzer
+modules is deferred into each spec's factory, so consulting the table
+stays cheap for worker processes that never run some analyses).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import UsageError
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One analysis as a data point on the kernel's policy axis.
+
+    ``factory(program, parameter, budget, plain)`` runs the analysis;
+    ``concrete`` names the concrete machine mode the soundness
+    property suite checks the analysis against (``shared-history``,
+    ``flat-stack``, ``flat-history`` for Scheme; ``fj`` for
+    Featherweight Java).
+    """
+
+    name: str              # CLI name, e.g. "kcfa"
+    display: str           # result/display name, e.g. "k-CFA"
+    language: str          # "scheme" | "fj"
+    env_rep: str           # "shared" | "flat"
+    engine: str            # "single-store" | "naive" | "naive+gc"
+    context: str           # the tick/alloc policy, in words
+    complexity: str        # per the paper, e.g. "EXPTIME-complete"
+    factory: Callable      # (program, parameter, budget, plain) -> result
+    concrete: str | None = None
+    paper: str = ""        # section reference
+
+    def run(self, program, parameter: int, budget=None,
+            plain: bool = False):
+        """Run this analysis; the parameter is the k/m/n depth."""
+        return self.factory(program, parameter, budget, plain)
+
+
+class AnalysisRegistry:
+    """An ordered name → :class:`AnalysisSpec` table."""
+
+    def __init__(self):
+        self._specs: dict[str, AnalysisSpec] = {}
+
+    def register(self, spec: AnalysisSpec) -> AnalysisSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"analysis {spec.name!r} already "
+                             f"registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str, language: str | None = None
+            ) -> AnalysisSpec:
+        """Look up a spec; raises :class:`~repro.errors.UsageError`
+        (exit code 2 at the CLI) with the valid choices on a miss."""
+        spec = self._specs.get(name)
+        if spec is not None:
+            if language is None or spec.language == language:
+                return spec
+            raise UsageError(
+                f"analysis {name!r} is a {spec.language} analysis, "
+                f"not {language}; choose from "
+                f"{', '.join(self.names(language))}")
+        raise UsageError(
+            f"unknown analysis {name!r}; choose from "
+            f"{', '.join(self.names(language))}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self, language: str | None = None) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self._specs.values()
+                     if language is None or spec.language == language)
+
+    def specs(self, language: str | None = None
+              ) -> tuple[AnalysisSpec, ...]:
+        return tuple(spec for spec in self._specs.values()
+                     if language is None or spec.language == language)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-wide registry.  Use :func:`registry` to read it — the
+#: accessor populates the builtin analyses on first use.
+REGISTRY = AnalysisRegistry()
+
+_populated = False
+_populate_lock = threading.Lock()
+
+
+def registry() -> AnalysisRegistry:
+    """The populated process-wide registry."""
+    global _populated
+    if not _populated:
+        # Double-checked under a lock: concurrent first consultations
+        # (library embedders calling from thread pools) must not race
+        # _register_builtin against itself on the shared table.
+        with _populate_lock:
+            if not _populated:
+                _register_builtin(REGISTRY)
+                _populated = True
+    return REGISTRY
+
+
+def run_analysis(name: str, program, parameter: int, budget=None,
+                 plain: bool = False, language: str | None = None):
+    """Dispatch one analysis by registry name."""
+    return registry().get(name, language).run(program, parameter,
+                                              budget, plain)
+
+
+# -- the builtin analyses -------------------------------------------------
+#
+# Each declaration is the whole analysis: the kernel (or FJ machine)
+# plus a context policy.  Factories import lazily so that touching the
+# registry never pays for analyzer modules it does not run.
+
+
+def _register_builtin(table: AnalysisRegistry) -> None:
+    def kcfa(program, parameter, budget, plain):
+        from repro.analysis.kcfa import analyze_kcfa
+        return analyze_kcfa(program, parameter, budget, plain=plain)
+
+    def mcfa(program, parameter, budget, plain):
+        from repro.analysis.mcfa import analyze_mcfa
+        return analyze_mcfa(program, parameter, budget, plain=plain)
+
+    def poly(program, parameter, budget, plain):
+        from repro.analysis.polykcfa import analyze_poly_kcfa
+        return analyze_poly_kcfa(program, parameter, budget,
+                                 plain=plain)
+
+    def zero(program, parameter, budget, plain):
+        from repro.analysis.zerocfa import analyze_zerocfa
+        return analyze_zerocfa(program, budget, plain=plain)
+
+    def kcfa_gc(program, parameter, budget, plain):
+        from repro.analysis.gc import analyze_kcfa_gc
+        return analyze_kcfa_gc(program, parameter, budget, plain=plain)
+
+    def kcfa_naive(program, parameter, budget, plain):
+        from repro.analysis.kcfa import analyze_kcfa_naive
+        return analyze_kcfa_naive(program, parameter, budget,
+                                  plain=plain)
+
+    def fj_kcfa(program, parameter, budget, plain):
+        from repro.fj.kcfa import analyze_fj_kcfa
+        return analyze_fj_kcfa(program, parameter, budget=budget,
+                               plain=plain)
+
+    def fj_poly(program, parameter, budget, plain):
+        from repro.fj.poly import analyze_fj_poly
+        return analyze_fj_poly(program, parameter, budget=budget,
+                               plain=plain)
+
+    def fj_kcfa_gc(program, parameter, budget, plain):
+        from repro.fj.gc import analyze_fj_kcfa_gc
+        return analyze_fj_kcfa_gc(program, parameter, budget=budget,
+                                  plain=plain)
+
+    def fj_mcfa(program, parameter, budget, plain):
+        from repro.fj.mcfa import analyze_fj_mcfa
+        return analyze_fj_mcfa(program, parameter, budget=budget,
+                               plain=plain)
+
+    def fj_hybrid(program, parameter, budget, plain):
+        from repro.fj.hybrid import analyze_fj_hybrid
+        return analyze_fj_hybrid(program, parameter, budget=budget,
+                                 plain=plain)
+
+    def fj_obj(program, parameter, budget, plain):
+        from repro.fj.hybrid import analyze_fj_obj
+        return analyze_fj_obj(program, parameter, budget=budget,
+                              plain=plain)
+
+    table.register(AnalysisSpec(
+        name="kcfa", display="k-CFA", language="scheme",
+        env_rep="shared", engine="single-store",
+        context="tick: last k call sites; alloc: (var, time)",
+        complexity="EXPTIME-complete (k >= 1)", factory=kcfa,
+        concrete="shared-history", paper="§3.4–3.7"))
+    table.register(AnalysisSpec(
+        name="mcfa", display="m-CFA", language="scheme",
+        env_rep="flat", engine="single-store",
+        context="alloc: top-m stack frames, continuations restore",
+        complexity="PTIME", factory=mcfa,
+        concrete="flat-stack", paper="§5.2–5.3"))
+    table.register(AnalysisSpec(
+        name="poly", display="poly-k-CFA", language="scheme",
+        env_rep="flat", engine="single-store",
+        context="alloc: last k call sites (every call rotates)",
+        complexity="PTIME", factory=poly,
+        concrete="flat-history", paper="§6"))
+    table.register(AnalysisSpec(
+        name="zero", display="0CFA", language="scheme",
+        env_rep="flat", engine="single-store",
+        context="no context: [m=0]CFA == [k=0]CFA",
+        complexity="PTIME", factory=zero,
+        concrete="flat-stack", paper="§5.3"))
+    table.register(AnalysisSpec(
+        name="kcfa-gc", display="k-CFA+GC", language="scheme",
+        env_rep="shared", engine="naive+gc",
+        context="tick: last k call sites; abstract GC per transition",
+        complexity="EXPTIME (per-state stores)", factory=kcfa_gc,
+        concrete="shared-history", paper="§8 / ΓCFA"))
+    table.register(AnalysisSpec(
+        name="kcfa-naive", display="k-CFA-naive", language="scheme",
+        env_rep="shared", engine="naive",
+        context="tick: last k call sites; reachable-states driver",
+        complexity="EXPTIME even for k=0", factory=kcfa_naive,
+        concrete="shared-history", paper="§3.6"))
+    table.register(AnalysisSpec(
+        name="fj-kcfa", display="FJ-k-CFA", language="fj",
+        env_rep="shared", engine="single-store",
+        context="tick: last k labels at invocations (Figure 9)",
+        complexity="PTIME (objects close flat)", factory=fj_kcfa,
+        concrete="fj", paper="§4.3"))
+    table.register(AnalysisSpec(
+        name="fj-poly", display="FJ-poly-k-CFA", language="fj",
+        env_rep="flat", engine="single-store",
+        context="benv collapsed to its time (BEnv ~ Time)",
+        complexity="PTIME", factory=fj_poly,
+        concrete="fj", paper="§4.4"))
+    table.register(AnalysisSpec(
+        name="fj-kcfa-gc", display="FJ-k-CFA+GC", language="fj",
+        env_rep="shared", engine="naive+gc",
+        context="Figure 9 ticks; abstract GC per transition",
+        complexity="per-state stores", factory=fj_kcfa_gc,
+        concrete="fj", paper="§8"))
+    table.register(AnalysisSpec(
+        name="fj-mcfa", display="FJ-m-CFA", language="fj",
+        env_rep="flat", engine="single-store",
+        context="top-m stack frames; this re-bound by field copying",
+        complexity="PTIME", factory=fj_mcfa,
+        concrete="fj", paper="§5 transplanted to §4"))
+    table.register(AnalysisSpec(
+        name="fj-hybrid", display="FJ-hybrid", language="fj",
+        env_rep="flat", engine="single-store",
+        context="receiver alloc site + last call sites (ladder)",
+        complexity="PTIME", factory=fj_hybrid,
+        concrete="fj", paper="§8 (object sensitivity)"))
+    table.register(AnalysisSpec(
+        name="fj-obj", display="FJ-obj", language="fj",
+        env_rep="flat", engine="single-store",
+        context="receiver allocation chain, depth n (obj^n)",
+        complexity="PTIME", factory=fj_obj,
+        concrete="fj", paper="§8 (object sensitivity)"))

@@ -37,21 +37,26 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable
 
-from repro.errors import AnalysisTimeout, ReproError
+from repro.errors import AnalysisTimeout, UsageError
 # The analysis names, value modes and per-analysis dispatch are owned
-# by the shared job core so that ``bench`` workers and the analysis
-# service run literally the same code path.
+# by the central registry (via the shared job core) so that ``bench``
+# workers and the analysis service run literally the same code path —
+# a newly registered analysis is benchable with no edits here.
 from repro.service.jobs import (
     FJ_ANALYSES, SCHEME_ANALYSES, VALUE_MODES, run_fj_analysis,
     run_scheme_analysis,
 )
 from repro.util.budget import Budget
 
+#: Builtin analyses (import-time snapshot; see the jobs.py caveat —
+#: build_matrix and run_task consult the live registry).
 ALL_ANALYSES = SCHEME_ANALYSES + FJ_ANALYSES
 
-#: The analyses a default ``bench`` run exercises (the §6.2 matrix).
+#: The analyses a default ``bench`` run exercises: the §6.2 matrix
+#: plus the registry's new OO policies (FJ m-CFA and the hybrid
+#: sensitivity ladder).
 DEFAULT_ANALYSES = ("kcfa", "mcfa", "poly", "zero", "fj-kcfa",
-                    "fj-poly")
+                    "fj-poly", "fj-mcfa", "fj-hybrid")
 
 #: Worst-case ladder program names: ``worst<depth>`` (e.g. worst8)
 #: generates the Van Horn–Mairson doubling term of that depth via
@@ -166,7 +171,8 @@ def run_task(task: BenchTask) -> dict:
     budget = Budget(max_seconds=task.timeout)
     started = time.perf_counter()
     try:
-        if task.analysis in FJ_ANALYSES:
+        from repro.analysis.registry import registry
+        if registry().get(task.analysis).language == "fj":
             summary = _run_fj_task(task, budget)
         else:
             summary = _run_scheme_task(task, budget)
@@ -201,33 +207,38 @@ def build_matrix(programs: Iterable[str], analyses: Iterable[str],
     from repro.benchsuite.programs import BY_NAME
     from repro.fj.examples import ALL_EXAMPLES
 
+    from repro.analysis.registry import registry
+
     contexts = sorted(set(contexts))
     # Dedup while preserving order: duplicate cells would share a
     # task_id and make the report's row order nondeterministic.
     programs = list(dict.fromkeys(programs))
     analyses = list(dict.fromkeys(analyses))
     value_modes = list(dict.fromkeys(values))
-    unknown = [name for name in analyses if name not in ALL_ANALYSES]
+    # Consult the registry live (not the import-time tuples) so an
+    # analysis registered at runtime is benchable immediately.
+    table = registry()
+    unknown = [name for name in analyses if name not in table]
     if unknown:
-        raise ReproError(
+        raise UsageError(
             f"unknown analyses {unknown!r}; choose from "
-            f"{', '.join(ALL_ANALYSES)}")
+            f"{', '.join(table.names())}")
     unknown_modes = [mode for mode in value_modes
                      if mode not in VALUE_MODES]
     if unknown_modes:
-        raise ReproError(
+        raise UsageError(
             f"unknown value modes {unknown_modes!r}; choose from "
             f"{', '.join(VALUE_MODES)}")
     tasks = []
     for program in programs:
         if program in BY_NAME or is_worst_case_name(program):
-            compatible = SCHEME_ANALYSES
+            language = "scheme"
         elif program in ALL_EXAMPLES:
-            compatible = FJ_ANALYSES
+            language = "fj"
         else:
-            raise ReproError(f"unknown benchmark program {program!r}")
+            raise UsageError(f"unknown benchmark program {program!r}")
         for analysis in analyses:
-            if analysis not in compatible:
+            if table.get(analysis).language != language:
                 continue
             for parameter in contexts:
                 # 0CFA has no context knob; emit it once.

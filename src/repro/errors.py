@@ -13,6 +13,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class UsageError(ReproError):
+    """Raised for bad user-supplied options (unknown analysis names,
+    invalid context depths).  The CLI prints these as a one-line
+    message and exits with status 2, argparse-style, instead of a
+    traceback."""
+
+
 class SchemeSyntaxError(ReproError):
     """Raised when S-expression reading or Scheme parsing fails."""
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Iterable, Iterator
 
-from repro.analysis.domains import AbsStore, first_k
+from repro.analysis.domains import AbsStore
 from repro.analysis.engine import EngineOptions, EngineRun, \
     run_single_store
 from repro.fj.class_table import FJProgram
@@ -147,12 +147,17 @@ class FJResult:
     # -- queries ---------------------------------------------------------
 
     def points_to(self, name: str) -> frozenset:
-        """Objects a variable may point to, joined over contexts."""
+        """Objects a variable may point to, joined over contexts.
+
+        Works for both machine families: map-based results hold
+        :class:`AObj`, flat results :class:`~repro.fj.poly.PObj` —
+        anything with a ``classname`` that is not a continuation.
+        """
         values = set()
         for (addr_name, _time), addr_values in self.store.items():
             if addr_name == name:
                 values.update(value for value in addr_values
-                              if isinstance(value, AObj))
+                              if hasattr(value, "classname"))
         return frozenset(values)
 
     def objects_of_class(self, classname: str) -> frozenset[AObj]:
@@ -206,10 +211,20 @@ class _FJRecorder:
 
 
 class FJKCFAMachine:
-    """The Figure 9 abstract transition relation."""
+    """The Figure 9 abstract transition relation.
+
+    The machine owns the syntax-directed step rules; every context
+    decision is delegated to an
+    :class:`~repro.analysis.policies.FJContextPolicy` (here the
+    :class:`~repro.analysis.policies.FJCallSite` family — the
+    map-based machine has no flat entry context, so it cannot host
+    receiver-sensitive policies; those run on
+    :class:`~repro.fj.poly.FJFlatMachine`).
+    """
 
     def __init__(self, program: FJProgram, k: int,
                  tick_policy: str = "invocation"):
+        from repro.analysis.policies import FJCallSite
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
         if tick_policy not in TICK_POLICIES:
@@ -217,16 +232,15 @@ class FJKCFAMachine:
         self.program = program
         self.k = k
         self.tick_policy = tick_policy
+        self.policy = FJCallSite(k, tick_policy)
 
     # -- time ----------------------------------------------------------
 
     def simple_tick(self, label: int, time: AbsTime) -> AbsTime:
-        if self.tick_policy == "statement":
-            return first_k(self.k, (label, *time))
-        return time
+        return self.policy.step(label, time)
 
     def invoke_tick(self, label: int, time: AbsTime) -> AbsTime:
-        return first_k(self.k, (label, *time))
+        return self.policy.invoke(label, time, None, None)
 
     # -- initial state ----------------------------------------------------
 
@@ -321,10 +335,8 @@ class FJKCFAMachine:
             joins = []
             if values:
                 joins.append((kont.benv[kont.var], values))
-            if self.tick_policy == "invocation":
-                new_time = kont.saved_time
-            else:
-                new_time = first_k(self.k, (stmt.label, *now))
+            new_time = self.policy.ret(stmt.label, now,
+                                       kont.saved_time)
             succs.append((FJConfig(kont.stmt, kont.benv, kont.kont_ptr,
                                    new_time), joins))
         return succs
@@ -377,12 +389,7 @@ class FJKCFAMachine:
     def _new(self, stmt: Assign, exp: New, benv: FJBEnv, kont_ptr,
              now: AbsTime, store: AbsStore, reads: set,
              recorder: _FJRecorder) -> list:
-        if self.tick_policy == "statement":
-            alloc_time = first_k(self.k, (stmt.label, *now))
-            next_time = alloc_time
-        else:
-            alloc_time = now
-            next_time = now
+        alloc_time = next_time = self.policy.step(stmt.label, now)
         arg_values = []
         for arg in exp.args:
             reads.add(benv[arg])

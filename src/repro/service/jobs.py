@@ -2,13 +2,19 @@
 
 Every front end that answers an analysis question — the ``analyze``
 subcommand, the ``bench`` worker processes and the ``serve`` worker
-pool — runs through this module, so they cannot drift apart: the same
-dispatch table picks the analysis, the same renderer produces the
-report text, and the same key function addresses the persistent cache.
-The differential test suite (``tests/test_service_differential.py``)
-holds the server to byte-identical output against ``analyze``; sharing
-this code path is what makes that a stable property rather than a
-coincidence.
+pool — runs through this module, so they cannot drift apart: the
+central :mod:`~repro.analysis.registry` picks the analysis, the same
+renderer produces the report text, and the same key function
+addresses the persistent cache.  The differential test suite
+(``tests/test_service_differential.py``) holds the server to
+byte-identical output against ``analyze``; sharing this code path is
+what makes that a stable property rather than a coincidence.
+
+Since the kernel refactor the job core is fully registry-driven: both
+languages (Scheme/CPS *and* Featherweight Java) flow through
+:class:`JobSpec`/:func:`run_job`, and a newly registered analysis is
+reachable from ``analyze``, ``submit`` and the server with no edits
+here — there is no per-analysis dispatch table left.
 
 A request is a :class:`JobSpec` (program text, analysis, context
 depth, budget, values domain, report selection).  :func:`run_job`
@@ -39,15 +45,20 @@ import os
 import time
 from dataclasses import dataclass
 
-from repro.errors import AnalysisTimeout, ReproError
+from repro.analysis.registry import registry, run_analysis
+from repro.errors import AnalysisTimeout, ReproError, UsageError
 from repro.util.budget import Budget
 
-#: Analyses over Scheme/CPS programs (the six the paper compares).
-SCHEME_ANALYSES = ("kcfa", "mcfa", "poly", "zero", "kcfa-gc",
-                   "kcfa-naive")
+#: The *builtin* Scheme/CPS analyses — an import-time snapshot of the
+#: registry, kept as stable public tuples for test parametrization
+#: and docs.  Dispatch itself (validate_job_options, run_job,
+#: build_matrix, ``bench --analyses all``) always consults the live
+#: registry, so analyses registered at runtime work everywhere even
+#: though they do not appear here.
+SCHEME_ANALYSES = registry().names("scheme")
 
-#: Analyses over Featherweight Java programs.
-FJ_ANALYSES = ("fj-kcfa", "fj-poly", "fj-kcfa-gc")
+#: The builtin Featherweight Java analyses (same snapshot caveat).
+FJ_ANALYSES = registry().names("fj")
 
 #: Value-domain representations (see :mod:`repro.analysis.interning`):
 #: ``interned`` is the bitset production path, ``plain`` the
@@ -61,53 +72,53 @@ REPORT_CHOICES = ("flow", "inlining", "envs", "all")
 def run_scheme_analysis(program, analysis: str, parameter: int,
                         budget: Budget | None = None,
                         plain: bool = False):
-    """Dispatch one Scheme analysis by name; returns its result.
-
-    The single analysis-selection point shared by ``analyze``,
-    ``bench`` and ``serve`` — add a new analysis here and every front
-    end grows it at once.
-    """
-    from repro.analysis import (
-        analyze_kcfa, analyze_kcfa_gc, analyze_kcfa_naive, analyze_mcfa,
-        analyze_poly_kcfa, analyze_zerocfa,
-    )
-    dispatch = {
-        "kcfa": analyze_kcfa,
-        "mcfa": analyze_mcfa,
-        "poly": analyze_poly_kcfa,
-        "zero": lambda p, n, b, plain: analyze_zerocfa(p, b,
-                                                       plain=plain),
-        "kcfa-gc": analyze_kcfa_gc,
-        "kcfa-naive": analyze_kcfa_naive,
-    }
-    try:
-        analyze = dispatch[analysis]
-    except KeyError:
-        raise ReproError(
-            f"unknown analysis {analysis!r}; choose from "
-            f"{', '.join(SCHEME_ANALYSES)}") from None
-    return analyze(program, parameter, budget, plain=plain)
+    """Dispatch one Scheme analysis via the registry."""
+    return run_analysis(analysis, program, parameter, budget,
+                        plain=plain, language="scheme")
 
 
 def run_fj_analysis(program, analysis: str, parameter: int,
                     budget: Budget | None = None,
                     plain: bool = False):
-    """Dispatch one Featherweight Java analysis by name."""
-    from repro.fj import analyze_fj_kcfa
-    from repro.fj.gc import analyze_fj_kcfa_gc
-    from repro.fj.poly import analyze_fj_poly
-    dispatch = {
-        "fj-kcfa": analyze_fj_kcfa,
-        "fj-poly": analyze_fj_poly,
-        "fj-kcfa-gc": analyze_fj_kcfa_gc,
-    }
-    try:
-        analyze = dispatch[analysis]
-    except KeyError:
-        raise ReproError(
-            f"unknown analysis {analysis!r}; choose from "
-            f"{', '.join(FJ_ANALYSES)}") from None
-    return analyze(program, parameter, budget=budget, plain=plain)
+    """Dispatch one Featherweight Java analysis via the registry."""
+    return run_analysis(analysis, program, parameter, budget,
+                        plain=plain, language="fj")
+
+
+def validate_job_options(analysis: str, context: int,
+                         simplify: bool = False, report: str = "all",
+                         values: str = "interned"):
+    """Validate the source-independent options of a job.
+
+    Shared between :meth:`JobSpec.validate` and the CLI front ends,
+    which call it *before* reading any source so that a typo fails
+    fast (and never blocks on stdin).  Raises
+    :class:`~repro.errors.UsageError`; returns the analysis's
+    registry spec.
+    """
+    spec = registry().get(analysis)  # UsageError on a miss
+    if isinstance(context, bool) or not isinstance(context, int) \
+            or context < 0:
+        raise UsageError(
+            f"context depth must be a non-negative integer, got "
+            f"{context!r}")
+    if spec.language == "fj" and simplify:
+        raise UsageError(
+            "--simplify shrink-simplifies CPS terms and does not "
+            "apply to Featherweight Java analyses")
+    if report not in REPORT_CHOICES:
+        raise UsageError(
+            f"unknown report {report!r}; choose from "
+            f"{', '.join(REPORT_CHOICES)}")
+    if spec.language == "fj" and report != "all":
+        raise UsageError(
+            f"Featherweight Java analyses render a single "
+            f"points-to report; --report {report!r} is Scheme-only")
+    if values not in VALUE_MODES:
+        raise UsageError(
+            f"unknown values domain {values!r}; choose from "
+            f"{', '.join(VALUE_MODES)}")
+    return spec
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,28 +139,18 @@ class JobSpec:
     timeout: float | None = None
 
     def validate(self) -> "JobSpec":
-        """Raise :class:`~repro.errors.ReproError` on a bad field."""
+        """Raise :class:`~repro.errors.ReproError` on a bad field.
+
+        Option errors (unknown analysis, bad context depth,
+        Scheme-only flags on FJ analyses) raise the
+        :class:`~repro.errors.UsageError` subclass so the CLI can
+        exit 2 with a one-line message.
+        """
         if not isinstance(self.source, str) or not self.source.strip():
             raise ReproError("job source must be non-empty program "
                              "text")
-        if self.analysis not in SCHEME_ANALYSES:
-            raise ReproError(
-                f"unknown analysis {self.analysis!r}; choose from "
-                f"{', '.join(SCHEME_ANALYSES)}")
-        if isinstance(self.context, bool) \
-                or not isinstance(self.context, int) \
-                or self.context < 0:
-            raise ReproError(
-                f"context depth must be a non-negative integer, got "
-                f"{self.context!r}")
-        if self.report not in REPORT_CHOICES:
-            raise ReproError(
-                f"unknown report {self.report!r}; choose from "
-                f"{', '.join(REPORT_CHOICES)}")
-        if self.values not in VALUE_MODES:
-            raise ReproError(
-                f"unknown values domain {self.values!r}; choose from "
-                f"{', '.join(VALUE_MODES)}")
+        validate_job_options(self.analysis, self.context,
+                             self.simplify, self.report, self.values)
         if self.timeout is not None:
             if isinstance(self.timeout, bool) \
                     or not isinstance(self.timeout, (int, float)) \
@@ -194,6 +195,13 @@ def render_reports(program, result, report: str = "all") -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_fj_reports(program, result) -> str:
+    """The ``analyze`` output text for a Featherweight Java result."""
+    from repro.reporting import fj_report
+    return (f"program: {program.stats()}\n\n"
+            f"{fj_report(result)}\n")
+
+
 def run_job(spec: JobSpec) -> dict:
     """Execute one job; always returns a row, never raises.
 
@@ -209,23 +217,41 @@ def run_job(spec: JobSpec) -> dict:
            "values": spec.values, "pid": os.getpid()}
     started = time.perf_counter()
     try:
+        # run_job is authoritative even for callers that skipped
+        # spec.validate(): option errors (unknown analysis,
+        # Scheme-only flags on an FJ analysis) become error rows
+        # rather than being silently ignored.
+        language = validate_job_options(
+            spec.analysis, spec.context, spec.simplify, spec.report,
+            spec.values).language
         # The budget clock starts before the front end so compile and
         # simplify time count against the job's allowance; the check
         # is cooperative (between phases and per analysis step), so a
         # pathological source can overrun the budget by one compile —
         # bounded in the service by the protocol's frame size cap.
         budget = Budget(max_seconds=spec.timeout).start()
-        program = compile_program(spec.source)
-        if spec.simplify:
-            program = simplify_program(program)
+        if language == "fj":
+            from repro.fj import parse_fj
+            program = parse_fj(spec.source)
+        else:
+            program = compile_program(spec.source)
+            if spec.simplify:
+                program = simplify_program(program)
         if budget.exhausted():
             raise AnalysisTimeout(
                 f"analysis exceeded time budget of "
                 f"{spec.timeout}s", elapsed=budget.elapsed)
-        result = run_scheme_analysis(
-            program, spec.analysis, spec.context, budget,
-            plain=spec.values == "plain")
-        row["stdout"] = render_reports(program, result, spec.report)
+        if language == "fj":
+            result = run_fj_analysis(
+                program, spec.analysis, spec.context, budget,
+                plain=spec.values == "plain")
+            row["stdout"] = render_fj_reports(program, result)
+        else:
+            result = run_scheme_analysis(
+                program, spec.analysis, spec.context, budget,
+                plain=spec.values == "plain")
+            row["stdout"] = render_reports(program, result,
+                                           spec.report)
         row["summary"] = result.summary()
         row["status"] = "ok"
     except AnalysisTimeout as error:

@@ -1,0 +1,54 @@
+"""PEP 562 lazy module attributes, shared by the package ``__init__``
+files.
+
+``repro`` and ``repro.analysis`` expose convenience re-exports, but
+importing any ``repro.*`` submodule executes those ``__init__`` files
+first — and CLI startup, worker spawns and registry consultations
+must not pay for the whole analyzer stack.  :func:`lazy_attrs` gives
+a package the module-level ``__getattr__``/``__dir__`` pair that
+resolves each re-export on first access and caches it.
+
+This module deliberately imports nothing from ``repro`` (it is loaded
+from package ``__init__`` files mid-initialization).
+"""
+
+from __future__ import annotations
+
+import importlib
+
+
+def lazy_attrs(module_name: str, module_globals: dict,
+               mapping: dict[str, str]):
+    """Build ``(__getattr__, __dir__)`` for a lazily-exporting module.
+
+    ``mapping`` maps each public attribute to the module that defines
+    it.  Resolution imports that module on first access and caches
+    the value in ``module_globals``, so ``__getattr__`` runs at most
+    once per name.
+    """
+
+    def __getattr__(name: str):
+        target = mapping.get(name)
+        if target is None:
+            # Fall back to submodules: the eager from-imports used to
+            # bind e.g. ``repro.cache`` as an attribute of ``repro``,
+            # and ``import repro; repro.cache.open_cache(...)`` must
+            # keep working.
+            qualified = f"{module_name}.{name}"
+            try:
+                value = importlib.import_module(qualified)
+            except ModuleNotFoundError as error:
+                if error.name != qualified:
+                    raise  # a real import failure inside the submodule
+                raise AttributeError(
+                    f"module {module_name!r} has no attribute "
+                    f"{name!r}") from None
+        else:
+            value = getattr(importlib.import_module(target), name)
+        module_globals[name] = value
+        return value
+
+    def __dir__():
+        return sorted(set(module_globals) | set(mapping))
+
+    return __getattr__, __dir__

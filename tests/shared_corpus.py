@@ -1,0 +1,35 @@
+"""The program corpus shared by the byte-compatibility suites.
+
+``tests/test_service_differential.py`` (server bytes == analyze
+bytes) and ``tests/test_golden_reports.py`` (analyze bytes == pinned
+goldens) enforce one contract together, so they must cover the same
+programs: both import this module rather than keeping private copies
+that could silently diverge.
+"""
+
+from __future__ import annotations
+
+from repro.generators.random_programs import random_core_expression
+from repro.scheme.pretty import pretty
+
+
+def random_source(seed: int, depth: int) -> str:
+    """Random closed terminating program, as re-parseable text."""
+    return pretty(random_core_expression(seed, depth))
+
+
+def small_sources() -> dict[str, str]:
+    """Small programs crossed with the full analysis × domain matrix."""
+    from repro.benchsuite.programs import BY_NAME
+    return {
+        "eta": BY_NAME["eta"].source,
+        "map": BY_NAME["map"].source,
+        "rand1": random_source(1, 3),
+        "rand7": random_source(7, 4),
+        "rand42": random_source(42, 3),
+    }
+
+
+#: The naive §3.6 driver state-explodes on these pairings — which is
+#: the paper's point, not a bug; both suites skip them.
+EXPLODES = {("map", "kcfa-naive")}

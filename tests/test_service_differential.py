@@ -14,32 +14,19 @@ from __future__ import annotations
 
 import pytest
 
+from shared_corpus import EXPLODES, random_source as _random_source, \
+    small_sources
+
 from repro.__main__ import main
 from repro.benchsuite.programs import BY_NAME
-from repro.generators.random_programs import random_core_expression
-from repro.scheme.pretty import pretty
 from repro.service.client import ServiceClient
-from repro.service.jobs import SCHEME_ANALYSES, VALUE_MODES
+from repro.service.jobs import FJ_ANALYSES, SCHEME_ANALYSES, \
+    VALUE_MODES
 from repro.service.server import AnalysisServer
 
-
-def _random_source(seed: int, depth: int) -> str:
-    """Random closed terminating program, as re-parseable text."""
-    return pretty(random_core_expression(seed, depth))
-
-
-#: Small programs crossed with the *full* analysis × domain matrix.
-SMALL = {
-    "eta": BY_NAME["eta"].source,
-    "map": BY_NAME["map"].source,
-    "rand1": _random_source(1, 3),
-    "rand7": _random_source(7, 4),
-    "rand42": _random_source(42, 3),
-}
-
-#: The naive §3.6 driver state-explodes on this pairing — which is
-#: the paper's point, not a service bug; skip it in the matrix.
-EXPLODES = {("map", "kcfa-naive")}
+#: Small programs crossed with the *full* analysis × domain matrix —
+#: the same corpus the golden suite pins (tests/shared_corpus.py).
+SMALL = small_sources()
 
 #: Larger suite programs, checked on the polynomial analyses.
 LARGE = ("sat", "regex", "interp", "scm2java", "scm2c")
@@ -138,6 +125,34 @@ class TestRandomPool:
             tmp_path, capsys, source, "--analysis", "mcfa", "-n", "1",
             "--timeout", "120")
         final = client.submit(source=source, analysis="mcfa",
+                              context=1, timeout=120.0)
+        assert final["status"] == "ok", final.get("error")
+        assert final["stdout"] == expected
+
+
+class TestFJMatrix:
+    """Featherweight Java flows through the same job core: the
+    server's bytes must equal ``analyze``'s for every registered FJ
+    analysis (including the post-kernel policies)."""
+
+    def _fj_sources(self):
+        from repro.fj.examples import ALL_EXAMPLES
+        return {"pairs": ALL_EXAMPLES["pairs"],
+                "oo_identity": ALL_EXAMPLES["oo_identity"]}
+
+    @pytest.mark.parametrize("analysis", FJ_ANALYSES)
+    @pytest.mark.parametrize("name", ("pairs", "oo_identity"))
+    def test_byte_identical(self, name, analysis, client, tmp_path,
+                            capsys):
+        source = self._fj_sources()[name]
+        path = tmp_path / "prog.java"
+        path.write_text(source, encoding="utf-8")
+        capsys.readouterr()
+        assert main(["analyze", str(path), "--analysis", analysis,
+                     "-n", "1", "--timeout", "120"]) == 0
+        expected = capsys.readouterr().out
+        assert expected.startswith("program:")
+        final = client.submit(source=source, analysis=analysis,
                               context=1, timeout=120.0)
         assert final["status"] == "ok", final.get("error")
         assert final["stdout"] == expected
