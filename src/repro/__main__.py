@@ -75,6 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="interned",
                          help="value-domain representation "
                               "(default interned)")
+    analyze.add_argument("--no-specialize", action="store_true",
+                         help="run the generic engine loop instead "
+                              "of the per-policy specialized one "
+                              "(results are byte-identical)")
     analyze.add_argument("--cache", action="store_true",
                          help="reuse/persist results in the default "
                               "cache dir (~/.cache/repro)")
@@ -131,6 +135,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "fj-mcfa,fj-hybrid)")
     bench.add_argument("--contexts", default="0,1",
                        help="comma-separated k/m values (default 0,1)")
+    bench.add_argument("--obj-depth", default=None,
+                       help="comma-separated receiver-chain depths "
+                            "for the hybrid ladder (fj-hybrid only; "
+                            "adds an obj-depth axis to the matrix)")
+    bench.add_argument("--specialize", default=None, metavar="MODES",
+                       help="comma-separated engine paths to bench: "
+                            "on, off or on,off for a before/after "
+                            "matrix (default on)")
+    bench.add_argument("--no-specialize", action="store_true",
+                       help="shorthand for --specialize off")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="run each cell N times and report the "
+                            "fastest (min-of-N; default 1)")
     bench.add_argument("--copies", type=int, default=1,
                        help="scale factor for Scheme programs")
     bench.add_argument("--timeout", type=float, default=30.0,
@@ -175,6 +192,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "cache dir (~/.cache/repro)")
     serve.add_argument("--cache-dir", default=None,
                        help="cache directory (implies --cache)")
+    serve.add_argument("--no-specialize", action="store_true",
+                       help="run every job on the generic engine "
+                            "loop (results are byte-identical)")
     serve.add_argument("--ready-file", default=None,
                        help="write the bound endpoint (host:port or "
                             "socket path) here once listening")
@@ -208,6 +228,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="server TCP address (default 127.0.0.1)")
     submit.add_argument("--port", type=int, default=7557,
                         help="server TCP port (default 7557)")
+    submit.add_argument("--no-specialize", action="store_true",
+                        help="ask for the generic engine loop "
+                             "(results are byte-identical)")
+    submit.add_argument("--list-analyses", action="store_true",
+                        help="print the server's registered analyses "
+                             "(the `analyses` op) and exit")
     submit.add_argument("--server-stats", action="store_true",
                         help="print the server's scheduler/cache "
                              "statistics and exit")
@@ -245,8 +271,8 @@ def _cmd_analyze(args) -> int:
     spec = JobSpec(source=_read_source(args.file),
                    analysis=args.analysis, context=args.context,
                    simplify=args.simplify, report=args.report,
-                   values=args.values,
-                   timeout=args.timeout).validate()
+                   values=args.values, timeout=args.timeout,
+                   specialize=not args.no_specialize).validate()
     cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
     key = job_cache_key(spec) if cache is not None else None
     if cache is not None:
@@ -266,26 +292,16 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_analyses(args) -> int:
-    from repro.metrics.timing import format_table
+    from repro.analysis.registry import registry_listing
+    from repro.reporting import analyses_report
     language = None if args.language == "all" else args.language
-    specs = registry().specs(language)
+    rows = registry_listing(language)
     if args.names:
-        for spec in specs:
-            print(spec.name)
+        for row in rows:
+            print(row["name"])
         return 0
-    headers = ["name", "display", "lang", "env-rep", "engine",
-               "context policy", "complexity"]
-    rows = [[spec.name, spec.display, spec.language, spec.env_rep,
-             spec.engine, spec.context, spec.complexity]
-            for spec in specs]
-    print(format_table(headers, rows))
-    if language is None:
-        print(f"{len(specs)} analyses registered "
-              f"(source: repro.analysis.registry)")
-    else:
-        print(f"{len(specs)} {language} analyses "
-              f"(of {len(registry())} registered; "
-              f"source: repro.analysis.registry)")
+    print(analyses_report(rows, language, len(registry()),
+                          "repro.analysis.registry"))
     return 0
 
 
@@ -345,12 +361,31 @@ def _cmd_bench(args) -> int:
     )
     from repro.cache import open_cache
     from repro.reporting import bench_report_table
+    if args.no_specialize and args.specialize is not None:
+        raise UsageError(
+            "--no-specialize conflicts with --specialize; pass one")
+    specialize_modes = ["off"] if args.no_specialize \
+        else (args.specialize or "on").split(",")
+    obj_depths = None
+    if args.obj_depth is not None:
+        try:
+            obj_depths = [int(value)
+                          for value in args.obj_depth.split(",")]
+        except ValueError:
+            raise UsageError(
+                f"--obj-depth must be comma-separated integers, got "
+                f"{args.obj_depth!r}") from None
+        if any(depth < 0 for depth in obj_depths):
+            raise UsageError(
+                f"--obj-depth values must be non-negative, got "
+                f"{args.obj_depth!r}")
     if args.quick:
         overridden = [flag for flag, value in
                       [("--programs", args.programs),
                        ("--analyses", args.analyses),
                        ("--contexts", args.contexts != "0,1"),
-                       ("--copies", args.copies != 1)] if value]
+                       ("--copies", args.copies != 1),
+                       ("--obj-depth", args.obj_depth)] if value]
         if overridden:
             print(f"warning: --quick uses a fixed smoke matrix; "
                   f"ignoring {', '.join(overridden)}",
@@ -359,6 +394,7 @@ def _cmd_bench(args) -> int:
         analyses = ["mcfa", "zero", "fj-poly"]
         contexts = [0, 1]
         copies = 1
+        obj_depths = None
         timeout = min(args.timeout, 10.0)
     else:
         programs = (args.programs.split(",") if args.programs
@@ -387,18 +423,28 @@ def _cmd_bench(args) -> int:
                 f"{args.contexts!r}")
         copies = args.copies
         timeout = args.timeout
+    if args.repeat < 1:
+        raise UsageError(
+            f"--repeat must be a positive integer, got {args.repeat}")
     values = args.values.split(",")
     tasks = build_matrix(programs, analyses, contexts, copies=copies,
-                         timeout=timeout, values=values)
+                         timeout=timeout, values=values,
+                         specialize=specialize_modes,
+                         obj_depths=obj_depths, repeat=args.repeat)
     if not tasks:
         print("error: empty benchmark matrix", file=sys.stderr)
         return 1
     cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
     values_axis = f" x {len(values)} value modes" \
         if len(values) > 1 else ""
+    engine_axis = f" x {len(specialize_modes)} engine paths" \
+        if len(specialize_modes) > 1 else ""
+    obj_axis = f" x {len(obj_depths)} obj depths" \
+        if obj_depths is not None and len(obj_depths) > 1 else ""
     print(f"bench: {len(tasks)} tasks "
           f"({len(programs)} programs x {len(analyses)} analyses "
-          f"x {len(contexts)} contexts{values_axis})", file=sys.stderr)
+          f"x {len(contexts)} contexts{values_axis}{engine_axis}"
+          f"{obj_axis})", file=sys.stderr)
     report = run_batch(
         tasks, jobs=args.jobs, serial=args.serial, cache=cache,
         progress=lambda line: print(line, file=sys.stderr, flush=True))
@@ -423,7 +469,8 @@ def _cmd_serve(args) -> int:
     server = AnalysisServer(
         host=args.host, port=args.port, socket_path=args.socket,
         workers=args.workers, cache=cache,
-        default_timeout=args.job_timeout).start()
+        default_timeout=args.job_timeout,
+        specialize=not args.no_specialize).start()
     print(f"serving on {server.endpoint} "
           f"({server.workers} workers"
           + (f", cache {cache.directory}" if cache is not None
@@ -445,7 +492,8 @@ def _cmd_serve(args) -> int:
 def _cmd_submit(args) -> int:
     from repro.reporting import job_event_line, service_stats_report
     from repro.service.client import ServiceClient
-    if not (args.server_stats or args.shutdown):
+    if not (args.server_stats or args.shutdown
+            or args.list_analyses):
         # Same usage-error contract as analyze (exit 2), checked
         # client-side so a typo needs neither a server nor stdin.
         _validate_analysis_args(args)
@@ -459,6 +507,13 @@ def _cmd_submit(args) -> int:
               file=sys.stderr)
         return 1
     with client:
+        if args.list_analyses:
+            from repro.reporting import analyses_report
+            rows = client.analyses()
+            print(analyses_report(
+                rows, None, len(rows),
+                f"analyses op, {args.socket or args.host}"))
+            return 0
         if args.server_stats:
             print(service_stats_report(client.stats()))
             return 0
@@ -468,7 +523,7 @@ def _cmd_submit(args) -> int:
             return 0
         if not args.file:
             print("error: submit needs a file (or --server-stats / "
-                  "--shutdown)", file=sys.stderr)
+                  "--list-analyses / --shutdown)", file=sys.stderr)
             return 2
         on_event = None if args.quiet else (
             lambda event: print(job_event_line(event),
@@ -477,7 +532,8 @@ def _cmd_submit(args) -> int:
             source=_read_source(args.file), analysis=args.analysis,
             context=args.context, simplify=args.simplify,
             report=args.report, values=args.values,
-            timeout=args.timeout, on_event=on_event)
+            timeout=args.timeout,
+            specialize=not args.no_specialize, on_event=on_event)
     if final.get("status") == "ok":
         sys.stdout.write(final["stdout"])
         if final.get("cached"):

@@ -72,6 +72,32 @@ class Machine(Protocol):
         ...
 
 
+def specialize(machine: "Machine", enabled: bool = True) -> "Machine":
+    """The per-policy specialization stage.
+
+    Given a generic machine, return the staged step loop its policy's
+    declared axes admit (:mod:`repro.analysis.specialize`): context-free
+    flat policies get a fully folded kernel with no context tuples or
+    free-variable copy reads, shared-env policies get pre-bound address
+    constructors and a monomorphic eval/apply dispatch.  Falls back to
+    *machine* itself when nothing applies (or ``enabled`` is False —
+    the ``--no-specialize`` escape hatch).  Specialized machines are
+    trajectory-identical to their generic originals; the golden suite
+    and ``tests/test_specialize.py`` gate that byte-for-byte.
+    """
+    if not enabled:
+        return machine
+    from repro.analysis.specialize import specialize_machine
+    return specialize_machine(machine) or machine
+
+
+def machine_path(machine: "Machine") -> str:
+    """``specialized:<name>`` or ``generic`` — which step loop ran.
+    The bench runner records this per row."""
+    name = getattr(machine, "specialization", None)
+    return f"specialized:{name}" if name else "generic"
+
+
 @dataclass(frozen=True, slots=True)
 class EngineOptions:
     """Knobs shared by every driver.
@@ -143,27 +169,69 @@ def run_single_store(machine: Machine, recorder,
     store = AbsStore(factory() if factory is not None else None)
     worklist: DependencyWorklist = DependencyWorklist()
     worklist.add(machine.boot(store))
+    # The loop below inlines the worklist's pop/record/add/dirty
+    # operations against its internals — the driver and the worklist
+    # are one subsystem, and at ~5 bookkeeping operations per transfer
+    # step the call overhead is measurable on every analysis.  The
+    # public :class:`~repro.util.fixpoint.DependencyWorklist` methods
+    # remain the reference semantics (and are property-tested); this
+    # loop must mirror them exactly, or trajectories (and therefore
+    # ``steps`` counts diffed across engine paths) drift.
     join_mask = store.join_mask
+    machine_step = machine.step
+    queue = worklist._queue
+    pending = worklist._pending
+    seen = worklist._seen
+    readers = worklist._readers
+    delta_map = worklist._delta
+    # The budget check is likewise inlined (one method call per step
+    # otherwise); ``charge`` stays the reference semantics, and the
+    # unlimited case pays a single truth test per step.
+    charge = budget.charge
+    limited = budget.max_steps is not None \
+        or budget.max_seconds is not None
+    requeued = 0
     steps = 0
     delta_addresses = 0
     started = _time.perf_counter()
-    while worklist:
-        budget.charge()
-        config, delta = worklist.pop_delta()
+    while queue:
+        if limited:
+            charge()
+        config = queue.popleft()
+        pending.discard(config)
+        delta = delta_map.pop(config, None)
         if delta is not None:
             delta_addresses += len(delta)
         steps += 1
         reads: set = set()
-        succs = machine.step(config, store, reads, recorder)
-        worklist.record_reads(config, reads)
+        succs = machine_step(config, store, reads, recorder)
+        for addr in reads:
+            addr_readers = readers.get(addr)
+            if addr_readers is None:
+                readers[addr] = {config}
+            else:
+                addr_readers.add(config)
         changed = []
         for succ, joins in succs:
             for addr, mask in joins:
-                if join_mask(addr, mask):
+                if mask and join_mask(addr, mask):
                     changed.append(addr)
-            worklist.add(succ)
-        if changed:
-            worklist.dirty(changed)
+            if succ not in seen:
+                seen.add(succ)
+                pending.add(succ)
+                queue.append(succ)
+        for addr in changed:
+            for reader in readers.get(addr, ()):
+                if reader not in pending:
+                    pending.add(reader)
+                    queue.append(reader)
+                    requeued += 1
+                reader_delta = delta_map.get(reader)
+                if reader_delta is None:
+                    delta_map[reader] = {addr}
+                else:
+                    reader_delta.add(addr)
+    worklist.requeue_count = requeued
     elapsed = _time.perf_counter() - started
     return EngineRun(
         store=store, configs=worklist.seen, steps=steps,

@@ -32,7 +32,8 @@ from typing import Callable
 from repro.cps.program import Program
 from repro.cps.syntax import Lam
 from repro.analysis.domains import FlatEnvAbs
-from repro.analysis.engine import EngineOptions, run_single_store
+from repro.analysis.engine import EngineOptions, machine_path, \
+    run_single_store, specialize
 from repro.analysis.interning import PlainTable
 from repro.analysis.kernel import (
     FConfig, FlatEnv, Kernel, Recorder, result_from_run,
@@ -61,10 +62,19 @@ class FlatMachine(Kernel):
 def analyze_flat(program: Program, allocator: EnvAllocator,
                  analysis: str, parameter: int,
                  budget: Budget | None = None,
-                 plain: bool = False) -> AnalysisResult:
-    """Run the flat machine to fixpoint with a single-threaded store."""
+                 plain: bool = False,
+                 specialized: bool = True) -> AnalysisResult:
+    """Run the flat machine to fixpoint with a single-threaded store.
+
+    ``specialized`` selects the staged step loop
+    (:func:`~repro.analysis.engine.specialize`); results are
+    byte-identical either way — False is the escape hatch.
+    """
+    machine = specialize(FlatMachine(program, allocator), specialized)
     run = run_single_store(
-        FlatMachine(program, allocator), Recorder(),
+        machine, Recorder(),
         EngineOptions(budget=budget,
                       table_factory=PlainTable if plain else None))
-    return result_from_run(run, program, analysis, parameter)
+    result = result_from_run(run, program, analysis, parameter)
+    result.engine_path = machine_path(machine)
+    return result

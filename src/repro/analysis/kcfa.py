@@ -30,14 +30,15 @@ flat-environment analyses.  Both of the paper's engines drive it:
 from __future__ import annotations
 
 from repro.cps.program import Program
-from repro.analysis.engine import EngineOptions, run_naive, \
-    run_single_store
+from repro.analysis.engine import EngineOptions, machine_path, \
+    run_naive, run_single_store, specialize
 from repro.analysis.interning import PlainTable
 from repro.analysis.kernel import (
     KConfig, Kernel, Recorder, SharedEnv, result_from_run,
 )
 from repro.analysis.policies import call_site_tick
 from repro.analysis.results import AnalysisResult
+from repro.errors import UsageError
 from repro.util.budget import Budget
 
 __all__ = [
@@ -52,26 +53,31 @@ class KCFAMachine(Kernel):
 
     def __init__(self, program: Program, k: int):
         if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
+            raise UsageError(f"k must be non-negative, got {k}")
         super().__init__(program, SharedEnv(call_site_tick(k)))
         self.k = k
 
 
 def analyze_kcfa(program: Program, k: int = 1,
                  budget: Budget | None = None,
-                 plain: bool = False) -> AnalysisResult:
+                 plain: bool = False,
+                 specialized: bool = True) -> AnalysisResult:
     """Run k-CFA with the single-threaded store (§3.7).
 
     Raises :class:`~repro.errors.AnalysisTimeout` when the budget is
     exceeded — callers reproducing the worst-case table catch it and
     report ∞.  ``plain=True`` runs the pre-interning object domain
-    (for equivalence tests and before/after benchmarking).
+    (for equivalence tests and before/after benchmarking);
+    ``specialized`` selects the pre-bound shared-env step loop.
     """
+    machine = specialize(KCFAMachine(program, k), specialized)
     run = run_single_store(
-        KCFAMachine(program, k), Recorder(),
+        machine, Recorder(),
         EngineOptions(budget=budget,
                       table_factory=PlainTable if plain else None))
-    return result_from_run(run, program, "k-CFA", k)
+    result = result_from_run(run, program, "k-CFA", k)
+    result.engine_path = machine_path(machine)
+    return result
 
 
 def analyze_kcfa_naive(program: Program, k: int = 1,

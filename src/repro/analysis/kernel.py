@@ -45,21 +45,57 @@ from repro.analysis.results import AnalysisResult
 from repro.scheme.primitives import lookup_primitive
 
 
-@dataclass(frozen=True, slots=True)
 class KConfig:
-    """A store-less shared-env configuration ``(call, β̂, t̂)``."""
+    """A store-less shared-env configuration ``(call, β̂, t̂)``.
 
-    call: Call
-    benv: BEnv
-    time: Time
+    Hand-rolled rather than a dataclass: the engine hashes
+    configurations on every worklist, dependency and dedup operation,
+    so the hash is computed once at construction (call nodes hash by
+    identity, so this is cheap) instead of per set operation.
+    """
+
+    __slots__ = ("call", "benv", "time", "_hash")
+
+    def __init__(self, call: Call, benv: BEnv, time: Time):
+        self.call = call
+        self.benv = benv
+        self.time = time
+        self._hash = hash((call, benv, time))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return self is other or (
+            type(other) is KConfig and self.call == other.call
+            and self.benv == other.benv and self.time == other.time)
+
+    def __repr__(self) -> str:
+        return (f"KConfig(call={self.call!r}, benv={self.benv!r}, "
+                f"time={self.time!r})")
 
 
-@dataclass(frozen=True, slots=True)
 class FConfig:
-    """A flat abstract configuration ``(call, ρ̂)``."""
+    """A flat abstract configuration ``(call, ρ̂)`` (hash cached at
+    construction, like :class:`KConfig`)."""
 
-    call: Call
-    env: FlatEnvAbs
+    __slots__ = ("call", "env", "_hash")
+
+    def __init__(self, call: Call, env: FlatEnvAbs):
+        self.call = call
+        self.env = env
+        self._hash = hash((call, env))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return self is other or (
+            type(other) is FConfig and self.call == other.call
+            and self.env == other.env)
+
+    def __repr__(self) -> str:
+        return f"FConfig(call={self.call!r}, env={self.env!r})"
 
 
 @dataclass

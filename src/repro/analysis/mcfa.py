@@ -16,12 +16,14 @@ from __future__ import annotations
 from repro.cps.program import Program
 from repro.analysis.flat_machine import analyze_flat, mcfa_allocator
 from repro.analysis.results import AnalysisResult
+from repro.errors import UsageError
 from repro.util.budget import Budget
 
 
 def analyze_mcfa(program: Program, m: int = 1,
                  budget: Budget | None = None,
-                 plain: bool = False) -> AnalysisResult:
+                 plain: bool = False,
+                 specialized: bool = True) -> AnalysisResult:
     """Run m-CFA to fixpoint.
 
     Complexity is polynomial in program size for any fixed m
@@ -29,6 +31,6 @@ def analyze_mcfa(program: Program, m: int = 1,
     the store lattice has height |Var| × |Call|^m × |Lam| × |Call|^m.
     """
     if m < 0:
-        raise ValueError(f"m must be non-negative, got {m}")
+        raise UsageError(f"m must be non-negative, got {m}")
     return analyze_flat(program, mcfa_allocator(m), "m-CFA", m, budget,
-                        plain=plain)
+                        plain=plain, specialized=specialized)

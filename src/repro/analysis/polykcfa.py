@@ -14,14 +14,17 @@ from __future__ import annotations
 from repro.cps.program import Program
 from repro.analysis.flat_machine import analyze_flat, poly_kcfa_allocator
 from repro.analysis.results import AnalysisResult
+from repro.errors import UsageError
 from repro.util.budget import Budget
 
 
 def analyze_poly_kcfa(program: Program, k: int = 1,
                       budget: Budget | None = None,
-                      plain: bool = False) -> AnalysisResult:
+                      plain: bool = False,
+                      specialized: bool = True) -> AnalysisResult:
     """Run naive polynomial k-CFA to fixpoint."""
     if k < 0:
-        raise ValueError(f"k must be non-negative, got {k}")
+        raise UsageError(f"k must be non-negative, got {k}")
     return analyze_flat(program, poly_kcfa_allocator(k),
-                        "poly-k-CFA", k, budget, plain=plain)
+                        "poly-k-CFA", k, budget, plain=plain,
+                        specialized=specialized)

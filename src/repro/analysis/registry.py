@@ -30,11 +30,20 @@ from repro.errors import UsageError
 class AnalysisSpec:
     """One analysis as a data point on the kernel's policy axis.
 
-    ``factory(program, parameter, budget, plain)`` runs the analysis;
-    ``concrete`` names the concrete machine mode the soundness
-    property suite checks the analysis against (``shared-history``,
-    ``flat-stack``, ``flat-history`` for Scheme; ``fj`` for
-    Featherweight Java).
+    ``factory(program, parameter, budget, plain, specialize,
+    obj_depth)`` runs the analysis; ``concrete`` names the concrete
+    machine mode the soundness property suite checks the analysis
+    against (``shared-history``, ``flat-stack``, ``flat-history`` for
+    Scheme; ``fj`` for Featherweight Java).
+
+    ``specialized`` is the registry's specialization knob: with it on
+    (the default) runs go through the per-policy specialization stage
+    (:mod:`repro.analysis.specialize`) — byte-identical to the generic
+    step loop, gated by the golden and differential suites.  Specs
+    whose engine the specializer does not cover (the naive §3.6
+    drivers) register ``specialized=False``.  ``takes_obj_depth``
+    marks the hybrid ladder: only those specs accept the bench
+    ``--obj-depth`` axis.
     """
 
     name: str              # CLI name, e.g. "kcfa"
@@ -44,14 +53,55 @@ class AnalysisSpec:
     engine: str            # "single-store" | "naive" | "naive+gc"
     context: str           # the tick/alloc policy, in words
     complexity: str        # per the paper, e.g. "EXPTIME-complete"
-    factory: Callable      # (program, parameter, budget, plain) -> result
+    factory: Callable      # (program, parameter, budget, plain, ...)
     concrete: str | None = None
     paper: str = ""        # section reference
+    specialized: bool = True
+    takes_obj_depth: bool = False
 
     def run(self, program, parameter: int, budget=None,
-            plain: bool = False):
-        """Run this analysis; the parameter is the k/m/n depth."""
-        return self.factory(program, parameter, budget, plain)
+            plain: bool = False, specialize: bool | None = None,
+            obj_depth: int | None = None):
+        """Run this analysis; the parameter is the k/m/n depth.
+
+        ``specialize=None`` means the spec's own default;
+        ``specialize=True`` still runs generic when the spec opted
+        out.  ``obj_depth`` is only legal on hybrid-ladder specs
+        (:class:`~repro.errors.UsageError` otherwise).
+        """
+        if obj_depth is not None and not self.takes_obj_depth:
+            raise UsageError(
+                f"analysis {self.name!r} has no obj-depth axis; "
+                f"--obj-depth applies only to "
+                f"{', '.join(_obj_depth_names()) or 'no registered analysis'}")
+        effective = self.specialized if specialize is None \
+            else (specialize and self.specialized)
+        return self.factory(program, parameter, budget, plain,
+                            specialize=effective, obj_depth=obj_depth)
+
+    def listing(self) -> dict:
+        """The JSON-able registry row served by the ``analyses``
+        protocol op and rendered by ``python -m repro analyses`` —
+        both front ends read this same projection."""
+        return {
+            "name": self.name, "display": self.display,
+            "language": self.language, "env_rep": self.env_rep,
+            "engine": self.engine, "context": self.context,
+            "complexity": self.complexity, "paper": self.paper,
+            "specialized": self.specialized,
+            "takes_obj_depth": self.takes_obj_depth,
+        }
+
+
+def _obj_depth_names() -> tuple[str, ...]:
+    return tuple(spec.name for spec in registry().specs()
+                 if spec.takes_obj_depth)
+
+
+def registry_listing(language: str | None = None) -> list[dict]:
+    """Every registered analysis as a JSON-able row (see
+    :meth:`AnalysisSpec.listing`)."""
+    return [spec.listing() for spec in registry().specs(language)]
 
 
 class AnalysisRegistry:
@@ -122,10 +172,13 @@ def registry() -> AnalysisRegistry:
 
 
 def run_analysis(name: str, program, parameter: int, budget=None,
-                 plain: bool = False, language: str | None = None):
+                 plain: bool = False, language: str | None = None,
+                 specialize: bool | None = None,
+                 obj_depth: int | None = None):
     """Dispatch one analysis by registry name."""
-    return registry().get(name, language).run(program, parameter,
-                                              budget, plain)
+    return registry().get(name, language).run(
+        program, parameter, budget, plain, specialize=specialize,
+        obj_depth=obj_depth)
 
 
 # -- the builtin analyses -------------------------------------------------
@@ -136,61 +189,83 @@ def run_analysis(name: str, program, parameter: int, budget=None,
 
 
 def _register_builtin(table: AnalysisRegistry) -> None:
-    def kcfa(program, parameter, budget, plain):
+    # Factories take (program, parameter, budget, plain) positionally
+    # plus the keyword-only options AnalysisSpec.run threads through:
+    # ``specialize`` (resolved against the spec's knob) and
+    # ``obj_depth`` (hybrid ladder only — validated in run()).
+
+    def kcfa(program, parameter, budget, plain, *, specialize=True,
+             obj_depth=None):
         from repro.analysis.kcfa import analyze_kcfa
-        return analyze_kcfa(program, parameter, budget, plain=plain)
+        return analyze_kcfa(program, parameter, budget, plain=plain,
+                            specialized=specialize)
 
-    def mcfa(program, parameter, budget, plain):
+    def mcfa(program, parameter, budget, plain, *, specialize=True,
+             obj_depth=None):
         from repro.analysis.mcfa import analyze_mcfa
-        return analyze_mcfa(program, parameter, budget, plain=plain)
+        return analyze_mcfa(program, parameter, budget, plain=plain,
+                            specialized=specialize)
 
-    def poly(program, parameter, budget, plain):
+    def poly(program, parameter, budget, plain, *, specialize=True,
+             obj_depth=None):
         from repro.analysis.polykcfa import analyze_poly_kcfa
         return analyze_poly_kcfa(program, parameter, budget,
-                                 plain=plain)
+                                 plain=plain, specialized=specialize)
 
-    def zero(program, parameter, budget, plain):
+    def zero(program, parameter, budget, plain, *, specialize=True,
+             obj_depth=None):
         from repro.analysis.zerocfa import analyze_zerocfa
-        return analyze_zerocfa(program, budget, plain=plain)
+        return analyze_zerocfa(program, budget, plain=plain,
+                               specialized=specialize)
 
-    def kcfa_gc(program, parameter, budget, plain):
+    def kcfa_gc(program, parameter, budget, plain, *,
+                specialize=True, obj_depth=None):
         from repro.analysis.gc import analyze_kcfa_gc
         return analyze_kcfa_gc(program, parameter, budget, plain=plain)
 
-    def kcfa_naive(program, parameter, budget, plain):
+    def kcfa_naive(program, parameter, budget, plain, *,
+                   specialize=True, obj_depth=None):
         from repro.analysis.kcfa import analyze_kcfa_naive
         return analyze_kcfa_naive(program, parameter, budget,
                                   plain=plain)
 
-    def fj_kcfa(program, parameter, budget, plain):
+    def fj_kcfa(program, parameter, budget, plain, *,
+                specialize=True, obj_depth=None):
         from repro.fj.kcfa import analyze_fj_kcfa
         return analyze_fj_kcfa(program, parameter, budget=budget,
                                plain=plain)
 
-    def fj_poly(program, parameter, budget, plain):
+    def fj_poly(program, parameter, budget, plain, *,
+                specialize=True, obj_depth=None):
         from repro.fj.poly import analyze_fj_poly
         return analyze_fj_poly(program, parameter, budget=budget,
-                               plain=plain)
+                               plain=plain, specialized=specialize)
 
-    def fj_kcfa_gc(program, parameter, budget, plain):
+    def fj_kcfa_gc(program, parameter, budget, plain, *,
+                   specialize=True, obj_depth=None):
         from repro.fj.gc import analyze_fj_kcfa_gc
         return analyze_fj_kcfa_gc(program, parameter, budget=budget,
                                   plain=plain)
 
-    def fj_mcfa(program, parameter, budget, plain):
+    def fj_mcfa(program, parameter, budget, plain, *,
+                specialize=True, obj_depth=None):
         from repro.fj.mcfa import analyze_fj_mcfa
         return analyze_fj_mcfa(program, parameter, budget=budget,
-                               plain=plain)
+                               plain=plain, specialized=specialize)
 
-    def fj_hybrid(program, parameter, budget, plain):
+    def fj_hybrid(program, parameter, budget, plain, *,
+                  specialize=True, obj_depth=None):
         from repro.fj.hybrid import analyze_fj_hybrid
-        return analyze_fj_hybrid(program, parameter, budget=budget,
-                                 plain=plain)
+        return analyze_fj_hybrid(
+            program, parameter,
+            obj_depth=1 if obj_depth is None else obj_depth,
+            budget=budget, plain=plain, specialized=specialize)
 
-    def fj_obj(program, parameter, budget, plain):
+    def fj_obj(program, parameter, budget, plain, *,
+               specialize=True, obj_depth=None):
         from repro.fj.hybrid import analyze_fj_obj
         return analyze_fj_obj(program, parameter, budget=budget,
-                              plain=plain)
+                              plain=plain, specialized=specialize)
 
     table.register(AnalysisSpec(
         name="kcfa", display="k-CFA", language="scheme",
@@ -221,19 +296,26 @@ def _register_builtin(table: AnalysisRegistry) -> None:
         env_rep="shared", engine="naive+gc",
         context="tick: last k call sites; abstract GC per transition",
         complexity="EXPTIME (per-state stores)", factory=kcfa_gc,
-        concrete="shared-history", paper="§8 / ΓCFA"))
+        concrete="shared-history", paper="§8 / ΓCFA",
+        specialized=False))
     table.register(AnalysisSpec(
         name="kcfa-naive", display="k-CFA-naive", language="scheme",
         env_rep="shared", engine="naive",
         context="tick: last k call sites; reachable-states driver",
         complexity="EXPTIME even for k=0", factory=kcfa_naive,
-        concrete="shared-history", paper="§3.6"))
+        concrete="shared-history", paper="§3.6",
+        specialized=False))
     table.register(AnalysisSpec(
         name="fj-kcfa", display="FJ-k-CFA", language="fj",
         env_rep="shared", engine="single-store",
         context="tick: last k labels at invocations (Figure 9)",
         complexity="PTIME (objects close flat)", factory=fj_kcfa,
-        concrete="fj", paper="§4.3"))
+        concrete="fj", paper="§4.3",
+        # The map-based Figure 9 machine has no specialization yet
+        # (see ROADMAP); register the knob honestly so the analyses
+        # listing and the bench --specialize axis do not advertise a
+        # path that cannot run.
+        specialized=False))
     table.register(AnalysisSpec(
         name="fj-poly", display="FJ-poly-k-CFA", language="fj",
         env_rep="flat", engine="single-store",
@@ -245,7 +327,7 @@ def _register_builtin(table: AnalysisRegistry) -> None:
         env_rep="shared", engine="naive+gc",
         context="Figure 9 ticks; abstract GC per transition",
         complexity="per-state stores", factory=fj_kcfa_gc,
-        concrete="fj", paper="§8"))
+        concrete="fj", paper="§8", specialized=False))
     table.register(AnalysisSpec(
         name="fj-mcfa", display="FJ-m-CFA", language="fj",
         env_rep="flat", engine="single-store",
@@ -257,7 +339,8 @@ def _register_builtin(table: AnalysisRegistry) -> None:
         env_rep="flat", engine="single-store",
         context="receiver alloc site + last call sites (ladder)",
         complexity="PTIME", factory=fj_hybrid,
-        concrete="fj", paper="§8 (object sensitivity)"))
+        concrete="fj", paper="§8 (object sensitivity)",
+        takes_obj_depth=True))
     table.register(AnalysisSpec(
         name="fj-obj", display="FJ-obj", language="fj",
         env_rep="flat", engine="single-store",

@@ -1,0 +1,1199 @@
+"""Per-policy engine specialization: generated step loops.
+
+The paper's complexity story says the flat/OO analyses are polynomial
+*because* their environment structure is degenerate — yet the generic
+:class:`~repro.analysis.kernel.Kernel` pays the fully general price
+(context tuples built per reference, free-variable copy reads, a
+polymorphic eval/apply dispatch) for every policy, including 0CFA
+where the context is always ``()``.  This module is the partial
+evaluator the registry's policy-as-data refactor unlocked: given a
+machine whose policy declares its axes (env rep shared/flat, tick
+arity, alloc shape — see :mod:`repro.analysis.policies`), it emits a
+**pre-resolved step function per call node**, staged against the
+policy:
+
+* :class:`ZeroFlatKernel` — flat environments with a *context-free*
+  allocator (0CFA; m-CFA and poly-k-CFA at depth 0).  Every
+  environment the system can construct is the empty tuple, so
+  addresses, successor configurations, closure bits and letrec joins
+  are folded to constants at compile time; context tuple construction
+  and free-variable copy reads are elided entirely (the copy guard
+  ``ρ̂'' ≠ ρ̂`` is statically false).
+* :class:`CompiledFlatKernel` — flat environments at depth ≥ 1:
+  pre-compiled atom evaluators, a monomorphic per-call-node dispatch
+  and the allocator/copy loop inlined with pre-bound locals.
+* :class:`CompiledSharedKernel` — shared environments (the k-CFA
+  family): pre-bound tick and address constructors, monomorphic
+  eval/apply dispatch, the §3.4 apply rule inlined against the rep's
+  extend memo.
+* :class:`ZeroFJFlatMachine` — the flat FJ machine under a
+  receiver-insensitive *context-free* policy (``fj-poly`` at k = 0):
+  per-statement compiled steps with all times folded to ``()`` and
+  per-method entry records (kont address, parameter addresses,
+  successor configuration) computed once.
+
+**The contract is byte-identity, trajectory included.**  A compiled
+step must produce the same successors with the same joins *in the
+same order* as the generic machine, and intern abstract values in the
+same global order — the engine's worklist is FIFO, so matching
+trajectories keep even the ``steps`` counter of a run identical,
+which is what lets CI diff whole bench reports across the two paths
+(and the golden suite pin reports down to the byte).  That is why
+compilation is *lazy*, per call node, at its first step: the generic
+kernel interns a node's literal/closure bits at exactly that moment.
+Within a primitive step, the continuation atom and the pair bit are
+compiled lazily past the empty-argument bail-out for the same reason.
+
+``tests/test_specialize.py`` holds every registered analysis to that
+contract across both value domains; the ``--no-specialize`` escape
+hatch on ``analyze``/``bench``/``serve`` selects the generic loop.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.domains import APair, BASIC, FClo, KClo, \
+    abstract_literal
+from repro.analysis.kernel import (
+    FConfig, FlatEnv, KConfig, Kernel, SharedEnv,
+)
+from repro.cps.syntax import (
+    AppCall, FixCall, HaltCall, IfCall, Lam, PrimCall, Ref,
+    free_vars_of_lam,
+)
+from repro.scheme.primitives import lookup_primitive
+
+_MISSING = object()
+
+#: The constant flat environment of every context-free flat policy.
+_EMPTY = ()
+
+
+def specialize_machine(machine):
+    """The specialization stage: a staged machine for *machine*'s
+    policy, or ``None`` when no specialization applies (naive-engine
+    machines, receiver-sensitive FJ policies, the map-based FJ
+    machine)."""
+    from repro.fj.poly import FJFlatMachine
+    if isinstance(machine, Kernel):
+        rep = machine.rep
+        if isinstance(rep, FlatEnv):
+            if getattr(rep.alloc, "context_free", False):
+                return ZeroFlatKernel(machine.program, rep)
+            return CompiledFlatKernel(machine.program, rep)
+        if isinstance(rep, SharedEnv):
+            return CompiledSharedKernel(machine.program, rep)
+        return None
+    if isinstance(machine, FJFlatMachine):
+        policy = machine.policy
+        if getattr(policy, "context_free", False) \
+                and not policy.receiver_sensitive:
+            return ZeroFJFlatMachine(machine.program, policy)
+        return None
+    return None
+
+
+class _CompiledKernel(Kernel):
+    """A kernel whose step loop is compiled per call node, lazily.
+
+    Subclasses provide ``_compile_app`` / ``_compile_if`` /
+    ``_compile_prim`` / ``_compile_fix`` / ``_compile_halt``; the
+    dispatch below replaces the generic kernel's isinstance chain
+    with one dict probe on the call label (labels are unique per
+    program).
+    """
+
+    specialization = "compiled"
+
+    def boot(self, store):
+        config = super().boot(store)
+        self._compiled: dict[int, object] = {}
+        return config
+
+    def step(self, config, store, reads, recorder):
+        call = config.call
+        fn = self._compiled.get(call.label)
+        if fn is None:
+            fn = self._compile(call)
+            self._compiled[call.label] = fn
+        return fn(config, store, reads, recorder)
+
+    def _compile(self, call):
+        raise NotImplementedError
+
+    def _lit_bit(self, exp):
+        """The generic kernel's literal memo, shared so a fallback to
+        the generic ``evaluate`` stays consistent."""
+        bit = self._lit_bits.get(id(exp))
+        if bit is None:
+            bit = self.table.bit_for(abstract_literal(exp.datum))
+            self._lit_bits[id(exp)] = bit
+        return bit
+
+
+def _zero_atom_spec(exp):
+    """Structural atom spec: ``(addr, None)`` for a reference,
+    ``(None, exp)`` for a closure or literal whose bit is interned at
+    bind time (no table access here)."""
+    if type(exp) is Ref:
+        return ((exp.name, _EMPTY), None)
+    return (None, exp)
+
+
+def _zero_read_addrs(exps) -> tuple:
+    return tuple([(exp.name, _EMPTY) for exp in exps
+                  if type(exp) is Ref])
+
+
+def _zero_flat_plans(program):
+    """The table-independent compilation of a whole program for the
+    context-free flat kernel: per-call structural plans (constant
+    addresses, successor configurations, read sets) plus a shared
+    per-lambda entry-plan cache.  Pure program structure — safe to
+    cache on the :class:`~repro.cps.program.Program` across runs and
+    value domains (bind-time interning is what stays per-run)."""
+    call_plans = {}
+    for label, call in program.calls_by_label.items():
+        kind = type(call)
+        if kind is AppCall:
+            call_plans[label] = (
+                "app", label, _zero_atom_spec(call.fn),
+                tuple([_zero_atom_spec(arg) for arg in call.args]),
+                _zero_read_addrs((call.fn, *call.args)))
+        elif kind is IfCall:
+            call_plans[label] = (
+                "if", _zero_atom_spec(call.test),
+                (FConfig(call.then, _EMPTY), ()),
+                (FConfig(call.orelse, _EMPTY), ()))
+        elif kind is PrimCall:
+            call_plans[label] = (
+                "prim", label, lookup_primitive(call.op).kind,
+                tuple([_zero_atom_spec(arg) for arg in call.args]),
+                _zero_read_addrs(call.args),
+                (f"car@{label}", _EMPTY), (f"cdr@{label}", _EMPTY),
+                FConfig(call, _EMPTY), _zero_atom_spec(call.cont))
+        elif kind is FixCall:
+            call_plans[label] = (
+                "fix",
+                tuple([((name, _EMPTY), lam)
+                       for name, lam in call.bindings]),
+                FConfig(call.body, _EMPTY))
+        elif kind is HaltCall:
+            call_plans[label] = ("halt", _zero_atom_spec(call.arg))
+        else:
+            raise TypeError(f"cannot step call {call!r}")
+    return call_plans, {}
+
+
+class ZeroFlatKernel(_CompiledKernel):
+    """Flat environments with a context-free allocator, fully folded.
+
+    Every environment is ``()``: addresses ``(name, ())``, closures
+    ``FClo(lam, ())`` and successor configurations are compile-time
+    constants, parameter addresses are pre-zipped per lambda, and the
+    free-variable copy loop is gone — ``ρ̂'' = ρ̂`` always, so the §5.2
+    copy guard can never fire.
+
+    Compilation is two-phase.  The **structural plan** (addresses,
+    successor configurations, read sets — :func:`_zero_flat_plans`)
+    touches no value table, so it is built at boot and cached on the
+    program across runs.  The **bind** phase runs lazily at a node's
+    first step and does only the table work — interning closure and
+    literal bits in exactly the order the generic kernel would, which
+    is what keeps the two paths' interning orders (and therefore
+    their whole trajectories) identical.
+
+    A second consequence of the constant environment: there is exactly
+    **one reachable configuration per call node**, and (primitive
+    pair projections aside) its read set is a compile-time constant.
+    Each bound step therefore populates the engine's read set only on
+    its first execution — reader registration is idempotent, so
+    dirtying and re-enqueueing are unchanged — and re-visits skip
+    straight to the mask reads.
+    """
+
+    specialization = "zero-flat"
+
+    def boot(self, store):
+        config = super().boot(store)
+        program = self.program
+        plans = getattr(program, "_zero_flat_plans", None)
+        if plans is None:
+            plans = _zero_flat_plans(program)
+            program._zero_flat_plans = plans
+        self._call_plans, self._lam_plans = plans
+        return config
+
+    def _compile(self, call):
+        plan = self._call_plans[call.label]
+        tag = plan[0]
+        if tag == "app":
+            return self._bind_app(plan)
+        if tag == "prim":
+            return self._bind_prim(plan)
+        if tag == "if":
+            return self._bind_if(plan)
+        if tag == "fix":
+            return self._bind_fix(plan)
+        return self._bind_halt(plan)
+
+    # -- bind: the per-run table work ----------------------------------
+
+    def _const_bit(self, exp):
+        if type(exp) is Lam:
+            return self.table.bit_for(FClo(exp, _EMPTY))
+        return self._lit_bit(exp)
+
+    def _bind_atoms(self, specs):
+        """Per-run ``(addr, mask)`` plans, interning constant atoms in
+        evaluation order."""
+        return tuple([
+            (addr, None if exp is None else self._const_bit(exp))
+            for addr, exp in specs])
+
+    def _entry_maker(self, label, nargs):
+        """The per-operator apply plan, against the shared per-lambda
+        structure cache."""
+        lam_plans = self._lam_plans
+
+        def entry_for(operator, recorder):
+            if type(operator) is not FClo:
+                return None
+            lam = operator.lam
+            if len(lam.params) != nargs:
+                return None
+            # First sight of this operator at this site — exactly when
+            # the generic kernel would first record the apply.
+            recorder.record_apply(label, lam, _EMPTY)
+            entry = lam_plans.get(lam.label)
+            if entry is None:
+                entry = (FConfig(lam.body, _EMPTY),
+                         tuple([(param, _EMPTY)
+                                for param in lam.params]))
+                lam_plans[lam.label] = entry
+            return entry
+        return entry_for
+
+    def _bind_app(self, plan):
+        _tag, label, fn_spec, arg_specs, read_addrs = plan
+        basic = self._basic
+        entries: dict = {}
+        # Bits intern in evaluation order (fn first) so they appear
+        # exactly when the generic kernel's first step would intern
+        # them.
+        fn_addr, fn_exp = fn_spec
+        fn_bit = None if fn_exp is None else self._const_bit(fn_exp)
+        arg_plans = self._bind_atoms(arg_specs)
+        entry_for = self._entry_maker(label, len(arg_plans))
+        recorded: list = []
+
+        if self.table.interned:
+            # Interned masks are ints: iterate set bits directly with
+            # an int-keyed entry memo — no decode generator, and the
+            # operator *objects* are only touched on a bit's first
+            # sight (bit order is interning order, which matches the
+            # generic kernel's decode order by construction).
+            values = self.table._values
+
+            def step(config, store, reads, recorder):
+                if not recorded:
+                    recorded.append(True)
+                    reads.update(read_addrs)
+                get_mask = store.get_mask
+                operators = get_mask(fn_addr) if fn_addr is not None \
+                    else fn_bit
+                if operators & basic:
+                    recorder.unknown_operator.add(label)
+                arg_masks = [get_mask(addr) if addr is not None else bit
+                             for addr, bit in arg_plans]
+                succs = []
+                entry_of = entries.get
+                mask = operators
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    entry = entry_of(low, _MISSING)
+                    if entry is _MISSING:
+                        entry = entry_for(
+                            values[low.bit_length() - 1], recorder)
+                        entries[low] = entry
+                    if entry is None:
+                        continue
+                    succ, param_addrs = entry
+                    succs.append(
+                        (succ, list(zip(param_addrs, arg_masks))))
+                return succs
+            return step
+
+        decode_iter = self.table.decode_iter
+
+        def step(config, store, reads, recorder):
+            if not recorded:
+                recorded.append(True)
+                reads.update(read_addrs)
+            get_mask = store.get_mask
+            operators = get_mask(fn_addr) if fn_addr is not None \
+                else fn_bit
+            if operators & basic:
+                recorder.unknown_operator.add(label)
+            arg_masks = [get_mask(addr) if addr is not None else bit
+                         for addr, bit in arg_plans]
+            succs = []
+            entry_of = entries.get
+            for operator in decode_iter(operators):
+                key = id(operator)
+                entry = entry_of(key, _MISSING)
+                if entry is _MISSING:
+                    entry = entry_for(operator, recorder)
+                    entries[key] = entry
+                if entry is None:
+                    continue
+                succ, param_addrs = entry
+                succs.append(
+                    (succ, list(zip(param_addrs, arg_masks))))
+            return succs
+        return step
+
+    def _bind_if(self, plan):
+        _tag, (test_addr, test_exp), then_succ, else_succ = plan
+        test_bit = None if test_exp is None else self._const_bit(test_exp)
+        any_truthy = self.table.any_truthy
+        any_falsy = self.table.any_falsy
+        recorded: list = []
+
+        def step(config, store, reads, recorder):
+            if test_addr is not None:
+                if not recorded:
+                    recorded.append(True)
+                    reads.add(test_addr)
+                test = store.get_mask(test_addr)
+            else:
+                test = test_bit
+            succs = []
+            if any_truthy(test):
+                succs.append(then_succ)
+            if any_falsy(test):
+                succs.append(else_succ)
+            return succs
+        return step
+
+    def _bind_fix(self, plan):
+        _tag, binding_specs, succ = plan
+        bit_for = self.table.bit_for
+        joins = tuple([(addr, bit_for(FClo(lam, _EMPTY)))
+                       for addr, lam in binding_specs])
+        result = [(succ, joins)]
+        return lambda config, store, reads, recorder: result
+
+    def _bind_halt(self, plan):
+        _tag, (arg_addr, arg_exp) = plan
+        arg_bit = None if arg_exp is None else self._const_bit(arg_exp)
+        decode = self.table.decode
+        recorded: list = []
+
+        def step(config, store, reads, recorder):
+            if arg_addr is not None:
+                if not recorded:
+                    recorded.append(True)
+                    reads.add(arg_addr)
+                mask = store.get_mask(arg_addr)
+            else:
+                mask = arg_bit
+            recorder.halt_values |= decode(mask)
+            return []
+        return step
+
+    def _bind_prim(self, plan):
+        (_tag, label, kind, arg_specs, arg_read_addrs, car_addr,
+         cdr_addr, self_succ, cont_spec) = plan
+        basic = self._basic
+        table = self.table
+        decode_iter = table.decode_iter
+        arg_plans = self._bind_atoms(arg_specs)
+        entry_for = self._entry_maker(label, 1)
+        # The continuation bit and the pair bit intern lazily, past
+        # the empty-argument bail-out: the generic kernel only reaches
+        # them on a step where every argument already flows.
+        cont_addr, cont_exp = cont_spec
+        cont_cell: list = []
+        pair_cell: list = []
+        entries: dict = {}
+        args_recorded: list = []
+        cont_recorded: list = []
+
+        def step(config, store, reads, recorder):
+            if not args_recorded:
+                args_recorded.append(True)
+                reads.update(arg_read_addrs)
+            get_mask = store.get_mask
+            arg_masks = [get_mask(addr) if addr is not None else bit
+                         for addr, bit in arg_plans]
+            if kind == "error":
+                return []
+            for mask in arg_masks:
+                if not mask:
+                    return []
+            extra_joins = ()
+            if kind == "basic":
+                result = basic
+            elif kind == "cons":
+                extra_joins = ((car_addr, arg_masks[0]),
+                               (cdr_addr, arg_masks[1]))
+                if not pair_cell:
+                    pair_cell.append(
+                        table.bit_for(APair(car_addr, cdr_addr)))
+                result = pair_cell[0]
+            else:  # car / cdr — the one dynamic read set: pair-field
+                # addresses appear as values flow, so they are re-read
+                # (and re-recorded) on every visit.
+                gathered = table.empty
+                want_car = kind == "car"
+                for value in decode_iter(arg_masks[0]):
+                    if type(value) is APair:
+                        addr = value.car if want_car else value.cdr
+                        reads.add(addr)
+                        gathered |= get_mask(addr)
+                    elif value is BASIC:
+                        gathered |= basic
+                if not gathered:
+                    return []
+                result = gathered
+            if cont_addr is not None:
+                # Recorded on the first *non-bailing* visit — the
+                # generic kernel never reads the continuation on a
+                # step that bailed on an unreachable argument.
+                if not cont_recorded:
+                    cont_recorded.append(True)
+                    reads.add(cont_addr)
+                conts = get_mask(cont_addr)
+            else:
+                if not cont_cell:
+                    cont_cell.append(self._const_bit(cont_exp))
+                conts = cont_cell[0]
+            succs = []
+            entry_of = entries.get
+            for operator in decode_iter(conts):
+                key = id(operator)
+                entry = entry_of(key, _MISSING)
+                if entry is _MISSING:
+                    entry = entry_for(operator, recorder)
+                    if entry is not None:
+                        # Continuations are unary: pre-project the one
+                        # parameter address out of the shared plan.
+                        entry = (entry[0], entry[1][0])
+                    entries[key] = entry
+                if entry is None:
+                    continue
+                succ, param_addr = entry
+                succs.append(
+                    (succ, ((param_addr, result),) + extra_joins))
+            if not succs and extra_joins:
+                # Keep the pair fields even with no continuation yet.
+                succs.append((self_succ, extra_joins))
+            return succs
+        return step
+
+
+class _CompiledEnvKernel(_CompiledKernel):
+    """Shared helpers for the depth-sensitive compiled kernels, where
+    atoms still take the configuration (the environment varies)."""
+
+    def boot(self, store):
+        config = super().boot(store)
+        self._compilers = {
+            AppCall: self._compile_app,
+            IfCall: self._compile_if,
+            PrimCall: self._compile_prim,
+            FixCall: self._compile_fix,
+            HaltCall: self._compile_halt,
+        }
+        return config
+
+    def _compile(self, call):
+        compiler = self._compilers.get(type(call))
+        if compiler is None:
+            raise TypeError(f"cannot step call {call!r}")
+        return compiler(call)
+
+    def _atom(self, exp):
+        raise NotImplementedError
+
+    def _compile_halt(self, call: HaltCall):
+        arg_ev = self._atom(call.arg)
+        decode = self.table.decode
+
+        def step(config, store, reads, recorder):
+            recorder.halt_values |= decode(arg_ev(config, store, reads))
+            return []
+        return step
+
+
+class CompiledFlatKernel(_CompiledEnvKernel):
+    """Flat environments at depth ≥ 1: monomorphic dispatch with the
+    allocator and the §5.2 free-variable copy loop inlined."""
+
+    specialization = "flat"
+
+    def _atom(self, exp):
+        """``ev(config, store, reads) -> mask`` with the reference
+        name / closure constructor pre-bound."""
+        if type(exp) is Ref:
+            name = exp.name
+
+            def ev(config, store, reads, _name=name):
+                addr = (_name, config.env)
+                reads.add(addr)
+                return store.get_mask(addr)
+            return ev
+        if type(exp) is Lam:
+            close_bit = self.rep.close_bit
+
+            def ev(config, store, reads, _exp=exp):
+                return close_bit(config, _exp)
+            return ev
+        bit = self._lit_bit(exp)
+        return lambda config, store, reads, _bit=bit: _bit
+
+    def _enter_info(self, operator, nargs):
+        """Per-operator apply plan: ``(lam, params, free-vars)`` or
+        ``None``.  The *same* free-vars frozenset object the generic
+        rep iterates — iteration order is part of the trajectory."""
+        if type(operator) is not FClo:
+            return None
+        lam = operator.lam
+        if len(lam.params) != nargs:
+            return None
+        return (lam, lam.params, free_vars_of_lam(lam))
+
+    def _compile_app(self, call: AppCall):
+        label = call.label
+        fn_ev = self._atom(call.fn)
+        arg_evs = tuple(self._atom(arg) for arg in call.args)
+        nargs = len(arg_evs)
+        basic = self._basic
+        decode_iter = self.table.decode_iter
+        alloc = self.rep.alloc
+        infos: dict = {}
+
+        def step(config, store, reads, recorder):
+            operators = fn_ev(config, store, reads)
+            if operators & basic:
+                recorder.unknown_operator.add(label)
+            arg_masks = [ev(config, store, reads) for ev in arg_evs]
+            env = config.env
+            succs = []
+            info_of = infos.get
+            for operator in decode_iter(operators):
+                key = id(operator)
+                info = info_of(key, _MISSING)
+                if info is _MISSING:
+                    info = self._enter_info(operator, nargs)
+                    infos[key] = info
+                if info is None:
+                    continue
+                lam, params, free = info
+                new_env = alloc(label, env, lam, operator.env)
+                joins = [((param, new_env), mask)
+                         for param, mask in zip(params, arg_masks)]
+                if new_env != operator.env:
+                    operator_env = operator.env
+                    for name in free:
+                        source = (name, operator_env)
+                        reads.add(source)
+                        copied = store.get_mask(source)
+                        if copied:
+                            joins.append(((name, new_env), copied))
+                recorder.record_apply(label, lam, new_env)
+                succs.append((FConfig(lam.body, new_env), joins))
+            return succs
+        return step
+
+    def _compile_if(self, call: IfCall):
+        test_ev = self._atom(call.test)
+        then_call, else_call = call.then, call.orelse
+        any_truthy = self.table.any_truthy
+        any_falsy = self.table.any_falsy
+
+        def step(config, store, reads, recorder):
+            test = test_ev(config, store, reads)
+            env = config.env
+            succs = []
+            if any_truthy(test):
+                succs.append((FConfig(then_call, env), ()))
+            if any_falsy(test):
+                succs.append((FConfig(else_call, env), ()))
+            return succs
+        return step
+
+    def _compile_fix(self, call: FixCall):
+        bindings = call.bindings
+        body = call.body
+        bit_for = self.table.bit_for
+        memo: dict = {}
+
+        def step(config, store, reads, recorder):
+            env = config.env
+            result = memo.get(env)
+            if result is None:
+                joins = tuple(
+                    ((name, env), bit_for(FClo(lam, env)))
+                    for name, lam in bindings)
+                result = [(FConfig(body, env), joins)]
+                memo[env] = result
+            return result
+        return step
+
+    def _compile_prim(self, call: PrimCall):
+        label = call.label
+        prim = lookup_primitive(call.op)
+        kind = prim.kind
+        arg_evs = tuple(self._atom(arg) for arg in call.args)
+        basic = self._basic
+        table = self.table
+        decode_iter = table.decode_iter
+        bit_for = table.bit_for
+        alloc = self.rep.alloc
+        car_name = f"car@{label}"
+        cdr_name = f"cdr@{label}"
+        cont_cell: list = []
+        pair_memo: dict = {}
+        infos: dict = {}
+
+        def entry_for(operator):
+            if type(operator) is not FClo:
+                return None
+            lam = operator.lam
+            if len(lam.params) != 1:
+                return None
+            return (lam, lam.params[0], free_vars_of_lam(lam))
+
+        def step(config, store, reads, recorder):
+            arg_masks = [ev(config, store, reads) for ev in arg_evs]
+            if kind == "error":
+                return []
+            for mask in arg_masks:
+                if not mask:
+                    return []
+            ctx = config.env
+            extra_joins = ()
+            if kind == "basic":
+                result = basic
+            elif kind == "cons":
+                pair = pair_memo.get(ctx)
+                if pair is None:
+                    car_addr = (car_name, ctx)
+                    cdr_addr = (cdr_name, ctx)
+                    pair = (car_addr, cdr_addr,
+                            bit_for(APair(car_addr, cdr_addr)))
+                    pair_memo[ctx] = pair
+                car_addr, cdr_addr, result = pair
+                extra_joins = ((car_addr, arg_masks[0]),
+                               (cdr_addr, arg_masks[1]))
+            else:  # car / cdr
+                gathered = table.empty
+                want_car = kind == "car"
+                for value in decode_iter(arg_masks[0]):
+                    if type(value) is APair:
+                        addr = value.car if want_car else value.cdr
+                        reads.add(addr)
+                        gathered |= store.get_mask(addr)
+                    elif value is BASIC:
+                        gathered |= basic
+                if not gathered:
+                    return []
+                result = gathered
+            if not cont_cell:
+                cont_cell.append(self._atom(call.cont))
+            conts = cont_cell[0](config, store, reads)
+            succs = []
+            env = config.env
+            info_of = infos.get
+            for operator in decode_iter(conts):
+                key = id(operator)
+                info = info_of(key, _MISSING)
+                if info is _MISSING:
+                    info = entry_for(operator)
+                    infos[key] = info
+                if info is None:
+                    continue
+                lam, param, free = info
+                new_env = alloc(label, env, lam, operator.env)
+                joins = [((param, new_env), result)]
+                if new_env != operator.env:
+                    operator_env = operator.env
+                    for name in free:
+                        source = (name, operator_env)
+                        reads.add(source)
+                        copied = store.get_mask(source)
+                        if copied:
+                            joins.append(((name, new_env), copied))
+                recorder.record_apply(label, lam, new_env)
+                succs.append((FConfig(lam.body, new_env),
+                              tuple(joins) + extra_joins))
+            if not succs and extra_joins:
+                succs.append((FConfig(call, env), extra_joins))
+            return succs
+        return step
+
+
+class CompiledSharedKernel(_CompiledEnvKernel):
+    """Shared environments (k-CFA): pre-bound tick and address
+    constructors, the §3.4 apply rule inlined against the rep's
+    extend memo."""
+
+    specialization = "shared"
+
+    def _atom(self, exp):
+        if type(exp) is Ref:
+            name = exp.name
+
+            def ev(config, store, reads, _name=name):
+                addr = (_name, config.benv[_name])
+                reads.add(addr)
+                return store.get_mask(addr)
+            return ev
+        if type(exp) is Lam:
+            close_bit = self.rep.close_bit
+
+            def ev(config, store, reads, _exp=exp):
+                return close_bit(config, _exp)
+            return ev
+        bit = self._lit_bit(exp)
+        return lambda config, store, reads, _bit=bit: _bit
+
+    def _compile_app(self, call: AppCall):
+        label = call.label
+        fn_ev = self._atom(call.fn)
+        arg_evs = tuple(self._atom(arg) for arg in call.args)
+        nargs = len(arg_evs)
+        basic = self._basic
+        decode_iter = self.table.decode_iter
+        tick = self.rep.tick
+        extend_memo = self.rep._extend_memo
+        arity: dict = {}
+
+        def step(config, store, reads, recorder):
+            operators = fn_ev(config, store, reads)
+            if operators & basic:
+                recorder.unknown_operator.add(label)
+            arg_masks = [ev(config, store, reads) for ev in arg_evs]
+            ctx = tick(label, config.time)
+            succs = []
+            lam_of = arity.get
+            for operator in decode_iter(operators):
+                key = id(operator)
+                lam = lam_of(key, _MISSING)
+                if lam is _MISSING:
+                    lam = operator.lam \
+                        if type(operator) is KClo \
+                        and len(operator.lam.params) == nargs else None
+                    arity[key] = lam
+                if lam is None:
+                    continue
+                key = (operator.benv, lam.label, ctx)
+                body_benv = extend_memo.get(key)
+                if body_benv is None:
+                    body_benv = operator.benv.extend(lam.params, ctx)
+                    extend_memo[key] = body_benv
+                joins = tuple(((param, ctx), mask)
+                              for param, mask in zip(lam.params,
+                                                     arg_masks))
+                recorder.record_apply(label, lam, body_benv)
+                succs.append((KConfig(lam.body, body_benv, ctx),
+                              joins))
+            return succs
+        return step
+
+    def _compile_if(self, call: IfCall):
+        test_ev = self._atom(call.test)
+        then_call, else_call = call.then, call.orelse
+        any_truthy = self.table.any_truthy
+        any_falsy = self.table.any_falsy
+
+        def step(config, store, reads, recorder):
+            test = test_ev(config, store, reads)
+            succs = []
+            if any_truthy(test):
+                succs.append(
+                    (KConfig(then_call, config.benv, config.time), ()))
+            if any_falsy(test):
+                succs.append(
+                    (KConfig(else_call, config.benv, config.time), ()))
+            return succs
+        return step
+
+    def _compile_fix(self, call: FixCall):
+        rep_fix = self.rep.fix
+
+        def step(config, store, reads, recorder, _call=call):
+            return [rep_fix(config, _call)]
+        return step
+
+    def _compile_prim(self, call: PrimCall):
+        label = call.label
+        prim = lookup_primitive(call.op)
+        kind = prim.kind
+        arg_evs = tuple(self._atom(arg) for arg in call.args)
+        basic = self._basic
+        table = self.table
+        decode_iter = table.decode_iter
+        bit_for = table.bit_for
+        tick = self.rep.tick
+        extend_memo = self.rep._extend_memo
+        car_name = f"car@{label}"
+        cdr_name = f"cdr@{label}"
+        cont_cell: list = []
+        pair_memo: dict = {}
+        arity: dict = {}
+
+        def step(config, store, reads, recorder):
+            arg_masks = [ev(config, store, reads) for ev in arg_evs]
+            if kind == "error":
+                return []
+            for mask in arg_masks:
+                if not mask:
+                    return []
+            ctx = tick(label, config.time)
+            extra_joins = ()
+            if kind == "basic":
+                result = basic
+            elif kind == "cons":
+                pair = pair_memo.get(ctx)
+                if pair is None:
+                    car_addr = (car_name, ctx)
+                    cdr_addr = (cdr_name, ctx)
+                    pair = (car_addr, cdr_addr,
+                            bit_for(APair(car_addr, cdr_addr)))
+                    pair_memo[ctx] = pair
+                car_addr, cdr_addr, result = pair
+                extra_joins = ((car_addr, arg_masks[0]),
+                               (cdr_addr, arg_masks[1]))
+            else:  # car / cdr
+                gathered = table.empty
+                want_car = kind == "car"
+                for value in decode_iter(arg_masks[0]):
+                    if type(value) is APair:
+                        addr = value.car if want_car else value.cdr
+                        reads.add(addr)
+                        gathered |= store.get_mask(addr)
+                    elif value is BASIC:
+                        gathered |= basic
+                if not gathered:
+                    return []
+                result = gathered
+            if not cont_cell:
+                cont_cell.append(self._atom(call.cont))
+            conts = cont_cell[0](config, store, reads)
+            succs = []
+            lam_of = arity.get
+            for operator in decode_iter(conts):
+                key = id(operator)
+                lam = lam_of(key, _MISSING)
+                if lam is _MISSING:
+                    lam = operator.lam \
+                        if type(operator) is KClo \
+                        and len(operator.lam.params) == 1 else None
+                    arity[key] = lam
+                if lam is None:
+                    continue
+                key = (operator.benv, lam.label, ctx)
+                body_benv = extend_memo.get(key)
+                if body_benv is None:
+                    body_benv = operator.benv.extend(lam.params, ctx)
+                    extend_memo[key] = body_benv
+                recorder.record_apply(label, lam, body_benv)
+                succs.append(
+                    (KConfig(lam.body, body_benv, ctx),
+                     (((lam.params[0], ctx), result),) + extra_joins))
+            if not succs and extra_joins:
+                succs.append(
+                    (KConfig(call, config.benv, config.time),
+                     extra_joins))
+            return succs
+        return step
+
+
+class ZeroFJFlatMachine:
+    """The flat FJ machine under a receiver-insensitive context-free
+    policy, with per-statement compiled steps and all times folded to
+    ``()`` — the OO mirror of :class:`ZeroFlatKernel`.
+
+    Constructed via :func:`specialize_machine`; delegates everything
+    structural (entry seeding, class table, constructor wiring) to
+    the generic machine it replaces and only overrides the step loop.
+    """
+
+    specialization = "zero-fj-flat"
+
+    def __init__(self, program, policy):
+        from repro.fj.poly import FJFlatMachine
+        self.program = program
+        self.policy = policy
+        self._generic = FJFlatMachine(program, policy)
+
+    def boot(self, store):
+        config = self._generic.boot(store)
+        self.table = self._generic.table
+        self._compiled: dict[int, object] = {}
+        return config
+
+    def step(self, config, store, reads, recorder):
+        stmt = config.stmt
+        fn = self._compiled.get(stmt.label)
+        if fn is None:
+            fn = self._compile(stmt)
+            self._compiled[stmt.label] = fn
+        return fn(config, store, reads, recorder)
+
+    # -- compilation ---------------------------------------------------
+
+    def _compile(self, stmt):
+        from repro.fj.syntax import (
+            Cast, FieldAccess, Invoke, New, Return, VarExp,
+        )
+        if isinstance(stmt, Return):
+            return self._compile_return(stmt)
+        exp = stmt.exp
+        if isinstance(exp, (VarExp, Cast)):
+            return self._compile_move(stmt, exp.target
+                                      if isinstance(exp, Cast)
+                                      else exp.name)
+        if isinstance(exp, FieldAccess):
+            return self._compile_field_access(stmt, exp)
+        if isinstance(exp, Invoke):
+            return self._compile_invoke(stmt, exp)
+        if isinstance(exp, New):
+            return self._compile_new(stmt, exp)
+        raise TypeError(f"cannot step statement {stmt!r}")
+
+    def _succ_memo(self, following):
+        """``kont_ptr -> PConfig(following, (), kont_ptr, ())``, one
+        constructed configuration per continuation pointer."""
+        from repro.fj.poly import PConfig
+        memo: dict = {}
+
+        def succ_for(kont_ptr):
+            succ = memo.get(kont_ptr)
+            if succ is None:
+                succ = PConfig(following, _EMPTY, kont_ptr, _EMPTY)
+                memo[kont_ptr] = succ
+            return succ
+        return succ_for
+
+    def _compile_move(self, stmt, source_name):
+        source = (source_name, _EMPTY)
+        target = (stmt.var, _EMPTY)
+        following = self.program.succ(stmt.label)
+        if following is None:
+            def dead(config, store, reads, recorder):
+                reads.add(source)
+                store.get_mask(source)
+                return []
+            return dead
+        succ_for = self._succ_memo(following)
+
+        def step(config, store, reads, recorder):
+            reads.add(source)
+            values = store.get_mask(source)
+            joins = [(target, values)] if values else []
+            return [(succ_for(config.kont_ptr), joins)]
+        return step
+
+    def _compile_field_access(self, stmt, exp):
+        from repro.fj.poly import PObj
+        source = (exp.target, _EMPTY)
+        target = (stmt.var, _EMPTY)
+        fieldname = exp.fieldname
+        all_fields = self.program.all_fields
+        field_key = self._generic._field_key
+        decode_iter = self.table.decode_iter
+        following = self.program.succ(stmt.label)
+        addr_memo: dict = {}
+
+        def addr_for(value):
+            addr = addr_memo.get(value, _MISSING)
+            if addr is _MISSING:
+                addr = (field_key(fieldname), value.time) \
+                    if isinstance(value, PObj) \
+                    and fieldname in all_fields(value.classname) \
+                    else None
+                addr_memo[value] = addr
+            return addr
+
+        if following is None:
+            def dead(config, store, reads, recorder):
+                reads.add(source)
+                for value in decode_iter(store.get_mask(source)):
+                    addr = addr_for(value)
+                    if addr is not None:
+                        reads.add(addr)
+                        store.get_mask(addr)
+                return []
+            return dead
+        succ_for = self._succ_memo(following)
+
+        def step(config, store, reads, recorder):
+            reads.add(source)
+            joins = []
+            for value in decode_iter(store.get_mask(source)):
+                addr = addr_for(value)
+                if addr is None:
+                    continue
+                reads.add(addr)
+                field_values = store.get_mask(addr)
+                if field_values:
+                    joins.append((target, field_values))
+            return [(succ_for(config.kont_ptr), joins)]
+        return step
+
+    def _compile_return(self, stmt):
+        from repro.fj.kcfa import HALT_PTR
+        from repro.fj.poly import PConfig, PKont
+        source = (stmt.var, _EMPTY)
+        decode = self.table.decode
+        decode_iter = self.table.decode_iter
+        kont_memo: dict = {}
+
+        def kont_entry(kont):
+            entry = kont_memo.get(kont, _MISSING)
+            if entry is _MISSING:
+                entry = None
+                if isinstance(kont, PKont):
+                    entry = ((kont.var, kont.caller_entry),
+                             PConfig(kont.stmt, kont.caller_entry,
+                                     kont.kont_ptr, _EMPTY))
+                kont_memo[kont] = entry
+            return entry
+
+        def step(config, store, reads, recorder):
+            reads.add(source)
+            values = store.get_mask(source)
+            kont_ptr = config.kont_ptr
+            if kont_ptr is HALT_PTR:
+                recorder.halt_values |= decode(values)
+                return []
+            reads.add(kont_ptr)
+            succs = []
+            for kont in decode_iter(store.get_mask(kont_ptr)):
+                entry = kont_entry(kont)
+                if entry is None:
+                    continue
+                target, succ = entry
+                joins = [(target, values)] if values else []
+                succs.append((succ, joins))
+            return succs
+        return step
+
+    def _compile_invoke(self, stmt, exp):
+        from repro.fj.poly import PConfig, PKont, PObj
+        label = stmt.label
+        var = stmt.var
+        receiver_addr = (exp.target, _EMPTY)
+        arg_addrs = tuple((arg, _EMPTY) for arg in exp.args)
+        nargs = len(arg_addrs)
+        method_name = exp.method
+        lookup_method = self.program.lookup_method
+        decode_iter = self.table.decode_iter
+        bit_for = self.table.bit_for
+        following = self.program.succ(stmt.label)
+        dispatch_memo: dict = {}   # receiver value -> method | None
+        plan_memo: dict = {}       # qualified name -> entry plan
+        kont_bits: dict = {}       # kont_ptr -> interned PKont bit
+        recorded: set = set()
+
+        def method_for(value):
+            method = dispatch_memo.get(value, _MISSING)
+            if method is _MISSING:
+                method = None
+                if isinstance(value, PObj):
+                    found = lookup_method(value.classname, method_name)
+                    if found is not None \
+                            and len(found.params) == nargs:
+                        method = found
+                dispatch_memo[value] = method
+            return method
+
+        def plan_for(qualified_name, method):
+            plan = plan_memo.get(qualified_name)
+            if plan is None:
+                kont_addr = (qualified_name, _EMPTY)
+                plan = (kont_addr,
+                        tuple((name, _EMPTY)
+                              for name in method.param_names()),
+                        PConfig(method.body[0], _EMPTY, kont_addr,
+                                _EMPTY))
+                plan_memo[qualified_name] = plan
+            return plan
+
+        def step(config, store, reads, recorder):
+            reads.add(receiver_addr)
+            receivers = store.get_mask(receiver_addr)
+            if following is None:
+                return []
+            arg_masks = []
+            for addr in arg_addrs:
+                reads.add(addr)
+                arg_masks.append(store.get_mask(addr))
+            methods = {}
+            for value in decode_iter(receivers):
+                method = method_for(value)
+                if method is not None:
+                    methods[method.qualified_name] = method
+            kont_ptr = config.kont_ptr
+            succs = []
+            for qualified_name, method in sorted(methods.items()):
+                kont_bit = kont_bits.get(kont_ptr)
+                if kont_bit is None:
+                    kont_bit = bit_for(PKont(var, following, _EMPTY,
+                                             _EMPTY, kont_ptr))
+                    kont_bits[kont_ptr] = kont_bit
+                kont_addr, param_addrs, succ = plan_for(
+                    qualified_name, method)
+                joins = [(kont_addr, kont_bit)]
+                if receivers:
+                    joins.append((("this", _EMPTY), receivers))
+                if qualified_name not in recorded:
+                    recorded.add(qualified_name)
+                    recorder.invoke_targets.setdefault(
+                        label, set()).add(qualified_name)
+                    recorder.method_contexts.setdefault(
+                        qualified_name, set()).add(_EMPTY)
+                for addr, values in zip(param_addrs, arg_masks):
+                    if values:
+                        joins.append((addr, values))
+                succs.append((succ, joins))
+            return succs
+        return step
+
+    def _compile_new(self, stmt, exp):
+        from repro.fj.poly import PObj
+        arg_addrs = tuple((arg, _EMPTY) for arg in exp.args)
+        field_key = self._generic._field_key
+        wiring = tuple(
+            ((field_key(fieldname), _EMPTY), param_index)
+            for fieldname, param_index
+            in self.program.ctor_wiring[exp.classname])
+        obj = PObj(exp.classname, stmt.label, _EMPTY)
+        obj_cell: list = []
+        bit_for = self.table.bit_for
+        target = (stmt.var, _EMPTY)
+        following = self.program.succ(stmt.label)
+        succ_for = self._succ_memo(following) \
+            if following is not None else None
+
+        def step(config, store, reads, recorder):
+            arg_masks = []
+            for addr in arg_addrs:
+                reads.add(addr)
+                arg_masks.append(store.get_mask(addr))
+            joins = []
+            for field_addr, param_index in wiring:
+                if arg_masks[param_index]:
+                    joins.append((field_addr, arg_masks[param_index]))
+            recorder.objects.add(obj)
+            if not obj_cell:
+                obj_cell.append(bit_for(obj))
+            joins.append((target, obj_cell[0]))
+            if succ_for is None:
+                return []
+            return [(succ_for(config.kont_ptr), joins)]
+        return step

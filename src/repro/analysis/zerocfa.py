@@ -21,8 +21,15 @@ from repro.util.budget import Budget
 
 def analyze_zerocfa(program: Program,
                     budget: Budget | None = None,
-                    plain: bool = False) -> AnalysisResult:
-    """Run 0CFA (m-CFA with m = 0) to fixpoint."""
+                    plain: bool = False,
+                    specialized: bool = True) -> AnalysisResult:
+    """Run 0CFA (m-CFA with m = 0) to fixpoint.
+
+    With ``specialized`` (the default) the context-free allocator
+    selects the fully folded step loop
+    (:class:`~repro.analysis.specialize.ZeroFlatKernel`): no context
+    tuples, no free-variable copy reads, addresses pre-resolved.
+    """
     result = analyze_flat(program, mcfa_allocator(0), "0CFA", 0, budget,
-                          plain=plain)
+                          plain=plain, specialized=specialized)
     return result

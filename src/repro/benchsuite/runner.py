@@ -74,6 +74,26 @@ def worst_case_depth(name: str) -> int:
     return int(name[len(WORST_PREFIX):])
 
 
+#: FJ dispatch-chain ladder names: ``fjchain<depth>`` (e.g.
+#: fjchain200) generate the scalable OO workload of
+#: :func:`repro.generators.fj_chain.fj_chain_source`.
+FJ_CHAIN_PREFIX = "fjchain"
+
+
+def is_fj_chain_name(name: str) -> bool:
+    digits = name[len(FJ_CHAIN_PREFIX):]
+    return name.startswith(FJ_CHAIN_PREFIX) and digits.isdigit() \
+        and int(digits) >= 1
+
+
+def fj_chain_depth(name: str) -> int:
+    return int(name[len(FJ_CHAIN_PREFIX):])
+
+
+#: Engine-path modes of the bench ``--specialize`` axis.
+SPECIALIZE_MODES = ("on", "off")
+
+
 @dataclass(frozen=True, slots=True)
 class BenchTask:
     """One cell of the benchmark matrix.
@@ -83,7 +103,11 @@ class BenchTask:
     (``pairs``, ``dispatch``, ...); ``copies`` scales Scheme suite
     programs via :func:`repro.benchsuite.scaling.scaled_source` and is
     ignored for generated and FJ programs.  ``values`` selects the
-    value-domain representation (see :data:`VALUE_MODES`).
+    value-domain representation (see :data:`VALUE_MODES`);
+    ``specialize`` the engine path (``on`` runs the per-policy
+    specialized step loop, ``off`` the generic one — byte-identical
+    results, so rows differ only in timing); ``obj_depth`` the hybrid
+    ladder's receiver-chain depth (fj-hybrid only).
     """
 
     program: str
@@ -92,13 +116,23 @@ class BenchTask:
     copies: int = 1
     timeout: float = 30.0
     values: str = "interned"
+    specialize: str = "on"
+    obj_depth: int | None = None
+    #: Run the analysis this many times and report the fastest
+    #: ``elapsed`` (min-of-N, the standard noise filter for committed
+    #: numbers).  The result columns are identical across repeats —
+    #: only the timing of the best run is kept.
+    repeat: int = 1
 
     @property
     def task_id(self) -> str:
         scale = f"x{self.copies}" if self.copies > 1 else ""
+        obj = f",obj={self.obj_depth}" if self.obj_depth is not None \
+            else ""
         mode = f"[{self.values}]" if self.values != "interned" else ""
+        path = "[generic]" if self.specialize == "off" else ""
         return (f"{self.program}{scale}:{self.analysis}"
-                f"({self.parameter}){mode}")
+                f"({self.parameter}{obj}){mode}{path}")
 
 
 def task_source(task: BenchTask) -> str:
@@ -111,16 +145,39 @@ def task_source(task: BenchTask) -> str:
     from repro.benchsuite.programs import BY_NAME
     from repro.benchsuite.scaling import scaled_source
     from repro.fj.examples import ALL_EXAMPLES
+    from repro.generators.fj_chain import fj_chain_source
     from repro.generators.worstcase import worst_case_source
 
     if is_worst_case_name(task.program):
         return worst_case_source(worst_case_depth(task.program))
+    if is_fj_chain_name(task.program):
+        return fj_chain_source(fj_chain_depth(task.program))
     if task.program in BY_NAME:
         bench = BY_NAME[task.program]
         if task.copies > 1:
             return scaled_source(bench, task.copies)
         return bench.source
     return ALL_EXAMPLES[task.program]
+
+
+def _best_of(task: BenchTask, budget: Budget, run_once) -> dict:
+    """Run a cell ``task.repeat`` times; keep the summary of the
+    fastest run (its ``elapsed`` is the reported timing).
+
+    The budget clock is restarted per run: ``task.timeout`` bounds
+    each *analysis*, not the whole repeat loop — otherwise a cell
+    near ``timeout / repeat`` would spuriously report ``timeout`` on
+    a later repetition of a run that individually fits.
+    """
+    best = None
+    for _ in range(max(1, task.repeat)):
+        budget.start()
+        result = run_once()
+        if best is None or result.elapsed < best.elapsed:
+            best = result
+    summary = best.summary()
+    summary["engine_path"] = getattr(best, "engine_path", "generic")
+    return summary
 
 
 def _run_scheme_task(task: BenchTask, budget: Budget) -> dict:
@@ -134,20 +191,28 @@ def _run_scheme_task(task: BenchTask, budget: Budget) -> dict:
         program = scaled_program(task.program, task.copies)
     else:
         program = BY_NAME[task.program].compile()
-    result = run_scheme_analysis(program, task.analysis,
-                                 task.parameter, budget,
-                                 plain=task.values == "plain")
-    return result.summary()
+    return _best_of(task, budget, lambda: run_scheme_analysis(
+        program, task.analysis, task.parameter, budget,
+        plain=task.values == "plain",
+        specialize=task.specialize != "off",
+        obj_depth=task.obj_depth))
 
 
 def _run_fj_task(task: BenchTask, budget: Budget) -> dict:
     from repro.fj import parse_fj
     from repro.fj.examples import ALL_EXAMPLES
+    from repro.generators.fj_chain import fj_chain_source
 
-    program = parse_fj(ALL_EXAMPLES[task.program])
-    result = run_fj_analysis(program, task.analysis, task.parameter,
-                             budget, plain=task.values == "plain")
-    return result.summary()
+    if is_fj_chain_name(task.program):
+        program = parse_fj(fj_chain_source(
+            fj_chain_depth(task.program)))
+    else:
+        program = parse_fj(ALL_EXAMPLES[task.program])
+    return _best_of(task, budget, lambda: run_fj_analysis(
+        program, task.analysis, task.parameter, budget,
+        plain=task.values == "plain",
+        specialize=task.specialize != "off",
+        obj_depth=task.obj_depth))
 
 
 def run_task(task: BenchTask) -> dict:
@@ -166,8 +231,12 @@ def run_task(task: BenchTask) -> dict:
         "copies": task.copies,
         "timeout": task.timeout,
         "values": task.values,
+        "specialize": task.specialize,
+        "repeat": task.repeat,
         "pid": os.getpid(),
     }
+    if task.obj_depth is not None:
+        row["obj_depth"] = task.obj_depth
     budget = Budget(max_seconds=task.timeout)
     started = time.perf_counter()
     try:
@@ -195,14 +264,21 @@ def run_task(task: BenchTask) -> dict:
 def build_matrix(programs: Iterable[str], analyses: Iterable[str],
                  contexts: Iterable[int], copies: int = 1,
                  timeout: float = 30.0,
-                 values: Iterable[str] = ("interned",)
-                 ) -> list[BenchTask]:
-    """Expand program × analysis × context × value-mode into tasks.
+                 values: Iterable[str] = ("interned",),
+                 specialize: Iterable[str] = ("on",),
+                 obj_depths: Iterable[int] | None = None,
+                 repeat: int = 1) -> list[BenchTask]:
+    """Expand program × analysis × context × value-mode (× engine
+    path × obj-depth) into tasks.
 
     Scheme analyses pair with Scheme programs (suite names or
     ``worst<depth>`` ladder terms) and FJ analyses with FJ programs;
     mismatched combinations are skipped rather than rejected, so one
-    flag set can drive a heterogeneous matrix.
+    flag set can drive a heterogeneous matrix.  The ``obj_depths``
+    axis is different: it only exists on the hybrid ladder, so
+    passing it alongside any analysis without the axis is a
+    :class:`~repro.errors.UsageError` (a silently skipped sweep would
+    report an empty or misleading ladder).
     """
     from repro.benchsuite.programs import BY_NAME
     from repro.fj.examples import ALL_EXAMPLES
@@ -215,6 +291,9 @@ def build_matrix(programs: Iterable[str], analyses: Iterable[str],
     programs = list(dict.fromkeys(programs))
     analyses = list(dict.fromkeys(analyses))
     value_modes = list(dict.fromkeys(values))
+    engine_paths = list(dict.fromkeys(specialize))
+    depth_axis = None if obj_depths is None \
+        else sorted(set(obj_depths))
     # Consult the registry live (not the import-time tuples) so an
     # analysis registered at runtime is benchable immediately.
     table = registry()
@@ -229,11 +308,28 @@ def build_matrix(programs: Iterable[str], analyses: Iterable[str],
         raise UsageError(
             f"unknown value modes {unknown_modes!r}; choose from "
             f"{', '.join(VALUE_MODES)}")
+    unknown_paths = [mode for mode in engine_paths
+                     if mode not in SPECIALIZE_MODES]
+    if unknown_paths:
+        raise UsageError(
+            f"unknown specialize modes {unknown_paths!r}; choose "
+            f"from {', '.join(SPECIALIZE_MODES)}")
+    if depth_axis is not None:
+        no_axis = [name for name in analyses
+                   if not table.get(name).takes_obj_depth]
+        if no_axis:
+            capable = [spec.name for spec in table.specs()
+                       if spec.takes_obj_depth]
+            raise UsageError(
+                f"--obj-depth applies only to "
+                f"{', '.join(capable) or 'no registered analysis'}; "
+                f"{', '.join(repr(name) for name in no_axis)} "
+                f"has no obj-depth axis")
     tasks = []
     for program in programs:
         if program in BY_NAME or is_worst_case_name(program):
             language = "scheme"
-        elif program in ALL_EXAMPLES:
+        elif program in ALL_EXAMPLES or is_fj_chain_name(program):
             language = "fj"
         else:
             raise UsageError(f"unknown benchmark program {program!r}")
@@ -244,12 +340,19 @@ def build_matrix(programs: Iterable[str], analyses: Iterable[str],
                 # 0CFA has no context knob; emit it once.
                 if analysis == "zero" and parameter != min(contexts):
                     continue
-                for mode in value_modes:
-                    tasks.append(BenchTask(
-                        program=program, analysis=analysis,
-                        parameter=parameter,
-                        copies=copies if program in BY_NAME else 1,
-                        timeout=timeout, values=mode))
+                for obj_depth in (depth_axis if depth_axis is not None
+                                  else (None,)):
+                    for mode in value_modes:
+                        for path in engine_paths:
+                            tasks.append(BenchTask(
+                                program=program, analysis=analysis,
+                                parameter=parameter,
+                                copies=copies if program in BY_NAME
+                                else 1,
+                                timeout=timeout, values=mode,
+                                specialize=path,
+                                obj_depth=obj_depth,
+                                repeat=repeat))
     return tasks
 
 
@@ -318,7 +421,10 @@ def _task_cache_key(task: BenchTask) -> str:
     from repro.cache import cache_key
     return cache_key(task_source(task), task.analysis, task.parameter,
                      {"bench": True, "copies": task.copies,
-                      "values": task.values})
+                      "values": task.values,
+                      "specialize": task.specialize,
+                      "obj_depth": task.obj_depth,
+                      "repeat": task.repeat})
 
 
 def run_batch(tasks: list[BenchTask], jobs: int | None = None,

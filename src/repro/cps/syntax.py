@@ -73,12 +73,22 @@ class Lit:
 
 @dataclass(frozen=True, eq=False, slots=True)
 class Lam:
-    """``(λ (v1 ... vn) call)^label`` — identity-hashed."""
+    """``(λ (v1 ... vn) call)^label`` — identity equality.
+
+    Hashes by label: labels are validated unique across every call
+    and lambda of a program, and a deterministic hash keeps set
+    iteration orders (hence engine trajectories and ``steps`` counts)
+    reproducible across processes — an identity hash would vary with
+    heap layout.
+    """
 
     kind: LamKind
     params: tuple[str, ...]
     body: Call
     label: Label
+
+    def __hash__(self) -> int:
+        return self.label
 
     def __str__(self) -> str:
         head = "λ" if self.kind is LamKind.USER else "κ"
@@ -101,6 +111,9 @@ class AppCall:
     args: tuple[CExp, ...]
     label: Label
 
+    def __hash__(self) -> int:
+        return self.label
+
     def __str__(self) -> str:
         parts = " ".join(str(e) for e in (self.fn, *self.args))
         return f"({parts})"
@@ -119,6 +132,9 @@ class IfCall:
     orelse: Call
     label: Label
 
+    def __hash__(self) -> int:
+        return self.label
+
     def __str__(self) -> str:
         return f"(%if {self.test} {self.then} {self.orelse})"
 
@@ -131,6 +147,9 @@ class PrimCall:
     args: tuple[CExp, ...]
     cont: CExp
     label: Label
+
+    def __hash__(self) -> int:
+        return self.label
 
     def __str__(self) -> str:
         parts = " ".join(str(e) for e in (*self.args, self.cont))
@@ -145,6 +164,9 @@ class FixCall:
     body: Call
     label: Label
 
+    def __hash__(self) -> int:
+        return self.label
+
     def __str__(self) -> str:
         bound = " ".join(f"({name} {lam})" for name, lam in self.bindings)
         return f"(%fix ({bound}) {self.body})"
@@ -156,6 +178,9 @@ class HaltCall:
 
     arg: CExp
     label: Label
+
+    def __hash__(self) -> int:
+        return self.label
 
     def __str__(self) -> str:
         return f"(%halt {self.arg})"

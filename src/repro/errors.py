@@ -13,11 +13,17 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class UsageError(ReproError):
+class UsageError(ReproError, ValueError):
     """Raised for bad user-supplied options (unknown analysis names,
-    invalid context depths).  The CLI prints these as a one-line
-    message and exits with status 2, argparse-style, instead of a
-    traceback."""
+    invalid context depths, negative policy parameters).  The CLI
+    prints these as a one-line message and exits with status 2,
+    argparse-style, instead of a traceback.
+
+    Also a :class:`ValueError`: every policy-parameter validation in
+    the analyzers (negative k/m/n/obj_depth, unknown tick policies)
+    raises this class, and historical callers caught ``ValueError``
+    for those — the dual inheritance keeps them working while the CLI
+    gets its one-line exit-2 contract."""
 
 
 class SchemeSyntaxError(ReproError):

@@ -30,33 +30,44 @@ from repro.analysis.policies import FJHybrid
 from repro.fj.class_table import FJProgram
 from repro.fj.kcfa import FJResult
 from repro.fj.poly import FJFlatMachine, run_flat_policy
+from repro.errors import UsageError
 from repro.util.budget import Budget
 
 
 def analyze_fj_hybrid(program: FJProgram, n: int = 1,
                       obj_depth: int = 1,
                       budget: Budget | None = None,
-                      plain: bool = False) -> FJResult:
+                      plain: bool = False,
+                      specialized: bool = True) -> FJResult:
     """Run the hybrid ladder: *obj_depth* receiver-chain elements
-    concatenated with the last *n* call sites per context window."""
+    concatenated with the last *n* call sites per context window.
+
+    Parameter validation raises
+    :class:`~repro.errors.UsageError` so the CLI (``analyze``,
+    ``bench --obj-depth``) reports a one-line message and exits 2
+    instead of leaking a traceback.
+    """
     if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
-    if not 0 <= obj_depth:
-        raise ValueError(
-            f"obj_depth must be non-negative, got {obj_depth}")
+        raise UsageError(f"n must be non-negative, got {n}")
+    if isinstance(obj_depth, bool) or not isinstance(obj_depth, int) \
+            or obj_depth < 0:
+        raise UsageError(
+            f"obj_depth must be a non-negative integer, got "
+            f"{obj_depth!r}")
     return run_flat_policy(
         FJFlatMachine(program, FJHybrid(call_depth=n,
                                         obj_depth=obj_depth)),
-        "FJ-hybrid", n, budget, plain)
+        "FJ-hybrid", n, budget, plain, specialized)
 
 
 def analyze_fj_obj(program: FJProgram, n: int = 1,
                    budget: Budget | None = None,
-                   plain: bool = False) -> FJResult:
+                   plain: bool = False,
+                   specialized: bool = True) -> FJResult:
     """Run pure object sensitivity (obj^n): the context window is the
     receiver's allocation chain alone."""
     if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
+        raise UsageError(f"n must be non-negative, got {n}")
     return run_flat_policy(
         FJFlatMachine(program, FJHybrid(call_depth=0, obj_depth=n)),
-        "FJ-obj", n, budget, plain)
+        "FJ-obj", n, budget, plain, specialized)

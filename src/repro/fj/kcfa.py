@@ -31,6 +31,7 @@ from repro.fj.syntax import (
     Assign, Cast, FieldAccess, Invoke, Method, New, Return, Stmt,
     VarExp,
 )
+from repro.errors import UsageError
 from repro.util.budget import Budget
 
 AbsTime = tuple[int, ...]
@@ -117,14 +118,33 @@ class _HaltPtr:
 HALT_PTR = _HaltPtr()
 
 
-@dataclass(frozen=True, slots=True)
 class FJConfig:
-    """A store-less abstract state: ``(stmt, β̂, p̂κ, t̂)``."""
+    """A store-less abstract state: ``(stmt, β̂, p̂κ, t̂)`` (hash cached
+    at construction; the engine hashes configurations constantly)."""
 
-    stmt: Stmt
-    benv: FJBEnv
-    kont_ptr: object
-    time: AbsTime
+    __slots__ = ("stmt", "benv", "kont_ptr", "time", "_hash")
+
+    def __init__(self, stmt: Stmt, benv: FJBEnv, kont_ptr,
+                 time: AbsTime):
+        self.stmt = stmt
+        self.benv = benv
+        self.kont_ptr = kont_ptr
+        self.time = time
+        self._hash = hash((stmt, benv, kont_ptr, time))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return self is other or (
+            type(other) is FJConfig and self.stmt == other.stmt
+            and self.benv == other.benv
+            and self.kont_ptr == other.kont_ptr
+            and self.time == other.time)
+
+    def __repr__(self) -> str:
+        return (f"FJConfig(stmt={self.stmt!r}, benv={self.benv!r}, "
+                f"kont_ptr={self.kont_ptr!r}, time={self.time!r})")
 
 
 @dataclass
@@ -143,6 +163,9 @@ class FJResult:
     halt_values: frozenset
     steps: int
     elapsed: float = 0.0
+    #: Which step loop ran — ``generic`` or ``specialized:<name>``
+    #: (provenance only; never part of :meth:`summary`).
+    engine_path: str = "generic"
 
     # -- queries ---------------------------------------------------------
 
@@ -226,9 +249,9 @@ class FJKCFAMachine:
                  tick_policy: str = "invocation"):
         from repro.analysis.policies import FJCallSite
         if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
+            raise UsageError(f"k must be non-negative, got {k}")
         if tick_policy not in TICK_POLICIES:
-            raise ValueError(f"unknown tick_policy {tick_policy!r}")
+            raise UsageError(f"unknown tick_policy {tick_policy!r}")
         self.program = program
         self.k = k
         self.tick_policy = tick_policy

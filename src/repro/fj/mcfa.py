@@ -27,14 +27,16 @@ from repro.analysis.policies import FJStack
 from repro.fj.class_table import FJProgram
 from repro.fj.kcfa import FJResult
 from repro.fj.poly import FJFlatMachine, run_flat_policy
+from repro.errors import UsageError
 from repro.util.budget import Budget
 
 
 def analyze_fj_mcfa(program: FJProgram, m: int = 1,
                     budget: Budget | None = None,
-                    plain: bool = False) -> FJResult:
+                    plain: bool = False,
+                    specialized: bool = True) -> FJResult:
     """Run FJ m-CFA (stack-frame contexts, field copying) to fixpoint."""
     if m < 0:
-        raise ValueError(f"m must be non-negative, got {m}")
+        raise UsageError(f"m must be non-negative, got {m}")
     return run_flat_policy(FJFlatMachine(program, FJStack(m)),
-                           "FJ-m-CFA", m, budget, plain)
+                           "FJ-m-CFA", m, budget, plain, specialized)

@@ -42,7 +42,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.domains import AbsStore
-from repro.analysis.engine import EngineOptions, run_single_store
+from repro.analysis.engine import EngineOptions, machine_path, \
+    run_single_store, specialize
 from repro.analysis.policies import FJCallSite, FJContextPolicy
 from repro.fj.class_table import FJProgram
 from repro.fj.concrete import TICK_POLICIES
@@ -53,6 +54,7 @@ from repro.fj.syntax import (
     Assign, Cast, FieldAccess, Invoke, Method, New, Return, Stmt,
     VarExp,
 )
+from repro.errors import UsageError
 from repro.util.budget import Budget
 
 AbsTime = tuple
@@ -82,14 +84,36 @@ class PKont:
     kont_ptr: object
 
 
-@dataclass(frozen=True, slots=True)
 class PConfig:
-    """``(stmt, t̂_entry, p̂κ, t̂_now)`` — β̂ collapsed to its time."""
+    """``(stmt, t̂_entry, p̂κ, t̂_now)`` — β̂ collapsed to its time.
 
-    stmt: Stmt
-    entry: AbsTime
-    kont_ptr: object
-    time: AbsTime
+    Hash cached at construction; the engine hashes configurations on
+    every worklist and dependency operation.
+    """
+
+    __slots__ = ("stmt", "entry", "kont_ptr", "time", "_hash")
+
+    def __init__(self, stmt: Stmt, entry: AbsTime, kont_ptr,
+                 time: AbsTime):
+        self.stmt = stmt
+        self.entry = entry
+        self.kont_ptr = kont_ptr
+        self.time = time
+        self._hash = hash((stmt, entry, kont_ptr, time))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return self is other or (
+            type(other) is PConfig and self.stmt == other.stmt
+            and self.entry == other.entry
+            and self.kont_ptr == other.kont_ptr
+            and self.time == other.time)
+
+    def __repr__(self) -> str:
+        return (f"PConfig(stmt={self.stmt!r}, entry={self.entry!r}, "
+                f"kont_ptr={self.kont_ptr!r}, time={self.time!r})")
 
 
 class FJFlatMachine:
@@ -356,9 +380,9 @@ class FJPolyMachine(FJFlatMachine):
     def __init__(self, program: FJProgram, k: int,
                  tick_policy: str = "invocation"):
         if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
+            raise UsageError(f"k must be non-negative, got {k}")
         if tick_policy not in TICK_POLICIES:
-            raise ValueError(f"unknown tick_policy {tick_policy!r}")
+            raise UsageError(f"unknown tick_policy {tick_policy!r}")
         super().__init__(program, FJCallSite(k, tick_policy))
         self.k = k
         self.tick_policy = tick_policy
@@ -366,23 +390,34 @@ class FJPolyMachine(FJFlatMachine):
 
 def run_flat_policy(machine: FJFlatMachine, display: str,
                     parameter: int, budget: Budget | None = None,
-                    plain: bool = False) -> FJResult:
+                    plain: bool = False,
+                    specialized: bool = True) -> FJResult:
     """Drive one flat FJ machine to fixpoint and package the result —
     the single run harness behind every flat-machine analysis
-    (``fj-poly``, ``fj-mcfa``, ``fj-hybrid``, ``fj-obj``)."""
+    (``fj-poly``, ``fj-mcfa``, ``fj-hybrid``, ``fj-obj``).
+
+    ``specialized`` routes the machine through the specialization
+    stage first: receiver-insensitive context-free policies get the
+    per-statement compiled step loop, everything else runs generic.
+    """
     from repro.analysis.interning import PlainTable
+    machine = specialize(machine, specialized)
     run = run_single_store(
         machine, _FJRecorder(),
         EngineOptions(budget=budget,
                       table_factory=PlainTable if plain else None))
-    return fj_result_from_run(run, machine.program, display,
-                              parameter, machine.policy.display)
+    result = fj_result_from_run(run, machine.program, display,
+                                parameter, machine.policy.display)
+    result.engine_path = machine_path(machine)
+    return result
 
 
 def analyze_fj_poly(program: FJProgram, k: int = 1,
                     tick_policy: str = "invocation",
                     budget: Budget | None = None,
-                    plain: bool = False) -> FJResult:
+                    plain: bool = False,
+                    specialized: bool = True) -> FJResult:
     """Run the collapsed polynomial OO k-CFA."""
     return run_flat_policy(FJPolyMachine(program, k, tick_policy),
-                           "FJ-poly-k-CFA", k, budget, plain)
+                           "FJ-poly-k-CFA", k, budget, plain,
+                           specialized)

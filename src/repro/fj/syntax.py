@@ -100,6 +100,11 @@ class Assign:
     exp: Exp
     label: Label
 
+    # Label-hashed (labels are unique per program) so engine set
+    # iteration orders are reproducible across processes.
+    def __hash__(self) -> int:
+        return self.label
+
     def __str__(self) -> str:
         return f"{self.var} = {self.exp};"
 
@@ -110,6 +115,11 @@ class Return:
 
     var: str
     label: Label
+
+    # Label-hashed (labels are unique per program) so engine set
+    # iteration orders are reproducible across processes.
+    def __hash__(self) -> int:
+        return self.label
 
     def __str__(self) -> str:
         return f"return {self.var};"

@@ -131,6 +131,34 @@ def fj_report(result: FJResult) -> str:
     return "\n".join(lines)
 
 
+def analyses_report(rows: list, language: str | None,
+                    total_registered: int, source: str) -> str:
+    """Render registry listing rows (:func:`repro.analysis.registry.
+    registry_listing`) as the ``analyses`` table.
+
+    Shared by ``python -m repro analyses`` (rows from the local
+    registry) and ``python -m repro submit --list-analyses`` (rows
+    served by a remote server's ``analyses`` op) so the two can never
+    drift; *source* names where the rows came from.
+    """
+    from repro.metrics.timing import format_table
+    headers = ["name", "display", "lang", "env-rep", "engine",
+               "context policy", "complexity"]
+    table_rows = [[row["name"], row["display"], row["language"],
+                   row["env_rep"], row["engine"], row["context"],
+                   row["complexity"]]
+                  for row in rows]
+    lines = [format_table(headers, table_rows)]
+    if language is None:
+        lines.append(f"{len(rows)} analyses registered "
+                     f"(source: {source})")
+    else:
+        lines.append(f"{len(rows)} {language} analyses "
+                     f"(of {total_registered} registered; "
+                     f"source: {source})")
+    return "\n".join(lines)
+
+
 def bench_report_table(report) -> str:
     """Render a :class:`~repro.benchsuite.runner.BenchReport`.
 

@@ -98,6 +98,14 @@ class ServiceClient:
         """The server's counters (one ``stats`` snapshot dict)."""
         return self._roundtrip({"op": "stats"}, "stats")["stats"]
 
+    def analyses(self, language: str | None = None) -> list[dict]:
+        """The server's registered analyses (one registry row per
+        dict, as served by the ``analyses`` op)."""
+        message: dict = {"op": "analyses"}
+        if language is not None:
+            message["language"] = language
+        return self._roundtrip(message, "analyses")["analyses"]
+
     def shutdown(self) -> dict:
         """Ask the server to stop; returns its ``bye`` event."""
         return self._roundtrip({"op": "shutdown"}, "bye")
@@ -107,6 +115,7 @@ class ServiceClient:
                context: int = 1, simplify: bool = False,
                report: str = "all", values: str = "interned",
                timeout: float | None = None,
+               specialize: bool = True,
                on_event=None) -> dict:
         """Submit one job and block until its terminal event.
 
@@ -120,6 +129,11 @@ class ServiceClient:
                    "analysis": analysis, "context": context,
                    "simplify": simplify, "report": report,
                    "values": values}
+        if not specialize:
+            # Only sent when non-default: older servers reject unknown
+            # submit fields strictly, so the default-True case must
+            # stay wire-compatible with them.
+            message["specialize"] = False
         if source is not None:
             message["source"] = source
         if path is not None:

@@ -28,10 +28,11 @@ Cache-key audit
 :func:`job_cache_key` must cover **every result-affecting option** of
 a job: the exact source text, the analysis name, the context depth,
 ``simplify`` (changes the analyzed term), ``report`` (changes the
-rendered text) and ``values`` (the plain/interned domain produces
-byte-identical reports *today*, but that equivalence is a theorem
-about the current code, not the key scheme's business — flipping the
-domain must never return a stale entry).  The wall-clock ``timeout``
+rendered text) and ``values`` and ``specialize`` (each of the plain/interned domains
+and the specialized/generic step loops produces byte-identical
+reports *today*, but those equivalences are theorems about the
+current code, not the key scheme's business — flipping either must
+never return a stale entry).  The wall-clock ``timeout``
 is deliberately excluded: a completed result does not depend on how
 long it was allowed to take, and timed-out runs are never cached.
 The cache schema version rides inside
@@ -71,18 +72,24 @@ REPORT_CHOICES = ("flow", "inlining", "envs", "all")
 
 def run_scheme_analysis(program, analysis: str, parameter: int,
                         budget: Budget | None = None,
-                        plain: bool = False):
+                        plain: bool = False,
+                        specialize: bool | None = None,
+                        obj_depth: int | None = None):
     """Dispatch one Scheme analysis via the registry."""
     return run_analysis(analysis, program, parameter, budget,
-                        plain=plain, language="scheme")
+                        plain=plain, language="scheme",
+                        specialize=specialize, obj_depth=obj_depth)
 
 
 def run_fj_analysis(program, analysis: str, parameter: int,
                     budget: Budget | None = None,
-                    plain: bool = False):
+                    plain: bool = False,
+                    specialize: bool | None = None,
+                    obj_depth: int | None = None):
     """Dispatch one Featherweight Java analysis via the registry."""
     return run_analysis(analysis, program, parameter, budget,
-                        plain=plain, language="fj")
+                        plain=plain, language="fj",
+                        specialize=specialize, obj_depth=obj_depth)
 
 
 def validate_job_options(analysis: str, context: int,
@@ -137,6 +144,10 @@ class JobSpec:
     report: str = "all"
     values: str = "interned"
     timeout: float | None = None
+    #: Route the run through the per-policy specialization stage
+    #: (byte-identical results either way; False is the
+    #: ``--no-specialize`` escape hatch).
+    specialize: bool = True
 
     def validate(self) -> "JobSpec":
         """Raise :class:`~repro.errors.ReproError` on a bad field.
@@ -151,6 +162,10 @@ class JobSpec:
                              "text")
         validate_job_options(self.analysis, self.context,
                              self.simplify, self.report, self.values)
+        if not isinstance(self.specialize, bool):
+            raise UsageError(
+                f"specialize must be a boolean, got "
+                f"{self.specialize!r}")
         if self.timeout is not None:
             if isinstance(self.timeout, bool) \
                     or not isinstance(self.timeout, (int, float)) \
@@ -169,7 +184,8 @@ def job_cache_key(spec: JobSpec) -> str:
                      {"command": "analyze",
                       "simplify": spec.simplify,
                       "report": spec.report,
-                      "values": spec.values})
+                      "values": spec.values,
+                      "specialize": spec.specialize})
 
 
 def cache_payload(row: dict) -> dict:
@@ -244,12 +260,14 @@ def run_job(spec: JobSpec) -> dict:
         if language == "fj":
             result = run_fj_analysis(
                 program, spec.analysis, spec.context, budget,
-                plain=spec.values == "plain")
+                plain=spec.values == "plain",
+                specialize=spec.specialize)
             row["stdout"] = render_fj_reports(program, result)
         else:
             result = run_scheme_analysis(
                 program, spec.analysis, spec.context, budget,
-                plain=spec.values == "plain")
+                plain=spec.values == "plain",
+                specialize=spec.specialize)
             row["stdout"] = render_reports(program, result,
                                            spec.report)
         row["summary"] = result.summary()

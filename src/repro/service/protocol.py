@@ -13,6 +13,12 @@ directions.  Requests carry an ``op``:
 ``stats``
     ``{"op": "stats"}`` — one ``stats`` event with the scheduler's
     counters (see :meth:`AnalysisServer.stats_snapshot`).
+``analyses``
+    ``{"op": "analyses", "language": "fj"}`` (``language`` optional) —
+    one ``analyses`` event listing every registered analysis straight
+    from the server's :mod:`~repro.analysis.registry`, so remote
+    clients can discover policies without a local checkout
+    (``python -m repro submit --list-analyses``).
 ``ping`` / ``shutdown``
     Liveness probe / graceful stop.
 
@@ -47,14 +53,17 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: Operations a request may carry.
-OPS = ("submit", "stats", "ping", "shutdown")
+OPS = ("submit", "stats", "analyses", "ping", "shutdown")
 
 #: Every field a ``submit`` request may carry; unknown fields are
 #: rejected so a typo ("contxt") fails loudly instead of silently
 #: analyzing under defaults.
 SUBMIT_FIELDS = frozenset(
     ("op", "id", "source", "path", "analysis", "context", "simplify",
-     "report", "values", "timeout"))
+     "report", "values", "timeout", "specialize"))
+
+#: Fields of an ``analyses`` request (same strictness as submit).
+ANALYSES_FIELDS = frozenset(("op", "id", "language"))
 
 
 class ProtocolError(ReproError):
@@ -152,6 +161,10 @@ def submit_spec(message: dict) -> JobSpec:
     if not isinstance(simplify, bool):
         raise ProtocolError(
             f"simplify must be a JSON boolean, got {simplify!r}")
+    specialize = message.get("specialize", True)
+    if not isinstance(specialize, bool):
+        raise ProtocolError(
+            f"specialize must be a JSON boolean, got {specialize!r}")
     spec = JobSpec(
         source=source,
         analysis=message.get("analysis", "mcfa"),
@@ -159,10 +172,28 @@ def submit_spec(message: dict) -> JobSpec:
         simplify=simplify,
         report=message.get("report", "all"),
         values=message.get("values", "interned"),
-        timeout=message.get("timeout"))
+        timeout=message.get("timeout"),
+        specialize=specialize)
     try:
         return spec.validate()
     except ProtocolError:
         raise
     except ReproError as error:
         raise ProtocolError(str(error)) from None
+
+
+def analyses_request_language(message: dict) -> str | None:
+    """Validate an ``analyses`` request; returns its language filter
+    (``None`` means every registered analysis)."""
+    unknown = sorted(set(message) - ANALYSES_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown analyses field(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(ANALYSES_FIELDS))}")
+    language = message.get("language")
+    if language is None:
+        return None
+    if language not in ("scheme", "fj"):
+        raise ProtocolError(
+            f"language must be 'scheme' or 'fj', got {language!r}")
+    return language

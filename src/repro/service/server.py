@@ -55,8 +55,8 @@ from repro.service.jobs import (
     JobSpec, cache_payload, job_cache_key, run_job,
 )
 from repro.service.protocol import (
-    PROTOCOL_VERSION, ProtocolError, decode_message, encode_message,
-    read_frame, submit_spec,
+    PROTOCOL_VERSION, ProtocolError, analyses_request_language,
+    decode_message, encode_message, read_frame, submit_spec,
 )
 
 
@@ -78,13 +78,19 @@ class AnalysisServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  socket_path: str | None = None,
                  workers: int | None = None, cache=None,
-                 default_timeout: float | None = 60.0):
+                 default_timeout: float | None = 60.0,
+                 specialize: bool = True):
         self.host = host
         self.port = port
         self.socket_path = socket_path
         self.workers = max(1, workers or os.cpu_count() or 1)
         self.cache = cache
         self.default_timeout = default_timeout
+        #: Server-wide specialization override: with ``serve
+        #: --no-specialize`` every job runs the generic step loop,
+        #: whatever the request says (results are byte-identical, so
+        #: this is an operational escape hatch, not a semantic knob).
+        self.specialize = specialize
         self._lock = threading.Lock()
         self._inflight = InflightTable()
         self._jobs = {"submitted": 0, "executed": 0, "completed": 0,
@@ -254,6 +260,15 @@ class AnalysisServer:
             send({"event": "pong", "protocol": PROTOCOL_VERSION})
         elif op == "stats":
             send({"event": "stats", "stats": self.stats_snapshot()})
+        elif op == "analyses":
+            from repro.analysis.registry import registry_listing
+            language = analyses_request_language(message)
+            rows = registry_listing(language)
+            event = {"event": "analyses", "count": len(rows),
+                     "analyses": rows}
+            if "id" in message:
+                event["job"] = str(message["id"])
+            send(event)
         elif op == "shutdown":
             send({"event": "bye"})
             threading.Thread(target=self.stop, daemon=True).start()
@@ -277,6 +292,8 @@ class AnalysisServer:
             return
         if spec.timeout is None and self.default_timeout is not None:
             spec = replace(spec, timeout=self.default_timeout)
+        if not self.specialize and spec.specialize:
+            spec = replace(spec, specialize=False)
         key = job_cache_key(spec)
         self._count("submitted")
         send({"event": "queued", "job": job_id, "key": key})

@@ -146,8 +146,13 @@ class DependencyWorklist(Generic[T, A]):
 
     def record_reads(self, item: T, addresses: Iterable[A]) -> None:
         """Remember that *item* read each address in *addresses*."""
+        readers = self._readers
         for addr in addresses:
-            self._readers.setdefault(addr, set()).add(item)
+            existing = readers.get(addr)
+            if existing is None:
+                readers[addr] = {item}
+            else:
+                existing.add(item)
 
     def readers_of(self, address: A) -> frozenset[T]:
         """The configurations known to have read *address*."""
@@ -162,11 +167,21 @@ class DependencyWorklist(Generic[T, A]):
         number of configurations newly re-enqueued.
         """
         requeued = 0
+        readers_of = self._readers.get
+        delta = self._delta
+        pending = self._pending
+        queue = self._queue
         for addr in addresses:
-            for reader in self._readers.get(addr, ()):
-                if self._enqueue(reader):
+            for reader in readers_of(addr, ()):
+                if reader not in pending:
+                    pending.add(reader)
+                    queue.append(reader)
                     requeued += 1
-                self._delta.setdefault(reader, set()).add(addr)
+                existing = delta.get(reader)
+                if existing is None:
+                    delta[reader] = {addr}
+                else:
+                    existing.add(addr)
         self.requeue_count += requeued
         return requeued
 

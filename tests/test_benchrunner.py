@@ -46,6 +46,45 @@ class TestMatrix:
         names = default_programs()
         assert "eta" in names and "pairs" in names
 
+    def test_specialize_axis_doubles_the_matrix(self):
+        tasks = build_matrix(["eta"], ["zero"], [0],
+                             specialize=["on", "off"])
+        assert [task.specialize for task in tasks] == ["on", "off"]
+        # Distinct task ids so a one-report before/after matrix keeps
+        # deterministic row order.
+        assert [task.task_id for task in tasks] == \
+            ["eta:zero(0)", "eta:zero(0)[generic]"]
+
+    def test_unknown_specialize_mode_rejected(self):
+        with pytest.raises(ReproError, match="specialize"):
+            build_matrix(["eta"], ["zero"], [0],
+                         specialize=["sometimes"])
+
+    def test_obj_depth_axis_expands_the_hybrid_ladder(self):
+        tasks = build_matrix(["pairs"], ["fj-hybrid"], [1],
+                             obj_depths=[0, 2, 1])
+        assert [task.obj_depth for task in tasks] == [0, 1, 2]
+        assert tasks[0].task_id == "pairs:fj-hybrid(1,obj=0)"
+
+    def test_obj_depth_rejected_for_non_hybrid_analyses(self):
+        with pytest.raises(ReproError, match="obj-depth"):
+            build_matrix(["pairs"], ["fj-hybrid", "fj-poly"], [1],
+                         obj_depths=[1])
+
+    def test_fj_chain_ladder_is_an_fj_program(self):
+        tasks = build_matrix(["fjchain5"], ["fj-poly", "zero"], [0])
+        assert [task.analysis for task in tasks] == ["fj-poly"]
+
+    def test_fj_chain_task_runs(self):
+        row = run_task(BenchTask("fjchain5", "fj-poly", 0))
+        assert row["status"] == "ok"
+        assert row["engine_path"] == "specialized:zero-fj-flat"
+
+    def test_repeat_keeps_one_row(self):
+        row = run_task(BenchTask("eta", "zero", 0, repeat=3))
+        assert row["status"] == "ok"
+        assert row["repeat"] == 3
+
 
 class TestRunTask:
     def test_ok_row_carries_summary(self):
@@ -69,6 +108,34 @@ class TestRunTask:
         row = run_task(BenchTask("eta", "kcfa", -1))
         assert row["status"] == "error"
         assert "k must be non-negative" in row["error"]
+
+    def test_rows_record_which_engine_path_ran(self):
+        specialized = run_task(BenchTask("eta", "zero", 0))
+        generic = run_task(BenchTask("eta", "zero", 0,
+                                     specialize="off"))
+        assert specialized["engine_path"] == "specialized:zero-flat"
+        assert specialized["specialize"] == "on"
+        assert generic["engine_path"] == "generic"
+        assert generic["specialize"] == "off"
+        # Byte-identity across paths: every result column agrees —
+        # only timing, pid and the path labels may differ.
+        volatile = ("pid", "wall_seconds", "elapsed", "specialize",
+                    "engine_path", "task")
+        strip = lambda row: {key: value for key, value in row.items()
+                             if key not in volatile}
+        assert strip(specialized) == strip(generic)
+
+    def test_opted_out_spec_reports_generic_even_when_asked(self):
+        row = run_task(BenchTask("eta", "kcfa-naive", 1))
+        assert row["status"] == "ok"
+        assert row["engine_path"] == "generic"
+
+    def test_obj_depth_row_runs_and_is_tagged(self):
+        row = run_task(BenchTask("pairs", "fj-hybrid", 1,
+                                 obj_depth=2))
+        assert row["status"] == "ok"
+        assert row["obj_depth"] == 2
+        assert row["task"] == "pairs:fj-hybrid(1,obj=2)"
 
 
 class TestRunBatch:

@@ -141,7 +141,8 @@ class TestJobKeyAudit:
                                   ("context", 2),
                                   ("simplify", True),
                                   ("report", "flow"),
-                                  ("values", "plain")]:
+                                  ("values", "plain"),
+                                  ("specialize", False)]:
             changed = replace(base, **{field_name: other})
             assert job_cache_key(changed) != job_cache_key(base), \
                 f"{field_name} is not part of the cache key"
@@ -167,7 +168,8 @@ class TestJobKeyAudit:
         assert job_cache_key(spec) == cache_key(
             "(f 1)", "kcfa", 1,
             {"command": "analyze", "simplify": False,
-             "report": "all", "values": "interned"})
+             "report": "all", "values": "interned",
+             "specialize": True})
 
 
 class TestValuesDomainRegression:

@@ -152,7 +152,79 @@ class TestBench:
         assert "non-negative" in _error_line(capsys)
 
 
+class TestObjDepth:
+    def test_obj_depth_on_non_hybrid_exits_2(self, capsys):
+        # --obj-depth only exists on the hybrid ladder; anywhere else
+        # it must be a one-line usage error, not a traceback or a
+        # silently ignored axis.
+        code = main(["bench", "--programs", "eta", "--analyses",
+                     "zero", "--obj-depth", "1,2", "--output", "-"])
+        assert code == 2
+        line = _error_line(capsys)
+        assert "--obj-depth" in line
+        assert "fj-hybrid" in line  # names the analyses that have it
+
+    def test_negative_obj_depth_exits_2(self, capsys):
+        code = main(["bench", "--programs", "pairs", "--analyses",
+                     "fj-hybrid", "--obj-depth", "-1",
+                     "--output", "-"])
+        assert code == 2
+        assert "non-negative" in _error_line(capsys)
+
+    def test_malformed_obj_depth_exits_2(self, capsys):
+        code = main(["bench", "--programs", "pairs", "--analyses",
+                     "fj-hybrid", "--obj-depth", "1,x",
+                     "--output", "-"])
+        assert code == 2
+        assert "--obj-depth" in _error_line(capsys)
+
+    def test_negative_obj_depth_is_a_usage_error_in_the_library(self):
+        # The hybrid analyzer itself routes parameter validation
+        # through UsageError (historically a bare ValueError that
+        # escaped the CLI as a traceback).
+        from repro.fj import parse_fj
+        from repro.fj.examples import ALL_EXAMPLES
+        from repro.fj.hybrid import analyze_fj_hybrid
+        program = parse_fj(ALL_EXAMPLES["pairs"])
+        with pytest.raises(UsageError, match="non-negative"):
+            analyze_fj_hybrid(program, 1, obj_depth=-1)
+        with pytest.raises(UsageError, match="non-negative"):
+            analyze_fj_hybrid(program, -1)
+
+
+class TestSpecializeFlags:
+    def test_conflicting_specialize_flags_exit_2(self, capsys):
+        code = main(["bench", "--programs", "eta", "--analyses",
+                     "zero", "--specialize", "on,off",
+                     "--no-specialize", "--output", "-"])
+        assert code == 2
+        assert "--no-specialize" in _error_line(capsys)
+
+    def test_explicit_on_with_no_specialize_exits_2(self, capsys):
+        # An explicit `--specialize on` must not be silently ignored
+        # in favor of --no-specialize; any pairing of the two flags
+        # is rejected.
+        code = main(["bench", "--programs", "eta", "--analyses",
+                     "zero", "--specialize", "on",
+                     "--no-specialize", "--output", "-"])
+        assert code == 2
+        assert "--no-specialize" in _error_line(capsys)
+
+    def test_unknown_specialize_mode_exits_2(self, capsys):
+        code = main(["bench", "--programs", "eta", "--analyses",
+                     "zero", "--specialize", "sometimes",
+                     "--output", "-"])
+        assert code == 2
+        assert "specialize" in _error_line(capsys)
+
+
 class TestHierarchy:
     def test_usage_error_is_a_repro_error(self):
         # Service clients catching ReproError keep working.
         assert issubclass(UsageError, ReproError)
+
+    def test_usage_error_is_a_value_error(self):
+        # Policy-parameter validation (negative k/m/n/obj_depth) used
+        # to raise bare ValueError; callers that caught that keep
+        # working through the dual inheritance.
+        assert issubclass(UsageError, ValueError)

@@ -283,6 +283,86 @@ class TestServerProtocolEdges:
             client.ping()
 
 
+class TestAnalysesOp:
+    """The ROADMAP's service-side registry introspection: remote
+    clients discover policies over the wire, from the same registry
+    every other front end dispatches off."""
+
+    def test_analyses_op_serves_the_registry(self, raw_server):
+        from repro.analysis.registry import registry_listing
+        (event,) = _raw_roundtrip(
+            raw_server, encode_message({"op": "analyses"}))
+        assert event["event"] == "analyses"
+        assert event["analyses"] == registry_listing()
+        assert event["count"] == len(registry_listing())
+
+    def test_language_filter(self, raw_server):
+        from repro.analysis.registry import registry_listing
+        (event,) = _raw_roundtrip(
+            raw_server,
+            encode_message({"op": "analyses", "language": "fj"}))
+        assert event["analyses"] == registry_listing("fj")
+        assert all(row["language"] == "fj"
+                   for row in event["analyses"])
+
+    def test_bad_language_is_an_error_event(self, raw_server):
+        (event,) = _raw_roundtrip(
+            raw_server,
+            encode_message({"op": "analyses", "language": "cobol"}))
+        assert event["event"] == "error"
+        assert "language" in event["error"]
+
+    def test_unknown_field_is_an_error_event(self, raw_server):
+        (event,) = _raw_roundtrip(
+            raw_server,
+            encode_message({"op": "analyses", "lang": "fj"}))
+        assert event["event"] == "error"
+        assert "lang" in event["error"]
+
+    def test_client_analyses_helper(self, raw_server):
+        from repro.analysis.registry import registry_listing
+        from repro.service.client import ServiceClient
+        with ServiceClient(port=raw_server.port) as client:
+            assert client.analyses() == registry_listing()
+            assert client.analyses("scheme") \
+                == registry_listing("scheme")
+
+    def test_hybrid_row_declares_the_obj_depth_axis(self, raw_server):
+        from repro.service.client import ServiceClient
+        with ServiceClient(port=raw_server.port) as client:
+            rows = {row["name"]: row for row in client.analyses()}
+        assert rows["fj-hybrid"]["takes_obj_depth"] is True
+        assert rows["kcfa-naive"]["specialized"] is False
+
+
+class TestSubmitSpecialize:
+    def test_specialize_must_be_a_real_boolean(self):
+        with pytest.raises(ProtocolError, match="specialize"):
+            submit_spec({"op": "submit", "source": SOURCE,
+                         "specialize": "yes"})
+
+    def test_specialize_false_reaches_the_spec(self):
+        spec = submit_spec({"op": "submit", "source": SOURCE,
+                            "specialize": False})
+        assert spec.specialize is False
+
+    def test_server_no_specialize_overrides_requests(self):
+        """A --no-specialize server runs (and caches) every job on
+        the generic path, whatever the request asked."""
+        from repro.service.client import ServiceClient
+        from repro.service.server import AnalysisServer
+        server = AnalysisServer(port=0, workers=1,
+                                specialize=False).start()
+        try:
+            with ServiceClient(port=server.port) as client:
+                final = client.submit(source=SOURCE, analysis="zero",
+                                      context=0, timeout=60.0)
+            assert final["status"] == "ok"
+            assert "0CFA" in final["stdout"]
+        finally:
+            server.stop()
+
+
 class TestLeaderDisconnect:
     def test_leader_send_failure_does_not_leak_the_flight(self):
         """A leader whose client vanished before the `running` event

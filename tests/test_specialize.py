@@ -1,0 +1,233 @@
+"""Differential suite: specialized vs. generic engine, byte for byte.
+
+The per-policy specialization stage (:mod:`repro.analysis.specialize`)
+promises more than equal fixpoints — it promises the *same
+trajectory*: identical rendered reports, identical step counts and
+identical reachable-configuration sets, across every registered
+analysis and both value domains.  That is what lets CI diff whole
+bench reports between ``--no-specialize`` and the default path, and
+what the ``specialized=True`` registry knob asserts.
+
+The harness here is the enforcement: ``run_both`` executes one
+analysis twice (generic, then specialized) and
+``assert_identical`` compares everything observable.  A spec that
+registers ``specialized=True`` but diverges fails this suite — the
+final test proves the harness actually catches such an impostor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from shared_corpus import EXPLODES, small_sources
+
+from repro.analysis.registry import registry
+from repro.errors import UsageError
+from repro.scheme.cps_transform import compile_program
+from repro.service.jobs import render_fj_reports, render_reports
+
+SCHEME_SPECS = registry().specs("scheme")
+FJ_SPECS = registry().specs("fj")
+VALUE_MODES = ("interned", "plain")
+
+#: Engine paths the stage is expected to pick per analysis (context
+#: depth 0 vs. depth >= 1) — pinned so a refactor cannot silently
+#: stop specializing an analysis while this suite vacuously passes.
+EXPECTED_PATHS = {
+    ("zero", 0): "specialized:zero-flat",
+    ("mcfa", 0): "specialized:zero-flat",
+    ("poly", 0): "specialized:zero-flat",
+    ("mcfa", 1): "specialized:flat",
+    ("poly", 1): "specialized:flat",
+    ("kcfa", 1): "specialized:shared",
+    ("kcfa-naive", 1): "generic",
+    ("kcfa-gc", 1): "generic",
+    ("fj-poly", 0): "specialized:zero-fj-flat",
+    ("fj-poly", 1): "generic",
+    ("fj-mcfa", 1): "generic",
+    ("fj-kcfa", 0): "generic",
+}
+
+
+def test_uncovered_specs_register_the_knob_off():
+    """Specs the specializer cannot cover must say so: the analyses
+    listing and the bench axis advertise ``specialized`` truthfully."""
+    for name in ("kcfa-gc", "kcfa-naive", "fj-kcfa-gc", "fj-kcfa"):
+        assert registry().get(name).specialized is False, name
+
+
+def run_both(spec, program, parameter, plain=False, obj_depth=None):
+    generic = spec.run(program, parameter, plain=plain,
+                       specialize=False, obj_depth=obj_depth)
+    special = spec.run(program, parameter, plain=plain,
+                       specialize=True, obj_depth=obj_depth)
+    return generic, special
+
+
+def assert_identical(generic, special, render, context=""):
+    """Everything observable must match: the rendered report bytes,
+    the trajectory (steps) and the reachable configurations."""
+    assert render(generic) == render(special), \
+        f"report bytes diverged {context}"
+    assert generic.steps == special.steps, \
+        f"trajectories diverged {context}"
+    assert generic.configs == special.configs, \
+        f"reachable configurations diverged {context}"
+
+
+# -- Scheme ---------------------------------------------------------------
+
+
+SCHEME_CASES = [
+    (name, spec, context, values)
+    for name in sorted(small_sources())
+    for spec in SCHEME_SPECS
+    for context in ((0, 1) if spec.name in ("mcfa", "poly") else (1,))
+    for values in VALUE_MODES
+    if (name, spec.name) not in EXPLODES
+]
+
+
+@pytest.mark.parametrize(
+    "name,spec,context,values", SCHEME_CASES,
+    ids=lambda value: getattr(value, "name", value))
+def test_scheme_specialized_byte_identical(name, spec, context,
+                                           values):
+    program = compile_program(small_sources()[name])
+    generic, special = run_both(spec, program, context,
+                                plain=values == "plain")
+    assert_identical(
+        generic, special,
+        lambda result: render_reports(program, result),
+        context=f"({name}, {spec.name}, n={context}, {values})")
+    assert generic.engine_path == "generic"
+
+
+# -- Featherweight Java ---------------------------------------------------
+
+
+FJ_CASES = [
+    (name, spec, context, values)
+    for name in ("pairs", "dispatch", "linked_list", "oo_identity")
+    for spec in FJ_SPECS
+    for context in (0, 1)
+    for values in VALUE_MODES
+]
+
+
+@pytest.mark.parametrize(
+    "name,spec,context,values", FJ_CASES,
+    ids=lambda value: getattr(value, "name", value))
+def test_fj_specialized_byte_identical(name, spec, context, values):
+    from repro.fj import parse_fj
+    from repro.fj.examples import ALL_EXAMPLES
+    program = parse_fj(ALL_EXAMPLES[name])
+    generic, special = run_both(spec, program, context,
+                                plain=values == "plain")
+    assert_identical(
+        generic, special,
+        lambda result: render_fj_reports(program, result),
+        context=f"({name}, {spec.name}, n={context}, {values})")
+
+
+def test_fj_hybrid_obj_depth_axis_identical():
+    from repro.fj import parse_fj
+    from repro.fj.examples import ALL_EXAMPLES
+    spec = registry().get("fj-hybrid")
+    program = parse_fj(ALL_EXAMPLES["oo_identity"])
+    for obj_depth in (0, 1, 2):
+        generic, special = run_both(spec, program, 1,
+                                    obj_depth=obj_depth)
+        assert_identical(
+            generic, special,
+            lambda result: render_fj_reports(program, result),
+            context=f"(oo_identity, fj-hybrid, obj={obj_depth})")
+
+
+# -- random programs ------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", (5, 23, 71, 104))
+def test_random_scheme_programs_identical(seed):
+    from repro.generators.random_programs import random_program
+    program = random_program(seed, 4)
+    for spec in SCHEME_SPECS:
+        if spec.engine != "single-store":
+            continue  # naive drivers can explode on random terms
+        for context in (0, 1):
+            generic, special = run_both(spec, program, context)
+            assert_identical(
+                generic, special,
+                lambda result: render_reports(program, result),
+                context=f"(seed {seed}, {spec.name}, n={context})")
+
+
+# -- which path ran -------------------------------------------------------
+
+
+@pytest.mark.parametrize("key", sorted(EXPECTED_PATHS),
+                         ids=lambda key: f"{key[0]}-{key[1]}")
+def test_expected_engine_path(key):
+    name, context = key
+    spec = registry().get(name)
+    if spec.language == "fj":
+        from repro.fj import parse_fj
+        from repro.fj.examples import ALL_EXAMPLES
+        program = parse_fj(ALL_EXAMPLES["pairs"])
+    else:
+        program = compile_program("((lambda (x) x) 1)")
+    result = spec.run(program, context)
+    assert result.engine_path == EXPECTED_PATHS[key]
+
+
+def test_escape_hatch_forces_generic():
+    program = compile_program("((lambda (x) x) 1)")
+    result = registry().get("zero").run(program, 0, specialize=False)
+    assert result.engine_path == "generic"
+
+
+def test_obj_depth_rejected_off_the_ladder():
+    program = compile_program("((lambda (x) x) 1)")
+    with pytest.raises(UsageError, match="no obj-depth axis"):
+        registry().get("zero").run(program, 0, obj_depth=2)
+
+
+# -- the harness catches impostors ----------------------------------------
+
+
+def test_diverging_specialization_fails(monkeypatch):
+    """A machine that claims to be a specialization but drops joins
+    must fail the differential harness — proving the suite would catch
+    a spec registered ``specialized=True`` that diverges."""
+    from repro.analysis import specialize as specialize_module
+    from repro.analysis.specialize import specialize_machine
+
+    class Diverging:
+        specialization = "diverging"
+
+        def __init__(self, inner):
+            self._inner = inner
+
+        def boot(self, store):
+            return self._inner.boot(store)
+
+        def step(self, config, store, reads, recorder):
+            succs = self._inner.step(config, store, reads, recorder)
+            # Drop every join: the store never grows, so the "result"
+            # is an empty flow everywhere.
+            return [(succ, ()) for succ, _joins in succs]
+
+    def broken(machine):
+        inner = specialize_machine(machine)
+        return Diverging(inner or machine)
+
+    monkeypatch.setattr(specialize_module, "specialize_machine",
+                        broken)
+    program = compile_program(small_sources()["eta"])
+    spec = registry().get("zero")
+    generic, special = run_both(spec, program, 0)
+    assert special.engine_path == "specialized:diverging"
+    with pytest.raises(AssertionError, match="diverged"):
+        assert_identical(
+            generic, special,
+            lambda result: render_reports(program, result))
