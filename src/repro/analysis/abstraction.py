@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.domains import (
-    AConst, APair, BASIC, BEnv, FClo, KClo, first_k,
+    AConst, APair, BASIC, BEnv, FClo, KClo, SClo, SCont, first_k,
 )
 from repro.analysis.kcfa import KConfig
 from repro.analysis.flat_machine import FConfig
@@ -186,6 +186,82 @@ def check_flat_soundness(result: AnalysisResult,
                 f"store gap at {abs_addr}: {value!r} not covered")
     if not value_covered(concrete.value, result.halt_values,
                          result.store, abs_closure):
+        report.violations.append(
+            f"halt value {concrete.value!r} not covered")
+    return report
+
+
+# -- summary-rep soundness (pushdown) -------------------------------------
+
+
+def _summary_covered(value, abs_values, store) -> bool:
+    """Coverage under the summary rep's α.
+
+    Summary entry environments are not a syntactic function of a
+    concrete state (they are keyed on *abstract* argument signatures),
+    so closures are matched by lambda identity — ``SClo``/``SCont``
+    abstract every concrete closure over the same lambda.  Pairs
+    recurse through the abstract store as usual.
+    """
+    if abs_values is None:
+        return False
+    if isinstance(value, (NilType, VoidType)):
+        return BASIC in abs_values
+    if isinstance(value, PairVal):
+        if BASIC in abs_values and _pair_is_basic(value):
+            return True
+        for abs_value in abs_values:
+            if isinstance(abs_value, APair):
+                if (_summary_covered(value.car,
+                                     store.get(abs_value.car), store)
+                        and _summary_covered(
+                            value.cdr, store.get(abs_value.cdr),
+                            store)):
+                    return True
+        return False
+    if isinstance(value, ProcedureValue):
+        return any(isinstance(abs_value, (SClo, SCont))
+                   and abs_value.lam is value.lam
+                   for abs_value in abs_values)
+    return _const_covers(value, abs_values)
+
+
+def check_summary_soundness(result: AnalysisResult,
+                            concrete: FlatEnvResult) -> SoundnessReport:
+    """Check a pushdown-summary result against a stack-mode flat run.
+
+    The summary rep's entry environments are keyed on abstract
+    argument signatures, so — unlike the k-CFA and m-CFA checks —
+    there is no per-state α to compute from a concrete trace.  We
+    check the theorem's *existential* consequences instead, which is
+    what soundness means for clients of the analysis:
+
+    * every call site the concrete execution reaches is reached by
+      some abstract configuration;
+    * every concrete binding of a name is covered by the *union* of
+      the name's flow over all summary contexts (binder names are
+      globally unique, so the union is per-binder, not per-string
+      accident);
+    * the concrete result value is covered by the halt flow set.
+    """
+    report = SoundnessReport(analysis="pushdown")
+    reached = {config.call.label for config in result.configs}
+    for entry in concrete.trace:
+        report.states_checked += 1
+        if entry.call.label not in reached:
+            report.violations.append(
+                f"unreached call site {entry.call.label}")
+    flows: dict = {}
+    for (name, _context), values in result.store.items():
+        flows[name] = flows.get(name, frozenset()) | values
+    for (name, _env), value in concrete.store.items():
+        report.bindings_checked += 1
+        if not _summary_covered(value, flows.get(name),
+                                result.store):
+            report.violations.append(
+                f"flow gap at {name!r}: {value!r} not covered")
+    if not _summary_covered(concrete.value, result.halt_values,
+                            result.store):
         report.violations.append(
             f"halt value {concrete.value!r} not covered")
     return report

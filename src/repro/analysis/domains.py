@@ -8,6 +8,9 @@ Values (paper §3.4, extended with pairs and a basic top):
   determined by the times alone).
 * :class:`FClo` — a flat-environment abstract closure ``(lam, ρ̂)``,
   where ρ̂ is a bounded tuple of call-site labels (§5.2).
+* :class:`SClo` / :class:`SCont` — the pushdown-summary closures: an
+  environment-less user closure and a frame-restoring continuation
+  closure (see :class:`repro.analysis.kernel.SummaryEnv`).
 * :data:`BASIC` — the single abstraction of every non-closure,
   non-pair value (numbers, booleans, strings, symbols, nil, void).
 * :class:`APair` — a field-sensitive abstract cons cell holding the
@@ -206,6 +209,43 @@ class FClo:
 
 
 @dataclass(frozen=True, slots=True)
+class SClo:
+    """Summary-rep abstract *user* closure: the lambda alone.
+
+    The pushdown summarization rep (CFA2 / the pushdown line cited in
+    PAPERS.md) keeps no environment inside a user closure — captured
+    variables live at name-keyed heap addresses instead, so the same
+    lambda reaching a call site from two different creation contexts
+    is *one* abstract operator.  That collapse is what keeps the
+    entry-summary table polynomial on the Van Horn–Mairson ladder.
+    """
+
+    lam: Lam
+
+    def __repr__(self) -> str:
+        return f"sclo[{self.lam.label}]"
+
+
+@dataclass(frozen=True, slots=True)
+class SCont:
+    """Summary-rep abstract *continuation* closure ``(lam, entry)``.
+
+    Unlike :class:`SClo`, a continuation records the frame (function
+    entry) it was created in; entering it **restores** that frame —
+    the return edge of the summary machine.  Because every function
+    entry binds its own continuation parameter, return flow is matched
+    per entry: this is what separates the two call sites of the
+    paper's §6 identity example.
+    """
+
+    lam: Lam
+    env: tuple
+
+    def __repr__(self) -> str:
+        return f"scont[{self.lam.label}]@{list(self.env)}"
+
+
+@dataclass(frozen=True, slots=True)
 class APair:
     """Field-sensitive abstract cons cell (addresses of car/cdr)."""
 
@@ -217,7 +257,7 @@ class APair:
 
 
 #: An abstract value.
-AbsVal = object  # KClo | FClo | APair | BasicValue
+AbsVal = object  # KClo | FClo | SClo | SCont | APair | BasicValue
 
 EMPTY: frozenset = frozenset()
 

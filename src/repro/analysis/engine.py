@@ -30,6 +30,13 @@ boots an initial configuration against a store and exposes one
 Engine-level improvements — worklist order, budgets, delta statistics,
 future parallel or incremental drivers — land here once and every
 analysis benefits at once.
+
+The pushdown-summary rep (:class:`~repro.analysis.kernel.SummaryEnv`)
+needs **no extra propagation pass** on top of :func:`run_single_store`:
+an exit summary is just a join into the caller's continuation-parameter
+address, so when an entry's return value grows, the delta worklist
+re-enqueues exactly the configurations that read it — summary
+propagation *is* delta propagation.
 """
 
 from __future__ import annotations

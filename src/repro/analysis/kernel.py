@@ -8,8 +8,8 @@ allocated, and whether environments are shared per-variable maps
 module makes that observation executable: :class:`Kernel` implements
 the eval/apply transfer function exactly once, and everything
 analysis-specific lives in an *environment representation* —
-:class:`SharedEnv` or :class:`FlatEnv` — carrying a context policy
-(:mod:`repro.analysis.policies`).
+:class:`SharedEnv`, :class:`FlatEnv` or :class:`SummaryEnv` — carrying
+a context policy (:mod:`repro.analysis.policies`).
 
 Before this module, ``kcfa.py`` and ``flat_machine.py`` each hand-
 rolled the whole transition relation; every engine or interning change
@@ -38,9 +38,10 @@ from repro.cps.syntax import (
     Ref, free_vars_of_lam,
 )
 from repro.analysis.domains import (
-    APair, AbsStore, Addr, BASIC, BEnv, EMPTY_BENV, FClo, FlatEnvAbs,
-    KClo, Time, abstract_literal,
+    AConst, APair, AbsStore, Addr, BASIC, BEnv, EMPTY_BENV, FClo,
+    FlatEnvAbs, KClo, SClo, SCont, Time, abstract_literal,
 )
+from repro.analysis.policies import SUMMARY_HEAP, summary_layout
 from repro.analysis.results import AnalysisResult
 from repro.scheme.primitives import lookup_primitive
 
@@ -271,6 +272,193 @@ class FlatEnv:
             ((name, env), self.table.bit_for(FClo(lam, env)))
             for name, lam in call.bindings)
         return FConfig(call.body, env), joins
+
+
+def _entry_token(value) -> str:
+    """A canonical string token for one abstract value in an entry key.
+
+    Entry environments must be *structural* — derived from the key's
+    value content, never from arrival order — because the engine's
+    trajectory varies across value domains and hash seeds while the
+    fixpoint (and the golden report bytes) must not.  Every value that
+    can appear in a stripped argument mask renders to a stable string:
+    summary closures carry only their label, pair addresses only their
+    field tokens (their context is the constant heap), and constants
+    their type-tagged datum.
+    """
+    if isinstance(value, SClo):
+        return f"clo:{value.lam.label}"
+    if isinstance(value, AConst):
+        return f"const:{type(value.datum).__name__}:{value.datum!r}"
+    if value is BASIC:
+        return "basic"
+    if isinstance(value, APair):
+        return f"pair:{value.car[0]}:{value.cdr[0]}"
+    return f"val:{value!r}"
+
+
+class SummaryEnv:
+    """Pushdown summarization (CFA2-style): the third env rep.
+
+    Instead of a context *tuple*, a configuration's environment is a
+    **function-entry summary key**: entering a user lambda interns the
+    entry ``(lam label, call site, abstract argument signature)`` —
+    one entry per call *edge* per argument signature — and analyzes
+    the body once per distinct entry.  Continuation closures record the
+    entry frame they were created in and *restore* it when entered —
+    the return edge — so every entry's returns flow only to that
+    entry's continuation parameter: perfect call/return matching
+    without finite-k context tuples.  On the paper's §6 identity
+    example the two call sites induce two entries (``x ↦ {3}`` vs
+    ``x ↦ {4}``) whose returns never merge, which no finite-k rung of
+    the poly-k-CFA ladder achieves.
+
+    The cost stays in the flat envelope because user closures are
+    environment-less (:class:`~repro.analysis.domains.SClo`): the same
+    lambda flowing from two creation contexts is one operator, so the
+    Van Horn–Mairson ladder's doubling is cut at every level and the
+    entry table stays polynomial (argument masks grow monotonically
+    per call site, so each site contributes a finite chain of keys).
+    Captured variables pay for that: any reference outside its
+    binder's user frame resolves to a name-keyed heap address
+    (:data:`~repro.analysis.policies.SUMMARY_HEAP`) per the
+    precomputed :func:`~repro.analysis.policies.summary_layout`, and
+    escaping bindings are mirrored there (0CFA precision for captures,
+    exact stack precision for everything else).
+
+    Entry→callers edges and entry→exit-value summaries are recorded in
+    :attr:`call_edges` / :attr:`summaries` as the analysis runs; the
+    engine needs no extra propagation pass for them because return
+    values travel through ordinary store joins at the caller's frame,
+    which the delta worklist already re-propagates.
+    """
+
+    kind = "summary"
+    clo_type = (SClo, SCont)
+
+    __slots__ = ("layout", "table", "_clo_bits", "_entry_memo",
+                 "call_edges", "summaries")
+
+    def __init__(self, program: Program):
+        self.layout = summary_layout(program)
+
+    def boot(self, table) -> None:
+        self.table = table
+        self._clo_bits: dict[object, object] = {}
+        #: (lam label, raw argument-mask tuple) → interned entry env.
+        self._entry_memo: dict[tuple, tuple] = {}
+        #: entry env → {(call label, caller env)} — the call-edge table.
+        self.call_edges: dict[tuple, set] = {}
+        #: exited frame env → joined exit-value mask (entry/exit
+        #: summaries, observable by tests and tooling).
+        self.summaries: dict[tuple, object] = {}
+
+    def initial_config(self, program: Program) -> FConfig:
+        return FConfig(program.root, ())
+
+    def ref_addr(self, config: FConfig, name: str) -> Addr:
+        layout = self.layout
+        if layout.frame_of_binder[name] == \
+                layout.owner_of_call[config.call.label]:
+            return (name, config.env)
+        return (name, SUMMARY_HEAP)
+
+    def close_bit(self, config: FConfig, lam: Lam):
+        if lam.is_user:
+            bit = self._clo_bits.get(lam.label)
+            if bit is None:
+                bit = self.table.bit_for(SClo(lam))
+                self._clo_bits[lam.label] = bit
+            return bit
+        key = (lam.label, config.env)
+        bit = self._clo_bits.get(key)
+        if bit is None:
+            bit = self.table.bit_for(SCont(lam, config.env))
+            self._clo_bits[key] = bit
+        return bit
+
+    def call_ctx(self, config: FConfig, call_label: int):
+        """Pair fields allocate in the shared heap context — entry
+        keys contain pair values, so an entry-keyed pair context would
+        let keys grow through themselves (unbounded); the constant
+        context keeps the value domain, and with it the key space,
+        finite."""
+        return SUMMARY_HEAP
+
+    def with_call(self, config: FConfig, call: Call) -> FConfig:
+        return FConfig(call, config.env)
+
+    def _entry_env(self, lam: Lam, call_label: int,
+                   arg_masks: list) -> tuple:
+        key = (lam.label, call_label, tuple(arg_masks))
+        env = self._entry_memo.get(key)
+        if env is None:
+            decode = self.table.decode_iter
+            signature = tuple(
+                tuple(sorted(_entry_token(value)
+                             for value in decode(mask)
+                             if not isinstance(value, SCont)))
+                for mask in arg_masks)
+            env = (lam.label, call_label, signature)
+            self._entry_memo[key] = env
+        return env
+
+    def _bind(self, names, masks, env) -> list:
+        joins = [((name, env), mask)
+                 for name, mask in zip(names, masks)]
+        heap_names = self.layout.heap_names
+        for name, mask in zip(names, masks):
+            if name in heap_names:
+                joins.append(((name, SUMMARY_HEAP), mask))
+        return joins
+
+    def enter(self, call_label: int, lam: Lam, operator,
+              arg_masks: list, config: FConfig, ctx, store,
+              reads: set, recorder: Recorder):
+        if type(operator) is SCont:
+            # A continuation restores the frame it was created in;
+            # crossing frames is a return — record the exit summary
+            # for the frame being left.
+            env = operator.env
+            if env != config.env:
+                exited = self.summaries.get(config.env,
+                                            self.table.empty)
+                for mask in arg_masks:
+                    exited |= mask
+                self.summaries[config.env] = exited
+            recorder.record_apply(call_label, lam, env)
+            return (FConfig(lam.body, env),
+                    tuple(self._bind(lam.params, arg_masks, env)))
+        # A user closure: intern the function entry, record the call
+        # edge, and bind parameters in the entry frame.  The key is
+        # the whole call edge — call site *and* argument signature —
+        # so two sites passing equal arguments still get separate
+        # entries whose continuations never cross-flow.  Continuation
+        # bits are stripped from the *key* (a continuation embeds its
+        # creation frame, so keeping them would let entries grow
+        # through entries) but kept in the parameter *bindings*, which
+        # is exactly what matches each entry's returns to its callers.
+        env = self._entry_env(lam, call_label, arg_masks)
+        self.call_edges.setdefault(env, set()).add(
+            (call_label, config.env))
+        recorder.record_apply(call_label, lam, env)
+        return (FConfig(lam.body, env),
+                tuple(self._bind(lam.params, arg_masks, env)))
+
+    def fix(self, config: FConfig, call: FixCall):
+        """letrec: bind environment-less user closures in the current
+        frame (recursive references resolve through the heap — the
+        layout classifies them as escaping, which keeps the entry
+        table finite under recursion)."""
+        env = config.env
+        joins = []
+        heap_names = self.layout.heap_names
+        for name, lam in call.bindings:
+            bit = self.close_bit(config, lam)
+            joins.append(((name, env), bit))
+            if name in heap_names:
+                joins.append(((name, SUMMARY_HEAP), bit))
+        return FConfig(call.body, env), tuple(joins)
 
 
 class Kernel:

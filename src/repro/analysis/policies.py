@@ -8,7 +8,10 @@ This module is that axis made into values:
 * **Scheme/CPS policies** are small callables handed to the kernel's
   environment representations (:class:`~repro.analysis.kernel.
   SharedEnv` takes a ``tick``, :class:`~repro.analysis.kernel.FlatEnv`
-  an ``alloc``).
+  an ``alloc``); the third rep,
+  :class:`~repro.analysis.kernel.SummaryEnv`, takes no callable at all
+  — its whole policy is the static stack/heap split computed by
+  :func:`summary_layout` below.
 * **Featherweight Java policies** are :class:`FJContextPolicy` values
   consumed by the FJ machines (:mod:`repro.fj.kcfa`,
   :mod:`repro.fj.poly`), which keep their own syntax-directed step
@@ -24,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.domains import first_k
-from repro.cps.syntax import Lam
+from repro.cps.syntax import (
+    FixCall, Lam, Ref, call_children, call_exps,
+)
 
 # -- Scheme/CPS context policies -----------------------------------------
 
@@ -79,6 +84,82 @@ def poly_kcfa_allocator(k: int):
     alloc.depth = k
     alloc.context_free = k == 0
     return alloc
+
+
+# -- the pushdown summary layout (third env rep) -------------------------
+
+#: The frame of top-level calls (no enclosing user lambda).  A string,
+#: so it can never collide with a lambda label (labels are ints).
+ROOT_FRAME = "root"
+
+#: The single allocation context of heap-escaping bindings and pair
+#: fields under the summary rep.  Binder names are globally unique
+#: (validated by :class:`~repro.cps.program.Program`), so one shared
+#: context keeps name-keyed heap addresses unambiguous — and keeps the
+#: abstract-pair domain finite, which is what bounds the entry-summary
+#: key space.
+SUMMARY_HEAP = ("heap",)
+
+
+@dataclass(frozen=True)
+class SummaryLayout:
+    """The static stack/heap split the summary rep executes against.
+
+    CFA2's insight (PAPERS.md) is that a reference is *stack-resolvable*
+    exactly when it occurs in the same user-procedure frame that bound
+    it — continuations run in their creator's frame, so a CPS program's
+    frames are delimited by its *user* lambdas alone.  Everything else
+    (captures by nested lambdas, recursive fix references) escapes to
+    the heap.  All three maps are syntax-directed and computed once per
+    program:
+
+    * ``owner_of_call`` — call label → the user frame its code runs in
+      (:data:`ROOT_FRAME` at top level);
+    * ``frame_of_binder`` — binder name → the user frame its binding
+      lives in (a user lambda's own entry frame for its parameters; the
+      *defining* frame for continuation parameters and fix bindings);
+    * ``heap_names`` — binders with at least one cross-frame reference;
+      their bindings are mirrored to ``(name, SUMMARY_HEAP)``.
+    """
+
+    owner_of_call: dict
+    frame_of_binder: dict
+    heap_names: frozenset
+
+
+def summary_layout(program) -> SummaryLayout:
+    """Compute the :class:`SummaryLayout` of *program* (iteratively —
+    generated CPS nests deeply enough to overflow Python recursion)."""
+    owner_of_call: dict = {}
+    frame_of_binder: dict = {}
+    stack = [(program.root, ROOT_FRAME)]
+    while stack:
+        call, frame = stack.pop()
+        owner_of_call[call.label] = frame
+        if isinstance(call, FixCall):
+            for name, _lam in call.bindings:
+                frame_of_binder[name] = frame
+        for exp in call_exps(call):
+            if isinstance(exp, Lam):
+                # A user lambda opens a new frame; a continuation's
+                # body runs in the frame that created it (entering a
+                # continuation *restores* that frame).
+                inner = exp.label if exp.is_user else frame
+                for param in exp.params:
+                    frame_of_binder[param] = inner
+                stack.append((exp.body, inner))
+        for child in call_children(call):
+            stack.append((child, frame))
+    heap_names = set()
+    for call in program.calls:
+        frame = owner_of_call[call.label]
+        for exp in call_exps(call):
+            if isinstance(exp, Ref) and \
+                    frame_of_binder[exp.name] != frame:
+                heap_names.add(exp.name)
+    return SummaryLayout(owner_of_call=owner_of_call,
+                         frame_of_binder=frame_of_binder,
+                         heap_names=frozenset(heap_names))
 
 
 # -- Featherweight Java context policies ---------------------------------

@@ -33,8 +33,8 @@ class AnalysisSpec:
     ``factory(program, parameter, budget, plain, specialize,
     obj_depth)`` runs the analysis; ``concrete`` names the concrete
     machine mode the soundness property suite checks the analysis
-    against (``shared-history``, ``flat-stack``, ``flat-history`` for
-    Scheme; ``fj`` for Featherweight Java).
+    against (``shared-history``, ``flat-stack``, ``flat-history``,
+    ``summary-stack`` for Scheme; ``fj`` for Featherweight Java).
 
     ``specialized`` is the registry's specialization knob: with it on
     (the default) runs go through the per-policy specialization stage
@@ -49,7 +49,7 @@ class AnalysisSpec:
     name: str              # CLI name, e.g. "kcfa"
     display: str           # result/display name, e.g. "k-CFA"
     language: str          # "scheme" | "fj"
-    env_rep: str           # "shared" | "flat"
+    env_rep: str           # "shared" | "flat" | "summary"
     engine: str            # "single-store" | "naive" | "naive+gc"
     context: str           # the tick/alloc policy, in words
     complexity: str        # per the paper, e.g. "EXPTIME-complete"
@@ -218,6 +218,12 @@ def _register_builtin(table: AnalysisRegistry) -> None:
         return analyze_zerocfa(program, budget, plain=plain,
                                specialized=specialize)
 
+    def pushdown(program, parameter, budget, plain, *,
+                 specialize=True, obj_depth=None):
+        from repro.analysis.pushdown import analyze_pushdown
+        return analyze_pushdown(program, budget, plain=plain,
+                                specialized=specialize)
+
     def kcfa_gc(program, parameter, budget, plain, *,
                 specialize=True, obj_depth=None):
         from repro.analysis.gc import analyze_kcfa_gc
@@ -291,6 +297,18 @@ def _register_builtin(table: AnalysisRegistry) -> None:
         context="no context: [m=0]CFA == [k=0]CFA",
         complexity="PTIME", factory=zero,
         concrete="flat-stack", paper="§5.3"))
+    table.register(AnalysisSpec(
+        name="pushdown", display="pushdown", language="scheme",
+        env_rep="summary", engine="single-store",
+        context="entry summaries keyed on argument values; "
+                "call-edge tables, continuations restore frames",
+        complexity="PTIME (polynomial entry table)", factory=pushdown,
+        concrete="summary-stack", paper="§6 / CFA2",
+        # The specializer has no compiled step loop for the summary
+        # rep yet; register the knob honestly (the analyses listing
+        # and the bench --specialize axis must not advertise a path
+        # that cannot run) — asserted in tests/test_pushdown.py.
+        specialized=False))
     table.register(AnalysisSpec(
         name="kcfa-gc", display="k-CFA+GC", language="scheme",
         env_rep="shared", engine="naive+gc",

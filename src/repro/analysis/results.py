@@ -24,7 +24,8 @@ import networkx
 
 from repro.cps.program import Program
 from repro.cps.syntax import Lam
-from repro.analysis.domains import AbsStore, AbsVal, FClo, KClo
+from repro.analysis.domains import AbsStore, AbsVal, FClo, KClo, \
+    SClo, SCont
 
 
 @dataclass
@@ -65,7 +66,8 @@ class AnalysisResult:
     def lambdas_of(self, name: str) -> frozenset[Lam]:
         """Lambdas that may bind to *name* (closures only)."""
         return frozenset(value.lam for value in self.flow_of(name)
-                         if isinstance(value, (KClo, FClo)))
+                         if isinstance(value,
+                                       (KClo, FClo, SClo, SCont)))
 
     def callees_of(self, label: int) -> frozenset[Lam]:
         """Lambdas applied at the call site with this label."""

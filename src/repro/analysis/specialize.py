@@ -82,6 +82,13 @@ def specialize_machine(machine):
             return CompiledFlatKernel(machine.program, rep)
         if isinstance(rep, SharedEnv):
             return CompiledSharedKernel(machine.program, rep)
+        # SummaryEnv (the pushdown rep) is deliberately not covered:
+        # its step cost is already flat (entry keys are memoized and
+        # the stack/heap split is static), and its entry environments
+        # depend on run-time argument signatures, so there is nothing
+        # to fold at compile time.  Its spec registers
+        # ``specialized=False``; tests/test_pushdown.py asserts the
+        # knob stays honest.
         return None
     if isinstance(machine, FJFlatMachine):
         policy = machine.policy

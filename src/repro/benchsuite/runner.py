@@ -337,8 +337,10 @@ def build_matrix(programs: Iterable[str], analyses: Iterable[str],
             if table.get(analysis).language != language:
                 continue
             for parameter in contexts:
-                # 0CFA has no context knob; emit it once.
-                if analysis == "zero" and parameter != min(contexts):
+                # Context-free analyses (0CFA, the pushdown summary
+                # rep) have no context knob; emit each once.
+                if analysis in ("zero", "pushdown") \
+                        and parameter != min(contexts):
                     continue
                 for obj_depth in (depth_axis if depth_axis is not None
                                   else (None,)):

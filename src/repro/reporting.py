@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.analysis.domains import AConst, APair, BASIC, FClo, KClo
+from repro.analysis.domains import AConst, APair, BASIC, FClo, \
+    KClo, SClo, SCont
 from repro.analysis.results import AnalysisResult
 from repro.fj.kcfa import AKont, AObj, FJResult
 from repro.util.gensym import GensymFactory
@@ -26,7 +27,7 @@ def render_value(value) -> str:
         return "⊤"
     if isinstance(value, AConst):
         return repr(value)
-    if isinstance(value, (KClo, FClo)):
+    if isinstance(value, (KClo, FClo, SClo, SCont)):
         return f"λ@{value.lam.label}"
     if isinstance(value, APair):
         return "pair"

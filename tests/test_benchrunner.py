@@ -27,6 +27,11 @@ class TestMatrix:
         tasks = build_matrix(["eta"], ["zero"], [0, 1, 2])
         assert len(tasks) == 1
 
+    def test_pushdown_emitted_once_despite_many_contexts(self):
+        # The pushdown summary rep is context-free like 0CFA: no knob.
+        tasks = build_matrix(["eta"], ["pushdown"], [0, 1, 2])
+        assert len(tasks) == 1
+
     def test_unknown_program_rejected(self):
         with pytest.raises(ReproError):
             build_matrix(["nope"], ["mcfa"], [0])

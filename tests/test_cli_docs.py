@@ -101,3 +101,17 @@ def test_documented_analysis_choices_match_parser():
     for choice in ANALYSES:
         assert f"`{choice}`" in section, \
             f"analysis choice {choice!r} missing from docs/cli.md"
+
+
+def test_documented_env_reps_match_registry():
+    """Every env rep a registered analysis declares is documented in
+    the analyses section (shared / flat / summary today; a fourth rep
+    must land with its docs)."""
+    from repro.analysis.registry import registry
+    section = _doc_sections()["analyses"]
+    reps = {spec.env_rep for spec in registry().specs()
+            if spec.env_rep}
+    assert reps  # the registry always has Scheme analyses
+    for rep in sorted(reps):
+        assert f"`{rep}`" in section, \
+            f"env rep {rep!r} undocumented in docs/cli.md"

@@ -48,10 +48,16 @@ VALUE_MODES = ("interned", "plain")
 #: covers the same programs.
 _scheme_sources = small_sources
 
+#: Scheme policies pinned the day they landed (no seed baseline —
+#: same contract as NEW_FJ_ANALYSES below).  ``pushdown``'s entry
+#: environments are canonical argument signatures, so its bytes must
+#: hold across value domains and hash seeds like everyone else's.
+NEW_SCHEME_ANALYSES = ("pushdown",)
+
 SCHEME_CASES = [
     (name, analysis, context, values)
     for name in sorted(_scheme_sources())
-    for analysis in SEED_SCHEME_ANALYSES
+    for analysis in SEED_SCHEME_ANALYSES + NEW_SCHEME_ANALYSES
     for context in (1,)
     for values in VALUE_MODES
     if (name, analysis) not in EXPLODES

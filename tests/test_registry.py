@@ -20,6 +20,7 @@ import pytest
 
 from repro.analysis.abstraction import (
     check_flat_soundness, check_kcfa_soundness,
+    check_summary_soundness,
 )
 from repro.analysis.registry import AnalysisSpec, registry
 from repro.concrete import run_flat, run_shared
@@ -98,6 +99,10 @@ def _check_scheme_soundness(spec: AnalysisSpec, program):
         concrete = run_flat(program, record_trace=True,
                             env_policy="history")
         return check_flat_soundness(spec.run(program, 1), concrete)
+    if spec.concrete == "summary-stack":
+        concrete = run_flat(program, record_trace=True,
+                            env_policy="stack")
+        return check_summary_soundness(spec.run(program, 1), concrete)
     raise AssertionError(
         f"registered analysis {spec.name!r} declares no concrete "
         f"soundness mode — every Scheme policy must be checkable")

@@ -42,6 +42,8 @@ EXPECTED_PATHS = {
     ("kcfa", 1): "specialized:shared",
     ("kcfa-naive", 1): "generic",
     ("kcfa-gc", 1): "generic",
+    ("pushdown", 0): "generic",
+    ("pushdown", 1): "generic",
     ("fj-poly", 0): "specialized:zero-fj-flat",
     ("fj-poly", 1): "generic",
     ("fj-mcfa", 1): "generic",
@@ -52,7 +54,8 @@ EXPECTED_PATHS = {
 def test_uncovered_specs_register_the_knob_off():
     """Specs the specializer cannot cover must say so: the analyses
     listing and the bench axis advertise ``specialized`` truthfully."""
-    for name in ("kcfa-gc", "kcfa-naive", "fj-kcfa-gc", "fj-kcfa"):
+    for name in ("kcfa-gc", "kcfa-naive", "fj-kcfa-gc", "fj-kcfa",
+                 "pushdown"):
         assert registry().get(name).specialized is False, name
 
 
