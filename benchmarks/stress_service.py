@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Stress the analysis service: concurrent clients vs. the fleet.
+
+A thin wrapper over ``python -m repro stress`` (the harness itself
+lives in :mod:`repro.service.stress`), kept under ``benchmarks/`` so
+the load-test entry point sits next to the paper-table generators::
+
+    PYTHONPATH=src python benchmarks/stress_service.py --clients 1000
+
+All flags are those of the ``stress`` subcommand; see
+``docs/cli.md``.  Exit status is non-zero on any dropped, duplicated
+or mismatched result — loss is a failure, backpressure is not.
+"""
+
+import sys
+
+
+def main(argv=None) -> int:
+    from repro.__main__ import main as repro_main
+    return repro_main(["stress", *(sys.argv[1:] if argv is None
+                                   else argv)])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

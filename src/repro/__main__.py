@@ -14,8 +14,11 @@ Commands:
   benchmark harnesses).
 * ``bench`` — run the benchmark matrix in parallel and write a
   ``BENCH_*.json`` report.
-* ``serve`` — run the persistent analysis server (NDJSON over a
-  TCP or Unix socket, shared worker pool, result cache).
+* ``serve`` — run the persistent analysis server (async NDJSON front
+  door over TCP or a Unix socket, consistent-hash sharded worker
+  fleet, result cache).
+* ``stress`` — drive hundreds of concurrent clients against the
+  service and report throughput, latency percentiles and loss.
 * ``submit`` — send one job to a running server and render the same
   reports as ``analyze``.
 
@@ -183,6 +186,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 7557)")
     serve.add_argument("--workers", type=int, default=None,
                        help="worker processes (default: all cores)")
+    serve.add_argument("--max-queue", type=int, default=8,
+                       help="per-worker admission queue depth; a "
+                            "submission whose shard is this deep "
+                            "gets a busy event instead of queueing "
+                            "(default 8)")
     serve.add_argument("--job-timeout", type=float, default=60.0,
                        help="default per-job wall-clock budget in "
                             "seconds for requests that set none "
@@ -198,6 +206,46 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ready-file", default=None,
                        help="write the bound endpoint (host:port or "
                             "socket path) here once listening")
+
+    stress = commands.add_parser(
+        "stress",
+        help="drive concurrent clients against the analysis service")
+    stress.add_argument("--clients", type=int, default=200,
+                        help="concurrent client connections "
+                             "(default 200)")
+    stress.add_argument("--requests", type=int, default=2,
+                        help="sequential jobs per client; round 2+ "
+                             "hits warm workers (default 2)")
+    stress.add_argument("--distinct", type=int, default=8,
+                        help="distinct programs in the request mix "
+                             "(default 8)")
+    stress.add_argument("--workers", type=int, default=4,
+                        help="fleet size for the in-process server "
+                             "(ignored with --endpoint; default 4)")
+    stress.add_argument("--max-queue", type=int, default=None,
+                        help="per-worker admission queue depth for "
+                             "the in-process server (default: the "
+                             "server default)")
+    stress.add_argument("--endpoint", default=None,
+                        help="drive a running server (host:port or "
+                             "socket path) instead of starting one")
+    stress.add_argument("--analysis", default="mcfa", metavar="NAME",
+                        help="analysis for every job (default mcfa)")
+    stress.add_argument("-n", "--context", type=int, default=1,
+                        help="the k or m (default 1)")
+    stress.add_argument("--timeout", type=float, default=30.0,
+                        help="per-job wall-clock budget in seconds "
+                             "(default 30)")
+    stress.add_argument("--deadline", type=float, default=300.0,
+                        help="overall campaign deadline in seconds; "
+                             "unfinished jobs count as dropped "
+                             "(default 300)")
+    stress.add_argument("--no-verify", action="store_true",
+                        help="skip byte-comparing responses against "
+                             "local runs of the same programs")
+    stress.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the report as JSON "
+                             "('-' for stdout)")
 
     submit = commands.add_parser(
         "submit", help="submit a job to a running analysis server")
@@ -466,11 +514,15 @@ def _cmd_serve(args) -> int:
     from repro.cache import open_cache
     from repro.service.server import AnalysisServer
     cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
+    if args.max_queue < 1:
+        raise UsageError(f"--max-queue must be a positive integer, "
+                         f"got {args.max_queue}")
     server = AnalysisServer(
         host=args.host, port=args.port, socket_path=args.socket,
         workers=args.workers, cache=cache,
         default_timeout=args.job_timeout,
-        specialize=not args.no_specialize).start()
+        specialize=not args.no_specialize,
+        max_queue=args.max_queue).start()
     print(f"serving on {server.endpoint} "
           f"({server.workers} workers"
           + (f", cache {cache.directory}" if cache is not None
@@ -487,6 +539,42 @@ def _cmd_serve(args) -> int:
         server.stop()
     print("server stopped", file=sys.stderr)
     return 0
+
+
+def _cmd_stress(args) -> int:
+    import json
+
+    from repro.reporting import stress_report
+    from repro.service.jobs import validate_job_options
+    from repro.service.stress import run_stress
+    validate_job_options(args.analysis, args.context)
+    if args.clients < 1 or args.requests < 1 or args.distinct < 1:
+        raise UsageError("--clients, --requests and --distinct must "
+                         "all be positive integers")
+    if args.max_queue is not None and args.max_queue < 1:
+        raise UsageError(f"--max-queue must be a positive integer, "
+                         f"got {args.max_queue}")
+    report = run_stress(
+        endpoint=args.endpoint, clients=args.clients,
+        requests=args.requests, distinct=args.distinct,
+        workers=args.workers, max_queue=args.max_queue,
+        analysis=args.analysis, context=args.context,
+        job_timeout=args.timeout, deadline=args.deadline,
+        verify=not args.no_verify)
+    print(stress_report(report))
+    if args.json:
+        text = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"report written to {args.json}", file=sys.stderr)
+    # Loss or cross-wired results fail the run; busy bounces and
+    # timeouts do not (they are backpressure working as designed).
+    clean = (report.dropped == 0 and report.duplicated == 0
+             and report.mismatched == 0 and report.errors == 0)
+    return 0 if clean else 1
 
 
 def _cmd_submit(args) -> int:
@@ -580,6 +668,7 @@ def main(argv=None) -> int:
         "tables": _cmd_tables,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "stress": _cmd_stress,
         "submit": _cmd_submit,
     }[args.command]
     try:

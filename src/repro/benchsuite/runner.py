@@ -90,6 +90,23 @@ def fj_chain_depth(name: str) -> int:
     return int(name[len(FJ_CHAIN_PREFIX):])
 
 
+#: Seeded random-FJ ladder names: ``fjrand<seed>`` (e.g. fjrand42)
+#: generate the well-typed terminating programs of
+#: :func:`repro.generators.fj_random.fj_random_source` — the same
+#: corpus the FJ property suite samples, so ``bench`` can sweep
+#: arbitrary generated workloads by name alone.
+FJ_RANDOM_PREFIX = "fjrand"
+
+
+def is_fj_random_name(name: str) -> bool:
+    digits = name[len(FJ_RANDOM_PREFIX):]
+    return name.startswith(FJ_RANDOM_PREFIX) and digits.isdigit()
+
+
+def fj_random_seed(name: str) -> int:
+    return int(name[len(FJ_RANDOM_PREFIX):])
+
+
 #: Engine-path modes of the bench ``--specialize`` axis.
 SPECIALIZE_MODES = ("on", "off")
 
@@ -146,12 +163,15 @@ def task_source(task: BenchTask) -> str:
     from repro.benchsuite.scaling import scaled_source
     from repro.fj.examples import ALL_EXAMPLES
     from repro.generators.fj_chain import fj_chain_source
+    from repro.generators.fj_random import fj_random_source
     from repro.generators.worstcase import worst_case_source
 
     if is_worst_case_name(task.program):
         return worst_case_source(worst_case_depth(task.program))
     if is_fj_chain_name(task.program):
         return fj_chain_source(fj_chain_depth(task.program))
+    if is_fj_random_name(task.program):
+        return fj_random_source(fj_random_seed(task.program))
     if task.program in BY_NAME:
         bench = BY_NAME[task.program]
         if task.copies > 1:
@@ -202,10 +222,14 @@ def _run_fj_task(task: BenchTask, budget: Budget) -> dict:
     from repro.fj import parse_fj
     from repro.fj.examples import ALL_EXAMPLES
     from repro.generators.fj_chain import fj_chain_source
+    from repro.generators.fj_random import fj_random_source
 
     if is_fj_chain_name(task.program):
         program = parse_fj(fj_chain_source(
             fj_chain_depth(task.program)))
+    elif is_fj_random_name(task.program):
+        program = parse_fj(fj_random_source(
+            fj_random_seed(task.program)))
     else:
         program = parse_fj(ALL_EXAMPLES[task.program])
     return _best_of(task, budget, lambda: run_fj_analysis(
@@ -329,7 +353,8 @@ def build_matrix(programs: Iterable[str], analyses: Iterable[str],
     for program in programs:
         if program in BY_NAME or is_worst_case_name(program):
             language = "scheme"
-        elif program in ALL_EXAMPLES or is_fj_chain_name(program):
+        elif program in ALL_EXAMPLES or is_fj_chain_name(program) \
+                or is_fj_random_name(program):
             language = "fj"
         else:
             raise UsageError(f"unknown benchmark program {program!r}")

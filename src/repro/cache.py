@@ -253,6 +253,73 @@ class InflightTable:
             return len(self._entries)
 
 
+class ProgramCache:
+    """Bounded LRU of *compiled* programs, keyed by content.
+
+    The fleet's warm-worker store: each worker process keeps one of
+    these so a repeat submission that misses the result cache (say,
+    a different context depth over the same source) still skips
+    parse/CPS-transform/boot.  The payoff compounds because the
+    specializer caches structural plans *on the Program object*
+    (:mod:`repro.analysis.specialize`), so returning the same object
+    also returns its already-built plans — the per-worker
+    ``plans_reused`` stat the sharding tests observe counts exactly
+    these hits.
+
+    Keys are ``(language, sha256(source), simplify)``: everything
+    that determines the compiled artifact and nothing that does not
+    (analysis name, context depth and the report/values options all
+    operate on the *same* compiled program).  For Scheme with
+    ``simplify`` the post-simplification program is what's cached.
+
+    Not thread-safe — each worker process owns exactly one, touched
+    only from its job loop.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got "
+                             f"{capacity}")
+        self.capacity = capacity
+        self._entries: dict[tuple, object] = {}  # insertion = LRU order
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(language: str, source: str, simplify: bool) -> tuple:
+        return (language,
+                hashlib.sha256(source.encode("utf-8")).hexdigest(),
+                bool(simplify))
+
+    def get(self, key: tuple):
+        """The cached program, refreshed to most-recently-used, or
+        None."""
+        program = self._entries.pop(key, None)
+        if program is None:
+            self.misses += 1
+            return None
+        self._entries[key] = program  # re-insert at the MRU end
+        self.hits += 1
+        return program
+
+    def put(self, key: tuple, program) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = program
+        while len(self._entries) > self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def as_dict(self) -> dict:
+        return {"size": len(self._entries), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
 def open_cache(cache_dir: str | None, enabled: bool) -> \
         "ResultCache | None":
     """CLI helper: a cache when *enabled*, at *cache_dir* or the

@@ -210,6 +210,12 @@ def job_event_line(event: dict) -> str:
         timing = f" in {wall:.2f}s" if isinstance(wall, (int, float)) \
             else ""
         return f"[{job}] {event.get('status')}{extra}{timing}"
+    if kind == "busy":
+        wait = event.get("retry_after")
+        hint = f"; retrying in ~{wait:.2f}s" \
+            if isinstance(wait, (int, float)) else ""
+        return (f"[{job}] busy (worker {event.get('worker', '?')} "
+                f"queue full{hint})")
     if kind == "error":
         return f"[{job}] error: {event.get('error')}"
     return f"[{job}] {kind}"
@@ -235,8 +241,18 @@ def service_stats_report(stats: dict) -> str:
         f"{jobs.get('coalesced', 0)} coalesced, "
         f"{jobs.get('rejected', 0)} rejected, "
         f"{stats.get('inflight', 0)} in flight")
-    lines.append(f"  executed on the worker pool: "
-                 f"{jobs.get('executed', 0)} analyses")
+    lines.append(f"  executed on the worker fleet: "
+                 f"{jobs.get('executed', 0)} analyses "
+                 f"({jobs.get('busy', 0)} busy bounces, "
+                 f"{jobs.get('redispatched', 0)} redispatched)")
+    for row in stats.get("fleet") or ():
+        state = "alive" if row.get("alive") else "dead"
+        lines.append(
+            f"    {row.get('worker', '?')} "
+            f"(pid {row.get('pid', '?')}, {state}): "
+            f"{row.get('jobs', 0)} jobs, "
+            f"{row.get('plans_reused', 0)} plans reused, "
+            f"depth {row.get('depth', 0)}")
     cache = stats.get("cache")
     if cache:
         lines.append(
@@ -246,6 +262,45 @@ def service_stats_report(stats: dict) -> str:
             f"{cache.get('rejected', 0)} rejected")
     else:
         lines.append("  cache: disabled")
+    return "\n".join(lines)
+
+
+def stress_report(report) -> str:
+    """Render one :class:`repro.service.stress.StressReport` — the
+    throughput/latency summary ``python -m repro stress`` prints."""
+    lines = [f"stress — {report.clients} clients x "
+             f"{report.requests_per_client} requests "
+             f"({report.distinct} distinct programs, "
+             f"{report.workers} workers) against {report.endpoint}"]
+    lines.append(
+        f"  results: {report.completed} completed "
+        f"({report.ok} ok, {report.timeout} timeout, "
+        f"{report.errors} error), {report.dropped} dropped, "
+        f"{report.duplicated} duplicated, "
+        f"{report.busy_bounces} busy bounces")
+    lines.append(
+        f"  verified: {report.verified} responses byte-checked "
+        f"against local runs"
+        + (f", {report.mismatched} MISMATCHED"
+           if report.mismatched else ""))
+    lines.append(
+        f"  throughput: {report.throughput:.1f} jobs/s over "
+        f"{report.wall_seconds:.2f}s")
+    lines.append(
+        f"  latency: p50 {report.p50 * 1000:.1f}ms, "
+        f"p90 {report.p90 * 1000:.1f}ms, "
+        f"p99 {report.p99 * 1000:.1f}ms, "
+        f"max {report.max_latency * 1000:.1f}ms")
+    if report.server_stats:
+        jobs = report.server_stats.get("jobs", {})
+        cache = report.server_stats.get("cache") or {}
+        plans = sum(row.get("plans_reused", 0) for row in
+                    report.server_stats.get("fleet") or ())
+        lines.append(
+            f"  server: {jobs.get('executed', 0)} executed, "
+            f"{jobs.get('coalesced', 0)} coalesced, "
+            f"{cache.get('hits', 0)} cache hits, "
+            f"{plans} plans reused")
     return "\n".join(lines)
 
 

@@ -20,7 +20,9 @@ suite drives eight at once — not from pipelining on one connection.
 from __future__ import annotations
 
 import itertools
+import random
 import socket
+import time
 
 from repro.service.protocol import (
     ProtocolError, decode_message, encode_message, read_frame,
@@ -31,6 +33,27 @@ DEFAULT_PORT = 7557
 
 #: Events that end a submitted job.
 TERMINAL_EVENTS = ("done", "error")
+
+#: How many times :meth:`ServiceClient.submit` re-offers a job the
+#: server bounced with ``busy`` before giving up.
+BUSY_RETRIES = 8
+
+#: First backoff step after a ``busy`` bounce, in seconds; each
+#: further bounce doubles it (capped), and every sleep is jittered
+#: ±50% so a herd of bounced clients does not retry in lockstep.
+BUSY_BACKOFF_BASE = 0.05
+BUSY_BACKOFF_CAP = 2.0
+
+
+def busy_backoff(attempt: int, base: float = BUSY_BACKOFF_BASE,
+                 cap: float = BUSY_BACKOFF_CAP,
+                 rng: random.Random | None = None) -> float:
+    """The jittered exponential backoff delay for retry *attempt*
+    (0-based): ``min(cap, base * 2**attempt)`` scaled by a uniform
+    factor in [0.5, 1.5]."""
+    delay = min(cap, base * (2 ** attempt))
+    jitter = (rng or random).uniform(0.5, 1.5)
+    return delay * jitter
 
 
 class ServiceClient:
@@ -116,40 +139,59 @@ class ServiceClient:
                report: str = "all", values: str = "interned",
                timeout: float | None = None,
                specialize: bool = True,
-               on_event=None) -> dict:
+               on_event=None,
+               busy_retries: int = BUSY_RETRIES) -> dict:
         """Submit one job and block until its terminal event.
 
         Intermediate events (``queued``, ``running``) stream to
         *on_event* as they arrive.  Returns the ``done`` event —
         check its ``status`` — or an ``error`` event for requests the
         server rejected outright.
+
+        A ``busy`` bounce (the target worker's admission queue is
+        full) is retried transparently up to *busy_retries* times
+        with jittered exponential backoff, under a fresh job id each
+        attempt; bounces stream to *on_event* like any other
+        intermediate event.  Only after the last bounce does the
+        ``busy`` event itself come back, so callers can distinguish
+        "gave up on a saturated fleet" from a result.
         """
-        job_id = f"c{next(self._ids)}"
-        message = {"op": "submit", "id": job_id,
-                   "analysis": analysis, "context": context,
-                   "simplify": simplify, "report": report,
-                   "values": values}
+        base = {"analysis": analysis, "context": context,
+                "simplify": simplify, "report": report,
+                "values": values}
         if not specialize:
             # Only sent when non-default: older servers reject unknown
             # submit fields strictly, so the default-True case must
             # stay wire-compatible with them.
-            message["specialize"] = False
+            base["specialize"] = False
         if source is not None:
-            message["source"] = source
+            base["source"] = source
         if path is not None:
-            message["path"] = path
+            base["path"] = path
         if timeout is not None:
-            message["timeout"] = timeout
-        self._send(message)
-        while True:
-            event = self._next_event()
-            if event.get("job") not in (job_id, None):
-                continue  # a stray frame for another submission
-            if on_event is not None \
-                    and event.get("event") not in TERMINAL_EVENTS:
-                on_event(event)
-            if event.get("event") in TERMINAL_EVENTS:
-                return event
+            base["timeout"] = timeout
+        for attempt in range(busy_retries + 1):
+            job_id = f"c{next(self._ids)}"
+            self._send({"op": "submit", "id": job_id, **base})
+            bounced = None
+            while True:
+                event = self._next_event()
+                if event.get("job") not in (job_id, None):
+                    continue  # a stray frame for another submission
+                if event.get("event") == "busy":
+                    bounced = event
+                    break
+                if on_event is not None \
+                        and event.get("event") not in TERMINAL_EVENTS:
+                    on_event(event)
+                if event.get("event") in TERMINAL_EVENTS:
+                    return event
+            if attempt >= busy_retries:
+                return bounced
+            if on_event is not None:
+                on_event(bounced)
+            time.sleep(max(bounced.get("retry_after", 0.0),
+                           busy_backoff(attempt)))
 
     # -- lifecycle -------------------------------------------------------
 

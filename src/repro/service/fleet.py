@@ -1,0 +1,258 @@
+"""The sharded worker fleet behind the asyncio front door.
+
+A :class:`WorkerFleet` owns N **long-lived** worker processes — not a
+task pool: the whole point of consistent-hash routing
+(:mod:`repro.service.sharding`) is that the *same* worker sees the
+same program again, and that only pays off if the worker survives
+between jobs, keeping its :class:`~repro.cache.ProgramCache` of
+compiled ``Program`` objects (with the structural plans the
+specializer cached on them) warm across submissions.
+
+Threading model (the part that has to be right):
+
+* Each worker child runs :func:`_worker_main`: a plain recv → run →
+  send loop over its end of a duplex pipe.  It processes jobs
+  serially, FIFO; queue depth is bounded by the *front door's*
+  admission control, never by blocking here.
+* The parent side gives every worker two daemon threads.  A **sender**
+  drains an unbounded in-process outbox onto the pipe, so dispatching
+  never blocks the event loop even when a worker is busy and the pipe
+  buffer is full of 16 MB sources.  A **pump** blocks in
+  :func:`multiprocessing.connection.wait` on the pipe *and* the
+  process sentinel, delivering results via ``on_result`` and — after
+  draining any results the worker managed to send before dying —
+  reporting death via ``on_death``.  Both callbacks fire on pump
+  threads; the server marshals them into its event loop with
+  ``loop.call_soon_threadsafe``.
+* Exactly-once death reporting: a dead worker fires ``on_death`` once,
+  and never during :meth:`WorkerFleet.stop` (shutdown is not an
+  outage).
+
+Workers use the ``forkserver`` start method where available (fork
+from a single-threaded helper — forking the threaded, asyncio-running
+parent directly is deprecated), falling back to ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+from multiprocessing.connection import wait as _wait_connections
+
+
+def _fleet_context():
+    """A start method safe for a threaded parent (see module doc)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else "spawn")
+
+
+def _worker_main(conn, worker_id: str) -> None:
+    """The worker child's whole life: recv a job, run it warm, send
+    the row back with cumulative stats.  Exits on pipe EOF (parent
+    closed its end — the clean shutdown signal) or a broken pipe.
+    """
+    from repro.cache import ProgramCache
+    from repro.service.jobs import run_job
+    programs = ProgramCache()
+    jobs_done = 0
+    plans_reused = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:  # explicit stop sentinel
+            return
+        ticket, spec = message
+        row = run_job(spec, programs=programs)
+        jobs_done += 1
+        # A program-cache hit reuses the compiled Program *object*,
+        # and with it every structural plan the specializer already
+        # built and cached on it — that is the warm-worker win the
+        # sharding tests observe.
+        if row.get("warm"):
+            plans_reused += 1
+        stats = {"jobs": jobs_done, "plans_reused": plans_reused,
+                 "programs": programs.as_dict()}
+        try:
+            conn.send((ticket, row, stats))
+        except (OSError, BrokenPipeError):
+            return
+
+
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    def __init__(self, worker_id: str, process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.outbox: queue.Queue = queue.Queue()
+        self.alive = True
+        # Cumulative stats as last reported by the worker (updated by
+        # the pump thread; plain int reads are safe cross-thread).
+        self.jobs = 0
+        self.plans_reused = 0
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def stats_row(self) -> dict:
+        return {"worker": self.worker_id, "pid": self.pid,
+                "alive": self.alive, "jobs": self.jobs,
+                "plans_reused": self.plans_reused}
+
+
+class WorkerFleet:
+    """N long-lived workers plus their sender/pump threads.
+
+    ``on_result(worker_id, ticket, row, stats)`` and
+    ``on_death(worker_id)`` are invoked **from pump threads**; the
+    caller is responsible for marshalling into its own loop.
+    """
+
+    def __init__(self, size: int, on_result, on_death):
+        if size < 1:
+            raise ValueError(f"fleet needs at least one worker, got "
+                             f"{size}")
+        self.size = size
+        self.on_result = on_result
+        self.on_death = on_death
+        self._handles: dict[str, WorkerHandle] = {}
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "WorkerFleet":
+        context = _fleet_context()
+        for index in range(self.size):
+            worker_id = f"w{index}"
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main, args=(child_conn, worker_id),
+                name=f"repro-{worker_id}", daemon=True)
+            process.start()
+            child_conn.close()  # the child's copy lives in the child
+            handle = WorkerHandle(worker_id, process, parent_conn)
+            self._handles[worker_id] = handle
+            for target in (self._sender, self._pump):
+                thread = threading.Thread(
+                    target=target, args=(handle,), daemon=True,
+                    name=f"repro-{worker_id}-{target.__name__}")
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Retire every worker: close the pipes (the child's EOF
+        signal), give each a moment to exit, then force the rest."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        for handle in self._handles.values():
+            handle.outbox.put(None)  # unblock + retire the sender
+        for handle in self._handles.values():
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=2.0)
+            handle.alive = False
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+
+    # -- parent-side operations ------------------------------------------
+
+    def dispatch(self, worker_id: str, ticket: int, spec) -> bool:
+        """Queue one job for *worker_id*; never blocks.  False when
+        the worker is already known-dead (the caller re-routes)."""
+        handle = self._handles.get(worker_id)
+        if handle is None or not handle.alive:
+            return False
+        handle.outbox.put((ticket, spec))
+        return True
+
+    def live_workers(self) -> list[str]:
+        return [worker_id
+                for worker_id, handle in self._handles.items()
+                if handle.alive]
+
+    def handle(self, worker_id: str) -> WorkerHandle | None:
+        return self._handles.get(worker_id)
+
+    def stats_rows(self) -> list[dict]:
+        return [handle.stats_row()
+                for _, handle in sorted(self._handles.items())]
+
+    def kill(self, worker_id: str) -> None:
+        """Hard-kill one worker (SIGKILL) — the fault-injection hook.
+        Death detection and re-dispatch then run the normal path, as
+        they would for an OOM kill in production."""
+        handle = self._handles[worker_id]
+        handle.process.kill()
+
+    # -- per-worker threads ----------------------------------------------
+
+    def _sender(self, handle: WorkerHandle) -> None:
+        """Drain the outbox onto the pipe.  Blocking in conn.send is
+        fine *here* — this thread exists so the event loop never
+        does."""
+        while True:
+            item = handle.outbox.get()
+            if item is None:
+                return
+            try:
+                handle.conn.send(item)
+            except (OSError, BrokenPipeError, ValueError):
+                return  # pump thread owns death reporting
+
+    def _pump(self, handle: WorkerHandle) -> None:
+        """Deliver results; on death, drain stragglers then report."""
+        sentinel = handle.process.sentinel
+        while True:
+            try:
+                ready = _wait_connections([handle.conn, sentinel])
+            except OSError:
+                self._died(handle)
+                return
+            if handle.conn in ready:
+                try:
+                    message = handle.conn.recv()
+                except (EOFError, OSError):
+                    self._died(handle)
+                    return
+                self._deliver(handle, message)
+            elif sentinel in ready:
+                # The process is gone but results it sent before dying
+                # may still sit in the pipe — deliver those first so a
+                # completed job is never replayed as a failure.
+                try:
+                    while handle.conn.poll(0):
+                        self._deliver(handle, handle.conn.recv())
+                except (EOFError, OSError):
+                    pass
+                self._died(handle)
+                return
+
+    def _deliver(self, handle: WorkerHandle, message) -> None:
+        ticket, row, stats = message
+        handle.jobs = stats["jobs"]
+        handle.plans_reused = stats["plans_reused"]
+        self.on_result(handle.worker_id, ticket, row, stats)
+
+    def _died(self, handle: WorkerHandle) -> None:
+        with self._lock:
+            if self._stopping or not handle.alive:
+                return
+            handle.alive = False
+        self.on_death(handle.worker_id)

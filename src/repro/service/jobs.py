@@ -218,15 +218,26 @@ def render_fj_reports(program, result) -> str:
             f"{fj_report(result)}\n")
 
 
-def run_job(spec: JobSpec) -> dict:
+def run_job(spec: JobSpec, programs=None) -> dict:
     """Execute one job; always returns a row, never raises.
 
-    This is the worker-pool entry point: it compiles the program in
-    the worker process (so front-end work parallelizes too) and runs
-    the analysis under the spec's cooperative wall-clock budget.  The
+    This is the worker entry point: it compiles the program in the
+    worker process (so front-end work parallelizes too) and runs the
+    analysis under the spec's cooperative wall-clock budget.  The
     row's ``status`` is ``ok`` (with ``stdout`` and ``summary``),
     ``timeout`` or ``error`` (with ``error``).
+
+    *programs*, when given, is a :class:`repro.cache.ProgramCache` —
+    the fleet worker's warm store.  A hit skips parse/CPS/simplify
+    and reuses the compiled :class:`Program` object together with the
+    structural plans the specializer cached on it; the row then
+    carries ``warm: True``.  Warm and cold runs are byte-identical
+    (the program is a pure value; plan caches only memoize), which
+    ``tests/test_sharding.py`` pins.  Only successfully compiled
+    programs are ever cached, so a source that fails the front end
+    re-fails identically every time.
     """
+    from repro.cache import ProgramCache
     from repro.cps.simplify import simplify_program
     from repro.scheme.cps_transform import compile_program
     row = {"analysis": spec.analysis, "context": spec.context,
@@ -246,13 +257,22 @@ def run_job(spec: JobSpec) -> dict:
         # pathological source can overrun the budget by one compile —
         # bounded in the service by the protocol's frame size cap.
         budget = Budget(max_seconds=spec.timeout).start()
-        if language == "fj":
-            from repro.fj import parse_fj
-            program = parse_fj(spec.source)
-        else:
-            program = compile_program(spec.source)
-            if spec.simplify:
-                program = simplify_program(program)
+        program = None
+        if programs is not None:
+            program_key = ProgramCache.key(language, spec.source,
+                                           spec.simplify)
+            program = programs.get(program_key)
+            row["warm"] = program is not None
+        if program is None:
+            if language == "fj":
+                from repro.fj import parse_fj
+                program = parse_fj(spec.source)
+            else:
+                program = compile_program(spec.source)
+                if spec.simplify:
+                    program = simplify_program(program)
+            if programs is not None:
+                programs.put(program_key, program)
         if budget.exhausted():
             raise AnalysisTimeout(
                 f"analysis exceeded time budget of "

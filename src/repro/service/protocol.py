@@ -34,6 +34,17 @@ can trail the ``done``, so clients must stop at ``done`` and ignore
 any late job-tagged frames.  Malformed requests produce an ``error``
 event and never tear down the connection.
 
+Backpressure is an event, not an error: when the worker shard a job
+hashes to already has its admission queue full, the server answers
+``queued`` → ``busy`` (with the target ``worker`` and a
+``retry_after`` hint in seconds) instead of running anything.  A
+``busy`` bounce is terminal *for that attempt only* — the job was not
+started and will never produce ``done``; clients should back off and
+resubmit (``ServiceClient.submit`` does, with jittered exponential
+backoff).  ``busy`` is additive, so the protocol version is
+unchanged: version-1 clients that predate it simply never see it
+unless the fleet is saturated.
+
 JSON strings escape newlines, so framing can never be broken by
 report text; :data:`MAX_LINE_BYTES` bounds memory against a
 misbehaving peer.

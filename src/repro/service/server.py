@@ -1,12 +1,10 @@
-"""The concurrent job scheduler behind ``python -m repro serve``.
+"""The async front door behind ``python -m repro serve``.
 
-One always-resident process owns a listening socket (TCP loopback or
-Unix domain), a shared :class:`concurrent.futures.ProcessPoolExecutor`
-worker pool, an :class:`~repro.cache.InflightTable` and (optionally) a
-persistent :class:`~repro.cache.ResultCache`.  Each client connection
-gets a reader thread speaking the NDJSON protocol of
-:mod:`repro.service.protocol`; submitted jobs flow through three
-tiers, cheapest first:
+One always-resident process runs an asyncio event loop (in a
+dedicated thread) that accepts thousands of concurrent NDJSON
+connections, and a fleet of long-lived worker processes
+(:mod:`repro.service.fleet`) that actually run analyses.  Submitted
+jobs flow through three tiers, cheapest first:
 
 1. **disk cache** — a previously completed identical job is answered
    immediately (``done`` with ``cached: true``, no ``running`` event);
@@ -14,10 +12,11 @@ tiers, cheapest first:
    absorbs the submission as a follower; when the leader's analysis
    lands, every subscriber receives the same ``done`` event
    (followers with ``coalesced: true``);
-3. **the worker pool** — otherwise the job is dispatched to a worker
-   process, which compiles and analyzes under the job's cooperative
-   wall-clock :class:`~repro.util.budget.Budget`, so one exponential
-   request times out cleanly instead of wedging a worker forever.
+3. **the worker fleet** — otherwise the job is routed by consistent
+   hash of its cache key (:mod:`repro.service.sharding`) to one
+   long-lived worker, which keeps compiled programs and their
+   specialization plans warm across jobs, and runs each under the
+   job's cooperative wall-clock :class:`~repro.util.budget.Budget`.
 
 Identical means *same cache key and same budget*: the cache key
 deliberately excludes the timeout (a completed answer does not depend
@@ -25,46 +24,128 @@ on it), but two in-flight submissions only coalesce when their budgets
 agree, so a 1-second probe can never be handed a 60-second run's
 timeout verdict or vice versa.
 
-Completion ordering matters for the no-duplicate-work guarantee: a
-finished job is written to the disk cache *before* its in-flight entry
-is retired, and a submission that becomes a flight's *leader*
-re-checks the cache before dispatching to the pool.  Together the two
-close the race: a submission that missed the first cache probe while
-an identical job was finishing either joins the still-open flight or
-finds the freshly written entry on the re-check — there is no window
-in which it re-runs the analysis.
+Fleet-wide coordination lives here, not in the workers: the front
+door owns the one :class:`~repro.cache.InflightTable` and the one
+:class:`~repro.cache.ResultCache`, so coalescing and caching span the
+whole fleet.  Completion ordering still matters for the
+no-duplicate-work guarantee: a finished job is written to the disk
+cache *before* its in-flight entry is retired, and a submission that
+becomes a flight's *leader* re-checks the cache before dispatching.
+Together the two close the race: a submission that missed the first
+cache probe while an identical job was finishing either joins the
+still-open flight or finds the freshly written entry on the re-check
+— there is no window in which it re-runs the analysis.
 
-The pool uses the ``forkserver`` start method where available (fork
-from a single-threaded helper — forking a threaded server directly is
-deprecated), falling back to ``spawn``.
+Admission control bounds each worker's queue: when the target shard
+already has ``max_queue`` jobs in flight, the leader's flight is
+abandoned and the client gets a ``busy`` event with a ``retry_after``
+hint (:class:`~repro.service.client.ServiceClient` retries with
+jittered exponential backoff).  When a worker dies mid-job the pump
+thread reports it, the ring drops the shard, and every orphaned job
+is re-dispatched to the key's next live shard — already-admitted jobs
+bypass admission so a death can never bounce them.
+
+Concurrency rules (why there are no locks here):
+
+* **Every** piece of scheduler state — the counters, the hash ring,
+  the assignment and depth tables, the in-flight joins — is touched
+  only from the event-loop thread.  Fleet pump threads marshal
+  results and deaths in via ``loop.call_soon_threadsafe``.
+* ``_handle_submit`` is fully synchronous (no awaits), so the
+  cache-probe / flight-join sequence is atomic by construction.  It
+  does touch the disk cache inline; at this payload size that is a
+  sub-millisecond pause the loop absorbs.
+* A connection never blocks the loop on a slow peer: writes go
+  through a bounded per-connection queue drained by its own task
+  (``await drain()``); a peer that stops reading past the bound is
+  dropped, and fan-out sends never raise, so a flight always retires.
 """
 
 from __future__ import annotations
 
+import asyncio
 import itertools
-import multiprocessing
 import os
-import socket
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 
 from repro.cache import CACHE_SCHEMA_VERSION, InflightTable
-from repro.service.jobs import (
-    JobSpec, cache_payload, job_cache_key, run_job,
-)
+from repro.service.fleet import WorkerFleet
+from repro.service.jobs import cache_payload, job_cache_key
 from repro.service.protocol import (
-    PROTOCOL_VERSION, ProtocolError, analyses_request_language,
-    decode_message, encode_message, read_frame, submit_spec,
+    MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError,
+    analyses_request_language, decode_message, encode_message,
+    submit_spec,
 )
+from repro.service.sharding import HashRing
+
+#: Queued-but-unsent events tolerated per connection before the peer
+#: is declared pathologically slow and dropped (an honest client
+#: reads a handful of events per job).
+MAX_SEND_QUEUE = 256
+
+#: Per-worker queue depth bound when ``serve --max-queue`` is not
+#: given: deep enough to keep a worker busy, shallow enough that a
+#: burst turns into ``busy`` + client backoff instead of a pile-up.
+DEFAULT_MAX_QUEUE = 8
+
+#: The ``retry_after`` hint (seconds) carried by ``busy`` events.
+BUSY_RETRY_HINT = 0.05
 
 
-def _pool_context():
-    """A start method safe for a threaded parent (see module doc)."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "forkserver" if "forkserver" in methods else "spawn")
+class _Connection:
+    """One client connection's write side: a bounded queue drained by
+    a dedicated task, so scheduler code can ``send`` synchronously
+    without ever blocking the loop or raising on a dead peer."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+        self._outbox: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+        self._task = asyncio.get_running_loop().create_task(
+            self._drain())
+
+    def send(self, message: dict) -> None:
+        """Queue one event (loop thread only; never blocks, never
+        raises — a gone or over-slow peer just stops receiving)."""
+        if self._closed:
+            return
+        if self._outbox.qsize() >= MAX_SEND_QUEUE:
+            # The peer has not read hundreds of events: drop it
+            # rather than buffer without bound.
+            self._closed = True
+            self._outbox.put_nowait(None)
+            return
+        self._outbox.put_nowait(encode_message(message))
+
+    async def _drain(self) -> None:
+        try:
+            while True:
+                data = await self._outbox.get()
+                if data is None:
+                    break
+                self._writer.write(data)
+                await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._closed = True
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def aclose(self) -> None:
+        """Flush queued events (bounded wait), then close."""
+        if not self._closed:
+            self._closed = True
+            self._outbox.put_nowait(None)
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(self._task), timeout=2.0)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self._task.cancel()
 
 
 class AnalysisServer:
@@ -79,7 +160,8 @@ class AnalysisServer:
                  socket_path: str | None = None,
                  workers: int | None = None, cache=None,
                  default_timeout: float | None = 60.0,
-                 specialize: bool = True):
+                 specialize: bool = True,
+                 max_queue: int = DEFAULT_MAX_QUEUE):
         self.host = host
         self.port = port
         self.socket_path = socket_path
@@ -91,43 +173,51 @@ class AnalysisServer:
         #: whatever the request says (results are byte-identical, so
         #: this is an operational escape hatch, not a semantic knob).
         self.specialize = specialize
-        self._lock = threading.Lock()
+        self.max_queue = max(1, max_queue)
         self._inflight = InflightTable()
         self._jobs = {"submitted": 0, "executed": 0, "completed": 0,
                       "ok": 0, "timeout": 0, "error": 0,
-                      "coalesced": 0, "rejected": 0}
+                      "coalesced": 0, "rejected": 0, "busy": 0,
+                      "redispatched": 0}
         self._job_ids = itertools.count(1)
-        self._listener: socket.socket | None = None
-        self._pool: ProcessPoolExecutor | None = None
-        self._connections: set[socket.socket] = set()
+        self._tickets = itertools.count(1)
+        #: ticket -> (worker_id, flight, key, spec) for every job
+        #: currently at a worker; the death handler re-dispatches
+        #: these, the result handler retires them.
+        self._assignments: dict[int, tuple] = {}
+        self._depth: dict[str, int] = {}
+        self._ring = HashRing()
+        self._fleet: WorkerFleet | None = None
+        self._connections: set[_Connection] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._stopping = False
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+        self._stop_requested = threading.Event()
         self._stopped = threading.Event()
+        self._teardown_lock = threading.Lock()
+        self._torn_down = False
         self._started_at: float | None = None
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "AnalysisServer":
-        """Bind the socket, create the pool, accept in a thread."""
-        if self.socket_path:
-            listener = socket.socket(socket.AF_UNIX,
-                                     socket.SOCK_STREAM)
-            if os.path.exists(self.socket_path):
-                os.unlink(self.socket_path)
-            listener.bind(self.socket_path)
-        else:
-            listener = socket.socket(socket.AF_INET,
-                                     socket.SOCK_STREAM)
-            listener.setsockopt(socket.SOL_SOCKET,
-                                socket.SO_REUSEADDR, 1)
-            listener.bind((self.host, self.port))
-            self.port = listener.getsockname()[1]
-        listener.listen(128)
-        self._listener = listener
-        self._pool = ProcessPoolExecutor(max_workers=self.workers,
-                                         mp_context=_pool_context())
-        self._started_at = time.monotonic()
-        threading.Thread(target=self._accept_loop,
-                         name="repro-serve-accept",
-                         daemon=True).start()
+        """Spawn the fleet and the event loop; returns once bound."""
+        self._fleet = WorkerFleet(self.workers, self._post_result,
+                                  self._post_death).start()
+        for worker_id in self._fleet.live_workers():
+            self._ring.add(worker_id)
+            self._depth[worker_id] = 0
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-loop",
+            daemon=True)
+        self._loop_thread.start()
+        self._started.wait()
+        if self._start_error is not None:
+            self.stop()
+            raise self._start_error
         return self
 
     @property
@@ -142,33 +232,102 @@ class AnalysisServer:
         return self._stopped.wait(timeout)
 
     def stop(self) -> None:
-        """Stop accepting, drop connections, retire the pool."""
-        if self._stopped.is_set():
-            return
-        self._stopped.set()
-        if self._listener is not None:
+        """Stop accepting, drop connections, retire the fleet."""
+        self._stop_requested.set()
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
             try:
-                self._listener.close()
-            except OSError:
-                pass
-        with self._lock:
-            connections = list(self._connections)
-        for conn in connections:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+                loop.call_soon_threadsafe(self._begin_shutdown)
+            except RuntimeError:
+                pass  # closed between the check and the call
+        thread = self._loop_thread
+        if thread is not None \
+                and thread is not threading.current_thread():
+            thread.join(timeout=10.0)
+        self._teardown()
+
+    def _teardown(self) -> None:
+        with self._teardown_lock:
+            if self._torn_down:
+                return
+            self._torn_down = True
+        if self._fleet is not None:
+            self._fleet.stop()
         if self.socket_path and os.path.exists(self.socket_path):
             try:
                 os.unlink(self.socket_path)
             except OSError:
                 pass
+        self._stopped.set()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as error:  # never strand start()/wait()
+            if self._start_error is None:
+                self._start_error = error
+        finally:
+            try:
+                loop.close()
+            except OSError:
+                pass
+            self._started.set()  # no-op when startup succeeded
+            self._teardown()
+
+    async def _serve(self) -> None:
+        self._shutdown_event = asyncio.Event()
+        if self._stop_requested.is_set():
+            self._shutdown_event.set()
+        try:
+            # limit bounds each connection's read buffer: a peer
+            # streaming an endless unterminated line hits the cap and
+            # is dropped, exactly like the protocol module's
+            # read_frame promises.
+            if self.socket_path:
+                if os.path.exists(self.socket_path):
+                    os.unlink(self.socket_path)
+                server = await asyncio.start_unix_server(
+                    self._serve_connection, path=self.socket_path,
+                    limit=MAX_LINE_BYTES + 2, backlog=1024)
+            else:
+                server = await asyncio.start_server(
+                    self._serve_connection, host=self.host,
+                    port=self.port, limit=MAX_LINE_BYTES + 2,
+                    backlog=1024)
+                self.port = server.sockets[0].getsockname()[1]
+        except OSError as error:
+            self._start_error = error
+            self._started.set()
+            return
+        self._started_at = time.monotonic()
+        self._started.set()
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._stopping = True
+            server.close()
+            await server.wait_closed()
+            # Let farewell frames (`bye`, final `done`s) flush before
+            # the axe falls on the remaining handler tasks.
+            if self._connections:
+                await asyncio.gather(
+                    *[connection.aclose()
+                      for connection in list(self._connections)],
+                    return_exceptions=True)
+            current = asyncio.current_task()
+            tasks = [task for task in asyncio.all_tasks()
+                     if task is not current]
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _begin_shutdown(self) -> None:
+        self._stopping = True
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
 
     # -- stats -----------------------------------------------------------
 
@@ -177,89 +336,91 @@ class AnalysisServer:
 
         ``jobs.submitted`` counts every submission; each ends up as
         exactly one of a cache hit (``cache.hits``), a coalesced
-        follower (``jobs.coalesced``) or an executed analysis
-        (``jobs.executed``) — the stress suite asserts that identity.
+        follower (``jobs.coalesced``), a backpressure bounce
+        (``jobs.busy``) or an executed analysis (``jobs.executed``)
+        — the stress suite asserts that identity.  ``redispatched``
+        counts executed jobs that additionally survived a worker
+        death (they are not re-counted as executed).
         """
-        with self._lock:
-            jobs = dict(self._jobs)
+        jobs = dict(self._jobs)
         uptime = 0.0 if self._started_at is None \
             else time.monotonic() - self._started_at
+        fleet = []
+        if self._fleet is not None:
+            for row in self._fleet.stats_rows():
+                row["depth"] = self._depth.get(row["worker"], 0)
+                fleet.append(row)
         return {
             "endpoint": self.endpoint,
             "protocol": PROTOCOL_VERSION,
             "cache_schema": CACHE_SCHEMA_VERSION,
             "workers": self.workers,
+            "max_queue": self.max_queue,
             "uptime_seconds": round(uptime, 3),
             "jobs": jobs,
             "inflight": self._inflight.pending(),
+            "fleet": fleet,
             "cache": (self.cache.stats.as_dict()
                       if self.cache is not None else None),
         }
 
-    def _count(self, counter: str, amount: int = 1) -> None:
-        with self._lock:
-            self._jobs[counter] += amount
-
     # -- connection handling ---------------------------------------------
 
-    def _accept_loop(self) -> None:
-        while not self._stopped.is_set():
-            try:
-                conn, _ = self._listener.accept()
-            except OSError:
-                break
-            threading.Thread(target=self._serve_connection,
-                             args=(conn,), daemon=True).start()
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        with self._lock:
-            self._connections.add(conn)
-        send_lock = threading.Lock()
-
-        def send(message: dict) -> None:
-            data = encode_message(message)
-            with send_lock:
-                conn.sendall(data)
-
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
         try:
-            stream = conn.makefile("rb")
-            while not self._stopped.is_set():
+            while not self._stopping:
                 try:
-                    raw = read_frame(stream)
-                except ProtocolError as error:
-                    # An oversized frame cannot be resynced mid-line;
-                    # report and drop the connection.
-                    self._count("rejected")
-                    send({"event": "error", "error": str(error)})
+                    raw = await reader.readline()
+                except ValueError:
+                    # Line blew the StreamReader limit; cannot resync
+                    # mid-line, so report and drop the connection.
+                    self._jobs["rejected"] += 1
+                    connection.send({
+                        "event": "error",
+                        "error": f"frame exceeds {MAX_LINE_BYTES} "
+                                 f"bytes"})
                     break
-                if raw is None:
+                except (ConnectionError, OSError):
+                    break
+                if not raw:
+                    break  # EOF: client is done
+                if not raw.strip():
+                    continue
+                if len(raw) > MAX_LINE_BYTES:
+                    self._jobs["rejected"] += 1
+                    connection.send({
+                        "event": "error",
+                        "error": f"frame exceeds {MAX_LINE_BYTES} "
+                                 f"bytes"})
                     break
                 try:
-                    self._dispatch(raw, send)
+                    self._dispatch(raw, connection)
                 except ProtocolError as error:
-                    self._count("rejected")
-                    send({"event": "error", "error": str(error)})
+                    self._jobs["rejected"] += 1
+                    connection.send({"event": "error",
+                                     "error": str(error)})
                 except _Shutdown:
                     break
-        except (OSError, ValueError):
-            pass  # client went away mid-frame; nothing to clean up
+        except asyncio.CancelledError:
+            raise
         finally:
-            with self._lock:
-                self._connections.discard(conn)
-            try:
-                conn.close()
-            except OSError:
-                pass
+            self._connections.discard(connection)
+            await connection.aclose()
 
-    def _dispatch(self, raw: bytes, send) -> None:
+    def _dispatch(self, raw: bytes, connection: _Connection) -> None:
         message = decode_message(raw)
         op = message.get("op", "submit")
         if op == "submit":
-            self._handle_submit(message, send)
+            self._handle_submit(message, connection.send)
         elif op == "ping":
-            send({"event": "pong", "protocol": PROTOCOL_VERSION})
+            connection.send({"event": "pong",
+                             "protocol": PROTOCOL_VERSION})
         elif op == "stats":
-            send({"event": "stats", "stats": self.stats_snapshot()})
+            connection.send({"event": "stats",
+                             "stats": self.stats_snapshot()})
         elif op == "analyses":
             from repro.analysis.registry import registry_listing
             language = analyses_request_language(message)
@@ -268,9 +429,10 @@ class AnalysisServer:
                      "analyses": rows}
             if "id" in message:
                 event["job"] = str(message["id"])
-            send(event)
+            connection.send(event)
         elif op == "shutdown":
-            send({"event": "bye"})
+            connection.send({"event": "bye"})
+            # stop() joins the loop thread, so it cannot run here.
             threading.Thread(target=self.stop, daemon=True).start()
             raise _Shutdown()
         else:
@@ -278,7 +440,7 @@ class AnalysisServer:
                 f"unknown op {op!r}; choose from submit, stats, "
                 f"ping, shutdown")
 
-    # -- the scheduler ---------------------------------------------------
+    # -- the scheduler (loop thread only) --------------------------------
 
     def _handle_submit(self, message: dict, send) -> None:
         job_id = str(message["id"]) if "id" in message \
@@ -286,7 +448,7 @@ class AnalysisServer:
         try:
             spec = submit_spec(message)
         except ProtocolError as error:
-            self._count("rejected")
+            self._jobs["rejected"] += 1
             send({"event": "error", "job": job_id,
                   "error": str(error)})
             return
@@ -295,18 +457,17 @@ class AnalysisServer:
         if not self.specialize and spec.specialize:
             spec = replace(spec, specialize=False)
         key = job_cache_key(spec)
-        self._count("submitted")
+        self._jobs["submitted"] += 1
         send({"event": "queued", "job": job_id, "key": key})
         payload = self._cache_get(key)
         if payload is not None:
-            with self._lock:
-                self._jobs["completed"] += 1
-                self._jobs["ok"] += 1
+            self._jobs["completed"] += 1
+            self._jobs["ok"] += 1
             send(self._cached_done_event(job_id, key, payload))
             return
         flight = (key, spec.timeout)
         if not self._inflight.join(flight, (send, job_id)):
-            self._count("coalesced")
+            self._jobs["coalesced"] += 1
             send({"event": "running", "job": job_id,
                   "coalesced": True})
             return
@@ -325,29 +486,43 @@ class AnalysisServer:
                           "wall_seconds": payload.get("wall_seconds")},
                          cached=True)
             return
-        # `running` goes out before the dispatch so the leader can
-        # never observe `done` first, however fast the job is.  A
-        # failed send (client already gone) must not abandon the
-        # flight here — followers and the cache still want the run.
         try:
-            send({"event": "running", "job": job_id,
-                  "coalesced": False})
-        except OSError:
-            pass
-        self._count("executed")
-        try:
-            future = self._pool.submit(run_job, spec)
-        except Exception as error:
-            # Broken pool or racing stop(): the flight must still be
-            # retired, or every identical job would hang forever.
+            worker_id = self._ring.node_for(key)
+        except LookupError:
             self._settle(flight, key,
                          {"status": "error",
-                          "error": f"{type(error).__name__}: {error}",
+                          "error": "no live workers in the fleet",
                           "wall_seconds": 0.0})
             return
-        future.add_done_callback(
-            lambda fut, flight=flight, key=key:
-            self._finish(flight, key, fut))
+        # Admission control: the target shard is saturated — bounce
+        # with `busy` instead of queueing without bound.  Only the
+        # leader can get here (followers coalesced above), so popping
+        # the flight un-leads exactly this submission.
+        if self._depth.get(worker_id, 0) >= self.max_queue:
+            self._inflight.complete(flight)
+            self._jobs["busy"] += 1
+            send({"event": "busy", "job": job_id, "key": key,
+                  "worker": worker_id,
+                  "retry_after": BUSY_RETRY_HINT})
+            return
+        # `running` goes out before the dispatch so the leader can
+        # never observe `done` first, however fast the job is.
+        send({"event": "running", "job": job_id, "coalesced": False})
+        self._jobs["executed"] += 1
+        self._dispatch_job(worker_id, flight, key, spec)
+
+    def _dispatch_job(self, worker_id: str, flight, key: str,
+                      spec) -> None:
+        ticket = next(self._tickets)
+        self._assignments[ticket] = (worker_id, flight, key, spec)
+        self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
+        if not self._fleet.dispatch(worker_id, ticket, spec):
+            # The worker died between routing and dispatch; undo the
+            # bookkeeping and route to the next live shard.
+            del self._assignments[ticket]
+            self._depth[worker_id] -= 1
+            self._ring.remove(worker_id)
+            self._redispatch(flight, key, spec)
 
     def _cache_get(self, key: str, count_miss: bool = True):
         if self.cache is None:
@@ -363,18 +538,80 @@ class AnalysisServer:
                 "wall_seconds": payload.get("wall_seconds"),
                 "cached": True, "coalesced": False}
 
-    def _finish(self, flight, key: str, future) -> None:
-        """Pool callback: persist, retire the flight, fan out.
+    # -- fleet callbacks (pump threads -> loop) --------------------------
+
+    def _post_result(self, worker_id: str, ticket: int, row: dict,
+                     stats: dict) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._on_result, ticket, row)
+        except RuntimeError:
+            pass  # loop already closed: shutting down
+
+    def _post_death(self, worker_id: str) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._on_death, worker_id)
+        except RuntimeError:
+            pass
+
+    def _on_result(self, ticket: int, row: dict) -> None:
+        assignment = self._assignments.pop(ticket, None)
+        if assignment is None:
+            return  # retired by a racing shutdown
+        worker_id, flight, key, _spec = assignment
+        if worker_id in self._depth:
+            self._depth[worker_id] = max(
+                0, self._depth[worker_id] - 1)
+        self._finish(flight, key, row)
+
+    def _on_death(self, worker_id: str) -> None:
+        """A worker died: drop its shard, re-dispatch its orphans.
+
+        The pump thread delivers every result the worker sent before
+        dying *before* reporting the death (FIFO through
+        call_soon_threadsafe), so an orphan here is genuinely
+        unfinished — a completed job is never run twice.
+        """
+        if self._stopping:
+            return
+        self._ring.remove(worker_id)
+        self._depth.pop(worker_id, None)
+        orphans = [ticket
+                   for ticket, assignment in self._assignments.items()
+                   if assignment[0] == worker_id]
+        for ticket in orphans:
+            _, flight, key, spec = self._assignments.pop(ticket)
+            self._jobs["redispatched"] += 1
+            self._redispatch(flight, key, spec)
+
+    def _redispatch(self, flight, key: str, spec) -> None:
+        """Route an already-admitted job to the key's next live
+        shard; admission is bypassed (a death must never bounce a job
+        that was already accepted)."""
+        try:
+            worker_id = self._ring.node_for(key)
+        except LookupError:
+            self._settle(flight, key,
+                         {"status": "error",
+                          "error": "worker died and no live workers "
+                                   "remain",
+                          "wall_seconds": 0.0})
+            return
+        self._dispatch_job(worker_id, flight, key, spec)
+
+    # -- completion ------------------------------------------------------
+
+    def _finish(self, flight, key: str, row: dict) -> None:
+        """Persist, retire the flight, fan out.
 
         Cache write strictly precedes the in-flight pop — see the
         module docstring for why that order closes the re-run race.
         """
-        try:
-            row = future.result()
-        except Exception as error:  # cancelled or broken pool
-            row = {"status": "error",
-                   "error": f"{type(error).__name__}: {error}",
-                   "wall_seconds": 0.0}
         if self.cache is not None and row["status"] == "ok":
             try:
                 self.cache.put(key, cache_payload(row))
@@ -386,9 +623,8 @@ class AnalysisServer:
                 cached: bool = False) -> None:
         """Retire a flight and fan *row* out to every subscriber."""
         subscribers = self._inflight.complete(flight)
-        with self._lock:
-            self._jobs["completed"] += len(subscribers)
-            self._jobs[row["status"]] += len(subscribers)
+        self._jobs["completed"] += len(subscribers)
+        self._jobs[row["status"]] += len(subscribers)
         event = {"event": "done", "key": key,
                  "status": row["status"],
                  "wall_seconds": row.get("wall_seconds"),
@@ -402,10 +638,7 @@ class AnalysisServer:
             message = dict(event)
             message["job"] = job_id
             message["coalesced"] = index > 0
-            try:
-                send(message)
-            except OSError:
-                pass  # that client disconnected while waiting
+            send(message)  # a gone subscriber is silently skipped
 
 
 class _Shutdown(Exception):

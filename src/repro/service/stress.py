@@ -1,0 +1,315 @@
+"""Stress harness: thousands of concurrent clients, one fleet.
+
+This is the load generator behind ``python -m repro stress`` and
+``benchmarks/stress_service.py``.  It drives N asyncio clients — each
+its own NDJSON connection submitting sequential jobs drawn from a
+small pool of distinct programs — against either an in-process
+:class:`~repro.service.server.AnalysisServer` (the default: a
+self-contained benchmark) or an external ``--endpoint``.
+
+The harness is a *correctness* check as much as a throughput meter:
+
+* every ``ok`` response is byte-compared against a locally computed
+  run of the same program (``mismatched`` must be zero — results must
+  never cross wires between clients, however hard the fleet is hit);
+* a job that never reaches a terminal event within the deadline
+  counts as ``dropped``; a ``done`` for an id that already finished
+  counts as ``duplicated`` — the acceptance bar is zero of each;
+* ``busy`` bounces are retried with the client library's jittered
+  backoff and reported, not failed.
+
+The request mix is deterministic: client *c*'s requests all use
+program ``c % distinct``, and each client submits ``requests`` rounds
+back-to-back.  With the result cache disabled (the default here),
+round 1 exercises in-flight coalescing (many clients, few keys) and
+round 2 exercises warm-worker reuse: the key hashes to the same
+shard, whose :class:`~repro.cache.ProgramCache` still holds the
+compiled program — observable as ``plans_reused`` in the final server
+stats.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+from repro.service.client import busy_backoff
+from repro.service.jobs import JobSpec, run_job
+from repro.service.protocol import (
+    MAX_LINE_BYTES, decode_message, encode_message,
+)
+
+#: Defaults sized for the CI smoke (200 clients) — the acceptance run
+#: scales ``--clients`` to 1000+.
+DEFAULT_CLIENTS = 200
+DEFAULT_REQUESTS = 2
+DEFAULT_DISTINCT = 8
+DEFAULT_WORKERS = 4
+
+#: Stress clients retry ``busy`` harder than the interactive client:
+#: under deliberate overload, giving up early would misreport
+#: saturation as loss.
+STRESS_BUSY_RETRIES = 16
+
+
+def stress_program(index: int) -> str:
+    """The *index*-th distinct stress program: tiny, constant-varied
+    so each index has its own cache key (and so its own shard)."""
+    return (f"(define (id x) x)\n"
+            f"(+ (id {index}) (id {index + 1}))")
+
+
+def raise_fd_limit(wanted: int) -> int:
+    """Best-effort bump of ``RLIMIT_NOFILE`` toward *wanted* (each
+    client burns a socket; 1000 clients need headroom past the
+    common 1024 soft default).  Returns the limit now in force."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX: nothing to raise
+        return wanted
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft >= wanted:
+        return soft
+    target = min(wanted, hard) if hard > 0 else wanted
+    try:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (target, hard))
+    except (ValueError, OSError):
+        return soft
+    return target
+
+
+@dataclass
+class StressReport:
+    """One stress run's verdict — counters, latency percentiles and
+    the server's closing stats snapshot."""
+
+    endpoint: str
+    clients: int
+    requests_per_client: int
+    distinct: int
+    workers: int
+    completed: int = 0
+    ok: int = 0
+    timeout: int = 0
+    errors: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    busy_bounces: int = 0
+    verified: int = 0
+    mismatched: int = 0
+    wall_seconds: float = 0.0
+    throughput: float = 0.0
+    p50: float = 0.0
+    p90: float = 0.0
+    p99: float = 0.0
+    max_latency: float = 0.0
+    server_stats: dict | None = None
+    latencies: list = field(default_factory=list, repr=False)
+
+    def percentile(self, quantile: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1,
+                    int(quantile * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def finalize(self, wall_seconds: float) -> "StressReport":
+        self.wall_seconds = wall_seconds
+        self.throughput = (self.completed / wall_seconds
+                           if wall_seconds > 0 else 0.0)
+        self.p50 = self.percentile(0.50)
+        self.p90 = self.percentile(0.90)
+        self.p99 = self.percentile(0.99)
+        self.max_latency = max(self.latencies, default=0.0)
+        return self
+
+    def as_dict(self) -> dict:
+        row = {key: value for key, value in self.__dict__.items()
+               if key != "latencies"}
+        row["latency_samples"] = len(self.latencies)
+        return row
+
+
+async def _open(endpoint: str):
+    """One client connection to *endpoint* (host:port or a socket
+    path), with the read limit the protocol's frame cap requires."""
+    if "/" in endpoint or ":" not in endpoint:
+        return await asyncio.open_unix_connection(
+            endpoint, limit=MAX_LINE_BYTES + 2)
+    host, port = endpoint.rsplit(":", 1)
+    return await asyncio.open_connection(
+        host, int(port), limit=MAX_LINE_BYTES + 2)
+
+
+async def _run_client(endpoint: str, client_index: int,
+                      programs: list[str], expected: dict,
+                      report: StressReport, analysis: str,
+                      context: int, job_timeout: float) -> None:
+    reader, writer = await _open(endpoint)
+    completed_ids: set[str] = set()
+    try:
+        source = programs[client_index % len(programs)]
+        for request_index in range(report.requests_per_client):
+            started = time.perf_counter()
+            outcome = None
+            for attempt in range(STRESS_BUSY_RETRIES + 1):
+                job_id = (f"s{client_index}-{request_index}"
+                          f"-{attempt}")
+                writer.write(encode_message(
+                    {"op": "submit", "id": job_id, "source": source,
+                     "analysis": analysis, "context": context,
+                     "timeout": job_timeout}))
+                await writer.drain()
+                bounced = False
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        raise ConnectionError(
+                            "server closed the connection")
+                    event = decode_message(line)
+                    event_job = event.get("job")
+                    if event_job != job_id:
+                        # A frame for a finished submission: a late
+                        # `running` is protocol-legal, a second
+                        # `done` is the duplication bug this harness
+                        # exists to catch.
+                        if event.get("event") == "done" \
+                                and event_job in completed_ids:
+                            report.duplicated += 1
+                        continue
+                    kind = event.get("event")
+                    if kind == "busy":
+                        report.busy_bounces += 1
+                        bounced = True
+                        break
+                    if kind in ("done", "error"):
+                        outcome = event
+                        completed_ids.add(job_id)
+                        break
+                if not bounced:
+                    break
+                await asyncio.sleep(busy_backoff(attempt))
+            if outcome is None:  # busy retries exhausted
+                report.dropped += 1
+                continue
+            report.latencies.append(time.perf_counter() - started)
+            report.completed += 1
+            status = outcome.get("status")
+            if outcome.get("event") == "error" \
+                    or status == "error":
+                report.errors += 1
+            elif status == "timeout":
+                report.timeout += 1
+            else:
+                report.ok += 1
+                want = expected.get(source)
+                if want is not None:
+                    report.verified += 1
+                    if outcome.get("stdout") != want:
+                        report.mismatched += 1
+    finally:
+        with contextlib.suppress(OSError):
+            writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+async def _fetch_stats(endpoint: str) -> dict | None:
+    try:
+        reader, writer = await _open(endpoint)
+    except OSError:
+        return None
+    try:
+        writer.write(encode_message({"op": "stats"}))
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            return None
+        return decode_message(line).get("stats")
+    finally:
+        with contextlib.suppress(OSError):
+            writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+async def _drive(endpoint: str, report: StressReport,
+                 programs: list[str], expected: dict, analysis: str,
+                 context: int, job_timeout: float,
+                 deadline: float) -> None:
+    tasks = [asyncio.create_task(_run_client(
+        endpoint, client_index, programs, expected, report,
+        analysis, context, job_timeout))
+        for client_index in range(report.clients)]
+    done, pending = await asyncio.wait(tasks, timeout=deadline)
+    for task in pending:
+        task.cancel()
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    for task in done:
+        error = task.exception()
+        if error is not None:
+            # A client that died (connection torn down, protocol
+            # violation) abandons its remaining requests — those
+            # fall into `dropped` below.
+            report.errors += 1
+    # Whatever never reached a terminal event — deadline-cancelled,
+    # stranded by a crashed client — was dropped.
+    report.dropped = (report.clients * report.requests_per_client
+                      - report.completed)
+    report.server_stats = await _fetch_stats(endpoint)
+
+
+def run_stress(endpoint: str | None = None,
+               clients: int = DEFAULT_CLIENTS,
+               requests: int = DEFAULT_REQUESTS,
+               distinct: int = DEFAULT_DISTINCT,
+               workers: int = DEFAULT_WORKERS,
+               max_queue: int | None = None,
+               analysis: str = "mcfa", context: int = 1,
+               job_timeout: float = 30.0,
+               deadline: float = 300.0,
+               verify: bool = True) -> StressReport:
+    """Run one stress campaign and return its report.
+
+    With *endpoint* ``None`` an in-process server is started (cache
+    disabled, *workers* workers) and stopped afterwards; otherwise
+    the named server is driven as-is.  *verify* precomputes each
+    distinct program's expected output locally for byte-comparison —
+    skip it only when stressing analyses too slow to run twice.
+    """
+    if clients < 1 or requests < 1 or distinct < 1:
+        raise ValueError("clients, requests and distinct must all "
+                         "be positive")
+    raise_fd_limit(2 * clients + 64)
+    programs = [stress_program(index) for index in range(distinct)]
+    expected = {}
+    if verify:
+        for source in programs:
+            row = run_job(JobSpec(source=source, analysis=analysis,
+                                  context=context,
+                                  timeout=job_timeout))
+            if row["status"] == "ok":
+                expected[source] = row["stdout"]
+    server = None
+    if endpoint is None:
+        from repro.service.server import AnalysisServer
+        kwargs = {} if max_queue is None \
+            else {"max_queue": max_queue}
+        server = AnalysisServer(port=0, workers=workers,
+                                cache=None, **kwargs).start()
+        endpoint = server.endpoint
+    report = StressReport(endpoint=endpoint, clients=clients,
+                          requests_per_client=requests,
+                          distinct=distinct, workers=workers)
+    started = time.perf_counter()
+    try:
+        asyncio.run(_drive(endpoint, report, programs, expected,
+                           analysis, context, job_timeout, deadline))
+    finally:
+        if server is not None:
+            server.stop()
+    return report.finalize(time.perf_counter() - started)

@@ -85,6 +85,35 @@ class TestMatrix:
         assert row["status"] == "ok"
         assert row["engine_path"] == "specialized:zero-fj-flat"
 
+    def test_fj_random_ladder_is_an_fj_program(self):
+        tasks = build_matrix(["fjrand42"], ["fj-poly", "zero"], [0])
+        assert [task.analysis for task in tasks] == ["fj-poly"]
+
+    def test_fj_random_resolves_deterministically(self):
+        """`bench --programs fjrand42` must mean the same program on
+        every invocation: the seed alone pins the generated source,
+        and re-running the cell reproduces the result columns."""
+        from repro.benchsuite.runner import task_source
+        from repro.generators.fj_random import fj_random_source
+        task = BenchTask("fjrand42", "fj-poly", 0)
+        assert task_source(task) == task_source(task)
+        assert task_source(task) == fj_random_source(42)
+        first = run_task(task)
+        second = run_task(task)
+        assert first["status"] == "ok"
+        volatile = ("pid", "wall_seconds", "elapsed")
+        strip = lambda row: {key: value for key, value in row.items()
+                             if key not in volatile}
+        assert strip(first) == strip(second)
+
+    def test_fj_random_via_bench_cli(self, capsys, tmp_path):
+        from repro.__main__ import main
+        assert main(["bench", "--programs", "fjrand42",
+                     "--analyses", "fj-poly", "--contexts", "0",
+                     "--serial", "--output", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "fjrand42:fj-poly(0)" in out
+
     def test_repeat_keeps_one_row(self):
         row = run_task(BenchTask("eta", "zero", 0, repeat=3))
         assert row["status"] == "ok"

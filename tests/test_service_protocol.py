@@ -364,28 +364,35 @@ class TestSubmitSpecialize:
 
 
 class TestLeaderDisconnect:
-    def test_leader_send_failure_does_not_leak_the_flight(self):
-        """A leader whose client vanished before the `running` event
-        must still dispatch — a leaked flight would hang every
-        future identical submission forever."""
+    def test_leader_disconnect_does_not_leak_the_flight(self):
+        """A leader whose client vanishes right after submitting must
+        still run to completion and retire its flight — a leaked
+        flight would hang every future identical submission forever."""
+        import socket
         import time
         from repro.service.client import ServiceClient
+        from repro.service.protocol import encode_message
         from repro.service.server import AnalysisServer
 
         server = AnalysisServer(port=0, workers=1).start()
         try:
-            def dead_send(message):
-                if message.get("event") in ("running", "done"):
-                    raise OSError("client went away")
-
-            server._handle_submit(
+            # Submit raw and slam the connection shut without reading
+            # a single event: the server's fan-out must tolerate the
+            # dead subscriber.
+            ghost = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10.0)
+            ghost.sendall(encode_message(
                 {"op": "submit", "id": "ghost", "source": SOURCE,
-                 "analysis": "mcfa", "context": 1, "timeout": 30.0},
-                dead_send)
+                 "analysis": "mcfa", "context": 1, "timeout": 30.0}))
+            ghost.close()
             deadline = time.monotonic() + 30
-            while server._inflight.pending() \
-                    and time.monotonic() < deadline:
+            while time.monotonic() < deadline:
+                if server._jobs["submitted"] >= 1 \
+                        and server._inflight.pending() == 0:
+                    break
                 time.sleep(0.05)
+            assert server._jobs["submitted"] >= 1, \
+                "the ghost's submission never reached the scheduler"
             assert server._inflight.pending() == 0, \
                 "the dead leader's flight was never retired"
             # And an identical job from a live client completes.
@@ -397,33 +404,41 @@ class TestLeaderDisconnect:
             server.stop()
 
 
-class TestBrokenPool:
-    def test_submit_failure_retires_the_flight(self):
-        """If dispatching to the pool raises (broken pool, racing
-        stop()), the job must report an error and the in-flight entry
-        must be retired — otherwise every identical submission after
-        it would hang forever."""
+class TestDeadFleet:
+    def test_submit_with_no_live_workers_retires_the_flight(self):
+        """If every worker is gone the job must report an error and
+        the in-flight entry must be retired — otherwise every
+        identical submission after it would hang forever."""
+        import time
         from repro.service.client import ServiceClient
         from repro.service.server import AnalysisServer
 
-        class ExplodingPool:
-            def submit(self, fn, *args, **kwargs):
-                raise RuntimeError("pool is broken")
-
-            def shutdown(self, **kwargs):
-                pass
-
         server = AnalysisServer(port=0, workers=1).start()
         try:
-            server._pool.shutdown(wait=False)
-            server._pool = ExplodingPool()
+            for worker_id in server._fleet.live_workers():
+                server._fleet.kill(worker_id)
+            deadline = time.monotonic() + 30
+            while server._fleet.live_workers() \
+                    and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert not server._fleet.live_workers()
+            # The ring empties via the death callback on the server's
+            # loop; poll through a real client until it has.
             with ServiceClient(port=server.port) as client:
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    final = client.submit(source=SOURCE,
+                                          analysis="mcfa", context=1,
+                                          timeout=30.0)
+                    if final["status"] == "error":
+                        break
+                    time.sleep(0.05)
                 for _ in range(2):  # a leaked flight would hang here
                     final = client.submit(source=SOURCE,
                                           analysis="mcfa", context=1,
                                           timeout=30.0)
                     assert final["status"] == "error"
-                    assert "pool is broken" in final["error"]
+                    assert "no live workers" in final["error"]
                 assert client.stats()["inflight"] == 0
         finally:
             server.stop()

@@ -14,6 +14,8 @@ cache hit.
 
 from __future__ import annotations
 
+import json
+import socket
 import threading
 
 import pytest
@@ -157,3 +159,47 @@ class TestStressMix:
         assert final["status"] == "timeout"
         assert final["cached"] is False
         assert stats["jobs"]["executed"] == executed_before + 1
+
+
+class TestSlowReader:
+    def test_slow_reader_never_stalls_other_clients(self, server):
+        """One client submits, then stops reading its socket.  The
+        front door must keep serving everyone else — its writes go
+        through per-connection send queues, never the event loop —
+        and once the laggard finally drains, its frames arrive
+        intact and in order (queued … done, correct bytes)."""
+        source = "(define (laggard x) (* x 3))\n(laggard 14)\n"
+        expected = run_job(JobSpec(source=source, analysis="mcfa",
+                                   context=1,
+                                   timeout=60.0))["stdout"]
+        raw = socket.create_connection(("127.0.0.1", server.port),
+                                       timeout=60)
+        try:
+            raw.sendall((json.dumps(
+                {"op": "submit", "id": "laggard", "source": source,
+                 "analysis": "mcfa", "context": 1,
+                 "timeout": 60.0}) + "\n").encode("utf-8"))
+
+            # While the laggard reads nothing, a live client's whole
+            # conversation — including a job of its own — completes.
+            with ServiceClient(port=server.port) as client:
+                brisk = client.submit(
+                    source="(define (brisk x) (+ x 7))\n(brisk 5)\n",
+                    analysis="mcfa", context=1, timeout=60.0)
+            assert brisk["status"] == "ok"
+
+            # Now drain: everything queued for us is still there.
+            events = []
+            with raw.makefile("r", encoding="utf-8") as reader:
+                for line in reader:
+                    events.append(json.loads(line))
+                    if events[-1].get("event") == "done":
+                        break
+        finally:
+            raw.close()
+        assert [event["event"] for event in events[:1]] == ["queued"]
+        done = events[-1]
+        assert done["event"] == "done"
+        assert done["job"] == "laggard"
+        assert done["status"] == "ok"
+        assert done["stdout"] == expected
