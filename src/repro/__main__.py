@@ -279,6 +279,10 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-specialize", action="store_true",
                         help="ask for the generic engine loop "
                              "(results are byte-identical)")
+    submit.add_argument("--session", action="store_true",
+                        help="open a warm analysis session on the "
+                             "worker (prints its id on stderr for "
+                             "`repro edit` / `repro query`)")
     submit.add_argument("--list-analyses", action="store_true",
                         help="print the server's registered analyses "
                              "(the `analyses` op) and exit")
@@ -291,6 +295,49 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--quiet", action="store_true",
                         help="suppress streamed progress events on "
                              "stderr")
+
+    def _connection_arguments(subparser):
+        subparser.add_argument("--socket", default=None,
+                               help="connect to this Unix socket "
+                                    "path instead of TCP")
+        subparser.add_argument("--host", default="127.0.0.1",
+                               help="server TCP address "
+                                    "(default 127.0.0.1)")
+        subparser.add_argument("--port", type=int, default=7557,
+                               help="server TCP port (default 7557)")
+        subparser.add_argument("--quiet", action="store_true",
+                               help="suppress streamed progress "
+                                    "events on stderr")
+
+    edit = commands.add_parser(
+        "edit", help="incrementally re-analyze a warm session "
+                     "against an edited source")
+    edit.add_argument("session",
+                      help="the session id a `submit --session` "
+                           "printed")
+    edit.add_argument("file", help="edited source path ('-' stdin)")
+    edit.add_argument("--timeout", type=float, default=None,
+                      help="wall-clock budget in seconds (default: "
+                           "the server's --job-timeout)")
+    _connection_arguments(edit)
+
+    query = commands.add_parser(
+        "query", help="ask a warm session one demand-driven point "
+                      "query (no full report)")
+    query.add_argument("session",
+                       help="the session id a `submit --session` "
+                            "printed")
+    query.add_argument("kind",
+                       choices=["value-of", "call-sites-of",
+                                "escaping"],
+                       help="what to ask: the values reaching a "
+                            "variable, the call sites that may "
+                            "invoke a lambda, or whether a lambda "
+                            "escapes")
+    query.add_argument("target",
+                       help="a variable name (value-of) or a lambda "
+                            "label (call-sites-of, escaping)")
+    _connection_arguments(query)
     return parser
 
 
@@ -577,22 +624,38 @@ def _cmd_stress(args) -> int:
     return 0 if clean else 1
 
 
-def _cmd_submit(args) -> int:
-    from repro.reporting import job_event_line, service_stats_report
+def _connect_client(args):
+    """A connected :class:`ServiceClient`, or ``None`` after printing
+    the can't-reach message (callers exit 1)."""
     from repro.service.client import ServiceClient
-    if not (args.server_stats or args.shutdown
-            or args.list_analyses):
-        # Same usage-error contract as analyze (exit 2), checked
-        # client-side so a typo needs neither a server nor stdin.
-        _validate_analysis_args(args)
     try:
-        client = ServiceClient(host=args.host, port=args.port,
-                               socket_path=args.socket)
+        return ServiceClient(host=args.host, port=args.port,
+                             socket_path=args.socket)
     except OSError as error:
         target = args.socket or f"{args.host}:{args.port}"
         print(f"error: cannot reach server at {target}: {error} "
               f"(is `python -m repro serve` running?)",
               file=sys.stderr)
+        return None
+
+
+def _event_printer(args):
+    from repro.reporting import job_event_line
+    if args.quiet:
+        return None
+    return lambda event: print(job_event_line(event),
+                               file=sys.stderr, flush=True)
+
+
+def _cmd_submit(args) -> int:
+    from repro.reporting import service_stats_report
+    if not (args.server_stats or args.shutdown
+            or args.list_analyses):
+        # Same usage-error contract as analyze (exit 2), checked
+        # client-side so a typo needs neither a server nor stdin.
+        _validate_analysis_args(args)
+    client = _connect_client(args)
+    if client is None:
         return 1
     with client:
         if args.list_analyses:
@@ -613,22 +676,63 @@ def _cmd_submit(args) -> int:
             print("error: submit needs a file (or --server-stats / "
                   "--list-analyses / --shutdown)", file=sys.stderr)
             return 2
-        on_event = None if args.quiet else (
-            lambda event: print(job_event_line(event),
-                                file=sys.stderr, flush=True))
         final = client.submit(
             source=_read_source(args.file), analysis=args.analysis,
             context=args.context, simplify=args.simplify,
             report=args.report, values=args.values,
             timeout=args.timeout,
-            specialize=not args.no_specialize, on_event=on_event)
+            specialize=not args.no_specialize,
+            session=args.session, on_event=_event_printer(args))
     if final.get("status") == "ok":
         sys.stdout.write(final["stdout"])
-        if final.get("cached"):
+        if final.get("session"):
+            print(f"session {final['session']} open — follow up "
+                  f"with `repro edit {final['session']} <file>` or "
+                  f"`repro query {final['session']} <kind> "
+                  f"<target>`", file=sys.stderr)
+        elif final.get("cached"):
             print("(cached result)", file=sys.stderr)
         elif final.get("coalesced"):
             print("(coalesced with an identical in-flight job)",
                   file=sys.stderr)
+        return 0
+    print(f"error: {final.get('error', final)}", file=sys.stderr)
+    return 1
+
+
+def _cmd_edit(args) -> int:
+    client = _connect_client(args)
+    if client is None:
+        return 1
+    with client:
+        final = client.edit(args.session,
+                            source=_read_source(args.file),
+                            timeout=args.timeout,
+                            on_event=_event_printer(args))
+    if final.get("status") == "ok":
+        sys.stdout.write(final["stdout"])
+        mode = final.get("mode", "?")
+        detail = f"({final.get('reason', '')})" if mode == "scratch" \
+            else (f"({final.get('cleared', '?')} addresses cleared, "
+                  f"{final.get('seeds', '?')} seeds, "
+                  f"{final.get('steps', '?')} engine steps)")
+        print(f"session {args.session}: {mode} {detail}",
+              file=sys.stderr)
+        return 0
+    print(f"error: {final.get('error', final)}", file=sys.stderr)
+    return 1
+
+
+def _cmd_query(args) -> int:
+    from repro.reporting import query_answer_report
+    client = _connect_client(args)
+    if client is None:
+        return 1
+    with client:
+        final = client.query(args.session, args.kind, args.target,
+                             on_event=_event_printer(args))
+    if final.get("status") == "ok":
+        print(query_answer_report(final.get("answer") or {}))
         return 0
     print(f"error: {final.get('error', final)}", file=sys.stderr)
     return 1
@@ -670,6 +774,8 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "stress": _cmd_stress,
         "submit": _cmd_submit,
+        "edit": _cmd_edit,
+        "query": _cmd_query,
     }[args.command]
     try:
         return handler(args)

@@ -48,6 +48,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 import threading
 from dataclasses import dataclass, field
@@ -65,6 +66,10 @@ def default_cache_dir() -> Path:
     root = os.environ.get("XDG_CACHE_HOME")
     base = Path(root) if root else Path.home() / ".cache"
     return base / "repro"
+
+
+#: What a cache entry's filename stem looks like: a SHA-256 digest.
+_KEY_SHAPED = re.compile(r"[0-9a-f]{64}")
 
 
 def cache_key(source: str, analysis: str, parameter: int,
@@ -89,10 +94,12 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     rejected: int = 0  # corrupt or schema-mismatched entries
+    pruned: int = 0    # entries removed by prune()
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes, "rejected": self.rejected}
+                "writes": self.writes, "rejected": self.rejected,
+                "pruned": self.pruned}
 
 
 @dataclass
@@ -175,11 +182,24 @@ class ResultCache:
             self.stats.writes += 1
         return path
 
+    def _entry_paths(self):
+        """Key-shaped entry files only.
+
+        The directory can also hold in-progress ``.tmp-*`` writes and
+        foreign files; counting or pruning those would misreport the
+        cache (and prune must never delete a file it does not own).
+        A real entry's stem is a SHA-256 hex digest.
+        """
+        for path in self.directory.glob("*.json"):
+            if _KEY_SHAPED.fullmatch(path.stem):
+                yield path
+
     def prune(self) -> int:
         """Delete entries that no longer parse under the current
-        schema; returns how many were removed."""
+        schema; returns how many were removed (also accumulated in
+        ``stats.pruned``)."""
         removed = 0
-        for path in self.directory.glob("*.json"):
+        for path in self._entry_paths():
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     entry = json.load(handle)
@@ -190,10 +210,12 @@ class ResultCache:
             if not keep:
                 path.unlink(missing_ok=True)
                 removed += 1
+        with self._stats_lock:
+            self.stats.pruned += removed
         return removed
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self._entry_paths())
 
 
 @dataclass
@@ -282,6 +304,7 @@ class ProgramCache:
                              f"{capacity}")
         self.capacity = capacity
         self._entries: dict[tuple, object] = {}  # insertion = LRU order
+        self._pins: dict[tuple, int] = {}  # key → live session count
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -307,15 +330,35 @@ class ProgramCache:
         self._entries.pop(key, None)
         self._entries[key] = program
         while len(self._entries) > self.capacity:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
+            victim = next((key for key in self._entries
+                           if not self._pins.get(key)), None)
+            if victim is None:
+                break  # every entry is pinned by a live session
+            del self._entries[victim]
             self.evictions += 1
+
+    def pin(self, key: tuple) -> None:
+        """Shield *key* from LRU eviction while a session references
+        it.  Pins nest: each :meth:`pin` needs one :meth:`unpin`."""
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: tuple) -> None:
+        count = self._pins.get(key, 0) - 1
+        if count > 0:
+            self._pins[key] = count
+        else:
+            self._pins.pop(key, None)
+
+    def pinned(self) -> int:
+        """How many distinct keys are currently pinned."""
+        return len(self._pins)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def as_dict(self) -> dict:
         return {"size": len(self._entries), "capacity": self.capacity,
+                "pinned": len(self._pins),
                 "hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions}
 

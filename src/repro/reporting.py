@@ -197,15 +197,27 @@ def job_event_line(event: dict) -> str:
     kind = event.get("event", "?")
     job = event.get("job", "?")
     if kind == "queued":
+        if event.get("session") and not event.get("key"):
+            return f"[{job}] queued (session {event['session']})"
         key = (event.get("key") or "")[:12]
         return f"[{job}] queued (key {key})"
     if kind == "running":
+        if event.get("session"):
+            return f"[{job}] running (session {event['session']})"
         suffix = " (coalesced with an identical in-flight job)" \
             if event.get("coalesced") else ""
         return f"[{job}] running{suffix}"
     if kind == "done":
         extra = " cached" if event.get("cached") else (
             " coalesced" if event.get("coalesced") else "")
+        if event.get("session"):
+            extra = f" session {event['session']}"
+            if event.get("mode"):
+                extra += f" ({event['mode']}"
+                if event.get("mode") == "resumed":
+                    extra += (f": {event.get('cleared', '?')} cleared"
+                              f", {event.get('steps', '?')} steps")
+                extra += ")"
         wall = event.get("wall_seconds")
         timing = f" in {wall:.2f}s" if isinstance(wall, (int, float)) \
             else ""
@@ -245,6 +257,14 @@ def service_stats_report(stats: dict) -> str:
                  f"{jobs.get('executed', 0)} analyses "
                  f"({jobs.get('busy', 0)} busy bounces, "
                  f"{jobs.get('redispatched', 0)} redispatched)")
+    sessions = stats.get("sessions") or {}
+    lines.append(
+        f"  sessions: {sessions.get('open', 0)} open "
+        f"({jobs.get('sessions', 0)} opened, "
+        f"{jobs.get('edits', 0)} edits — "
+        f"{jobs.get('resumed', 0)} warm-resumed, "
+        f"{jobs.get('scratch', 0)} from scratch — "
+        f"{jobs.get('queries', 0)} queries)")
     for row in stats.get("fleet") or ():
         state = "alive" if row.get("alive") else "dead"
         lines.append(
@@ -263,6 +283,35 @@ def service_stats_report(stats: dict) -> str:
     else:
         lines.append("  cache: disabled")
     return "\n".join(lines)
+
+
+def query_answer_report(answer: dict) -> str:
+    """Render one session point-query answer (the ``query`` CLI's
+    stdout) — a few lines, never a full report."""
+    kind = answer.get("query")
+    target = answer.get("target")
+    if kind == "value-of":
+        values = answer.get("values") or []
+        lines = [f"value-of {target}: {len(values)} value(s) over "
+                 f"{answer.get('contexts', 0)} context(s)"]
+        lines += [f"  {value}" for value in values]
+        return "\n".join(lines)
+    if kind == "call-sites-of":
+        sites = answer.get("sites") or []
+        rendered = ", ".join(str(site) for site in sites) or "none"
+        return (f"call-sites-of lam@{target}: {len(sites)} site(s) "
+                f"of {answer.get('probed', 0)} probed\n"
+                f"  call label(s): {rendered}")
+    if kind == "escaping":
+        verdict = "escapes" if answer.get("escaping") \
+            else "does not escape"
+        channels = [name for name, flag in
+                    (("halt", answer.get("to_halt")),
+                     ("heap", answer.get("to_heap"))) if flag]
+        via = f" (via {', '.join(channels)})" if channels else ""
+        return f"escaping lam@{target}: {verdict}{via}"
+    import json
+    return json.dumps(answer, indent=2, sort_keys=True)
 
 
 def stress_report(report) -> str:

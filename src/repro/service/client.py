@@ -133,12 +133,61 @@ class ServiceClient:
         """Ask the server to stop; returns its ``bye`` event."""
         return self._roundtrip({"op": "shutdown"}, "bye")
 
+    def _attempt(self, message: dict, on_event) -> dict:
+        """Send one request and block until its ``busy`` or terminal
+        event, streaming intermediates to *on_event*.
+
+        Only events carrying exactly this request's job id belong to
+        it.  A frame tagged with a *different* id is a stray from an
+        earlier attempt on this connection (e.g. a coalesced
+        follower's ``running`` trailing its ``done``, or a late frame
+        from a busy-bounced attempt) and must never be mistaken for
+        this request's — accepting unattributed frames here once let
+        a stale event terminate the wrong retry attempt.  The one
+        exception: an *untagged* ``error`` is a connection-level
+        rejection the server could not attribute to any job, and is
+        terminal for whatever is in flight.
+        """
+        job_id = message["id"]
+        self._send(message)
+        while True:
+            event = self._next_event()
+            if event.get("job") != job_id:
+                if "job" in event or event.get("event") != "error":
+                    continue
+            if event.get("event") == "busy":
+                return event
+            if event.get("event") in TERMINAL_EVENTS:
+                return event
+            if on_event is not None:
+                on_event(event)
+
+    def _with_busy_retries(self, base: dict, on_event,
+                           busy_retries: int) -> dict:
+        """Run *base* to a terminal event, retrying ``busy`` bounces
+        up to *busy_retries* times with jittered exponential backoff,
+        under a fresh job id each attempt.  Only after the last
+        bounce does the ``busy`` event itself come back, so callers
+        can distinguish "gave up on a saturated fleet" from a
+        result."""
+        for attempt in range(busy_retries + 1):
+            message = dict(base, id=f"c{next(self._ids)}")
+            event = self._attempt(message, on_event)
+            if event.get("event") != "busy" \
+                    or attempt >= busy_retries:
+                return event
+            if on_event is not None:
+                on_event(event)
+            time.sleep(max(event.get("retry_after", 0.0),
+                           busy_backoff(attempt)))
+
     def submit(self, source: str | None = None,
                path: str | None = None, analysis: str = "mcfa",
                context: int = 1, simplify: bool = False,
                report: str = "all", values: str = "interned",
                timeout: float | None = None,
                specialize: bool = True,
+               session: bool = False,
                on_event=None,
                busy_retries: int = BUSY_RETRIES) -> dict:
         """Submit one job and block until its terminal event.
@@ -146,52 +195,56 @@ class ServiceClient:
         Intermediate events (``queued``, ``running``) stream to
         *on_event* as they arrive.  Returns the ``done`` event —
         check its ``status`` — or an ``error`` event for requests the
-        server rejected outright.
+        server rejected outright.  ``busy`` bounces are retried
+        transparently (see :meth:`_with_busy_retries`).
 
-        A ``busy`` bounce (the target worker's admission queue is
-        full) is retried transparently up to *busy_retries* times
-        with jittered exponential backoff, under a fresh job id each
-        attempt; bounces stream to *on_event* like any other
-        intermediate event.  Only after the last bounce does the
-        ``busy`` event itself come back, so callers can distinguish
-        "gave up on a saturated fleet" from a result.
+        With ``session=True`` the submit opens a warm analysis
+        session on its worker; the ``done`` event then carries the
+        ``session`` id to pass to :meth:`edit` and :meth:`query`.
         """
-        base = {"analysis": analysis, "context": context,
-                "simplify": simplify, "report": report,
-                "values": values}
+        base: dict = {"op": "submit", "analysis": analysis,
+                      "context": context, "simplify": simplify,
+                      "report": report, "values": values}
         if not specialize:
             # Only sent when non-default: older servers reject unknown
             # submit fields strictly, so the default-True case must
             # stay wire-compatible with them.
             base["specialize"] = False
+        if session:
+            # Same wire-compatibility rule as specialize.
+            base["session"] = True
         if source is not None:
             base["source"] = source
         if path is not None:
             base["path"] = path
         if timeout is not None:
             base["timeout"] = timeout
-        for attempt in range(busy_retries + 1):
-            job_id = f"c{next(self._ids)}"
-            self._send({"op": "submit", "id": job_id, **base})
-            bounced = None
-            while True:
-                event = self._next_event()
-                if event.get("job") not in (job_id, None):
-                    continue  # a stray frame for another submission
-                if event.get("event") == "busy":
-                    bounced = event
-                    break
-                if on_event is not None \
-                        and event.get("event") not in TERMINAL_EVENTS:
-                    on_event(event)
-                if event.get("event") in TERMINAL_EVENTS:
-                    return event
-            if attempt >= busy_retries:
-                return bounced
-            if on_event is not None:
-                on_event(bounced)
-            time.sleep(max(bounced.get("retry_after", 0.0),
-                           busy_backoff(attempt)))
+        return self._with_busy_retries(base, on_event, busy_retries)
+
+    def edit(self, session: str, source: str | None = None,
+             path: str | None = None, timeout: float | None = None,
+             on_event=None,
+             busy_retries: int = BUSY_RETRIES) -> dict:
+        """Re-analyze *session* against edited source and block until
+        the terminal event; its ``done`` carries ``mode``
+        (``resumed | scratch``) and the resume statistics."""
+        base: dict = {"op": "edit", "session": session}
+        if source is not None:
+            base["source"] = source
+        if path is not None:
+            base["path"] = path
+        if timeout is not None:
+            base["timeout"] = timeout
+        return self._with_busy_retries(base, on_event, busy_retries)
+
+    def query(self, session: str, kind: str, target: str,
+              on_event=None,
+              busy_retries: int = BUSY_RETRIES) -> dict:
+        """One demand-driven point query against *session*; the
+        ``done`` event carries the ``answer`` object."""
+        base = {"op": "query", "session": session, "kind": kind,
+                "target": target}
+        return self._with_busy_retries(base, on_event, busy_retries)
 
     # -- lifecycle -------------------------------------------------------
 

@@ -50,13 +50,27 @@ def _fleet_context():
 
 
 def _worker_main(conn, worker_id: str) -> None:
-    """The worker child's whole life: recv a job, run it warm, send
-    the row back with cumulative stats.  Exits on pipe EOF (parent
-    closed its end — the clean shutdown signal) or a broken pipe.
+    """The worker child's whole life: recv a kind-tagged request, run
+    it warm, send the row back with cumulative stats.  Exits on pipe
+    EOF (parent closed its end — the clean shutdown signal) or a
+    broken pipe.
+
+    Request kinds (see :meth:`WorkerFleet.dispatch`):
+
+    * ``("job", ticket, spec)`` — one-shot analysis;
+    * ``("session", ticket, session_id, spec)`` — open a warm
+      session;
+    * ``("edit", ticket, session_id, source, timeout)`` — incremental
+      re-analysis of a session;
+    * ``("query", ticket, session_id, kind, target)`` — point query.
+
+    Session state lives here, in the worker, next to the program
+    cache it pins — the parent only routes by session id.
     """
     from repro.cache import ProgramCache
-    from repro.service.jobs import run_job
+    from repro.service.jobs import WorkerSessions, run_job
     programs = ProgramCache()
+    sessions = WorkerSessions(programs=programs)
     jobs_done = 0
     plans_reused = 0
     while True:
@@ -66,8 +80,15 @@ def _worker_main(conn, worker_id: str) -> None:
             return
         if message is None:  # explicit stop sentinel
             return
-        ticket, spec = message
-        row = run_job(spec, programs=programs)
+        kind, ticket = message[0], message[1]
+        if kind == "session":
+            row = sessions.create(message[2], message[3])
+        elif kind == "edit":
+            row = sessions.edit(message[2], message[3], message[4])
+        elif kind == "query":
+            row = sessions.query(message[2], message[3], message[4])
+        else:
+            row = run_job(message[2], programs=programs)
         jobs_done += 1
         # A program-cache hit reuses the compiled Program *object*,
         # and with it every structural plan the specializer already
@@ -76,7 +97,8 @@ def _worker_main(conn, worker_id: str) -> None:
         if row.get("warm"):
             plans_reused += 1
         stats = {"jobs": jobs_done, "plans_reused": plans_reused,
-                 "programs": programs.as_dict()}
+                 "programs": programs.as_dict(),
+                 "sessions": sessions.counters()}
         try:
             conn.send((ticket, row, stats))
         except (OSError, BrokenPipeError):
@@ -173,13 +195,14 @@ class WorkerFleet:
 
     # -- parent-side operations ------------------------------------------
 
-    def dispatch(self, worker_id: str, ticket: int, spec) -> bool:
-        """Queue one job for *worker_id*; never blocks.  False when
-        the worker is already known-dead (the caller re-routes)."""
+    def dispatch(self, worker_id: str, request: tuple) -> bool:
+        """Queue one kind-tagged request (see :func:`_worker_main`)
+        for *worker_id*; never blocks.  False when the worker is
+        already known-dead (the caller re-routes or errors out)."""
         handle = self._handles.get(worker_id)
         if handle is None or not handle.alive:
             return False
-        handle.outbox.put((ticket, spec))
+        handle.outbox.put(request)
         return True
 
     def live_workers(self) -> list[str]:

@@ -218,6 +218,243 @@ def render_fj_reports(program, result) -> str:
             f"{fj_report(result)}\n")
 
 
+def _compile_for_job(spec: JobSpec, language: str, programs=None):
+    """Compile one spec's source, through the worker's warm
+    :class:`~repro.cache.ProgramCache` when given; returns
+    ``(program, warm)``."""
+    from repro.cache import ProgramCache
+    from repro.cps.simplify import simplify_program
+    from repro.scheme.cps_transform import compile_program
+    program = None
+    program_key = None
+    if programs is not None:
+        program_key = ProgramCache.key(language, spec.source,
+                                       spec.simplify)
+        program = programs.get(program_key)
+        if program is not None:
+            return program, True
+    if language == "fj":
+        from repro.fj import parse_fj
+        program = parse_fj(spec.source)
+    else:
+        program = compile_program(spec.source)
+        if spec.simplify:
+            program = simplify_program(program)
+    if programs is not None:
+        programs.put(program_key, program)
+    return program, False
+
+
+class WorkerSessions:
+    """The worker-side table of live analysis sessions.
+
+    One per fleet worker, next to its :class:`~repro.cache.
+    ProgramCache`: maps session ids to warm
+    :class:`~repro.analysis.incremental.AnalysisSession` objects, LRU
+    bounded (a warm store is memory, not disk).  While a session is
+    live its compiled-program cache entry is *pinned* so LRU eviction
+    there cannot drop the object the session was built from; the pin
+    moves when an edit re-keys the source and is released when the
+    session is evicted or dropped.
+
+    Every method returns a row shaped like :func:`run_job`'s — the
+    fleet worker sends it back verbatim — and never raises.
+    """
+
+    def __init__(self, programs=None, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got "
+                             f"{capacity}")
+        self.programs = programs
+        self.capacity = capacity
+        #: id → (session, program_key, report, simplify), LRU order.
+        self._sessions: dict[str, tuple] = {}
+        self.created = 0
+        self.evicted = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def counters(self) -> dict:
+        resumed = sum(entry[0].resumed
+                      for entry in self._sessions.values())
+        scratch = sum(entry[0].scratch
+                      for entry in self._sessions.values())
+        return {"open": len(self._sessions), "created": self.created,
+                "evicted": self.evicted, "dropped": self.dropped,
+                "resumed": resumed, "scratch": scratch}
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _pin(self, key) -> None:
+        if self.programs is not None and key is not None:
+            self.programs.pin(key)
+
+    def _unpin(self, key) -> None:
+        if self.programs is not None and key is not None:
+            self.programs.unpin(key)
+
+    def _touch(self, session_id: str) -> tuple | None:
+        entry = self._sessions.pop(session_id, None)
+        if entry is not None:
+            self._sessions[session_id] = entry  # refresh to MRU
+        return entry
+
+    def _install(self, session_id: str, entry: tuple) -> None:
+        self.drop(session_id)  # replacing an id releases its pin
+        self._sessions[session_id] = entry
+        while len(self._sessions) > self.capacity:
+            victim = next(iter(self._sessions))
+            key = self._sessions.pop(victim)[1]
+            self._unpin(key)
+            self.evicted += 1
+
+    def drop(self, session_id: str) -> bool:
+        entry = self._sessions.pop(session_id, None)
+        if entry is None:
+            return False
+        self._unpin(entry[1])
+        self.dropped += 1
+        return True
+
+    @staticmethod
+    def _missing(session_id: str, row: dict) -> dict:
+        row["status"] = "error"
+        row["error"] = (f"unknown session {session_id!r} (never "
+                        f"opened, expired from this worker, or lost "
+                        f"to a worker death)")
+        row["session_dropped"] = True  # the server unlearns the id
+        return row
+
+    # -- operations ------------------------------------------------------
+
+    def create(self, session_id: str, spec: JobSpec) -> dict:
+        """Open a session: compile, run the tracked fixpoint, keep
+        the warm state under *session_id*."""
+        from repro.analysis.incremental import AnalysisSession
+        from repro.cache import ProgramCache
+        row = {"session": session_id, "analysis": spec.analysis,
+               "context": spec.context, "values": spec.values,
+               "pid": os.getpid()}
+        started = time.perf_counter()
+        try:
+            language = validate_job_options(
+                spec.analysis, spec.context, spec.simplify,
+                spec.report, spec.values).language
+            budget = Budget(max_seconds=spec.timeout).start()
+            program, warm = _compile_for_job(spec, language,
+                                             self.programs)
+            row["warm"] = warm
+            session = AnalysisSession(
+                program, spec.analysis, spec.context,
+                plain=spec.values == "plain", budget=budget)
+            program_key = None if self.programs is None else \
+                ProgramCache.key(language, spec.source, spec.simplify)
+            self._pin(program_key)
+            self._install(session_id, (session, program_key,
+                                       spec.report, spec.simplify))
+            self.created += 1
+            row["stdout"] = render_reports(session.program,
+                                           session.result, spec.report)
+            row["summary"] = session.result.summary()
+            row["mode"] = "scratch"
+            row["status"] = "ok"
+        except AnalysisTimeout as error:
+            row["status"] = "timeout"
+            row["error"] = str(error)
+        except ReproError as error:
+            row["status"] = "error"
+            row["error"] = str(error)
+        except Exception as error:  # keep the worker alive
+            row["status"] = "error"
+            row["error"] = f"{type(error).__name__}: {error}"
+        row["wall_seconds"] = round(time.perf_counter() - started, 6)
+        return row
+
+    def edit(self, session_id: str, source: str,
+             timeout: float | None) -> dict:
+        """Re-analyze a session against edited *source* — warm resume
+        when the tree diff allows, from-scratch otherwise."""
+        from repro.cache import ProgramCache
+        row = {"session": session_id, "pid": os.getpid()}
+        started = time.perf_counter()
+        entry = self._touch(session_id)
+        if entry is None:
+            row["wall_seconds"] = round(
+                time.perf_counter() - started, 6)
+            return self._missing(session_id, row)
+        session, old_key, report, simplify = entry
+        try:
+            budget = Budget(max_seconds=timeout).start()
+            spec = JobSpec(source=source, analysis=session.analysis,
+                           context=session.parameter,
+                           simplify=simplify,
+                           values="plain" if session.plain
+                           else "interned")
+            program, warm = _compile_for_job(spec, "scheme",
+                                             self.programs)
+            row["warm"] = warm
+            outcome = session.edit(program, budget)
+            new_key = None if self.programs is None else \
+                ProgramCache.key("scheme", source, simplify)
+            if new_key != old_key:
+                self._pin(new_key)
+                self._unpin(old_key)
+                self._sessions[session_id] = (session, new_key,
+                                              report, simplify)
+            row["stdout"] = render_reports(session.program,
+                                           session.result, report)
+            row["summary"] = session.result.summary()
+            row["mode"] = outcome.mode
+            row["reason"] = outcome.reason
+            row["kept_ratio"] = round(outcome.kept_ratio, 4)
+            row["affected"] = outcome.affected
+            row["cleared"] = outcome.cleared
+            row["seeds"] = outcome.seeds
+            row["steps"] = session.result.steps
+            row["status"] = "ok"
+        except AnalysisTimeout as error:
+            # Even the from-scratch shadow path ran out of budget;
+            # the warm state may be half-rebuilt, so the session is
+            # dropped rather than left lying.
+            self.drop(session_id)
+            row["status"] = "timeout"
+            row["error"] = str(error)
+            row["session_dropped"] = True
+        except ReproError as error:
+            row["status"] = "error"
+            row["error"] = str(error)
+        except Exception as error:
+            row["status"] = "error"
+            row["error"] = f"{type(error).__name__}: {error}"
+        row["wall_seconds"] = round(time.perf_counter() - started, 6)
+        return row
+
+    def query(self, session_id: str, kind: str, target: str) -> dict:
+        """Answer one point query from a session's warm store."""
+        row = {"session": session_id, "pid": os.getpid()}
+        started = time.perf_counter()
+        entry = self._touch(session_id)
+        if entry is None:
+            row["wall_seconds"] = round(
+                time.perf_counter() - started, 6)
+            return self._missing(session_id, row)
+        session = entry[0]
+        try:
+            row["answer"] = session.query(kind, target)
+            row["session_stats"] = session.stats()
+            row["status"] = "ok"
+        except ReproError as error:
+            row["status"] = "error"
+            row["error"] = str(error)
+        except Exception as error:
+            row["status"] = "error"
+            row["error"] = f"{type(error).__name__}: {error}"
+        row["wall_seconds"] = round(time.perf_counter() - started, 6)
+        return row
+
+
 def run_job(spec: JobSpec, programs=None) -> dict:
     """Execute one job; always returns a row, never raises.
 
@@ -237,9 +474,6 @@ def run_job(spec: JobSpec, programs=None) -> dict:
     programs are ever cached, so a source that fails the front end
     re-fails identically every time.
     """
-    from repro.cache import ProgramCache
-    from repro.cps.simplify import simplify_program
-    from repro.scheme.cps_transform import compile_program
     row = {"analysis": spec.analysis, "context": spec.context,
            "values": spec.values, "pid": os.getpid()}
     started = time.perf_counter()
@@ -257,22 +491,9 @@ def run_job(spec: JobSpec, programs=None) -> dict:
         # pathological source can overrun the budget by one compile —
         # bounded in the service by the protocol's frame size cap.
         budget = Budget(max_seconds=spec.timeout).start()
-        program = None
+        program, warm = _compile_for_job(spec, language, programs)
         if programs is not None:
-            program_key = ProgramCache.key(language, spec.source,
-                                           spec.simplify)
-            program = programs.get(program_key)
-            row["warm"] = program is not None
-        if program is None:
-            if language == "fj":
-                from repro.fj import parse_fj
-                program = parse_fj(spec.source)
-            else:
-                program = compile_program(spec.source)
-                if spec.simplify:
-                    program = simplify_program(program)
-            if programs is not None:
-                programs.put(program_key, program)
+            row["warm"] = warm
         if budget.exhausted():
             raise AnalysisTimeout(
                 f"analysis exceeded time budget of "

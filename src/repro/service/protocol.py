@@ -10,6 +10,25 @@ directions.  Requests carry an ``op``:
     — exactly one of ``source`` (program text) or ``path`` (a file
     readable *by the server*).  Everything but the program is
     optional and defaults as in :class:`~repro.service.jobs.JobSpec`.
+    A submit carrying ``"session": true`` additionally opens a
+    long-lived *analysis session* on the worker the job hashes to:
+    the ``done`` event then carries a ``session`` id for follow-up
+    ``edit``/``query`` requests.  Session submits bypass the result
+    cache and coalescing (their value is the warm mutable state, not
+    the one-shot answer).
+``edit``
+    ``{"op": "edit", "id": "8", "session": "s1", "source": ... |
+    "path": ..., "timeout": 30.0}`` — re-analyze a session's program
+    after an edit.  The worker aligns the labelled syntax trees and
+    resumes the fixpoint from the warm store when the diff allows;
+    the ``done`` event reports ``mode`` (``resumed | scratch``) and
+    the resume statistics.
+``query``
+    ``{"op": "query", "id": "9", "session": "s1", "kind":
+    "value-of", "target": "x"}`` — a demand-driven point query
+    answered from the session's warm store (kinds:
+    ``value-of``, ``call-sites-of``, ``escaping``); the ``done``
+    event carries the ``answer`` object, no report.
 ``stats``
     ``{"op": "stats"}`` — one ``stats`` event with the scheduler's
     counters (see :meth:`AnalysisServer.stats_snapshot`).
@@ -64,17 +83,28 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: Operations a request may carry.
-OPS = ("submit", "stats", "analyses", "ping", "shutdown")
+OPS = ("submit", "edit", "query", "stats", "analyses", "ping",
+       "shutdown")
 
 #: Every field a ``submit`` request may carry; unknown fields are
 #: rejected so a typo ("contxt") fails loudly instead of silently
 #: analyzing under defaults.
 SUBMIT_FIELDS = frozenset(
     ("op", "id", "source", "path", "analysis", "context", "simplify",
-     "report", "values", "timeout", "specialize"))
+     "report", "values", "timeout", "specialize", "session"))
 
 #: Fields of an ``analyses`` request (same strictness as submit).
 ANALYSES_FIELDS = frozenset(("op", "id", "language"))
+
+#: Fields of an ``edit`` request: a new source against a session.
+EDIT_FIELDS = frozenset(
+    ("op", "id", "session", "source", "path", "timeout"))
+
+#: Fields of a ``query`` request.
+QUERY_FIELDS = frozenset(("op", "id", "session", "kind", "target"))
+
+#: Point-query kinds a session answers.
+QUERY_KINDS = ("value-of", "call-sites-of", "escaping")
 
 
 class ProtocolError(ReproError):
@@ -152,22 +182,7 @@ def submit_spec(message: dict) -> JobSpec:
         raise ProtocolError(
             f"unknown submit field(s) {', '.join(unknown)}; allowed: "
             f"{', '.join(sorted(SUBMIT_FIELDS))}")
-    source = message.get("source")
-    path = message.get("path")
-    if (source is None) == (path is None):
-        raise ProtocolError(
-            "submit needs exactly one of 'source' (program text) or "
-            "'path' (a file readable by the server)")
-    if path is not None:
-        if not isinstance(path, str):
-            raise ProtocolError(f"path must be a string, got "
-                                f"{type(path).__name__}")
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except (OSError, UnicodeDecodeError) as error:
-            raise ProtocolError(f"cannot read path {path!r}: "
-                                f"{error}") from None
+    source = _read_source(message, "submit")
     simplify = message.get("simplify", False)
     if not isinstance(simplify, bool):
         raise ProtocolError(
@@ -191,6 +206,89 @@ def submit_spec(message: dict) -> JobSpec:
         raise
     except ReproError as error:
         raise ProtocolError(str(error)) from None
+
+
+def _read_source(message: dict, op: str) -> str:
+    """The program text of a request: exactly one of ``source`` or
+    ``path`` (read here, server-side)."""
+    source = message.get("source")
+    path = message.get("path")
+    if (source is None) == (path is None):
+        raise ProtocolError(
+            f"{op} needs exactly one of 'source' (program text) or "
+            f"'path' (a file readable by the server)")
+    if path is not None:
+        if not isinstance(path, str):
+            raise ProtocolError(f"path must be a string, got "
+                                f"{type(path).__name__}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as error:
+            raise ProtocolError(f"cannot read path {path!r}: "
+                                f"{error}") from None
+    return source
+
+
+def submit_wants_session(message: dict) -> bool:
+    """Does this (already field-checked) submit open a session?"""
+    session = message.get("session", False)
+    if not isinstance(session, bool):
+        raise ProtocolError(
+            f"session must be a JSON boolean, got {session!r}")
+    return session
+
+
+def _session_id_of(message: dict, op: str) -> str:
+    session = message.get("session")
+    if not isinstance(session, str) or not session:
+        raise ProtocolError(
+            f"{op} needs 'session': the id a session-opening submit "
+            f"returned")
+    return session
+
+
+def edit_request(message: dict) -> tuple[str, str, float | None]:
+    """Validate an ``edit`` request into
+    ``(session_id, source, timeout)``."""
+    unknown = sorted(set(message) - EDIT_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown edit field(s) {', '.join(unknown)}; allowed: "
+            f"{', '.join(sorted(EDIT_FIELDS))}")
+    session = _session_id_of(message, "edit")
+    source = _read_source(message, "edit")
+    timeout = message.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) \
+                or not isinstance(timeout, (int, float)) \
+                or timeout <= 0:
+            raise ProtocolError(
+                f"timeout must be a positive number of seconds, got "
+                f"{timeout!r}")
+    return session, source, timeout
+
+
+def query_request(message: dict) -> tuple[str, str, str]:
+    """Validate a ``query`` request into
+    ``(session_id, kind, target)``."""
+    unknown = sorted(set(message) - QUERY_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown query field(s) {', '.join(unknown)}; allowed: "
+            f"{', '.join(sorted(QUERY_FIELDS))}")
+    session = _session_id_of(message, "query")
+    kind = message.get("kind")
+    if kind not in QUERY_KINDS:
+        raise ProtocolError(
+            f"unknown query kind {kind!r}; choose from "
+            f"{', '.join(QUERY_KINDS)}")
+    target = message.get("target")
+    if not isinstance(target, str) or not target:
+        raise ProtocolError(
+            "query needs 'target': a variable name for value-of, a "
+            "lambda label for call-sites-of and escaping")
+    return session, kind, target
 
 
 def analyses_request_language(message: dict) -> str | None:

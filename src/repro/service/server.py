@@ -75,8 +75,9 @@ from repro.service.fleet import WorkerFleet
 from repro.service.jobs import cache_payload, job_cache_key
 from repro.service.protocol import (
     MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError,
-    analyses_request_language, decode_message, encode_message,
-    submit_spec,
+    analyses_request_language, decode_message, edit_request,
+    encode_message, query_request, submit_spec,
+    submit_wants_session,
 )
 from repro.service.sharding import HashRing
 
@@ -178,13 +179,24 @@ class AnalysisServer:
         self._jobs = {"submitted": 0, "executed": 0, "completed": 0,
                       "ok": 0, "timeout": 0, "error": 0,
                       "coalesced": 0, "rejected": 0, "busy": 0,
-                      "redispatched": 0}
+                      "redispatched": 0, "sessions": 0, "edits": 0,
+                      "queries": 0, "resumed": 0, "scratch": 0}
         self._job_ids = itertools.count(1)
         self._tickets = itertools.count(1)
-        #: ticket -> (worker_id, flight, key, spec) for every job
-        #: currently at a worker; the death handler re-dispatches
-        #: these, the result handler retires them.
+        #: ticket -> ("job", worker_id, flight, key, spec) for every
+        #: one-shot job currently at a worker, or
+        #: ("session"|"edit"|"query", worker_id, send, job_id,
+        #: session_id) for a session operation; the death handler
+        #: re-dispatches orphaned jobs (session ops cannot move — the
+        #: warm state died with the worker, so they error out), the
+        #: result handler retires them.
         self._assignments: dict[int, tuple] = {}
+        #: session id -> worker id.  Sessions are *pinned to their
+        #: shard*: the warm store lives in one worker process, so
+        #: every edit/query for the id routes there, bypassing the
+        #: hash ring.
+        self._sessions: dict[str, str] = {}
+        self._session_ids = itertools.count(1)
         self._depth: dict[str, int] = {}
         self._ring = HashRing()
         self._fleet: WorkerFleet | None = None
@@ -359,6 +371,7 @@ class AnalysisServer:
             "uptime_seconds": round(uptime, 3),
             "jobs": jobs,
             "inflight": self._inflight.pending(),
+            "sessions": {"open": len(self._sessions)},
             "fleet": fleet,
             "cache": (self.cache.stats.as_dict()
                       if self.cache is not None else None),
@@ -415,6 +428,10 @@ class AnalysisServer:
         op = message.get("op", "submit")
         if op == "submit":
             self._handle_submit(message, connection.send)
+        elif op == "edit":
+            self._handle_edit(message, connection.send)
+        elif op == "query":
+            self._handle_query(message, connection.send)
         elif op == "ping":
             connection.send({"event": "pong",
                              "protocol": PROTOCOL_VERSION})
@@ -437,8 +454,8 @@ class AnalysisServer:
             raise _Shutdown()
         else:
             raise ProtocolError(
-                f"unknown op {op!r}; choose from submit, stats, "
-                f"ping, shutdown")
+                f"unknown op {op!r}; choose from submit, edit, "
+                f"query, stats, ping, shutdown")
 
     # -- the scheduler (loop thread only) --------------------------------
 
@@ -447,6 +464,7 @@ class AnalysisServer:
             else f"job-{next(self._job_ids)}"
         try:
             spec = submit_spec(message)
+            wants_session = submit_wants_session(message)
         except ProtocolError as error:
             self._jobs["rejected"] += 1
             send({"event": "error", "job": job_id,
@@ -459,6 +477,12 @@ class AnalysisServer:
         key = job_cache_key(spec)
         self._jobs["submitted"] += 1
         send({"event": "queued", "job": job_id, "key": key})
+        if wants_session:
+            # Session submits skip the cache and coalescing entirely:
+            # their value is the warm mutable state on a worker, not
+            # the one-shot answer, so every one must actually run.
+            self._handle_session_open(job_id, key, spec, send)
+            return
         payload = self._cache_get(key)
         if payload is not None:
             self._jobs["completed"] += 1
@@ -514,15 +538,134 @@ class AnalysisServer:
     def _dispatch_job(self, worker_id: str, flight, key: str,
                       spec) -> None:
         ticket = next(self._tickets)
-        self._assignments[ticket] = (worker_id, flight, key, spec)
+        self._assignments[ticket] = ("job", worker_id, flight, key,
+                                     spec)
         self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
-        if not self._fleet.dispatch(worker_id, ticket, spec):
+        if not self._fleet.dispatch(worker_id, ("job", ticket, spec)):
             # The worker died between routing and dispatch; undo the
             # bookkeeping and route to the next live shard.
             del self._assignments[ticket]
             self._depth[worker_id] -= 1
             self._ring.remove(worker_id)
             self._redispatch(flight, key, spec)
+
+    # -- sessions (loop thread only) --------------------------------------
+
+    def _handle_session_open(self, job_id: str, key: str, spec,
+                             send) -> None:
+        """Open a warm session: route by cache key (so repeats of the
+        same program land on the worker already holding it compiled),
+        then pin the new session id to that shard."""
+        while True:
+            try:
+                worker_id = self._ring.node_for(key)
+            except LookupError:
+                self._jobs["completed"] += 1
+                self._jobs["error"] += 1
+                send({"event": "done", "job": job_id, "key": key,
+                      "status": "error", "cached": False,
+                      "coalesced": False, "wall_seconds": 0.0,
+                      "error": "no live workers in the fleet"})
+                return
+            if self._depth.get(worker_id, 0) >= self.max_queue:
+                self._jobs["busy"] += 1
+                send({"event": "busy", "job": job_id, "key": key,
+                      "worker": worker_id,
+                      "retry_after": BUSY_RETRY_HINT})
+                return
+            session_id = f"s{next(self._session_ids)}"
+            ticket = next(self._tickets)
+            self._assignments[ticket] = ("session", worker_id, send,
+                                         job_id, session_id)
+            self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
+            if self._fleet.dispatch(
+                    worker_id, ("session", ticket, session_id, spec)):
+                break
+            # Dead between routing and dispatch: undo, drop the
+            # shard, and route the session somewhere alive.
+            del self._assignments[ticket]
+            self._depth[worker_id] -= 1
+            self._ring.remove(worker_id)
+        self._sessions[session_id] = worker_id
+        self._jobs["executed"] += 1
+        self._jobs["sessions"] += 1
+        send({"event": "running", "job": job_id, "coalesced": False,
+              "session": session_id})
+
+    def _session_op(self, kind: str, message: dict, send,
+                    parse) -> None:
+        """The shared shape of ``edit`` and ``query``: validate, find
+        the session's pinned worker, admission-check, dispatch."""
+        job_id = str(message["id"]) if "id" in message \
+            else f"job-{next(self._job_ids)}"
+        try:
+            session_id, request = parse(message)
+        except ProtocolError as error:
+            self._jobs["rejected"] += 1
+            send({"event": "error", "job": job_id,
+                  "error": str(error)})
+            return
+        worker_id = self._sessions.get(session_id)
+        if worker_id is None or worker_id not in self._depth:
+            self._jobs["rejected"] += 1
+            send({"event": "error", "job": job_id,
+                  "session": session_id,
+                  "error": f"unknown session {session_id!r} (never "
+                           f"opened, expired, or lost to a worker "
+                           f"death)"})
+            return
+        send({"event": "queued", "job": job_id,
+              "session": session_id})
+        # Session ops share the shard's admission bound with one-shot
+        # jobs — they run in the same serial worker loop.
+        if self._depth.get(worker_id, 0) >= self.max_queue:
+            self._jobs["busy"] += 1
+            send({"event": "busy", "job": job_id,
+                  "session": session_id, "worker": worker_id,
+                  "retry_after": BUSY_RETRY_HINT})
+            return
+        send({"event": "running", "job": job_id, "coalesced": False,
+              "session": session_id})
+        ticket = next(self._tickets)
+        self._assignments[ticket] = (kind, worker_id, send, job_id,
+                                     session_id)
+        self._depth[worker_id] += 1
+        self._jobs["executed"] += 1
+        self._jobs[kind + "s" if kind == "edit" else "queries"] += 1
+        if not self._fleet.dispatch(
+                worker_id, (kind, ticket, session_id) + request):
+            # The pinned worker is dead; the warm state is gone with
+            # it, so there is nowhere to re-dispatch.  _on_death will
+            # also fire, but the assignment is already retired here.
+            del self._assignments[ticket]
+            self._depth[worker_id] -= 1
+            self._lose_session(session_id, send, job_id)
+
+    def _handle_edit(self, message: dict, send) -> None:
+        def parse(msg):
+            session_id, source, timeout = edit_request(msg)
+            if timeout is None:
+                timeout = self.default_timeout
+            return session_id, (source, timeout)
+        self._session_op("edit", message, send, parse)
+
+    def _handle_query(self, message: dict, send) -> None:
+        def parse(msg):
+            session_id, kind, target = query_request(msg)
+            return session_id, (kind, target)
+        self._session_op("query", message, send, parse)
+
+    def _lose_session(self, session_id: str, send,
+                      job_id: str) -> None:
+        self._sessions.pop(session_id, None)
+        self._jobs["completed"] += 1
+        self._jobs["error"] += 1
+        send({"event": "done", "job": job_id, "session": session_id,
+              "status": "error", "cached": False, "coalesced": False,
+              "wall_seconds": 0.0,
+              "error": f"worker holding session {session_id!r} died; "
+                       f"the warm state is lost — submit again with "
+                       f"session: true"})
 
     def _cache_get(self, key: str, count_miss: bool = True):
         if self.cache is None:
@@ -563,19 +706,29 @@ class AnalysisServer:
         assignment = self._assignments.pop(ticket, None)
         if assignment is None:
             return  # retired by a racing shutdown
-        worker_id, flight, key, _spec = assignment
+        kind, worker_id = assignment[0], assignment[1]
         if worker_id in self._depth:
             self._depth[worker_id] = max(
                 0, self._depth[worker_id] - 1)
-        self._finish(flight, key, row)
+        if kind == "job":
+            _, _, flight, key, _spec = assignment
+            self._finish(flight, key, row)
+        else:
+            _, _, send, job_id, session_id = assignment
+            self._finish_session_op(kind, send, job_id, session_id,
+                                    row)
 
     def _on_death(self, worker_id: str) -> None:
-        """A worker died: drop its shard, re-dispatch its orphans.
+        """A worker died: drop its shard, re-dispatch its orphaned
+        jobs, error out its orphaned session ops.
 
         The pump thread delivers every result the worker sent before
         dying *before* reporting the death (FIFO through
         call_soon_threadsafe), so an orphan here is genuinely
-        unfinished — a completed job is never run twice.
+        unfinished — a completed job is never run twice.  Session ops
+        are *not* re-dispatched: the warm store they target died with
+        the worker, so the client gets a terminal error and must open
+        a fresh session.
         """
         if self._stopping:
             return
@@ -583,11 +736,21 @@ class AnalysisServer:
         self._depth.pop(worker_id, None)
         orphans = [ticket
                    for ticket, assignment in self._assignments.items()
-                   if assignment[0] == worker_id]
+                   if assignment[1] == worker_id]
         for ticket in orphans:
-            _, flight, key, spec = self._assignments.pop(ticket)
-            self._jobs["redispatched"] += 1
-            self._redispatch(flight, key, spec)
+            assignment = self._assignments.pop(ticket)
+            if assignment[0] == "job":
+                _, _, flight, key, spec = assignment
+                self._jobs["redispatched"] += 1
+                self._redispatch(flight, key, spec)
+            else:
+                _, _, send, job_id, session_id = assignment
+                self._lose_session(session_id, send, job_id)
+        # Sessions idle on the dead worker (no op in flight) are just
+        # as gone; forget them so later edits fail fast server-side.
+        for session_id in [sid for sid, wid in self._sessions.items()
+                           if wid == worker_id]:
+            del self._sessions[session_id]
 
     def _redispatch(self, flight, key: str, spec) -> None:
         """Route an already-admitted job to the key's next live
@@ -618,6 +781,37 @@ class AnalysisServer:
             except OSError:
                 pass  # a full disk must not take the service down
         self._settle(flight, key, row)
+
+    def _finish_session_op(self, kind: str, send, job_id: str,
+                           session_id: str, row: dict) -> None:
+        """Complete a session open/edit/query: one subscriber, no
+        flight, no cache — just the done event with the row's
+        session-specific fields attached."""
+        status = row.get("status", "error")
+        self._jobs["completed"] += 1
+        self._jobs[status] += 1
+        event = {"event": "done", "job": job_id,
+                 "session": session_id, "status": status,
+                 "cached": False, "coalesced": False,
+                 "wall_seconds": row.get("wall_seconds")}
+        if status == "ok":
+            for field in ("stdout", "summary", "mode", "reason",
+                          "kept_ratio", "affected", "cleared",
+                          "seeds", "steps", "answer",
+                          "session_stats"):
+                if field in row:
+                    event[field] = row[field]
+            if kind == "edit":
+                mode = row.get("mode")
+                if mode in ("resumed", "scratch"):
+                    self._jobs[mode] += 1
+        else:
+            event["error"] = row.get("error", "")
+            # A failed open never installed worker state; a timed-out
+            # edit dropped it.  Either way the id is dead.
+            if kind == "session" or row.get("session_dropped"):
+                self._sessions.pop(session_id, None)
+        send(event)
 
     def _settle(self, flight, key: str, row: dict,
                 cached: bool = False) -> None:

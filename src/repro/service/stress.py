@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -109,12 +110,17 @@ class StressReport:
     latencies: list = field(default_factory=list, repr=False)
 
     def percentile(self, quantile: float) -> float:
+        """Nearest-rank percentile: the smallest value with at least
+        ``quantile`` of the sample at or below it.  The old
+        round-half-to-index formula drifted at small n (p90 of two
+        samples returned the *lower* one) and at exact quantile
+        boundaries; nearest-rank is ``ceil(q*n)`` (1-based), exact at
+        every n."""
         if not self.latencies:
             return 0.0
         ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1,
-                    int(quantile * (len(ordered) - 1) + 0.5))
-        return ordered[index]
+        index = max(0, math.ceil(quantile * len(ordered)) - 1)
+        return ordered[min(index, len(ordered) - 1)]
 
     def finalize(self, wall_seconds: float) -> "StressReport":
         self.wall_seconds = wall_seconds

@@ -102,13 +102,31 @@ class TestBadEntries:
     def test_prune_removes_stale_entries(self, cache):
         good = cache_key("src", "kcfa", 1)
         cache.put(good, {"v": 1})
-        (cache.directory / "stale.json").write_text(json.dumps({
-            "schema": CACHE_SCHEMA_VERSION - 1, "key": "x",
+        stale = cache_key("stale", "kcfa", 1)
+        cache.path_for(stale).write_text(json.dumps({
+            "schema": CACHE_SCHEMA_VERSION - 1, "key": stale,
             "payload": {}}), encoding="utf-8")
-        (cache.directory / "junk.json").write_text("junk",
-                                                   encoding="utf-8")
+        junk = cache_key("junk", "kcfa", 1)
+        cache.path_for(junk).write_text("junk", encoding="utf-8")
         assert cache.prune() == 2
         assert cache.get(good) == {"v": 1}
+        assert cache.stats.pruned == 2
+
+    def test_foreign_files_are_not_entries(self, cache):
+        """Satellite regression: a foreign or in-progress file must
+        not inflate len() and prune() must never delete it."""
+        good = cache_key("src", "kcfa", 1)
+        cache.put(good, {"v": 1})
+        foreign = cache.directory / "notes.json"
+        foreign.write_text("not ours", encoding="utf-8")
+        partial = cache.directory / ".tmp-abc123.json"
+        partial.write_text("{", encoding="utf-8")
+        shouty = cache.directory / f"{'A' * 64}.json"  # wrong case
+        shouty.write_text("{}", encoding="utf-8")
+        assert len(cache) == 1
+        assert cache.prune() == 0
+        assert foreign.exists() and partial.exists() and shouty.exists()
+        assert cache.stats.pruned == 0
 
 
 class TestOpenCache:
@@ -124,9 +142,11 @@ class TestOpenCache:
         assert default_cache_dir().name == "repro"
 
     def test_stats_dict(self):
-        stats = CacheStats(hits=1, misses=2, writes=3, rejected=4)
+        stats = CacheStats(hits=1, misses=2, writes=3, rejected=4,
+                           pruned=5)
         assert stats.as_dict() == {"hits": 1, "misses": 2,
-                                   "writes": 3, "rejected": 4}
+                                   "writes": 3, "rejected": 4,
+                                   "pruned": 5}
 
 
 class TestJobKeyAudit:

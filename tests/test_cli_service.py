@@ -100,6 +100,72 @@ def served(tmp_path_factory):
         thread.join(timeout=30)
 
 
+class TestSessionCLI:
+    """submit --session / edit / query end to end through main().
+
+    Runs before :class:`TestServeSubmitCLI`, whose final test shuts
+    the module's server down.
+    """
+
+    def _connection(self, served):
+        return ["--host", served["host"], "--port", served["port"]]
+
+    def _open_session(self, served, tmp_path, capsys) -> str:
+        path = _write(tmp_path)
+        assert main(["submit", path, "--session", "--analysis",
+                     "kcfa", "-n", "1",
+                     *self._connection(served)]) == 0
+        err = capsys.readouterr().err
+        line = next(l for l in err.splitlines()
+                    if l.startswith("session "))
+        return line.split()[1]
+
+    def test_session_edit_query_roundtrip(self, served, tmp_path,
+                                          capsys):
+        session = self._open_session(served, tmp_path, capsys)
+        assert session.startswith("s")
+
+        edited = _write(tmp_path, SOURCE.replace("(id 4)", "(id 5)"))
+        assert main(["edit", session, edited,
+                     *self._connection(served)]) == 0
+        first = capsys.readouterr()
+        assert "(id 5)" not in first.out  # reports, not source
+        assert f"session {session}:" in first.err
+
+        # The second edit must resume warm from the first's store.
+        edited2 = _write(tmp_path,
+                         SOURCE.replace("(id 4)", "(id 6)"))
+        assert main(["edit", session, edited2,
+                     *self._connection(served)]) == 0
+        second = capsys.readouterr()
+        assert f"session {session}: resumed" in second.err
+        assert "addresses cleared" in second.err
+
+        assert main(["query", session, "value-of", "x",
+                     *self._connection(served)]) == 0
+        answer = capsys.readouterr().out
+        assert "value-of x" in answer
+        assert "3" in answer and "6" in answer
+
+        assert main(["submit", "--server-stats",
+                     *self._connection(served)]) == 0
+        stats = capsys.readouterr().out
+        assert "sessions:" in stats
+        assert "warm-resumed" in stats
+
+    def test_edit_unknown_session_fails(self, served, tmp_path,
+                                        capsys):
+        path = _write(tmp_path)
+        assert main(["edit", "s313373", path,
+                     *self._connection(served)]) == 1
+        assert "unknown session" in capsys.readouterr().err
+
+    def test_query_unknown_session_fails(self, served, capsys):
+        assert main(["query", "s313373", "value-of", "x",
+                     *self._connection(served)]) == 1
+        assert "unknown session" in capsys.readouterr().err
+
+
 class TestServeSubmitCLI:
     def _submit_args(self, served, *extra):
         return ["submit", *extra, "--host", served["host"],

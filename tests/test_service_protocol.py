@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import socket
+import threading
 
 import pytest
 
@@ -442,3 +443,262 @@ class TestDeadFleet:
                 assert client.stats()["inflight"] == 0
         finally:
             server.stop()
+
+
+class TestSessionValidators:
+    """Field-level validation of the session wire ops."""
+
+    def test_submit_wants_session(self):
+        from repro.service.protocol import submit_wants_session
+        assert submit_wants_session({"op": "submit"}) is False
+        assert submit_wants_session({"session": False}) is False
+        assert submit_wants_session({"session": True}) is True
+
+    @pytest.mark.parametrize("session", [1, "yes", None, [True]])
+    def test_submit_session_must_be_a_real_boolean(self, session):
+        from repro.service.protocol import submit_wants_session
+        with pytest.raises(ProtocolError, match="JSON boolean"):
+            submit_wants_session({"session": session})
+
+    def test_edit_request_happy_path(self):
+        from repro.service.protocol import edit_request
+        assert edit_request({"op": "edit", "session": "s1",
+                             "source": SOURCE, "timeout": 5}) \
+            == ("s1", SOURCE, 5)
+        assert edit_request({"op": "edit", "session": "s1",
+                             "source": SOURCE}) \
+            == ("s1", SOURCE, None)
+
+    def test_edit_unknown_fields_are_rejected(self):
+        from repro.service.protocol import edit_request
+        with pytest.raises(ProtocolError, match="unknown edit"):
+            edit_request({"op": "edit", "session": "s1",
+                          "source": SOURCE, "analysis": "kcfa"})
+
+    @pytest.mark.parametrize("session", [None, "", 7])
+    def test_edit_needs_a_session_id(self, session):
+        from repro.service.protocol import edit_request
+        message = {"op": "edit", "source": SOURCE}
+        if session is not None:
+            message["session"] = session
+        with pytest.raises(ProtocolError, match="needs 'session'"):
+            edit_request(message)
+
+    @pytest.mark.parametrize("timeout", [0, -1, True, "fast"])
+    def test_edit_timeout_must_be_positive(self, timeout):
+        from repro.service.protocol import edit_request
+        with pytest.raises(ProtocolError, match="timeout"):
+            edit_request({"op": "edit", "session": "s1",
+                          "source": SOURCE, "timeout": timeout})
+
+    def test_query_request_happy_path(self):
+        from repro.service.protocol import query_request
+        assert query_request({"op": "query", "session": "s2",
+                              "kind": "value-of", "target": "x"}) \
+            == ("s2", "value-of", "x")
+
+    def test_query_unknown_kind(self):
+        from repro.service.protocol import query_request
+        with pytest.raises(ProtocolError, match="unknown query kind"):
+            query_request({"op": "query", "session": "s1",
+                           "kind": "points-to", "target": "x"})
+
+    @pytest.mark.parametrize("target", [None, "", 3])
+    def test_query_needs_a_target(self, target):
+        from repro.service.protocol import query_request
+        message = {"op": "query", "session": "s1",
+                   "kind": "value-of"}
+        if target is not None:
+            message["target"] = target
+        with pytest.raises(ProtocolError, match="target"):
+            query_request(message)
+
+    def test_query_unknown_fields_are_rejected(self):
+        from repro.service.protocol import query_request
+        with pytest.raises(ProtocolError, match="unknown query"):
+            query_request({"op": "query", "session": "s1",
+                           "kind": "value-of", "target": "x",
+                           "depth": 2})
+
+
+class _ScriptedServer:
+    """A fake NDJSON server whose replies are scripted per request:
+    each script entry is a list of event dicts sent verbatim after
+    one request line is read.  ``{job}`` placeholders are filled with
+    the id of the request the entry answers — ``{job0}`` with the id
+    of the first request seen."""
+
+    def __init__(self, script):
+        self.script = script
+        self.seen_ids: list[str] = []
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self.listener.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve,
+                                       daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        conn, _ = self.listener.accept()
+        with conn:
+            stream = conn.makefile("rb")
+            for replies in self.script:
+                line = stream.readline()
+                if not line:
+                    return
+                job_id = json.loads(line).get("id")
+                self.seen_ids.append(job_id)
+                for event in replies:
+                    rendered = {
+                        key: (value.format(
+                            job=job_id, job0=self.seen_ids[0])
+                            if isinstance(value, str) else value)
+                        for key, value in event.items()}
+                    conn.sendall(encode_message(rendered))
+
+    def close(self):
+        self.listener.close()
+        self.thread.join(timeout=5)
+
+
+class TestClientEventAttribution:
+    """Regression for the stale-event bug: the old filter
+    ``event.get("job") not in (job_id, None)`` accepted *untagged*
+    frames, so a stale unattributed ``done`` could terminate the
+    wrong busy-retry attempt with another job's payload."""
+
+    def test_stale_events_between_retries_are_skipped(self):
+        from repro.service.client import ServiceClient
+        server = _ScriptedServer([
+            # Attempt 1: queued, then bounced busy.
+            [{"event": "queued", "job": "{job}"},
+             {"event": "busy", "job": "{job}", "retry_after": 0.0}],
+            # Attempt 2 first sees two stale frames — one untagged,
+            # one tagged with attempt 1's id — before its own.
+            [{"event": "done", "status": "ok",
+              "stdout": "STALE-UNTAGGED"},
+             {"event": "done", "job": "{job0}", "status": "ok",
+              "stdout": "STALE-OLD"},
+             {"event": "queued", "job": "{job}"},
+             {"event": "done", "job": "{job}", "status": "ok",
+              "stdout": "FRESH"}],
+        ])
+        try:
+            client = ServiceClient(port=server.port)
+            try:
+                final = client.submit(source=SOURCE,
+                                      busy_retries=2)
+            finally:
+                client.close()
+            assert final["event"] == "done"
+            assert final["stdout"] == "FRESH"
+            assert len(server.seen_ids) == 2
+            assert server.seen_ids[0] != server.seen_ids[1]
+        finally:
+            server.close()
+
+    def test_untagged_error_is_terminal(self):
+        from repro.service.client import ServiceClient
+        server = _ScriptedServer([
+            [{"event": "error",
+              "error": "connection-level rejection"}],
+        ])
+        try:
+            client = ServiceClient(port=server.port)
+            try:
+                final = client.submit(source=SOURCE)
+            finally:
+                client.close()
+            assert final["event"] == "error"
+            assert "rejection" in final["error"]
+        finally:
+            server.close()
+
+    def test_foreign_tagged_error_is_not_terminal(self):
+        from repro.service.client import ServiceClient
+        server = _ScriptedServer([
+            [{"event": "error", "job": "someone-else",
+              "error": "not yours"},
+             {"event": "done", "job": "{job}", "status": "ok",
+              "stdout": "MINE"}],
+        ])
+        try:
+            client = ServiceClient(port=server.port)
+            try:
+                final = client.submit(source=SOURCE)
+            finally:
+                client.close()
+            assert final["stdout"] == "MINE"
+        finally:
+            server.close()
+
+
+class TestSessionWire:
+    """Live session ops over raw sockets against a one-worker
+    server."""
+
+    def _events(self, server, message, replies):
+        return _raw_roundtrip(server, encode_message(message),
+                              replies=replies)
+
+    def test_session_lifecycle(self, raw_server):
+        queued, running, opened = self._events(
+            raw_server,
+            {"op": "submit", "id": "w-open", "source": SOURCE,
+             "analysis": "kcfa", "context": 1, "session": True},
+            replies=3)
+        assert queued["event"] == "queued"
+        assert running["event"] == "running"
+        assert opened["event"] == "done"
+        assert opened["status"] == "ok"
+        session = opened["session"]
+        assert running["session"] == session
+        assert opened["mode"] == "scratch"
+        assert opened["stdout"]
+
+        # Edit from another connection: shard affinity is server-side.
+        edited = self._events(
+            raw_server,
+            {"op": "edit", "id": "w-edit", "session": session,
+             "source": SOURCE.replace("(id 4)", "(id 5)")},
+            replies=3)[-1]
+        assert edited["event"] == "done"
+        assert edited["status"] == "ok"
+        assert edited["session"] == session
+        assert edited["mode"] in ("resumed", "scratch")
+
+        answered = self._events(
+            raw_server,
+            {"op": "query", "id": "w-query", "session": session,
+             "kind": "value-of", "target": "x"},
+            replies=3)[-1]
+        assert answered["event"] == "done"
+        assert answered["status"] == "ok"
+        assert answered["answer"]["query"] == "value-of"
+        assert answered["answer"]["values"]
+
+    def test_unknown_session_is_rejected_fast(self, raw_server):
+        (event,) = self._events(
+            raw_server,
+            {"op": "edit", "id": "w-lost", "session": "s424242",
+             "source": SOURCE},
+            replies=1)
+        assert event["event"] == "error"
+        assert "unknown session" in event["error"]
+
+    def test_bad_edit_fields_are_an_error_event(self, raw_server):
+        (event,) = self._events(
+            raw_server,
+            {"op": "edit", "id": "w-bad", "session": "s1",
+             "source": SOURCE, "analysis": "kcfa"},
+            replies=1)
+        assert event["event"] == "error"
+        assert "unknown edit" in event["error"]
+
+    def test_bad_query_kind_is_an_error_event(self, raw_server):
+        (event,) = self._events(
+            raw_server,
+            {"op": "query", "id": "w-kind", "session": "s1",
+             "kind": "points-to", "target": "x"},
+            replies=1)
+        assert event["event"] == "error"
+        assert "unknown query kind" in event["error"]

@@ -51,6 +51,48 @@ def server(tmp_path_factory):
     server.stop()
 
 
+class TestPercentile:
+    """Nearest-rank pins for :meth:`StressReport.percentile` — the
+    old round-half formula returned the lower sample for p90 of two
+    and drifted at exact quantile boundaries."""
+
+    @staticmethod
+    def _report(latencies):
+        from repro.service.stress import StressReport
+        report = StressReport(endpoint="test", clients=1,
+                              requests_per_client=1, distinct=1,
+                              workers=1)
+        report.latencies = list(latencies)
+        return report
+
+    def test_single_sample_is_every_percentile(self):
+        report = self._report([10.0])
+        assert report.percentile(0.50) == 10.0
+        assert report.percentile(0.90) == 10.0
+        assert report.percentile(0.99) == 10.0
+
+    def test_two_samples(self):
+        report = self._report([20.0, 10.0])
+        assert report.percentile(0.50) == 10.0
+        assert report.percentile(0.90) == 20.0  # old formula: 10.0
+        assert report.percentile(0.99) == 20.0
+
+    def test_hundred_samples_hit_exact_ranks(self):
+        report = self._report([float(n) for n in range(1, 101)])
+        assert report.percentile(0.50) == 50.0
+        assert report.percentile(0.90) == 90.0
+        assert report.percentile(0.99) == 99.0
+
+    def test_ten_samples_quantile_boundaries(self):
+        report = self._report([float(n) for n in range(10, 0, -1)])
+        assert report.percentile(0.50) == 5.0
+        assert report.percentile(0.90) == 9.0
+        assert report.percentile(0.99) == 10.0
+
+    def test_empty_is_zero(self):
+        assert self._report([]).percentile(0.99) == 0.0
+
+
 class TestStressMix:
     def test_stress_mix(self, server):
         expected = {
