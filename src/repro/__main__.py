@@ -82,6 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="run the generic engine loop instead "
                               "of the per-policy specialized one "
                               "(results are byte-identical)")
+    analyze.add_argument("--codegen", choices=["on", "off"],
+                         default="on",
+                         help="generated per-node step source for "
+                              "covered policies (default on; "
+                              "results are byte-identical)")
     analyze.add_argument("--cache", action="store_true",
                          help="reuse/persist results in the default "
                               "cache dir (~/.cache/repro)")
@@ -148,6 +153,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "matrix (default on)")
     bench.add_argument("--no-specialize", action="store_true",
                        help="shorthand for --specialize off")
+    bench.add_argument("--codegen", default=None, metavar="MODES",
+                       help="comma-separated codegen modes to "
+                            "bench: on, off or on,off for a "
+                            "before/after matrix (default on)")
     bench.add_argument("--repeat", type=int, default=1,
                        help="run each cell N times and report the "
                             "fastest (min-of-N; default 1)")
@@ -203,6 +212,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-specialize", action="store_true",
                        help="run every job on the generic engine "
                             "loop (results are byte-identical)")
+    serve.add_argument("--codegen", choices=["on", "off"],
+                       default="on",
+                       help="generated step source on the worker "
+                            "fleet (default on; off pins every job "
+                            "to the compiled loops)")
     serve.add_argument("--ready-file", default=None,
                        help="write the bound endpoint (host:port or "
                             "socket path) here once listening")
@@ -279,6 +293,11 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-specialize", action="store_true",
                         help="ask for the generic engine loop "
                              "(results are byte-identical)")
+    submit.add_argument("--codegen", choices=["on", "off"],
+                        default="on",
+                        help="ask for generated step source "
+                             "(default on; results are "
+                             "byte-identical)")
     submit.add_argument("--session", action="store_true",
                         help="open a warm analysis session on the "
                              "worker (prints its id on stderr for "
@@ -367,8 +386,17 @@ def _cmd_analyze(args) -> int:
                    analysis=args.analysis, context=args.context,
                    simplify=args.simplify, report=args.report,
                    values=args.values, timeout=args.timeout,
-                   specialize=not args.no_specialize).validate()
+                   specialize=not args.no_specialize,
+                   codegen=args.codegen == "on").validate()
     cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
+    if args.cache_dir:
+        # Keep generated modules beside the relocated result cache.
+        from pathlib import Path
+
+        from repro.analysis.codegen import set_default_codegen_cache
+        from repro.cache import CodegenCache
+        set_default_codegen_cache(
+            CodegenCache(Path(args.cache_dir) / "codegen"))
     key = job_cache_key(spec) if cache is not None else None
     if cache is not None:
         payload = cache.get(key)
@@ -461,6 +489,7 @@ def _cmd_bench(args) -> int:
             "--no-specialize conflicts with --specialize; pass one")
     specialize_modes = ["off"] if args.no_specialize \
         else (args.specialize or "on").split(",")
+    codegen_modes = (args.codegen or "on").split(",")
     obj_depths = None
     if args.obj_depth is not None:
         try:
@@ -525,6 +554,7 @@ def _cmd_bench(args) -> int:
     tasks = build_matrix(programs, analyses, contexts, copies=copies,
                          timeout=timeout, values=values,
                          specialize=specialize_modes,
+                         codegen=codegen_modes,
                          obj_depths=obj_depths, repeat=args.repeat)
     if not tasks:
         print("error: empty benchmark matrix", file=sys.stderr)
@@ -534,12 +564,14 @@ def _cmd_bench(args) -> int:
         if len(values) > 1 else ""
     engine_axis = f" x {len(specialize_modes)} engine paths" \
         if len(specialize_modes) > 1 else ""
+    codegen_axis = f" x {len(codegen_modes)} codegen modes" \
+        if len(codegen_modes) > 1 else ""
     obj_axis = f" x {len(obj_depths)} obj depths" \
         if obj_depths is not None and len(obj_depths) > 1 else ""
     print(f"bench: {len(tasks)} tasks "
           f"({len(programs)} programs x {len(analyses)} analyses "
           f"x {len(contexts)} contexts{values_axis}{engine_axis}"
-          f"{obj_axis})", file=sys.stderr)
+          f"{codegen_axis}{obj_axis})", file=sys.stderr)
     report = run_batch(
         tasks, jobs=args.jobs, serial=args.serial, cache=cache,
         progress=lambda line: print(line, file=sys.stderr, flush=True))
@@ -564,11 +596,17 @@ def _cmd_serve(args) -> int:
     if args.max_queue < 1:
         raise UsageError(f"--max-queue must be a positive integer, "
                          f"got {args.max_queue}")
+    codegen_dir = None
+    if args.cache_dir:
+        from pathlib import Path
+        codegen_dir = str(Path(args.cache_dir) / "codegen")
     server = AnalysisServer(
         host=args.host, port=args.port, socket_path=args.socket,
         workers=args.workers, cache=cache,
         default_timeout=args.job_timeout,
         specialize=not args.no_specialize,
+        codegen=args.codegen == "on",
+        codegen_dir=codegen_dir,
         max_queue=args.max_queue).start()
     print(f"serving on {server.endpoint} "
           f"({server.workers} workers"
@@ -682,6 +720,7 @@ def _cmd_submit(args) -> int:
             report=args.report, values=args.values,
             timeout=args.timeout,
             specialize=not args.no_specialize,
+            codegen=args.codegen == "on",
             session=args.session, on_event=_event_printer(args))
     if final.get("status") == "ok":
         sys.stdout.write(final["stdout"])

@@ -98,11 +98,46 @@ def specialize(machine: "Machine", enabled: bool = True) -> "Machine":
     return specialize_machine(machine) or machine
 
 
+def codegen_stage(machine: "Machine", enabled: bool = True,
+                  cache=None) -> "Machine | None":
+    """The source-level codegen stage, one rung past specialization.
+
+    Given a generic machine whose policy admits it
+    (:mod:`repro.analysis.codegen`: flat-env kernels, and the flat FJ
+    machine under a receiver-insensitive context-free policy), return
+    a machine that ``exec``-s *generated Python source* — one
+    straight-line step function per program node with addresses,
+    successor configurations and dispatch plans inlined as literals,
+    and (for the context-free kinds) bit-parallel transfer blocks that
+    collapse a successor's per-address joins into one packed-int
+    compare.  Returns ``None`` when the policy is not covered or
+    ``enabled`` is False — callers then fall back to
+    :func:`specialize`.  Codegen machines honor the same byte- and
+    trajectory-identity contract as specialized ones; *cache* is the
+    :class:`~repro.cache.CodegenCache` to draw generated modules from
+    (``None`` = the process default, on disk next to the result
+    cache).
+
+    Note: codegen steps may *omit* joins they prove cannot grow the
+    store, which the single-store driver cannot observe — except
+    through ``options.track``'s writers map.  Tracked runs (the
+    incremental sessions) always drive generic machines, so the
+    stages never meet; keep it that way.
+    """
+    if not enabled:
+        return None
+    from repro.analysis.codegen import codegen_machine
+    return codegen_machine(machine, cache)
+
+
 def machine_path(machine: "Machine") -> str:
-    """``specialized:<name>`` or ``generic`` — which step loop ran.
-    The bench runner records this per row."""
+    """``codegen:<name>``, ``specialized:<name>`` or ``generic`` —
+    which step loop ran.  The bench runner records this per row."""
     name = getattr(machine, "specialization", None)
-    return f"specialized:{name}" if name else "generic"
+    if not name:
+        return "generic"
+    stage = getattr(machine, "stage", "specialized")
+    return f"{stage}:{name}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -272,24 +307,26 @@ def run_single_store(machine: Machine, recorder,
         steps += 1
         reads: set = set()
         succs = machine_step(config, store, reads, recorder)
-        for addr in reads:
-            addr_readers = readers.get(addr)
-            if addr_readers is None:
-                readers[addr] = {config}
-            else:
-                addr_readers.add(config)
+        if reads:
+            for addr in reads:
+                addr_readers = readers.get(addr)
+                if addr_readers is None:
+                    readers[addr] = {config}
+                else:
+                    addr_readers.add(config)
         changed = []
         for succ, joins in succs:
-            for addr, mask in joins:
-                if mask:
-                    if tracking:
-                        addr_writers = writers.get(addr)
-                        if addr_writers is None:
-                            writers[addr] = {config}
-                        else:
-                            addr_writers.add(config)
-                    if join_mask(addr, mask):
-                        changed.append(addr)
+            if joins:
+                for addr, mask in joins:
+                    if mask:
+                        if tracking:
+                            addr_writers = writers.get(addr)
+                            if addr_writers is None:
+                                writers[addr] = {config}
+                            else:
+                                addr_writers.add(config)
+                        if join_mask(addr, mask):
+                            changed.append(addr)
             if succ not in seen:
                 seen.add(succ)
                 pending.add(succ)

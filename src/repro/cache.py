@@ -363,6 +363,172 @@ class ProgramCache:
                 "evictions": self.evictions}
 
 
+#: Bump whenever the shape of generated step-loop source changes —
+#: emitter templates, the runtime-helper contract, or the meaning of
+#: a kind string.  Stale modules then fail validation and regenerate.
+CODEGEN_SCHEMA_VERSION = 5
+
+
+def default_codegen_dir() -> Path:
+    """Where generated step-loop modules live: next to the result
+    cache (``~/.cache/repro/codegen``)."""
+    return default_cache_dir() / "codegen"
+
+
+class CodegenCache:
+    """Disk + in-memory cache of generated step-loop modules.
+
+    The codegen tier (:mod:`repro.analysis.codegen`) emits one Python
+    module per ``(schema, kind, program)`` triple; emission walks the
+    whole program, so repeat analyses — and especially the fleet's
+    session/edit traffic — should pay it once.  Entries live
+    one-per-file as ``<key>.py`` beside the result cache, written
+    atomically, and an exec'd-namespace LRU keeps the hottest modules
+    from even re-``exec``-ing.
+
+    Honest invalidation: every generated module embeds its ``SCHEMA``
+    and ``KEY``; :meth:`module_for` re-validates both after ``exec``,
+    so a stale-schema file, a hand-edited module or a corrupt entry is
+    counted ``rejected`` and regenerated in place — never served,
+    never raised.  ``directory=None`` runs memory-only (tests, or
+    ``--no-cache`` runs still get intra-process reuse).
+
+    Not thread-safe — like :class:`ProgramCache`, each worker process
+    owns exactly one.
+    """
+
+    def __init__(self, directory: Path | str | None = None,
+                 capacity: int = 64, disk_capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got "
+                             f"{capacity}")
+        self.directory = None
+        if directory is not None:
+            self.directory = Path(directory).expanduser()
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.capacity = capacity
+        self.disk_capacity = disk_capacity
+        self._modules: dict[str, dict] = {}  # insertion = LRU order
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.py"
+
+    def _validate(self, key: str, source: str) -> dict | None:
+        """Exec *source* and return its namespace iff it is a
+        well-formed generated module for *key* under the current
+        schema; None (counted ``rejected``) otherwise."""
+        namespace: dict = {}
+        try:
+            code = compile(source, f"<codegen {key[:12]}>", "exec")
+            exec(code, namespace)
+        except Exception:
+            self.stats.rejected += 1
+            return None
+        if namespace.get("SCHEMA") != CODEGEN_SCHEMA_VERSION \
+                or namespace.get("KEY") != key \
+                or not callable(namespace.get("build")):
+            self.stats.rejected += 1
+            return None
+        return namespace
+
+    def _remember(self, key: str, namespace: dict) -> None:
+        self._modules.pop(key, None)
+        self._modules[key] = namespace
+        while len(self._modules) > self.capacity:
+            victim = next(iter(self._modules))
+            del self._modules[victim]
+
+    def module_for(self, key: str, generate) -> dict:
+        """The exec'd namespace of the generated module for *key*,
+        loading from disk when possible and calling ``generate()``
+        (→ source text) only on a true miss.  Freshly generated
+        source is validated too — a bad emitter is a bug, and raising
+        here beats silently analyzing with the wrong loops."""
+        namespace = self._modules.pop(key, None)
+        if namespace is not None:
+            self._modules[key] = namespace  # re-insert at MRU end
+            self.stats.hits += 1
+            return namespace
+        path = self.path_for(key)
+        if path is not None:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                source = None
+            if source is not None:
+                namespace = self._validate(key, source)
+                if namespace is not None:
+                    self.stats.hits += 1
+                    self._remember(key, namespace)
+                    return namespace
+        self.stats.misses += 1
+        source = generate()
+        namespace = self._validate(key, source)
+        if namespace is None:
+            raise RuntimeError(
+                f"freshly generated codegen module failed validation "
+                f"(key {key[:12]}…)")
+        if path is not None:
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=self.directory,
+                prefix=".tmp-", suffix=".py", delete=False)
+            try:
+                with handle:
+                    handle.write(source)
+                os.replace(handle.name, path)
+                self.stats.writes += 1
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        self._remember(key, namespace)
+        return namespace
+
+    def _entry_paths(self):
+        if self.directory is None:
+            return
+        for path in self.directory.glob("*.py"):
+            if _KEY_SHAPED.fullmatch(path.stem):
+                yield path
+
+    def prune(self) -> int:
+        """Delete stale-schema and corrupt modules, then LRU-cap the
+        directory by mtime; returns how many files were removed."""
+        removed = 0
+        survivors = []
+        for path in self._entry_paths():
+            try:
+                source = path.read_text(encoding="utf-8")
+                keep = f"SCHEMA = {CODEGEN_SCHEMA_VERSION}\n" in source
+            except (OSError, UnicodeDecodeError):
+                keep = False
+            if keep:
+                survivors.append(path)
+            else:
+                path.unlink(missing_ok=True)
+                removed += 1
+        if len(survivors) > self.disk_capacity:
+            survivors.sort(key=lambda path: path.stat().st_mtime)
+            for path in survivors[:len(survivors) - self.disk_capacity]:
+                path.unlink(missing_ok=True)
+                removed += 1
+        self.stats.pruned += removed
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def as_dict(self) -> dict:
+        counters = self.stats.as_dict()
+        counters["memory"] = len(self._modules)
+        return counters
+
+
 def open_cache(cache_dir: str | None, enabled: bool) -> \
         "ResultCache | None":
     """CLI helper: a cache when *enabled*, at *cache_dir* or the

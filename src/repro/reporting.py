@@ -144,10 +144,19 @@ def analyses_report(rows: list, language: str | None,
     """
     from repro.metrics.timing import format_table
     headers = ["name", "display", "lang", "env-rep", "engine",
-               "context policy", "complexity"]
+               "context policy", "complexity", "specialized",
+               "codegen"]
+    # Rows served by pre-codegen servers lack the two knob columns;
+    # render a "?" rather than crashing --list-analyses against them.
+    def knob(row, field):
+        value = row.get(field)
+        if value is None:
+            return "?"
+        return "yes" if value else "no"
     table_rows = [[row["name"], row["display"], row["language"],
                    row["env_rep"], row["engine"], row["context"],
-                   row["complexity"]]
+                   row["complexity"], knob(row, "specialized"),
+                   knob(row, "codegen")]
                   for row in rows]
     lines = [format_table(headers, table_rows)]
     if language is None:
@@ -273,6 +282,16 @@ def service_stats_report(stats: dict) -> str:
             f"{row.get('jobs', 0)} jobs, "
             f"{row.get('plans_reused', 0)} plans reused, "
             f"depth {row.get('depth', 0)}")
+        for store in ("programs", "codegen"):
+            counters = row.get(store)
+            if not counters:
+                continue
+            pruned = counters.get("pruned", 0)
+            suffix = f", {pruned} pruned" if pruned else ""
+            lines.append(
+                f"      {store}: {counters.get('hits', 0)} hits, "
+                f"{counters.get('misses', 0)} misses"
+                f"{suffix}")
     cache = stats.get("cache")
     if cache:
         lines.append(

@@ -187,6 +187,7 @@ class ServiceClient:
                report: str = "all", values: str = "interned",
                timeout: float | None = None,
                specialize: bool = True,
+               codegen: bool = True,
                session: bool = False,
                on_event=None,
                busy_retries: int = BUSY_RETRIES) -> dict:
@@ -210,6 +211,9 @@ class ServiceClient:
             # submit fields strictly, so the default-True case must
             # stay wire-compatible with them.
             base["specialize"] = False
+        if not codegen:
+            # Same wire-compatibility rule as specialize.
+            base["codegen"] = False
         if session:
             # Same wire-compatibility rule as specialize.
             base["session"] = True

@@ -49,7 +49,8 @@ def _fleet_context():
         "forkserver" if "forkserver" in methods else "spawn")
 
 
-def _worker_main(conn, worker_id: str) -> None:
+def _worker_main(conn, worker_id: str,
+                 codegen_dir=None) -> None:
     """The worker child's whole life: recv a kind-tagged request, run
     it warm, send the row back with cumulative stats.  Exits on pipe
     EOF (parent closed its end — the clean shutdown signal) or a
@@ -67,9 +68,27 @@ def _worker_main(conn, worker_id: str) -> None:
     Session state lives here, in the worker, next to the program
     cache it pins — the parent only routes by session id.
     """
-    from repro.cache import ProgramCache
+    from repro.cache import CodegenCache, ProgramCache
+    from repro.analysis.codegen import (
+        default_codegen_cache, set_default_codegen_cache,
+    )
     from repro.service.jobs import WorkerSessions, run_job
     programs = ProgramCache()
+    # The worker's generated-module store: installed as the process
+    # default so the codegen stage inside run_job hits it without
+    # plumbing.  Disk entries persist across worker restarts (keys
+    # are content hashes), so a respawned shard re-warms from disk
+    # for free.  ``codegen_dir`` relocates it next to a ``serve
+    # --cache-dir`` result cache (the fleet spawns, so the parent's
+    # default does not carry over).
+    if codegen_dir is not None:
+        try:
+            codegen = CodegenCache(codegen_dir)
+        except OSError:
+            codegen = CodegenCache()
+        set_default_codegen_cache(codegen)
+    else:
+        codegen = default_codegen_cache()
     sessions = WorkerSessions(programs=programs)
     jobs_done = 0
     plans_reused = 0
@@ -98,6 +117,7 @@ def _worker_main(conn, worker_id: str) -> None:
             plans_reused += 1
         stats = {"jobs": jobs_done, "plans_reused": plans_reused,
                  "programs": programs.as_dict(),
+                 "codegen": codegen.as_dict(),
                  "sessions": sessions.counters()}
         try:
             conn.send((ticket, row, stats))
@@ -118,6 +138,11 @@ class WorkerHandle:
         # the pump thread; plain int reads are safe cross-thread).
         self.jobs = 0
         self.plans_reused = 0
+        # Last-reported cache counter dicts.  ``programs`` was always
+        # shipped in the stats tuple but dropped on the floor here;
+        # both stores now surface symmetrically in stats_row.
+        self.programs: dict = {}
+        self.codegen: dict = {}
 
     @property
     def pid(self) -> int | None:
@@ -126,7 +151,9 @@ class WorkerHandle:
     def stats_row(self) -> dict:
         return {"worker": self.worker_id, "pid": self.pid,
                 "alive": self.alive, "jobs": self.jobs,
-                "plans_reused": self.plans_reused}
+                "plans_reused": self.plans_reused,
+                "programs": dict(self.programs),
+                "codegen": dict(self.codegen)}
 
 
 class WorkerFleet:
@@ -137,13 +164,15 @@ class WorkerFleet:
     caller is responsible for marshalling into its own loop.
     """
 
-    def __init__(self, size: int, on_result, on_death):
+    def __init__(self, size: int, on_result, on_death,
+                 codegen_dir=None):
         if size < 1:
             raise ValueError(f"fleet needs at least one worker, got "
                              f"{size}")
         self.size = size
         self.on_result = on_result
         self.on_death = on_death
+        self.codegen_dir = codegen_dir
         self._handles: dict[str, WorkerHandle] = {}
         self._threads: list[threading.Thread] = []
         self._stopping = False
@@ -157,7 +186,8 @@ class WorkerFleet:
             worker_id = f"w{index}"
             parent_conn, child_conn = context.Pipe(duplex=True)
             process = context.Process(
-                target=_worker_main, args=(child_conn, worker_id),
+                target=_worker_main,
+                args=(child_conn, worker_id, self.codegen_dir),
                 name=f"repro-{worker_id}", daemon=True)
             process.start()
             child_conn.close()  # the child's copy lives in the child
@@ -271,6 +301,8 @@ class WorkerFleet:
         ticket, row, stats = message
         handle.jobs = stats["jobs"]
         handle.plans_reused = stats["plans_reused"]
+        handle.programs = stats.get("programs", {})
+        handle.codegen = stats.get("codegen", {})
         self.on_result(handle.worker_id, ticket, row, stats)
 
     def _died(self, handle: WorkerHandle) -> None:

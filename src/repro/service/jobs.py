@@ -28,11 +28,12 @@ Cache-key audit
 :func:`job_cache_key` must cover **every result-affecting option** of
 a job: the exact source text, the analysis name, the context depth,
 ``simplify`` (changes the analyzed term), ``report`` (changes the
-rendered text) and ``values`` and ``specialize`` (each of the plain/interned domains
-and the specialized/generic step loops produces byte-identical
+rendered text) and ``values``, ``specialize`` and ``codegen`` (each
+of the plain/interned domains, the specialized/generic step loops and
+the generated/compiled transfer functions produces byte-identical
 reports *today*, but those equivalences are theorems about the
-current code, not the key scheme's business — flipping either must
-never return a stale entry).  The wall-clock ``timeout``
+current code, not the key scheme's business — flipping any of them
+must never return a stale entry).  The wall-clock ``timeout``
 is deliberately excluded: a completed result does not depend on how
 long it was allowed to take, and timed-out runs are never cached.
 The cache schema version rides inside
@@ -74,22 +75,26 @@ def run_scheme_analysis(program, analysis: str, parameter: int,
                         budget: Budget | None = None,
                         plain: bool = False,
                         specialize: bool | None = None,
+                        codegen: bool | None = None,
                         obj_depth: int | None = None):
     """Dispatch one Scheme analysis via the registry."""
     return run_analysis(analysis, program, parameter, budget,
                         plain=plain, language="scheme",
-                        specialize=specialize, obj_depth=obj_depth)
+                        specialize=specialize, codegen=codegen,
+                        obj_depth=obj_depth)
 
 
 def run_fj_analysis(program, analysis: str, parameter: int,
                     budget: Budget | None = None,
                     plain: bool = False,
                     specialize: bool | None = None,
+                    codegen: bool | None = None,
                     obj_depth: int | None = None):
     """Dispatch one Featherweight Java analysis via the registry."""
     return run_analysis(analysis, program, parameter, budget,
                         plain=plain, language="fj",
-                        specialize=specialize, obj_depth=obj_depth)
+                        specialize=specialize, codegen=codegen,
+                        obj_depth=obj_depth)
 
 
 def validate_job_options(analysis: str, context: int,
@@ -148,6 +153,11 @@ class JobSpec:
     #: (byte-identical results either way; False is the
     #: ``--no-specialize`` escape hatch).
     specialize: bool = True
+    #: Run covered policies through generated per-node step source
+    #: (byte-identical to the compiled loops; False is the
+    #: ``--codegen off`` escape hatch).  Has no effect when
+    #: ``specialize`` is off — codegen rides on specialization.
+    codegen: bool = True
 
     def validate(self) -> "JobSpec":
         """Raise :class:`~repro.errors.ReproError` on a bad field.
@@ -166,6 +176,9 @@ class JobSpec:
             raise UsageError(
                 f"specialize must be a boolean, got "
                 f"{self.specialize!r}")
+        if not isinstance(self.codegen, bool):
+            raise UsageError(
+                f"codegen must be a boolean, got {self.codegen!r}")
         if self.timeout is not None:
             if isinstance(self.timeout, bool) \
                     or not isinstance(self.timeout, (int, float)) \
@@ -185,7 +198,8 @@ def job_cache_key(spec: JobSpec) -> str:
                       "simplify": spec.simplify,
                       "report": spec.report,
                       "values": spec.values,
-                      "specialize": spec.specialize})
+                      "specialize": spec.specialize,
+                      "codegen": spec.codegen})
 
 
 def cache_payload(row: dict) -> dict:
@@ -502,13 +516,15 @@ def run_job(spec: JobSpec, programs=None) -> dict:
             result = run_fj_analysis(
                 program, spec.analysis, spec.context, budget,
                 plain=spec.values == "plain",
-                specialize=spec.specialize)
+                specialize=spec.specialize,
+                codegen=spec.codegen)
             row["stdout"] = render_fj_reports(program, result)
         else:
             result = run_scheme_analysis(
                 program, spec.analysis, spec.context, budget,
                 plain=spec.values == "plain",
-                specialize=spec.specialize)
+                specialize=spec.specialize,
+                codegen=spec.codegen)
             row["stdout"] = render_reports(program, result,
                                            spec.report)
         row["summary"] = result.summary()

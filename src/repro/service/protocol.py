@@ -91,7 +91,8 @@ OPS = ("submit", "edit", "query", "stats", "analyses", "ping",
 #: analyzing under defaults.
 SUBMIT_FIELDS = frozenset(
     ("op", "id", "source", "path", "analysis", "context", "simplify",
-     "report", "values", "timeout", "specialize", "session"))
+     "report", "values", "timeout", "specialize", "codegen",
+     "session"))
 
 #: Fields of an ``analyses`` request (same strictness as submit).
 ANALYSES_FIELDS = frozenset(("op", "id", "language"))
@@ -191,6 +192,10 @@ def submit_spec(message: dict) -> JobSpec:
     if not isinstance(specialize, bool):
         raise ProtocolError(
             f"specialize must be a JSON boolean, got {specialize!r}")
+    codegen = message.get("codegen", True)
+    if not isinstance(codegen, bool):
+        raise ProtocolError(
+            f"codegen must be a JSON boolean, got {codegen!r}")
     spec = JobSpec(
         source=source,
         analysis=message.get("analysis", "mcfa"),
@@ -199,7 +204,8 @@ def submit_spec(message: dict) -> JobSpec:
         report=message.get("report", "all"),
         values=message.get("values", "interned"),
         timeout=message.get("timeout"),
-        specialize=specialize)
+        specialize=specialize,
+        codegen=codegen)
     try:
         return spec.validate()
     except ProtocolError:

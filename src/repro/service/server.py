@@ -162,6 +162,8 @@ class AnalysisServer:
                  workers: int | None = None, cache=None,
                  default_timeout: float | None = 60.0,
                  specialize: bool = True,
+                 codegen: bool = True,
+                 codegen_dir=None,
                  max_queue: int = DEFAULT_MAX_QUEUE):
         self.host = host
         self.port = port
@@ -174,6 +176,12 @@ class AnalysisServer:
         #: whatever the request says (results are byte-identical, so
         #: this is an operational escape hatch, not a semantic knob).
         self.specialize = specialize
+        #: Server-wide codegen override, same contract: ``serve
+        #: --codegen off`` pins every job to the compiled loops.
+        self.codegen = codegen
+        #: Where fleet workers keep generated modules (``--cache-dir``
+        #: relocates it beside the result cache; None = the default).
+        self.codegen_dir = codegen_dir
         self.max_queue = max(1, max_queue)
         self._inflight = InflightTable()
         self._jobs = {"submitted": 0, "executed": 0, "completed": 0,
@@ -218,7 +226,9 @@ class AnalysisServer:
     def start(self) -> "AnalysisServer":
         """Spawn the fleet and the event loop; returns once bound."""
         self._fleet = WorkerFleet(self.workers, self._post_result,
-                                  self._post_death).start()
+                                  self._post_death,
+                                  codegen_dir=self.codegen_dir
+                                  ).start()
         for worker_id in self._fleet.live_workers():
             self._ring.add(worker_id)
             self._depth[worker_id] = 0
@@ -474,6 +484,8 @@ class AnalysisServer:
             spec = replace(spec, timeout=self.default_timeout)
         if not self.specialize and spec.specialize:
             spec = replace(spec, specialize=False)
+        if not self.codegen and spec.codegen:
+            spec = replace(spec, codegen=False)
         key = job_cache_key(spec)
         self._jobs["submitted"] += 1
         send({"event": "queued", "job": job_id, "key": key})

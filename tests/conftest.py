@@ -8,6 +8,24 @@ from repro.benchsuite import SUITE
 from repro.scheme.cps_transform import compile_program
 
 
+@pytest.fixture(autouse=True)
+def _memory_codegen_cache():
+    """Keep the codegen default cache memory-only during tests.
+
+    Analyses run with codegen on by default; without this every test
+    process would write generated modules into the developer's real
+    ``~/.cache/repro/codegen``.  Memory-only keeps runs hermetic
+    while still exercising the cache lookup path.  Tests that want a
+    disk-backed cache install their own via
+    :func:`repro.analysis.codegen.set_default_codegen_cache`.
+    """
+    from repro.analysis.codegen import set_default_codegen_cache
+    from repro.cache import CodegenCache
+    set_default_codegen_cache(CodegenCache())
+    yield
+    set_default_codegen_cache(None)
+
+
 @pytest.fixture(scope="session")
 def suite_compiled():
     """The §6.2 suite, compiled once per test session."""

@@ -83,7 +83,7 @@ class TestMatrix:
     def test_fj_chain_task_runs(self):
         row = run_task(BenchTask("fjchain5", "fj-poly", 0))
         assert row["status"] == "ok"
-        assert row["engine_path"] == "specialized:zero-fj-flat"
+        assert row["engine_path"] == "codegen:zero-fj-flat"
 
     def test_fj_random_ladder_is_an_fj_program(self):
         tasks = build_matrix(["fjrand42"], ["fj-poly", "zero"], [0])
@@ -144,20 +144,42 @@ class TestRunTask:
         assert "k must be non-negative" in row["error"]
 
     def test_rows_record_which_engine_path_ran(self):
-        specialized = run_task(BenchTask("eta", "zero", 0))
+        codegen = run_task(BenchTask("eta", "zero", 0))
+        compiled = run_task(BenchTask("eta", "zero", 0,
+                                      codegen="off"))
         generic = run_task(BenchTask("eta", "zero", 0,
                                      specialize="off"))
-        assert specialized["engine_path"] == "specialized:zero-flat"
-        assert specialized["specialize"] == "on"
+        assert codegen["engine_path"] == "codegen:zero-flat"
+        assert codegen["specialize"] == "on"
+        assert codegen["codegen"] == "on"
+        assert compiled["engine_path"] == "specialized:zero-flat"
+        assert compiled["codegen"] == "off"
         assert generic["engine_path"] == "generic"
         assert generic["specialize"] == "off"
         # Byte-identity across paths: every result column agrees —
         # only timing, pid and the path labels may differ.
         volatile = ("pid", "wall_seconds", "elapsed", "specialize",
-                    "engine_path", "task")
+                    "codegen", "engine_path", "task")
         strip = lambda row: {key: value for key, value in row.items()
                              if key not in volatile}
-        assert strip(specialized) == strip(generic)
+        assert strip(codegen) == strip(compiled)
+        assert strip(codegen) == strip(generic)
+
+    def test_codegen_axis_rides_on_specialization(self):
+        tasks = build_matrix(["eta"], ["zero"], [0],
+                             specialize=["on", "off"],
+                             codegen=["on", "off"])
+        assert [(task.specialize, task.codegen)
+                for task in tasks] == \
+            [("on", "on"), ("on", "off"), ("off", "off")]
+        assert [task.task_id for task in tasks] == \
+            ["eta:zero(0)", "eta:zero(0)[nocodegen]",
+             "eta:zero(0)[generic]"]
+
+    def test_unknown_codegen_mode_rejected(self):
+        with pytest.raises(ReproError, match="codegen"):
+            build_matrix(["eta"], ["zero"], [0],
+                         codegen=["sometimes"])
 
     def test_opted_out_spec_reports_generic_even_when_asked(self):
         row = run_task(BenchTask("eta", "kcfa-naive", 1))

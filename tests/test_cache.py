@@ -162,7 +162,8 @@ class TestJobKeyAudit:
                                   ("simplify", True),
                                   ("report", "flow"),
                                   ("values", "plain"),
-                                  ("specialize", False)]:
+                                  ("specialize", False),
+                                  ("codegen", False)]:
             changed = replace(base, **{field_name: other})
             assert job_cache_key(changed) != job_cache_key(base), \
                 f"{field_name} is not part of the cache key"
@@ -189,7 +190,7 @@ class TestJobKeyAudit:
             "(f 1)", "kcfa", 1,
             {"command": "analyze", "simplify": False,
              "report": "all", "values": "interned",
-             "specialize": True})
+             "specialize": True, "codegen": True})
 
 
 class TestValuesDomainRegression:

@@ -115,3 +115,29 @@ def test_documented_env_reps_match_registry():
     for rep in sorted(reps):
         assert f"`{rep}`" in section, \
             f"env rep {rep!r} undocumented in docs/cli.md"
+
+
+def test_analyses_knob_columns_documented_and_served():
+    """The listing serves boolean ``specialized``/``codegen`` knob
+    columns for every analysis, and the analyses section documents
+    both — a new engine-tier column must land with its docs."""
+    from repro.analysis.registry import registry_listing
+    for row in registry_listing(None):
+        assert isinstance(row["specialized"], bool), row["name"]
+        assert isinstance(row["codegen"], bool), row["name"]
+    section = _doc_sections()["analyses"]
+    for column in ("specialized", "codegen"):
+        assert f"`{column}`" in section, \
+            f"analyses column {column!r} undocumented in docs/cli.md"
+
+
+def test_analyses_table_renders_knob_columns():
+    """`python -m repro analyses` prints the knob columns (the table
+    the docs describe is the table the CLI prints)."""
+    from repro.analysis.registry import registry_listing
+    from repro.reporting import analyses_report
+    rows = registry_listing(None)
+    report = analyses_report(rows, None, len(rows), "test")
+    header = report.splitlines()[0]
+    assert "specialized" in header and "codegen" in header
+    assert "pushdown" in report  # a registered opt-out renders "no"

@@ -34,20 +34,29 @@ VALUE_MODES = ("interned", "plain")
 #: depth 0 vs. depth >= 1) — pinned so a refactor cannot silently
 #: stop specializing an analysis while this suite vacuously passes.
 EXPECTED_PATHS = {
-    ("zero", 0): "specialized:zero-flat",
-    ("mcfa", 0): "specialized:zero-flat",
-    ("poly", 0): "specialized:zero-flat",
-    ("mcfa", 1): "specialized:flat",
-    ("poly", 1): "specialized:flat",
+    ("zero", 0): "codegen:zero-flat",
+    ("mcfa", 0): "codegen:zero-flat",
+    ("poly", 0): "codegen:zero-flat",
+    ("mcfa", 1): "codegen:flat",
+    ("poly", 1): "codegen:flat",
     ("kcfa", 1): "specialized:shared",
     ("kcfa-naive", 1): "generic",
     ("kcfa-gc", 1): "generic",
     ("pushdown", 0): "generic",
     ("pushdown", 1): "generic",
-    ("fj-poly", 0): "specialized:zero-fj-flat",
+    ("fj-poly", 0): "codegen:zero-fj-flat",
     ("fj-poly", 1): "generic",
     ("fj-mcfa", 1): "generic",
     ("fj-kcfa", 0): "generic",
+}
+
+#: What the same cells run when codegen is off: the compiled
+#: specialized loops — pinned so the escape hatch stays an escape
+#: hatch (and so codegen cannot silently become load-bearing).
+EXPECTED_NOCODEGEN_PATHS = {
+    ("zero", 0): "specialized:zero-flat",
+    ("mcfa", 1): "specialized:flat",
+    ("fj-poly", 0): "specialized:zero-fj-flat",
 }
 
 
@@ -59,11 +68,13 @@ def test_uncovered_specs_register_the_knob_off():
         assert registry().get(name).specialized is False, name
 
 
-def run_both(spec, program, parameter, plain=False, obj_depth=None):
+def run_both(spec, program, parameter, plain=False, obj_depth=None,
+             codegen=None):
     generic = spec.run(program, parameter, plain=plain,
                        specialize=False, obj_depth=obj_depth)
     special = spec.run(program, parameter, plain=plain,
-                       specialize=True, obj_depth=obj_depth)
+                       specialize=True, obj_depth=obj_depth,
+                       codegen=codegen)
     return generic, special
 
 
@@ -189,6 +200,21 @@ def test_escape_hatch_forces_generic():
     assert result.engine_path == "generic"
 
 
+@pytest.mark.parametrize("key", sorted(EXPECTED_NOCODEGEN_PATHS),
+                         ids=lambda key: f"{key[0]}-{key[1]}")
+def test_codegen_escape_hatch_runs_compiled_loops(key):
+    name, context = key
+    spec = registry().get(name)
+    if spec.language == "fj":
+        from repro.fj import parse_fj
+        from repro.fj.examples import ALL_EXAMPLES
+        program = parse_fj(ALL_EXAMPLES["pairs"])
+    else:
+        program = compile_program("((lambda (x) x) 1)")
+    result = spec.run(program, context, codegen=False)
+    assert result.engine_path == EXPECTED_NOCODEGEN_PATHS[key]
+
+
 def test_obj_depth_rejected_off_the_ladder():
     program = compile_program("((lambda (x) x) 1)")
     with pytest.raises(UsageError, match="no obj-depth axis"):
@@ -228,9 +254,229 @@ def test_diverging_specialization_fails(monkeypatch):
                         broken)
     program = compile_program(small_sources()["eta"])
     spec = registry().get("zero")
-    generic, special = run_both(spec, program, 0)
+    # codegen=False: the generated-source tier sits above
+    # specialize_machine and would otherwise bypass the impostor.
+    generic, special = run_both(spec, program, 0, codegen=False)
     assert special.engine_path == "specialized:diverging"
     with pytest.raises(AssertionError, match="diverged"):
         assert_identical(
             generic, special,
             lambda result: render_reports(program, result))
+
+
+# -- the codegen tier -----------------------------------------------------
+#
+# The generated-source stage (:mod:`repro.analysis.codegen`) makes the
+# same trajectory promise one rung further up: per-node emitted step
+# functions with bit-parallel transfer must be byte- and
+# trajectory-identical to the compiled specialized loops (and hence,
+# transitively, to the generic engine the suite above pins).
+
+
+CODEGEN_SCHEME_SPECS = [spec for spec in SCHEME_SPECS if spec.codegen]
+
+
+def run_codegen_both(spec, program, parameter, plain=False):
+    """One analysis twice: compiled loops vs. generated source."""
+    compiled = spec.run(program, parameter, plain=plain,
+                        codegen=False)
+    generated = spec.run(program, parameter, plain=plain,
+                         codegen=True)
+    return compiled, generated
+
+
+CODEGEN_SCHEME_CASES = [
+    (name, spec, context, values)
+    for name in sorted(small_sources())
+    for spec in CODEGEN_SCHEME_SPECS
+    for context in ((0, 1) if spec.name in ("mcfa", "poly") else (0,))
+    for values in VALUE_MODES
+    if (name, spec.name) not in EXPLODES
+]
+
+
+@pytest.mark.parametrize(
+    "name,spec,context,values", CODEGEN_SCHEME_CASES,
+    ids=lambda value: getattr(value, "name", value))
+def test_scheme_codegen_byte_identical(name, spec, context, values):
+    program = compile_program(small_sources()[name])
+    compiled, generated = run_codegen_both(
+        spec, program, context, plain=values == "plain")
+    assert_identical(
+        compiled, generated,
+        lambda result: render_reports(program, result),
+        context=f"({name}, {spec.name}, n={context}, {values})")
+    assert generated.engine_path.startswith("codegen:")
+    assert compiled.engine_path.startswith("specialized:")
+
+
+CODEGEN_FJ_CASES = [
+    (name, values)
+    for name in ("pairs", "dispatch", "linked_list", "oo_identity")
+    for values in VALUE_MODES
+]
+
+
+@pytest.mark.parametrize("name,values", CODEGEN_FJ_CASES)
+def test_fj_codegen_byte_identical(name, values):
+    from repro.fj import parse_fj
+    from repro.fj.examples import ALL_EXAMPLES
+    spec = registry().get("fj-poly")
+    program = parse_fj(ALL_EXAMPLES[name])
+    compiled, generated = run_codegen_both(
+        spec, program, 0, plain=values == "plain")
+    assert_identical(
+        compiled, generated,
+        lambda result: render_fj_reports(program, result),
+        context=f"({name}, fj-poly, n=0, {values})")
+    assert generated.engine_path == "codegen:zero-fj-flat"
+
+
+@pytest.mark.parametrize("seed", (5, 23, 71, 104))
+def test_random_scheme_codegen_identical(seed):
+    from repro.generators.random_programs import random_program
+    program = random_program(seed, 4)
+    for spec in CODEGEN_SCHEME_SPECS:
+        for context in (0, 1):
+            compiled, generated = run_codegen_both(spec, program,
+                                                   context)
+            assert_identical(
+                compiled, generated,
+                lambda result: render_reports(program, result),
+                context=f"(seed {seed}, {spec.name}, n={context})")
+
+
+@pytest.mark.parametrize("seed", (7, 42, 99))
+def test_random_fj_codegen_identical(seed):
+    from repro.fj import parse_fj
+    from repro.generators.fj_random import fj_random_source
+    spec = registry().get("fj-poly")
+    program = parse_fj(fj_random_source(seed))
+    compiled, generated = run_codegen_both(spec, program, 0)
+    assert_identical(
+        compiled, generated,
+        lambda result: render_fj_reports(program, result),
+        context=f"(fjrand{seed}, fj-poly, n=0)")
+
+
+def test_codegen_covered_specs_advertise_the_knob():
+    """``codegen=True`` in the registry must mean "this suite covers
+    it" — and opted-out specs must say no (the analyses table and the
+    bench axis read these)."""
+    covered = {spec.name for spec in registry().specs()
+               if spec.codegen}
+    assert covered == {"zero", "mcfa", "poly", "fj-poly"}
+    for name in ("kcfa", "pushdown", "kcfa-gc", "kcfa-naive",
+                 "fj-kcfa", "fj-kcfa-gc", "fj-mcfa", "fj-hybrid",
+                 "fj-obj"):
+        assert registry().get(name).codegen is False, name
+
+
+# -- the codegen cache: honest invalidation -------------------------------
+
+
+def _disk_codegen_cache(tmp_path):
+    from repro.analysis.codegen import set_default_codegen_cache
+    from repro.cache import CodegenCache
+    cache = CodegenCache(tmp_path / "codegen")
+    set_default_codegen_cache(cache)
+    return cache
+
+
+def _sole_module_file(cache):
+    files = sorted(cache.directory.glob("*.py"))
+    assert len(files) == 1, files
+    return files[0]
+
+
+def test_codegen_cache_hits_across_processes_worth_of_state(
+        tmp_path):
+    """A fresh in-memory cache over the same directory serves the
+    module from disk (one miss, then hits)."""
+    from repro.analysis.codegen import set_default_codegen_cache
+    from repro.cache import CodegenCache
+    program = compile_program(small_sources()["eta"])
+    spec = registry().get("zero")
+    cache = _disk_codegen_cache(tmp_path)
+    try:
+        first = spec.run(program, 0)
+        assert cache.stats.misses == 1 and cache.stats.writes == 1
+        rewarmed = CodegenCache(tmp_path / "codegen")
+        set_default_codegen_cache(rewarmed)
+        second = spec.run(program, 0)
+        assert rewarmed.stats.hits == 1
+        assert rewarmed.stats.misses == 0
+        assert render_reports(program, first) \
+            == render_reports(program, second)
+        assert first.steps == second.steps
+    finally:
+        set_default_codegen_cache(None)
+
+
+def test_stale_schema_module_is_regenerated_not_served(tmp_path):
+    """A cached module whose embedded SCHEMA predates the current one
+    must be rejected and regenerated in place — the invalidation
+    regression for any future emitter change."""
+    from repro.analysis.codegen import set_default_codegen_cache
+    from repro.cache import CodegenCache
+    program = compile_program(small_sources()["eta"])
+    spec = registry().get("zero")
+    cache = _disk_codegen_cache(tmp_path)
+    try:
+        baseline = spec.run(program, 0)
+        path = _sole_module_file(cache)
+        text = path.read_text(encoding="utf-8")
+        assert "SCHEMA = " in text
+        path.write_text(text.replace("SCHEMA = ", "SCHEMA = -",
+                                     1), encoding="utf-8")
+        stale = CodegenCache(tmp_path / "codegen")
+        set_default_codegen_cache(stale)
+        rerun = spec.run(program, 0)
+        assert stale.stats.rejected == 1
+        assert stale.stats.writes == 1  # regenerated in place
+        assert rerun.engine_path == "codegen:zero-flat"
+        assert render_reports(program, rerun) \
+            == render_reports(program, baseline)
+        # The rewritten entry is valid again.
+        assert "SCHEMA = -" not in path.read_text(encoding="utf-8")
+    finally:
+        set_default_codegen_cache(None)
+
+
+def test_corrupt_cached_module_is_regenerated_not_a_crash(tmp_path):
+    from repro.analysis.codegen import set_default_codegen_cache
+    from repro.cache import CodegenCache
+    program = compile_program(small_sources()["eta"])
+    spec = registry().get("zero")
+    cache = _disk_codegen_cache(tmp_path)
+    try:
+        baseline = spec.run(program, 0)
+        path = _sole_module_file(cache)
+        path.write_text("def (broken syntax", encoding="utf-8")
+        corrupt = CodegenCache(tmp_path / "codegen")
+        set_default_codegen_cache(corrupt)
+        rerun = spec.run(program, 0)
+        assert corrupt.stats.rejected == 1
+        assert rerun.engine_path == "codegen:zero-flat"
+        assert render_reports(program, rerun) \
+            == render_reports(program, baseline)
+    finally:
+        set_default_codegen_cache(None)
+
+
+def test_codegen_prune_drops_stale_schema_entries(tmp_path,
+                                                  monkeypatch):
+    program = compile_program(small_sources()["eta"])
+    spec = registry().get("zero")
+    from repro.analysis.codegen import set_default_codegen_cache
+    cache = _disk_codegen_cache(tmp_path)
+    try:
+        spec.run(program, 0)
+        path = _sole_module_file(cache)
+        monkeypatch.setattr("repro.cache.CODEGEN_SCHEMA_VERSION",
+                            9999)
+        removed = cache.prune()
+        assert removed == 1
+        assert not path.exists()
+    finally:
+        set_default_codegen_cache(None)
