@@ -1,9 +1,13 @@
-"""An inlining advisor built on the analysis results — the §6.2
+"""An inlining advisor on the client-analysis layer — the §6.2
 metric turned into a (toy) compiler client.
 
-For each §6.2 suite program, runs 0CFA and m-CFA(1) and reports which
-call sites each analysis can prove monomorphic, i.e. safe to inline,
-and what context-sensitivity bought.
+For each §6.2 suite program, runs 0CFA and m-CFA(1) and compares
+what the :mod:`repro.analysis.clients` passes conclude: which call
+sites each analysis proves monomorphic (the ``mono`` pass), which of
+those the ``inlining`` pass would actually inline (user procedures
+only), and what context-sensitivity bought.  The same passes are
+reachable from the CLI as ``python -m repro query FILE --kind
+inlining`` and from the service's ``query`` op.
 
     python examples/inlining_advisor.py [program-name]
 """
@@ -11,35 +15,40 @@ and what context-sensitivity bought.
 import sys
 
 from repro import analyze_mcfa, analyze_zerocfa
+from repro.analysis.clients import run_result_query
 from repro.benchsuite import BY_NAME, SUITE
 
 
 def advise(bench):
     program = bench.compile()
-    zero = analyze_zerocfa(program)
-    mcfa = analyze_mcfa(program, 1)
+    zero = run_result_query(analyze_zerocfa(program), "inlining")
+    mcfa_result = analyze_mcfa(program, 1)
+    mcfa = run_result_query(mcfa_result, "inlining")
+    mono = run_result_query(mcfa_result, "mono")
 
-    zero_sites = set(zero.inlinable_call_sites())
-    mcfa_sites = set(mcfa.inlinable_call_sites())
+    zero_sites = {site["site"] for site in zero["sites"]}
+    mcfa_sites = {site["site"] for site in mcfa["sites"]}
     gained = mcfa_sites - zero_sites
 
     print(f"=== {bench.name} — {bench.description} ===")
     print(f"  term count: {program.term_count()}")
-    print(f"  0CFA:     {len(zero_sites)} inlinable call sites")
-    print(f"  m-CFA(1): {len(mcfa_sites)} inlinable call sites")
+    print(f"  0CFA:     {zero['count']} inlinable call sites")
+    print(f"  m-CFA(1): {mcfa['count']} inlinable call sites "
+          f"({mono['count']} monomorphic incl. continuations)")
     if gained:
         print(f"  context-sensitivity unlocked {len(gained)} more "
               "site(s):")
-        for label in sorted(gained):
-            call = program.calls_by_label[label]
-            (callee,) = mcfa.callees_of(label)
-            print(f"    call @{label} -> λ@{callee.label}   "
-                  f"{str(call)[:60]}")
+        for site in mcfa["sites"]:
+            if site["site"] in gained:
+                print(f"    call @{site['site']} -> "
+                      f"λ@{site['callee']}   "
+                      f"({site['operator'][:50]} ...)")
     else:
         print("  context-sensitivity added no inlinable sites here")
     # sites an inliner must leave alone (genuinely polymorphic)
-    polymorphic = [label for label, callees in mcfa.callees.items()
-                   if len(callees) > 1]
+    polymorphic = [site for site in
+                   run_result_query(mcfa_result, "call-graph")["sites"]
+                   if len(site["targets"]) > 1]
     print(f"  {len(polymorphic)} site(s) are genuinely polymorphic "
           "under m-CFA(1)")
     print()

@@ -341,21 +341,55 @@ def _build_parser() -> argparse.ArgumentParser:
     _connection_arguments(edit)
 
     query = commands.add_parser(
-        "query", help="ask a warm session one demand-driven point "
-                      "query (no full report)")
-    query.add_argument("session",
-                       help="the session id a `submit --session` "
-                            "printed")
-    query.add_argument("kind",
-                       choices=["value-of", "call-sites-of",
-                                "escaping"],
-                       help="what to ask: the values reaching a "
-                            "variable, the call sites that may "
-                            "invoke a lambda, or whether a lambda "
-                            "escapes")
-    query.add_argument("target",
+        "query", help="client-analysis queries: `query SESSION KIND "
+                      "[TARGET]` asks a warm session; `query FILE "
+                      "--kind KIND` runs a batch pass locally, no "
+                      "session or server needed")
+    query.add_argument("session", metavar="SESSION|FILE",
+                       help="a session id a `submit --session` "
+                            "printed, or (with --kind) a source "
+                            "path ('-' stdin)")
+    query.add_argument("kind", nargs="?", default=None,
+                       help="session form: what to ask (value-of, "
+                            "call-sites-of, escaping, call-graph, "
+                            "mono, inlining)")
+    query.add_argument("target", nargs="?", default=None,
                        help="a variable name (value-of) or a lambda "
                             "label (call-sites-of, escaping)")
+    query.add_argument("--kind", dest="batch_kind", default=None,
+                       metavar="KIND",
+                       help="batch mode: run this client pass over "
+                            "a fresh analysis of FILE (call-graph, "
+                            "escaping, mono, devirt, inlining, "
+                            "value-of) and print its JSON answer")
+    query.add_argument("--target", dest="batch_target", default=None,
+                       metavar="TARGET",
+                       help="batch mode: the query target (value-of "
+                            "only)")
+    query.add_argument("--analysis", default="mcfa", metavar="NAME",
+                       help="batch mode: a registered analysis name "
+                            "(default mcfa)")
+    query.add_argument("-n", "--context", type=int, default=1,
+                       help="batch mode: the k or m (default 1)")
+    query.add_argument("--simplify", action="store_true",
+                       help="batch mode: shrink-simplify the CPS "
+                            "term first")
+    query.add_argument("--values", choices=list(VALUE_MODES),
+                       default="interned",
+                       help="batch mode: value-domain "
+                            "representation (default interned)")
+    query.add_argument("--timeout", type=float, default=None,
+                       help="batch mode: wall-clock budget in "
+                            "seconds")
+    query.add_argument("--dot", default=None, metavar="PATH",
+                       help="batch mode: also write the answer's "
+                            "DOT export (call-graph only) to PATH")
+    query.add_argument("--cache", action="store_true",
+                       help="batch mode: reuse/persist results in "
+                            "the default cache dir (~/.cache/repro)")
+    query.add_argument("--cache-dir", default=None,
+                       help="batch mode: cache directory (implies "
+                            "--cache)")
     _connection_arguments(query)
     return parser
 
@@ -763,7 +797,17 @@ def _cmd_edit(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    from repro.analysis.clients import validate_query
     from repro.reporting import query_answer_report
+    if args.batch_kind is not None:
+        return _cmd_query_batch(args)
+    if args.kind is None:
+        raise UsageError(
+            "query needs KIND against a session, or --kind KIND for "
+            "batch mode over a source file")
+    # Validate client-side before any connection: a typo exits 2
+    # with the same one-line message the server would send.
+    validate_query(args.kind, args.target, session=True)
     client = _connect_client(args)
     if client is None:
         return 1
@@ -775,6 +819,64 @@ def _cmd_query(args) -> int:
         return 0
     print(f"error: {final.get('error', final)}", file=sys.stderr)
     return 1
+
+
+def _cmd_query_batch(args) -> int:
+    """``query FILE --kind KIND``: run the analysis locally (like
+    ``analyze``) and print the client pass's JSON answer — the exact
+    bytes the service's sessionless query op streams as ``stdout``."""
+    from repro.analysis.clients import validate_query
+    from repro.cache import open_cache
+    from repro.service.jobs import (
+        JobSpec, cache_payload, job_cache_key, run_job,
+        validate_job_options,
+    )
+    if args.kind is not None or args.target is not None:
+        raise UsageError(
+            "batch mode takes no positional KIND/TARGET; use --kind "
+            "and --target")
+    # Option errors fail fast, before any source is read.
+    language = validate_job_options(
+        args.analysis, args.context, simplify=args.simplify,
+        values=args.values).language
+    validate_query(args.batch_kind, args.batch_target,
+                   language=language)
+    if args.dot is not None and args.batch_kind != "call-graph":
+        raise UsageError(
+            f"--dot needs a kind with a DOT export (call-graph), "
+            f"not {args.batch_kind!r}")
+    spec = JobSpec(source=_read_source(args.session),
+                   analysis=args.analysis, context=args.context,
+                   simplify=args.simplify, values=args.values,
+                   timeout=args.timeout,
+                   query_kind=args.batch_kind,
+                   query_target=args.batch_target).validate()
+    cache = open_cache(args.cache_dir, args.cache or args.cache_dir)
+    key = job_cache_key(spec) if cache is not None else None
+    payload = cache.get(key) if cache is not None else None
+    if payload is not None:
+        sys.stdout.write(payload["stdout"])
+        answer = payload.get("answer")
+        print("(cached result)", file=sys.stderr)
+    else:
+        row = run_job(spec)
+        if row["status"] != "ok":
+            print(f"error: {row['error']}", file=sys.stderr)
+            return 1
+        sys.stdout.write(row["stdout"])
+        answer = row.get("answer")
+        if cache is not None:
+            cache.put(key, cache_payload(row))
+    if args.dot is not None:
+        dot = (answer or {}).get("dot")
+        if not dot:
+            print("error: answer carries no DOT export",
+                  file=sys.stderr)
+            return 1
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(dot)
+        print(f"wrote {args.dot}", file=sys.stderr)
+    return 0
 
 
 def _cmd_tables(args) -> int:

@@ -80,6 +80,10 @@ from repro.analysis.kernel import (
 from repro.analysis.policies import (
     call_site_tick, mcfa_allocator, poly_kcfa_allocator,
 )
+from repro.analysis.clients import (
+    call_sites_of, escaping_point, parse_label, run_result_query,
+    validate_query, value_of,
+)
 from repro.analysis.results import AnalysisResult
 from repro.cps.program import Program, label_maximum
 from repro.cps.syntax import (
@@ -715,98 +719,31 @@ class AnalysisSession:
 
     # -- point queries -----------------------------------------------------
 
-    def query(self, kind: str, target: str) -> dict:
-        """Answer one point query from the warm state.
+    def query(self, kind: str, target: str | None = None) -> dict:
+        """Answer one query from the warm state.
 
-        ``value-of <var>`` — the values flowing to a variable, joined
-        over contexts; ``call-sites-of <lam label>`` — the call sites
-        whose operator may be that lambda; ``escaping <lam label>`` —
-        may the lambda escape to the halt continuation or into a heap
-        (pair) cell.  No report is materialised: each query touches
-        only the demanded slice of the store.
+        The PR-10 client layer (:mod:`repro.analysis.clients`) holds
+        every implementation; the session contributes its warm store,
+        kernel and configuration set.  ``value-of <var>`` — the
+        values flowing to a variable, joined over contexts;
+        ``call-sites-of <lam label>`` — the call sites whose operator
+        may be that lambda; ``escaping <lam label>`` — may the lambda
+        escape to the halt continuation or into a heap (pair) cell.
+        Point queries touch only the demanded slice of the store.
+        Pass kinds (``call-graph``, ``mono``, ``inlining``, and
+        ``escaping`` without a target) answer from the rendered
+        result.
         """
+        validate_query(kind, target, session=True)
         if kind == "value-of":
-            return self._value_of(target)
+            return value_of(self.store, target)
         if kind == "call-sites-of":
-            return self._call_sites_of(self._label_of(target))
-        if kind == "escaping":
-            return self._escaping(self._label_of(target))
-        raise UsageError(
-            f"unknown query {kind!r}; choose from value-of, "
-            f"call-sites-of, escaping")
-
-    @staticmethod
-    def _label_of(target: str) -> int:
-        try:
-            return int(target)
-        except (TypeError, ValueError):
-            raise UsageError(
-                f"query target {target!r} is not a lambda label") \
-                from None
-
-    def _value_of(self, name: str) -> dict:
-        from repro.reporting import render_value
-        values: set = set()
-        variables: set = set()
-        contexts = 0
-        for (addr_name, _context), flow in self.store.items():
-            # The compiler uniquifies user binders (`x` → `x%2`), so
-            # match the base name too: a user asks about the variable
-            # they wrote, not the alpha-renamed one.  An exact match
-            # still works for internal names (`rv%6`, `car@6`).
-            if addr_name != name \
-                    and addr_name.split("%", 1)[0] != name:
-                continue
-            variables.add(addr_name)
-            contexts += 1
-            values |= flow
-        return {"query": "value-of", "target": name,
-                "variables": sorted(variables),
-                "contexts": contexts,
-                "values": sorted(render_value(v) for v in values)}
-
-    def _lam_labels(self, mask) -> set:
-        labels = set()
-        for value in self.store.table.decode_iter(mask):
-            lam = getattr(value, "lam", None)
-            if lam is not None:
-                labels.add(lam.label)
-        return labels
-
-    def _call_sites_of(self, label: int) -> dict:
-        sites = set()
-        probed = 0
-        for config in self.state.seen:
-            call = config.call
-            if not isinstance(call, AppCall):
-                continue
-            probed += 1
-            mask = self.machine.evaluate(call.fn, config, self.store,
-                                         set())
-            if label in self._lam_labels(mask):
-                sites.add(call.label)
-        return {"query": "call-sites-of", "target": label,
-                "sites": sorted(sites), "probed": probed}
-
-    def _escaping(self, label: int) -> dict:
-        to_halt = set()
-        for config in self.state.seen:
-            call = config.call
-            if isinstance(call, HaltCall):
-                mask = self.machine.evaluate(call.arg, config,
-                                             self.store, set())
-                to_halt |= self._lam_labels(mask)
-        to_heap = set()
-        for (name, _context), flow in self.store.items():
-            if "@" not in name:
-                continue
-            for value in flow:
-                lam = getattr(value, "lam", None)
-                if lam is not None:
-                    to_heap.add(lam.label)
-        return {"query": "escaping", "target": label,
-                "escaping": label in to_halt or label in to_heap,
-                "to_halt": label in to_halt, "to_heap": label in to_heap}
+            return call_sites_of(self.machine, self.store,
+                                 self.state.seen, parse_label(target))
+        if kind == "escaping" and target is not None:
+            return escaping_point(self.machine, self.store,
+                                  self.state.seen, parse_label(target))
+        return run_result_query(self.result, kind, target)
 
     def stats(self) -> dict:
         """Counters for the service's session bookkeeping."""

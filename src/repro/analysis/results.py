@@ -101,6 +101,13 @@ class AnalysisResult:
     def reachable_call_sites(self) -> frozenset[int]:
         return frozenset(self.callees)
 
+    def monomorphic_call_sites(self) -> list[int]:
+        """Known call sites with exactly one callee (continuations
+        included — the client passes distinguish the kinds)."""
+        return sorted(label for label, callees in self.callees.items()
+                      if label not in self.unknown_operator
+                      and len(callees) == 1)
+
     # -- the Figure 1/2 environment metric ------------------------------------
 
     def environment_count(self, lam: Lam) -> int:
@@ -134,6 +141,15 @@ class AnalysisResult:
                     callee.label, call=label)
         return graph
 
+    def call_owner_map(self) -> dict[int, int]:
+        """Call label → label of the lambda whose body contains it.
+
+        Labels of the top-level body are absent — a client reads a
+        missing entry as ``<toplevel>`` (see
+        :mod:`repro.analysis.clients`).
+        """
+        return self._call_owner_map()
+
     def _call_owner_map(self) -> dict[int, int]:
         """Call label → label of the lambda whose body contains it."""
         from repro.cps.syntax import call_children
@@ -163,6 +179,7 @@ class AnalysisResult:
             "store_values": self.store.total_values(),
             "environments": self.total_environments(),
             "inlinings": self.supported_inlinings(),
+            "mono_sites": len(self.monomorphic_call_sites()),
             "steps": self.steps,
             "elapsed": round(self.elapsed, 6),
             "timed_out": self.timed_out,

@@ -58,7 +58,9 @@ from typing import Mapping
 #: Bump when the cached payload format or analysis semantics change.
 #: v2: ``analyze``-shaped keys grew the ``values`` (plain/interned
 #: domain) option, and payloads may carry ``wall_seconds``.
-CACHE_SCHEMA_VERSION = 2
+#: v3: summaries gained ``mono_sites`` and payloads may carry a
+#: client-query ``answer`` (see :mod:`repro.analysis.clients`).
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:

@@ -213,6 +213,7 @@ class FJResult:
             "objects": len(self.objects),
             "environments": self.total_environments(),
             "store_entries": len(self.store),
+            "mono_sites": len(self.monomorphic_call_sites()),
             "steps": self.steps,
             "elapsed": round(self.elapsed, 6),
         }

@@ -178,7 +178,7 @@ def bench_report_table(report) -> str:
     """
     from repro.metrics.timing import format_table
     headers = ["task", "status", "time", "terms", "configs", "steps",
-               "inlinings"]
+               "inlinings", "mono"]
     rows = []
     for row in report.rows:
         rows.append([
@@ -188,6 +188,7 @@ def bench_report_table(report) -> str:
             str(row.get("configs", "-")),
             str(row.get("steps", "-")),
             str(row.get("inlinings", "-")),
+            str(row.get("mono_sites", "-")),
         ])
     lines = [format_table(headers, rows)]
     counts = ", ".join(f"{count} {status}" for status, count
@@ -321,7 +322,7 @@ def query_answer_report(answer: dict) -> str:
         return (f"call-sites-of lam@{target}: {len(sites)} site(s) "
                 f"of {answer.get('probed', 0)} probed\n"
                 f"  call label(s): {rendered}")
-    if kind == "escaping":
+    if kind == "escaping" and target is not None:
         verdict = "escapes" if answer.get("escaping") \
             else "does not escape"
         channels = [name for name, flag in

@@ -241,13 +241,46 @@ class ServiceClient:
             base["timeout"] = timeout
         return self._with_busy_retries(base, on_event, busy_retries)
 
-    def query(self, session: str, kind: str, target: str,
+    def query(self, session: str | None = None,
+              kind: str | None = None, target: str | None = None, *,
+              source: str | None = None, path: str | None = None,
+              analysis: str = "mcfa", context: int = 1,
+              simplify: bool = False, values: str = "interned",
+              timeout: float | None = None, specialize: bool = True,
+              codegen: bool = True,
               on_event=None,
               busy_retries: int = BUSY_RETRIES) -> dict:
-        """One demand-driven point query against *session*; the
-        ``done`` event carries the ``answer`` object."""
-        base = {"op": "query", "session": session, "kind": kind,
-                "target": target}
+        """One client query; the ``done`` event carries ``answer``.
+
+        With *session* set this is the warm-session form (``kind``
+        plus ``target`` as the kind demands).  Without it the query
+        is *sessionless*: ``source``/``path`` and the job options
+        describe an ordinary cached analysis job, and the pass named
+        by ``kind`` runs over its result server-side.
+        """
+        base: dict = {"op": "query", "kind": kind}
+        if target is not None:
+            base["target"] = target
+        if session is not None:
+            base["session"] = session
+            return self._with_busy_retries(base, on_event,
+                                           busy_retries)
+        base["analysis"] = analysis
+        base["context"] = context
+        base["simplify"] = simplify
+        base["values"] = values
+        if not specialize:
+            # Only sent when non-default (same wire-compatibility
+            # rule as submit).
+            base["specialize"] = False
+        if not codegen:
+            base["codegen"] = False
+        if source is not None:
+            base["source"] = source
+        if path is not None:
+            base["path"] = path
+        if timeout is not None:
+            base["timeout"] = timeout
         return self._with_busy_retries(base, on_event, busy_retries)
 
     # -- lifecycle -------------------------------------------------------

@@ -33,7 +33,11 @@ of the plain/interned domains, the specialized/generic step loops and
 the generated/compiled transfer functions produces byte-identical
 reports *today*, but those equivalences are theorems about the
 current code, not the key scheme's business — flipping any of them
-must never return a stale entry).  The wall-clock ``timeout``
+must never return a stale entry).  A batch client query
+(``query_kind``/``query_target``) replaces the rendered report with
+the pass's JSON answer, so both fields enter the key — but only when
+set, keeping every pre-existing plain-job key unchanged.  The
+wall-clock ``timeout``
 is deliberately excluded: a completed result does not depend on how
 long it was allowed to take, and timed-out runs are never cached.
 The cache schema version rides inside
@@ -47,6 +51,7 @@ import os
 import time
 from dataclasses import dataclass
 
+from repro.analysis.clients import run_result_query, validate_query
 from repro.analysis.registry import registry, run_analysis
 from repro.errors import AnalysisTimeout, ReproError, UsageError
 from repro.util.budget import Budget
@@ -158,6 +163,12 @@ class JobSpec:
     #: ``--codegen off`` escape hatch).  Has no effect when
     #: ``specialize`` is off — codegen rides on specialization.
     codegen: bool = True
+    #: Batch client query (see :mod:`repro.analysis.clients`): when
+    #: ``query_kind`` is set the job's stdout is the pass's JSON
+    #: answer instead of the rendered reports, and the row carries
+    #: the answer object under ``answer``.
+    query_kind: str | None = None
+    query_target: str | None = None
 
     def validate(self) -> "JobSpec":
         """Raise :class:`~repro.errors.ReproError` on a bad field.
@@ -170,8 +181,15 @@ class JobSpec:
         if not isinstance(self.source, str) or not self.source.strip():
             raise ReproError("job source must be non-empty program "
                              "text")
-        validate_job_options(self.analysis, self.context,
-                             self.simplify, self.report, self.values)
+        spec = validate_job_options(self.analysis, self.context,
+                                    self.simplify, self.report,
+                                    self.values)
+        if self.query_target is not None and self.query_kind is None:
+            raise UsageError(
+                "query_target is meaningless without query_kind")
+        if self.query_kind is not None:
+            validate_query(self.query_kind, self.query_target,
+                           language=spec.language)
         if not isinstance(self.specialize, bool):
             raise UsageError(
                 f"specialize must be a boolean, got "
@@ -193,19 +211,24 @@ def job_cache_key(spec: JobSpec) -> str:
     """The persistent-cache key of one job (see the module docstring
     for the audit of what must be included)."""
     from repro.cache import cache_key
-    return cache_key(spec.source, spec.analysis, spec.context,
-                     {"command": "analyze",
-                      "simplify": spec.simplify,
-                      "report": spec.report,
-                      "values": spec.values,
-                      "specialize": spec.specialize,
-                      "codegen": spec.codegen})
+    extra = {"command": "analyze",
+             "simplify": spec.simplify,
+             "report": spec.report,
+             "values": spec.values,
+             "specialize": spec.specialize,
+             "codegen": spec.codegen}
+    if spec.query_kind is not None:
+        # Only when set: every plain-job key predating the client
+        # layer stays byte-identical.
+        extra["query_kind"] = spec.query_kind
+        extra["query_target"] = spec.query_target
+    return cache_key(spec.source, spec.analysis, spec.context, extra)
 
 
 def cache_payload(row: dict) -> dict:
     """The slice of a finished row worth persisting."""
     return {key: row[key]
-            for key in ("stdout", "summary", "wall_seconds")
+            for key in ("stdout", "summary", "answer", "wall_seconds")
             if key in row}
 
 
@@ -445,8 +468,9 @@ class WorkerSessions:
         row["wall_seconds"] = round(time.perf_counter() - started, 6)
         return row
 
-    def query(self, session_id: str, kind: str, target: str) -> dict:
-        """Answer one point query from a session's warm store."""
+    def query(self, session_id: str, kind: str,
+              target: str | None) -> dict:
+        """Answer one query from a session's warm state."""
         row = {"session": session_id, "pid": os.getpid()}
         started = time.perf_counter()
         entry = self._touch(session_id)
@@ -527,6 +551,13 @@ def run_job(spec: JobSpec, programs=None) -> dict:
                 codegen=spec.codegen)
             row["stdout"] = render_reports(program, result,
                                            spec.report)
+        if spec.query_kind is not None:
+            import json
+            answer = run_result_query(result, spec.query_kind,
+                                      spec.query_target)
+            row["answer"] = answer
+            row["stdout"] = json.dumps(answer, indent=2,
+                                       sort_keys=True) + "\n"
         row["summary"] = result.summary()
         row["status"] = "ok"
     except AnalysisTimeout as error:

@@ -24,11 +24,19 @@ directions.  Requests carry an ``op``:
     the ``done`` event reports ``mode`` (``resumed | scratch``) and
     the resume statistics.
 ``query``
-    ``{"op": "query", "id": "9", "session": "s1", "kind":
-    "value-of", "target": "x"}`` — a demand-driven point query
-    answered from the session's warm store (kinds:
-    ``value-of``, ``call-sites-of``, ``escaping``); the ``done``
-    event carries the ``answer`` object, no report.
+    Two forms.  *Session*: ``{"op": "query", "id": "9", "session":
+    "s1", "kind": "value-of", "target": "x"}`` — a demand-driven
+    query answered from the session's warm store (kinds:
+    :data:`~repro.analysis.clients.SESSION_KINDS`; ``target`` is
+    required, optional or forbidden per kind).  *Sessionless batch*:
+    ``{"op": "query", "id": "9", "source": ... | "path": ...,
+    "kind": "call-graph", "analysis": "kcfa", "context": 1, ...}`` —
+    runs the analysis as an ordinary cached/coalesced job and
+    answers the client pass from its result (kinds:
+    :data:`~repro.analysis.clients.BATCH_KINDS`).  Either way the
+    ``done`` event carries the ``answer`` object; the batch form's
+    ``stdout`` is the answer's JSON rendering, byte-identical to
+    ``python -m repro query --kind ...``.
 ``stats``
     ``{"op": "stats"}`` — one ``stats`` event with the scheduler's
     counters (see :meth:`AnalysisServer.stats_snapshot`).
@@ -73,6 +81,9 @@ from __future__ import annotations
 
 import json
 
+from repro.analysis.clients import (
+    BATCH_KINDS, SESSION_KINDS, validate_query,
+)
 from repro.errors import ReproError
 from repro.service.jobs import JobSpec
 
@@ -101,11 +112,21 @@ ANALYSES_FIELDS = frozenset(("op", "id", "language"))
 EDIT_FIELDS = frozenset(
     ("op", "id", "session", "source", "path", "timeout"))
 
-#: Fields of a ``query`` request.
-QUERY_FIELDS = frozenset(("op", "id", "session", "kind", "target"))
+#: Fields of a *session* ``query`` request.
+QUERY_SESSION_FIELDS = frozenset(
+    ("op", "id", "session", "kind", "target"))
 
-#: Point-query kinds a session answers.
-QUERY_KINDS = ("value-of", "call-sites-of", "escaping")
+#: Every field a ``query`` request may carry: the session form plus
+#: the job options of the sessionless batch form.
+QUERY_FIELDS = QUERY_SESSION_FIELDS | frozenset(
+    ("source", "path", "analysis", "context", "simplify", "values",
+     "timeout", "specialize", "codegen"))
+
+#: Query kinds a session answers (re-exported for wire clients).
+QUERY_KINDS = SESSION_KINDS
+
+#: Query kinds the sessionless batch form answers.
+BATCH_QUERY_KINDS = BATCH_KINDS
 
 
 class ProtocolError(ReproError):
@@ -275,26 +296,87 @@ def edit_request(message: dict) -> tuple[str, str, float | None]:
     return session, source, timeout
 
 
-def query_request(message: dict) -> tuple[str, str, str]:
-    """Validate a ``query`` request into
+def _query_target_of(message: dict) -> str | None:
+    target = message.get("target")
+    if target is not None \
+            and (not isinstance(target, str) or not target):
+        raise ProtocolError(
+            f"target must be a non-empty string, got {target!r}")
+    return target
+
+
+def query_request(message: dict) -> tuple[str, str, str | None]:
+    """Validate a *session* ``query`` request into
     ``(session_id, kind, target)``."""
+    unknown = sorted(set(message) - QUERY_SESSION_FIELDS)
+    if unknown:
+        batch_only = sorted(set(unknown) & QUERY_FIELDS)
+        if batch_only:
+            raise ProtocolError(
+                f"field(s) {', '.join(batch_only)} apply only to "
+                f"sessionless batch queries; a session query takes "
+                f"kind and target")
+        raise ProtocolError(
+            f"unknown query field(s) {', '.join(unknown)}; allowed: "
+            f"{', '.join(sorted(QUERY_SESSION_FIELDS))}")
+    session = _session_id_of(message, "query")
+    kind = message.get("kind")
+    target = _query_target_of(message)
+    try:
+        validate_query(kind, target, session=True)
+    except ReproError as error:
+        raise ProtocolError(str(error)) from None
+    return session, kind, target
+
+
+def query_job_spec(message: dict) -> JobSpec:
+    """Validate a *sessionless* ``query`` request into a
+    :class:`~repro.service.jobs.JobSpec` carrying the query fields.
+
+    The analysis itself is an ordinary job (cached, coalesced,
+    sharded); the pass rides on its result.
+    """
     unknown = sorted(set(message) - QUERY_FIELDS)
     if unknown:
         raise ProtocolError(
             f"unknown query field(s) {', '.join(unknown)}; allowed: "
             f"{', '.join(sorted(QUERY_FIELDS))}")
-    session = _session_id_of(message, "query")
     kind = message.get("kind")
-    if kind not in QUERY_KINDS:
+    if not isinstance(kind, str) or not kind:
         raise ProtocolError(
-            f"unknown query kind {kind!r}; choose from "
-            f"{', '.join(QUERY_KINDS)}")
-    target = message.get("target")
-    if not isinstance(target, str) or not target:
+            f"query needs 'kind'; choose from "
+            f"{', '.join(BATCH_KINDS)}")
+    target = _query_target_of(message)
+    source = _read_source(message, "query")
+    simplify = message.get("simplify", False)
+    if not isinstance(simplify, bool):
         raise ProtocolError(
-            "query needs 'target': a variable name for value-of, a "
-            "lambda label for call-sites-of and escaping")
-    return session, kind, target
+            f"simplify must be a JSON boolean, got {simplify!r}")
+    specialize = message.get("specialize", True)
+    if not isinstance(specialize, bool):
+        raise ProtocolError(
+            f"specialize must be a JSON boolean, got {specialize!r}")
+    codegen = message.get("codegen", True)
+    if not isinstance(codegen, bool):
+        raise ProtocolError(
+            f"codegen must be a JSON boolean, got {codegen!r}")
+    spec = JobSpec(
+        source=source,
+        analysis=message.get("analysis", "mcfa"),
+        context=message.get("context", 1),
+        simplify=simplify,
+        values=message.get("values", "interned"),
+        timeout=message.get("timeout"),
+        specialize=specialize,
+        codegen=codegen,
+        query_kind=kind,
+        query_target=target)
+    try:
+        return spec.validate()
+    except ProtocolError:
+        raise
+    except ReproError as error:
+        raise ProtocolError(str(error)) from None
 
 
 def analyses_request_language(message: dict) -> str | None:

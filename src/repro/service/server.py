@@ -76,7 +76,7 @@ from repro.service.jobs import cache_payload, job_cache_key
 from repro.service.protocol import (
     MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError,
     analyses_request_language, decode_message, edit_request,
-    encode_message, query_request, submit_spec,
+    encode_message, query_job_spec, query_request, submit_spec,
     submit_wants_session,
 )
 from repro.service.sharding import HashRing
@@ -495,6 +495,13 @@ class AnalysisServer:
             # the one-shot answer, so every one must actually run.
             self._handle_session_open(job_id, key, spec, send)
             return
+        self._schedule(job_id, key, spec, send)
+
+    def _schedule(self, job_id: str, key: str, spec, send) -> None:
+        """Run one cacheable job: cache probe, coalescing, sharded
+        dispatch.  Shared by plain submits and sessionless queries —
+        a batch query *is* an ordinary job whose spec carries the
+        query fields."""
         payload = self._cache_get(key)
         if payload is not None:
             self._jobs["completed"] += 1
@@ -515,12 +522,13 @@ class AnalysisServer:
         # the re-probe too.
         payload = self._cache_get(key, count_miss=False)
         if payload is not None:
-            self._settle(flight, key,
-                         {"status": "ok",
-                          "stdout": payload.get("stdout"),
-                          "summary": payload.get("summary"),
-                          "wall_seconds": payload.get("wall_seconds")},
-                         cached=True)
+            row = {"status": "ok",
+                   "stdout": payload.get("stdout"),
+                   "summary": payload.get("summary"),
+                   "wall_seconds": payload.get("wall_seconds")}
+            if "answer" in payload:
+                row["answer"] = payload["answer"]
+            self._settle(flight, key, row, cached=True)
             return
         try:
             worker_id = self._ring.node_for(key)
@@ -662,10 +670,38 @@ class AnalysisServer:
         self._session_op("edit", message, send, parse)
 
     def _handle_query(self, message: dict, send) -> None:
+        if "session" not in message:
+            self._handle_batch_query(message, send)
+            return
+
         def parse(msg):
             session_id, kind, target = query_request(msg)
             return session_id, (kind, target)
         self._session_op("query", message, send, parse)
+
+    def _handle_batch_query(self, message: dict, send) -> None:
+        """A sessionless query: an ordinary cached job whose spec
+        carries the client-pass fields."""
+        job_id = str(message["id"]) if "id" in message \
+            else f"job-{next(self._job_ids)}"
+        try:
+            spec = query_job_spec(message)
+        except ProtocolError as error:
+            self._jobs["rejected"] += 1
+            send({"event": "error", "job": job_id,
+                  "error": str(error)})
+            return
+        if spec.timeout is None and self.default_timeout is not None:
+            spec = replace(spec, timeout=self.default_timeout)
+        if not self.specialize and spec.specialize:
+            spec = replace(spec, specialize=False)
+        if not self.codegen and spec.codegen:
+            spec = replace(spec, codegen=False)
+        key = job_cache_key(spec)
+        self._jobs["submitted"] += 1
+        self._jobs["queries"] += 1
+        send({"event": "queued", "job": job_id, "key": key})
+        self._schedule(job_id, key, spec, send)
 
     def _lose_session(self, session_id: str, send,
                       job_id: str) -> None:
@@ -687,11 +723,14 @@ class AnalysisServer:
     @staticmethod
     def _cached_done_event(job_id: str, key: str,
                            payload: dict) -> dict:
-        return {"event": "done", "job": job_id, "key": key,
-                "status": "ok", "stdout": payload.get("stdout"),
-                "summary": payload.get("summary"),
-                "wall_seconds": payload.get("wall_seconds"),
-                "cached": True, "coalesced": False}
+        event = {"event": "done", "job": job_id, "key": key,
+                 "status": "ok", "stdout": payload.get("stdout"),
+                 "summary": payload.get("summary"),
+                 "wall_seconds": payload.get("wall_seconds"),
+                 "cached": True, "coalesced": False}
+        if "answer" in payload:
+            event["answer"] = payload["answer"]
+        return event
 
     # -- fleet callbacks (pump threads -> loop) --------------------------
 
@@ -838,6 +877,8 @@ class AnalysisServer:
         if row["status"] == "ok":
             event["stdout"] = row.get("stdout")
             event["summary"] = row.get("summary")
+            if "answer" in row:
+                event["answer"] = row["answer"]
         else:
             event["error"] = row.get("error", "")
         for index, (send, job_id) in enumerate(subscribers):

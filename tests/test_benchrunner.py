@@ -127,6 +127,21 @@ class TestRunTask:
         assert row["steps"] > 0
         assert row["task"] == "eta:mcfa(1)"
 
+    def test_row_reports_monomorphic_sites(self):
+        # The client-layer precision metric rides every summary: both
+        # languages' bench rows carry it, and the table renders it.
+        from repro.reporting import bench_report_table
+        scheme = run_task(BenchTask("eta", "mcfa", 1))
+        assert scheme["mono_sites"] >= 0
+        fj = run_task(BenchTask("pairs", "fj-kcfa", 1))
+        assert fj["mono_sites"] >= 0
+        report = run_batch([BenchTask("eta", "mcfa", 1)],
+                           serial=True)
+        table = bench_report_table(report)
+        header = table.splitlines()[0]
+        assert "mono" in header
+        assert str(scheme["mono_sites"]) in table
+
     def test_timeout_is_a_status_not_an_error(self):
         row = run_task(BenchTask("interp", "kcfa-naive", 1,
                                  timeout=0.2))

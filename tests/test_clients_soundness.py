@@ -1,0 +1,276 @@
+"""Soundness of the client-analysis passes, machine-checked.
+
+The concrete machines are the ground truth: every call the shared-env
+CPS machine (or the FJ machine) actually makes must appear in every
+registered policy's abstract call graph — a dynamic edge may only be
+missing if the analysis flagged the site's operator as unknown — and
+every closure that concretely escapes (reaches the final answer or a
+cons cell) must be covered by the ``escaping`` pass.
+
+Checked on the hand-picked sources, the §6.2 suite, and the random
+generators (Scheme and FJ), driven off the analysis registry so a
+newly registered policy is tested automatically.
+"""
+
+import pytest
+
+from repro.analysis.clients import run_result_query
+from repro.analysis.registry import registry, run_analysis
+from repro.concrete.shared_env import SharedEnvMachine
+from repro.concrete.values import SharedClosure
+from repro.cps.syntax import AppCall
+from repro.fj.concrete import FJMachine, FJObjectVal
+from repro.generators.fj_random import fj_random_program
+from repro.generators.random_programs import random_program
+from repro.scheme.cps_transform import compile_program
+from repro.scheme.values import PairVal
+
+SCHEME_POLICIES = registry().names("scheme")
+FJ_POLICIES = registry().names("fj")
+
+#: Policies cheap enough for every program here; the naive engine
+#: enumerates whole stores as states, so it gets the small sources
+#: only (mirroring ``test_soundness.TestNaiveSoundness``).
+FAST_SCHEME = tuple(name for name in SCHEME_POLICIES
+                    if name != "kcfa-naive")
+
+SOURCES = {
+    "apply": "((lambda (x y) (+ x y)) 1 2)",
+    "closures": """
+        (define (make-adder n) (lambda (x) (+ x n)))
+        (cons ((make-adder 1) 10) ((make-adder 2) 20))
+    """,
+    "escape-halt": "(define (mk n) (lambda (x) (+ x n))) (mk 1)",
+    "escape-heap": """
+        (define (box f) (cons f 0))
+        (car (box (lambda (y) y)))
+    """,
+    "hof": """
+        (define (compose f g) (lambda (x) (f (g x))))
+        ((compose (lambda (a) (cons a 1)) (lambda (b) (cons 2 b))) 's)
+    """,
+    "branching": """
+        (define (pick b) (if b (lambda (x) (+ x 1)) (lambda (y) (* y 2))))
+        (cons ((pick #t) 3) ((pick (= 1 2)) 4))
+    """,
+}
+
+RANDOM_SEEDS = (1, 2, 3, 4, 5, 6)
+FJ_SEEDS = (1, 2, 3, 4, 5)
+
+
+# ---------------------------------------------------------------------------
+# Concrete ground truth
+# ---------------------------------------------------------------------------
+
+def scheme_dynamic_run(program):
+    """Run concretely; return (dynamic call edges, machine, value).
+
+    An edge is ``(call label, applied lambda label)`` for every
+    ``AppCall`` the machine actually stepped through.  The shared-env
+    store is write-once, so re-evaluating each trace entry's operator
+    after the run recovers exactly the closure that was applied.
+    """
+    machine = SharedEnvMachine(program, record_trace=True)
+    result = machine.run()
+    edges = set()
+    for entry in machine.trace:
+        call = entry.call
+        if not isinstance(call, AppCall):
+            continue
+        value = machine.evaluate(call.fn, dict(entry.benv))
+        if isinstance(value, SharedClosure):
+            edges.add((call.label, value.lam.label))
+    return edges, machine, result.value
+
+
+def _closures_in(value) -> set:
+    """Lambda labels of every closure inside *value* (through pairs)."""
+    labels: set = set()
+    stack = [value]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, SharedClosure):
+            labels.add(item.lam.label)
+        elif isinstance(item, PairVal):
+            stack.append(item.car)
+            stack.append(item.cdr)
+    return labels
+
+
+def assert_call_graph_covers(result, edges) -> None:
+    """Every dynamic edge is abstractly known — or its site's operator
+    abstracted to ⊤ (the ``Unknown`` lattice point covers it)."""
+    answer = run_result_query(result, "call-graph")
+    targets = {site["site"]: set(site["targets"])
+               for site in answer["sites"]}
+    unknown = {site["site"] for site in answer["sites"]
+               if site["lattice"] == "Unknown"}
+    for site, lam_label in edges:
+        assert site in unknown or lam_label in targets.get(
+            site, set()), (
+            f"dynamic call {site} -> λ{lam_label} missing from the "
+            f"{result.analysis}[{result.parameter}] call graph")
+
+
+class _TracingFJMachine(FJMachine):
+    """Records ``(invoke label, resolved qualified name)`` at dispatch
+    time — the FJ store is *not* write-once (locals reassign), so the
+    receiver must be read when the invocation happens, not replayed."""
+
+    def __init__(self, program, **kwargs):
+        super().__init__(program, **kwargs)
+        self.dynamic_edges: set = set()
+
+    def _invoke(self, stmt, exp, benv, kont_ptr, time):
+        receiver = self.store[benv[exp.target]]
+        if isinstance(receiver, FJObjectVal):
+            method = self.program.lookup_method(receiver.classname,
+                                                exp.method)
+            if method is not None:
+                self.dynamic_edges.add(
+                    (stmt.label, method.qualified_name))
+        return super()._invoke(stmt, exp, benv, kont_ptr, time)
+
+
+# ---------------------------------------------------------------------------
+# Scheme: dynamic ⊆ abstract call graph, for every registered policy
+# ---------------------------------------------------------------------------
+
+class TestSchemeCallGraphSoundness:
+    @pytest.mark.parametrize("analysis", FAST_SCHEME)
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_sources(self, name, analysis):
+        program = compile_program(SOURCES[name])
+        edges, _, _ = scheme_dynamic_run(program)
+        assert_call_graph_covers(
+            run_analysis(analysis, program, 1), edges)
+
+    @pytest.mark.parametrize("name", ["apply", "closures",
+                                      "escape-halt"])
+    def test_naive_engine(self, name):
+        program = compile_program(SOURCES[name])
+        edges, _, _ = scheme_dynamic_run(program)
+        assert_call_graph_covers(
+            run_analysis("kcfa-naive", program, 1), edges)
+
+    @pytest.mark.parametrize("analysis", FAST_SCHEME)
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_random_programs(self, seed, analysis):
+        program = random_program(seed)
+        edges, _, _ = scheme_dynamic_run(program)
+        assert_call_graph_covers(
+            run_analysis(analysis, program, 1), edges)
+
+    @pytest.mark.parametrize("analysis", ["kcfa", "mcfa", "poly",
+                                          "zero", "pushdown"])
+    @pytest.mark.parametrize("bench_name", ["eta", "map",
+                                            "scm2java"])
+    def test_suite(self, bench_name, analysis, suite_compiled):
+        program = suite_compiled[bench_name]
+        edges, _, _ = scheme_dynamic_run(program)
+        assert_call_graph_covers(
+            run_analysis(analysis, program, 1), edges)
+
+    def test_context_insensitive_covers_zero(self):
+        # The k = 0 row of the ladder must be sound too.
+        for name in sorted(SOURCES):
+            program = compile_program(SOURCES[name])
+            edges, _, _ = scheme_dynamic_run(program)
+            assert_call_graph_covers(
+                run_analysis("kcfa", program, 0), edges)
+
+
+# ---------------------------------------------------------------------------
+# Scheme: concretely escaping closures ⊆ the escaping pass
+# ---------------------------------------------------------------------------
+
+def _concrete_escapes(machine, final_value):
+    """(labels escaping to halt, labels escaping into cons cells)."""
+    to_halt = _closures_in(final_value)
+    to_heap: set = set()
+    for value in machine.store.values():
+        if isinstance(value, PairVal):
+            to_heap |= _closures_in(value)
+    return to_halt, to_heap
+
+
+class TestSchemeEscapingSoundness:
+    @pytest.mark.parametrize("analysis", FAST_SCHEME)
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_sources(self, name, analysis):
+        program = compile_program(SOURCES[name])
+        _, machine, value = scheme_dynamic_run(program)
+        to_halt, to_heap = _concrete_escapes(machine, value)
+        answer = run_result_query(
+            run_analysis(analysis, program, 1), "escaping")
+        covered = set(answer["escaping"])
+        # Reaching the program's answer is visible to every policy.
+        assert to_halt <= covered, (analysis, to_halt - covered)
+        if not analysis.endswith("-gc"):
+            # Abstract GC may collect cells that are concretely
+            # written but dead; non-collecting policies must keep
+            # every heap escape.
+            assert to_heap <= covered, (analysis, to_heap - covered)
+
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_random_programs(self, seed):
+        program = random_program(seed)
+        _, machine, value = scheme_dynamic_run(program)
+        to_halt, to_heap = _concrete_escapes(machine, value)
+        for analysis in FAST_SCHEME:
+            answer = run_result_query(
+                run_analysis(analysis, program, 1), "escaping")
+            covered = set(answer["escaping"])
+            assert to_halt <= covered
+            if not analysis.endswith("-gc"):
+                assert to_heap <= covered
+
+    @pytest.mark.parametrize("bench_name", ["eta", "map"])
+    def test_suite(self, bench_name, suite_compiled):
+        program = suite_compiled[bench_name]
+        _, machine, value = scheme_dynamic_run(program)
+        to_halt, to_heap = _concrete_escapes(machine, value)
+        answer = run_result_query(
+            run_analysis("mcfa", program, 1), "escaping")
+        covered = set(answer["escaping"])
+        assert to_halt <= covered
+        assert to_heap <= covered
+
+
+# ---------------------------------------------------------------------------
+# FJ: dynamic dispatch targets ⊆ invoke_targets, whole registered family
+# ---------------------------------------------------------------------------
+
+class TestFJCallGraphSoundness:
+    @pytest.mark.parametrize("analysis", FJ_POLICIES)
+    @pytest.mark.parametrize("seed", FJ_SEEDS)
+    def test_fjrand(self, seed, analysis):
+        program = fj_random_program(seed)
+        machine = _TracingFJMachine(program, record_trace=True)
+        machine.run()
+        result = run_analysis(analysis, program, 1, language="fj")
+        answer = run_result_query(result, "call-graph")
+        targets = {site["site"]: set(site["targets"])
+                   for site in answer["sites"]}
+        for site, qualified in machine.dynamic_edges:
+            assert qualified in targets.get(site, set()), (
+                f"dynamic dispatch {site} -> {qualified} missing "
+                f"from {analysis}[1]")
+
+    @pytest.mark.parametrize("seed", FJ_SEEDS[:2])
+    def test_devirt_candidates_match_the_dynamics(self, seed):
+        """A devirtualization candidate's single receiver class must
+        be the class the machine actually dispatched through."""
+        program = fj_random_program(seed)
+        machine = _TracingFJMachine(program, record_trace=True)
+        machine.run()
+        result = run_analysis("fj-kcfa", program, 1, language="fj")
+        answer = run_result_query(result, "devirt")
+        dynamic = {}
+        for site, qualified in machine.dynamic_edges:
+            dynamic.setdefault(site, set()).add(qualified)
+        for candidate in answer["candidates"]:
+            seen = dynamic.get(candidate["site"])
+            if seen:
+                assert seen <= set(candidate["targets"])

@@ -499,7 +499,7 @@ class TestSessionValidators:
 
     def test_query_unknown_kind(self):
         from repro.service.protocol import query_request
-        with pytest.raises(ProtocolError, match="unknown query kind"):
+        with pytest.raises(ProtocolError, match="unknown query"):
             query_request({"op": "query", "session": "s1",
                            "kind": "points-to", "target": "x"})
 
@@ -701,4 +701,4 @@ class TestSessionWire:
              "kind": "points-to", "target": "x"},
             replies=1)
         assert event["event"] == "error"
-        assert "unknown query kind" in event["error"]
+        assert "unknown query" in event["error"]
